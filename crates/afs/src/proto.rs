@@ -1,0 +1,203 @@
+//! The wire protocol of the simplified AFS.
+
+use gvfs_xdr::{Decoder, Encoder, Xdr, XdrError};
+
+/// RPC program number of the file server.
+pub const AFS_PROGRAM: u32 = 0x4000_0200;
+/// RPC program number of the client's callback service.
+pub const AFS_CALLBACK_PROGRAM: u32 = 0x4000_0201;
+/// Protocol version.
+pub const AFS_VERSION: u32 = 1;
+
+/// Procedure numbers.
+pub mod procs {
+    /// Resolve a path to a file id + status, taking a promise.
+    pub const LOOKUP: u32 = 1;
+    /// Fetch status for a file id, taking a promise.
+    pub const FETCH_STATUS: u32 = 2;
+    /// Fetch a whole file, taking a promise.
+    pub const FETCH_DATA: u32 = 3;
+    /// Store a whole file.
+    pub const STORE: u32 = 4;
+    
+    /// Hard link (atomic; the lock primitive).
+    pub const LINK: u32 = 6;
+    /// Remove a name.
+    pub const REMOVE: u32 = 7;
+    /// Callback-break (callback program): invalidate one file id.
+    pub const BREAK: u32 = 1;
+}
+
+/// Status of an AFS file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AfsStatus {
+    /// Stable file id.
+    pub fid: u64,
+    /// File length in bytes.
+    pub length: u64,
+    /// Data version, bumped on every store.
+    pub version: u64,
+}
+
+impl Xdr for AfsStatus {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        enc.put_u64(self.fid);
+        enc.put_u64(self.length);
+        enc.put_u64(self.version);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(AfsStatus { fid: dec.get_u64()?, length: dec.get_u64()?, version: dec.get_u64()? })
+    }
+}
+
+/// A string path argument (all namespace procedures are path-based in
+/// this simplified model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathArgs {
+    /// Absolute path.
+    pub path: String,
+}
+
+impl Xdr for PathArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        enc.put_string(&self.path)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(PathArgs { path: dec.get_string()? })
+    }
+}
+
+/// Two-path argument (LINK).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoPathArgs {
+    /// Existing file.
+    pub from: String,
+    /// New name.
+    pub to: String,
+}
+
+impl Xdr for TwoPathArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        enc.put_string(&self.from)?;
+        enc.put_string(&self.to)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(TwoPathArgs { from: dec.get_string()?, to: dec.get_string()? })
+    }
+}
+
+/// Store arguments: path + whole content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreArgs {
+    /// Absolute path (created if absent).
+    pub path: String,
+    /// Whole new content.
+    pub data: Vec<u8>,
+}
+
+impl Xdr for StoreArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        enc.put_string(&self.path)?;
+        enc.put_opaque(&self.data)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(StoreArgs { path: dec.get_string()?, data: dec.get_opaque()? })
+    }
+}
+
+/// Generic result status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum AfsStat {
+    /// Success.
+    Ok = 0,
+    /// No such file.
+    NoEnt = 1,
+    /// Name already exists (LINK/CREATE conflict).
+    Exist = 2,
+    /// Server-side failure.
+    Fault = 3,
+}
+
+impl Xdr for AfsStat {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        enc.put_u32(*self as u32);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(AfsStat::Ok),
+            1 => Ok(AfsStat::NoEnt),
+            2 => Ok(AfsStat::Exist),
+            3 => Ok(AfsStat::Fault),
+            value => Err(XdrError::InvalidDiscriminant { type_name: "AfsStat", value }),
+        }
+    }
+}
+
+/// Status reply: result plus optional status (present on success).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusRes {
+    /// Outcome.
+    pub stat: AfsStat,
+    /// The file's status on success.
+    pub status: Option<AfsStatus>,
+}
+
+impl Xdr for StatusRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.stat.encode(enc)?;
+        self.status.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(StatusRes { stat: AfsStat::decode(dec)?, status: Option::<AfsStatus>::decode(dec)? })
+    }
+}
+
+/// Data reply: status + whole content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataRes {
+    /// Outcome.
+    pub stat: AfsStat,
+    /// Status on success.
+    pub status: Option<AfsStatus>,
+    /// Whole file content on success.
+    pub data: Vec<u8>,
+}
+
+impl Xdr for DataRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.stat.encode(enc)?;
+        self.status.encode(enc)?;
+        enc.put_opaque(&self.data)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(DataRes {
+            stat: AfsStat::decode(dec)?,
+            status: Option::<AfsStatus>::decode(dec)?,
+            data: dec.get_opaque()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let status = AfsStatus { fid: 7, length: 100, version: 3 };
+        let bytes = gvfs_xdr::to_bytes(&status).unwrap();
+        assert_eq!(gvfs_xdr::from_bytes::<AfsStatus>(&bytes).unwrap(), status);
+
+        let res = DataRes { stat: AfsStat::Ok, status: Some(status), data: vec![1, 2, 3] };
+        let bytes = gvfs_xdr::to_bytes(&res).unwrap();
+        assert_eq!(gvfs_xdr::from_bytes::<DataRes>(&bytes).unwrap(), res);
+
+        for s in [AfsStat::Ok, AfsStat::NoEnt, AfsStat::Exist, AfsStat::Fault] {
+            let bytes = gvfs_xdr::to_bytes(&s).unwrap();
+            assert_eq!(gvfs_xdr::from_bytes::<AfsStat>(&bytes).unwrap(), s);
+        }
+    }
+}

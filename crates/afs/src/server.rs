@@ -1,0 +1,250 @@
+//! The AFS file server: path-based operations over a [`Vfs`] with
+//! callback promises broken on mutation.
+
+use crate::proto::{
+    procs, AfsStat, AfsStatus, DataRes, PathArgs, StatusRes, StoreArgs, TwoPathArgs,
+    AFS_CALLBACK_PROGRAM, AFS_PROGRAM, AFS_VERSION,
+};
+use gvfs_netsim::transport::SimRpcClient;
+use gvfs_rpc::dispatch::RpcService;
+use gvfs_rpc::message::OpaqueAuth;
+use gvfs_rpc::RpcError;
+use gvfs_vfs::{Timestamp, Vfs, VfsError};
+use gvfs_xdr::Xdr;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The AFS server service.
+pub struct AfsServer {
+    vfs: Arc<Vfs>,
+    versions: Mutex<HashMap<u64, u64>>,
+    /// Callback promises: fid → clients holding one. The root directory
+    /// participates (fid of the parent dir guards name visibility).
+    promises: Mutex<HashMap<u64, HashSet<u32>>>,
+    callbacks: RwLock<HashMap<u32, SimRpcClient>>,
+}
+
+impl std::fmt::Debug for AfsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AfsServer").finish()
+    }
+}
+
+fn now() -> Timestamp {
+    Timestamp::from_nanos(gvfs_netsim::now().as_nanos())
+}
+
+impl AfsServer {
+    /// Creates a server exporting `vfs`.
+    pub fn new(vfs: Arc<Vfs>) -> Arc<Self> {
+        Arc::new(AfsServer {
+            vfs,
+            versions: Mutex::new(HashMap::new()),
+            promises: Mutex::new(HashMap::new()),
+            callbacks: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Registers a client's callback transport.
+    pub fn register_callback(&self, client: u32, transport: SimRpcClient) {
+        self.callbacks.write().insert(client, transport);
+    }
+
+    /// The exported filesystem.
+    pub fn vfs(&self) -> &Arc<Vfs> {
+        &self.vfs
+    }
+
+    fn status_of(&self, fid: u64) -> Result<AfsStatus, VfsError> {
+        let attr = self.vfs.getattr(gvfs_vfs::FileId::from_u64(fid))?;
+        let version = *self.versions.lock().get(&fid).unwrap_or(&1);
+        Ok(AfsStatus { fid, length: attr.size, version })
+    }
+
+    fn promise(&self, fid: u64, client: u32) {
+        self.promises.lock().entry(fid).or_default().insert(client);
+    }
+
+    /// Breaks all other clients' promises on `fid` with callback RPCs
+    /// (in client-id order, for deterministic simulations).
+    fn break_promises(&self, fid: u64, mutator: u32) {
+        let mut holders: Vec<u32> = {
+            let mut promises = self.promises.lock();
+            match promises.get_mut(&fid) {
+                Some(set) => {
+                    let holders = set.iter().copied().filter(|&c| c != mutator).collect();
+                    set.retain(|&c| c == mutator);
+                    holders
+                }
+                None => Vec::new(),
+            }
+        };
+        holders.sort_unstable();
+        for client in holders {
+            let transport = self.callbacks.read().get(&client).cloned();
+            if let Some(t) = transport {
+                let args = gvfs_xdr::to_bytes(&fid).unwrap_or_default();
+                let _ = t.call(AFS_CALLBACK_PROGRAM, AFS_VERSION, procs::BREAK, args);
+            }
+        }
+    }
+
+    fn parent_fid(&self, path: &str) -> Result<(gvfs_vfs::FileId, String), VfsError> {
+        let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+        let Some((leaf, dirs)) = parts.split_last() else { return Err(VfsError::InvalidArgument) };
+        let mut cur = self.vfs.root();
+        for part in dirs {
+            cur = self.vfs.lookup(cur, part)?;
+        }
+        Ok((cur, (*leaf).to_string()))
+    }
+
+    fn lookup(&self, args: PathArgs, client: u32) -> StatusRes {
+        match self.vfs.lookup_path(&args.path) {
+            Ok(id) => {
+                let fid = id.as_u64();
+                self.promise(fid, client);
+                // Also promise on the parent so name changes are pushed.
+                if let Ok((dir, _)) = self.parent_fid(&args.path) {
+                    self.promise(dir.as_u64(), client);
+                }
+                StatusRes { stat: AfsStat::Ok, status: self.status_of(fid).ok() }
+            }
+            Err(VfsError::NotFound) => {
+                if let Ok((dir, _)) = self.parent_fid(&args.path) {
+                    self.promise(dir.as_u64(), client);
+                }
+                StatusRes { stat: AfsStat::NoEnt, status: None }
+            }
+            Err(_) => StatusRes { stat: AfsStat::Fault, status: None },
+        }
+    }
+
+    fn fetch_status(&self, fid: u64, client: u32) -> StatusRes {
+        match self.status_of(fid) {
+            Ok(status) => {
+                self.promise(fid, client);
+                StatusRes { stat: AfsStat::Ok, status: Some(status) }
+            }
+            Err(_) => StatusRes { stat: AfsStat::NoEnt, status: None },
+        }
+    }
+
+    fn fetch_data(&self, fid: u64, client: u32) -> DataRes {
+        let id = gvfs_vfs::FileId::from_u64(fid);
+        match self.vfs.getattr(id).and_then(|a| self.vfs.read(id, 0, a.size as u32).map(|d| d.0)) {
+            Ok(data) => {
+                self.promise(fid, client);
+                DataRes { stat: AfsStat::Ok, status: self.status_of(fid).ok(), data }
+            }
+            Err(_) => DataRes { stat: AfsStat::NoEnt, status: None, data: Vec::new() },
+        }
+    }
+
+    fn store(&self, args: StoreArgs, client: u32) -> StatusRes {
+        let (dir, leaf) = match self.parent_fid(&args.path) {
+            Ok(v) => v,
+            Err(_) => return StatusRes { stat: AfsStat::Fault, status: None },
+        };
+        let id = match self.vfs.lookup(dir, &leaf) {
+            Ok(id) => id,
+            Err(VfsError::NotFound) => match self.vfs.create(dir, &leaf, 0o644, now()) {
+                Ok(id) => {
+                    self.break_promises(dir.as_u64(), client);
+                    id
+                }
+                Err(_) => return StatusRes { stat: AfsStat::Fault, status: None },
+            },
+            Err(_) => return StatusRes { stat: AfsStat::Fault, status: None },
+        };
+        if self
+            .vfs
+            .setattr(id, gvfs_vfs::SetAttr { size: Some(0), ..Default::default() }, now())
+            .and_then(|_| self.vfs.write(id, 0, &args.data, now()))
+            .is_err()
+        {
+            return StatusRes { stat: AfsStat::Fault, status: None };
+        }
+        let fid = id.as_u64();
+        *self.versions.lock().entry(fid).or_insert(1) += 1;
+        self.break_promises(fid, client);
+        self.promise(fid, client);
+        StatusRes { stat: AfsStat::Ok, status: self.status_of(fid).ok() }
+    }
+
+    fn link(&self, args: TwoPathArgs, client: u32) -> StatusRes {
+        let from = match self.vfs.lookup_path(&args.from) {
+            Ok(id) => id,
+            Err(_) => return StatusRes { stat: AfsStat::NoEnt, status: None },
+        };
+        let (dir, leaf) = match self.parent_fid(&args.to) {
+            Ok(v) => v,
+            Err(_) => return StatusRes { stat: AfsStat::Fault, status: None },
+        };
+        match self.vfs.link(from, dir, &leaf, now()) {
+            Ok(()) => {
+                self.break_promises(dir.as_u64(), client);
+                StatusRes { stat: AfsStat::Ok, status: self.status_of(from.as_u64()).ok() }
+            }
+            Err(VfsError::Exists) => StatusRes { stat: AfsStat::Exist, status: None },
+            Err(_) => StatusRes { stat: AfsStat::Fault, status: None },
+        }
+    }
+
+    fn remove(&self, args: PathArgs, client: u32) -> StatusRes {
+        let (dir, leaf) = match self.parent_fid(&args.path) {
+            Ok(v) => v,
+            Err(_) => return StatusRes { stat: AfsStat::Fault, status: None },
+        };
+        let fid = self.vfs.lookup(dir, &leaf).map(|id| id.as_u64());
+        match self.vfs.remove(dir, &leaf, now()) {
+            Ok(()) => {
+                self.break_promises(dir.as_u64(), client);
+                if let Ok(fid) = fid {
+                    self.break_promises(fid, client);
+                }
+                StatusRes { stat: AfsStat::Ok, status: None }
+            }
+            Err(VfsError::NotFound) => StatusRes { stat: AfsStat::NoEnt, status: None },
+            Err(_) => StatusRes { stat: AfsStat::Fault, status: None },
+        }
+    }
+}
+
+fn args<T: Xdr>(bytes: &[u8]) -> Result<T, RpcError> {
+    gvfs_xdr::from_bytes(bytes).map_err(|_| RpcError::GarbageArgs)
+}
+
+fn reply<T: Xdr>(v: &T) -> Result<Vec<u8>, RpcError> {
+    Ok(gvfs_xdr::to_bytes(v)?)
+}
+
+impl RpcService for AfsServer {
+    fn program(&self) -> u32 {
+        AFS_PROGRAM
+    }
+    fn version(&self) -> u32 {
+        AFS_VERSION
+    }
+    fn call(&self, _procedure: u32, _args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        Err(RpcError::AuthError)
+    }
+    fn call_with_cred(
+        &self,
+        procedure: u32,
+        payload: &[u8],
+        credential: &OpaqueAuth,
+    ) -> Result<Vec<u8>, RpcError> {
+        let client = credential.as_gvfs()?.client_id;
+        match procedure {
+            procs::LOOKUP => reply(&self.lookup(args(payload)?, client)),
+            procs::FETCH_STATUS => reply(&self.fetch_status(args::<u64>(payload)?, client)),
+            procs::FETCH_DATA => reply(&self.fetch_data(args::<u64>(payload)?, client)),
+            procs::STORE => reply(&self.store(args(payload)?, client)),
+            procs::LINK => reply(&self.link(args(payload)?, client)),
+            procs::REMOVE => reply(&self.remove(args(payload)?, client)),
+            p => Err(RpcError::ProcedureUnavailable { program: AFS_PROGRAM, procedure: p }),
+        }
+    }
+}

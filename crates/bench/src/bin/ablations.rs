@@ -1,0 +1,332 @@
+//! Ablations over the design choices DESIGN.md calls out (§8):
+//!
+//! 1. invalidation-buffer capacity vs force-invalidation rate,
+//! 2. polling period (fixed vs exponential back-off) vs staleness and
+//!    poll traffic,
+//! 3. delegation expiration vs callback volume and tracked state,
+//! 4. partial write-back threshold vs contending-reader latency.
+//!
+//! Run: `cargo run --release -p gvfs-bench --bin ablations`
+
+use gvfs_bench::{getinv_calls, nfs_calls, print_table, save_json};
+use gvfs_client::{MountOptions, NfsClient};
+use gvfs_core::session::{Session, SessionConfig};
+use gvfs_core::{ConsistencyModel, DelegationConfig};
+use gvfs_netsim::link::LinkConfig;
+use gvfs_netsim::Sim;
+use gvfs_nfs3::proc3;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Ablation 1: a writer churns through many distinct files while a
+/// reader polls with a given invalidation-buffer capacity. Small
+/// buffers wrap around and degrade into force-invalidations, which
+/// blow away the reader's whole attribute cache.
+fn buffer_capacity_sweep() -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for capacity in [16usize, 64, 256, 1024] {
+        let sim = Sim::new();
+        let session = Session::builder(SessionConfig {
+            model: ConsistencyModel::InvalidationPolling {
+                period: Duration::from_secs(30),
+                backoff_max: None,
+            },
+            invalidation_buffer: capacity,
+            ..SessionConfig::default()
+        })
+        .clients(2)
+        .wan(LinkConfig::wan())
+        .establish(&sim);
+        let (wt, rt) = (session.client_transport(0), session.client_transport(1));
+        let root = session.root_fh();
+        let stats = session.wan_stats().clone();
+        let handle = session.handle();
+        sim.spawn("writer", move || {
+            let c = NfsClient::new(wt, root, MountOptions::noac());
+            // 600 distinct files modified over 5 minutes.
+            for n in 0..600 {
+                c.write_file(&format!("/churn-{n:04}"), b"x").unwrap();
+                gvfs_netsim::sleep(Duration::from_millis(500));
+            }
+        });
+        sim.spawn("reader", move || {
+            let c = NfsClient::new(rt, root, MountOptions::noac());
+            // A working set the reader keeps cached.
+            gvfs_netsim::sleep(Duration::from_secs(1));
+            for n in 0..50 {
+                c.write_file(&format!("/hot-{n:02}"), b"h").unwrap();
+            }
+            // Touch the working set regularly; refetches after a
+            // force-invalidation show up as WAN GETATTR/LOOKUPs.
+            for _ in 0..60 {
+                for n in 0..50 {
+                    let _ = c.stat(&format!("/hot-{n:02}"));
+                }
+                gvfs_netsim::sleep(Duration::from_secs(6));
+            }
+            handle.shutdown();
+        });
+        sim.run();
+        let snap = stats.snapshot();
+        let refetches = nfs_calls(&snap, proc3::GETATTR) + nfs_calls(&snap, proc3::LOOKUP);
+        rows.push(vec![
+            capacity.to_string(),
+            getinv_calls(&snap).to_string(),
+            refetches.to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "capacity": capacity,
+            "getinv": getinv_calls(&snap),
+            "refetch_rpcs": refetches,
+        }));
+    }
+    print_table(
+        "Ablation 1: invalidation-buffer capacity (writer churns 600 files; reader keeps 50 hot)",
+        &["capacity", "GETINV", "refetch RPCs"],
+        &rows,
+    );
+    json
+}
+
+/// Ablation 2: polling period and back-off vs staleness and traffic.
+fn polling_period_sweep() -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (period_s, backoff) in [(5u64, None), (15, None), (30, None), (60, None), (15, Some(120u64))] {
+        let sim = Sim::new();
+        let session = Session::builder(SessionConfig {
+            model: ConsistencyModel::InvalidationPolling {
+                period: Duration::from_secs(period_s),
+                backoff_max: backoff.map(Duration::from_secs),
+            },
+            ..SessionConfig::default()
+        })
+        .clients(2)
+        .wan(LinkConfig::wan())
+        .establish(&sim);
+        let (wt, rt) = (session.client_transport(0), session.client_transport(1));
+        let root = session.root_fh();
+        let stats = session.wan_stats().clone();
+        let handle = session.handle();
+        let staleness = Arc::new(Mutex::new(Vec::new()));
+        sim.spawn("writer", move || {
+            let c = NfsClient::new(wt, root, MountOptions::noac());
+            c.write_file("/doc", b"v0").unwrap();
+            // A write every 100 s; long quiet tail exercises back-off.
+            for v in 1..=5u8 {
+                gvfs_netsim::sleep(Duration::from_secs(100));
+                let fh = c.resolve("/doc").unwrap();
+                c.write(fh, 0, &[b'v', b'0' + v]).unwrap();
+            }
+            gvfs_netsim::sleep(Duration::from_secs(400)); // idle tail
+        });
+        let st = Arc::clone(&staleness);
+        sim.spawn("reader", move || {
+            let c = NfsClient::new(rt, root, MountOptions::noac());
+            gvfs_netsim::sleep(Duration::from_secs(5));
+            let mut last = Vec::new();
+            let mut last_change = 0f64;
+            loop {
+                let now = gvfs_netsim::now().as_secs_f64();
+                if now > 920.0 {
+                    break;
+                }
+                if let Ok(data) = c.read_file("/doc") {
+                    if data != last {
+                        // Versions change at multiples of 100 s.
+                        let written = (now / 100.0).floor() * 100.0;
+                        if !last.is_empty() {
+                            st.lock().push(now - written);
+                        }
+                        last = data;
+                        last_change = now;
+                    }
+                }
+                let _ = last_change;
+                gvfs_netsim::sleep(Duration::from_secs(2));
+            }
+            handle.shutdown();
+        });
+        sim.run();
+        let snap = stats.snapshot();
+        let st = staleness.lock();
+        let mean_staleness = if st.is_empty() { 0.0 } else { st.iter().sum::<f64>() / st.len() as f64 };
+        let label = match backoff {
+            Some(max) => format!("{period_s}s..{max}s backoff"),
+            None => format!("{period_s}s fixed"),
+        };
+        rows.push(vec![
+            label.clone(),
+            format!("{:.1}", mean_staleness),
+            getinv_calls(&snap).to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "period_s": period_s,
+            "backoff_max_s": backoff,
+            "mean_staleness_s": mean_staleness,
+            "getinv": getinv_calls(&snap),
+        }));
+    }
+    print_table(
+        "Ablation 2: polling period vs staleness and GETINV traffic (900 s run, 5 updates)",
+        &["policy", "mean staleness (s)", "GETINV"],
+        &rows,
+    );
+    json
+}
+
+/// Ablation 3: delegation expiration vs callback volume (the §4.3.3
+/// trade-off): short expirations churn delegations; long ones leave the
+/// server tracking more state.
+fn expiration_sweep() -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for expiration_s in [30u64, 120, 600, 3600] {
+        let config = DelegationConfig {
+            expiration: Duration::from_secs(expiration_s),
+            renewal: Duration::from_secs((expiration_s * 8 / 10).max(1)),
+            ..DelegationConfig::default()
+        };
+        let sim = Sim::new();
+        let session = Session::builder(SessionConfig {
+            model: ConsistencyModel::DelegationCallback(config),
+            sweep_interval: Some(Duration::from_secs(15)),
+            ..SessionConfig::default()
+        })
+        .clients(2)
+        .wan(LinkConfig::wan())
+        .establish(&sim);
+        let (t0, t1) = (session.client_transport(0), session.client_transport(1));
+        let root = session.root_fh();
+        let stats = session.wan_stats().clone();
+        let handle = session.handle();
+        let session = Arc::new(session);
+        let tracked = Arc::new(Mutex::new(0usize));
+        let s2 = Arc::clone(&session);
+        let tr = Arc::clone(&tracked);
+        sim.spawn("working-set", move || {
+            let c = NfsClient::new(t0, root, MountOptions::noac());
+            for n in 0..100 {
+                c.write_file(&format!("/ws-{n:03}"), b"w").unwrap();
+            }
+            // Re-read the working set every 20 s for 10 minutes.
+            for _ in 0..30 {
+                for n in 0..100 {
+                    let _ = c.stat(&format!("/ws-{n:03}"));
+                }
+                gvfs_netsim::sleep(Duration::from_secs(20));
+            }
+            *tr.lock() = s2.proxy_server().tracked_files();
+        });
+        sim.spawn("occasional", move || {
+            let c = NfsClient::new(t1, root, MountOptions::noac());
+            gvfs_netsim::sleep(Duration::from_secs(300));
+            for n in 0..20 {
+                if let Ok(fh) = c.resolve(&format!("/ws-{n:03}")) {
+                    let _ = c.write(fh, 0, b"x");
+                }
+            }
+            gvfs_netsim::sleep(Duration::from_secs(330));
+            handle.shutdown();
+        });
+        sim.run();
+        let snap = stats.snapshot();
+        let callbacks = gvfs_bench::callback_calls(&snap);
+        rows.push(vec![
+            format!("{expiration_s}s"),
+            callbacks.to_string(),
+            nfs_calls(&snap, proc3::GETATTR).to_string(),
+            tracked.lock().to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "expiration_s": expiration_s,
+            "callbacks": callbacks,
+            "getattr": nfs_calls(&snap, proc3::GETATTR),
+            "tracked_files_at_end": *tracked.lock(),
+        }));
+    }
+    print_table(
+        "Ablation 3: delegation expiration (100-file working set + 20-file writer burst)",
+        &["expiration", "CALLBACK", "GETATTR", "tracked files"],
+        &rows,
+    );
+    json
+}
+
+/// Ablation 4: partial write-back threshold vs the latency a contending
+/// reader observes when recalling a large dirty file.
+fn writeback_threshold_sweep() -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for threshold in [1usize, 4, 16, 1 << 20] {
+        let config = DelegationConfig {
+            partial_writeback_threshold: threshold,
+            ..DelegationConfig::default()
+        };
+        let sim = Sim::new();
+        let session = Session::builder(SessionConfig {
+            model: ConsistencyModel::DelegationCallback(config),
+            write_back: true,
+            ..SessionConfig::default()
+        })
+        .clients(2)
+        .wan(LinkConfig::wan())
+        .establish(&sim);
+        let (t0, t1) = (session.client_transport(0), session.client_transport(1));
+        let root = session.root_fh();
+        let handle = session.handle();
+        let latency = Arc::new(Mutex::new(0.0f64));
+        sim.spawn("producer", move || {
+            let c = NfsClient::new(t0, root, MountOptions::noac());
+            let fh = c.write_file("/big", b"seed").unwrap();
+            // 32 dirty blocks (1 MiB) under a write delegation.
+            c.write(fh, 0, &vec![7u8; 32 * 32 * 1024]).unwrap();
+            gvfs_netsim::sleep(Duration::from_secs(3600));
+        });
+        let lat = Arc::clone(&latency);
+        sim.spawn("reader", move || {
+            let c = NfsClient::new(t1, root, MountOptions::noac());
+            gvfs_netsim::sleep(Duration::from_secs(10));
+            let t0 = gvfs_netsim::now();
+            let fh = c.open("/big").unwrap();
+            let _ = c.read(fh, 31 * 32 * 1024, 32 * 1024).unwrap();
+            *lat.lock() = gvfs_netsim::now().saturating_since(t0).as_secs_f64();
+            gvfs_netsim::sleep(Duration::from_secs(120)); // let the flusher drain
+            handle.shutdown();
+        });
+        sim.run();
+        let observed = *latency.lock();
+        let label =
+            if threshold >= 1 << 20 { "inline (∞)".to_string() } else { threshold.to_string() };
+        rows.push(vec![label, format!("{:.3}", observed)]);
+        json.push(serde_json::json!({
+            "threshold_blocks": threshold,
+            "reader_latency_s": observed,
+        }));
+    }
+    print_table(
+        "Ablation 4: partial write-back threshold (1 MiB dirty; reader wants one block)",
+        &["threshold (blocks)", "reader latency (s)"],
+        &rows,
+    );
+    json
+}
+
+fn main() {
+    let a1 = buffer_capacity_sweep();
+    let a2 = polling_period_sweep();
+    let a3 = expiration_sweep();
+    let a4 = writeback_threshold_sweep();
+    save_json(
+        "ablations.json",
+        &serde_json::json!({
+            "experiment": "ablations",
+            "buffer_capacity": a1,
+            "polling_period": a2,
+            "delegation_expiration": a3,
+            "writeback_threshold": a4,
+        }),
+    );
+}

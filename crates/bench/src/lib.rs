@@ -1,0 +1,157 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Each `fig*` binary builds the paper's setups, runs the workload in a
+//! virtual-time simulation, prints the figure's rows to stdout, and
+//! writes a machine-readable JSON series to `results/`.
+
+use gvfs_core::protocol::{proc_ext, GVFS_CALLBACK_PROGRAM, GVFS_PROXY_PROGRAM};
+use gvfs_nfs3::{proc3, NFS_PROGRAM};
+use gvfs_rpc::stats::StatsSnapshot;
+use std::path::Path;
+
+/// Whether the binary was invoked with `--small` (reduced workloads for
+/// smoke-testing the harness).
+pub fn small_mode() -> bool {
+    std::env::args().any(|a| a == "--small")
+}
+
+/// Sums one NFS procedure's calls across the native NFS program and the
+/// GVFS proxy program (the proxy wraps NFS procedures under its own
+/// program number).
+pub fn nfs_calls(snap: &StatsSnapshot, procedure: u32) -> u64 {
+    snap.calls(NFS_PROGRAM, procedure) + snap.calls(GVFS_PROXY_PROGRAM, procedure)
+}
+
+/// `GETINV` calls in a snapshot.
+pub fn getinv_calls(snap: &StatsSnapshot) -> u64 {
+    snap.calls(GVFS_PROXY_PROGRAM, proc_ext::GETINV)
+}
+
+/// Callback RPCs (per-file recalls + recovery callbacks) in a snapshot.
+pub fn callback_calls(snap: &StatsSnapshot) -> u64 {
+    snap.calls(GVFS_CALLBACK_PROGRAM, proc_ext::CALLBACK)
+        + snap.calls(GVFS_CALLBACK_PROGRAM, proc_ext::RECOVER)
+}
+
+/// The RPC-count breakdown the paper plots in Figures 4a and 6a.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RpcBreakdown {
+    /// `GETATTR` calls.
+    pub getattr: u64,
+    /// `LOOKUP` calls.
+    pub lookup: u64,
+    /// `READ` calls.
+    pub read: u64,
+    /// `WRITE` calls.
+    pub write: u64,
+    /// `GETINV` polls.
+    pub getinv: u64,
+    /// Callback RPCs.
+    pub callback: u64,
+    /// Everything else (CREATE, REMOVE, LINK, ...).
+    pub other: u64,
+}
+
+impl RpcBreakdown {
+    /// Extracts the breakdown from a snapshot.
+    pub fn from_snapshot(snap: &StatsSnapshot) -> Self {
+        let getattr = nfs_calls(snap, proc3::GETATTR);
+        let lookup = nfs_calls(snap, proc3::LOOKUP);
+        let read = nfs_calls(snap, proc3::READ);
+        let write = nfs_calls(snap, proc3::WRITE);
+        let getinv = getinv_calls(snap);
+        let callback = callback_calls(snap);
+        let total = snap.total_calls();
+        RpcBreakdown {
+            getattr,
+            lookup,
+            read,
+            write,
+            getinv,
+            callback,
+            other: total - getattr - lookup - read - write - getinv - callback,
+        }
+    }
+
+    /// Total calls.
+    pub fn total(&self) -> u64 {
+        self.getattr + self.lookup + self.read + self.write + self.getinv + self.callback + self.other
+    }
+
+    /// Consistency-related calls (the paper's comparison unit in §5.1.2:
+    /// GETATTR + GETINV + CALLBACK).
+    pub fn consistency_calls(&self) -> u64 {
+        self.getattr + self.getinv + self.callback
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "GETATTR": self.getattr,
+            "LOOKUP": self.lookup,
+            "READ": self.read,
+            "WRITE": self.write,
+            "GETINV": self.getinv,
+            "CALLBACK": self.callback,
+            "other": self.other,
+            "total": self.total(),
+        })
+    }
+}
+
+/// Prints a fixed-width header followed by rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: Vec<String> =
+        header.iter().enumerate().map(|(i, h)| format!("{h:>w$}", w = widths[i])).collect();
+    println!("{}", line.join("  "));
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().enumerate().map(|(i, c)| format!("{c:>w$}", w = widths[i])).collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Writes a JSON document under `results/`.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created or the file not written.
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize")).expect("write json");
+    println!("\n[saved {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvfs_rpc::stats::RpcStats;
+
+    #[test]
+    fn breakdown_accounts_every_call() {
+        let stats = RpcStats::new();
+        stats.record(NFS_PROGRAM, proc3::GETATTR, 1, 1);
+        stats.record(GVFS_PROXY_PROGRAM, proc3::GETATTR, 1, 1);
+        stats.record(GVFS_PROXY_PROGRAM, proc_ext::GETINV, 1, 1);
+        stats.record(GVFS_CALLBACK_PROGRAM, proc_ext::CALLBACK, 1, 1);
+        stats.record(NFS_PROGRAM, proc3::CREATE, 1, 1);
+        let b = RpcBreakdown::from_snapshot(&stats.snapshot());
+        assert_eq!(b.getattr, 2);
+        assert_eq!(b.getinv, 1);
+        assert_eq!(b.callback, 1);
+        assert_eq!(b.other, 1);
+        assert_eq!(b.total(), 5);
+        assert_eq!(b.consistency_calls(), 4);
+    }
+}

@@ -1,0 +1,43 @@
+//! Kernel NFSv3 client emulation.
+//!
+//! The paper's measurements hinge on how the *kernel* NFS client behaves:
+//! its attribute cache issues timeout-driven `GETATTR` revalidations
+//! (tens of thousands during a `make`), its lookup cache (dnlc) converts
+//! repeated path walks into `GETATTR`s on directories, and its page cache
+//! serves repeated reads but is validated against file mtimes. This crate
+//! reproduces that behaviour over the simulated transport:
+//!
+//! * **Attribute cache** with Linux-style adaptive timeouts
+//!   (`acregmin`/`acregmax`, `acdirmin`/`acdirmax`): the timeout doubles
+//!   each time revalidation finds the file unchanged and resets to the
+//!   minimum when it changed. `noac` disables caching entirely (the
+//!   paper's NFS-noac setup).
+//! * **Lookup cache** mapping `(dir, name) → fh`, validated through the
+//!   directory's attribute cache; a directory mtime change drops its
+//!   entries.
+//! * **Page cache** in transfer-size blocks with LRU eviction, validated
+//!   by mtime: a changed mtime purges the file's pages
+//!   (close-to-open consistency on [`NfsClient::open`]).
+//! * **Retry** with exponential backoff on timeouts and partitions, like
+//!   a hard NFS mount.
+//!
+//! # Examples
+//!
+//! See `tests/` in this crate and the workspace integration tests; an
+//! `NfsClient` needs a simulation actor to run in:
+//!
+//! ```no_run
+//! use gvfs_client::{MountOptions, NfsClient};
+//! # fn transport() -> gvfs_netsim::transport::SimRpcClient { unimplemented!() }
+//! # fn root() -> gvfs_nfs3::Fh3 { unimplemented!() }
+//! let client = NfsClient::new(transport(), root(), MountOptions::default());
+//! let data = client.read_file("/etc/motd").unwrap();
+//! ```
+
+mod cache;
+mod client;
+mod options;
+
+pub use cache::{AttrCache, LookupCache, PageCache};
+pub use client::{mount, ClientError, DirEntryInfo, NfsClient};
+pub use options::MountOptions;

@@ -1,0 +1,296 @@
+//! The proxy server's invalidation buffers (§4.2).
+//!
+//! The server keeps one bounded, logically-timestamped circular queue
+//! per client. File modifications append invalidation entries to every
+//! *other* client's buffer (the writer observed its own change), with
+//! repeated invalidations of the same file coalesced. Clients drain
+//! their buffer with `GETINV`; the server detects first contact, client
+//! restart and wrap-around and answers with a `force-invalidate` flag in
+//! those cases.
+
+use crate::protocol::{GetinvRes, MAX_INVALIDATIONS_PER_REPLY};
+use gvfs_nfs3::Fh3;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+#[derive(Debug)]
+struct ClientBuffer {
+    entries: VecDeque<(u64, Fh3)>,
+    members: HashSet<Fh3>,
+    /// Timestamps at or below this value may have been discarded
+    /// (buffer creation point or wrap-around).
+    floor: u64,
+}
+
+/// Manages per-client invalidation buffers and the server's logical
+/// clock.
+///
+/// # Examples
+///
+/// ```
+/// use gvfs_core::invalidation::InvalidationTracker;
+/// use gvfs_nfs3::Fh3;
+///
+/// let mut tracker = InvalidationTracker::new(128);
+/// let boot = tracker.getinv(1, None); // bootstrap
+/// assert!(boot.force_invalidate);
+/// tracker.record_modification(Fh3::from_fileid(9), 2); // client 2 wrote
+/// let res = tracker.getinv(1, Some(boot.timestamp));
+/// assert_eq!(res.handles, vec![Fh3::from_fileid(9)]);
+/// ```
+#[derive(Debug)]
+pub struct InvalidationTracker {
+    buffers: HashMap<u32, ClientBuffer>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl InvalidationTracker {
+    /// Creates a tracker whose per-client buffers hold at most
+    /// `capacity` entries before wrapping.
+    pub fn new(capacity: usize) -> Self {
+        InvalidationTracker { buffers: HashMap::new(), capacity: capacity.max(1), clock: 0 }
+    }
+
+    /// The current logical timestamp.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Records a file modification observed from `writer`: every other
+    /// registered client gets an invalidation entry (coalesced per
+    /// file).
+    pub fn record_modification(&mut self, fh: Fh3, writer: u32) {
+        self.clock += 1;
+        let ts = self.clock;
+        for (&client, buf) in &mut self.buffers {
+            if client == writer {
+                continue;
+            }
+            if buf.members.contains(&fh) {
+                continue; // coalesced with a pending entry
+            }
+            buf.entries.push_back((ts, fh));
+            buf.members.insert(fh);
+            if buf.entries.len() > self.capacity {
+                // Wrap-around: discard the oldest and remember how far
+                // back the buffer is still complete.
+                if let Some((lost_ts, lost_fh)) = buf.entries.pop_front() {
+                    buf.members.remove(&lost_fh);
+                    buf.floor = buf.floor.max(lost_ts);
+                }
+            }
+        }
+    }
+
+    /// Processes one `GETINV` call (§4.2.1, server side).
+    pub fn getinv(&mut self, client: u32, last_timestamp: Option<u64>) -> GetinvRes {
+        let clock = self.clock;
+        let capacity = self.capacity;
+        // Rule 1 (§4.2.1): the first GETINV from a client — including
+        // the first after a server restart lost all buffers — always
+        // bootstraps with a force-invalidation.
+        let first_contact = !self.buffers.contains_key(&client);
+        let buf = self.buffers.entry(client).or_insert_with(|| ClientBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            members: HashSet::new(),
+            floor: clock,
+        });
+        let force = first_contact
+            || match last_timestamp {
+                // Client lost its timestamp: bootstrap.
+                None => true,
+                // Rule 2: the buffer has wrapped past what the client
+                // has seen.
+                Some(ts) if ts < buf.floor => true,
+                Some(_) => false,
+            };
+        if force {
+            buf.entries.clear();
+            buf.members.clear();
+            buf.floor = self.clock;
+            return GetinvRes {
+                timestamp: self.clock,
+                force_invalidate: true,
+                poll_again: false,
+                handles: Vec::new(),
+            };
+        }
+        if buf.entries.len() > MAX_INVALIDATIONS_PER_REPLY {
+            // Partial drain: return the oldest slice and have the client
+            // poll again immediately.
+            let mut handles = Vec::with_capacity(MAX_INVALIDATIONS_PER_REPLY);
+            let mut last_ts = self.clock;
+            for _ in 0..MAX_INVALIDATIONS_PER_REPLY {
+                let (ts, fh) = buf.entries.pop_front().expect("len checked");
+                buf.members.remove(&fh);
+                last_ts = ts;
+                handles.push(fh);
+            }
+            buf.floor = last_ts;
+            GetinvRes { timestamp: last_ts, force_invalidate: false, poll_again: true, handles }
+        } else {
+            let handles: Vec<Fh3> = buf.entries.drain(..).map(|(_, fh)| fh).collect();
+            buf.members.clear();
+            buf.floor = self.clock;
+            GetinvRes {
+                timestamp: self.clock,
+                force_invalidate: false,
+                poll_again: false,
+                handles,
+            }
+        }
+    }
+
+    /// Number of registered client buffers.
+    pub fn client_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Entries pending for one client (diagnostics).
+    pub fn pending(&self, client: u32) -> usize {
+        self.buffers.get(&client).map_or(0, |b| b.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fh(n: u64) -> Fh3 {
+        Fh3::from_fileid(n)
+    }
+
+    #[test]
+    fn bootstrap_forces_invalidation() {
+        let mut t = InvalidationTracker::new(8);
+        let res = t.getinv(1, None);
+        assert!(res.force_invalidate);
+        assert!(res.handles.is_empty());
+        // Second poll with the returned timestamp is clean.
+        let res2 = t.getinv(1, Some(res.timestamp));
+        assert!(!res2.force_invalidate);
+        assert!(res2.handles.is_empty());
+    }
+
+    #[test]
+    fn modifications_flow_to_other_clients_only() {
+        let mut t = InvalidationTracker::new(8);
+        let a = t.getinv(1, None);
+        let b = t.getinv(2, None);
+        t.record_modification(fh(7), 1);
+        let to_writer = t.getinv(1, Some(a.timestamp));
+        assert!(to_writer.handles.is_empty(), "writer does not self-invalidate");
+        let to_other = t.getinv(2, Some(b.timestamp));
+        assert_eq!(to_other.handles, vec![fh(7)]);
+    }
+
+    #[test]
+    fn repeated_modifications_coalesce() {
+        let mut t = InvalidationTracker::new(8);
+        let boot = t.getinv(1, None);
+        for _ in 0..5 {
+            t.record_modification(fh(7), 2);
+        }
+        t.record_modification(fh(8), 2);
+        let res = t.getinv(1, Some(boot.timestamp));
+        assert_eq!(res.handles, vec![fh(7), fh(8)]);
+    }
+
+    #[test]
+    fn buffer_is_cleared_after_drain() {
+        let mut t = InvalidationTracker::new(8);
+        let boot = t.getinv(1, None);
+        t.record_modification(fh(1), 2);
+        let first = t.getinv(1, Some(boot.timestamp));
+        assert_eq!(first.handles.len(), 1);
+        let second = t.getinv(1, Some(first.timestamp));
+        assert!(second.handles.is_empty());
+    }
+
+    #[test]
+    fn wrap_around_forces_full_invalidation() {
+        let mut t = InvalidationTracker::new(4);
+        let boot = t.getinv(1, None);
+        for i in 0..10 {
+            t.record_modification(fh(100 + i), 2); // distinct files
+        }
+        // Entries were dropped; the client's timestamp predates the floor.
+        let res = t.getinv(1, Some(boot.timestamp));
+        assert!(res.force_invalidate);
+        assert!(res.handles.is_empty());
+        // After the force, polling resumes normally.
+        t.record_modification(fh(55), 2);
+        let next = t.getinv(1, Some(res.timestamp));
+        assert!(!next.force_invalidate);
+        assert_eq!(next.handles, vec![fh(55)]);
+    }
+
+    #[test]
+    fn overflow_with_fresh_timestamp_still_delivers_remainder() {
+        let mut t = InvalidationTracker::new(4);
+        let boot = t.getinv(1, None);
+        t.record_modification(fh(1), 2);
+        let mid = t.getinv(1, Some(boot.timestamp));
+        assert_eq!(mid.handles.len(), 1);
+        // Fewer than capacity new entries: no wrap, normal delivery.
+        for i in 0..3 {
+            t.record_modification(fh(10 + i), 2);
+        }
+        let res = t.getinv(1, Some(mid.timestamp));
+        assert!(!res.force_invalidate);
+        assert_eq!(res.handles.len(), 3);
+    }
+
+    #[test]
+    fn poll_again_paginates_large_backlogs() {
+        let mut t = InvalidationTracker::new(10_000);
+        let boot = t.getinv(1, None);
+        let total = MAX_INVALIDATIONS_PER_REPLY + 50;
+        for i in 0..total {
+            t.record_modification(fh(1000 + i as u64), 2);
+        }
+        let first = t.getinv(1, Some(boot.timestamp));
+        assert!(first.poll_again);
+        assert_eq!(first.handles.len(), MAX_INVALIDATIONS_PER_REPLY);
+        let second = t.getinv(1, Some(first.timestamp));
+        assert!(!second.poll_again);
+        assert_eq!(second.handles.len(), 50);
+        assert!(!second.force_invalidate);
+    }
+
+    #[test]
+    fn server_restart_bootstrap() {
+        let mut t = InvalidationTracker::new(8);
+        let boot = t.getinv(1, None);
+        t.record_modification(fh(1), 2);
+        // Server "restarts": new tracker, no buffers.
+        let mut t2 = InvalidationTracker::new(8);
+        let res = t2.getinv(1, Some(boot.timestamp));
+        assert!(res.force_invalidate, "unknown client after restart is re-bootstrapped");
+    }
+
+    #[test]
+    fn client_crash_null_timestamp_rebootstraps() {
+        let mut t = InvalidationTracker::new(8);
+        let boot = t.getinv(1, None);
+        t.record_modification(fh(1), 2);
+        assert_eq!(t.pending(1), 1);
+        // Client crashed, lost its timestamp, polls with null.
+        let res = t.getinv(1, None);
+        assert!(res.force_invalidate);
+        assert_eq!(t.pending(1), 0, "buffer reset on bootstrap");
+        let _ = boot;
+    }
+
+    #[test]
+    fn timestamps_increase_monotonically() {
+        let mut t = InvalidationTracker::new(8);
+        t.getinv(1, None);
+        let mut last = 0;
+        for i in 0..20 {
+            t.record_modification(fh(i), 2);
+            assert!(t.now() > last);
+            last = t.now();
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! GVFS — the Grid Virtual File System.
+//!
+//! This crate is the paper's primary contribution: user-level NFS *proxy*
+//! clients and servers that interpose between unmodified kernel NFS
+//! clients and servers and add per-session, application-tailored disk
+//! caching and cache consistency:
+//!
+//! * [`protocol`] — the GVFS wire extensions: the proxy RPC program that
+//!   wraps NFSv3 procedures with piggybacked delegation grants, the
+//!   `GETINV` invalidation-polling call (§4.2), and the server→client
+//!   `CALLBACK`/`RECOVER` program (§4.3).
+//! * [`cache::DiskCache`] — the proxy client's disk cache for attributes
+//!   and data blocks, with dirty-block tracking for write-back.
+//! * [`invalidation`] — the proxy server's per-client, logically
+//!   timestamped invalidation buffers (bounded circular queues with
+//!   coalescing, wrap-around detection and force-invalidation).
+//! * [`delegation`] — the proxy server's per-file read/write delegation
+//!   state machine with speculated open/close, expiration and LRU
+//!   eviction.
+//! * [`proxy`] — the proxy client and proxy server services themselves.
+//! * [`session`] — the middleware: establishes a GVFS session (Figure 1)
+//!   over shared physical resources, wiring kernel clients → proxy
+//!   clients → WAN → proxy server → kernel NFS server, with the
+//!   consistency model chosen per session.
+//!
+//! # Consistency models
+//!
+//! [`ConsistencyModel`] selects among:
+//!
+//! * **Passthrough** — forward everything; measures interception
+//!   overhead only.
+//! * **Invalidation polling** — relaxed consistency: proxy clients serve
+//!   cached attributes/data without per-file revalidation and poll the
+//!   proxy server for invalidation buffers within a configurable window
+//!   (fixed or exponential back-off).
+//! * **Delegation + callback** — strong consistency: per-file read/write
+//!   delegations recalled by server→client callbacks, with delayed
+//!   writes and partial write-back.
+//!
+//! # Examples
+//!
+//! Establishing a session and running one client (see `examples/` for
+//! complete programs):
+//!
+//! ```
+//! use gvfs_core::session::{Session, SessionConfig};
+//! use gvfs_core::ConsistencyModel;
+//! use gvfs_client::{MountOptions, NfsClient};
+//! use gvfs_netsim::link::LinkConfig;
+//! use gvfs_netsim::Sim;
+//! use std::time::Duration;
+//!
+//! let sim = Sim::new();
+//! let config = SessionConfig {
+//!     model: ConsistencyModel::InvalidationPolling {
+//!         period: Duration::from_secs(30),
+//!         backoff_max: None,
+//!     },
+//!     ..SessionConfig::default()
+//! };
+//! let session = Session::builder(config)
+//!     .clients(1)
+//!     .wan(LinkConfig::wan())
+//!     .establish(&sim);
+//! let transport = session.client_transport(0);
+//! let root = session.root_fh();
+//! let handle = session.handle();
+//! sim.spawn("app", move || {
+//!     let client = NfsClient::new(transport, root, MountOptions::default());
+//!     client.write_file("/data", b"hello grid").unwrap();
+//!     assert_eq!(client.read_file("/data").unwrap(), b"hello grid");
+//!     handle.shutdown();
+//! });
+//! sim.run();
+//! ```
+
+pub mod cache;
+pub mod delegation;
+pub mod invalidation;
+pub mod protocol;
+pub mod proxy;
+pub mod session;
+
+mod model;
+
+pub use model::{ConsistencyModel, DelegationConfig};

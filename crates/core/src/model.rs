@@ -1,0 +1,97 @@
+//! Consistency model selection.
+
+use std::time::Duration;
+
+/// The cache-consistency model a GVFS session applies (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyModel {
+    /// Forward every RPC unmodified; no proxy caching. Used to measure
+    /// the interception overhead and as the baseline proxy mode.
+    Passthrough,
+    /// Relaxed consistency via invalidation polling (§4.2): proxy
+    /// clients serve cached state and poll the proxy server's
+    /// invalidation buffers.
+    InvalidationPolling {
+        /// The polling window (the paper's typical value is 30 s).
+        period: Duration,
+        /// When set, polling backs off exponentially from `period` up to
+        /// this bound while no invalidations arrive, and resets to
+        /// `period` when one does.
+        backoff_max: Option<Duration>,
+    },
+    /// Strong consistency via delegation and callback (§4.3).
+    DelegationCallback(DelegationConfig),
+}
+
+impl ConsistencyModel {
+    /// The paper's default relaxed setup: fixed 30-second polling.
+    pub fn polling_30s() -> Self {
+        ConsistencyModel::InvalidationPolling { period: Duration::from_secs(30), backoff_max: None }
+    }
+
+    /// The paper's default strong setup.
+    pub fn delegation() -> Self {
+        ConsistencyModel::DelegationCallback(DelegationConfig::default())
+    }
+
+    /// Whether this model lets the proxy cache serve hits without
+    /// per-access revalidation.
+    pub fn caches(&self) -> bool {
+        !matches!(self, ConsistencyModel::Passthrough)
+    }
+}
+
+/// Parameters of the delegation/callback model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelegationConfig {
+    /// Idle time after which the proxy server speculates that a client
+    /// has closed a file (paper example: 10 minutes).
+    pub expiration: Duration,
+    /// Period after which the proxy client lets a request bypass its
+    /// cache to renew the delegation (paper example: 8 minutes; must be
+    /// shorter than `expiration`).
+    pub renewal: Duration,
+    /// Number of dirty blocks above which a recalled write delegation
+    /// answers with a block list and writes back asynchronously instead
+    /// of flushing inline (paper example: 1k blocks).
+    pub partial_writeback_threshold: usize,
+    /// Maximum files tracked in the server's open-file table before LRU
+    /// entries are proactively called back and evicted.
+    pub max_tracked_files: usize,
+}
+
+impl Default for DelegationConfig {
+    fn default() -> Self {
+        DelegationConfig {
+            expiration: Duration::from_secs(600),
+            renewal: Duration::from_secs(480),
+            partial_writeback_threshold: 1024,
+            max_tracked_files: 65536,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(matches!(
+            ConsistencyModel::polling_30s(),
+            ConsistencyModel::InvalidationPolling { period, backoff_max: None }
+                if period == Duration::from_secs(30)
+        ));
+        assert!(ConsistencyModel::delegation().caches());
+        assert!(!ConsistencyModel::Passthrough.caches());
+    }
+
+    #[test]
+    fn delegation_defaults_match_paper() {
+        let d = DelegationConfig::default();
+        assert_eq!(d.expiration, Duration::from_secs(600));
+        assert_eq!(d.renewal, Duration::from_secs(480));
+        assert!(d.renewal < d.expiration);
+        assert_eq!(d.partial_writeback_threshold, 1024);
+    }
+}

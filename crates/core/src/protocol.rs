@@ -1,0 +1,302 @@
+//! GVFS wire-protocol extensions.
+//!
+//! Three pieces ride on ONC RPC alongside native NFS:
+//!
+//! * The **proxy program** ([`GVFS_PROXY_PROGRAM`]): proxy clients send
+//!   NFSv3 procedures (same procedure numbers, same argument encodings)
+//!   to the proxy server, which replies with the native NFS result
+//!   prefixed by a piggybacked [`DelegationGrant`] — the paper's
+//!   "delegation and cacheability decisions piggybacked on the native
+//!   NFS reply message". Procedure [`proc_ext::GETINV`] implements the
+//!   invalidation poll.
+//! * The **callback program** ([`GVFS_CALLBACK_PROGRAM`]) served by each
+//!   proxy *client*: per-file delegation recalls ([`CallbackArgs`]) and
+//!   the cache-wide recovery callback after a server restart.
+
+use gvfs_nfs3::Fh3;
+use gvfs_xdr::{Decoder, Encoder, Xdr, XdrError};
+
+/// RPC program number of the GVFS proxy service (proxy client → proxy
+/// server). Sits in the transient range.
+pub const GVFS_PROXY_PROGRAM: u32 = 0x4000_0100;
+/// RPC program number of the proxy client's callback service (proxy
+/// server → proxy client).
+pub const GVFS_CALLBACK_PROGRAM: u32 = 0x4000_0101;
+/// Version of both GVFS programs.
+pub const GVFS_VERSION: u32 = 1;
+
+/// Extension procedure numbers (NFS procedures keep their RFC 1813
+/// numbers on the proxy program).
+pub mod proc_ext {
+    /// Poll the proxy server's invalidation buffer (§4.2).
+    pub const GETINV: u32 = 100;
+    /// Per-file delegation recall (callback program).
+    pub const CALLBACK: u32 = 1;
+    /// Cache-wide recovery callback after proxy-server restart
+    /// (callback program).
+    pub const RECOVER: u32 = 2;
+}
+
+/// Maximum invalidation handles carried in a single `GETINV` reply; more
+/// pending entries set the `poll_again` flag (§4.2.1 step 3). At 512
+/// handles (~6 KiB of payload) a 14 K-entry update drains in ~28 calls,
+/// matching the paper's "about 30 GETINV calls" for the MATLAB update.
+pub const MAX_INVALIDATIONS_PER_REPLY: usize = 512;
+
+/// The delegation/cacheability decision piggybacked on every proxy
+/// reply (§4.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u32)]
+pub enum DelegationGrant {
+    /// No delegation; cache per the session's relaxed model.
+    #[default]
+    None = 0,
+    /// Read delegation: cached reads need no revalidation.
+    Read = 1,
+    /// Write delegation: reads and delayed writes served from cache.
+    Write = 2,
+    /// The file is temporarily non-cacheable (a sharing conflict is
+    /// being resolved); bypass the cache for it.
+    NonCacheable = 3,
+}
+
+impl Xdr for DelegationGrant {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        enc.put_u32(*self as u32);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(DelegationGrant::None),
+            1 => Ok(DelegationGrant::Read),
+            2 => Ok(DelegationGrant::Write),
+            3 => Ok(DelegationGrant::NonCacheable),
+            value => Err(XdrError::InvalidDiscriminant { type_name: "DelegationGrant", value }),
+        }
+    }
+}
+
+/// A proxy-program reply: the piggybacked grant plus the raw native NFS
+/// reply bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrappedReply {
+    /// Piggybacked delegation decision.
+    pub grant: DelegationGrant,
+    /// The unmodified NFSv3 result encoding.
+    pub nfs_bytes: Vec<u8>,
+}
+
+impl Xdr for WrappedReply {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.grant.encode(enc)?;
+        enc.put_opaque(&self.nfs_bytes)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(WrappedReply { grant: DelegationGrant::decode(dec)?, nfs_bytes: dec.get_opaque()? })
+    }
+}
+
+/// `GETINV` arguments: the client's last known server timestamp, or
+/// `None` to bootstrap (§4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetinvArgs {
+    /// Last invalidation timestamp the client has applied.
+    pub last_timestamp: Option<u64>,
+}
+
+impl Xdr for GetinvArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.last_timestamp.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(GetinvArgs { last_timestamp: Option::<u64>::decode(dec)? })
+    }
+}
+
+/// `GETINV` result (§4.2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetinvRes {
+    /// The server's current logical timestamp.
+    pub timestamp: u64,
+    /// When set, the client must invalidate its entire attribute cache
+    /// (first contact, wrap-around, or server restart).
+    pub force_invalidate: bool,
+    /// When set, more invalidations are pending than fit this reply;
+    /// poll again immediately.
+    pub poll_again: bool,
+    /// File handles whose cached attributes must be invalidated.
+    pub handles: Vec<Fh3>,
+}
+
+impl Xdr for GetinvRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        enc.put_u64(self.timestamp);
+        enc.put_bool(self.force_invalidate);
+        enc.put_bool(self.poll_again);
+        self.handles.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(GetinvRes {
+            timestamp: dec.get_u64()?,
+            force_invalidate: dec.get_bool()?,
+            poll_again: dec.get_bool()?,
+            handles: Vec::<Fh3>::decode(dec)?,
+        })
+    }
+}
+
+/// Which delegation a callback recalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum CallbackKind {
+    /// Recall a read delegation: invalidate the file's cached
+    /// attributes.
+    RecallRead = 1,
+    /// Recall a write delegation: write dirty data back (fully, or
+    /// partially with a block list).
+    RecallWrite = 2,
+}
+
+impl Xdr for CallbackKind {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        enc.put_u32(*self as u32);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            1 => Ok(CallbackKind::RecallRead),
+            2 => Ok(CallbackKind::RecallWrite),
+            value => Err(XdrError::InvalidDiscriminant { type_name: "CallbackKind", value }),
+        }
+    }
+}
+
+/// `CALLBACK` arguments: the file being recalled and, when another
+/// client is waiting on a specific block, that block's offset — "the
+/// requested block's offset is sent along with the file's handle in the
+/// callback" (§4.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallbackArgs {
+    /// The recalled file.
+    pub fh: Fh3,
+    /// What is being recalled.
+    pub kind: CallbackKind,
+    /// Block offset another client is blocked on, if any.
+    pub requested_offset: Option<u64>,
+}
+
+impl Xdr for CallbackArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.fh.encode(enc)?;
+        self.kind.encode(enc)?;
+        self.requested_offset.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(CallbackArgs {
+            fh: Fh3::decode(dec)?,
+            kind: CallbackKind::decode(dec)?,
+            requested_offset: Option::<u64>::decode(dec)?,
+        })
+    }
+}
+
+/// `CALLBACK` result: when the client elects partial write-back, the
+/// offsets of blocks still dirty (to be submitted asynchronously);
+/// empty when everything is already flushed or the recall was for a
+/// read delegation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CallbackRes {
+    /// Offsets (in bytes) of blocks not yet written back.
+    pub pending_blocks: Vec<u64>,
+}
+
+impl Xdr for CallbackRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.pending_blocks.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(CallbackRes { pending_blocks: Vec::<u64>::decode(dec)? })
+    }
+}
+
+/// `RECOVER` result: a recovering proxy server multicasts this
+/// cache-wide callback; clients invalidate all cached attributes and
+/// write-delegation holders return the files they hold dirty so the
+/// server can rebuild its open-file table (§4.3.4).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoverRes {
+    /// Files for which this client holds locally modified data.
+    pub dirty_files: Vec<Fh3>,
+}
+
+impl Xdr for RecoverRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.dirty_files.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(RecoverRes { dirty_files: Vec::<Fh3>::decode(dec)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt<T: Xdr + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = gvfs_xdr::to_bytes(v).unwrap();
+        assert_eq!(&gvfs_xdr::from_bytes::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn grants_roundtrip() {
+        for g in [
+            DelegationGrant::None,
+            DelegationGrant::Read,
+            DelegationGrant::Write,
+            DelegationGrant::NonCacheable,
+        ] {
+            rt(&g);
+        }
+        assert!(gvfs_xdr::from_bytes::<DelegationGrant>(&[0, 0, 0, 9]).is_err());
+    }
+
+    #[test]
+    fn wrapped_reply_roundtrip() {
+        rt(&WrappedReply { grant: DelegationGrant::Read, nfs_bytes: vec![0, 0, 0, 0] });
+        rt(&WrappedReply { grant: DelegationGrant::None, nfs_bytes: vec![] });
+    }
+
+    #[test]
+    fn getinv_roundtrip() {
+        rt(&GetinvArgs { last_timestamp: None });
+        rt(&GetinvArgs { last_timestamp: Some(42) });
+        rt(&GetinvRes {
+            timestamp: 99,
+            force_invalidate: true,
+            poll_again: false,
+            handles: vec![Fh3::from_fileid(1), Fh3::from_fileid(2)],
+        });
+    }
+
+    #[test]
+    fn callback_roundtrip() {
+        rt(&CallbackArgs {
+            fh: Fh3::from_fileid(7),
+            kind: CallbackKind::RecallWrite,
+            requested_offset: Some(65536),
+        });
+        rt(&CallbackArgs {
+            fh: Fh3::from_fileid(7),
+            kind: CallbackKind::RecallRead,
+            requested_offset: None,
+        });
+        rt(&CallbackRes { pending_blocks: vec![0, 32768, 65536] });
+        rt(&RecoverRes { dirty_files: vec![Fh3::from_fileid(3)] });
+    }
+
+    #[test]
+    fn programs_are_distinct_and_transient() {
+        assert_ne!(GVFS_PROXY_PROGRAM, GVFS_CALLBACK_PROGRAM);
+        assert!(GVFS_PROXY_PROGRAM >= 0x4000_0000);
+    }
+}

@@ -1,0 +1,937 @@
+//! The GVFS proxy client.
+//!
+//! Runs beside each kernel NFS client (mounted over loopback, so the
+//! kernel talks ordinary NFSv3 to it) and implements the client half of
+//! the session's consistency model over its disk cache:
+//!
+//! * serves `GETATTR`/`LOOKUP`/`READ` hits locally — absorbing the
+//!   kernel's consistency-check storms — and forwards misses over the
+//!   WAN wrapped in the proxy program;
+//! * under **invalidation polling**, runs a poller that drains the proxy
+//!   server's invalidation buffer with `GETINV` (fixed period or
+//!   exponential back-off) and invalidates cached attributes;
+//! * under **delegation/callback**, tracks granted delegations, renews
+//!   them by periodically letting a request bypass the cache, serves the
+//!   callback program (recalls, partial write-back with a background
+//!   flusher), and reconciles after crashes;
+//! * with **write-back** enabled, absorbs writes as dirty extents and
+//!   flushes them on recall, shutdown, or file removal (delayed writes
+//!   to later-deleted files are never sent — the paper's `make`
+//!   temporary-file win).
+
+use crate::cache::DiskCache;
+use crate::model::{ConsistencyModel, DelegationConfig};
+use crate::protocol::{
+    proc_ext, CallbackArgs, CallbackKind, CallbackRes, DelegationGrant, GetinvArgs, GetinvRes,
+    RecoverRes, WrappedReply, GVFS_PROXY_PROGRAM, GVFS_VERSION,
+};
+use crate::proxy::{block_of, BLOCK_SIZE};
+use gvfs_netsim::transport::SimRpcClient;
+use gvfs_netsim::SimTime;
+use gvfs_nfs3::{
+    proc3, CreateArgs, DirOpArgs, Fh3, GetattrArgs, GetattrRes, LinkArgs, LookupArgs,
+    LookupRes, MkdirArgs, NfsTime3, Nfsstat3, ReadArgs, ReadRes, ReaddirRes, RenameArgs,
+    SetattrRes, StableHow, SymlinkArgs, WccData, WriteArgs, WriteRes,
+};
+use gvfs_rpc::dispatch::RpcService;
+use gvfs_rpc::RpcError;
+use gvfs_xdr::Xdr;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct ClientState {
+    delegations: HashMap<Fh3, DelegationGrant>,
+    noncacheable: HashSet<Fh3>,
+    last_forward: HashMap<Fh3, SimTime>,
+    /// Server mtime observed when a file first accumulated dirty data —
+    /// persisted with the disk cache, used for post-crash reconciliation.
+    wb_base: HashMap<Fh3, NfsTime3>,
+    corrupted: HashSet<Fh3>,
+}
+
+/// Statistics a proxy client keeps about its own effectiveness.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProxyClientStats {
+    /// Kernel RPCs answered from the disk cache.
+    pub served_local: u64,
+    /// Kernel RPCs forwarded over the WAN.
+    pub forwarded: u64,
+    /// Invalidation handles applied from `GETINV` replies.
+    pub invalidations_applied: u64,
+    /// Callbacks received.
+    pub callbacks: u64,
+}
+
+/// The proxy client service (see module docs).
+pub struct ProxyClient {
+    id: u32,
+    model: ConsistencyModel,
+    write_back: bool,
+    wan: SimRpcClient,
+    disk: Mutex<DiskCache>,
+    state: Mutex<ClientState>,
+    poll_ts: Mutex<Option<u64>>,
+    flush_queue: Mutex<VecDeque<(Fh3, u64)>>,
+    flusher: Mutex<Option<gvfs_netsim::ActorHandle>>,
+    poller: Mutex<Option<gvfs_netsim::ActorHandle>>,
+    stopped: AtomicBool,
+    stats: Mutex<ProxyClientStats>,
+}
+
+impl std::fmt::Debug for ProxyClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProxyClient").field("id", &self.id).field("model", &self.model).finish()
+    }
+}
+
+fn decode<T: Xdr>(bytes: &[u8]) -> Result<T, RpcError> {
+    gvfs_xdr::from_bytes(bytes).map_err(|_| RpcError::GarbageArgs)
+}
+
+fn encode<T: Xdr>(value: &T) -> Result<Vec<u8>, RpcError> {
+    Ok(gvfs_xdr::to_bytes(value)?)
+}
+
+impl ProxyClient {
+    /// Creates a proxy client.
+    ///
+    /// `wan` must carry a GVFS credential identifying `id` (the session
+    /// middleware arranges this).
+    pub fn new(
+        id: u32,
+        model: ConsistencyModel,
+        write_back: bool,
+        wan: SimRpcClient,
+        cache_bytes: usize,
+    ) -> Arc<Self> {
+        Arc::new(ProxyClient {
+            id,
+            model,
+            write_back,
+            wan,
+            disk: Mutex::new(DiskCache::new(cache_bytes)),
+            state: Mutex::new(ClientState::default()),
+            poll_ts: Mutex::new(None),
+            flush_queue: Mutex::new(VecDeque::new()),
+            flusher: Mutex::new(None),
+            poller: Mutex::new(None),
+            stopped: AtomicBool::new(false),
+            stats: Mutex::new(ProxyClientStats::default()),
+        })
+    }
+
+    /// This client's session-local id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> ProxyClientStats {
+        *self.stats.lock()
+    }
+
+    fn deleg_config(&self) -> DelegationConfig {
+        match self.model {
+            ConsistencyModel::DelegationCallback(c) => c,
+            _ => DelegationConfig::default(),
+        }
+    }
+
+    /// Whether cached state for `fh` may be served without contacting
+    /// the server.
+    fn can_serve(&self, fh: Fh3) -> bool {
+        let st = self.state.lock();
+        if st.noncacheable.contains(&fh) {
+            return false;
+        }
+        match self.model {
+            ConsistencyModel::Passthrough => false,
+            ConsistencyModel::InvalidationPolling { .. } => true,
+            ConsistencyModel::DelegationCallback(config) => {
+                if !st.delegations.contains_key(&fh) {
+                    return false;
+                }
+                // Renewal: periodically let a request through to keep
+                // the server's speculated-open fresh (§4.3.1).
+                match st.last_forward.get(&fh) {
+                    Some(t) => gvfs_netsim::now().saturating_since(*t) < config.renewal,
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// One wrapped WAN call; applies the piggybacked grant for `target`.
+    ///
+    /// Transport failures (partition, proxy server down) are retried
+    /// with backoff: a user-level proxy simply holds the kernel's
+    /// request until the upstream answers, exactly as a hard NFS mount
+    /// over TCP behaves.
+    fn forward(&self, procedure: u32, args: Vec<u8>, target: Option<Fh3>) -> Result<Vec<u8>, RpcError> {
+        let mut attempts = 0u32;
+        let bytes = loop {
+            match self.wan.call(GVFS_PROXY_PROGRAM, GVFS_VERSION, procedure, args.clone()) {
+                Ok(bytes) => break bytes,
+                Err(RpcError::Timeout | RpcError::Unreachable) if attempts < 86_400 => {
+                    attempts += 1;
+                    gvfs_netsim::sleep(Duration::from_secs(1));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let wrapped: WrappedReply = decode(&bytes)?;
+        self.stats.lock().forwarded += 1;
+        if let Some(fh) = target {
+            let mut st = self.state.lock();
+            st.last_forward.insert(fh, gvfs_netsim::now());
+            match wrapped.grant {
+                DelegationGrant::Read | DelegationGrant::Write => {
+                    st.delegations.insert(fh, wrapped.grant);
+                    st.noncacheable.remove(&fh);
+                }
+                DelegationGrant::NonCacheable => {
+                    st.delegations.remove(&fh);
+                    st.noncacheable.insert(fh);
+                }
+                DelegationGrant::None => {}
+            }
+        }
+        Ok(wrapped.nfs_bytes)
+    }
+
+    fn served(&self) {
+        self.stats.lock().served_local += 1;
+    }
+
+    // --- per-procedure handlers -------------------------------------
+
+    fn op_getattr(&self, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let a: GetattrArgs = decode(args)?;
+        if self.can_serve(a.object) {
+            if let Some(attr) = self.disk.lock().attr(a.object) {
+                self.served();
+                return encode(&GetattrRes::Ok(attr));
+            }
+        }
+        let reply = self.forward(proc3::GETATTR, args.to_vec(), Some(a.object))?;
+        match gvfs_xdr::from_bytes::<GetattrRes>(&reply) {
+            Ok(GetattrRes::Ok(attr)) => self.disk.lock().put_attr(a.object, attr),
+            Ok(GetattrRes::Fail(Nfsstat3::Stale)) => {
+                let mut disk = self.disk.lock();
+                disk.forget_file(a.object);
+                disk.purge_bindings_to(a.object);
+            }
+            _ => {}
+        }
+        Ok(reply)
+    }
+
+    /// Bulk-refreshes a stale directory's name bindings with a
+    /// READDIRPLUS sweep — a few WAN RPCs bring back hundreds of names
+    /// *with handles and attributes*, the proxy's prefetching advantage
+    /// over per-name LOOKUPs.
+    fn ensure_dir_bindings(&self, dir: Fh3) {
+        if !self.disk.lock().take_stale_dir(dir) {
+            return;
+        }
+        let mut cookie = 0u64;
+        let mut cookieverf = 0u64;
+        loop {
+            let Ok(args) = gvfs_xdr::to_bytes(&gvfs_nfs3::ReaddirplusArgs {
+                dir,
+                cookie,
+                cookieverf,
+                dircount: 16384,
+                maxcount: 65536,
+            }) else {
+                return;
+            };
+            let Ok(reply) = self.forward(proc3::READDIRPLUS, args, Some(dir)) else { return };
+            match gvfs_xdr::from_bytes::<gvfs_nfs3::ReaddirplusRes>(&reply) {
+                Ok(gvfs_nfs3::ReaddirplusRes::Ok { dir_attributes, cookieverf: verf, entries, eof }) => {
+                    let mut disk = self.disk.lock();
+                    if let Some(attr) = dir_attributes {
+                        disk.put_attr(dir, attr);
+                    }
+                    for e in &entries {
+                        let fh = e.name_handle.unwrap_or(Fh3::from_fileid(e.fileid));
+                        disk.put_lookup(dir, &e.name, fh);
+                        if let Some(attr) = e.name_attributes {
+                            disk.put_attr(fh, attr);
+                        }
+                        cookie = e.cookie;
+                    }
+                    cookieverf = verf;
+                    if eof {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn op_lookup(&self, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let a: LookupArgs = decode(args)?;
+        if self.model.caches() {
+            self.ensure_dir_bindings(a.dir);
+        }
+        if self.can_serve(a.dir) {
+            let disk = self.disk.lock();
+            if let Some(dir_attr) = disk.attr(a.dir) {
+                match disk.lookup(a.dir, &a.name) {
+                    Some(Some(child)) => {
+                        let res = LookupRes::Ok {
+                            object: child,
+                            obj_attributes: disk.attr(child),
+                            dir_attributes: Some(dir_attr),
+                        };
+                        drop(disk);
+                        self.served();
+                        return encode(&res);
+                    }
+                    Some(None) => {
+                        let res = LookupRes::Fail {
+                            status: Nfsstat3::Noent,
+                            dir_attributes: Some(dir_attr),
+                        };
+                        drop(disk);
+                        self.served();
+                        return encode(&res);
+                    }
+                    None => {}
+                }
+            }
+        }
+        let reply = self.forward(proc3::LOOKUP, args.to_vec(), Some(a.dir))?;
+        match gvfs_xdr::from_bytes::<LookupRes>(&reply) {
+            Ok(LookupRes::Ok { object, obj_attributes, dir_attributes }) => {
+                let mut disk = self.disk.lock();
+                disk.put_lookup(a.dir, &a.name, object);
+                if let Some(attr) = obj_attributes {
+                    disk.put_attr(object, attr);
+                }
+                if let Some(attr) = dir_attributes {
+                    disk.put_attr(a.dir, attr);
+                }
+            }
+            Ok(LookupRes::Fail { status, dir_attributes }) => {
+                let mut disk = self.disk.lock();
+                if status == Nfsstat3::Noent {
+                    disk.put_negative_lookup(a.dir, &a.name);
+                }
+                if let Some(attr) = dir_attributes {
+                    disk.put_attr(a.dir, attr);
+                }
+            }
+            Err(_) => {}
+        }
+        Ok(reply)
+    }
+
+    fn op_read(&self, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let a: ReadArgs = decode(args)?;
+        if self.state.lock().corrupted.contains(&a.file) {
+            return encode(&ReadRes::Fail { status: Nfsstat3::Io, file_attributes: None });
+        }
+        if self.can_serve(a.file) {
+            let mut disk = self.disk.lock();
+            if let Some(attr) = disk.attr(a.file) {
+                let end = (a.offset + a.count as u64).min(attr.size);
+                let len = end.saturating_sub(a.offset) as usize;
+                if let Some(data) = disk.read(a.file, a.offset, len) {
+                    let res = ReadRes::Ok {
+                        file_attributes: Some(attr),
+                        count: data.len() as u32,
+                        eof: end >= attr.size,
+                        data,
+                    };
+                    drop(disk);
+                    self.served();
+                    return encode(&res);
+                }
+            }
+        }
+        let reply = self.forward(proc3::READ, args.to_vec(), Some(a.file))?;
+        if let Ok(ReadRes::Ok { file_attributes, data, eof, .. }) =
+            gvfs_xdr::from_bytes::<ReadRes>(&reply)
+        {
+            if self.model.caches() {
+                let mut disk = self.disk.lock();
+                if let Some(attr) = file_attributes {
+                    disk.put_attr(a.file, attr);
+                }
+                disk.insert_clean(a.file, a.offset, data.clone());
+                // Local dirty bytes win over what the server returned:
+                // re-serve from the merged cache when possible.
+                if disk.file(a.file).is_some_and(crate::cache::FileCache::has_dirty) {
+                    if let Some(merged) = disk.read(a.file, a.offset, data.len()) {
+                        let attr = disk.attr(a.file);
+                        let res = ReadRes::Ok {
+                            file_attributes: attr,
+                            count: merged.len() as u32,
+                            eof,
+                            data: merged,
+                        };
+                        return encode(&res);
+                    }
+                }
+            }
+        }
+        Ok(reply)
+    }
+
+    fn op_write(&self, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let a: WriteArgs = decode(args)?;
+        if self.state.lock().corrupted.contains(&a.file) {
+            return encode(&WriteRes::Fail { status: Nfsstat3::Io, file_wcc: WccData::default() });
+        }
+        let wb_allowed = self.write_back
+            && match self.model {
+                ConsistencyModel::Passthrough => false,
+                ConsistencyModel::InvalidationPolling { .. } => true,
+                ConsistencyModel::DelegationCallback(_) => {
+                    self.state.lock().delegations.get(&a.file) == Some(&DelegationGrant::Write)
+                }
+            }
+            && self.disk.lock().attr(a.file).is_some();
+        if wb_allowed {
+            let mut disk = self.disk.lock();
+            let mut attr = disk.attr(a.file).expect("checked above");
+            {
+                let mut st = self.state.lock();
+                st.wb_base.entry(a.file).or_insert(attr.mtime);
+            }
+            disk.write_dirty(a.file, a.offset, a.data.clone());
+            let before = gvfs_nfs3::WccAttr {
+                size: attr.size,
+                mtime: attr.mtime,
+                ctime: attr.ctime,
+            };
+            attr.size = attr.size.max(a.offset + a.data.len() as u64);
+            attr.used = attr.size;
+            let now = gvfs_netsim::now();
+            attr.mtime = NfsTime3 {
+                seconds: (now.as_nanos() / 1_000_000_000) as u32,
+                nseconds: (now.as_nanos() % 1_000_000_000) as u32,
+            };
+            attr.ctime = attr.mtime;
+            disk.put_attr_own_write(a.file, attr);
+            drop(disk);
+            self.served();
+            return encode(&WriteRes::Ok {
+                file_wcc: WccData { before: Some(before), after: Some(attr) },
+                count: a.data.len() as u32,
+                committed: StableHow::FileSync,
+                verf: 1,
+            });
+        }
+        let reply = self.forward(proc3::WRITE, args.to_vec(), Some(a.file))?;
+        if let Ok(WriteRes::Ok { file_wcc, .. }) = gvfs_xdr::from_bytes::<WriteRes>(&reply) {
+            if self.model.caches() {
+                let mut disk = self.disk.lock();
+                if let Some(attr) = file_wcc.after {
+                    disk.put_attr_own_write(a.file, attr);
+                }
+                disk.insert_clean(a.file, a.offset, a.data.clone());
+            }
+        }
+        Ok(reply)
+    }
+
+    fn op_create_like(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        // CREATE / MKDIR / SYMLINK share the NewObjRes shape.
+        let (dir, name) = match procedure {
+            proc3::CREATE => {
+                let a: CreateArgs = decode(args)?;
+                (a.dir, a.name)
+            }
+            proc3::MKDIR => {
+                let a: MkdirArgs = decode(args)?;
+                (a.dir, a.name)
+            }
+            proc3::SYMLINK => {
+                let a: SymlinkArgs = decode(args)?;
+                (a.dir, a.name)
+            }
+            _ => unreachable!("caller routes only create-like procedures"),
+        };
+        let reply = self.forward(procedure, args.to_vec(), Some(dir))?;
+        if let Ok(gvfs_nfs3::NewObjRes::Ok { obj, obj_attributes, dir_wcc }) =
+            gvfs_xdr::from_bytes::<gvfs_nfs3::NewObjRes>(&reply)
+        {
+            if self.model.caches() {
+                let mut disk = self.disk.lock();
+                if let (Some(fh), Some(attr)) = (obj, obj_attributes) {
+                    disk.put_attr(fh, attr);
+                    disk.put_lookup(dir, &name, fh);
+                }
+                if let Some(attr) = dir_wcc.after {
+                    disk.put_attr_own_write(dir, attr);
+                }
+            }
+        }
+        Ok(reply)
+    }
+
+    fn op_remove_like(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let a: DirOpArgs = decode(args)?;
+        let reply = self.forward(procedure, args.to_vec(), Some(a.dir))?;
+        if let Ok(res) = gvfs_xdr::from_bytes::<gvfs_nfs3::DirOpRes>(&reply) {
+            if self.model.caches() && res.status.is_ok() {
+                let mut disk = self.disk.lock();
+                if let Some(Some(gone)) = disk.lookup(a.dir, &a.name) {
+                    disk.forget_file(gone);
+                    let mut st = self.state.lock();
+                    st.wb_base.remove(&gone);
+                    st.corrupted.remove(&gone);
+                    st.delegations.remove(&gone);
+                }
+                disk.put_negative_lookup(a.dir, &a.name);
+                if let Some(attr) = res.dir_wcc.after {
+                    disk.put_attr_own_write(a.dir, attr);
+                }
+            }
+        }
+        Ok(reply)
+    }
+
+    fn op_rename(&self, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let a: RenameArgs = decode(args)?;
+        let reply = self.forward(proc3::RENAME, args.to_vec(), Some(a.from_dir))?;
+        if let Ok(res) = gvfs_xdr::from_bytes::<gvfs_nfs3::RenameRes>(&reply) {
+            if self.model.caches() && res.status.is_ok() {
+                let mut disk = self.disk.lock();
+                let moved = disk.lookup(a.from_dir, &a.from_name).flatten();
+                disk.put_negative_lookup(a.from_dir, &a.from_name);
+                if let Some(fh) = moved {
+                    disk.put_lookup(a.to_dir, &a.to_name, fh);
+                }
+                if let Some(attr) = res.fromdir_wcc.after {
+                    disk.put_attr_own_write(a.from_dir, attr);
+                }
+                if let Some(attr) = res.todir_wcc.after {
+                    disk.put_attr_own_write(a.to_dir, attr);
+                }
+            }
+        }
+        Ok(reply)
+    }
+
+    fn op_link(&self, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let a: LinkArgs = decode(args)?;
+        let reply = self.forward(proc3::LINK, args.to_vec(), Some(a.dir))?;
+        if let Ok(res) = gvfs_xdr::from_bytes::<gvfs_nfs3::LinkRes>(&reply) {
+            if self.model.caches() && res.status.is_ok() {
+                let mut disk = self.disk.lock();
+                disk.put_lookup(a.dir, &a.name, a.file);
+                if let Some(attr) = res.file_attributes {
+                    disk.put_attr(a.file, attr);
+                }
+                if let Some(attr) = res.linkdir_wcc.after {
+                    disk.put_attr_own_write(a.dir, attr);
+                }
+            }
+        }
+        Ok(reply)
+    }
+
+    fn op_setattr(&self, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let a: gvfs_nfs3::SetattrArgs = decode(args)?;
+        let reply = self.forward(proc3::SETATTR, args.to_vec(), Some(a.object))?;
+        if let Ok(res) = gvfs_xdr::from_bytes::<SetattrRes>(&reply) {
+            if self.model.caches() && res.status.is_ok() {
+                if let Some(attr) = res.obj_wcc.after {
+                    self.disk.lock().put_attr_own_write(a.object, attr);
+                }
+            }
+        }
+        Ok(reply)
+    }
+
+    fn op_readdir(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let dir = if procedure == proc3::READDIR {
+            decode::<gvfs_nfs3::ReaddirArgs>(args)?.dir
+        } else {
+            decode::<gvfs_nfs3::ReaddirplusArgs>(args)?.dir
+        };
+        let reply = self.forward(procedure, args.to_vec(), Some(dir))?;
+        if self.model.caches() {
+            if procedure == proc3::READDIR {
+                if let Ok(ReaddirRes::Ok { dir_attributes: Some(attr), .. }) =
+                    gvfs_xdr::from_bytes::<ReaddirRes>(&reply)
+                {
+                    self.disk.lock().put_attr(dir, attr);
+                }
+            } else if let Ok(gvfs_nfs3::ReaddirplusRes::Ok {
+                dir_attributes, entries, ..
+            }) = gvfs_xdr::from_bytes::<gvfs_nfs3::ReaddirplusRes>(&reply)
+            {
+                let mut disk = self.disk.lock();
+                if let Some(attr) = dir_attributes {
+                    disk.put_attr(dir, attr);
+                }
+                for e in &entries {
+                    let fh = e.name_handle.unwrap_or(Fh3::from_fileid(e.fileid));
+                    disk.put_lookup(dir, &e.name, fh);
+                    if let Some(attr) = e.name_attributes {
+                        disk.put_attr(fh, attr);
+                    }
+                }
+            }
+        }
+        Ok(reply)
+    }
+
+    // --- polling (§4.2) ----------------------------------------------
+
+    /// Performs one `GETINV` exchange (including any `poll-again`
+    /// continuation) and applies the invalidations. Returns the number
+    /// of invalidation handles applied, or `None` if the server was
+    /// unreachable (soft state: just poll again next window).
+    pub fn poll_once(&self) -> Option<usize> {
+        let mut applied = 0;
+        loop {
+            let last = *self.poll_ts.lock();
+            let args = gvfs_xdr::to_bytes(&GetinvArgs { last_timestamp: last }).ok()?;
+            let bytes = self
+                .wan
+                .call(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc_ext::GETINV, args)
+                .ok()?;
+            let res: GetinvRes = gvfs_xdr::from_bytes(&bytes).ok()?;
+            if std::env::var_os("GVFS_DEBUG_POLL").is_some() {
+                eprintln!(
+                    "[{}] poller id={} getinv last={last:?} -> ts={} force={} n={}",
+                    gvfs_netsim::now(),
+                    self.id,
+                    res.timestamp,
+                    res.force_invalidate,
+                    res.handles.len()
+                );
+            }
+            *self.poll_ts.lock() = Some(res.timestamp);
+            let mut disk = self.disk.lock();
+            if res.force_invalidate {
+                disk.invalidate_all_attrs();
+            }
+            for fh in &res.handles {
+                disk.invalidate_attr(*fh);
+                applied += 1;
+            }
+            drop(disk);
+            self.stats.lock().invalidations_applied += res.handles.len() as u64;
+            if !res.poll_again {
+                return Some(applied);
+            }
+        }
+    }
+
+    /// Runs the polling loop until [`ProxyClient::shutdown`]. Spawn this
+    /// on its own actor.
+    pub fn run_poller(self: &Arc<Self>, period: Duration, backoff_max: Option<Duration>) {
+        *self.poller.lock() = Some(gvfs_netsim::current_actor());
+        let mut window = period;
+        loop {
+            gvfs_netsim::park_timeout(window);
+            if self.stopped.load(Ordering::SeqCst) {
+                return;
+            }
+            let applied = self.poll_once();
+            window = match (backoff_max, applied) {
+                // Exponential back-off while quiet; reset on activity.
+                (Some(max), Some(0)) => (window * 2).min(max),
+                (Some(_), _) => period,
+                (None, _) => period,
+            };
+        }
+    }
+
+    // --- write-back flushing ------------------------------------------
+
+    /// Writes back the dirty segments of one block over the WAN and
+    /// marks them clean.
+    fn flush_block(&self, fh: Fh3, block_offset: u64) {
+        let segments: Vec<(u64, Vec<u8>)> = {
+            let disk = self.disk.lock();
+            match disk.file(fh) {
+                Some(fc) => fc.dirty_in_block(block_offset, BLOCK_SIZE),
+                None => return,
+            }
+        };
+        for (offset, data) in segments {
+            let count = data.len() as u32;
+            let args = gvfs_xdr::to_bytes(&WriteArgs {
+                file: fh,
+                offset,
+                count,
+                stable: StableHow::FileSync,
+                data,
+            })
+            .expect("encode write-back");
+            // Failures leave the segment dirty for a later retry.
+            if self.forward(proc3::WRITE, args, Some(fh)).is_err() {
+                return;
+            }
+        }
+        let mut disk = self.disk.lock();
+        if let Some(fc) = disk.file_mut(fh) {
+            fc.clean_range(block_offset, BLOCK_SIZE);
+            if !fc.has_dirty() {
+                self.state.lock().wb_base.remove(&fh);
+            }
+        }
+    }
+
+    /// Flushes every dirty block of every file (unmount/shutdown path).
+    pub fn flush_all(&self) {
+        let files = self.disk.lock().dirty_files();
+        for fh in files {
+            let blocks = {
+                let disk = self.disk.lock();
+                disk.file(fh).map(|fc| fc.dirty_blocks(BLOCK_SIZE)).unwrap_or_default()
+            };
+            for block in blocks {
+                self.flush_block(fh, block);
+            }
+        }
+    }
+
+    /// Runs the background flusher until shutdown: parked until a
+    /// partial write-back queues blocks. Spawn this on its own actor.
+    pub fn run_flusher(self: &Arc<Self>) {
+        *self.flusher.lock() = Some(gvfs_netsim::current_actor());
+        loop {
+            gvfs_netsim::park();
+            if self.stopped.load(Ordering::SeqCst) {
+                // Drain whatever remains before exiting.
+                while let Some((fh, block)) = self.flush_queue.lock().pop_front() {
+                    self.flush_block(fh, block);
+                }
+                return;
+            }
+            loop {
+                let next = self.flush_queue.lock().pop_front();
+                match next {
+                    Some((fh, block)) => self.flush_block(fh, block),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Stops the poller and flusher actors.
+    pub fn shutdown(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        if let Some(h) = self.poller.lock().clone() {
+            h.unpark();
+        }
+        if let Some(h) = self.flusher.lock().clone() {
+            h.unpark();
+        }
+    }
+
+    // --- callbacks (§4.3) ----------------------------------------------
+
+    fn handle_callback(&self, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let a: CallbackArgs = decode(args)?;
+        if std::env::var_os("GVFS_DEBUG_RECALL").is_some() {
+            eprintln!("[{}] client {} callback {:?}", gvfs_netsim::now(), self.id, a);
+        }
+        self.stats.lock().callbacks += 1;
+        match a.kind {
+            CallbackKind::RecallRead => {
+                self.state.lock().delegations.remove(&a.fh);
+                self.disk.lock().invalidate_attr(a.fh);
+                encode(&CallbackRes::default())
+            }
+            CallbackKind::RecallWrite => {
+                self.state.lock().delegations.remove(&a.fh);
+                self.disk.lock().invalidate_attr(a.fh);
+                let blocks = {
+                    let disk = self.disk.lock();
+                    disk.file(a.fh).map(|fc| fc.dirty_blocks(BLOCK_SIZE)).unwrap_or_default()
+                };
+                if blocks.is_empty() {
+                    return encode(&CallbackRes::default());
+                }
+                let threshold = self.deleg_config().partial_writeback_threshold;
+                if blocks.len() <= threshold {
+                    // Small enough: flush inline before replying.
+                    for block in blocks {
+                        self.flush_block(a.fh, block);
+                    }
+                    encode(&CallbackRes::default())
+                } else {
+                    // Partial write-back: submit the contended block
+                    // immediately, report the rest, trickle them in the
+                    // background (§4.3.2). A metadata-only recall (no
+                    // requested block) flushes the highest block so the
+                    // server's file size becomes correct at once.
+                    let mut remaining = blocks;
+                    let wanted = a
+                        .requested_offset
+                        .map(block_of)
+                        .or_else(|| remaining.last().copied());
+                    if let Some(wanted) = wanted {
+                        if let Some(pos) = remaining.iter().position(|b| *b == wanted) {
+                            remaining.remove(pos);
+                            self.flush_block(a.fh, wanted);
+                        }
+                    }
+                    {
+                        let mut q = self.flush_queue.lock();
+                        for block in &remaining {
+                            q.push_back((a.fh, *block));
+                        }
+                    }
+                    if let Some(h) = self.flusher.lock().clone() {
+                        h.unpark();
+                    }
+                    encode(&CallbackRes { pending_blocks: remaining })
+                }
+            }
+        }
+    }
+
+    fn handle_recover(&self) -> Result<Vec<u8>, RpcError> {
+        // Cache-wide callback: invalidate all attributes and report the
+        // files we hold dirty so the server can rebuild its table.
+        let mut disk = self.disk.lock();
+        disk.invalidate_all_attrs();
+        let dirty_files = disk.dirty_files();
+        drop(disk);
+        self.state.lock().delegations.clear();
+        encode(&RecoverRes { dirty_files })
+    }
+
+    // --- crash recovery (§4.3.4, client side) ---------------------------
+
+    /// Reconciles after a proxy-client crash: the disk cache survived,
+    /// volatile state did not. All attributes are invalidated; for each
+    /// file with dirty data, one block is written back to try to
+    /// reacquire the delegation — unless the server-side file changed
+    /// during the crash, in which case the dirty data is discarded as
+    /// corrupted and subsequent application access reports an I/O error.
+    ///
+    /// Returns the handles found corrupted.
+    pub fn crash_recover(&self) -> Vec<Fh3> {
+        {
+            let mut st = self.state.lock();
+            st.delegations.clear();
+            st.noncacheable.clear();
+            st.last_forward.clear();
+        }
+        *self.poll_ts.lock() = None; // next GETINV bootstraps with null
+        let dirty = {
+            let mut disk = self.disk.lock();
+            disk.invalidate_all_attrs();
+            disk.dirty_files()
+        };
+        let mut corrupted = Vec::new();
+        for fh in dirty {
+            let base = self.state.lock().wb_base.get(&fh).copied();
+            let args = gvfs_xdr::to_bytes(&GetattrArgs { object: fh }).expect("encode");
+            let current = self
+                .forward(proc3::GETATTR, args, Some(fh))
+                .ok()
+                .and_then(|bytes| gvfs_xdr::from_bytes::<GetattrRes>(&bytes).ok());
+            let unchanged = matches!(
+                (current, base),
+                (Some(GetattrRes::Ok(attr)), Some(base_mtime)) if attr.mtime == base_mtime
+            );
+            if unchanged {
+                // Write back one block to reacquire the delegation.
+                let first = {
+                    let disk = self.disk.lock();
+                    disk.file(fh).and_then(|fc| fc.dirty_blocks(BLOCK_SIZE).first().copied())
+                };
+                if let Some(block) = first {
+                    self.flush_block(fh, block);
+                }
+                // Remaining blocks flush lazily (queue to flusher).
+                let rest = {
+                    let disk = self.disk.lock();
+                    disk.file(fh).map(|fc| fc.dirty_blocks(BLOCK_SIZE)).unwrap_or_default()
+                };
+                if !rest.is_empty() {
+                    let mut q = self.flush_queue.lock();
+                    for block in rest {
+                        q.push_back((fh, block));
+                    }
+                    drop(q);
+                    if let Some(h) = self.flusher.lock().clone() {
+                        h.unpark();
+                    }
+                }
+            } else {
+                let mut disk = self.disk.lock();
+                disk.forget_file(fh);
+                drop(disk);
+                let mut st = self.state.lock();
+                st.wb_base.remove(&fh);
+                st.corrupted.insert(fh);
+                corrupted.push(fh);
+            }
+        }
+        corrupted
+    }
+}
+
+impl RpcService for ProxyClient {
+    fn program(&self) -> u32 {
+        gvfs_nfs3::NFS_PROGRAM
+    }
+    fn version(&self) -> u32 {
+        gvfs_nfs3::NFS_V3
+    }
+    fn call(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        match procedure {
+            proc3::NULL => Ok(Vec::new()),
+            proc3::GETATTR => self.op_getattr(args),
+            proc3::LOOKUP => self.op_lookup(args),
+            proc3::READ => self.op_read(args),
+            proc3::WRITE => self.op_write(args),
+            proc3::CREATE | proc3::MKDIR | proc3::SYMLINK => self.op_create_like(procedure, args),
+            proc3::REMOVE | proc3::RMDIR => self.op_remove_like(procedure, args),
+            proc3::RENAME => self.op_rename(args),
+            proc3::LINK => self.op_link(args),
+            proc3::SETATTR => self.op_setattr(args),
+            proc3::READDIR | proc3::READDIRPLUS => self.op_readdir(procedure, args),
+            proc3::ACCESS | proc3::READLINK | proc3::FSSTAT | proc3::FSINFO | proc3::COMMIT => {
+                self.forward(procedure, args.to_vec(), None)
+            }
+            p => Err(RpcError::ProcedureUnavailable {
+                program: gvfs_nfs3::NFS_PROGRAM,
+                procedure: p,
+            }),
+        }
+    }
+}
+
+/// The callback service facade: the same proxy client, addressable as
+/// the callback RPC program.
+#[derive(Debug, Clone)]
+pub struct CallbackService(pub Arc<ProxyClient>);
+
+impl RpcService for CallbackService {
+    fn program(&self) -> u32 {
+        crate::protocol::GVFS_CALLBACK_PROGRAM
+    }
+    fn version(&self) -> u32 {
+        GVFS_VERSION
+    }
+    fn call(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        match procedure {
+            proc_ext::CALLBACK => self.0.handle_callback(args),
+            proc_ext::RECOVER => self.0.handle_recover(),
+            p => Err(RpcError::ProcedureUnavailable {
+                program: crate::protocol::GVFS_CALLBACK_PROGRAM,
+                procedure: p,
+            }),
+        }
+    }
+}

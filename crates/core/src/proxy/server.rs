@@ -1,0 +1,438 @@
+//! The GVFS proxy server.
+//!
+//! Sits beside the kernel NFS server. For every proxy-program call it
+//! forwards the native NFSv3 procedure over loopback, and around that
+//! forwarding implements the session's consistency model:
+//!
+//! * **invalidation polling** — appends modified file handles to the
+//!   per-client invalidation buffers and answers `GETINV`;
+//! * **delegation/callback** — consults the [`DelegationTable`], issues
+//!   recall callbacks to proxy clients *before* serving conflicting
+//!   requests, and piggybacks grants on replies;
+//! * tracks the participating-client list persistently, so a restarted
+//!   proxy server can multicast recovery callbacks (§4.3.4).
+
+use crate::delegation::{DelegationKind, DelegationTable, RecallAction};
+use crate::invalidation::InvalidationTracker;
+use crate::model::ConsistencyModel;
+use crate::protocol::{
+    proc_ext, CallbackArgs, CallbackKind, CallbackRes, DelegationGrant, GetinvArgs, GetinvRes,
+    RecoverRes, WrappedReply, GVFS_CALLBACK_PROGRAM, GVFS_PROXY_PROGRAM, GVFS_VERSION,
+};
+use crate::proxy::{block_of, classify, OpClass};
+use gvfs_netsim::transport::SimRpcClient;
+use gvfs_nfs3::{proc3, Fh3, LookupArgs, LookupRes, NFS_PROGRAM, NFS_V3};
+use gvfs_rpc::dispatch::RpcService;
+use gvfs_rpc::message::OpaqueAuth;
+use gvfs_rpc::RpcError;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct VolatileState {
+    inval: InvalidationTracker,
+    deleg: DelegationTable,
+}
+
+/// The proxy server service. Register it (wrapped in an `Arc`) with a
+/// [`gvfs_netsim::transport::ServerNode`]; proxy clients call it on
+/// [`GVFS_PROXY_PROGRAM`].
+pub struct ProxyServer {
+    model: ConsistencyModel,
+    nfs: SimRpcClient,
+    state: Mutex<VolatileState>,
+    /// Callback transports per client id, registered by the session.
+    callbacks: RwLock<HashMap<u32, SimRpcClient>>,
+    /// The client list is "always stored directly on disk" (§4.3.4):
+    /// it survives crashes.
+    persisted_clients: Mutex<HashSet<u32>>,
+    /// Back-reference for spawning parallel recall actors.
+    self_ref: Mutex<std::sync::Weak<ProxyServer>>,
+}
+
+impl std::fmt::Debug for ProxyServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProxyServer").field("model", &self.model).finish()
+    }
+}
+
+impl ProxyServer {
+    /// Creates a proxy server forwarding to the kernel NFS server via
+    /// `nfs` (a loopback transport), applying `model`.
+    pub fn new(model: ConsistencyModel, nfs: SimRpcClient) -> Arc<Self> {
+        let deleg_config = match model {
+            ConsistencyModel::DelegationCallback(c) => c,
+            _ => crate::model::DelegationConfig::default(),
+        };
+        let server = Arc::new(ProxyServer {
+            model,
+            nfs,
+            state: Mutex::new(VolatileState {
+                inval: InvalidationTracker::new(4096),
+                deleg: DelegationTable::new(deleg_config),
+            }),
+            callbacks: RwLock::new(HashMap::new()),
+            persisted_clients: Mutex::new(HashSet::new()),
+            self_ref: Mutex::new(std::sync::Weak::new()),
+        });
+        *server.self_ref.lock() = Arc::downgrade(&server);
+        server
+    }
+
+    /// Performs a batch of recalls concurrently — the proxies are
+    /// multithreaded (§4.3.2), so callbacks to distinct clients overlap
+    /// on the wire rather than serializing their round trips.
+    fn perform_recalls(&self, actions: Vec<RecallAction>) {
+        if actions.len() <= 1 {
+            for action in &actions {
+                self.perform_recall(action);
+            }
+            return;
+        }
+        let me = gvfs_netsim::current_actor();
+        let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(actions.len()));
+        let weak = self.self_ref.lock().clone();
+        for action in actions {
+            let remaining = Arc::clone(&remaining);
+            let me = me.clone();
+            let weak = weak.clone();
+            gvfs_netsim::spawn_from_actor("recall", move || {
+                if let Some(server) = weak.upgrade() {
+                    server.perform_recall(&action);
+                }
+                if remaining.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1 {
+                    me.unpark();
+                }
+            });
+        }
+        while remaining.load(std::sync::atomic::Ordering::SeqCst) > 0 {
+            gvfs_netsim::park();
+        }
+    }
+
+    /// Overrides the invalidation-buffer capacity (ablation knob).
+    pub fn set_invalidation_capacity(&self, capacity: usize) {
+        self.state.lock().inval = InvalidationTracker::new(capacity);
+    }
+
+    /// Registers the callback transport for a proxy client (done by the
+    /// middleware when the session is established; in the real system
+    /// the port arrives in each request's credential).
+    pub fn register_callback(&self, client: u32, transport: SimRpcClient) {
+        self.callbacks.write().insert(client, transport);
+    }
+
+    /// The consistency model in effect.
+    pub fn model(&self) -> ConsistencyModel {
+        self.model
+    }
+
+    /// Simulates a crash: volatile state (invalidation buffers,
+    /// timestamps, delegation table) is lost; the persisted client list
+    /// survives.
+    pub fn crash(&self) {
+        let mut st = self.state.lock();
+        st.inval = InvalidationTracker::new(4096);
+        let config = *st.deleg.config();
+        st.deleg = DelegationTable::new(config);
+    }
+
+    /// Recovery after restart (§4.3.4): multicasts a cache-wide
+    /// `RECOVER` callback to every known client and rebuilds the
+    /// delegation table from their dirty-file lists. Incoming requests
+    /// are implicitly blocked for the duration (the grace period) by the
+    /// sequential callback round.
+    ///
+    /// Returns the number of clients that answered.
+    pub fn recover(&self) -> usize {
+        if !matches!(self.model, ConsistencyModel::DelegationCallback(_)) {
+            return 0;
+        }
+        let mut clients: Vec<u32> = self.persisted_clients.lock().iter().copied().collect();
+        clients.sort_unstable();
+        // "A single multicasted callback to the clients" (§4.3.4): the
+        // recovery round goes out in parallel, keeping the grace period
+        // to roughly one WAN round trip.
+        let me = gvfs_netsim::current_actor();
+        let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(clients.len()));
+        let answered = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let weak = self.self_ref.lock().clone();
+        for client in clients {
+            let remaining = Arc::clone(&remaining);
+            let answered = Arc::clone(&answered);
+            let me = me.clone();
+            let weak = weak.clone();
+            gvfs_netsim::spawn_from_actor("recover-callback", move || {
+                if let Some(server) = weak.upgrade() {
+                    let transport = server.callbacks.read().get(&client).cloned();
+                    if let Some(transport) = transport {
+                        if let Ok(bytes) = transport.call(
+                            GVFS_CALLBACK_PROGRAM,
+                            GVFS_VERSION,
+                            proc_ext::RECOVER,
+                            Vec::new(),
+                        ) {
+                            if let Ok(res) = gvfs_xdr::from_bytes::<RecoverRes>(&bytes) {
+                                answered.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                                let now = gvfs_netsim::now();
+                                server.state.lock().deleg.recover_client(client, &res.dirty_files, now);
+                            }
+                        }
+                    }
+                }
+                if remaining.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1 {
+                    me.unpark();
+                }
+            });
+        }
+        while remaining.load(std::sync::atomic::Ordering::SeqCst) > 0 {
+            gvfs_netsim::park();
+        }
+        answered.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Runs one delegation sweep (speculated closes, LRU eviction); the
+    /// session's sweeper actor calls this periodically.
+    pub fn sweep(&self) {
+        let actions = {
+            let now = gvfs_netsim::now();
+            self.state.lock().deleg.sweep(now)
+        };
+        for action in actions {
+            self.state.lock().deleg.begin_recall(action.fh);
+            self.perform_recall(&action);
+            let mut st = self.state.lock();
+            st.deleg.end_recall(action.fh);
+            st.deleg.sweep_done(action.fh, action.client);
+        }
+    }
+
+    /// Number of files currently tracked by the delegation table.
+    pub fn tracked_files(&self) -> usize {
+        self.state.lock().deleg.tracked_files()
+    }
+
+    fn forward(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        self.nfs.call(NFS_PROGRAM, NFS_V3, procedure, args.to_vec())
+    }
+
+    /// Resolves the file handle a REMOVE/RENAME will affect, so its
+    /// holders can be invalidated/recalled. Loopback lookup; cheap.
+    fn resolve_target(&self, dir: Fh3, name: &str) -> Option<Fh3> {
+        let args = gvfs_xdr::to_bytes(&LookupArgs { dir, name: name.to_string() }).ok()?;
+        let bytes = self.forward(proc3::LOOKUP, &args).ok()?;
+        match gvfs_xdr::from_bytes::<LookupRes>(&bytes).ok()? {
+            LookupRes::Ok { object, .. } => Some(object),
+            LookupRes::Fail { .. } => None,
+        }
+    }
+
+    fn perform_recall(&self, action: &RecallAction) {
+        if std::env::var_os("GVFS_DEBUG_RECALL").is_some() {
+            eprintln!("[{}] recall {:?}", gvfs_netsim::now(), action);
+        }
+        let transport = self.callbacks.read().get(&action.client).cloned();
+        let Some(transport) = transport else {
+            // Unknown callback route: nothing to recall against.
+            self.state.lock().deleg.recall_done(action.fh, action.client, Vec::new());
+            return;
+        };
+        let kind = match action.kind {
+            DelegationKind::Read => CallbackKind::RecallRead,
+            DelegationKind::Write => CallbackKind::RecallWrite,
+        };
+        let args = CallbackArgs { fh: action.fh, kind, requested_offset: action.requested_offset };
+        let encoded = gvfs_xdr::to_bytes(&args).unwrap_or_default();
+        match transport.call(GVFS_CALLBACK_PROGRAM, GVFS_VERSION, proc_ext::CALLBACK, encoded) {
+            Ok(bytes) => {
+                let pending = gvfs_xdr::from_bytes::<CallbackRes>(&bytes)
+                    .map(|r| r.pending_blocks)
+                    .unwrap_or_default();
+                self.state.lock().deleg.recall_done(action.fh, action.client, pending);
+            }
+            Err(_) => {
+                // Client unreachable: treat the delegation as revoked
+                // with nothing recovered (its writes are lost unless it
+                // reconciles after recovery, §4.3.4).
+                self.state.lock().deleg.recall_done(action.fh, action.client, Vec::new());
+            }
+        }
+    }
+
+    fn record_invalidations(&self, class: &OpClass, client: u32, removed_targets: &[Fh3]) {
+        let mut st = self.state.lock();
+        match class {
+            OpClass::Write { fh, .. } | OpClass::SetAttr { fh } => {
+                st.inval.record_modification(*fh, client);
+            }
+            OpClass::DirModify { dir, extra, file, .. } => {
+                st.inval.record_modification(*dir, client);
+                if let Some((extra_dir, _)) = extra {
+                    st.inval.record_modification(*extra_dir, client);
+                }
+                if let Some(fh) = file {
+                    st.inval.record_modification(*fh, client);
+                }
+                for fh in removed_targets {
+                    st.inval.record_modification(*fh, client);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Delegation-model admission: returns the grant for the reply after
+    /// performing any recalls the access requires.
+    fn admit_delegation(&self, class: &OpClass, client: u32) -> DelegationGrant {
+        let accesses: Vec<(Fh3, bool, Option<u64>)> = match class {
+            OpClass::AttrRead { fh } => vec![(*fh, false, None)],
+            OpClass::Lookup { dir, .. } | OpClass::ReadDir { dir } => vec![(*dir, false, None)],
+            OpClass::Read { fh, offset, .. } => vec![(*fh, false, Some(block_of(*offset)))],
+            OpClass::Write { fh, offset } => {
+                // A write that is part of a tracked partial write-back
+                // bypasses conflict processing.
+                {
+                    let mut st = self.state.lock();
+                    if st.deleg.note_writeback(*fh, client, block_of(*offset)) {
+                        return DelegationGrant::None;
+                    }
+                }
+                vec![(*fh, true, Some(block_of(*offset)))]
+            }
+            OpClass::SetAttr { fh } => vec![(*fh, true, None)],
+            OpClass::DirModify { dir, extra, file, .. } => {
+                let mut v = vec![(*dir, true, None)];
+                if let Some((extra_dir, _)) = extra {
+                    v.push((*extra_dir, true, None));
+                }
+                if let Some(fh) = file {
+                    v.push((*fh, true, None));
+                }
+                v
+            }
+            OpClass::Other => return DelegationGrant::None,
+        };
+
+        let mut grant = DelegationGrant::None;
+        for (i, (fh, write, offset)) in accesses.iter().enumerate() {
+            loop {
+                let (g, recalls) = {
+                    let now = gvfs_netsim::now();
+                    self.state.lock().deleg.access(*fh, client, *write, *offset, now)
+                };
+                if recalls.is_empty() {
+                    if i == 0 {
+                        grant = g;
+                    }
+                    break;
+                }
+                // The file is temporarily non-cacheable while the recall
+                // round is in flight: no delegation may be granted in the
+                // window, or the round's completion would silently revoke
+                // it server-side.
+                self.state.lock().deleg.begin_recall(*fh);
+                self.perform_recalls(recalls);
+                self.state.lock().deleg.end_recall(*fh);
+                // Re-admit after the recalls completed: the pending
+                // write-back (if any) may still cover the block, in
+                // which case another targeted recall is issued; the
+                // inline flush of the requested block guarantees
+                // progress.
+                let covered = {
+                    let st = self.state.lock();
+                    match (offset, st.deleg.pending_writeback(*fh)) {
+                        (Some(off), Some(p)) => p.blocks.contains(off),
+                        _ => false,
+                    }
+                };
+                if !covered {
+                    if i == 0 {
+                        grant = DelegationGrant::NonCacheable;
+                    }
+                    break;
+                }
+            }
+        }
+        grant
+    }
+
+    fn handle_nfs(&self, procedure: u32, args: &[u8], client: u32) -> Result<Vec<u8>, RpcError> {
+        let class = classify(procedure, args)?;
+
+        // Resolve handles that REMOVE/RENAME will detach, before the
+        // operation destroys the name.
+        let mut removed_targets = Vec::new();
+        if let OpClass::DirModify { dir, names, extra, .. } = &class {
+            if matches!(procedure, proc3::REMOVE | proc3::RENAME) {
+                for name in names {
+                    if let Some(fh) = self.resolve_target(*dir, name) {
+                        removed_targets.push(fh);
+                    }
+                }
+                if let Some((extra_dir, extra_name)) = extra {
+                    if let Some(fh) = self.resolve_target(*extra_dir, extra_name) {
+                        removed_targets.push(fh);
+                    }
+                }
+            }
+        }
+
+        let grant = match self.model {
+            ConsistencyModel::DelegationCallback(_) => {
+                // Recall delegations on files a REMOVE/RENAME destroys.
+                for fh in &removed_targets {
+                    let class = OpClass::SetAttr { fh: *fh };
+                    let _ = self.admit_delegation(&class, client);
+                }
+                self.admit_delegation(&class, client)
+            }
+            _ => DelegationGrant::None,
+        };
+
+        let nfs_bytes = self.forward(procedure, args)?;
+
+        if matches!(self.model, ConsistencyModel::InvalidationPolling { .. })
+            && class.is_modification()
+        {
+            self.record_invalidations(&class, client, &removed_targets);
+        }
+
+        Ok(gvfs_xdr::to_bytes(&WrappedReply { grant, nfs_bytes })?)
+    }
+
+    fn handle_getinv(&self, args: &[u8], client: u32) -> Result<Vec<u8>, RpcError> {
+        let a: GetinvArgs = gvfs_xdr::from_bytes(args).map_err(|_| RpcError::GarbageArgs)?;
+        let res: GetinvRes = self.state.lock().inval.getinv(client, a.last_timestamp);
+        Ok(gvfs_xdr::to_bytes(&res)?)
+    }
+}
+
+impl RpcService for ProxyServer {
+    fn program(&self) -> u32 {
+        GVFS_PROXY_PROGRAM
+    }
+    fn version(&self) -> u32 {
+        GVFS_VERSION
+    }
+    fn call(&self, _procedure: u32, _args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        // The proxy server authenticates every call; reject
+        // credential-less entry.
+        Err(RpcError::AuthError)
+    }
+    fn call_with_cred(
+        &self,
+        procedure: u32,
+        args: &[u8],
+        credential: &OpaqueAuth,
+    ) -> Result<Vec<u8>, RpcError> {
+        let cred = credential.as_gvfs()?;
+        self.persisted_clients.lock().insert(cred.client_id);
+        match procedure {
+            proc_ext::GETINV => self.handle_getinv(args, cred.client_id),
+            proc3::NULL => Ok(Vec::new()),
+            p if p <= proc3::COMMIT => self.handle_nfs(p, args, cred.client_id),
+            p => Err(RpcError::ProcedureUnavailable { program: GVFS_PROXY_PROGRAM, procedure: p }),
+        }
+    }
+}

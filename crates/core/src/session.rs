@@ -1,0 +1,525 @@
+//! Session establishment — the middleware role (Figure 1).
+//!
+//! A GVFS session overlays shared physical resources: one kernel NFS
+//! server, a proxy server beside it, and per-client proxy clients, each
+//! pair joined by a WAN link and fronted to its kernel NFS client over
+//! loopback. The [`SessionBuilder`] performs what the paper's
+//! middleware does — dynamic creation and configuration of the proxies
+//! with the session's consistency model and cache policy — and spawns
+//! the background actors (invalidation pollers, write-back flushers,
+//! the delegation sweeper).
+//!
+//! [`NativeMount`] builds the baseline the paper compares against:
+//! kernel NFS clients talking straight to the kernel NFS server across
+//! the WAN, no proxies.
+
+use crate::model::ConsistencyModel;
+use crate::proxy::client::{CallbackService, ProxyClient};
+use crate::proxy::server::ProxyServer;
+use gvfs_netsim::link::{Link, LinkConfig};
+use gvfs_netsim::transport::{ServerNode, SimRpcClient};
+use gvfs_netsim::Sim;
+use gvfs_nfs3::Fh3;
+use gvfs_rpc::dispatch::Dispatcher;
+use gvfs_rpc::message::{GvfsCred, OpaqueAuth};
+use gvfs_rpc::stats::RpcStats;
+use gvfs_server::Nfs3Server;
+use gvfs_vfs::{Timestamp, Vfs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Forwards a whole RPC program to an upstream node unmodified — used
+/// to carry the MOUNT protocol through the proxy chain so kernel
+/// clients bootstrap "in the same way as conventional NFS" (§2).
+struct ForwardService {
+    program: u32,
+    version: u32,
+    upstream: SimRpcClient,
+}
+
+impl gvfs_rpc::dispatch::RpcService for ForwardService {
+    fn program(&self) -> u32 {
+        self.program
+    }
+    fn version(&self) -> u32 {
+        self.version
+    }
+    fn call(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, gvfs_rpc::RpcError> {
+        self.upstream.call(self.program, self.version, procedure, args.to_vec())
+    }
+}
+
+/// The export path every session and native mount publishes via the
+/// MOUNT protocol.
+pub const EXPORT_PATH: &str = "/export/grid";
+
+/// Session-wide configuration chosen by the middleware.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// The consistency model.
+    pub model: ConsistencyModel,
+    /// Enable write-back caching at the proxy clients (the paper's
+    /// GVFS-WB setup; under delegation, delayed writes additionally
+    /// require a write delegation).
+    pub write_back: bool,
+    /// Proxy disk-cache capacity per client, in bytes.
+    pub disk_cache_bytes: usize,
+    /// Per-client invalidation buffer capacity (entries).
+    pub invalidation_buffer: usize,
+    /// Per-RPC processing time modelled for each proxy process (the
+    /// user-level interception overhead the paper measures at 4–8 % on
+    /// a LAN: forwarded calls pay two extra process traversals).
+    pub proxy_proc_time: Duration,
+    /// Per-RPC processing time of the kernel NFS server.
+    pub nfs_proc_time: Duration,
+    /// Delegation sweeper period (speculated closes); `None` disables.
+    pub sweep_interval: Option<Duration>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            model: ConsistencyModel::Passthrough,
+            write_back: false,
+            disk_cache_bytes: 4 << 30,
+            invalidation_buffer: 4096,
+            proxy_proc_time: Duration::from_micros(1000),
+            nfs_proc_time: Duration::from_micros(200),
+            sweep_interval: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// Builder for a [`Session`].
+#[derive(Debug)]
+pub struct SessionBuilder {
+    config: SessionConfig,
+    clients: usize,
+    wan: LinkConfig,
+    client_links: Option<Vec<LinkConfig>>,
+    loopback: LinkConfig,
+    vfs: Option<Arc<Vfs>>,
+    session_key: u64,
+}
+
+impl SessionBuilder {
+    /// Number of proxy clients (client machines) in the session.
+    pub fn clients(mut self, n: usize) -> Self {
+        self.clients = n;
+        self
+    }
+
+    /// The WAN link configuration used for every client–server link.
+    pub fn wan(mut self, config: LinkConfig) -> Self {
+        self.wan = config;
+        self
+    }
+
+    /// Per-client link configurations (overrides [`SessionBuilder::wan`]
+    /// and [`SessionBuilder::clients`]); lets a session mix WAN users
+    /// with a LAN administrator, as in the paper's software-repository
+    /// scenario (Figure 1, VC5).
+    pub fn client_links(mut self, links: Vec<LinkConfig>) -> Self {
+        self.clients = links.len();
+        self.client_links = Some(links);
+        self
+    }
+
+    /// Uses an existing (pre-populated) filesystem instead of an empty
+    /// one.
+    pub fn vfs(mut self, vfs: Arc<Vfs>) -> Self {
+        self.vfs = Some(vfs);
+        self
+    }
+
+    /// The session key carried in every request credential.
+    pub fn session_key(mut self, key: u64) -> Self {
+        self.session_key = key;
+        self
+    }
+
+    /// Establishes the session: creates the proxies, registers callback
+    /// routes, and spawns the background actors on `sim`.
+    pub fn establish(self, sim: &Sim) -> Session {
+        let config = self.config;
+        let vfs = self.vfs.unwrap_or_else(|| Arc::new(Vfs::new()));
+        let clock: gvfs_server::Clock =
+            Arc::new(|| Timestamp::from_nanos(gvfs_netsim::now().as_nanos()));
+        let nfs = Nfs3Server::new(Arc::clone(&vfs), clock);
+        let root = nfs.root_fh();
+        let mut dispatcher = Dispatcher::new();
+        dispatcher.register(nfs);
+        dispatcher.register(gvfs_server::MountServer::new(Arc::clone(&vfs), EXPORT_PATH));
+        let nfs_node = ServerNode::new("nfs-server", dispatcher, config.nfs_proc_time);
+
+        // Proxy server beside the NFS server (loopback link).
+        let server_loop = Link::new(self.loopback);
+        let lan_stats = RpcStats::new();
+        let proxy_server = ProxyServer::new(
+            config.model,
+            SimRpcClient::new(server_loop.forward(), Arc::clone(&nfs_node), lan_stats.clone()),
+        );
+        proxy_server.set_invalidation_capacity(config.invalidation_buffer);
+        let mut ps_dispatcher = Dispatcher::new();
+        ps_dispatcher.register_arc(Arc::clone(&proxy_server) as Arc<dyn gvfs_rpc::dispatch::RpcService>);
+        // MOUNT passes through the proxy server to the NFS host.
+        ps_dispatcher.register(ForwardService {
+            program: gvfs_nfs3::mount::MOUNT_PROGRAM,
+            version: gvfs_nfs3::mount::MOUNT_V3,
+            upstream: SimRpcClient::new(server_loop.forward(), Arc::clone(&nfs_node), lan_stats.clone()),
+        });
+        let proxy_server_node =
+            ServerNode::new("proxy-server", ps_dispatcher, config.proxy_proc_time);
+
+        let wan_stats = RpcStats::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut clients = Vec::with_capacity(self.clients);
+        for i in 0..self.clients {
+            let id = i as u32 + 1;
+            let link_config = self
+                .client_links
+                .as_ref()
+                .and_then(|links| links.get(i).copied())
+                .unwrap_or(self.wan);
+            let wan_link = Link::new(link_config);
+            let cred = GvfsCred { session_key: self.session_key, client_id: id, callback_port: 7000 + id };
+            let wan = SimRpcClient::new(
+                wan_link.forward(),
+                Arc::clone(&proxy_server_node),
+                wan_stats.clone(),
+            )
+            .with_credential(OpaqueAuth::gvfs(&cred).expect("encode credential"));
+            let proxy = ProxyClient::new(
+                id,
+                config.model,
+                config.write_back,
+                wan,
+                config.disk_cache_bytes,
+            );
+
+            // Callback service node, reached from the proxy server over
+            // the reverse WAN direction.
+            let mut cb_dispatcher = Dispatcher::new();
+            cb_dispatcher.register(CallbackService(Arc::clone(&proxy)));
+            let cb_node = ServerNode::new(
+                &format!("proxy-client-{id}-callback"),
+                cb_dispatcher,
+                config.proxy_proc_time,
+            );
+            proxy_server.register_callback(
+                id,
+                SimRpcClient::new(wan_link.reverse(), Arc::clone(&cb_node), wan_stats.clone()),
+            );
+
+            // Kernel-facing node over loopback: NFS via the proxy
+            // client, MOUNT forwarded over the WAN.
+            let mut pc_dispatcher = Dispatcher::new();
+            pc_dispatcher
+                .register_arc(Arc::clone(&proxy) as Arc<dyn gvfs_rpc::dispatch::RpcService>);
+            pc_dispatcher.register(ForwardService {
+                program: gvfs_nfs3::mount::MOUNT_PROGRAM,
+                version: gvfs_nfs3::mount::MOUNT_V3,
+                upstream: SimRpcClient::new(
+                    wan_link.forward(),
+                    Arc::clone(&proxy_server_node),
+                    wan_stats.clone(),
+                ),
+            });
+            let pc_node = ServerNode::new(
+                &format!("proxy-client-{id}"),
+                pc_dispatcher,
+                config.proxy_proc_time,
+            );
+            let loopback = Link::new(self.loopback);
+
+            // Background actors.
+            if let ConsistencyModel::InvalidationPolling { period, backoff_max } = config.model {
+                let p = Arc::clone(&proxy);
+                sim.spawn(&format!("poller-{id}"), move || p.run_poller(period, backoff_max));
+            }
+            {
+                let p = Arc::clone(&proxy);
+                sim.spawn(&format!("flusher-{id}"), move || p.run_flusher());
+            }
+
+            clients.push(ClientEnd { proxy, node: pc_node, loopback, wan_link, cb_node });
+        }
+
+        if let (ConsistencyModel::DelegationCallback(_), Some(interval)) =
+            (config.model, config.sweep_interval)
+        {
+            let ps = Arc::clone(&proxy_server);
+            let stop_flag = Arc::clone(&stop);
+            sim.spawn("delegation-sweeper", move || loop {
+                gvfs_netsim::park_timeout(interval);
+                if stop_flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                ps.sweep();
+            });
+        }
+
+        Session {
+            config,
+            vfs,
+            nfs_node,
+            proxy_server,
+            proxy_server_node,
+            clients,
+            wan_stats,
+            lan_stats,
+            root,
+            stop,
+        }
+    }
+}
+
+struct ClientEnd {
+    proxy: Arc<ProxyClient>,
+    node: Arc<ServerNode>,
+    loopback: Arc<Link>,
+    wan_link: Arc<Link>,
+    #[allow(dead_code)] // keeps the callback node alive for the session
+    cb_node: Arc<ServerNode>,
+}
+
+/// An established GVFS session.
+pub struct Session {
+    config: SessionConfig,
+    vfs: Arc<Vfs>,
+    nfs_node: Arc<ServerNode>,
+    proxy_server: Arc<ProxyServer>,
+    proxy_server_node: Arc<ServerNode>,
+    clients: Vec<ClientEnd>,
+    wan_stats: RpcStats,
+    lan_stats: RpcStats,
+    root: Fh3,
+    stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("model", &self.config.model)
+            .field("clients", &self.clients.len())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Starts building a session with `config`.
+    pub fn builder(config: SessionConfig) -> SessionBuilder {
+        SessionBuilder {
+            config,
+            clients: 1,
+            wan: LinkConfig::wan(),
+            client_links: None,
+            loopback: LinkConfig::loopback(),
+            vfs: None,
+            session_key: 0x6776_6673,
+        }
+    }
+
+    /// The transport a kernel NFS client on machine `i` mounts through
+    /// (loopback to that machine's proxy client).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn client_transport(&self, i: usize) -> SimRpcClient {
+        let end = &self.clients[i];
+        SimRpcClient::new(end.loopback.forward(), Arc::clone(&end.node), RpcStats::new())
+    }
+
+    /// The export's root file handle.
+    pub fn root_fh(&self) -> Fh3 {
+        self.root
+    }
+
+    /// The exported filesystem (for out-of-band population).
+    pub fn vfs(&self) -> &Arc<Vfs> {
+        &self.vfs
+    }
+
+    /// WAN traffic counters — the paper's "RPCs transferred over the
+    /// network". Covers all clients' WAN links, both directions
+    /// (callbacks included).
+    pub fn wan_stats(&self) -> &RpcStats {
+        &self.wan_stats
+    }
+
+    /// Loopback traffic counters (proxy server ↔ NFS server).
+    pub fn lan_stats(&self) -> &RpcStats {
+        &self.lan_stats
+    }
+
+    /// The proxy server (failure injection, diagnostics).
+    pub fn proxy_server(&self) -> &Arc<ProxyServer> {
+        &self.proxy_server
+    }
+
+    /// The proxy client of machine `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn proxy_client(&self, i: usize) -> &Arc<ProxyClient> {
+        &self.clients[i].proxy
+    }
+
+    /// The WAN link of machine `i` (partition injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn wan_link(&self, i: usize) -> &Arc<Link> {
+        &self.clients[i].wan_link
+    }
+
+    /// The kernel NFS server node (failure injection).
+    pub fn nfs_node(&self) -> &Arc<ServerNode> {
+        &self.nfs_node
+    }
+
+    /// The proxy server node (failure injection).
+    pub fn proxy_server_node(&self) -> &Arc<ServerNode> {
+        &self.proxy_server_node
+    }
+
+    /// Crashes the proxy server: it stops answering and loses its
+    /// volatile state (buffers, timestamps, delegation table).
+    pub fn crash_proxy_server(&self) {
+        self.proxy_server_node.set_up(false);
+        self.proxy_server.crash();
+    }
+
+    /// Restarts the proxy server and runs recovery (the cache-wide
+    /// callback round, §4.3.4). Returns how many clients answered.
+    pub fn restart_proxy_server(&self) -> usize {
+        self.proxy_server_node.set_up(true);
+        self.proxy_server.recover()
+    }
+
+    /// A cloneable control handle usable from workload actors.
+    pub fn handle(&self) -> SessionHandle {
+        SessionHandle {
+            proxies: self.clients.iter().map(|c| Arc::clone(&c.proxy)).collect(),
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Shuts the session down from outside the simulation (only valid
+    /// when no flushing is needed; prefer [`SessionHandle::shutdown`]
+    /// from an actor).
+    pub fn shutdown_external(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for end in &self.clients {
+            end.proxy.shutdown();
+        }
+    }
+}
+
+/// Cloneable session control passed into workload actors.
+#[derive(Clone)]
+pub struct SessionHandle {
+    proxies: Vec<Arc<ProxyClient>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle").field("clients", &self.proxies.len()).finish()
+    }
+}
+
+impl SessionHandle {
+    /// Unmount semantics: flush all delayed writes (charging the calling
+    /// actor's clock), then stop the background actors.
+    pub fn shutdown(&self) {
+        for proxy in &self.proxies {
+            proxy.flush_all();
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        for proxy in &self.proxies {
+            proxy.shutdown();
+        }
+    }
+}
+
+/// The no-proxy baseline: kernel clients mount the kernel NFS server
+/// straight across the WAN.
+pub struct NativeMount {
+    vfs: Arc<Vfs>,
+    nfs_node: Arc<ServerNode>,
+    links: Vec<Arc<Link>>,
+    stats: RpcStats,
+    root: Fh3,
+}
+
+impl std::fmt::Debug for NativeMount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeMount").field("clients", &self.links.len()).finish()
+    }
+}
+
+impl NativeMount {
+    /// Builds the baseline with `clients` links shaped by `wan`.
+    pub fn establish(clients: usize, wan: LinkConfig, vfs: Option<Arc<Vfs>>) -> Self {
+        Self::establish_with_links(vec![wan; clients], vfs)
+    }
+
+    /// Builds the baseline with one explicit link configuration per
+    /// client (mixing WAN users with a LAN administrator).
+    pub fn establish_with_links(links: Vec<LinkConfig>, vfs: Option<Arc<Vfs>>) -> Self {
+        let vfs = vfs.unwrap_or_else(|| Arc::new(Vfs::new()));
+        let clock: gvfs_server::Clock =
+            Arc::new(|| Timestamp::from_nanos(gvfs_netsim::now().as_nanos()));
+        let nfs = Nfs3Server::new(Arc::clone(&vfs), clock);
+        let root = nfs.root_fh();
+        let mut dispatcher = Dispatcher::new();
+        dispatcher.register(nfs);
+        dispatcher.register(gvfs_server::MountServer::new(Arc::clone(&vfs), EXPORT_PATH));
+        let nfs_node = ServerNode::new("nfs-server", dispatcher, Duration::from_micros(200));
+        let links = links.into_iter().map(Link::new).collect();
+        NativeMount { vfs, nfs_node, links, stats: RpcStats::new(), root }
+    }
+
+    /// The WAN transport for kernel client `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn client_transport(&self, i: usize) -> SimRpcClient {
+        SimRpcClient::new(self.links[i].forward(), Arc::clone(&self.nfs_node), self.stats.clone())
+    }
+
+    /// The export root handle.
+    pub fn root_fh(&self) -> Fh3 {
+        self.root
+    }
+
+    /// The exported filesystem.
+    pub fn vfs(&self) -> &Arc<Vfs> {
+        &self.vfs
+    }
+
+    /// WAN traffic counters.
+    pub fn stats(&self) -> &RpcStats {
+        &self.stats
+    }
+
+    /// The WAN link of client `i` (partition injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn link(&self, i: usize) -> &Arc<Link> {
+        &self.links[i]
+    }
+
+    /// The server node (failure injection).
+    pub fn nfs_node(&self) -> &Arc<ServerNode> {
+        &self.nfs_node
+    }
+}

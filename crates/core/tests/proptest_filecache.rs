@@ -1,0 +1,175 @@
+//! Model-based property test for the proxy's extent cache.
+//!
+//! [`FileCache`](gvfs_core::cache::FileCache) maintains non-overlapping
+//! clean/dirty extents with splitting, coalescing, overlays (dirty beats
+//! incoming clean) and block-grained cleaning. This test drives it with
+//! random operation sequences against a flat reference model (one byte +
+//! one state flag per offset) and checks every observable after every
+//! step.
+
+use gvfs_core::cache::FileCache;
+use proptest::prelude::*;
+
+const SPACE: usize = 4096; // model address space
+const BLOCK: u64 = 256;
+
+#[derive(Debug, Clone)]
+enum Op {
+    InsertClean { offset: usize, len: usize, byte: u8 },
+    WriteDirty { offset: usize, len: usize, byte: u8 },
+    CleanRange { offset: usize, len: usize },
+    DropClean,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let range = (0usize..SPACE - 1, 1usize..512, any::<u8>());
+    prop_oneof![
+        range.clone().prop_map(|(offset, len, byte)| Op::InsertClean {
+            offset,
+            len: len.min(SPACE - offset),
+            byte
+        }),
+        range.prop_map(|(offset, len, byte)| Op::WriteDirty {
+            offset,
+            len: len.min(SPACE - offset),
+            byte
+        }),
+        (0usize..SPACE - 1, 1usize..1024).prop_map(|(offset, len)| Op::CleanRange {
+            offset,
+            len: len.min(SPACE - offset),
+        }),
+        Just(Op::DropClean),
+    ]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CellState {
+    Absent,
+    Clean,
+    Dirty,
+}
+
+struct Model {
+    bytes: [u8; SPACE],
+    state: [CellState; SPACE],
+}
+
+impl Model {
+    fn new() -> Self {
+        Model { bytes: [0; SPACE], state: [CellState::Absent; SPACE] }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::InsertClean { offset, len, byte } => {
+                for i in offset..offset + len {
+                    // Dirty bytes beat incoming clean data.
+                    if self.state[i] != CellState::Dirty {
+                        self.bytes[i] = byte;
+                        self.state[i] = CellState::Clean;
+                    }
+                }
+            }
+            Op::WriteDirty { offset, len, byte } => {
+                for i in offset..offset + len {
+                    self.bytes[i] = byte;
+                    self.state[i] = CellState::Dirty;
+                }
+            }
+            Op::CleanRange { offset, len } => {
+                for i in offset..offset + len {
+                    if self.state[i] == CellState::Dirty {
+                        self.state[i] = CellState::Clean;
+                    }
+                }
+            }
+            Op::DropClean => {
+                for i in 0..SPACE {
+                    if self.state[i] == CellState::Clean {
+                        self.state[i] = CellState::Absent;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Some(bytes)` iff the whole range is present.
+    fn read(&self, offset: usize, len: usize) -> Option<Vec<u8>> {
+        if (offset..offset + len).all(|i| self.state[i] != CellState::Absent) {
+            Some(self.bytes[offset..offset + len].to_vec())
+        } else {
+            None
+        }
+    }
+
+    fn dirty_mask(&self) -> Vec<bool> {
+        self.state.iter().map(|s| *s == CellState::Dirty).collect()
+    }
+}
+
+fn apply_real(fc: &mut FileCache, op: &Op) {
+    match *op {
+        Op::InsertClean { offset, len, byte } => fc.insert_clean(offset as u64, vec![byte; len]),
+        Op::WriteDirty { offset, len, byte } => fc.write_dirty(offset as u64, vec![byte; len]),
+        Op::CleanRange { offset, len } => fc.clean_range(offset as u64, len as u64),
+        Op::DropClean => fc.drop_clean(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn file_cache_matches_flat_model(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        probes in proptest::collection::vec((0usize..SPACE - 1, 1usize..256), 8),
+    ) {
+        let mut fc = FileCache::default();
+        let mut model = Model::new();
+        for op in &ops {
+            apply_real(&mut fc, op);
+            model.apply(op);
+
+            // Probe random reads.
+            for &(offset, len) in &probes {
+                let len = len.min(SPACE - offset);
+                let real = fc.read(offset as u64, len);
+                let expected = model.read(offset, len);
+                prop_assert_eq!(&real, &expected,
+                    "read({}, {}) diverged after {:?}", offset, len, op);
+            }
+
+            // Dirty ranges must match the model's dirty mask exactly.
+            let mask = model.dirty_mask();
+            let mut real_mask = vec![false; SPACE];
+            for (off, len) in fc.dirty_ranges() {
+                for i in off as usize..off as usize + len {
+                    prop_assert!(i < SPACE);
+                    prop_assert!(!real_mask[i], "overlapping dirty extents");
+                    real_mask[i] = true;
+                }
+            }
+            prop_assert_eq!(&real_mask, &mask, "dirty mask diverged after {:?}", op);
+
+            // dirty_blocks covers exactly the blocks containing dirty bytes.
+            let expected_blocks: Vec<u64> = (0..SPACE as u64 / BLOCK)
+                .map(|b| b * BLOCK)
+                .filter(|&b| (b..b + BLOCK).any(|i| mask[i as usize]))
+                .collect();
+            prop_assert_eq!(fc.dirty_blocks(BLOCK), expected_blocks);
+
+            // dirty_in_block segments reassemble the block's dirty bytes.
+            for &block in &fc.dirty_blocks(BLOCK) {
+                for (seg_off, seg) in fc.dirty_in_block(block, BLOCK) {
+                    for (k, &byte) in seg.iter().enumerate() {
+                        let i = seg_off as usize + k;
+                        prop_assert!(mask[i], "segment byte not dirty in model");
+                        prop_assert_eq!(byte, model.bytes[i]);
+                    }
+                }
+            }
+
+            // has_dirty agrees.
+            prop_assert_eq!(fc.has_dirty(), mask.iter().any(|&d| d));
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Host crate for the workspace-level integration tests in `/tests`.
+//!
+//! The tests exercise the full GVFS stack — XDR, ONC RPC, the NFSv3
+//! server over the in-memory filesystem, the kernel-client emulation,
+//! the proxies, and the workload drivers — across consistency models
+//! and failure scenarios. See the `[[test]]` targets in this crate's
+//! `Cargo.toml`.

@@ -1,0 +1,333 @@
+//! Simulated network links.
+//!
+//! A [`Link`] joins two endpoints with configurable one-way propagation
+//! latency and bandwidth, mirroring the paper's NIST Net configuration
+//! (40 ms RTT, 4 Mbit/s per client–server link). Each direction is
+//! modelled independently (full duplex) with FIFO serialization: a
+//! transfer occupies the directional pipe for `bytes × 8 ÷ bandwidth`
+//! seconds starting no earlier than the previous transfer finished.
+//!
+//! Links can be [partitioned](Link::set_partitioned) to inject failures.
+
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a [`Link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// One-way propagation delay (half the RTT).
+    pub one_way_latency: Duration,
+    /// Bandwidth in bits per second; `None` means unlimited.
+    pub bandwidth_bps: Option<u64>,
+    /// Fixed per-message framing overhead in bytes (TCP/IP headers and
+    /// the RPC record mark), charged against bandwidth.
+    pub per_message_overhead: usize,
+}
+
+impl LinkConfig {
+    /// A link shaped like the paper's emulated WAN: 40 ms RTT, 4 Mbit/s.
+    pub fn wan() -> Self {
+        LinkConfig {
+            one_way_latency: Duration::from_millis(20),
+            bandwidth_bps: Some(4_000_000),
+            per_message_overhead: 68,
+        }
+    }
+
+    /// A link shaped like the paper's 100 Mbit/s LAN (0.2 ms RTT).
+    pub fn lan() -> Self {
+        LinkConfig {
+            one_way_latency: Duration::from_micros(100),
+            bandwidth_bps: Some(100_000_000),
+            per_message_overhead: 68,
+        }
+    }
+
+    /// A loopback link between co-located processes (proxy ↔ kernel
+    /// client on the same host): negligible latency, no bandwidth cap.
+    pub fn loopback() -> Self {
+        LinkConfig {
+            one_way_latency: Duration::from_micros(15),
+            bandwidth_bps: None,
+            per_message_overhead: 0,
+        }
+    }
+
+    /// Returns `self` with the round-trip time set to `rtt`
+    /// (one-way latency = `rtt / 2`).
+    pub fn with_rtt(mut self, rtt: Duration) -> Self {
+        self.one_way_latency = rtt / 2;
+        self
+    }
+
+    /// Returns `self` with the given bandwidth in bits per second.
+    pub fn with_bandwidth_bps(mut self, bps: u64) -> Self {
+        self.bandwidth_bps = Some(bps);
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct DirState {
+    busy_until: SimTime,
+    messages: u64,
+    bytes: u64,
+}
+
+/// A bidirectional point-to-point link.
+///
+/// Obtain directional senders with [`Link::forward`] and [`Link::reverse`].
+///
+/// # Examples
+///
+/// ```
+/// use gvfs_netsim::link::{Link, LinkConfig};
+/// use gvfs_netsim::{Sim, now};
+///
+/// let link = Link::new(LinkConfig::wan());
+/// let half = link.forward();
+/// let sim = Sim::new();
+/// sim.spawn("sender", move || {
+///     let arrival = half.send(now(), 1000).unwrap();
+///     // 20 ms propagation + (1068 bytes * 8) / 4 Mbit/s ≈ 2.1 ms
+///     assert!(arrival.as_secs_f64() > 0.020);
+/// });
+/// sim.run();
+/// ```
+#[derive(Debug)]
+pub struct Link {
+    config: Mutex<LinkConfig>,
+    partitioned: AtomicBool,
+    ab: Mutex<DirState>,
+    ba: Mutex<DirState>,
+}
+
+/// Error returned when sending over a partitioned link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioned;
+
+impl std::fmt::Display for Partitioned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link is partitioned")
+    }
+}
+
+impl std::error::Error for Partitioned {}
+
+impl Link {
+    /// Creates a link with the given configuration.
+    pub fn new(config: LinkConfig) -> Arc<Self> {
+        Arc::new(Link {
+            config: Mutex::new(config),
+            partitioned: AtomicBool::new(false),
+            ab: Mutex::new(DirState::default()),
+            ba: Mutex::new(DirState::default()),
+        })
+    }
+
+    /// The sender for the A→B direction.
+    pub fn forward(self: &Arc<Self>) -> LinkHalf {
+        LinkHalf { link: Arc::clone(self), forward: true }
+    }
+
+    /// The sender for the B→A direction.
+    pub fn reverse(self: &Arc<Self>) -> LinkHalf {
+        LinkHalf { link: Arc::clone(self), forward: false }
+    }
+
+    /// Cuts or heals the link. While partitioned, sends in both
+    /// directions fail with [`Partitioned`].
+    pub fn set_partitioned(&self, partitioned: bool) {
+        self.partitioned.store(partitioned, Ordering::SeqCst);
+    }
+
+    /// Whether the link is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::SeqCst)
+    }
+
+    /// Replaces the link configuration (latency/bandwidth), affecting
+    /// subsequent transfers.
+    pub fn set_config(&self, config: LinkConfig) {
+        *self.config.lock() = config;
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> LinkConfig {
+        *self.config.lock()
+    }
+
+    /// Total messages and bytes sent in both directions.
+    pub fn traffic(&self) -> (u64, u64) {
+        let ab = self.ab.lock();
+        let ba = self.ba.lock();
+        (ab.messages + ba.messages, ab.bytes + ba.bytes)
+    }
+
+    fn send_dir(&self, forward: bool, now: SimTime, bytes: usize) -> Result<SimTime, Partitioned> {
+        if self.is_partitioned() {
+            return Err(Partitioned);
+        }
+        let config = *self.config.lock();
+        let total = bytes + config.per_message_overhead;
+        let serialization = match config.bandwidth_bps {
+            Some(bps) => {
+                let nanos = (total as u128 * 8 * 1_000_000_000) / bps as u128;
+                Duration::from_nanos(u64::try_from(nanos).expect("transfer time overflow"))
+            }
+            None => Duration::ZERO,
+        };
+        let mut dir = if forward { self.ab.lock() } else { self.ba.lock() };
+        let start = now.max(dir.busy_until);
+        dir.busy_until = start + serialization;
+        dir.messages += 1;
+        dir.bytes += total as u64;
+        Ok(dir.busy_until + config.one_way_latency)
+    }
+}
+
+/// One direction of a [`Link`].
+#[derive(Debug, Clone)]
+pub struct LinkHalf {
+    link: Arc<Link>,
+    forward: bool,
+}
+
+impl LinkHalf {
+    /// Sends `bytes` at virtual time `now`; returns the arrival time at
+    /// the far end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Partitioned`] if the link is cut.
+    pub fn send(&self, now: SimTime, bytes: usize) -> Result<SimTime, Partitioned> {
+        self.link.send_dir(self.forward, now, bytes)
+    }
+
+    /// Sends `bytes` in the opposite direction (for replies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Partitioned`] if the link is cut.
+    pub fn send_reverse(&self, now: SimTime, bytes: usize) -> Result<SimTime, Partitioned> {
+        self.link.send_dir(!self.forward, now, bytes)
+    }
+
+    /// The underlying link.
+    pub fn link(&self) -> &Arc<Link> {
+        &self.link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_overhead(mut c: LinkConfig) -> LinkConfig {
+        c.per_message_overhead = 0;
+        c
+    }
+
+    #[test]
+    fn latency_only_transfer() {
+        let link = Link::new(no_overhead(LinkConfig {
+            one_way_latency: Duration::from_millis(20),
+            bandwidth_bps: None,
+            per_message_overhead: 0,
+        }));
+        let arrival = link.forward().send(SimTime::ZERO, 10_000).unwrap();
+        assert_eq!(arrival, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        // 1 Mbit/s, 1250 bytes = 10_000 bits = 10 ms serialization.
+        let link = Link::new(no_overhead(LinkConfig {
+            one_way_latency: Duration::from_millis(5),
+            bandwidth_bps: Some(1_000_000),
+            per_message_overhead: 0,
+        }));
+        let arrival = link.forward().send(SimTime::ZERO, 1250).unwrap();
+        assert_eq!(arrival, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn back_to_back_sends_queue_on_the_pipe() {
+        let link = Link::new(no_overhead(LinkConfig {
+            one_way_latency: Duration::from_millis(5),
+            bandwidth_bps: Some(1_000_000),
+            per_message_overhead: 0,
+        }));
+        let h = link.forward();
+        let first = h.send(SimTime::ZERO, 1250).unwrap();
+        let second = h.send(SimTime::ZERO, 1250).unwrap();
+        assert_eq!(first, SimTime::from_millis(15));
+        assert_eq!(second, SimTime::from_millis(25)); // waits for the pipe
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let link = Link::new(no_overhead(LinkConfig {
+            one_way_latency: Duration::from_millis(5),
+            bandwidth_bps: Some(1_000_000),
+            per_message_overhead: 0,
+        }));
+        let fwd = link.forward().send(SimTime::ZERO, 1250).unwrap();
+        let rev = link.reverse().send(SimTime::ZERO, 1250).unwrap();
+        assert_eq!(fwd, rev); // no shared occupancy
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let link = Link::new(LinkConfig::wan());
+        link.set_partitioned(true);
+        assert_eq!(link.forward().send(SimTime::ZERO, 1).unwrap_err(), Partitioned);
+        assert_eq!(link.reverse().send(SimTime::ZERO, 1).unwrap_err(), Partitioned);
+        link.set_partitioned(false);
+        assert!(link.forward().send(SimTime::ZERO, 1).is_ok());
+    }
+
+    #[test]
+    fn overhead_is_charged() {
+        let link = Link::new(LinkConfig {
+            one_way_latency: Duration::ZERO,
+            bandwidth_bps: Some(8_000), // 1000 bytes/s
+            per_message_overhead: 100,
+        });
+        // 0 payload bytes + 100 overhead = 100 bytes = 100 ms at 1000 B/s.
+        let arrival = link.forward().send(SimTime::ZERO, 0).unwrap();
+        assert_eq!(arrival, SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let link = Link::new(no_overhead(LinkConfig::lan()));
+        link.forward().send(SimTime::ZERO, 100).unwrap();
+        link.reverse().send(SimTime::ZERO, 50).unwrap();
+        assert_eq!(link.traffic(), (2, 150));
+    }
+
+    #[test]
+    fn send_reverse_uses_opposite_pipe() {
+        let link = Link::new(no_overhead(LinkConfig {
+            one_way_latency: Duration::ZERO,
+            bandwidth_bps: Some(1_000_000),
+            per_message_overhead: 0,
+        }));
+        let h = link.forward();
+        h.send(SimTime::ZERO, 1250).unwrap();
+        // Reply path must not be delayed by the forward transfer.
+        let back = h.send_reverse(SimTime::ZERO, 1250).unwrap();
+        assert_eq!(back, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn presets_have_expected_rtt() {
+        assert_eq!(LinkConfig::wan().one_way_latency, Duration::from_millis(20));
+        let cfg = LinkConfig::wan().with_rtt(Duration::from_millis(10));
+        assert_eq!(cfg.one_way_latency, Duration::from_millis(5));
+    }
+}

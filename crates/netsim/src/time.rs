@@ -1,0 +1,135 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant of virtual time, in nanoseconds since simulation start.
+///
+/// `SimTime` is totally ordered and only ever moves forward during a
+/// simulation. Durations are ordinary [`std::time::Duration`]s.
+///
+/// # Examples
+///
+/// ```
+/// use gvfs_netsim::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(40);
+/// assert_eq!(t.as_secs_f64(), 0.040);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_millis(40));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Builds a time from whole seconds since simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Builds a time from milliseconds since simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference `self - earlier` as a [`Duration`];
+    /// zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0 + u64::try_from(d.as_nanos()).expect("duration overflows virtual time"))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_nanos(self.0.checked_sub(rhs.0).expect("negative duration"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn add_duration_and_subtract() {
+        let t = SimTime::from_secs(1) + Duration::from_millis(500);
+        assert_eq!(t - SimTime::from_secs(1), Duration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_difference_panics() {
+        let _ = SimTime::ZERO - SimTime::from_secs(1);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(SimTime::ZERO.saturating_since(SimTime::from_secs(1)), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_in_seconds() {
+        assert_eq!(SimTime::from_millis(40).to_string(), "0.040000s");
+    }
+
+    #[test]
+    fn max_picks_later() {
+        assert_eq!(SimTime::from_secs(1).max(SimTime::from_secs(2)), SimTime::from_secs(2));
+    }
+}

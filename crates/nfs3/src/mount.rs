@@ -1,0 +1,225 @@
+//! The MOUNT protocol, version 3 (RFC 1813 Appendix I).
+//!
+//! Real NFS deployments bootstrap through MOUNT: the client sends the
+//! export's path and receives the root file handle. The GVFS paper's
+//! sessions are "mounted in the same way as conventional NFS", so the
+//! protocol is provided for faithful bootstrap (sessions may also be
+//! handed the root handle directly by the middleware).
+
+use crate::types::{Fh3, FHSIZE3};
+use gvfs_xdr::{Decoder, Encoder, Xdr, XdrError};
+
+/// The MOUNT program number.
+pub const MOUNT_PROGRAM: u32 = 100005;
+/// MOUNT protocol version 3 (pairs with NFSv3).
+pub const MOUNT_V3: u32 = 3;
+/// Maximum path length (RFC 1813 `MNTPATHLEN`).
+pub const MNTPATHLEN: usize = 1024;
+
+/// MOUNT procedure numbers.
+pub mod mount_proc {
+    /// Do nothing.
+    pub const NULL: u32 = 0;
+    /// Map a pathname to a file handle.
+    pub const MNT: u32 = 1;
+    /// Remove a mount entry.
+    pub const UMNT: u32 = 3;
+    /// Remove all of this client's mount entries.
+    pub const UMNTALL: u32 = 4;
+    /// List the server's exports.
+    pub const EXPORT: u32 = 5;
+}
+
+/// MOUNT status codes (`mountstat3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum MountStat3 {
+    /// Success.
+    Ok = 0,
+    /// Not owner.
+    Perm = 1,
+    /// No such file or directory.
+    Noent = 2,
+    /// I/O error.
+    Io = 5,
+    /// Permission denied.
+    Access = 13,
+    /// Not a directory.
+    Notdir = 20,
+    /// Invalid argument.
+    Inval = 22,
+    /// Filename too long.
+    Nametoolong = 63,
+    /// Operation not supported.
+    Notsupp = 10004,
+    /// Server fault.
+    Serverfault = 10006,
+}
+
+impl Xdr for MountStat3 {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        enc.put_u32(*self as u32);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(MountStat3::Ok),
+            1 => Ok(MountStat3::Perm),
+            2 => Ok(MountStat3::Noent),
+            5 => Ok(MountStat3::Io),
+            13 => Ok(MountStat3::Access),
+            20 => Ok(MountStat3::Notdir),
+            22 => Ok(MountStat3::Inval),
+            63 => Ok(MountStat3::Nametoolong),
+            10004 => Ok(MountStat3::Notsupp),
+            10006 => Ok(MountStat3::Serverfault),
+            value => Err(XdrError::InvalidDiscriminant { type_name: "MountStat3", value }),
+        }
+    }
+}
+
+/// `MNT` arguments: the export path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MntArgs {
+    /// Directory path to mount.
+    pub dirpath: String,
+}
+
+impl Xdr for MntArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        enc.put_string(&self.dirpath)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let bytes = dec.get_opaque_bounded("dirpath", MNTPATHLEN)?;
+        Ok(MntArgs { dirpath: String::from_utf8(bytes).map_err(|_| XdrError::InvalidUtf8)? })
+    }
+}
+
+/// `MNT` result: the root handle and supported auth flavors on success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MntRes {
+    /// The export was mounted.
+    Ok {
+        /// Root file handle of the export.
+        fhandle: Fh3,
+        /// Authentication flavors the server accepts.
+        auth_flavors: Vec<u32>,
+    },
+    /// The mount failed.
+    Fail(MountStat3),
+}
+
+impl Xdr for MntRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            MntRes::Ok { fhandle, auth_flavors } => {
+                MountStat3::Ok.encode(enc)?;
+                fhandle.encode(enc)?;
+                auth_flavors.encode(enc)
+            }
+            MntRes::Fail(status) => {
+                debug_assert!(*status != MountStat3::Ok);
+                status.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        match MountStat3::decode(dec)? {
+            MountStat3::Ok => Ok(MntRes::Ok {
+                fhandle: Fh3::decode(dec)?,
+                auth_flavors: Vec::<u32>::decode(dec)?,
+            }),
+            status => Ok(MntRes::Fail(status)),
+        }
+    }
+}
+
+/// One entry of the `EXPORT` listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportEntry {
+    /// Exported directory path.
+    pub dirpath: String,
+    /// Groups allowed to mount it (empty = everyone).
+    pub groups: Vec<String>,
+}
+
+/// `EXPORT` result: the export list (encoded as the RFC's linked list).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExportRes {
+    /// The exports.
+    pub exports: Vec<ExportEntry>,
+}
+
+impl Xdr for ExportRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        for export in &self.exports {
+            enc.put_bool(true);
+            enc.put_string(&export.dirpath)?;
+            for group in &export.groups {
+                enc.put_bool(true);
+                enc.put_string(group)?;
+            }
+            enc.put_bool(false);
+        }
+        enc.put_bool(false);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let mut exports = Vec::new();
+        while dec.get_bool()? {
+            let dirpath = dec.get_string()?;
+            let mut groups = Vec::new();
+            while dec.get_bool()? {
+                groups.push(dec.get_string()?);
+            }
+            exports.push(ExportEntry { dirpath, groups });
+        }
+        Ok(ExportRes { exports })
+    }
+}
+
+/// Sanity re-export check.
+pub const _FH_BOUND: usize = FHSIZE3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt<T: Xdr + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = gvfs_xdr::to_bytes(v).unwrap();
+        assert_eq!(&gvfs_xdr::from_bytes::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn mnt_roundtrip() {
+        rt(&MntArgs { dirpath: "/export/grid".into() });
+        rt(&MntRes::Ok { fhandle: Fh3::from_fileid(1), auth_flavors: vec![0, 1] });
+        rt(&MntRes::Fail(MountStat3::Noent));
+    }
+
+    #[test]
+    fn export_list_roundtrip() {
+        rt(&ExportRes::default());
+        rt(&ExportRes {
+            exports: vec![
+                ExportEntry { dirpath: "/export/grid".into(), groups: vec![] },
+                ExportEntry {
+                    dirpath: "/export/home".into(),
+                    groups: vec!["acis".into(), "grid".into()],
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn oversized_path_rejected() {
+        let long = MntArgs { dirpath: "x".repeat(MNTPATHLEN + 1) };
+        let bytes = gvfs_xdr::to_bytes(&long).unwrap();
+        assert!(gvfs_xdr::from_bytes::<MntArgs>(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_mount_stat_rejected() {
+        assert!(gvfs_xdr::from_bytes::<MountStat3>(&[0, 0, 0, 99]).is_err());
+    }
+}

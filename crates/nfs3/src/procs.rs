@@ -1,0 +1,1512 @@
+//! Per-procedure argument and result structures (RFC 1813 §3.3).
+//!
+//! Result types mirror the RFC's discriminated unions: an `Ok` arm with
+//! the `resok` body and a `Fail` arm carrying the failing status plus
+//! whatever attributes the RFC returns on failure.
+
+use crate::status::Nfsstat3;
+use crate::types::{Fattr3, Fh3, PostOpAttr, PostOpFh3, Sattr3, NfsTime3, WccData};
+use gvfs_xdr::{Decoder, Encoder, Xdr, XdrError};
+
+/// Maximum filename length accepted (protocol hygiene bound).
+pub const MAX_NAME: usize = 255;
+
+fn get_name(dec: &mut Decoder<'_>) -> Result<String, XdrError> {
+    let bytes = dec.get_opaque_bounded("filename3", MAX_NAME)?;
+    String::from_utf8(bytes).map_err(|_| XdrError::InvalidUtf8)
+}
+
+/// `ACCESS` permission bits.
+pub mod access {
+    /// Read data or readdir.
+    pub const READ: u32 = 0x0001;
+    /// Look up a name in a directory.
+    pub const LOOKUP: u32 = 0x0002;
+    /// Modify a file's data.
+    pub const MODIFY: u32 = 0x0004;
+    /// Extend a file or add directory entries.
+    pub const EXTEND: u32 = 0x0008;
+    /// Delete directory entries.
+    pub const DELETE: u32 = 0x0010;
+    /// Execute a file.
+    pub const EXECUTE: u32 = 0x0020;
+}
+
+/// `GETATTR` arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetattrArgs {
+    /// Target object.
+    pub object: Fh3,
+}
+
+impl Xdr for GetattrArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.object.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(GetattrArgs { object: Fh3::decode(dec)? })
+    }
+}
+
+/// `GETATTR` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GetattrRes {
+    /// Attributes of the object.
+    Ok(Fattr3),
+    /// Failure status (never [`Nfsstat3::Ok`]).
+    Fail(Nfsstat3),
+}
+
+impl Xdr for GetattrRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            GetattrRes::Ok(attr) => {
+                Nfsstat3::Ok.encode(enc)?;
+                attr.encode(enc)
+            }
+            GetattrRes::Fail(status) => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            Ok(GetattrRes::Ok(Fattr3::decode(dec)?))
+        } else {
+            Ok(GetattrRes::Fail(status))
+        }
+    }
+}
+
+/// `SETATTR` arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetattrArgs {
+    /// Target object.
+    pub object: Fh3,
+    /// Attributes to set.
+    pub new_attributes: Sattr3,
+    /// Optional ctime guard: fail with `NOT_SYNC` unless the object's
+    /// ctime matches.
+    pub guard: Option<NfsTime3>,
+}
+
+impl Xdr for SetattrArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.object.encode(enc)?;
+        self.new_attributes.encode(enc)?;
+        self.guard.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(SetattrArgs {
+            object: Fh3::decode(dec)?,
+            new_attributes: Sattr3::decode(dec)?,
+            guard: Option::<NfsTime3>::decode(dec)?,
+        })
+    }
+}
+
+/// `SETATTR` result (both arms carry WCC data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetattrRes {
+    /// Outcome status.
+    pub status: Nfsstat3,
+    /// Weak cache consistency data for the object.
+    pub obj_wcc: WccData,
+}
+
+impl Xdr for SetattrRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.status.encode(enc)?;
+        self.obj_wcc.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(SetattrRes { status: Nfsstat3::decode(dec)?, obj_wcc: WccData::decode(dec)? })
+    }
+}
+
+/// `LOOKUP` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupArgs {
+    /// Directory to search.
+    pub dir: Fh3,
+    /// Name to look up.
+    pub name: String,
+}
+
+impl Xdr for LookupArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.dir.encode(enc)?;
+        enc.put_string(&self.name)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(LookupArgs { dir: Fh3::decode(dec)?, name: get_name(dec)? })
+    }
+}
+
+/// `LOOKUP` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupRes {
+    /// The object was found.
+    Ok {
+        /// Handle of the found object.
+        object: Fh3,
+        /// Attributes of the found object.
+        obj_attributes: PostOpAttr,
+        /// Attributes of the searched directory.
+        dir_attributes: PostOpAttr,
+    },
+    /// The lookup failed.
+    Fail {
+        /// Failure status (never [`Nfsstat3::Ok`]).
+        status: Nfsstat3,
+        /// Attributes of the searched directory.
+        dir_attributes: PostOpAttr,
+    },
+}
+
+impl Xdr for LookupRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            LookupRes::Ok { object, obj_attributes, dir_attributes } => {
+                Nfsstat3::Ok.encode(enc)?;
+                object.encode(enc)?;
+                obj_attributes.encode(enc)?;
+                dir_attributes.encode(enc)
+            }
+            LookupRes::Fail { status, dir_attributes } => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)?;
+                dir_attributes.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            Ok(LookupRes::Ok {
+                object: Fh3::decode(dec)?,
+                obj_attributes: PostOpAttr::decode(dec)?,
+                dir_attributes: PostOpAttr::decode(dec)?,
+            })
+        } else {
+            Ok(LookupRes::Fail { status, dir_attributes: PostOpAttr::decode(dec)? })
+        }
+    }
+}
+
+/// `ACCESS` arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessArgs {
+    /// Target object.
+    pub object: Fh3,
+    /// Requested access bits (see [`access`]).
+    pub access: u32,
+}
+
+impl Xdr for AccessArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.object.encode(enc)?;
+        enc.put_u32(self.access);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(AccessArgs { object: Fh3::decode(dec)?, access: dec.get_u32()? })
+    }
+}
+
+/// `ACCESS` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessRes {
+    /// Access check completed.
+    Ok {
+        /// Attributes of the object.
+        obj_attributes: PostOpAttr,
+        /// Granted access bits.
+        access: u32,
+    },
+    /// The check failed.
+    Fail {
+        /// Failure status.
+        status: Nfsstat3,
+        /// Attributes of the object.
+        obj_attributes: PostOpAttr,
+    },
+}
+
+impl Xdr for AccessRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            AccessRes::Ok { obj_attributes, access } => {
+                Nfsstat3::Ok.encode(enc)?;
+                obj_attributes.encode(enc)?;
+                enc.put_u32(*access);
+                Ok(())
+            }
+            AccessRes::Fail { status, obj_attributes } => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)?;
+                obj_attributes.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            Ok(AccessRes::Ok { obj_attributes: PostOpAttr::decode(dec)?, access: dec.get_u32()? })
+        } else {
+            Ok(AccessRes::Fail { status, obj_attributes: PostOpAttr::decode(dec)? })
+        }
+    }
+}
+
+/// `READLINK` arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadlinkArgs {
+    /// The symlink to read.
+    pub symlink: Fh3,
+}
+
+impl Xdr for ReadlinkArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.symlink.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(ReadlinkArgs { symlink: Fh3::decode(dec)? })
+    }
+}
+
+/// `READLINK` result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadlinkRes {
+    /// The link content.
+    Ok {
+        /// Attributes of the symlink.
+        symlink_attributes: PostOpAttr,
+        /// Target path.
+        data: String,
+    },
+    /// The read failed.
+    Fail {
+        /// Failure status.
+        status: Nfsstat3,
+        /// Attributes of the symlink.
+        symlink_attributes: PostOpAttr,
+    },
+}
+
+impl Xdr for ReadlinkRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            ReadlinkRes::Ok { symlink_attributes, data } => {
+                Nfsstat3::Ok.encode(enc)?;
+                symlink_attributes.encode(enc)?;
+                enc.put_string(data)
+            }
+            ReadlinkRes::Fail { status, symlink_attributes } => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)?;
+                symlink_attributes.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            Ok(ReadlinkRes::Ok {
+                symlink_attributes: PostOpAttr::decode(dec)?,
+                data: dec.get_string()?,
+            })
+        } else {
+            Ok(ReadlinkRes::Fail { status, symlink_attributes: PostOpAttr::decode(dec)? })
+        }
+    }
+}
+
+/// `READ` arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadArgs {
+    /// File to read.
+    pub file: Fh3,
+    /// Byte offset.
+    pub offset: u64,
+    /// Bytes requested.
+    pub count: u32,
+}
+
+impl Xdr for ReadArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.file.encode(enc)?;
+        enc.put_u64(self.offset);
+        enc.put_u32(self.count);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(ReadArgs { file: Fh3::decode(dec)?, offset: dec.get_u64()?, count: dec.get_u32()? })
+    }
+}
+
+/// `READ` result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadRes {
+    /// Data was read.
+    Ok {
+        /// Attributes of the file.
+        file_attributes: PostOpAttr,
+        /// Bytes returned.
+        count: u32,
+        /// Whether the read reached end of file.
+        eof: bool,
+        /// The data.
+        data: Vec<u8>,
+    },
+    /// The read failed.
+    Fail {
+        /// Failure status.
+        status: Nfsstat3,
+        /// Attributes of the file.
+        file_attributes: PostOpAttr,
+    },
+}
+
+impl Xdr for ReadRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            ReadRes::Ok { file_attributes, count, eof, data } => {
+                Nfsstat3::Ok.encode(enc)?;
+                file_attributes.encode(enc)?;
+                enc.put_u32(*count);
+                enc.put_bool(*eof);
+                enc.put_opaque(data)
+            }
+            ReadRes::Fail { status, file_attributes } => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)?;
+                file_attributes.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            Ok(ReadRes::Ok {
+                file_attributes: PostOpAttr::decode(dec)?,
+                count: dec.get_u32()?,
+                eof: dec.get_bool()?,
+                data: dec.get_opaque()?,
+            })
+        } else {
+            Ok(ReadRes::Fail { status, file_attributes: PostOpAttr::decode(dec)? })
+        }
+    }
+}
+
+/// Write stability levels (`stable_how`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u32)]
+pub enum StableHow {
+    /// The server may cache the write.
+    Unstable = 0,
+    /// Commit data before replying.
+    DataSync = 1,
+    /// Commit data and metadata before replying.
+    #[default]
+    FileSync = 2,
+}
+
+impl Xdr for StableHow {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        enc.put_u32(*self as u32);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(StableHow::Unstable),
+            1 => Ok(StableHow::DataSync),
+            2 => Ok(StableHow::FileSync),
+            value => Err(XdrError::InvalidDiscriminant { type_name: "StableHow", value }),
+        }
+    }
+}
+
+/// `WRITE` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteArgs {
+    /// File to write.
+    pub file: Fh3,
+    /// Byte offset.
+    pub offset: u64,
+    /// Bytes in `data`.
+    pub count: u32,
+    /// Stability requested.
+    pub stable: StableHow,
+    /// The data.
+    pub data: Vec<u8>,
+}
+
+impl Xdr for WriteArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.file.encode(enc)?;
+        enc.put_u64(self.offset);
+        enc.put_u32(self.count);
+        self.stable.encode(enc)?;
+        enc.put_opaque(&self.data)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(WriteArgs {
+            file: Fh3::decode(dec)?,
+            offset: dec.get_u64()?,
+            count: dec.get_u32()?,
+            stable: StableHow::decode(dec)?,
+            data: dec.get_opaque()?,
+        })
+    }
+}
+
+/// `WRITE` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteRes {
+    /// Data was written.
+    Ok {
+        /// WCC data for the file.
+        file_wcc: WccData,
+        /// Bytes accepted.
+        count: u32,
+        /// Stability achieved.
+        committed: StableHow,
+        /// Write verifier (changes when the server reboots).
+        verf: u64,
+    },
+    /// The write failed.
+    Fail {
+        /// Failure status.
+        status: Nfsstat3,
+        /// WCC data for the file.
+        file_wcc: WccData,
+    },
+}
+
+impl Xdr for WriteRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            WriteRes::Ok { file_wcc, count, committed, verf } => {
+                Nfsstat3::Ok.encode(enc)?;
+                file_wcc.encode(enc)?;
+                enc.put_u32(*count);
+                committed.encode(enc)?;
+                enc.put_u64(*verf);
+                Ok(())
+            }
+            WriteRes::Fail { status, file_wcc } => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)?;
+                file_wcc.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            Ok(WriteRes::Ok {
+                file_wcc: WccData::decode(dec)?,
+                count: dec.get_u32()?,
+                committed: StableHow::decode(dec)?,
+                verf: dec.get_u64()?,
+            })
+        } else {
+            Ok(WriteRes::Fail { status, file_wcc: WccData::decode(dec)? })
+        }
+    }
+}
+
+/// `CREATE` guard modes (`createhow3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateHow {
+    /// Create or open the existing file.
+    Unchecked(Sattr3),
+    /// Fail if the file exists.
+    Guarded(Sattr3),
+    /// Exclusive create keyed by a verifier.
+    Exclusive(u64),
+}
+
+impl Xdr for CreateHow {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            CreateHow::Unchecked(attrs) => {
+                enc.put_u32(0);
+                attrs.encode(enc)
+            }
+            CreateHow::Guarded(attrs) => {
+                enc.put_u32(1);
+                attrs.encode(enc)
+            }
+            CreateHow::Exclusive(verf) => {
+                enc.put_u32(2);
+                enc.put_u64(*verf);
+                Ok(())
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(CreateHow::Unchecked(Sattr3::decode(dec)?)),
+            1 => Ok(CreateHow::Guarded(Sattr3::decode(dec)?)),
+            2 => Ok(CreateHow::Exclusive(dec.get_u64()?)),
+            value => Err(XdrError::InvalidDiscriminant { type_name: "CreateHow", value }),
+        }
+    }
+}
+
+/// `CREATE` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateArgs {
+    /// Parent directory.
+    pub dir: Fh3,
+    /// New file name.
+    pub name: String,
+    /// Guard mode and initial attributes.
+    pub how: CreateHow,
+}
+
+impl Xdr for CreateArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.dir.encode(enc)?;
+        enc.put_string(&self.name)?;
+        self.how.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(CreateArgs { dir: Fh3::decode(dec)?, name: get_name(dec)?, how: CreateHow::decode(dec)? })
+    }
+}
+
+/// Result shape shared by `CREATE`, `MKDIR` and `SYMLINK`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NewObjRes {
+    /// The object was created.
+    Ok {
+        /// Handle of the new object.
+        obj: PostOpFh3,
+        /// Attributes of the new object.
+        obj_attributes: PostOpAttr,
+        /// WCC data for the parent directory.
+        dir_wcc: WccData,
+    },
+    /// Creation failed.
+    Fail {
+        /// Failure status.
+        status: Nfsstat3,
+        /// WCC data for the parent directory.
+        dir_wcc: WccData,
+    },
+}
+
+impl Xdr for NewObjRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            NewObjRes::Ok { obj, obj_attributes, dir_wcc } => {
+                Nfsstat3::Ok.encode(enc)?;
+                obj.encode(enc)?;
+                obj_attributes.encode(enc)?;
+                dir_wcc.encode(enc)
+            }
+            NewObjRes::Fail { status, dir_wcc } => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)?;
+                dir_wcc.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            Ok(NewObjRes::Ok {
+                obj: PostOpFh3::decode(dec)?,
+                obj_attributes: PostOpAttr::decode(dec)?,
+                dir_wcc: WccData::decode(dec)?,
+            })
+        } else {
+            Ok(NewObjRes::Fail { status, dir_wcc: WccData::decode(dec)? })
+        }
+    }
+}
+
+/// `MKDIR` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MkdirArgs {
+    /// Parent directory.
+    pub dir: Fh3,
+    /// New directory name.
+    pub name: String,
+    /// Initial attributes.
+    pub attributes: Sattr3,
+}
+
+impl Xdr for MkdirArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.dir.encode(enc)?;
+        enc.put_string(&self.name)?;
+        self.attributes.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(MkdirArgs {
+            dir: Fh3::decode(dec)?,
+            name: get_name(dec)?,
+            attributes: Sattr3::decode(dec)?,
+        })
+    }
+}
+
+/// `SYMLINK` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymlinkArgs {
+    /// Parent directory.
+    pub dir: Fh3,
+    /// New link name.
+    pub name: String,
+    /// Initial attributes.
+    pub symlink_attributes: Sattr3,
+    /// Link target path.
+    pub symlink_data: String,
+}
+
+impl Xdr for SymlinkArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.dir.encode(enc)?;
+        enc.put_string(&self.name)?;
+        self.symlink_attributes.encode(enc)?;
+        enc.put_string(&self.symlink_data)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(SymlinkArgs {
+            dir: Fh3::decode(dec)?,
+            name: get_name(dec)?,
+            symlink_attributes: Sattr3::decode(dec)?,
+            symlink_data: dec.get_string()?,
+        })
+    }
+}
+
+/// Arguments naming an entry in a directory (`REMOVE`, `RMDIR`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirOpArgs {
+    /// The directory.
+    pub dir: Fh3,
+    /// The entry name.
+    pub name: String,
+}
+
+impl Xdr for DirOpArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.dir.encode(enc)?;
+        enc.put_string(&self.name)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(DirOpArgs { dir: Fh3::decode(dec)?, name: get_name(dec)? })
+    }
+}
+
+/// Result shape shared by `REMOVE` and `RMDIR`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirOpRes {
+    /// Outcome status.
+    pub status: Nfsstat3,
+    /// WCC data for the directory.
+    pub dir_wcc: WccData,
+}
+
+impl Xdr for DirOpRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.status.encode(enc)?;
+        self.dir_wcc.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(DirOpRes { status: Nfsstat3::decode(dec)?, dir_wcc: WccData::decode(dec)? })
+    }
+}
+
+/// `RENAME` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenameArgs {
+    /// Source directory.
+    pub from_dir: Fh3,
+    /// Source name.
+    pub from_name: String,
+    /// Destination directory.
+    pub to_dir: Fh3,
+    /// Destination name.
+    pub to_name: String,
+}
+
+impl Xdr for RenameArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.from_dir.encode(enc)?;
+        enc.put_string(&self.from_name)?;
+        self.to_dir.encode(enc)?;
+        enc.put_string(&self.to_name)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(RenameArgs {
+            from_dir: Fh3::decode(dec)?,
+            from_name: get_name(dec)?,
+            to_dir: Fh3::decode(dec)?,
+            to_name: get_name(dec)?,
+        })
+    }
+}
+
+/// `RENAME` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenameRes {
+    /// Outcome status.
+    pub status: Nfsstat3,
+    /// WCC data for the source directory.
+    pub fromdir_wcc: WccData,
+    /// WCC data for the destination directory.
+    pub todir_wcc: WccData,
+}
+
+impl Xdr for RenameRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.status.encode(enc)?;
+        self.fromdir_wcc.encode(enc)?;
+        self.todir_wcc.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(RenameRes {
+            status: Nfsstat3::decode(dec)?,
+            fromdir_wcc: WccData::decode(dec)?,
+            todir_wcc: WccData::decode(dec)?,
+        })
+    }
+}
+
+/// `LINK` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkArgs {
+    /// Existing file.
+    pub file: Fh3,
+    /// Directory for the new link.
+    pub dir: Fh3,
+    /// New link name.
+    pub name: String,
+}
+
+impl Xdr for LinkArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.file.encode(enc)?;
+        self.dir.encode(enc)?;
+        enc.put_string(&self.name)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(LinkArgs { file: Fh3::decode(dec)?, dir: Fh3::decode(dec)?, name: get_name(dec)? })
+    }
+}
+
+/// `LINK` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkRes {
+    /// Outcome status.
+    pub status: Nfsstat3,
+    /// Attributes of the linked file.
+    pub file_attributes: PostOpAttr,
+    /// WCC data for the link directory.
+    pub linkdir_wcc: WccData,
+}
+
+impl Xdr for LinkRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.status.encode(enc)?;
+        self.file_attributes.encode(enc)?;
+        self.linkdir_wcc.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(LinkRes {
+            status: Nfsstat3::decode(dec)?,
+            file_attributes: PostOpAttr::decode(dec)?,
+            linkdir_wcc: WccData::decode(dec)?,
+        })
+    }
+}
+
+/// `READDIR` arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReaddirArgs {
+    /// Directory to read.
+    pub dir: Fh3,
+    /// Resume cookie (0 = start).
+    pub cookie: u64,
+    /// Cookie verifier from a previous reply (0 on first call).
+    pub cookieverf: u64,
+    /// Maximum reply size in bytes.
+    pub count: u32,
+}
+
+impl Xdr for ReaddirArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.dir.encode(enc)?;
+        enc.put_u64(self.cookie);
+        enc.put_u64(self.cookieverf);
+        enc.put_u32(self.count);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(ReaddirArgs {
+            dir: Fh3::decode(dec)?,
+            cookie: dec.get_u64()?,
+            cookieverf: dec.get_u64()?,
+            count: dec.get_u32()?,
+        })
+    }
+}
+
+/// One directory entry (`entry3`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry3 {
+    /// File id of the entry.
+    pub fileid: u64,
+    /// Name within the directory.
+    pub name: String,
+    /// Cookie to resume after this entry.
+    pub cookie: u64,
+}
+
+/// `READDIR` result. Entries encode as the RFC's linked list
+/// (bool marker before each entry, final bool terminator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReaddirRes {
+    /// A page of entries.
+    Ok {
+        /// Attributes of the directory.
+        dir_attributes: PostOpAttr,
+        /// Cookie verifier to pass to the next call.
+        cookieverf: u64,
+        /// Entries in this page.
+        entries: Vec<Entry3>,
+        /// Whether the page reaches the end of the directory.
+        eof: bool,
+    },
+    /// The read failed.
+    Fail {
+        /// Failure status.
+        status: Nfsstat3,
+        /// Attributes of the directory.
+        dir_attributes: PostOpAttr,
+    },
+}
+
+impl Xdr for ReaddirRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            ReaddirRes::Ok { dir_attributes, cookieverf, entries, eof } => {
+                Nfsstat3::Ok.encode(enc)?;
+                dir_attributes.encode(enc)?;
+                enc.put_u64(*cookieverf);
+                for entry in entries {
+                    enc.put_bool(true);
+                    enc.put_u64(entry.fileid);
+                    enc.put_string(&entry.name)?;
+                    enc.put_u64(entry.cookie);
+                }
+                enc.put_bool(false);
+                enc.put_bool(*eof);
+                Ok(())
+            }
+            ReaddirRes::Fail { status, dir_attributes } => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)?;
+                dir_attributes.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            let dir_attributes = PostOpAttr::decode(dec)?;
+            let cookieverf = dec.get_u64()?;
+            let mut entries = Vec::new();
+            while dec.get_bool()? {
+                entries.push(Entry3 {
+                    fileid: dec.get_u64()?,
+                    name: get_name(dec)?,
+                    cookie: dec.get_u64()?,
+                });
+            }
+            let eof = dec.get_bool()?;
+            Ok(ReaddirRes::Ok { dir_attributes, cookieverf, entries, eof })
+        } else {
+            Ok(ReaddirRes::Fail { status, dir_attributes: PostOpAttr::decode(dec)? })
+        }
+    }
+}
+
+/// `READDIRPLUS` arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReaddirplusArgs {
+    /// Directory to read.
+    pub dir: Fh3,
+    /// Resume cookie (0 = start).
+    pub cookie: u64,
+    /// Cookie verifier from a previous reply (0 on first call).
+    pub cookieverf: u64,
+    /// Maximum bytes of directory information (names + cookies).
+    pub dircount: u32,
+    /// Maximum total reply size including attributes and handles.
+    pub maxcount: u32,
+}
+
+impl Xdr for ReaddirplusArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.dir.encode(enc)?;
+        enc.put_u64(self.cookie);
+        enc.put_u64(self.cookieverf);
+        enc.put_u32(self.dircount);
+        enc.put_u32(self.maxcount);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(ReaddirplusArgs {
+            dir: Fh3::decode(dec)?,
+            cookie: dec.get_u64()?,
+            cookieverf: dec.get_u64()?,
+            dircount: dec.get_u32()?,
+            maxcount: dec.get_u32()?,
+        })
+    }
+}
+
+/// One `READDIRPLUS` entry (`entryplus3`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryPlus3 {
+    /// File id of the entry.
+    pub fileid: u64,
+    /// Name within the directory.
+    pub name: String,
+    /// Cookie to resume after this entry.
+    pub cookie: u64,
+    /// Attributes of the entry, when the server supplies them.
+    pub name_attributes: PostOpAttr,
+    /// Handle of the entry, when the server supplies it.
+    pub name_handle: PostOpFh3,
+}
+
+/// `READDIRPLUS` result: entries with attributes and handles, the bulk
+/// variant the GVFS proxy uses to refresh a stale directory in a few
+/// RPCs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReaddirplusRes {
+    /// A page of entries.
+    Ok {
+        /// Attributes of the directory.
+        dir_attributes: PostOpAttr,
+        /// Cookie verifier to pass to the next call.
+        cookieverf: u64,
+        /// Entries in this page.
+        entries: Vec<EntryPlus3>,
+        /// Whether the page reaches the end of the directory.
+        eof: bool,
+    },
+    /// The read failed.
+    Fail {
+        /// Failure status.
+        status: Nfsstat3,
+        /// Attributes of the directory.
+        dir_attributes: PostOpAttr,
+    },
+}
+
+impl Xdr for ReaddirplusRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            ReaddirplusRes::Ok { dir_attributes, cookieverf, entries, eof } => {
+                Nfsstat3::Ok.encode(enc)?;
+                dir_attributes.encode(enc)?;
+                enc.put_u64(*cookieverf);
+                for entry in entries {
+                    enc.put_bool(true);
+                    enc.put_u64(entry.fileid);
+                    enc.put_string(&entry.name)?;
+                    enc.put_u64(entry.cookie);
+                    entry.name_attributes.encode(enc)?;
+                    entry.name_handle.encode(enc)?;
+                }
+                enc.put_bool(false);
+                enc.put_bool(*eof);
+                Ok(())
+            }
+            ReaddirplusRes::Fail { status, dir_attributes } => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)?;
+                dir_attributes.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            let dir_attributes = PostOpAttr::decode(dec)?;
+            let cookieverf = dec.get_u64()?;
+            let mut entries = Vec::new();
+            while dec.get_bool()? {
+                entries.push(EntryPlus3 {
+                    fileid: dec.get_u64()?,
+                    name: get_name(dec)?,
+                    cookie: dec.get_u64()?,
+                    name_attributes: PostOpAttr::decode(dec)?,
+                    name_handle: PostOpFh3::decode(dec)?,
+                });
+            }
+            let eof = dec.get_bool()?;
+            Ok(ReaddirplusRes::Ok { dir_attributes, cookieverf, entries, eof })
+        } else {
+            Ok(ReaddirplusRes::Fail { status, dir_attributes: PostOpAttr::decode(dec)? })
+        }
+    }
+}
+
+/// `FSSTAT` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsstatRes {
+    /// Filesystem statistics.
+    Ok {
+        /// Attributes of the filesystem root.
+        obj_attributes: PostOpAttr,
+        /// Total bytes.
+        tbytes: u64,
+        /// Free bytes.
+        fbytes: u64,
+        /// Bytes available to the caller.
+        abytes: u64,
+        /// Total file slots.
+        tfiles: u64,
+        /// Free file slots.
+        ffiles: u64,
+        /// File slots available to the caller.
+        afiles: u64,
+        /// Seconds for which this is expected to stay valid.
+        invarsec: u32,
+    },
+    /// The query failed.
+    Fail {
+        /// Failure status.
+        status: Nfsstat3,
+        /// Attributes of the filesystem root.
+        obj_attributes: PostOpAttr,
+    },
+}
+
+impl Xdr for FsstatRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            FsstatRes::Ok { obj_attributes, tbytes, fbytes, abytes, tfiles, ffiles, afiles, invarsec } => {
+                Nfsstat3::Ok.encode(enc)?;
+                obj_attributes.encode(enc)?;
+                enc.put_u64(*tbytes);
+                enc.put_u64(*fbytes);
+                enc.put_u64(*abytes);
+                enc.put_u64(*tfiles);
+                enc.put_u64(*ffiles);
+                enc.put_u64(*afiles);
+                enc.put_u32(*invarsec);
+                Ok(())
+            }
+            FsstatRes::Fail { status, obj_attributes } => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)?;
+                obj_attributes.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            Ok(FsstatRes::Ok {
+                obj_attributes: PostOpAttr::decode(dec)?,
+                tbytes: dec.get_u64()?,
+                fbytes: dec.get_u64()?,
+                abytes: dec.get_u64()?,
+                tfiles: dec.get_u64()?,
+                ffiles: dec.get_u64()?,
+                afiles: dec.get_u64()?,
+                invarsec: dec.get_u32()?,
+            })
+        } else {
+            Ok(FsstatRes::Fail { status, obj_attributes: PostOpAttr::decode(dec)? })
+        }
+    }
+}
+
+/// `FSINFO` result (static server capabilities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsinfoRes {
+    /// Server capabilities.
+    Ok {
+        /// Attributes of the filesystem root.
+        obj_attributes: PostOpAttr,
+        /// Maximum read size.
+        rtmax: u32,
+        /// Preferred read size.
+        rtpref: u32,
+        /// Maximum write size.
+        wtmax: u32,
+        /// Preferred write size.
+        wtpref: u32,
+        /// Preferred readdir size.
+        dtpref: u32,
+        /// Maximum file size.
+        maxfilesize: u64,
+    },
+    /// The query failed.
+    Fail {
+        /// Failure status.
+        status: Nfsstat3,
+        /// Attributes of the filesystem root.
+        obj_attributes: PostOpAttr,
+    },
+}
+
+impl Xdr for FsinfoRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            FsinfoRes::Ok { obj_attributes, rtmax, rtpref, wtmax, wtpref, dtpref, maxfilesize } => {
+                Nfsstat3::Ok.encode(enc)?;
+                obj_attributes.encode(enc)?;
+                enc.put_u32(*rtmax);
+                enc.put_u32(*rtpref);
+                enc.put_u32(*wtmax);
+                enc.put_u32(*wtpref);
+                enc.put_u32(*dtpref);
+                enc.put_u64(*maxfilesize);
+                Ok(())
+            }
+            FsinfoRes::Fail { status, obj_attributes } => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)?;
+                obj_attributes.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            Ok(FsinfoRes::Ok {
+                obj_attributes: PostOpAttr::decode(dec)?,
+                rtmax: dec.get_u32()?,
+                rtpref: dec.get_u32()?,
+                wtmax: dec.get_u32()?,
+                wtpref: dec.get_u32()?,
+                dtpref: dec.get_u32()?,
+                maxfilesize: dec.get_u64()?,
+            })
+        } else {
+            Ok(FsinfoRes::Fail { status, obj_attributes: PostOpAttr::decode(dec)? })
+        }
+    }
+}
+
+/// `COMMIT` arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitArgs {
+    /// File whose cached writes to commit.
+    pub file: Fh3,
+    /// Start of the range.
+    pub offset: u64,
+    /// Length of the range (0 = to end of file).
+    pub count: u32,
+}
+
+impl Xdr for CommitArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.file.encode(enc)?;
+        enc.put_u64(self.offset);
+        enc.put_u32(self.count);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(CommitArgs { file: Fh3::decode(dec)?, offset: dec.get_u64()?, count: dec.get_u32()? })
+    }
+}
+
+/// `COMMIT` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitRes {
+    /// Writes are stable.
+    Ok {
+        /// WCC data for the file.
+        file_wcc: WccData,
+        /// Write verifier.
+        verf: u64,
+    },
+    /// The commit failed.
+    Fail {
+        /// Failure status.
+        status: Nfsstat3,
+        /// WCC data for the file.
+        file_wcc: WccData,
+    },
+}
+
+impl Xdr for CommitRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            CommitRes::Ok { file_wcc, verf } => {
+                Nfsstat3::Ok.encode(enc)?;
+                file_wcc.encode(enc)?;
+                enc.put_u64(*verf);
+                Ok(())
+            }
+            CommitRes::Fail { status, file_wcc } => {
+                debug_assert!(!status.is_ok());
+                status.encode(enc)?;
+                file_wcc.encode(enc)
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let status = Nfsstat3::decode(dec)?;
+        if status.is_ok() {
+            Ok(CommitRes::Ok { file_wcc: WccData::decode(dec)?, verf: dec.get_u64()? })
+        } else {
+            Ok(CommitRes::Fail { status, file_wcc: WccData::decode(dec)? })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt<T: Xdr + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = gvfs_xdr::to_bytes(v).unwrap();
+        assert_eq!(&gvfs_xdr::from_bytes::<T>(&bytes).unwrap(), v);
+    }
+
+    fn sample_attr() -> Fattr3 {
+        Fattr3 {
+            ftype: Ftype3::Reg,
+            mode: 0o644,
+            nlink: 1,
+            uid: 0,
+            gid: 0,
+            size: 10,
+            used: 10,
+            rdev: (0, 0),
+            fsid: 1,
+            fileid: 3,
+            atime: NfsTime3::default(),
+            mtime: NfsTime3::default(),
+            ctime: NfsTime3::default(),
+        }
+    }
+    use crate::types::Ftype3;
+
+    #[test]
+    fn getattr_roundtrip() {
+        rt(&GetattrArgs { object: Fh3::from_fileid(7) });
+        rt(&GetattrRes::Ok(sample_attr()));
+        rt(&GetattrRes::Fail(Nfsstat3::Stale));
+    }
+
+    #[test]
+    fn setattr_roundtrip() {
+        rt(&SetattrArgs {
+            object: Fh3::from_fileid(1),
+            new_attributes: Sattr3 { size: Some(0), ..Default::default() },
+            guard: Some(NfsTime3 { seconds: 1, nseconds: 0 }),
+        });
+        rt(&SetattrRes { status: Nfsstat3::Ok, obj_wcc: WccData::default() });
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        rt(&LookupArgs { dir: Fh3::from_fileid(1), name: "Makefile".into() });
+        rt(&LookupRes::Ok {
+            object: Fh3::from_fileid(9),
+            obj_attributes: Some(sample_attr()),
+            dir_attributes: None,
+        });
+        rt(&LookupRes::Fail { status: Nfsstat3::Noent, dir_attributes: None });
+    }
+
+    #[test]
+    fn lookup_name_bound_enforced() {
+        let long = "x".repeat(MAX_NAME + 1);
+        let args = LookupArgs { dir: Fh3::from_fileid(1), name: long };
+        let bytes = gvfs_xdr::to_bytes(&args).unwrap();
+        assert!(gvfs_xdr::from_bytes::<LookupArgs>(&bytes).is_err());
+    }
+
+    #[test]
+    fn access_roundtrip() {
+        rt(&AccessArgs { object: Fh3::from_fileid(1), access: access::READ | access::LOOKUP });
+        rt(&AccessRes::Ok { obj_attributes: None, access: access::READ });
+        rt(&AccessRes::Fail { status: Nfsstat3::Stale, obj_attributes: None });
+    }
+
+    #[test]
+    fn read_roundtrip() {
+        rt(&ReadArgs { file: Fh3::from_fileid(4), offset: 65536, count: 32768 });
+        rt(&ReadRes::Ok {
+            file_attributes: Some(sample_attr()),
+            count: 3,
+            eof: true,
+            data: vec![1, 2, 3],
+        });
+        rt(&ReadRes::Fail { status: Nfsstat3::Io, file_attributes: None });
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        rt(&WriteArgs {
+            file: Fh3::from_fileid(4),
+            offset: 0,
+            count: 4,
+            stable: StableHow::Unstable,
+            data: vec![9; 4],
+        });
+        rt(&WriteRes::Ok {
+            file_wcc: WccData::default(),
+            count: 4,
+            committed: StableHow::FileSync,
+            verf: 0xabcd,
+        });
+        rt(&WriteRes::Fail { status: Nfsstat3::Nospc, file_wcc: WccData::default() });
+    }
+
+    #[test]
+    fn create_roundtrip() {
+        for how in [
+            CreateHow::Unchecked(Sattr3::default()),
+            CreateHow::Guarded(Sattr3 { mode: Some(0o600), ..Default::default() }),
+            CreateHow::Exclusive(42),
+        ] {
+            rt(&CreateArgs { dir: Fh3::from_fileid(1), name: "new".into(), how });
+        }
+        rt(&NewObjRes::Ok {
+            obj: Some(Fh3::from_fileid(5)),
+            obj_attributes: Some(sample_attr()),
+            dir_wcc: WccData::default(),
+        });
+        rt(&NewObjRes::Fail { status: Nfsstat3::Exist, dir_wcc: WccData::default() });
+    }
+
+    #[test]
+    fn mkdir_symlink_roundtrip() {
+        rt(&MkdirArgs { dir: Fh3::from_fileid(1), name: "d".into(), attributes: Sattr3::default() });
+        rt(&SymlinkArgs {
+            dir: Fh3::from_fileid(1),
+            name: "l".into(),
+            symlink_attributes: Sattr3::default(),
+            symlink_data: "/t".into(),
+        });
+    }
+
+    #[test]
+    fn remove_rename_link_roundtrip() {
+        rt(&DirOpArgs { dir: Fh3::from_fileid(1), name: "gone".into() });
+        rt(&DirOpRes { status: Nfsstat3::Ok, dir_wcc: WccData::default() });
+        rt(&RenameArgs {
+            from_dir: Fh3::from_fileid(1),
+            from_name: "a".into(),
+            to_dir: Fh3::from_fileid(2),
+            to_name: "b".into(),
+        });
+        rt(&RenameRes {
+            status: Nfsstat3::Notempty,
+            fromdir_wcc: WccData::default(),
+            todir_wcc: WccData::default(),
+        });
+        rt(&LinkArgs { file: Fh3::from_fileid(9), dir: Fh3::from_fileid(1), name: "ln".into() });
+        rt(&LinkRes {
+            status: Nfsstat3::Ok,
+            file_attributes: Some(sample_attr()),
+            linkdir_wcc: WccData::default(),
+        });
+    }
+
+    #[test]
+    fn readdir_roundtrip_with_entry_chain() {
+        rt(&ReaddirArgs { dir: Fh3::from_fileid(1), cookie: 0, cookieverf: 0, count: 4096 });
+        let res = ReaddirRes::Ok {
+            dir_attributes: None,
+            cookieverf: 7,
+            entries: vec![
+                Entry3 { fileid: 2, name: "a".into(), cookie: 1 },
+                Entry3 { fileid: 3, name: "bb".into(), cookie: 2 },
+            ],
+            eof: true,
+        };
+        rt(&res);
+        rt(&ReaddirRes::Fail { status: Nfsstat3::Notdir, dir_attributes: None });
+    }
+
+    #[test]
+    fn readdir_empty_page() {
+        rt(&ReaddirRes::Ok { dir_attributes: None, cookieverf: 0, entries: vec![], eof: true });
+    }
+
+    #[test]
+    fn readdirplus_roundtrip() {
+        rt(&ReaddirplusArgs {
+            dir: Fh3::from_fileid(1),
+            cookie: 5,
+            cookieverf: 1,
+            dircount: 4096,
+            maxcount: 32768,
+        });
+        rt(&ReaddirplusRes::Ok {
+            dir_attributes: Some(sample_attr()),
+            cookieverf: 1,
+            entries: vec![
+                EntryPlus3 {
+                    fileid: 2,
+                    name: "with-attrs".into(),
+                    cookie: 1,
+                    name_attributes: Some(sample_attr()),
+                    name_handle: Some(Fh3::from_fileid(2)),
+                },
+                EntryPlus3 {
+                    fileid: 3,
+                    name: "bare".into(),
+                    cookie: 2,
+                    name_attributes: None,
+                    name_handle: None,
+                },
+            ],
+            eof: false,
+        });
+        rt(&ReaddirplusRes::Fail { status: Nfsstat3::Notdir, dir_attributes: None });
+    }
+
+    #[test]
+    fn fsstat_fsinfo_commit_roundtrip() {
+        rt(&FsstatRes::Ok {
+            obj_attributes: None,
+            tbytes: 1,
+            fbytes: 2,
+            abytes: 3,
+            tfiles: 4,
+            ffiles: 5,
+            afiles: 6,
+            invarsec: 0,
+        });
+        rt(&FsinfoRes::Ok {
+            obj_attributes: None,
+            rtmax: 32768,
+            rtpref: 32768,
+            wtmax: 32768,
+            wtpref: 32768,
+            dtpref: 4096,
+            maxfilesize: u64::MAX,
+        });
+        rt(&CommitArgs { file: Fh3::from_fileid(1), offset: 0, count: 0 });
+        rt(&CommitRes::Ok { file_wcc: WccData::default(), verf: 1 });
+        rt(&CommitRes::Fail { status: Nfsstat3::Io, file_wcc: WccData::default() });
+    }
+
+    #[test]
+    fn stable_how_rejects_bad_discriminant() {
+        assert!(gvfs_xdr::from_bytes::<StableHow>(&[0, 0, 0, 9]).is_err());
+    }
+}

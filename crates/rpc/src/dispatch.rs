@@ -1,0 +1,233 @@
+//! Server-side call routing.
+//!
+//! An RPC server hosts one or more [`RpcService`]s (program, version)
+//! registered with a [`Dispatcher`]. The dispatcher validates the call
+//! header and routes the raw argument bytes to the service, mapping
+//! service errors to the proper RFC 5531 reply status.
+
+use crate::message::{CallBody, ReplyBody, RPC_VERSION};
+use crate::RpcError;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A remote program implementation.
+///
+/// Services receive the raw XDR-encoded arguments and return raw
+/// XDR-encoded results; typed codecs live in the protocol crates.
+pub trait RpcService: Send + Sync {
+    /// The ONC RPC program number served.
+    fn program(&self) -> u32;
+    /// The program version served.
+    fn version(&self) -> u32;
+    /// Handles one procedure call.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`RpcError::ProcedureUnavailable`] for unknown
+    /// procedures, [`RpcError::GarbageArgs`] for undecodable arguments, and
+    /// [`RpcError::SystemError`] for internal failures.
+    fn call(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError>;
+
+    /// Handles one procedure call with access to the caller's credential.
+    ///
+    /// The default implementation ignores the credential and delegates to
+    /// [`RpcService::call`]. Services that authenticate callers (like the
+    /// GVFS proxy server, which extracts session keys and callback ports
+    /// from every request) override this.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RpcService::call`], plus [`RpcError::AuthError`] when the
+    /// credential is rejected.
+    fn call_with_cred(
+        &self,
+        procedure: u32,
+        args: &[u8],
+        credential: &crate::message::OpaqueAuth,
+    ) -> Result<Vec<u8>, RpcError> {
+        let _ = credential;
+        self.call(procedure, args)
+    }
+}
+
+/// Routes calls to registered services.
+///
+/// See the [crate docs](crate) for a complete example.
+#[derive(Default, Clone)]
+pub struct Dispatcher {
+    services: HashMap<u32, Arc<dyn RpcService>>,
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("programs", &self.services.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with no services.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a service, replacing any previous service for the same
+    /// program number.
+    pub fn register<S: RpcService + 'static>(&mut self, service: S) -> &mut Self {
+        self.services.insert(service.program(), Arc::new(service));
+        self
+    }
+
+    /// Registers a shared service handle.
+    pub fn register_arc(&mut self, service: Arc<dyn RpcService>) -> &mut Self {
+        self.services.insert(service.program(), service);
+        self
+    }
+
+    /// Returns `true` if a program is registered.
+    pub fn serves(&self, program: u32) -> bool {
+        self.services.contains_key(&program)
+    }
+
+    /// Routes one call, producing the reply body that should be sent back.
+    ///
+    /// Never returns an error: every failure maps to an RFC 5531 reply
+    /// status so the caller always gets an answer.
+    pub fn dispatch(&self, xid: u32, call: &CallBody) -> ReplyBody {
+        let _ = xid; // retained for duplicate-request caches layered above
+        if call.rpc_version() != RPC_VERSION {
+            return ReplyBody::Denied(crate::message::RejectedReply::RpcMismatch {
+                low: RPC_VERSION,
+                high: RPC_VERSION,
+            });
+        }
+        let Some(service) = self.services.get(&call.program()) else {
+            return ReplyBody::from_error(&RpcError::ProgramUnavailable { program: call.program() });
+        };
+        if service.version() != call.version() {
+            return ReplyBody::from_error(&RpcError::ProgramMismatch {
+                program: call.program(),
+                low: service.version(),
+                high: service.version(),
+            });
+        }
+        match service.call_with_cred(call.procedure(), call.args(), call.credential()) {
+            Ok(results) => ReplyBody::success(results),
+            Err(e) => ReplyBody::from_error(&e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{AcceptStat, OpaqueAuth, RejectedReply};
+
+    struct Doubler;
+    impl RpcService for Doubler {
+        fn program(&self) -> u32 {
+            200001
+        }
+        fn version(&self) -> u32 {
+            1
+        }
+        fn call(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+            match procedure {
+                0 => Ok(Vec::new()), // NULL procedure
+                1 => {
+                    let n: u32 = gvfs_xdr::from_bytes(args).map_err(|_| RpcError::GarbageArgs)?;
+                    Ok(gvfs_xdr::to_bytes(&(n * 2)).expect("encode"))
+                }
+                _ => Err(RpcError::ProcedureUnavailable { program: 200001, procedure }),
+            }
+        }
+    }
+
+    fn dispatcher() -> Dispatcher {
+        let mut d = Dispatcher::new();
+        d.register(Doubler);
+        d
+    }
+
+    #[test]
+    fn successful_call_doubles() {
+        let call = CallBody::new(200001, 1, 1, OpaqueAuth::none(), gvfs_xdr::to_bytes(&21u32).unwrap());
+        let reply = dispatcher().dispatch(1, &call);
+        let n: u32 = gvfs_xdr::from_bytes(reply.results().unwrap()).unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn null_procedure_returns_empty() {
+        let call = CallBody::new(200001, 1, 0, OpaqueAuth::none(), vec![]);
+        assert_eq!(dispatcher().dispatch(1, &call).results().unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn unknown_program_is_prog_unavail() {
+        let call = CallBody::new(77, 1, 0, OpaqueAuth::none(), vec![]);
+        let reply = dispatcher().dispatch(1, &call);
+        assert!(matches!(reply, ReplyBody::Accepted { stat: AcceptStat::ProgramUnavailable, .. }));
+    }
+
+    #[test]
+    fn wrong_version_is_prog_mismatch() {
+        let call = CallBody::new(200001, 9, 0, OpaqueAuth::none(), vec![]);
+        let reply = dispatcher().dispatch(1, &call);
+        assert!(matches!(
+            reply,
+            ReplyBody::Accepted { stat: AcceptStat::ProgramMismatch { low: 1, high: 1 }, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_procedure_is_proc_unavail() {
+        let call = CallBody::new(200001, 1, 99, OpaqueAuth::none(), vec![]);
+        let reply = dispatcher().dispatch(1, &call);
+        assert!(matches!(reply, ReplyBody::Accepted { stat: AcceptStat::ProcedureUnavailable, .. }));
+    }
+
+    #[test]
+    fn garbage_args_reported() {
+        let call = CallBody::new(200001, 1, 1, OpaqueAuth::none(), vec![]);
+        let reply = dispatcher().dispatch(1, &call);
+        assert!(matches!(reply, ReplyBody::Accepted { stat: AcceptStat::GarbageArgs, .. }));
+    }
+
+    #[test]
+    fn wrong_rpc_version_is_denied() {
+        let mut call = CallBody::new(200001, 1, 0, OpaqueAuth::none(), vec![]);
+        // Round-trip through bytes to forge the version field.
+        let mut bytes = gvfs_xdr::to_bytes(&call).unwrap();
+        bytes[3] = 3; // rpc_version = 3
+        call = gvfs_xdr::from_bytes(&bytes).unwrap();
+        let reply = dispatcher().dispatch(1, &call);
+        assert!(matches!(
+            reply,
+            ReplyBody::Denied(RejectedReply::RpcMismatch { low: 2, high: 2 })
+        ));
+    }
+
+    #[test]
+    fn register_replaces_same_program() {
+        struct Tripler;
+        impl RpcService for Tripler {
+            fn program(&self) -> u32 {
+                200001
+            }
+            fn version(&self) -> u32 {
+                1
+            }
+            fn call(&self, _p: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+                let n: u32 = gvfs_xdr::from_bytes(args).map_err(|_| RpcError::GarbageArgs)?;
+                Ok(gvfs_xdr::to_bytes(&(n * 3)).expect("encode"))
+            }
+        }
+        let mut d = dispatcher();
+        d.register(Tripler);
+        let call = CallBody::new(200001, 1, 1, OpaqueAuth::none(), gvfs_xdr::to_bytes(&10u32).unwrap());
+        let n: u32 = gvfs_xdr::from_bytes(d.dispatch(1, &call).results().unwrap()).unwrap();
+        assert_eq!(n, 30);
+    }
+}

@@ -1,0 +1,114 @@
+//! Error type for the RPC layer.
+
+use gvfs_xdr::XdrError;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by the RPC layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RpcError {
+    /// A message failed to encode or decode.
+    Xdr(XdrError),
+    /// The requested program is not registered with the dispatcher.
+    ProgramUnavailable {
+        /// The requested program number.
+        program: u32,
+    },
+    /// The program exists but not at the requested version.
+    ProgramMismatch {
+        /// The requested program number.
+        program: u32,
+        /// Lowest supported version.
+        low: u32,
+        /// Highest supported version.
+        high: u32,
+    },
+    /// The procedure number is not defined for this program.
+    ProcedureUnavailable {
+        /// The requested program number.
+        program: u32,
+        /// The requested procedure number.
+        procedure: u32,
+    },
+    /// The arguments could not be decoded by the service.
+    GarbageArgs,
+    /// The credential was rejected.
+    AuthError,
+    /// The call could not be delivered (e.g. network partition) or timed
+    /// out waiting for a reply.
+    Timeout,
+    /// The remote endpoint is not reachable at all.
+    Unreachable,
+    /// The service failed internally.
+    SystemError {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Xdr(e) => write!(f, "xdr error: {e}"),
+            RpcError::ProgramUnavailable { program } => {
+                write!(f, "program {program} unavailable")
+            }
+            RpcError::ProgramMismatch { program, low, high } => {
+                write!(f, "program {program} version mismatch (supported {low}..={high})")
+            }
+            RpcError::ProcedureUnavailable { program, procedure } => {
+                write!(f, "procedure {procedure} unavailable in program {program}")
+            }
+            RpcError::GarbageArgs => write!(f, "garbage arguments"),
+            RpcError::AuthError => write!(f, "authentication error"),
+            RpcError::Timeout => write!(f, "rpc timed out"),
+            RpcError::Unreachable => write!(f, "remote endpoint unreachable"),
+            RpcError::SystemError { detail } => write!(f, "system error: {detail}"),
+        }
+    }
+}
+
+impl Error for RpcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RpcError::Xdr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XdrError> for RpcError {
+    fn from(e: XdrError) -> Self {
+        RpcError::Xdr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_are_nonempty() {
+        let variants = vec![
+            RpcError::Xdr(XdrError::LengthOverflow),
+            RpcError::ProgramUnavailable { program: 1 },
+            RpcError::ProgramMismatch { program: 1, low: 2, high: 3 },
+            RpcError::ProcedureUnavailable { program: 1, procedure: 9 },
+            RpcError::GarbageArgs,
+            RpcError::AuthError,
+            RpcError::Timeout,
+            RpcError::Unreachable,
+            RpcError::SystemError { detail: "x".into() },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn xdr_error_is_source() {
+        let err = RpcError::from(XdrError::InvalidUtf8);
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

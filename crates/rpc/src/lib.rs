@@ -1,0 +1,59 @@
+//! ONC RPC ([RFC 5531]) for the GVFS stack.
+//!
+//! This crate implements the Remote Procedure Call layer that NFS — and the
+//! GVFS proxy extensions — run over:
+//!
+//! * [`message`] — the `rpc_msg` wire structures: calls, replies, accepted
+//!   and rejected status, and the `AUTH_NONE` / `AUTH_SYS` credential
+//!   flavors (plus the GVFS session-key flavor used by proxy clients to
+//!   identify themselves and advertise their callback port, §4.3.2 of the
+//!   paper).
+//! * [`record`] — the TCP record-marking stream codec.
+//! * [`dispatch`] — server-side program registration and call routing.
+//! * [`drc`] — the duplicate request cache replaying replies to
+//!   retransmitted non-idempotent calls.
+//! * [`tcp`] — the same stack over real TCP sockets (the simulator in
+//!   `gvfs-netsim` is one transport; this is another).
+//! * [`stats`] — per-procedure call/byte counters used by the experiment
+//!   harness to reproduce the paper's "RPCs transferred over the network"
+//!   figures.
+//!
+//! # Examples
+//!
+//! Encoding a call and routing it through a dispatcher:
+//!
+//! ```
+//! use gvfs_rpc::dispatch::{Dispatcher, RpcService};
+//! use gvfs_rpc::message::{CallBody, OpaqueAuth};
+//!
+//! struct Echo;
+//! impl RpcService for Echo {
+//!     fn program(&self) -> u32 { 99 }
+//!     fn version(&self) -> u32 { 1 }
+//!     fn call(&self, _proc: u32, args: &[u8]) -> Result<Vec<u8>, gvfs_rpc::RpcError> {
+//!         Ok(args.to_vec())
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut dispatcher = Dispatcher::new();
+//! dispatcher.register(Echo);
+//! let call = CallBody::new(99, 1, 0, OpaqueAuth::none(), vec![1, 2, 3, 4]);
+//! let reply = dispatcher.dispatch(7, &call);
+//! assert_eq!(reply.results().unwrap(), &[1, 2, 3, 4]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [RFC 5531]: https://www.rfc-editor.org/rfc/rfc5531
+
+pub mod dispatch;
+pub mod drc;
+pub mod message;
+pub mod record;
+pub mod stats;
+pub mod tcp;
+
+mod error;
+
+pub use error::RpcError;

@@ -1,0 +1,181 @@
+//! Per-procedure RPC traffic statistics.
+//!
+//! The paper's evaluation reports "the number of RPCs transferred over the
+//! network" broken down by procedure (Figures 4a and 6a). [`RpcStats`] is a
+//! cheap, thread-safe counter set that transports attach to each link;
+//! the experiment harness snapshots it per setup.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A snapshot-able set of per-(program, procedure) counters.
+///
+/// Cloning shares the underlying counters ([`Arc`] semantics), so a
+/// transport and the harness can hold the same instance.
+///
+/// # Examples
+///
+/// ```
+/// let stats = gvfs_rpc::stats::RpcStats::new();
+/// stats.record(100003, 1, 128, 96); // one GETATTR: 128 B out, 96 B in
+/// let snap = stats.snapshot();
+/// assert_eq!(snap.calls(100003, 1), 1);
+/// assert_eq!(snap.total_calls(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RpcStats {
+    inner: Arc<Mutex<BTreeMap<(u32, u32), ProcCounter>>>,
+}
+
+/// Counters for a single procedure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcCounter {
+    /// Number of calls.
+    pub calls: u64,
+    /// Bytes sent in call messages (including RPC headers).
+    pub bytes_out: u64,
+    /// Bytes received in replies.
+    pub bytes_in: u64,
+}
+
+/// An immutable copy of the counters at one instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    counters: BTreeMap<(u32, u32), ProcCounter>,
+}
+
+impl RpcStats {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed call for `(program, procedure)`.
+    pub fn record(&self, program: u32, procedure: u32, bytes_out: u64, bytes_in: u64) {
+        let mut map = self.inner.lock();
+        let c = map.entry((program, procedure)).or_default();
+        c.calls += 1;
+        c.bytes_out += bytes_out;
+        c.bytes_in += bytes_in;
+    }
+
+    /// Copies out the current counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot { counters: self.inner.lock().clone() }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+impl StatsSnapshot {
+    /// Calls recorded for one procedure.
+    pub fn calls(&self, program: u32, procedure: u32) -> u64 {
+        self.counters.get(&(program, procedure)).map_or(0, |c| c.calls)
+    }
+
+    /// Total calls across all procedures.
+    pub fn total_calls(&self) -> u64 {
+        self.counters.values().map(|c| c.calls).sum()
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.counters.values().map(|c| c.bytes_in + c.bytes_out).sum()
+    }
+
+    /// Iterates over `((program, procedure), counter)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u32, u32), &ProcCounter)> {
+        self.counters.iter()
+    }
+
+    /// Returns the difference `self - earlier`, for measuring an interval.
+    ///
+    /// Counters absent from `earlier` are taken as zero.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut counters = BTreeMap::new();
+        for (key, c) in &self.counters {
+            let before = earlier.counters.get(key).copied().unwrap_or_default();
+            let delta = ProcCounter {
+                calls: c.calls - before.calls,
+                bytes_out: c.bytes_out - before.bytes_out,
+                bytes_in: c.bytes_in - before.bytes_in,
+            };
+            if delta != ProcCounter::default() {
+                counters.insert(*key, delta);
+            }
+        }
+        StatsSnapshot { counters }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:>10} {:>10} {:>10} {:>12} {:>12}", "prog", "proc", "calls", "bytes_out", "bytes_in")?;
+        for ((prog, pr), c) in &self.counters {
+            writeln!(f, "{prog:>10} {pr:>10} {:>10} {:>12} {:>12}", c.calls, c.bytes_out, c.bytes_in)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let s = RpcStats::new();
+        s.record(1, 2, 10, 20);
+        s.record(1, 2, 5, 5);
+        s.record(1, 3, 1, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.calls(1, 2), 2);
+        assert_eq!(snap.calls(1, 3), 1);
+        assert_eq!(snap.calls(9, 9), 0);
+        assert_eq!(snap.total_calls(), 3);
+        assert_eq!(snap.total_bytes(), 42);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = RpcStats::new();
+        let s2 = s.clone();
+        s2.record(7, 7, 1, 1);
+        assert_eq!(s.snapshot().calls(7, 7), 1);
+    }
+
+    #[test]
+    fn since_computes_interval() {
+        let s = RpcStats::new();
+        s.record(1, 1, 100, 100);
+        let before = s.snapshot();
+        s.record(1, 1, 50, 50);
+        s.record(1, 2, 1, 1);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.calls(1, 1), 1);
+        assert_eq!(delta.calls(1, 2), 1);
+        assert_eq!(delta.total_bytes(), 102);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let s = RpcStats::new();
+        s.record(1, 1, 1, 1);
+        s.reset();
+        assert_eq!(s.snapshot().total_calls(), 0);
+    }
+
+    #[test]
+    fn display_lists_procedures() {
+        let s = RpcStats::new();
+        s.record(100003, 4, 10, 10);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("100003"));
+        assert!(text.contains("calls"));
+    }
+}

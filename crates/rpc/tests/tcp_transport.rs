@@ -1,0 +1,147 @@
+//! Integration tests for the real-TCP transport: concurrency, large
+//! transfers crossing fragment boundaries, and duplicate-request
+//! replay for non-idempotent services.
+
+use gvfs_rpc::dispatch::{Dispatcher, RpcService};
+use gvfs_rpc::message::{CallBody, MessageBody, OpaqueAuth, RpcMessage};
+use gvfs_rpc::record::{write_record, RecordReader, MAX_FRAGMENT};
+use gvfs_rpc::tcp::{TcpRpcClient, TcpRpcServer};
+use gvfs_rpc::RpcError;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A service where re-execution is observable: each *executed* call
+/// increments a counter and returns its value.
+struct CountingService(Arc<AtomicU32>);
+
+impl RpcService for CountingService {
+    fn program(&self) -> u32 {
+        77
+    }
+    fn version(&self) -> u32 {
+        1
+    }
+    fn call(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        match procedure {
+            0 => Ok(args.to_vec()),
+            1 => {
+                let n = self.0.fetch_add(1, Ordering::SeqCst) + 1;
+                Ok(gvfs_xdr::to_bytes(&n).expect("encode"))
+            }
+            p => Err(RpcError::ProcedureUnavailable { program: 77, procedure: p }),
+        }
+    }
+}
+
+fn start() -> (gvfs_rpc::tcp::TcpServerHandle, Arc<AtomicU32>) {
+    let counter = Arc::new(AtomicU32::new(0));
+    let mut dispatcher = Dispatcher::new();
+    dispatcher.register(CountingService(Arc::clone(&counter)));
+    let server = TcpRpcServer::bind("127.0.0.1:0", dispatcher).expect("bind");
+    (server.spawn(), counter)
+}
+
+#[test]
+fn concurrent_clients_get_their_own_replies() {
+    let (handle, _) = start();
+    let addr = handle.addr();
+    let mut threads = Vec::new();
+    for t in 0..8u32 {
+        threads.push(std::thread::spawn(move || {
+            let mut client = TcpRpcClient::connect(addr).expect("connect");
+            for i in 0..50u32 {
+                let payload = gvfs_xdr::to_bytes(&(t * 1000 + i)).unwrap();
+                let reply = client.call(77, 1, 0, OpaqueAuth::none(), payload.clone()).unwrap();
+                assert_eq!(reply, payload);
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn large_payloads_cross_fragment_boundaries() {
+    let (handle, _) = start();
+    let mut client = TcpRpcClient::connect(handle.addr()).expect("connect");
+    let big = vec![0xabu8; 2 * 1024 * 1024]; // 2 MiB: multiple fragments
+    let reply = client.call(77, 1, 0, OpaqueAuth::none(), big.clone()).unwrap();
+    assert_eq!(reply, big);
+    handle.shutdown();
+}
+
+#[test]
+fn duplicate_xid_is_replayed_not_reexecuted() {
+    let (handle, counter) = start();
+    let addr = handle.addr();
+
+    // Hand-roll the retransmission: send the *same* record twice on one
+    // connection (TcpRpcClient always bumps its xid, so go raw).
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let call = RpcMessage {
+        xid: 42,
+        body: MessageBody::Call(CallBody::new(77, 1, 1, OpaqueAuth::none(), Vec::new())),
+    };
+    let bytes = gvfs_xdr::to_bytes(&call).unwrap();
+    let framed = write_record(&bytes, MAX_FRAGMENT);
+
+    let mut reader = RecordReader::new();
+    let mut read_reply = |stream: &mut std::net::TcpStream, reader: &mut RecordReader| {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(record) = reader.pop() {
+                let msg: RpcMessage = gvfs_xdr::from_bytes(&record).unwrap();
+                let MessageBody::Reply(reply) = msg.body else { panic!("not a reply") };
+                let n: u32 = gvfs_xdr::from_bytes(reply.results().unwrap()).unwrap();
+                return n;
+            }
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed early");
+            reader.push(&buf[..n]).unwrap();
+        }
+    };
+
+    stream.write_all(&framed).unwrap();
+    let first = read_reply(&mut stream, &mut reader);
+    stream.write_all(&framed).unwrap(); // retransmission
+    let second = read_reply(&mut stream, &mut reader);
+
+    assert_eq!(first, second, "the DRC must replay the original reply");
+    assert_eq!(counter.load(Ordering::SeqCst), 1, "the call executed exactly once");
+
+    // A genuinely new xid executes again.
+    let call2 = RpcMessage {
+        xid: 43,
+        body: MessageBody::Call(CallBody::new(77, 1, 1, OpaqueAuth::none(), Vec::new())),
+    };
+    let framed2 = write_record(&gvfs_xdr::to_bytes(&call2).unwrap(), MAX_FRAGMENT);
+    stream.write_all(&framed2).unwrap();
+    let third = read_reply(&mut stream, &mut reader);
+    assert_eq!(third, 2);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_program_reported_over_tcp() {
+    let (handle, _) = start();
+    let mut client = TcpRpcClient::connect(handle.addr()).expect("connect");
+    let err = client.call(12345, 1, 0, OpaqueAuth::none(), Vec::new()).unwrap_err();
+    assert!(matches!(err, RpcError::ProgramUnavailable { .. }));
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_idempotent_and_joins() {
+    let (handle, _) = start();
+    let addr = handle.addr();
+    handle.shutdown();
+    // The port no longer accepts RPC service (a fresh connect may succeed
+    // at the TCP level on some platforms before the listener closes, but
+    // calls must fail).
+    if let Ok(mut client) = TcpRpcClient::connect(addr) {
+        let _ = client.call(77, 1, 0, OpaqueAuth::none(), Vec::new());
+    }
+}

@@ -1,0 +1,102 @@
+//! File attributes and timestamps.
+
+/// A point in time, in nanoseconds since an arbitrary epoch.
+///
+/// The filesystem never reads a clock; callers supply timestamps
+/// (in the simulation, the virtual clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// Builds a timestamp from nanoseconds since the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Timestamp(nanos)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Splits into `(seconds, nanoseconds)` as NFS `nfstime3` does.
+    pub const fn to_secs_nanos(self) -> (u32, u32) {
+        ((self.0 / 1_000_000_000) as u32, (self.0 % 1_000_000_000) as u32)
+    }
+}
+
+/// The kind of a filesystem object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+/// Object attributes, the source for NFS `fattr3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attr {
+    /// Object kind.
+    pub kind: FileKind,
+    /// Permission bits.
+    pub mode: u32,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Size in bytes (for directories, a nominal size).
+    pub size: u64,
+    /// Stable file id (never reused within a [`crate::Vfs`]).
+    pub fileid: u64,
+    /// Last data access.
+    pub atime: Timestamp,
+    /// Last data modification.
+    pub mtime: Timestamp,
+    /// Last attribute change.
+    pub ctime: Timestamp,
+}
+
+/// A partial attribute update (NFS `sattr3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SetAttr {
+    /// New permission bits.
+    pub mode: Option<u32>,
+    /// New owner uid.
+    pub uid: Option<u32>,
+    /// New owner gid.
+    pub gid: Option<u32>,
+    /// Truncate/extend to this size (regular files only).
+    pub size: Option<u64>,
+    /// Set access time.
+    pub atime: Option<Timestamp>,
+    /// Set modification time.
+    pub mtime: Option<Timestamp>,
+}
+
+impl SetAttr {
+    /// Returns `true` if no field is set.
+    pub fn is_empty(&self) -> bool {
+        *self == SetAttr::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_split() {
+        let t = Timestamp::from_nanos(3_500_000_001);
+        assert_eq!(t.to_secs_nanos(), (3, 500_000_001));
+    }
+
+    #[test]
+    fn setattr_default_is_empty() {
+        assert!(SetAttr::default().is_empty());
+        assert!(!SetAttr { size: Some(0), ..Default::default() }.is_empty());
+    }
+}

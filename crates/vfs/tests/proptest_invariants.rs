@@ -1,0 +1,140 @@
+//! Property tests: random operation sequences preserve filesystem
+//! invariants (reachability, link counts, byte accounting).
+
+use gvfs_vfs::{FileKind, Timestamp, Vfs, VfsError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Mkdir(u8),
+    Write(u8, u16),
+    Remove(u8),
+    Rmdir(u8),
+    Link(u8, u8),
+    Rename(u8, u8),
+}
+
+fn name(n: u8) -> String {
+    format!("n{}", n % 12)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Create),
+        any::<u8>().prop_map(Op::Mkdir),
+        (any::<u8>(), any::<u16>()).prop_map(|(n, len)| Op::Write(n, len % 4096)),
+        any::<u8>().prop_map(Op::Remove),
+        any::<u8>().prop_map(Op::Rmdir),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+    ]
+}
+
+/// Walks the tree from the root and checks:
+/// * every reachable file's nlink equals the number of directory entries
+///   pointing at it,
+/// * used_bytes equals the sum of distinct file sizes,
+/// * directory nlink = 2 + number of child directories.
+fn check_invariants(fs: &Vfs) {
+    use std::collections::HashMap;
+    let mut file_refs: HashMap<u64, u32> = HashMap::new();
+    let mut file_sizes: HashMap<u64, u64> = HashMap::new();
+    let mut stack = vec![fs.root()];
+    let mut dirs_seen = 0u64;
+    while let Some(dir) = stack.pop() {
+        dirs_seen += 1;
+        let mut child_dirs = 0;
+        let page = fs.readdir(dir, 0, usize::MAX).expect("readdir");
+        assert!(page.eof);
+        for entry in &page.entries {
+            let attr = fs.getattr(entry.fileid).expect("reachable entry has attrs");
+            match attr.kind {
+                FileKind::Directory => {
+                    child_dirs += 1;
+                    stack.push(entry.fileid);
+                }
+                FileKind::Regular | FileKind::Symlink => {
+                    *file_refs.entry(entry.fileid.as_u64()).or_default() += 1;
+                    if attr.kind == FileKind::Regular {
+                        file_sizes.insert(entry.fileid.as_u64(), attr.size);
+                    }
+                }
+            }
+        }
+        let dir_attr = fs.getattr(dir).expect("dir attrs");
+        assert_eq!(
+            dir_attr.nlink,
+            2 + child_dirs,
+            "directory nlink must be 2 + child dirs"
+        );
+    }
+    for (id, refs) in &file_refs {
+        let attr = fs.getattr(gvfs_vfs::FileId::from_u64(*id)).expect("linked file");
+        assert_eq!(attr.nlink, *refs, "file nlink must equal directory references");
+    }
+    let expected_bytes: u64 = file_sizes.values().sum();
+    let stat = fs.fsstat();
+    assert_eq!(stat.used_bytes, expected_bytes, "used_bytes must match file content");
+    assert_eq!(stat.objects, dirs_seen + file_refs.len() as u64, "no orphan objects");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn random_ops_preserve_invariants(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let fs = Vfs::new();
+        let root = fs.root();
+        let mut clock = 0u64;
+        for op in ops {
+            clock += 1;
+            let t = Timestamp::from_nanos(clock);
+            // All errors are legal outcomes; invariants must hold regardless.
+            let result: Result<(), VfsError> = match op {
+                Op::Create(n) => fs.create(root, &name(n), 0o644, t).map(|_| ()),
+                Op::Mkdir(n) => fs.mkdir(root, &name(n), 0o755, t).map(|_| ()),
+                Op::Write(n, len) => fs
+                    .lookup(root, &name(n))
+                    .and_then(|f| fs.write(f, 0, &vec![7u8; len as usize], t))
+                    .map(|_| ()),
+                Op::Remove(n) => fs.remove(root, &name(n), t),
+                Op::Rmdir(n) => fs.rmdir(root, &name(n), t),
+                Op::Link(a, b) => fs
+                    .lookup(root, &name(a))
+                    .and_then(|f| fs.link(f, root, &name(b), t)),
+                Op::Rename(a, b) => fs.rename(root, &name(a), root, &name(b), t),
+            };
+            let _ = result;
+            check_invariants(&fs);
+        }
+    }
+
+    #[test]
+    fn nested_dirs_random_ops(ops in proptest::collection::vec((op_strategy(), any::<u8>()), 1..60)) {
+        let fs = Vfs::new();
+        let d1 = fs.mkdir(fs.root(), "d1", 0o755, Timestamp::from_nanos(0)).unwrap();
+        let d2 = fs.mkdir(fs.root(), "d2", 0o755, Timestamp::from_nanos(0)).unwrap();
+        let mut clock = 0u64;
+        for (op, which) in ops {
+            clock += 1;
+            let t = Timestamp::from_nanos(clock);
+            let dir = if which % 2 == 0 { d1 } else { d2 };
+            let other = if which % 2 == 0 { d2 } else { d1 };
+            let _ = match op {
+                Op::Create(n) => fs.create(dir, &name(n), 0o644, t).map(|_| ()),
+                Op::Mkdir(n) => fs.mkdir(dir, &name(n), 0o755, t).map(|_| ()),
+                Op::Write(n, len) => fs
+                    .lookup(dir, &name(n))
+                    .and_then(|f| fs.write(f, 0, &vec![1u8; len as usize], t))
+                    .map(|_| ()),
+                Op::Remove(n) => fs.remove(dir, &name(n), t),
+                Op::Rmdir(n) => fs.rmdir(dir, &name(n), t),
+                Op::Link(a, b) => fs
+                    .lookup(dir, &name(a))
+                    .and_then(|f| fs.link(f, other, &name(b), t)),
+                Op::Rename(a, b) => fs.rename(dir, &name(a), other, &name(b), t),
+            };
+            check_invariants(&fs);
+        }
+    }
+}

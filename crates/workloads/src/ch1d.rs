@@ -1,0 +1,150 @@
+//! The CH1D producer/consumer benchmark (§5.2.2, Figure 8).
+//!
+//! Real-time coastal data accumulates on an observation site (the
+//! producer) while an off-site computing center (the consumer)
+//! re-analyzes the full accumulated dataset after every collection run:
+//! run *r* adds 30 more input files, and the consumer then processes
+//! all `30 × r` files. The dataset fits the consumer's cache, so what
+//! grows on native NFS is purely the per-file consistency checking —
+//! while a delegation-based session keeps it nearly constant.
+
+use gvfs_client::NfsClient;
+use gvfs_vfs::{Timestamp, Vfs};
+use std::time::Duration;
+
+/// CH1D parameters (defaults = the paper's 15 runs × 30 files).
+#[derive(Debug, Clone)]
+pub struct Ch1dConfig {
+    /// Number of producer runs.
+    pub runs: usize,
+    /// New input files per run.
+    pub files_per_run: usize,
+    /// Bytes per input file.
+    pub file_bytes: usize,
+    /// Modelled analysis time per *new* file.
+    pub process_per_file: Duration,
+    /// Fixed analysis overhead per consumer run.
+    pub process_fixed: Duration,
+}
+
+impl Default for Ch1dConfig {
+    fn default() -> Self {
+        Ch1dConfig {
+            runs: 15,
+            files_per_run: 30,
+            file_bytes: 64 * 1024,
+            process_per_file: Duration::from_millis(120),
+            process_fixed: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Ch1dConfig {
+    /// A reduced configuration for fast tests.
+    pub fn small() -> Self {
+        Ch1dConfig {
+            runs: 4,
+            files_per_run: 6,
+            file_bytes: 8 * 1024,
+            process_per_file: Duration::from_millis(50),
+            process_fixed: Duration::from_millis(500),
+        }
+    }
+
+    /// Name of input file `i` of run `r`.
+    pub fn file_name(r: usize, i: usize) -> String {
+        format!("in_r{r:02}_{i:03}.dat")
+    }
+}
+
+/// Prepares the shared data directory.
+///
+/// # Panics
+///
+/// Panics if the directory already exists.
+pub fn populate(vfs: &Vfs) {
+    vfs.mkdir(vfs.root(), "data", 0o755, Timestamp::from_nanos(0)).expect("mkdir data");
+}
+
+/// One producer run: writes the run's input files. Must run inside an
+/// actor.
+///
+/// # Panics
+///
+/// Panics on filesystem errors.
+pub fn produce_run(producer: &NfsClient, config: &Ch1dConfig, run: usize) {
+    let dir = producer.resolve("/data").expect("data dir");
+    let payload = vec![b'd'; config.file_bytes];
+    for i in 0..config.files_per_run {
+        let fh = producer.create(dir, &Ch1dConfig::file_name(run, i), true).expect("create input");
+        producer.write(fh, 0, &payload).expect("write input");
+    }
+}
+
+/// One consumer run after producer run `run`: processes every
+/// accumulated file (opens each — the consistency cost — and reads the
+/// new ones), then computes. Returns the run's virtual duration. Must
+/// run inside an actor.
+///
+/// # Panics
+///
+/// Panics on filesystem errors.
+pub fn consume_run(consumer: &NfsClient, config: &Ch1dConfig, run: usize) -> Duration {
+    let t0 = gvfs_netsim::now();
+    for r in 0..=run {
+        for i in 0..config.files_per_run {
+            let path = format!("/data/{}", Ch1dConfig::file_name(r, i));
+            let fh = consumer.open(&path).expect("open input");
+            // Old runs' data is cached; the analysis still re-reads
+            // everything, but only new files cost WAN transfers.
+            let _ = consumer.read(fh, 0, config.file_bytes as u32).expect("read input");
+        }
+    }
+    gvfs_netsim::sleep(config.process_per_file * config.files_per_run as u32);
+    gvfs_netsim::sleep(config.process_fixed);
+    gvfs_netsim::now().saturating_since(t0)
+}
+
+/// Drives the full pipeline, alternating producer and consumer phases
+/// in one actor (the analysis starts when each collection run lands).
+/// Returns the consumer-phase runtime of each run — the series of
+/// Figure 8. Must run inside an actor.
+///
+/// # Panics
+///
+/// Panics on filesystem errors.
+pub fn run_pipeline(
+    producer: &NfsClient,
+    consumer: &NfsClient,
+    config: &Ch1dConfig,
+) -> Vec<Duration> {
+    let mut runtimes = Vec::with_capacity(config.runs);
+    for run in 0..config.runs {
+        produce_run(producer, config, run);
+        runtimes.push(consume_run(consumer, config, run));
+    }
+    runtimes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Ch1dConfig::default();
+        assert_eq!(c.runs, 15);
+        assert_eq!(c.files_per_run, 30);
+    }
+
+    #[test]
+    fn file_names_are_unique_across_runs() {
+        let mut names = std::collections::HashSet::new();
+        for r in 0..15 {
+            for i in 0..30 {
+                assert!(names.insert(Ch1dConfig::file_name(r, i)));
+            }
+        }
+        assert_eq!(names.len(), 450);
+    }
+}

@@ -1,0 +1,34 @@
+//! Workload drivers reproducing the paper's evaluation programs.
+//!
+//! Each driver is a synthetic but structurally faithful model of the
+//! corresponding application, parameterized by the numbers the paper
+//! states:
+//!
+//! * [`make`] — the Andrew-style `make` of Tcl/Tk 8.4.5 (§5.1.1):
+//!   357 C sources, 103 headers, 168 objects; repeated header
+//!   cross-referencing generates the kernel client's `GETATTR` storm,
+//!   and per-source temporary files give write-back its win.
+//! * [`postmark`] — PostMark with the paper's Figure 5 parameters
+//!   (600 files, 600 transactions, 32–640 KB, 100 subdirectories,
+//!   32 KB blocks, read/append bias 9, create/delete bias 5).
+//! * [`lock`] — the file-based mutual-exclusion benchmark (§5.1.2):
+//!   six clients race to hard-link a lock file, hold it ten seconds,
+//!   retry each second, ten acquisitions each.
+//! * [`nanomos`] — the shared software repository scenario (§5.2.1):
+//!   a 14 K-entry MATLAB tree with a 540-entry MPITB subtree, six WAN
+//!   clients running eight iterations with a LAN administrator update
+//!   between runs four and five.
+//! * [`ch1d`] — the coastal-modelling producer/consumer pipeline
+//!   (§5.2.2): fifteen runs, thirty new input files per run, the
+//!   consumer processing the full accumulated set each run.
+//!
+//! Every driver takes explicit configuration with `Default` matching
+//! the paper, runs inside simulation actors, and reports structured
+//! results that the benchmark harness prints as the paper's tables and
+//! series.
+
+pub mod ch1d;
+pub mod lock;
+pub mod make;
+pub mod nanomos;
+pub mod postmark;

@@ -1,0 +1,160 @@
+//! The file-based lock benchmark (§5.1.2, Figure 6).
+//!
+//! Six distributed clients compete for a lock implemented the classic
+//! NFS way: create a private temporary file and try to hard-link it to
+//! the shared lock name — `LINK` is atomic at the server, so exactly
+//! one racer wins. The winner holds the lock ten seconds, unlinks it,
+//! pauses a second and rejoins until it has won ten times; losers
+//! re-probe every second.
+//!
+//! Clients *probe* with `stat` before attempting the link, which is
+//! where consistency matters: under relaxed models a releaseed lock
+//! stays visible (cached) to other clients for up to the staleness
+//! window, so the previous owner — who knows its own unlink — tends to
+//! reacquire, hurting fairness and stretching the run.
+
+use gvfs_client::{ClientError, NfsClient};
+use gvfs_nfs3::Nfsstat3;
+use gvfs_vfs::{Timestamp, Vfs};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lock benchmark parameters (defaults = the paper's setup).
+#[derive(Debug, Clone, Copy)]
+pub struct LockConfig {
+    /// Successful acquisitions each client must reach.
+    pub acquisitions: usize,
+    /// Hold time after acquiring.
+    pub hold: Duration,
+    /// Pause before re-probing after a failed attempt.
+    pub retry: Duration,
+    /// Pause after releasing before rejoining the competition.
+    pub post_release: Duration,
+}
+
+impl Default for LockConfig {
+    fn default() -> Self {
+        LockConfig {
+            acquisitions: 10,
+            hold: Duration::from_secs(10),
+            retry: Duration::from_secs(1),
+            post_release: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The shared acquisition log: `(virtual time, client id)` per grant.
+pub type AcquisitionLog = Arc<Mutex<Vec<(f64, usize)>>>;
+
+/// Creates an empty acquisition log.
+pub fn new_log() -> AcquisitionLog {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+/// Prepares the lock directory on the server.
+///
+/// # Panics
+///
+/// Panics if the directory already exists.
+pub fn populate(vfs: &Vfs) {
+    vfs.mkdir(vfs.root(), "lock", 0o777, Timestamp::from_nanos(0)).expect("mkdir lock");
+}
+
+/// Runs one competing client (id `me`) to completion. Must run inside
+/// a simulation actor.
+///
+/// # Panics
+///
+/// Panics on unexpected filesystem errors.
+pub fn run_client(client: &NfsClient, me: usize, config: &LockConfig, log: &AcquisitionLog) {
+    let dir = client.resolve("/lock").expect("lock dir");
+    let tmp_name = format!("tmp-{me}");
+    let tmp = client.create(dir, &tmp_name, true).expect("create temp");
+
+    let mut wins = 0;
+    while wins < config.acquisitions {
+        // The script first verifies its own temporary still exists (a
+        // defensive re-stat every lock script performs)...
+        client.getattr(tmp).expect("tmp vanished");
+        // ...then probes: is the lock visibly free? (This is where
+        // stale caches mislead clients under relaxed consistency.)
+        match client.stat("/lock/lockfile") {
+            Ok(_) => {
+                gvfs_netsim::sleep(config.retry);
+                continue;
+            }
+            Err(ClientError::Nfs(Nfsstat3::Noent)) => {}
+            Err(e) => panic!("probe failed: {e}"),
+        }
+        // Attempt: atomic hard link.
+        match client.link(tmp, dir, "lockfile") {
+            Ok(()) => {
+                log.lock().push((gvfs_netsim::now().as_secs_f64(), me));
+                gvfs_netsim::sleep(config.hold);
+                client.remove(dir, "lockfile").expect("unlink lock");
+                wins += 1;
+                gvfs_netsim::sleep(config.post_release);
+            }
+            Err(ClientError::Nfs(Nfsstat3::Exist)) => {
+                gvfs_netsim::sleep(config.retry);
+            }
+            Err(e) => panic!("link failed: {e}"),
+        }
+    }
+}
+
+/// Fairness summary of an acquisition log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fairness {
+    /// Longest run of consecutive grants to the same client.
+    pub max_consecutive: usize,
+    /// Grants per client id.
+    pub per_client: Vec<usize>,
+    /// Total grants.
+    pub total: usize,
+}
+
+/// Analyzes the grant sequence.
+pub fn fairness(log: &AcquisitionLog, clients: usize) -> Fairness {
+    let log = log.lock();
+    let mut per_client = vec![0usize; clients];
+    let mut max_consecutive = 0;
+    let mut run = 0;
+    let mut last: Option<usize> = None;
+    for &(_, who) in log.iter() {
+        per_client[who] += 1;
+        if Some(who) == last {
+            run += 1;
+        } else {
+            run = 1;
+            last = Some(who);
+        }
+        max_consecutive = max_consecutive.max(run);
+    }
+    Fairness { max_consecutive, per_client, total: log.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fairness_counts_consecutive_runs() {
+        let log = new_log();
+        for who in [0, 0, 0, 1, 2, 1, 1] {
+            log.lock().push((0.0, who));
+        }
+        let f = fairness(&log, 3);
+        assert_eq!(f.max_consecutive, 3);
+        assert_eq!(f.per_client, vec![3, 3, 1]);
+        assert_eq!(f.total, 7);
+    }
+
+    #[test]
+    fn fairness_of_empty_log() {
+        let f = fairness(&new_log(), 2);
+        assert_eq!(f.max_consecutive, 0);
+        assert_eq!(f.total, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! The Make benchmark (§5.1.1, Figure 4).
+//!
+//! Models `make` building Tcl/Tk 8.4.5: the tool stats every node of
+//! the dependency graph, then compiles each source — opening the source
+//! and each transitively included header (close-to-open consistency
+//! turns every open into a `GETATTR`), writing a per-source temporary,
+//! emitting an object for a subset of sources, deleting the temporary —
+//! and finally links the objects.
+
+use gvfs_client::NfsClient;
+use gvfs_vfs::{Timestamp, Vfs};
+use std::time::Duration;
+
+/// Parameters of the Make benchmark; defaults are the paper's
+/// "357 C sources and 103 headers to generate 168 objects".
+#[derive(Debug, Clone)]
+pub struct MakeConfig {
+    /// Number of C source files.
+    pub sources: usize,
+    /// Number of header files.
+    pub headers: usize,
+    /// Number of object files produced.
+    pub objects: usize,
+    /// Headers opened (cross-referenced) per source compile.
+    pub includes_per_source: usize,
+    /// Bytes per source file.
+    pub source_bytes: usize,
+    /// Bytes per header file.
+    pub header_bytes: usize,
+    /// Bytes per object file (and per compile temporary).
+    pub object_bytes: usize,
+    /// CPU time modelled per source compile.
+    pub compile_time: Duration,
+    /// CPU time modelled for the final link.
+    pub link_time: Duration,
+    /// Application-level write chunk (stdio buffer size): the compiler
+    /// emits output in buffered chunks, each becoming one NFS `WRITE`
+    /// on a synchronous export — which is exactly what write-back
+    /// caching coalesces.
+    pub write_chunk: usize,
+}
+
+impl Default for MakeConfig {
+    fn default() -> Self {
+        MakeConfig {
+            sources: 357,
+            headers: 103,
+            objects: 168,
+            includes_per_source: 30,
+            source_bytes: 9 * 1024,
+            header_bytes: 5 * 1024,
+            object_bytes: 24 * 1024,
+            compile_time: Duration::from_millis(500),
+            link_time: Duration::from_secs(5),
+            write_chunk: 8 * 1024,
+        }
+    }
+}
+
+impl MakeConfig {
+    /// A reduced configuration for fast tests.
+    pub fn small() -> Self {
+        MakeConfig {
+            sources: 30,
+            headers: 12,
+            objects: 15,
+            includes_per_source: 6,
+            compile_time: Duration::from_millis(100),
+            link_time: Duration::from_millis(500),
+            ..Default::default()
+        }
+    }
+
+    fn source_name(i: usize) -> String {
+        format!("src{i:03}.c")
+    }
+    fn header_name(i: usize) -> String {
+        format!("hdr{i:03}.h")
+    }
+    fn object_name(i: usize) -> String {
+        format!("obj{i:03}.o")
+    }
+
+    /// The headers source `i` includes (deterministic spread).
+    fn includes(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.includes_per_source).map(move |k| (i * 7 + k * 3) % self.headers)
+    }
+
+    /// Whether compiling source `i` completes an object.
+    fn emits_object(&self, i: usize) -> Option<usize> {
+        let before = i * self.objects / self.sources;
+        let after = (i + 1) * self.objects / self.sources;
+        (after > before).then_some(before)
+    }
+}
+
+/// Result of a Make run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MakeReport {
+    /// Wall-clock (virtual) duration of the build.
+    pub runtime: Duration,
+    /// Objects produced.
+    pub objects_built: usize,
+}
+
+/// Populates the source tree at `/src` (sources + headers) on the
+/// server filesystem, out of band.
+///
+/// # Panics
+///
+/// Panics if the tree already exists.
+pub fn populate(vfs: &Vfs, config: &MakeConfig) {
+    let t = Timestamp::from_nanos(0);
+    let src = vfs.mkdir(vfs.root(), "src", 0o755, t).expect("mkdir src");
+    vfs.mkdir(vfs.root(), "obj", 0o755, t).expect("mkdir obj");
+    for i in 0..config.sources {
+        let f = vfs.create(src, &MakeConfig::source_name(i), 0o644, t).expect("create source");
+        vfs.write(f, 0, &vec![b'c'; config.source_bytes], t).expect("write source");
+    }
+    for i in 0..config.headers {
+        let f = vfs.create(src, &MakeConfig::header_name(i), 0o644, t).expect("create header");
+        vfs.write(f, 0, &vec![b'h'; config.header_bytes], t).expect("write header");
+    }
+}
+
+fn write_chunked(client: &NfsClient, fh: gvfs_nfs3::Fh3, total: usize, chunk: usize, byte: u8) {
+    let payload = vec![byte; chunk];
+    let mut written = 0;
+    while written < total {
+        let n = chunk.min(total - written);
+        client.write(fh, written as u64, &payload[..n]).expect("chunked write");
+        written += n;
+    }
+}
+
+/// Runs the build through `client`. Must run inside a simulation actor.
+///
+/// # Panics
+///
+/// Panics on filesystem errors (the benchmark tree must have been
+/// populated).
+pub fn run(client: &NfsClient, config: &MakeConfig) -> MakeReport {
+    let t0 = gvfs_netsim::now();
+    let src = client.resolve("/src").expect("src dir");
+    let obj = client.resolve("/obj").expect("obj dir");
+
+    // Dependency scan: make stats every node it knows about.
+    for i in 0..config.sources {
+        client.stat(&format!("/src/{}", MakeConfig::source_name(i))).expect("stat source");
+    }
+    for i in 0..config.headers {
+        client.stat(&format!("/src/{}", MakeConfig::header_name(i))).expect("stat header");
+    }
+    for i in 0..config.objects {
+        // Objects do not exist yet; the stat fails (and caches the
+        // negative entry, as the kernel does).
+        let _ = client.stat(&format!("/obj/{}", MakeConfig::object_name(i)));
+    }
+
+    let mut objects_built = 0;
+    for i in 0..config.sources {
+        // Compile source i: open + read the source and every header it
+        // cross-references.
+        let sfh = client
+            .open(&format!("/src/{}", MakeConfig::source_name(i)))
+            .expect("open source");
+        let _ = client.read(sfh, 0, config.source_bytes as u32).expect("read source");
+        for h in config.includes(i) {
+            let hfh = client
+                .open(&format!("/src/{}", MakeConfig::header_name(h)))
+                .expect("open header");
+            let _ = client.read(hfh, 0, config.header_bytes as u32).expect("read header");
+        }
+        gvfs_netsim::sleep(config.compile_time);
+
+        // The compiler writes an intermediate temporary next to the
+        // objects (in buffered chunks), reads it back, and removes it.
+        let tmp_name = format!("tmp{i:03}.s");
+        let tmp = client.create(obj, &tmp_name, false).expect("create temp");
+        write_chunked(client, tmp, config.object_bytes, config.write_chunk, b's');
+        let _ = client.read(tmp, 0, config.object_bytes as u32).expect("read temp");
+
+        if let Some(o) = config.emits_object(i) {
+            let ofh = client.create(obj, &MakeConfig::object_name(o), false).expect("create object");
+            write_chunked(client, ofh, config.object_bytes, config.write_chunk, b'o');
+            objects_built += 1;
+        }
+        client.remove(obj, &tmp_name).expect("remove temp");
+    }
+
+    // Link: read every object, write the binary.
+    for o in 0..objects_built {
+        let ofh = client.open(&format!("/obj/{}", MakeConfig::object_name(o))).expect("open object");
+        let _ = client.read(ofh, 0, config.object_bytes as u32).expect("read object");
+    }
+    gvfs_netsim::sleep(config.link_time);
+    let bin = client.create(obj, "tclsh", false).expect("create binary");
+    write_chunked(client, bin, config.object_bytes * objects_built.min(40), config.write_chunk, b'b');
+
+    let _ = src;
+    MakeReport { runtime: gvfs_netsim::now().saturating_since(t0), objects_built }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_emission_covers_exactly_the_object_count() {
+        let config = MakeConfig::default();
+        let emitted: Vec<usize> = (0..config.sources).filter_map(|i| config.emits_object(i)).collect();
+        assert_eq!(emitted.len(), config.objects);
+        assert_eq!(emitted.first(), Some(&0));
+        assert_eq!(emitted.last(), Some(&(config.objects - 1)));
+    }
+
+    #[test]
+    fn includes_stay_in_range() {
+        let config = MakeConfig::default();
+        for i in 0..config.sources {
+            for h in config.includes(i) {
+                assert!(h < config.headers);
+            }
+        }
+    }
+
+    #[test]
+    fn populate_builds_the_tree() {
+        let vfs = Vfs::new();
+        let config = MakeConfig::small();
+        populate(&vfs, &config);
+        assert!(vfs.lookup_path("/src/src000.c").is_ok());
+        assert!(vfs.lookup_path(&format!("/src/hdr{:03}.h", config.headers - 1)).is_ok());
+        assert!(vfs.lookup_path("/obj").is_ok());
+    }
+}

@@ -1,0 +1,217 @@
+//! The NanoMOS software-repository benchmark (§5.2.1, Figure 7).
+//!
+//! Six WAN clients run the NanoMOS device simulator in parallel for
+//! eight iterations, read-sharing the MATLAB + MPITB installation from
+//! a repository; between the fourth and fifth run a LAN administrator
+//! updates (a) the entire MATLAB tree (~14 K entries) or (b) only the
+//! MPITB toolbox (540 entries). The clients' working set (~30 MB)
+//! fits their caches from the second run on — what distinguishes the
+//! systems is the consistency traffic for the cached files.
+
+use gvfs_client::NfsClient;
+use gvfs_vfs::{FileId, Timestamp, Vfs};
+use std::time::Duration;
+
+/// Which part of the repository the administrator updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateScope {
+    /// The entire MATLAB package (Figure 7a).
+    Matlab,
+    /// Only the MPITB toolbox (Figure 7b).
+    Mpitb,
+}
+
+/// Repository and run parameters (defaults = the paper's).
+#[derive(Debug, Clone)]
+pub struct NanomosConfig {
+    /// Total files in the MATLAB tree (excluding MPITB).
+    pub matlab_files: usize,
+    /// Files in the MPITB subtree.
+    pub mpitb_files: usize,
+    /// Directories the MATLAB files are spread over.
+    pub matlab_dirs: usize,
+    /// Files each client touches per iteration (the working set).
+    pub working_set: usize,
+    /// Bytes per repository file (working set ≈ `working_set ×
+    /// file_bytes` ≈ 30 MB).
+    pub file_bytes: usize,
+    /// Times each working-set file is opened per iteration (script
+    /// passes).
+    pub opens_per_iteration: usize,
+    /// Iterations per client.
+    pub iterations: usize,
+    /// Modelled compute time per iteration.
+    pub compute: Duration,
+}
+
+impl Default for NanomosConfig {
+    fn default() -> Self {
+        NanomosConfig {
+            matlab_files: 13_460,
+            mpitb_files: 540,
+            matlab_dirs: 100,
+            working_set: 600,
+            file_bytes: 50 * 1024,
+            opens_per_iteration: 3,
+            iterations: 8,
+            compute: Duration::from_secs(20),
+        }
+    }
+}
+
+impl NanomosConfig {
+    /// A reduced configuration for fast tests.
+    pub fn small() -> Self {
+        NanomosConfig {
+            matlab_files: 300,
+            mpitb_files: 40,
+            matlab_dirs: 10,
+            working_set: 60,
+            file_bytes: 8 * 1024,
+            opens_per_iteration: 2,
+            iterations: 4,
+            compute: Duration::from_secs(2),
+        }
+    }
+
+    /// Path of MATLAB file `i`.
+    pub fn matlab_path(&self, i: usize) -> String {
+        format!("/repo/matlab/d{:03}/m{:05}.m", i % self.matlab_dirs, i)
+    }
+
+    /// Path of MPITB file `i`.
+    pub fn mpitb_path(&self, i: usize) -> String {
+        format!("/repo/matlab/mpitb/p{i:04}.m")
+    }
+
+    /// The working set: spread over the MATLAB tree with a tail of
+    /// MPITB files (clients do use the MPI toolbox).
+    pub fn working_set_paths(&self) -> Vec<String> {
+        let mpitb_share = (self.working_set / 10).min(self.mpitb_files);
+        let matlab_share = self.working_set - mpitb_share;
+        let mut paths = Vec::with_capacity(self.working_set);
+        for k in 0..matlab_share {
+            let i = k * self.matlab_files / matlab_share.max(1);
+            paths.push(self.matlab_path(i));
+        }
+        for k in 0..mpitb_share {
+            paths.push(self.mpitb_path(k * self.mpitb_files / mpitb_share.max(1)));
+        }
+        paths
+    }
+}
+
+/// Builds the repository tree on the server, out of band.
+///
+/// # Panics
+///
+/// Panics if the tree already exists.
+pub fn populate(vfs: &Vfs, config: &NanomosConfig) {
+    let t = Timestamp::from_nanos(0);
+    let repo = vfs.mkdir(vfs.root(), "repo", 0o755, t).expect("mkdir repo");
+    let matlab = vfs.mkdir(repo, "matlab", 0o755, t).expect("mkdir matlab");
+    let mut dirs: Vec<FileId> = Vec::with_capacity(config.matlab_dirs);
+    for d in 0..config.matlab_dirs {
+        dirs.push(vfs.mkdir(matlab, &format!("d{d:03}"), 0o755, t).expect("mkdir d"));
+    }
+    let payload = vec![b'm'; config.file_bytes];
+    for i in 0..config.matlab_files {
+        let f = vfs
+            .create(dirs[i % config.matlab_dirs], &format!("m{i:05}.m"), 0o644, t)
+            .expect("create matlab file");
+        vfs.write(f, 0, &payload, t).expect("write");
+    }
+    let mpitb = vfs.mkdir(matlab, "mpitb", 0o755, t).expect("mkdir mpitb");
+    for i in 0..config.mpitb_files {
+        let f = vfs.create(mpitb, &format!("p{i:04}.m"), 0o644, t).expect("create mpitb file");
+        vfs.write(f, 0, &payload, t).expect("write");
+    }
+}
+
+/// Runs one NanoMOS iteration on one client: opens the working set (the
+/// interpreter re-opens scripts on every pass), reads it, computes.
+/// Returns the iteration's virtual runtime. Must run inside an actor.
+///
+/// # Panics
+///
+/// Panics on filesystem errors.
+pub fn run_iteration(client: &NfsClient, config: &NanomosConfig) -> Duration {
+    let t0 = gvfs_netsim::now();
+    let paths = config.working_set_paths();
+    for pass in 0..config.opens_per_iteration {
+        for path in &paths {
+            let fh = client.open(path).expect("open working-set file");
+            if pass == 0 {
+                let _ = client.read(fh, 0, config.file_bytes as u32).expect("read");
+            }
+        }
+    }
+    gvfs_netsim::sleep(config.compute);
+    gvfs_netsim::now().saturating_since(t0)
+}
+
+/// The administrator's update pass (run from the LAN client): touches
+/// every file in scope, as reinstalling the package does. Returns the
+/// number of files touched. Must run inside an actor.
+///
+/// # Panics
+///
+/// Panics on filesystem errors.
+pub fn admin_update(client: &NfsClient, config: &NanomosConfig, scope: UpdateScope) -> usize {
+    let mut touched = 0;
+    match scope {
+        UpdateScope::Matlab => {
+            for i in 0..config.matlab_files {
+                let fh = client.resolve(&config.matlab_path(i)).expect("resolve");
+                client.touch(fh).expect("touch");
+                touched += 1;
+            }
+            for i in 0..config.mpitb_files {
+                let fh = client.resolve(&config.mpitb_path(i)).expect("resolve");
+                client.touch(fh).expect("touch");
+                touched += 1;
+            }
+        }
+        UpdateScope::Mpitb => {
+            for i in 0..config.mpitb_files {
+                let fh = client.resolve(&config.mpitb_path(i)).expect("resolve");
+                client.touch(fh).expect("touch");
+                touched += 1;
+            }
+        }
+    }
+    touched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_size_matches_paper() {
+        let c = NanomosConfig::default();
+        assert_eq!(c.matlab_files + c.mpitb_files, 14_000);
+        assert_eq!(c.mpitb_files, 540);
+    }
+
+    #[test]
+    fn working_set_is_plausible() {
+        let c = NanomosConfig::default();
+        let ws = c.working_set_paths();
+        assert_eq!(ws.len(), c.working_set);
+        assert!(ws.iter().any(|p| p.contains("mpitb")));
+        // ~30 MB per client, as the paper states.
+        let bytes = ws.len() * c.file_bytes;
+        assert!((25 << 20..35 << 20).contains(&bytes), "working set = {bytes} bytes");
+    }
+
+    #[test]
+    fn populate_and_resolve() {
+        let vfs = Vfs::new();
+        let c = NanomosConfig::small();
+        populate(&vfs, &c);
+        for path in c.working_set_paths() {
+            assert!(vfs.lookup_path(&path).is_ok(), "missing {path}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The PostMark benchmark (Figure 5).
+//!
+//! Katcher's small-file workload: create an initial pool of files
+//! across subdirectories, run transactions — each a (read | append)
+//! paired with a (create | delete) — then delete everything. Parameters
+//! default to the values printed in the paper's Figure 5 inset.
+
+use gvfs_client::{ClientError, NfsClient};
+use gvfs_nfs3::Fh3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// PostMark parameters (defaults = the paper's Figure 5 box).
+#[derive(Debug, Clone)]
+pub struct PostmarkConfig {
+    /// Initial number of files.
+    pub files: usize,
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Minimum file size in bytes.
+    pub min_size: usize,
+    /// Maximum file size in bytes.
+    pub max_size: usize,
+    /// Number of subdirectories.
+    pub subdirs: usize,
+    /// Read/write block size in bytes.
+    pub block: usize,
+    /// Bias for read vs append, out of 10 (9 = 90 % reads).
+    pub read_bias: u32,
+    /// Bias for create vs delete, out of 10 (5 = 50/50).
+    pub create_bias: u32,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for PostmarkConfig {
+    fn default() -> Self {
+        PostmarkConfig {
+            files: 600,
+            transactions: 600,
+            min_size: 32 * 1024,
+            max_size: 640 * 1024,
+            subdirs: 100,
+            block: 32 * 1024,
+            read_bias: 9,
+            create_bias: 5,
+            seed: 0x9057_3a2e,
+        }
+    }
+}
+
+impl PostmarkConfig {
+    /// A reduced configuration for fast tests.
+    pub fn small() -> Self {
+        PostmarkConfig {
+            files: 30,
+            transactions: 40,
+            min_size: 4 * 1024,
+            max_size: 32 * 1024,
+            subdirs: 8,
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters reported by a PostMark run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PostmarkReport {
+    /// Total virtual wall-clock duration.
+    pub runtime: Duration,
+    /// Files created (initial pool + transaction creates).
+    pub created: usize,
+    /// Files deleted.
+    pub deleted: usize,
+    /// Whole-file reads performed.
+    pub reads: usize,
+    /// Appends performed.
+    pub appends: usize,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+struct LiveFile {
+    path: String,
+    fh: Fh3,
+    size: usize,
+}
+
+/// Runs PostMark through `client`. Must run inside a simulation actor.
+///
+/// # Panics
+///
+/// Panics on unexpected filesystem errors.
+pub fn run(client: &NfsClient, config: &PostmarkConfig) -> PostmarkReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut report = PostmarkReport::default();
+    let t0 = gvfs_netsim::now();
+    let root = client.root();
+
+    // Working directory and subdirectories.
+    let base = client.mkdir(root, "pm").expect("mkdir pm");
+    let mut dirs = Vec::with_capacity(config.subdirs);
+    for d in 0..config.subdirs {
+        dirs.push(client.mkdir(base, &format!("s{d:03}")).expect("mkdir subdir"));
+    }
+
+    let mut live: Vec<LiveFile> = Vec::new();
+    let mut next_id = 0usize;
+    let mut create = |client: &NfsClient,
+                      rng: &mut StdRng,
+                      live: &mut Vec<LiveFile>,
+                      report: &mut PostmarkReport| {
+        let d = rng.gen_range(0..config.subdirs);
+        let name = format!("f{next_id:06}");
+        next_id += 1;
+        let path = format!("/pm/s{d:03}/{name}");
+        let size = rng.gen_range(config.min_size..=config.max_size);
+        let fh = client.create(dirs[d], &name, true).expect("create file");
+        // PostMark writes the initial content in blocks.
+        let mut written = 0;
+        let payload = vec![b'p'; config.block];
+        while written < size {
+            let n = config.block.min(size - written);
+            client.write(fh, written as u64, &payload[..n]).expect("write block");
+            written += n;
+        }
+        report.created += 1;
+        report.bytes_written += size as u64;
+        live.push(LiveFile { path, fh, size });
+    };
+
+    // Phase 1: initial pool.
+    for _ in 0..config.files {
+        create(client, &mut rng, &mut live, &mut report);
+    }
+
+    // Phase 2: transactions.
+    for _ in 0..config.transactions {
+        // Read or append.
+        if !live.is_empty() {
+            let idx = rng.gen_range(0..live.len());
+            if rng.gen_range(0..10) < config.read_bias {
+                let f = &live[idx];
+                let fh = client.open(&f.path).expect("open for read");
+                let mut offset = 0usize;
+                while offset < f.size {
+                    let n = config.block.min(f.size - offset);
+                    let data = client.read(fh, offset as u64, n as u32).expect("read block");
+                    report.bytes_read += data.len() as u64;
+                    offset += n;
+                }
+                report.reads += 1;
+            } else {
+                let grow = rng.gen_range(512..=config.block);
+                let f = &mut live[idx];
+                client.write(f.fh, f.size as u64, &vec![b'a'; grow]).expect("append");
+                f.size += grow;
+                report.appends += 1;
+                report.bytes_written += grow as u64;
+            }
+        }
+        // Create or delete.
+        if rng.gen_range(0..10) < config.create_bias || live.is_empty() {
+            create(client, &mut rng, &mut live, &mut report);
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            let victim = live.swap_remove(idx);
+            match client.remove_path(&victim.path) {
+                Ok(()) | Err(ClientError::Nfs(gvfs_nfs3::Nfsstat3::Noent)) => {}
+                Err(e) => panic!("delete failed: {e}"),
+            }
+            report.deleted += 1;
+        }
+    }
+
+    // Phase 3: delete the remaining pool.
+    for f in live.drain(..) {
+        client.remove_path(&f.path).expect("final delete");
+        report.deleted += 1;
+    }
+
+    report.runtime = gvfs_netsim::now().saturating_since(t0);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_inset() {
+        let c = PostmarkConfig::default();
+        assert_eq!(c.files, 600);
+        assert_eq!(c.transactions, 600);
+        assert_eq!(c.min_size, 32 * 1024);
+        assert_eq!(c.max_size, 640 * 1024);
+        assert_eq!(c.subdirs, 100);
+        assert_eq!(c.read_bias, 9);
+        assert_eq!(c.create_bias, 5);
+    }
+}

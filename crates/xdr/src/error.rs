@@ -1,0 +1,99 @@
+//! Error type for XDR encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while encoding or decoding XDR data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XdrError {
+    /// The input ended before a complete value could be read.
+    UnexpectedEof {
+        /// Bytes that were needed to finish the read.
+        needed: usize,
+        /// Bytes that were actually available.
+        available: usize,
+    },
+    /// A union or enum discriminant had no corresponding arm.
+    InvalidDiscriminant {
+        /// The XDR type being decoded.
+        type_name: &'static str,
+        /// The offending discriminant value.
+        value: u32,
+    },
+    /// Variable-length data exceeded `u32::MAX` or a declared bound.
+    LengthOverflow,
+    /// A declared length exceeded a protocol-imposed maximum.
+    LengthBound {
+        /// The XDR type being decoded.
+        type_name: &'static str,
+        /// The declared length.
+        declared: usize,
+        /// The maximum the protocol allows.
+        max: usize,
+    },
+    /// Pad bytes were non-zero.
+    NonZeroPadding,
+    /// A string held invalid UTF-8 (RFC 4506 strings are ASCII by
+    /// convention; this implementation requires UTF-8).
+    InvalidUtf8,
+    /// Input remained after a complete value was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for XdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdrError::UnexpectedEof { needed, available } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {available} available")
+            }
+            XdrError::InvalidDiscriminant { type_name, value } => {
+                write!(f, "invalid discriminant {value} for {type_name}")
+            }
+            XdrError::LengthOverflow => write!(f, "length exceeds XDR limit"),
+            XdrError::LengthBound { type_name, declared, max } => {
+                write!(f, "declared length {declared} for {type_name} exceeds bound {max}")
+            }
+            XdrError::NonZeroPadding => write!(f, "pad bytes were not zero"),
+            XdrError::InvalidUtf8 => write!(f, "string was not valid utf-8"),
+            XdrError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+        }
+    }
+}
+
+impl Error for XdrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants: Vec<XdrError> = vec![
+            XdrError::UnexpectedEof { needed: 4, available: 1 },
+            XdrError::InvalidDiscriminant { type_name: "bool", value: 9 },
+            XdrError::LengthOverflow,
+            XdrError::LengthBound { type_name: "fh", declared: 99, max: 64 },
+            XdrError::NonZeroPadding,
+            XdrError::InvalidUtf8,
+            XdrError::TrailingBytes { remaining: 3 },
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.chars().next().unwrap().is_uppercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XdrError>();
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests: every XDR value round-trips and produces word-aligned
+//! output; decoding arbitrary bytes never panics.
+
+use gvfs_xdr::{from_bytes, to_bytes, Decoder, Encoder};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn u32_roundtrip(v in any::<u32>()) {
+        prop_assert_eq!(from_bytes::<u32>(&to_bytes(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn i32_roundtrip(v in any::<i32>()) {
+        prop_assert_eq!(from_bytes::<i32>(&to_bytes(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(from_bytes::<u64>(&to_bytes(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn i64_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(from_bytes::<i64>(&to_bytes(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_roundtrip(s in ".{0,200}") {
+        let owned = s.to_string();
+        prop_assert_eq!(from_bytes::<String>(&to_bytes(&owned).unwrap()).unwrap(), owned);
+    }
+
+    #[test]
+    fn opaque_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut enc = Encoder::new();
+        enc.put_opaque(&data).unwrap();
+        let bytes = enc.into_bytes();
+        prop_assert_eq!(bytes.len() % 4, 0);
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(dec.get_opaque().unwrap(), data);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn opaque_fixed_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut enc = Encoder::new();
+        enc.put_opaque_fixed(&data);
+        let bytes = enc.into_bytes();
+        prop_assert_eq!(bytes.len() % 4, 0);
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(dec.get_opaque_fixed(data.len()).unwrap(), data);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn vec_of_u64_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..64)) {
+        prop_assert_eq!(from_bytes::<Vec<u64>>(&to_bytes(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn option_roundtrip(v in proptest::option::of(any::<u32>())) {
+        prop_assert_eq!(from_bytes::<Option<u32>>(&to_bytes(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Must either succeed or return a structured error — never panic.
+        let _ = from_bytes::<Vec<u64>>(&bytes);
+        let _ = from_bytes::<String>(&bytes);
+        let _ = from_bytes::<Option<u64>>(&bytes);
+        let mut dec = Decoder::new(&bytes);
+        let _ = dec.get_opaque();
+    }
+
+    #[test]
+    fn nested_structures_roundtrip(v in proptest::collection::vec(proptest::option::of(".{0,16}".prop_map(String::from)), 0..16)) {
+        prop_assert_eq!(from_bytes::<Vec<Option<String>>>(&to_bytes(&v).unwrap()).unwrap(), v);
+    }
+}

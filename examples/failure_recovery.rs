@@ -1,0 +1,142 @@
+//! Failure handling walkthrough (paper §4.2.3 and §4.3.4): proxy-server
+//! crash and recovery under both consistency models, a WAN partition,
+//! and proxy-client crash reconciliation.
+//!
+//! ```sh
+//! cargo run --release -p gvfs-bench --example failure_recovery
+//! ```
+
+use gvfs_client::{ClientError, MountOptions, NfsClient};
+use gvfs_core::session::{Session, SessionConfig};
+use gvfs_core::ConsistencyModel;
+use gvfs_netsim::link::LinkConfig;
+use gvfs_netsim::Sim;
+use gvfs_nfs3::Nfsstat3;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn polling_server_crash() {
+    println!("--- scenario 1: proxy-server crash under invalidation polling (soft state) ---");
+    let sim = Sim::new();
+    let session = Session::builder(SessionConfig {
+        model: ConsistencyModel::InvalidationPolling {
+            period: Duration::from_secs(10),
+            backoff_max: None,
+        },
+        ..SessionConfig::default()
+    })
+    .clients(1)
+    .wan(LinkConfig::wan())
+    .establish(&sim);
+    let transport = session.client_transport(0);
+    let root = session.root_fh();
+    let handle = session.handle();
+    let session = Arc::new(session);
+    let s = Arc::clone(&session);
+    sim.spawn("app", move || {
+        let client = NfsClient::new(transport, root, MountOptions::noac());
+        client.write_file("/state", b"before crash").unwrap();
+        println!("  wrote /state; crashing the proxy server (buffers and timestamps lost)");
+        s.crash_proxy_server();
+        gvfs_netsim::sleep(Duration::from_secs(3));
+        s.restart_proxy_server();
+        println!("  restarted; the poller re-bootstraps with a null timestamp -> force-invalidate");
+        gvfs_netsim::sleep(Duration::from_secs(15));
+        assert_eq!(client.read_file("/state").unwrap(), b"before crash");
+        client.write_file("/state2", b"after recovery").unwrap();
+        println!("  all operations work; soft state was rebuilt from scratch");
+        handle.shutdown();
+    });
+    sim.run();
+}
+
+fn delegation_server_crash() {
+    println!("--- scenario 2: proxy-server crash under delegation (RECOVER multicast) ---");
+    let sim = Sim::new();
+    let session = Session::builder(SessionConfig {
+        model: ConsistencyModel::delegation(),
+        write_back: true,
+        ..SessionConfig::default()
+    })
+    .clients(2)
+    .wan(LinkConfig::wan())
+    .establish(&sim);
+    let (t0, t1) = (session.client_transport(0), session.client_transport(1));
+    let root = session.root_fh();
+    let handle = session.handle();
+    let session = Arc::new(session);
+    let s = Arc::clone(&session);
+    sim.spawn("writer", move || {
+        let client = NfsClient::new(t0, root, MountOptions::noac());
+        let fh = client.write_file("/delayed", b"seed").unwrap();
+        client.write(fh, 0, b"delayed write held in the disk cache").unwrap();
+        println!("  writer holds a write delegation with dirty data");
+        s.crash_proxy_server();
+        gvfs_netsim::sleep(Duration::from_secs(2));
+        let answered = s.restart_proxy_server();
+        println!("  server recovered; RECOVER callbacks answered by {answered} clients");
+        gvfs_netsim::sleep(Duration::from_secs(600));
+    });
+    sim.spawn("reader", move || {
+        let client = NfsClient::new(t1, root, MountOptions::noac());
+        let _ = client.readdir_all(root); // register with the session
+        gvfs_netsim::sleep(Duration::from_secs(60));
+        let data = client.read_file("/delayed").unwrap();
+        assert_eq!(data, b"delayed write held in the disk cache");
+        println!("  reader sees the delayed write: the rebuilt table recalled it correctly");
+        handle.shutdown();
+    });
+    sim.run();
+}
+
+fn client_crash_reconciliation() {
+    println!("--- scenario 3: proxy-client crash: reconcile or report corruption ---");
+    let sim = Sim::new();
+    let session = Session::builder(SessionConfig {
+        model: ConsistencyModel::delegation(),
+        write_back: true,
+        ..SessionConfig::default()
+    })
+    .clients(2)
+    .wan(LinkConfig::wan())
+    .establish(&sim);
+    let (t0, t1) = (session.client_transport(0), session.client_transport(1));
+    let root = session.root_fh();
+    let handle = session.handle();
+    let session = Arc::new(session);
+    let s = Arc::clone(&session);
+    sim.spawn("victim", move || {
+        let client = NfsClient::new(t0, root, MountOptions::noac());
+        let safe = client.write_file("/safe", b"s").unwrap();
+        let doomed = client.write_file("/doomed", b"d").unwrap();
+        client.write(safe, 0, b"survives the crash").unwrap();
+        client.write(doomed, 0, b"will conflict").unwrap();
+        // "Crash": drop off the network while the other client writes.
+        s.wan_link(0).set_partitioned(true);
+        gvfs_netsim::sleep(Duration::from_secs(120));
+        s.wan_link(0).set_partitioned(false);
+        let corrupted = s.proxy_client(0).crash_recover();
+        println!("  recovery reconciled dirty files; {} corrupted", corrupted.len());
+        assert_eq!(client.read_file("/safe").unwrap(), b"survives the crash");
+        client.drop_caches();
+        let err = client.read_file("/doomed").unwrap_err();
+        assert!(matches!(err, ClientError::Nfs(Nfsstat3::Io)));
+        println!("  /safe reconciled and readable; /doomed reports an I/O error as the paper specifies");
+        handle.shutdown();
+    });
+    sim.spawn("interferer", move || {
+        let client = NfsClient::new(t1, root, MountOptions::noac());
+        gvfs_netsim::sleep(Duration::from_secs(60));
+        if let Ok(fh) = client.resolve("/doomed") {
+            let _ = client.write(fh, 0, b"overwritten!");
+        }
+    });
+    sim.run();
+}
+
+fn main() {
+    polling_server_crash();
+    delegation_server_crash();
+    client_crash_reconciliation();
+    println!("all failure scenarios recovered as designed");
+}

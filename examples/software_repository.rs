@@ -1,0 +1,96 @@
+//! The wide-area software repository scenario (paper §3 and Figure 1,
+//! Session 2): a repository read-shared by WAN users, centrally
+//! maintained by a LAN administrator, under invalidation-polling
+//! consistency.
+//!
+//! ```sh
+//! cargo run --release -p gvfs-bench --example software_repository
+//! ```
+
+use gvfs_bench::getinv_calls;
+use gvfs_client::{MountOptions, NfsClient};
+use gvfs_core::session::{Session, SessionConfig};
+use gvfs_core::ConsistencyModel;
+use gvfs_netsim::link::LinkConfig;
+use gvfs_netsim::Sim;
+use gvfs_vfs::{Timestamp, Vfs};
+use std::sync::Arc;
+use std::time::Duration;
+
+const USERS: usize = 3;
+
+fn main() {
+    // The repository lives on the server: /repo/tool-<n>.bin.
+    let vfs = Arc::new(Vfs::new());
+    let repo = vfs.mkdir(vfs.root(), "repo", 0o755, Timestamp::from_nanos(0)).unwrap();
+    for n in 0..20 {
+        let f = vfs.create(repo, &format!("tool-{n:02}.bin"), 0o755, Timestamp::from_nanos(0)).unwrap();
+        vfs.write(f, 0, &vec![n as u8; 64 * 1024], Timestamp::from_nanos(0)).unwrap();
+    }
+
+    let sim = Sim::new();
+    // Three WAN users + one LAN administrator share one session.
+    let mut links = vec![LinkConfig::wan(); USERS];
+    links.push(LinkConfig::lan());
+    let config = SessionConfig {
+        model: ConsistencyModel::InvalidationPolling {
+            period: Duration::from_secs(30),
+            backoff_max: Some(Duration::from_secs(120)), // back off while idle
+        },
+        ..SessionConfig::default()
+    };
+    let session = Session::builder(config).client_links(links).vfs(vfs).establish(&sim);
+    let root = session.root_fh();
+    let wan = session.wan_stats().clone();
+    let handle = session.handle();
+
+    // WAN users repeatedly run tools out of the repository.
+    for u in 0..USERS {
+        let transport = session.client_transport(u);
+        sim.spawn(&format!("user-{u}"), move || {
+            let client = NfsClient::new(transport, root, MountOptions::default());
+            for round in 0..20 {
+                for n in 0..20 {
+                    let data = client.read_file(&format!("/repo/tool-{n:02}.bin")).unwrap();
+                    // After the admin push (t > 300 s + one polling window),
+                    // users must observe version 2.
+                    if gvfs_netsim::now().as_secs_f64() > 340.0 {
+                        assert_eq!(data[0], 0xAA, "user must see the updated tool");
+                    }
+                }
+                gvfs_netsim::sleep(Duration::from_secs(30));
+                let _ = round;
+            }
+        });
+    }
+
+    // The administrator pushes an update mid-way.
+    let admin_transport = session.client_transport(USERS);
+    let wan2 = wan.clone();
+    sim.spawn("administrator", move || {
+        let client = NfsClient::new(admin_transport, root, MountOptions::default());
+        gvfs_netsim::sleep(Duration::from_secs(300));
+        let before = wan2.snapshot();
+        for n in 0..20 {
+            let fh = client.resolve(&format!("/repo/tool-{n:02}.bin")).unwrap();
+            client.write(fh, 0, &vec![0xAA; 64 * 1024]).unwrap();
+        }
+        println!(
+            "admin pushed 20 updated tools at t={} (LAN: cheap)",
+            gvfs_netsim::now()
+        );
+        let _ = before;
+    });
+
+    // Let the session wind down after the users finish.
+    let h2 = handle.clone();
+    sim.spawn("janitor", move || {
+        gvfs_netsim::sleep(Duration::from_secs(900));
+        h2.shutdown();
+    });
+
+    let end = sim.run();
+    let snap = session.wan_stats().snapshot();
+    println!("simulated {end}; WAN totals: {} RPCs, {} GETINV polls", snap.total_calls(), getinv_calls(&snap));
+    println!("every user observed the update within one polling window of the push");
+}

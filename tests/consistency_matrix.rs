@@ -1,0 +1,169 @@
+//! The consistency matrix: for each model, measure the staleness window
+//! actually observed by a second client and the WAN traffic profile.
+
+use gvfs_client::{MountOptions, NfsClient};
+use gvfs_core::session::{NativeMount, Session, SessionConfig};
+use gvfs_core::ConsistencyModel;
+use gvfs_netsim::link::LinkConfig;
+use gvfs_netsim::Sim;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Writer updates a shared file at t=100s; reader polls every second.
+/// Returns the observed staleness (seconds from write to first read of
+/// the new value).
+fn staleness_for(model: Option<ConsistencyModel>, reader_mount: MountOptions) -> f64 {
+    let sim = Sim::new();
+    let observed = Arc::new(Mutex::new(None));
+    let (wt, rt, root, handle) = match model {
+        Some(model) => {
+            let session = Session::builder(SessionConfig { model, ..SessionConfig::default() })
+                .clients(2)
+                .establish(&sim);
+            (
+                session.client_transport(0),
+                session.client_transport(1),
+                session.root_fh(),
+                Some(session.handle()),
+            )
+        }
+        None => {
+            let native = NativeMount::establish(2, LinkConfig::wan(), None);
+            (native.client_transport(0), native.client_transport(1), native.root_fh(), None)
+        }
+    };
+    sim.spawn("writer", move || {
+        let c = NfsClient::new(wt, root, MountOptions::noac());
+        c.write_file("/shared", b"old").unwrap();
+        gvfs_netsim::sleep(Duration::from_secs(100));
+        let fh = c.resolve("/shared").unwrap();
+        c.write(fh, 0, b"new").unwrap();
+    });
+    let o = Arc::clone(&observed);
+    sim.spawn("reader", move || {
+        let c = NfsClient::new(rt, root, reader_mount);
+        gvfs_netsim::sleep(Duration::from_secs(10));
+        loop {
+            let data = c.read_file("/shared").unwrap();
+            if data == b"new" {
+                *o.lock() = Some(gvfs_netsim::now().as_secs_f64() - 100.0);
+                break;
+            }
+            gvfs_netsim::sleep(Duration::from_secs(1));
+        }
+        if let Some(h) = handle {
+            h.shutdown();
+        }
+    });
+    sim.run();
+    let out = observed.lock().expect("reader saw the update");
+    out
+}
+
+#[test]
+fn staleness_ordering_matches_the_models() {
+    // Native NFS with a fixed 30 s attribute timeout: bounded by ~30 s.
+    let nfs = staleness_for(None, MountOptions::with_attr_timeout(Duration::from_secs(30)));
+    // GVFS polling(30): bounded by the polling window.
+    let polling = staleness_for(
+        Some(ConsistencyModel::polling_30s()),
+        MountOptions::noac(),
+    );
+    // GVFS delegation: effectively immediate (one probe interval).
+    let strong = staleness_for(Some(ConsistencyModel::delegation()), MountOptions::noac());
+
+    assert!(nfs <= 31.0, "kernel revalidation bounds staleness: {nfs}");
+    assert!(polling <= 31.0, "polling window bounds staleness: {polling}");
+    assert!(strong <= 1.5, "delegation recall is immediate: {strong}");
+    assert!(strong < polling && strong < nfs, "strong < relaxed ({strong} vs {polling}/{nfs})");
+}
+
+#[test]
+fn passthrough_matches_native_semantics_with_proxy_hop() {
+    let passthrough =
+        staleness_for(Some(ConsistencyModel::Passthrough), MountOptions::with_attr_timeout(Duration::from_secs(30)));
+    assert!(passthrough <= 31.0, "passthrough adds no staleness: {passthrough}");
+}
+
+#[test]
+fn polling_backoff_reduces_idle_traffic() {
+    fn getinv_count(backoff: Option<Duration>) -> u64 {
+        let sim = Sim::new();
+        let session = Session::builder(SessionConfig {
+            model: ConsistencyModel::InvalidationPolling {
+                period: Duration::from_secs(10),
+                backoff_max: backoff,
+            },
+            ..SessionConfig::default()
+        })
+        .clients(1)
+        .establish(&sim);
+        let transport = session.client_transport(0);
+        let root = session.root_fh();
+        let stats = session.wan_stats().clone();
+        let handle = session.handle();
+        sim.spawn("idle-app", move || {
+            let c = NfsClient::new(transport, root, MountOptions::noac());
+            c.write_file("/f", b"x").unwrap();
+            // Idle for ten minutes; nothing changes server-side.
+            gvfs_netsim::sleep(Duration::from_secs(600));
+            handle.shutdown();
+        });
+        sim.run();
+        gvfs_bench_stub::getinv(&stats.snapshot())
+    }
+    // A tiny local helper so the integration test does not depend on
+    // the bench crate.
+    mod gvfs_bench_stub {
+        pub fn getinv(snap: &gvfs_rpc::stats::StatsSnapshot) -> u64 {
+            snap.calls(
+                gvfs_core::protocol::GVFS_PROXY_PROGRAM,
+                gvfs_core::protocol::proc_ext::GETINV,
+            )
+        }
+    }
+    let fixed = getinv_count(None);
+    let backoff = getinv_count(Some(Duration::from_secs(120)));
+    assert!((55..=65).contains(&fixed), "fixed 10 s polling ≈ 60 polls, got {fixed}");
+    assert!(
+        backoff < fixed / 3,
+        "exponential back-off cuts idle polls: {backoff} vs {fixed}"
+    );
+}
+
+#[test]
+fn delegation_survives_partition_for_cached_reads() {
+    // The paper: delegations let clients keep serving cached data during
+    // server crashes or partitions.
+    let sim = Sim::new();
+    let session = Session::builder(SessionConfig {
+        model: ConsistencyModel::delegation(),
+        ..SessionConfig::default()
+    })
+    .clients(1)
+    .establish(&sim);
+    let transport = session.client_transport(0);
+    let root = session.root_fh();
+    let handle = session.handle();
+    let session = Arc::new(session);
+    let s = Arc::clone(&session);
+    sim.spawn("app", move || {
+        let c = NfsClient::new(transport, root, MountOptions::noac());
+        c.write_file("/cached", &[9u8; 10_000]).unwrap();
+        let _ = c.read_file("/cached").unwrap();
+        s.wan_link(0).set_partitioned(true);
+        // Reads keep working from the delegated cache.
+        let t0 = gvfs_netsim::now();
+        for _ in 0..20 {
+            assert_eq!(c.read_file("/cached").unwrap().len(), 10_000);
+        }
+        assert!(
+            gvfs_netsim::now().saturating_since(t0) < Duration::from_millis(200),
+            "cached reads must not touch the partitioned WAN"
+        );
+        s.wan_link(0).set_partitioned(false);
+        handle.shutdown();
+    });
+    sim.run();
+}

@@ -1,0 +1,253 @@
+//! Workload smoke tests: each benchmark driver runs end-to-end on a
+//! reduced configuration under both a native mount and a GVFS session,
+//! and its structural invariants hold.
+
+use gvfs_client::{MountOptions, NfsClient};
+use gvfs_core::session::{NativeMount, Session, SessionConfig};
+use gvfs_core::ConsistencyModel;
+use gvfs_netsim::link::LinkConfig;
+use gvfs_netsim::Sim;
+use gvfs_vfs::Vfs;
+use gvfs_workloads::{ch1d, lock, make, nanomos, postmark};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn make_builds_all_objects_on_both_stacks() {
+    for gvfs in [false, true] {
+        let config = make::MakeConfig::small();
+        let vfs = Arc::new(Vfs::new());
+        make::populate(&vfs, &config);
+        let sim = Sim::new();
+        let report = Arc::new(Mutex::new(None));
+        let r = Arc::clone(&report);
+        let (t, root, handle) = if gvfs {
+            let session = Session::builder(SessionConfig {
+                model: ConsistencyModel::polling_30s(),
+                write_back: true,
+                ..SessionConfig::default()
+            })
+            .clients(1)
+            .vfs(Arc::clone(&vfs))
+            .establish(&sim);
+            (session.client_transport(0), session.root_fh(), Some(session.handle()))
+        } else {
+            let native = NativeMount::establish(1, LinkConfig::wan(), Some(Arc::clone(&vfs)));
+            (native.client_transport(0), native.root_fh(), None)
+        };
+        let cfg = config.clone();
+        sim.spawn("builder", move || {
+            let client = NfsClient::new(t, root, MountOptions::default());
+            let out = make::run(&client, &cfg);
+            if let Some(h) = handle {
+                h.shutdown();
+            }
+            *r.lock() = Some(out);
+        });
+        sim.run();
+        let out = report.lock().take().unwrap();
+        assert_eq!(out.objects_built, config.objects);
+        // Server-side: all objects and the binary exist; temps are gone.
+        for o in 0..config.objects {
+            assert!(vfs.lookup_path(&format!("/obj/obj{o:03}.o")).is_ok());
+        }
+        assert!(vfs.lookup_path("/obj/tclsh").is_ok());
+        for i in 0..config.sources {
+            assert!(vfs.lookup_path(&format!("/obj/tmp{i:03}.s")).is_err(), "temp must be deleted");
+        }
+    }
+}
+
+#[test]
+fn postmark_accounting_is_consistent() {
+    let config = postmark::PostmarkConfig::small();
+    let sim = Sim::new();
+    let native = NativeMount::establish(1, LinkConfig::lan(), None);
+    let (t, root) = (native.client_transport(0), native.root_fh());
+    let vfs = Arc::clone(native.vfs());
+    let report = Arc::new(Mutex::new(None));
+    let r = Arc::clone(&report);
+    sim.spawn("postmark", move || {
+        let client = NfsClient::new(t, root, MountOptions::default());
+        *r.lock() = Some(postmark::run(&client, &config));
+    });
+    sim.run();
+    let out = report.lock().take().unwrap();
+    assert_eq!(out.created, out.deleted, "phase 3 deletes everything that was created");
+    assert!(out.reads + out.appends > 0);
+    assert!(out.bytes_written > 0);
+    // The working directory is empty afterwards (only subdirs remain).
+    let pm = vfs.lookup_path("/pm").unwrap();
+    let entries = vfs.readdir(pm, 0, usize::MAX).unwrap();
+    for e in entries.entries {
+        let attr = vfs.getattr(e.fileid).unwrap();
+        assert_eq!(attr.kind, gvfs_vfs::FileKind::Directory, "only subdirs remain: {}", e.name);
+        let sub = vfs.readdir(e.fileid, 0, usize::MAX).unwrap();
+        assert!(sub.entries.is_empty(), "subdir {} empty", e.name);
+    }
+}
+
+#[test]
+fn postmark_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let config = postmark::PostmarkConfig { seed, ..postmark::PostmarkConfig::small() };
+        let sim = Sim::new();
+        let native = NativeMount::establish(1, LinkConfig::lan(), None);
+        let (t, root) = (native.client_transport(0), native.root_fh());
+        let report = Arc::new(Mutex::new(None));
+        let r = Arc::clone(&report);
+        sim.spawn("postmark", move || {
+            let client = NfsClient::new(t, root, MountOptions::default());
+            *r.lock() = Some(postmark::run(&client, &config));
+        });
+        sim.run();
+        let out = report.lock().take().unwrap();
+        out
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7).runtime, run(8).runtime);
+}
+
+#[test]
+fn lock_workload_grants_exactly_n_times_each() {
+    let sim = Sim::new();
+    let vfs = Arc::new(Vfs::new());
+    lock::populate(&vfs);
+    let native = NativeMount::establish(3, LinkConfig::wan(), Some(vfs));
+    let root = native.root_fh();
+    let log = lock::new_log();
+    let config = lock::LockConfig {
+        acquisitions: 3,
+        hold: Duration::from_secs(2),
+        ..lock::LockConfig::default()
+    };
+    for i in 0..3 {
+        let t = native.client_transport(i);
+        let log = Arc::clone(&log);
+        sim.spawn(&format!("c{i}"), move || {
+            let client = NfsClient::new(t, root, MountOptions::noac());
+            lock::run_client(&client, i, &config, &log);
+        });
+    }
+    sim.run();
+    let fairness = lock::fairness(&log, 3);
+    assert_eq!(fairness.total, 9);
+    assert_eq!(fairness.per_client, vec![3, 3, 3]);
+    // Mutual exclusion: grant times are at least `hold` apart.
+    let log = log.lock();
+    for pair in log.windows(2) {
+        assert!(pair[1].0 - pair[0].0 >= 2.0, "holds never overlap: {pair:?}");
+    }
+}
+
+#[test]
+fn nanomos_update_invalidates_proportionally() {
+    let config = nanomos::NanomosConfig::small();
+    let vfs = Arc::new(Vfs::new());
+    nanomos::populate(&vfs, &config);
+    let sim = Sim::new();
+    let session = Session::builder(SessionConfig {
+        model: ConsistencyModel::InvalidationPolling {
+            period: Duration::from_secs(5),
+            backoff_max: None,
+        },
+        invalidation_buffer: 32 * 1024,
+        ..SessionConfig::default()
+    })
+    .client_links(vec![LinkConfig::wan(), LinkConfig::lan()])
+    .vfs(vfs)
+    .establish(&sim);
+    let root = session.root_fh();
+    let (ut, at) = (session.client_transport(0), session.client_transport(1));
+    let handle = session.handle();
+    let cfg = config.clone();
+    sim.spawn("user", move || {
+        let client = NfsClient::new(ut, root, MountOptions::default());
+        let first = nanomos::run_iteration(&client, &cfg);
+        let warm = nanomos::run_iteration(&client, &cfg);
+        assert!(warm < first, "caching speeds up the second run");
+        gvfs_netsim::sleep(Duration::from_secs(30)); // update + polling window
+        let after_update = nanomos::run_iteration(&client, &cfg);
+        assert!(after_update > warm, "the update forces re-validation/re-reads");
+        handle.shutdown();
+    });
+    let cfg2 = config.clone();
+    sim.spawn("admin", move || {
+        let client = NfsClient::new(at, root, MountOptions::default());
+        // Wait for the user's two warm runs.
+        gvfs_netsim::sleep(Duration::from_secs(200));
+        let touched = nanomos::admin_update(&client, &cfg2, nanomos::UpdateScope::Mpitb);
+        assert_eq!(touched, cfg2.mpitb_files);
+    });
+    sim.run();
+}
+
+#[test]
+fn ch1d_nfs_grows_and_gvfs_stays_flat() {
+    let config = ch1d::Ch1dConfig::small();
+    // NFS side.
+    let nfs_runtimes = {
+        let vfs = Arc::new(Vfs::new());
+        ch1d::populate(&vfs);
+        let sim = Sim::new();
+        let native = NativeMount::establish(2, LinkConfig::wan(), Some(vfs));
+        let (tp, tc) = (native.client_transport(0), native.client_transport(1));
+        let root = native.root_fh();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&out);
+        let cfg = config.clone();
+        sim.spawn("pipeline", move || {
+            let p = NfsClient::new(tp, root, MountOptions::default());
+            let c = NfsClient::new(tc, root, MountOptions::default());
+            *o.lock() = ch1d::run_pipeline(&p, &c, &cfg);
+        });
+        sim.run();
+        let v = out.lock().clone();
+        v
+    };
+    assert!(
+        nfs_runtimes.last().unwrap() > nfs_runtimes.first().unwrap(),
+        "NFS consistency overhead grows with the dataset"
+    );
+
+    // GVFS side.
+    let gvfs_runtimes = {
+        let vfs = Arc::new(Vfs::new());
+        ch1d::populate(&vfs);
+        let sim = Sim::new();
+        let session = Session::builder(SessionConfig {
+            model: ConsistencyModel::delegation(),
+            write_back: true,
+            ..SessionConfig::default()
+        })
+        .clients(2)
+        .vfs(vfs)
+        .establish(&sim);
+        let (tp, tc) = (session.client_transport(0), session.client_transport(1));
+        let root = session.root_fh();
+        let handle = session.handle();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&out);
+        let cfg = config.clone();
+        sim.spawn("pipeline", move || {
+            let p = NfsClient::new(tp, root, MountOptions::noac());
+            let c = NfsClient::new(tc, root, MountOptions::noac());
+            *o.lock() = ch1d::run_pipeline(&p, &c, &cfg);
+            handle.shutdown();
+        });
+        sim.run();
+        let v = out.lock().clone();
+        v
+    };
+    let first = gvfs_runtimes.first().unwrap().as_secs_f64();
+    let last = gvfs_runtimes.last().unwrap().as_secs_f64();
+    assert!(
+        (last - first).abs() / first < 0.5,
+        "GVFS per-run cost roughly flat: first {first:.2}s last {last:.2}s"
+    );
+    assert!(
+        gvfs_runtimes.last().unwrap() < nfs_runtimes.last().unwrap(),
+        "GVFS beats NFS by the final run"
+    );
+}
