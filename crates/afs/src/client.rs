@@ -174,8 +174,8 @@ impl AfsClient {
     ///
     /// [`AfsError::Exists`] if `to` is taken.
     pub fn link(&self, from: &str, to: &str) -> Result<(), AfsError> {
-        let res: StatusRes = self
-            .rpc(procs::LINK, &TwoPathArgs { from: from.to_string(), to: to.to_string() })?;
+        let res: StatusRes =
+            self.rpc(procs::LINK, &TwoPathArgs { from: from.to_string(), to: to.to_string() })?;
         match res.stat {
             AfsStat::Ok => {
                 let mut cache = self.cache.lock();

@@ -55,7 +55,8 @@ mod tests {
 
     fn client(cell: &Cell, id: u32) -> Arc<AfsClient> {
         let link = Link::new(LinkConfig::wan());
-        let transport = SimRpcClient::new(link.forward(), Arc::clone(&cell.node), cell.stats.clone());
+        let transport =
+            SimRpcClient::new(link.forward(), Arc::clone(&cell.node), cell.stats.clone());
         let c = AfsClient::new(id, transport);
         let mut d = Dispatcher::new();
         d.register(client::AfsCallbackService(Arc::clone(&c)));

@@ -19,7 +19,7 @@ pub mod procs {
     pub const FETCH_DATA: u32 = 3;
     /// Store a whole file.
     pub const STORE: u32 = 4;
-    
+
     /// Hard link (atomic; the lock primitive).
     pub const LINK: u32 = 6;
     /// Remove a name.

@@ -1,0 +1,248 @@
+//! A minimal Rust token scanner.
+//!
+//! The build environment has no access to crates.io, so the lint pass
+//! cannot use `syn`; this hand-rolled lexer produces just enough
+//! structure for the checks in [`crate::lint`]: identifiers and
+//! punctuation with line numbers, with comments, strings, character
+//! literals and lifetimes stripped so brace/paren tracking over the
+//! token stream is reliable.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// An identifier or keyword (including `_`).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// A number, string, byte-string or char literal (contents elided).
+    Literal,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: Kind,
+    /// Token text; for [`Kind::Literal`] this is a placeholder.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] as char == c
+    }
+}
+
+/// Tokenizes `source`, dropping comments and literal contents.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            // Block comment; Rust block comments nest.
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            let start = line;
+            i += 1;
+            while i < n {
+                match bytes[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            toks.push(Token { kind: Kind::Literal, text: "\"str\"".into(), line: start });
+        } else if c == '\'' {
+            // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+            let start = line;
+            if i + 1 < n && is_ident_start(bytes[i + 1]) && !(i + 2 < n && bytes[i + 2] == '\'') {
+                // Lifetime: consume the quote and the identifier.
+                i += 1;
+                while i < n && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+            } else {
+                i += 1;
+                while i < n {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Token { kind: Kind::Literal, text: "'c'".into(), line: start });
+            }
+        } else if c.is_ascii_digit() {
+            let start = line;
+            i += 1;
+            while i < n
+                && (is_ident_cont(bytes[i])
+                    || (bytes[i] == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            toks.push(Token { kind: Kind::Literal, text: "0".into(), line: start });
+        } else if is_ident_start(c) {
+            let start_idx = i;
+            let start = line;
+            i += 1;
+            while i < n && is_ident_cont(bytes[i]) {
+                i += 1;
+            }
+            let text: String = bytes[start_idx..i].iter().collect();
+            // Raw / byte string prefixes: r"..", r#".."#, b"..", br"..".
+            let raw = matches!(text.as_str(), "r" | "br" | "rb");
+            let byte = text == "b";
+            if (raw || byte) && i < n && (bytes[i] == '"' || (raw && bytes[i] == '#')) {
+                let mut hashes = 0usize;
+                while i < n && bytes[i] == '#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if i < n && bytes[i] == '"' {
+                    i += 1;
+                    'raw: while i < n {
+                        if bytes[i] == '\n' {
+                            line += 1;
+                        } else if byte && bytes[i] == '\\' {
+                            i += 2;
+                            continue;
+                        } else if bytes[i] == '"' {
+                            let mut j = 0;
+                            while j < hashes && i + 1 + j < n && bytes[i + 1 + j] == '#' {
+                                j += 1;
+                            }
+                            if j == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    toks.push(Token { kind: Kind::Literal, text: "\"str\"".into(), line: start });
+                    continue;
+                }
+                // A lone `r#`/`#` run not followed by a quote: emit the
+                // ident and let the `#`s re-lex as punctuation.
+                toks.push(Token { kind: Kind::Ident, text, line: start });
+                for _ in 0..hashes {
+                    toks.push(Token { kind: Kind::Punct, text: "#".into(), line: start });
+                }
+                continue;
+            }
+            if byte && i + 1 < n && bytes[i] == '\'' {
+                // Byte char literal b'x'.
+                i += 1;
+                while i < n {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Token { kind: Kind::Literal, text: "'c'".into(), line: start });
+                continue;
+            }
+            toks.push(Token { kind: Kind::Ident, text, line: start });
+        } else {
+            toks.push(Token { kind: Kind::Punct, text: c.to_string(), line });
+            i += 1;
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(texts("let x = a.lock();"), ["let", "x", "=", "a", ".", "lock", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn comments_and_strings_elided() {
+        let toks = tokenize("a // comment .lock()\n/* b */ \"x.lock()\" c");
+        let idents: Vec<_> =
+            toks.iter().filter(|t| t.kind == Kind::Ident).map(|t| t.text.clone()).collect();
+        assert_eq!(idents, ["a", "c"]);
+    }
+
+    #[test]
+    fn lines_tracked_through_multiline_strings() {
+        let toks = tokenize("\"a\nb\"\nx");
+        let x = toks.iter().find(|t| t.is_ident("x")).expect("x token");
+        assert_eq!(x.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) {} let c = 'y';");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Literal).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings() {
+        let toks = tokenize(r##"let s = r#"un.lock()"terminated"#; done"##);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert!(!toks.iter().any(|t| t.is_ident("unterminated")));
+    }
+}

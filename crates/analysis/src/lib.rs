@@ -1,0 +1,11 @@
+//! Repo-specific static analysis for the GVFS workspace: a source lint
+//! pass keyed to the consistency protocol's concurrency discipline, and
+//! an explicit-state model checker for the delegation and invalidation
+//! state machines. The `gvfs-analysis` binary (`src/main.rs`) is the CI
+//! entry point; this library exists so the checks themselves are
+//! testable (`tests/self_check.rs` proves the lint catches seeded
+//! violations and the models really explore).
+
+pub mod lexer;
+pub mod lint;
+pub mod model;

@@ -1,0 +1,518 @@
+//! Repo-specific source lints for the GVFS workspace.
+//!
+//! Four rules, all keyed to the consistency protocol's concurrency
+//! discipline (see `DESIGN.md`, "Checked invariants"):
+//!
+//! 1. **guard-across-send** — no named `MutexGuard`/`RwLock` guard may
+//!    be live at an RPC send or callback invocation. The delegation
+//!    protocol re-enters the proxy server from callback replies, so a
+//!    guard held across the wire is a deadlock waiting for load.
+//! 2. **unwrap-in-request-path** — no `unwrap()`/`expect()` in the
+//!    proxy, server, or RPC request paths; a malformed request must
+//!    surface as an error reply, not a panic that takes the session
+//!    down.
+//! 3. **protocol-match-exhaustive** — `match`es over the wire-protocol
+//!    enums declared in `crates/core/src/protocol.rs` must not use a
+//!    `_` arm, so adding a protocol variant fails to compile instead of
+//!    silently taking a default path.
+//! 4. **lock-order** — nested lock acquisitions in `crates/core` must
+//!    follow the declared session → delegation → invalidation order
+//!    (see [`LOCK_ORDER`]).
+//!
+//! The pass is textual (a token scan, not a type-checked analysis):
+//! only *named* guards (`let g = x.lock();`) are tracked, and
+//! `#[cfg(test)]` modules are skipped. That is deliberate — the
+//! codebase's idiom for "release before the wire" is a named guard in a
+//! scoped block, which is exactly the shape the scan verifies.
+
+use crate::lexer::{tokenize, Kind, Token};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The declared lock order for `crates/core`, outermost first. A lock
+/// may only be acquired while holding locks of strictly lower rank.
+///
+/// Rank 0 is the session layer (callback routes, persisted client
+/// list), then the client disk cache, then the volatile delegation
+/// state (`state` also guards the server's `InvalidationTracker`, which
+/// makes the delegation → invalidation ordering trivially safe: they
+/// share a guard), then the write-back/invalidation plumbing, then
+/// actor handles and counters.
+pub const LOCK_ORDER: &[(&str, u32)] = &[
+    ("callbacks", 0),
+    ("persisted_clients", 0),
+    ("mounts", 0),
+    ("disk", 1),
+    ("state", 2),
+    ("flush_queue", 3),
+    ("self_ref", 4),
+    ("flusher", 4),
+    ("poller", 4),
+    ("poll_ts", 5),
+    ("stats", 6),
+];
+
+/// Method names that send an RPC or invoke a callback (directly or as
+/// the documented entry point of a path that does).
+const SEND_MARKERS: &[&str] = &[
+    "call",
+    "call_with_cred",
+    "dispatch",
+    "forward",
+    "perform_recall",
+    "perform_recalls",
+    "flush_block",
+    "flush_all",
+    "poll_once",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path of the offending file (workspace-relative when produced by
+    /// [`lint_workspace`]).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Extracts the names of `enum`s declared in protocol source text.
+pub fn protocol_enum_names(protocol_source: &str) -> Vec<String> {
+    let toks = tokenize(protocol_source);
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("enum") {
+            if let Some(name) = toks.get(i + 1) {
+                if name.kind == Kind::Ident {
+                    names.push(name.text.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Whether rule 2 (unwrap/expect) applies to this path.
+fn in_request_path(file: &str) -> bool {
+    let f = file.replace('\\', "/");
+    f.contains("crates/core/src/proxy/")
+        || f.contains("crates/server/src/")
+        || f.contains("crates/rpc/src/")
+}
+
+/// Whether rule 4 (lock order) applies to this path.
+fn in_lock_order_scope(file: &str) -> bool {
+    file.replace('\\', "/").contains("crates/core/src/")
+}
+
+fn rank_of(lock: &str) -> Option<u32> {
+    LOCK_ORDER.iter().find(|(n, _)| *n == lock).map(|&(_, r)| r)
+}
+
+/// Drops tokens belonging to `#[cfg(test)] mod … { … }` blocks.
+fn strip_cfg_test(toks: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        let is_cfg_test = toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(']'));
+        if !is_cfg_test {
+            out.push(toks[i].clone());
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip any further attributes on the same item.
+        while j < toks.len() && toks[j].is_punct('#') {
+            let mut depth = 0;
+            j += 1; // consume '#'
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if toks.get(j).is_some_and(|t| t.is_ident("mod")) {
+            // Skip to the matching close brace of the module body.
+            let mut depth = 0;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+        } else {
+            // `#[cfg(test)]` on a non-module item: drop the attribute
+            // only; the item itself is still scanned.
+            i = j;
+        }
+    }
+    out
+}
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    lock: String,
+    depth: i32,
+    line: u32,
+    /// Token index of the declaring statement's `;` — the guard is only
+    /// live *after* it, so its own initializer is not checked against it.
+    born: usize,
+}
+
+/// Lints one file's source text. `protocol_enums` comes from
+/// [`protocol_enum_names`] on `crates/core/src/protocol.rs`.
+pub fn lint_source(file: &str, source: &str, protocol_enums: &[String]) -> Vec<Diagnostic> {
+    let toks = strip_cfg_test(tokenize(source));
+    let mut diags = Vec::new();
+    lint_guards_and_locks(file, &toks, &mut diags);
+    lint_protocol_matches(file, &toks, protocol_enums, &mut diags);
+    diags
+}
+
+/// Rules 1, 2 and 4 share one walk with live-guard tracking.
+fn lint_guards_and_locks(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    let request_path = in_request_path(file);
+    let lock_scope = in_lock_order_scope(file);
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            guards.retain(|g| g.depth < depth);
+            depth -= 1;
+            continue;
+        }
+        if t.kind != Kind::Ident {
+            continue;
+        }
+
+        // Acquisition event: `<field> . lock|read|write ( )`.
+        let acquires = matches!(t.text.as_str(), "lock" | "read" | "write")
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks[i - 2].kind == Kind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(')'));
+        if acquires && lock_scope {
+            let field = toks[i - 2].text.clone();
+            for g in guards.iter().filter(|g| g.born < i) {
+                match (rank_of(&g.lock), rank_of(&field)) {
+                    (Some(held), Some(new)) if held < new => {}
+                    (Some(_), Some(_)) => diags.push(Diagnostic {
+                        file: file.into(),
+                        line: t.line,
+                        rule: "lock-order",
+                        message: format!(
+                            "acquiring `{field}` while guard `{}` holds `{}` (declared at line {}) \
+                             violates the session → delegation → invalidation lock order",
+                            g.name, g.lock, g.line
+                        ),
+                    }),
+                    _ => diags.push(Diagnostic {
+                        file: file.into(),
+                        line: t.line,
+                        rule: "lock-order",
+                        message: format!(
+                            "nested acquisition of `{field}` under `{}` but one of them is not in \
+                             the declared lock-order table",
+                            g.lock
+                        ),
+                    }),
+                }
+            }
+        }
+
+        // Send/callback marker (rule 1): method call on one of the
+        // known wire entry points with a guard live.
+        if SEND_MARKERS.contains(&t.text.as_str())
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            for g in guards.iter().filter(|g| g.born < i) {
+                diags.push(Diagnostic {
+                    file: file.into(),
+                    line: t.line,
+                    rule: "guard-across-send",
+                    message: format!(
+                        "guard `{}` (lock `{}`, declared at line {}) is live across `.{}()`; \
+                         release it (scoped block or drop) before the wire",
+                        g.name, g.lock, g.line, t.text
+                    ),
+                });
+            }
+        }
+
+        // Rule 2: unwrap/expect in request-path crates.
+        if request_path
+            && matches!(t.text.as_str(), "unwrap" | "expect")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            diags.push(Diagnostic {
+                file: file.into(),
+                line: t.line,
+                rule: "unwrap-in-request-path",
+                message: format!(
+                    "`.{}()` in a proxy/server/RPC request path; propagate the error instead",
+                    t.text
+                ),
+            });
+        }
+
+        // Explicit `drop(guard)`.
+        if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            if let Some(name) = toks.get(i + 2) {
+                if let Some(pos) = guards.iter().rposition(|g| g.name == name.text) {
+                    guards.remove(pos);
+                }
+            }
+        }
+
+        // Guard registration: `let [mut] NAME = <recv>.lock();` (or
+        // `.read()`/`.write()`).
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j) else { continue };
+            if name.kind != Kind::Ident || name.text == "_" {
+                continue;
+            }
+            if !toks.get(j + 1).is_some_and(|n| n.is_punct('=')) {
+                continue; // pattern or type-annotated binding: not tracked
+            }
+            let init = j + 2;
+            if toks.get(init).is_some_and(|n| n.is_punct('*')) {
+                continue; // `let v = *x.lock();` copies out; guard is temporary
+            }
+            // Find the terminating `;` of the statement.
+            let (mut braces, mut parens, mut brackets) = (0i32, 0i32, 0i32);
+            let mut end = None;
+            for (k, tk) in toks.iter().enumerate().skip(init) {
+                if tk.kind == Kind::Punct {
+                    match tk.text.as_bytes()[0] {
+                        b'{' => braces += 1,
+                        b'}' => braces -= 1,
+                        b'(' => parens += 1,
+                        b')' => parens -= 1,
+                        b'[' => brackets += 1,
+                        b']' => brackets -= 1,
+                        b';' if braces == 0 && parens == 0 && brackets == 0 => {
+                            end = Some(k);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let Some(end) = end else { continue };
+            if end >= init + 5
+                && toks[end - 1].is_punct(')')
+                && toks[end - 2].is_punct('(')
+                && matches!(toks[end - 3].text.as_str(), "lock" | "read" | "write")
+                && toks[end - 3].kind == Kind::Ident
+                && toks[end - 4].is_punct('.')
+                && toks[end - 5].kind == Kind::Ident
+            {
+                // Shadowing at the same depth replaces the old guard.
+                guards.retain(|g| !(g.name == name.text && g.depth == depth));
+                guards.push(Guard {
+                    name: name.text.clone(),
+                    lock: toks[end - 5].text.clone(),
+                    depth,
+                    line: t.line,
+                    born: end,
+                });
+            }
+        }
+    }
+}
+
+/// Rule 3: a `match` whose *patterns* reference a protocol enum must
+/// not have a top-level `_` arm.
+fn lint_protocol_matches(
+    file: &str,
+    toks: &[Token],
+    protocol_enums: &[String],
+    diags: &mut Vec<Diagnostic>,
+) {
+    if protocol_enums.is_empty() {
+        return;
+    }
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("match") || (i > 0 && toks[i - 1].is_punct('.')) {
+            continue;
+        }
+        // Find the body `{` (scrutinees cannot contain bare braces).
+        let (mut parens, mut brackets) = (0i32, 0i32);
+        let mut body = None;
+        for (k, tk) in toks.iter().enumerate().skip(i + 1) {
+            if tk.kind == Kind::Punct {
+                match tk.text.as_bytes()[0] {
+                    b'(' => parens += 1,
+                    b')' => parens -= 1,
+                    b'[' => brackets += 1,
+                    b']' => brackets -= 1,
+                    b'{' if parens == 0 && brackets == 0 => {
+                        body = Some(k);
+                        break;
+                    }
+                    b';' if parens == 0 && brackets == 0 => break, // not a match expr
+                    _ => {}
+                }
+            }
+        }
+        let Some(body) = body else { continue };
+        let (mut braces, mut parens, mut brackets) = (0i32, 0i32, 0i32);
+        let mut in_pattern = true;
+        let mut refs_protocol_enum = false;
+        let mut wildcard: Option<u32> = None;
+        let mut k = body + 1;
+        while k < toks.len() {
+            let tk = &toks[k];
+            let level = braces == 0 && parens == 0 && brackets == 0;
+            if tk.kind == Kind::Punct {
+                match tk.text.as_bytes()[0] {
+                    b'{' => braces += 1,
+                    b'}' => {
+                        if braces == 0 {
+                            break; // end of the match body
+                        }
+                        braces -= 1;
+                        if braces == 0 && parens == 0 && brackets == 0 {
+                            in_pattern = true; // block-bodied arm ended
+                        }
+                    }
+                    b'(' => parens += 1,
+                    b')' => parens -= 1,
+                    b'[' => brackets += 1,
+                    b']' => brackets -= 1,
+                    b',' if level => in_pattern = true,
+                    b'=' if level && toks.get(k + 1).is_some_and(|n| n.is_punct('>')) => {
+                        in_pattern = false;
+                        k += 1;
+                    }
+                    _ => {}
+                }
+            } else if tk.kind == Kind::Ident && in_pattern {
+                if tk.text == "_"
+                    && level
+                    && toks.get(k + 1).is_some_and(|n| n.is_punct('='))
+                    && toks.get(k + 2).is_some_and(|n| n.is_punct('>'))
+                {
+                    wildcard = Some(tk.line);
+                } else if protocol_enums.contains(&tk.text)
+                    && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    refs_protocol_enum = true;
+                }
+            }
+            k += 1;
+        }
+        if refs_protocol_enum {
+            if let Some(line) = wildcard {
+                diags.push(Diagnostic {
+                    file: file.into(),
+                    line,
+                    rule: "protocol-match-exhaustive",
+                    message: "`_` arm in a match over a protocol enum; name every variant so new \
+                              protocol states fail to compile here"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every `crates/*/src/**/*.rs` file under `root` (the workspace
+/// root). Vendored stand-ins under `vendor/` are never scanned.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let protocol_path = root.join("crates/core/src/protocol.rs");
+    let protocol_src = std::fs::read_to_string(&protocol_path)
+        .map_err(|e| format!("cannot read {}: {e}", protocol_path.display()))?;
+    let enums = protocol_enum_names(&protocol_src);
+    if enums.is_empty() {
+        return Err(format!("no protocol enums found in {}", protocol_path.display()));
+    }
+
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return Err(format!("cannot read {}", crates_dir.display()));
+    };
+    let mut crate_dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for c in crate_dirs {
+        collect_rs(&c.join("src"), &mut files);
+    }
+    if files.is_empty() {
+        return Err(format!("no sources found under {}", crates_dir.display()));
+    }
+
+    let mut diags = Vec::new();
+    for path in &files {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(root).unwrap_or(path).display().to_string();
+        diags.extend(lint_source(&rel, &source, &enums));
+    }
+    Ok(diags)
+}

@@ -1,0 +1,103 @@
+//! `gvfs-analysis` — repo-specific static analysis and protocol model
+//! checking for the GVFS workspace.
+//!
+//! ```text
+//! cargo run -p gvfs-analysis -- check    # lint + model check (CI entry)
+//! cargo run -p gvfs-analysis -- lint     # source lint only
+//! cargo run -p gvfs-analysis -- model    # protocol model check only
+//! ```
+//!
+//! Exits non-zero when any lint diagnostic or model-checker violation
+//! is found, or when the model checker explores suspiciously few states
+//! (which would mean the exploration itself is broken).
+
+use gvfs_analysis::{lint, model};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Minimum states the model checker must visit for the run to count as
+/// a real exploration (acceptance floor; a healthy run is well above).
+const MIN_MODEL_STATES: usize = 1_000;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gvfs-analysis <check|lint|model> [workspace-root]");
+    ExitCode::from(2)
+}
+
+fn run_lint(root: &std::path::Path) -> Result<(), usize> {
+    println!("== lint: {} ==", root.display());
+    match lint::lint_workspace(root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("lint: clean");
+            Ok(())
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("lint: {} diagnostic(s)", diags.len());
+            Err(diags.len())
+        }
+        Err(e) => {
+            eprintln!("lint: cannot analyze workspace: {e}");
+            Err(1)
+        }
+    }
+}
+
+fn run_model() -> Result<(), usize> {
+    println!("== model check ==");
+    let mut failures = 0usize;
+    let mut total_states = 0usize;
+    for report in [model::check_delegation(), model::check_invalidation()] {
+        println!(
+            "model[{}]: {} states, {} transitions, {} violation(s)",
+            report.machine,
+            report.states,
+            report.transitions,
+            report.violations.len()
+        );
+        for v in &report.violations {
+            println!("violation[{}]: {v}", report.machine);
+        }
+        failures += report.violations.len();
+        total_states += report.states;
+    }
+    if total_states < MIN_MODEL_STATES {
+        println!(
+            "model: only {total_states} states explored (< {MIN_MODEL_STATES}); \
+             exploration is broken"
+        );
+        failures += 1;
+    }
+    if failures == 0 {
+        println!("model: all invariants hold over {total_states} states");
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("check");
+    let root = args
+        .get(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    let results: Vec<Result<(), usize>> = match cmd {
+        "lint" => vec![run_lint(&root)],
+        "model" => vec![run_model()],
+        "check" => vec![run_lint(&root), run_model()],
+        _ => return usage(),
+    };
+    let failures: usize = results.into_iter().filter_map(Result::err).sum();
+    if failures == 0 {
+        println!("analysis: OK");
+        ExitCode::SUCCESS
+    } else {
+        println!("analysis: FAILED with {failures} finding(s)");
+        ExitCode::FAILURE
+    }
+}

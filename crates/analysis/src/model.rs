@@ -1,0 +1,545 @@
+//! Explicit-state model checking of the GVFS protocol state machines.
+//!
+//! The delegation table ([`gvfs_core::delegation::DelegationTable`]) and
+//! the invalidation buffers
+//! ([`gvfs_core::invalidation::InvalidationTracker`]) are the two pieces
+//! of the protocol whose correctness is a *global* property — no unit
+//! test of a single call sequence can show that write delegations are
+//! exclusive in every interleaving. This module drives the real
+//! implementations through exhaustive breadth-first exploration of
+//! small configurations (2–3 clients, 1–2 files) and checks safety
+//! invariants in every reachable state:
+//!
+//! * **write-exclusion** — a write delegation never coexists with any
+//!   other delegation on the same file;
+//! * **re-grantability** — from every reachable state, answering the
+//!   outstanding recalls and draining pending write-backs makes the
+//!   file write-delegable again (no stuck `PendingWriteback`);
+//! * **getinv-soundness** — `GETINV` timestamps are monotone per
+//!   client, `force_invalidate` fires exactly on first contact, client
+//!   restart (null timestamp) or buffer wrap, and a non-forced reply
+//!   delivers exactly the invalidations owed.
+//!
+//! The *spec* side of each machine is an explicit transition table kept
+//! in the model state ([`DelegAction`], [`InvalAction`] and the
+//! [`ClientSpec`] bookkeeping); the checker asserts the implementation
+//! refines it. Violations carry the full action trace that reaches
+//! them, so they replay as a unit test.
+
+use gvfs_core::delegation::{DelegationKind, DelegationTable, RecallAction};
+use gvfs_core::invalidation::InvalidationTracker;
+use gvfs_core::protocol::DelegationGrant;
+use gvfs_core::DelegationConfig;
+use gvfs_netsim::SimTime;
+use gvfs_nfs3::Fh3;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const T0: SimTime = SimTime::ZERO;
+/// Second dirty block reported by a partial write-back answer.
+const BLOCK: u64 = 32_768;
+/// Bound on states explored per configuration.
+const STATE_CAP: usize = 4_000;
+/// Bound on exploration depth (actions from the initial state).
+const DEPTH_CAP: usize = 6;
+
+/// Outcome of checking one state machine.
+#[derive(Debug, Default)]
+pub struct ModelReport {
+    /// Machine name (`delegation` or `invalidation`).
+    pub machine: &'static str,
+    /// Distinct states visited across all configurations.
+    pub states: usize,
+    /// Transitions executed (including duplicates into visited states).
+    pub transitions: usize,
+    /// Invariant violations, each with its replaying action trace.
+    pub violations: Vec<String>,
+}
+
+fn fmt_trace(trace: &[String]) -> String {
+    trace.join(" ; ")
+}
+
+// ---------------------------------------------------------------------
+// Delegation machine
+// ---------------------------------------------------------------------
+
+/// One actionable step of the delegation spec.
+#[derive(Debug, Clone)]
+enum DelegAction {
+    /// A client's read/write access reaches the proxy server.
+    Access { client: u32, fh: Fh3, write: bool },
+    /// One recall of an in-flight round is answered; `partial` answers
+    /// a write recall with a dirty-block list instead of a full flush.
+    Answer { round: usize, idx: usize, partial: bool },
+    /// The flusher submits the next outstanding write-back block.
+    Writeback { fh: Fh3 },
+}
+
+impl std::fmt::Display for DelegAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DelegAction::Access { client, fh, write } => {
+                write!(f, "access(client={client}, fh={fh:?}, write={write})")
+            }
+            DelegAction::Answer { round, idx, partial } => {
+                write!(f, "answer(round={round}, recall={idx}, partial={partial})")
+            }
+            DelegAction::Writeback { fh } => write!(f, "writeback(fh={fh:?})"),
+        }
+    }
+}
+
+/// An in-flight recall round: `begin_recall` has run, the callbacks are
+/// on the wire, `end_recall` runs when the last one is answered. Other
+/// accesses interleave freely — exactly the window `recalling` guards.
+#[derive(Debug, Clone)]
+struct Round {
+    fh: Fh3,
+    pending: Vec<RecallAction>,
+}
+
+#[derive(Clone)]
+struct DelegState {
+    table: DelegationTable,
+    rounds: Vec<Round>,
+}
+
+impl DelegState {
+    fn fingerprint(&self) -> String {
+        let mut rounds: Vec<String> = self
+            .rounds
+            .iter()
+            .map(|r| {
+                let mut recalls: Vec<_> = r
+                    .pending
+                    .iter()
+                    .map(|a| format!("{}:{:?}:{:?}", a.client, a.fh, a.kind))
+                    .collect();
+                recalls.sort();
+                format!("{:?}[{}]", r.fh, recalls.join(","))
+            })
+            .collect();
+        rounds.sort();
+        let mut s = String::new();
+        for f in self.table.snapshot() {
+            let _ = write!(s, "{:?};", f);
+        }
+        let _ = write!(s, "|{}", rounds.join("|"));
+        s
+    }
+
+    /// Applies `action`, returning an invariant violation if one fires.
+    fn apply(&mut self, action: &DelegAction) -> Option<String> {
+        match *action {
+            DelegAction::Access { client, fh, write } => {
+                let (grant, recalls) = self.table.access(fh, client, write, Some(0), T0);
+                if grant == DelegationGrant::Write
+                    && self.table.held(fh, client) != Some(DelegationKind::Write)
+                {
+                    return Some("Write grant returned but table does not record it".into());
+                }
+                if !recalls.is_empty() {
+                    if grant != DelegationGrant::NonCacheable {
+                        return Some(format!(
+                            "recalls issued but grant is {grant:?}, not NonCacheable"
+                        ));
+                    }
+                    self.table.begin_recall(fh);
+                    self.rounds.push(Round { fh, pending: recalls });
+                }
+            }
+            DelegAction::Answer { round, idx, partial } => {
+                let r = self.rounds[round].pending.remove(idx);
+                let blocks = if partial && r.kind == DelegationKind::Write {
+                    vec![0, BLOCK]
+                } else {
+                    Vec::new()
+                };
+                self.table.recall_done(r.fh, r.client, blocks);
+                if self.rounds[round].pending.is_empty() {
+                    let fh = self.rounds[round].fh;
+                    self.table.end_recall(fh);
+                    self.rounds.remove(round);
+                }
+            }
+            DelegAction::Writeback { fh } => {
+                let next = self
+                    .table
+                    .pending_writeback(fh)
+                    .map(|p| (p.client, p.blocks.iter().next().copied()));
+                if let Some((client, Some(block))) = next {
+                    self.table.note_writeback(fh, client, block);
+                }
+            }
+        }
+        self.check_write_exclusion()
+    }
+
+    /// Invariant: write delegations are exclusive per file, and a
+    /// pending write-back never has an empty block list (it would be
+    /// undrainable).
+    fn check_write_exclusion(&self) -> Option<String> {
+        for f in self.table.snapshot() {
+            let writers =
+                f.sharers.iter().filter(|&&(_, d)| d == Some(DelegationKind::Write)).count();
+            let delegated = f.sharers.iter().filter(|&&(_, d)| d.is_some()).count();
+            if writers > 0 && delegated > 1 {
+                return Some(format!(
+                    "write delegation coexists with another delegation on {:?}: {:?}",
+                    f.fh, f.sharers
+                ));
+            }
+            if let Some((client, blocks)) = &f.pending {
+                if blocks.is_empty() {
+                    return Some(format!(
+                        "pending write-back for client {client} on {:?} has no blocks",
+                        f.fh
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Invariant: after answering every outstanding recall and draining
+    /// every pending write-back, a write delegation is grantable on
+    /// every file (probed once speculated opens have expired).
+    fn check_regrantable(&self, files: &[Fh3], probe_client: u32) -> Option<String> {
+        let mut s = self.clone();
+        for round in std::mem::take(&mut s.rounds) {
+            for r in &round.pending {
+                s.table.recall_done(r.fh, r.client, Vec::new());
+            }
+            s.table.end_recall(round.fh);
+        }
+        for &fh in files {
+            let mut spins = 0;
+            while let Some((client, block)) =
+                s.table.pending_writeback(fh).map(|p| (p.client, p.blocks.iter().next().copied()))
+            {
+                let Some(block) = block else {
+                    return Some(format!("stuck pending write-back without blocks on {fh:?}"));
+                };
+                s.table.note_writeback(fh, client, block);
+                spins += 1;
+                if spins > 64 {
+                    return Some(format!("pending write-back on {fh:?} does not drain"));
+                }
+            }
+        }
+        let probe_now = T0 + Duration::from_secs(1_000); // past speculation expiry
+        for &fh in files {
+            let mut tries = 0;
+            loop {
+                let (grant, recalls) = s.table.access(fh, probe_client, true, Some(0), probe_now);
+                if grant == DelegationGrant::Write {
+                    break;
+                }
+                if recalls.is_empty() {
+                    return Some(format!(
+                        "file {fh:?} stuck: write access yields {grant:?} with nothing to recall"
+                    ));
+                }
+                s.table.begin_recall(fh);
+                for r in &recalls {
+                    s.table.recall_done(r.fh, r.client, Vec::new());
+                }
+                s.table.end_recall(fh);
+                tries += 1;
+                if tries > 8 {
+                    return Some(format!("file {fh:?} not re-grantable after 8 recall rounds"));
+                }
+            }
+        }
+        None
+    }
+
+    fn enabled(&self, clients: &[u32], files: &[Fh3]) -> Vec<DelegAction> {
+        let mut acts = Vec::new();
+        for &client in clients {
+            for &fh in files {
+                for write in [false, true] {
+                    acts.push(DelegAction::Access { client, fh, write });
+                }
+            }
+        }
+        for (round, r) in self.rounds.iter().enumerate() {
+            for (idx, recall) in r.pending.iter().enumerate() {
+                acts.push(DelegAction::Answer { round, idx, partial: false });
+                if recall.kind == DelegationKind::Write {
+                    acts.push(DelegAction::Answer { round, idx, partial: true });
+                }
+            }
+        }
+        for &fh in files {
+            if self.table.pending_writeback(fh).is_some() {
+                acts.push(DelegAction::Writeback { fh });
+            }
+        }
+        acts
+    }
+}
+
+/// Exhaustively checks the delegation machine over small configurations.
+pub fn check_delegation() -> ModelReport {
+    let mut report = ModelReport { machine: "delegation", ..ModelReport::default() };
+    for &(n_clients, n_files) in &[(2u32, 1u64), (2, 2), (3, 1), (3, 2)] {
+        let clients: Vec<u32> = (1..=n_clients).collect();
+        let files: Vec<Fh3> = (1..=n_files).map(Fh3::from_fileid).collect();
+        let label = format!("delegation[clients={n_clients},files={n_files}]");
+
+        let initial = DelegState {
+            table: DelegationTable::new(DelegationConfig::default()),
+            rounds: Vec::new(),
+        };
+        let mut visited: HashSet<String> = HashSet::new();
+        visited.insert(initial.fingerprint());
+        let mut queue: VecDeque<(DelegState, Vec<String>, usize)> = VecDeque::new();
+        queue.push_back((initial, Vec::new(), 0));
+        let mut states = 1usize;
+
+        while let Some((state, trace, depth)) = queue.pop_front() {
+            if depth >= DEPTH_CAP || states >= STATE_CAP {
+                continue;
+            }
+            for action in state.enabled(&clients, &files) {
+                let mut next = state.clone();
+                let mut next_trace = trace.clone();
+                next_trace.push(action.to_string());
+                report.transitions += 1;
+                if let Some(v) = next.apply(&action) {
+                    report
+                        .violations
+                        .push(format!("{label}: {v}\n  trace: {}", fmt_trace(&next_trace)));
+                    continue;
+                }
+                let fp = next.fingerprint();
+                if visited.insert(fp) {
+                    states += 1;
+                    if let Some(v) = next.check_regrantable(&files, clients[0]) {
+                        report
+                            .violations
+                            .push(format!("{label}: {v}\n  trace: {}", fmt_trace(&next_trace)));
+                    }
+                    queue.push_back((next, next_trace, depth + 1));
+                }
+            }
+        }
+        report.states += states;
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Invalidation machine
+// ---------------------------------------------------------------------
+
+/// One actionable step of the invalidation spec.
+#[derive(Debug, Clone)]
+enum InvalAction {
+    /// `writer` modifies `fh` (the server records it for everyone else).
+    Modify { writer: u32, fh: Fh3 },
+    /// `client` polls with its last acknowledged timestamp.
+    Getinv { client: u32 },
+    /// `client` crashes and loses its timestamp (next poll sends null).
+    ClientCrash { client: u32 },
+    /// The server restarts: all buffers are lost, clients keep their
+    /// timestamps.
+    ServerRestart,
+}
+
+impl std::fmt::Display for InvalAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalAction::Modify { writer, fh } => write!(f, "modify(writer={writer}, fh={fh:?})"),
+            InvalAction::Getinv { client } => write!(f, "getinv(client={client})"),
+            InvalAction::ClientCrash { client } => write!(f, "crash(client={client})"),
+            InvalAction::ServerRestart => write!(f, "server_restart"),
+        }
+    }
+}
+
+/// The spec's view of one client: what the protocol *owes* it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ClientSpec {
+    /// Timestamp the client would send on its next poll.
+    ts: Option<u64>,
+    /// Whether the server currently has a buffer for this client.
+    registered: bool,
+    /// Files modified by others since the client's last drain.
+    owed: BTreeSet<Fh3>,
+    /// An owed entry was discarded by wrap-around: the next reply must
+    /// force-invalidate.
+    wrapped: bool,
+}
+
+#[derive(Clone)]
+struct InvalState {
+    tracker: InvalidationTracker,
+    capacity: usize,
+    spec: BTreeMap<u32, ClientSpec>,
+}
+
+impl InvalState {
+    fn fingerprint(&self) -> String {
+        format!("{:?}|{}|{:?}", self.tracker.snapshot(), self.tracker.now(), self.spec)
+    }
+
+    fn apply(&mut self, action: &InvalAction) -> Option<String> {
+        match *action {
+            InvalAction::Modify { writer, fh } => {
+                self.tracker.record_modification(fh, writer);
+                for (&client, cs) in &mut self.spec {
+                    if client == writer || !cs.registered {
+                        continue;
+                    }
+                    if cs.owed.insert(fh) && cs.owed.len() > self.capacity {
+                        cs.wrapped = true;
+                    }
+                }
+                None
+            }
+            InvalAction::Getinv { client } => {
+                let cs = self.spec.get_mut(&client).expect("model client");
+                let res = self.tracker.getinv(client, cs.ts);
+                // Timestamps are monotone per client within a server
+                // epoch; a forced reply re-bootstraps the client (it
+                // discards its cache and its old timestamp with it), so
+                // only non-forced replies must not regress.
+                if let (Some(prev), false) = (cs.ts, res.force_invalidate) {
+                    if res.timestamp < prev {
+                        return Some(format!(
+                            "GETINV timestamp regressed for client {client}: {} < {prev}",
+                            res.timestamp
+                        ));
+                    }
+                }
+                let expect_force = !cs.registered || cs.ts.is_none() || cs.wrapped;
+                if res.force_invalidate != expect_force {
+                    return Some(format!(
+                        "client {client}: force_invalidate={} but spec expects {expect_force} \
+                         (registered={}, ts={:?}, wrapped={})",
+                        res.force_invalidate, cs.registered, cs.ts, cs.wrapped
+                    ));
+                }
+                if !res.force_invalidate {
+                    if res.poll_again {
+                        return Some(format!(
+                            "client {client}: poll_again in a configuration far below the \
+                             pagination threshold"
+                        ));
+                    }
+                    let got: BTreeSet<Fh3> = res.handles.iter().copied().collect();
+                    if got.len() != res.handles.len() {
+                        return Some(format!(
+                            "client {client}: duplicate handles in a GETINV reply (coalescing \
+                             violated): {:?}",
+                            res.handles
+                        ));
+                    }
+                    if got != cs.owed {
+                        return Some(format!(
+                            "client {client}: GETINV delivered {got:?} but spec owes {:?}",
+                            cs.owed
+                        ));
+                    }
+                }
+                // Forced or not, after this reply the client is square:
+                // a force makes it invalidate everything it caches.
+                *cs = ClientSpec {
+                    ts: Some(res.timestamp),
+                    registered: true,
+                    owed: BTreeSet::new(),
+                    wrapped: false,
+                };
+                None
+            }
+            InvalAction::ClientCrash { client } => {
+                let cs = self.spec.get_mut(&client).expect("model client");
+                cs.ts = None;
+                None
+            }
+            InvalAction::ServerRestart => {
+                self.tracker = InvalidationTracker::new(self.capacity);
+                for cs in self.spec.values_mut() {
+                    cs.registered = false;
+                    cs.wrapped = false;
+                    cs.owed.clear();
+                }
+                None
+            }
+        }
+    }
+
+    fn enabled(&self, files: &[Fh3]) -> Vec<InvalAction> {
+        let mut acts = Vec::new();
+        for &client in self.spec.keys() {
+            for &fh in files {
+                acts.push(InvalAction::Modify { writer: client, fh });
+            }
+            acts.push(InvalAction::Getinv { client });
+            acts.push(InvalAction::ClientCrash { client });
+        }
+        acts.push(InvalAction::ServerRestart);
+        acts
+    }
+}
+
+/// Exhaustively checks the invalidation machine over small
+/// configurations, including capacities low enough to exercise wrap.
+pub fn check_invalidation() -> ModelReport {
+    let mut report = ModelReport { machine: "invalidation", ..ModelReport::default() };
+    for &(n_clients, capacity) in &[(2u32, 1usize), (2, 2), (3, 2)] {
+        let files: Vec<Fh3> = (1..=2u64).map(Fh3::from_fileid).collect();
+        let label = format!("invalidation[clients={n_clients},capacity={capacity}]");
+        let initial = InvalState {
+            tracker: InvalidationTracker::new(capacity),
+            capacity,
+            spec: (1..=n_clients)
+                .map(|c| {
+                    (
+                        c,
+                        ClientSpec {
+                            ts: None,
+                            registered: false,
+                            owed: BTreeSet::new(),
+                            wrapped: false,
+                        },
+                    )
+                })
+                .collect(),
+        };
+        let mut visited: HashSet<String> = HashSet::new();
+        visited.insert(initial.fingerprint());
+        let mut queue: VecDeque<(InvalState, Vec<String>, usize)> = VecDeque::new();
+        queue.push_back((initial, Vec::new(), 0));
+        let mut states = 1usize;
+
+        while let Some((state, trace, depth)) = queue.pop_front() {
+            if depth >= DEPTH_CAP || states >= STATE_CAP {
+                continue;
+            }
+            for action in state.enabled(&files) {
+                let mut next = state.clone();
+                let mut next_trace = trace.clone();
+                next_trace.push(action.to_string());
+                report.transitions += 1;
+                if let Some(v) = next.apply(&action) {
+                    report
+                        .violations
+                        .push(format!("{label}: {v}\n  trace: {}", fmt_trace(&next_trace)));
+                    continue;
+                }
+                let fp = next.fingerprint();
+                if visited.insert(fp) {
+                    states += 1;
+                    queue.push_back((next, next_trace, depth + 1));
+                }
+            }
+        }
+        report.states += states;
+    }
+    report
+}

@@ -94,7 +94,9 @@ fn buffer_capacity_sweep() -> Vec<serde_json::Value> {
 fn polling_period_sweep() -> Vec<serde_json::Value> {
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for (period_s, backoff) in [(5u64, None), (15, None), (30, None), (60, None), (15, Some(120u64))] {
+    for (period_s, backoff) in
+        [(5u64, None), (15, None), (30, None), (60, None), (15, Some(120u64))]
+    {
         let sim = Sim::new();
         let session = Session::builder(SessionConfig {
             model: ConsistencyModel::InvalidationPolling {
@@ -152,7 +154,8 @@ fn polling_period_sweep() -> Vec<serde_json::Value> {
         sim.run();
         let snap = stats.snapshot();
         let st = staleness.lock();
-        let mean_staleness = if st.is_empty() { 0.0 } else { st.iter().sum::<f64>() / st.len() as f64 };
+        let mean_staleness =
+            if st.is_empty() { 0.0 } else { st.iter().sum::<f64>() / st.len() as f64 };
         let label = match backoff {
             Some(max) => format!("{period_s}s..{max}s backoff"),
             None => format!("{period_s}s fixed"),

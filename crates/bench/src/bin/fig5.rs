@@ -65,11 +65,8 @@ fn run_one(setup: Setup, rtt_ms: f64, config: &PostmarkConfig) -> Duration {
             let session = Session::builder(session_config).clients(1).wan(link).establish(&sim);
             let (t, root) = (session.client_transport(0), session.root_fh());
             let handle = session.handle();
-            let mount = if setup == Setup::Gvfs1 {
-                MountOptions::default()
-            } else {
-                MountOptions::noac()
-            };
+            let mount =
+                if setup == Setup::Gvfs1 { MountOptions::default() } else { MountOptions::noac() };
             sim.spawn("postmark", move || {
                 let client = NfsClient::new(t, root, mount);
                 let report = postmark::run(&client, &cfg);

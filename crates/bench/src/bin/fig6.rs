@@ -142,7 +142,12 @@ fn run_nfs_like(setup: Setup, config: LockConfig) -> Outcome {
 
 /// The AFS variant of the lock loop (same structure as
 /// `lock::run_client`, over the AFS client API).
-fn afs_lock_loop(client: &Arc<AfsClient>, me: usize, config: &LockConfig, log: &lock::AcquisitionLog) {
+fn afs_lock_loop(
+    client: &Arc<AfsClient>,
+    me: usize,
+    config: &LockConfig,
+    log: &lock::AcquisitionLog,
+) {
     client.write_file(&format!("/tmp-{me}"), b"t").expect("create temp");
     let mut wins = 0;
     while wins < config.acquisitions {

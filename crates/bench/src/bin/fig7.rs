@@ -165,7 +165,9 @@ fn main() {
 
     let mut table_rows = Vec::new();
     let mut json_scopes = Vec::new();
-    for (scope, label) in [(UpdateScope::Matlab, "a: MATLAB update"), (UpdateScope::Mpitb, "b: MPITB update")] {
+    for (scope, label) in
+        [(UpdateScope::Matlab, "a: MATLAB update"), (UpdateScope::Mpitb, "b: MPITB update")]
+    {
         let nfs = run_one(false, scope, &config);
         let gvfs = run_one(true, scope, &config);
         eprintln!(

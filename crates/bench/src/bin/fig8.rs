@@ -40,8 +40,11 @@ fn run_one(gvfs: bool, config: &Ch1dConfig) -> Outcome {
             write_back: true,
             ..SessionConfig::default()
         };
-        let session =
-            Session::builder(session_config).clients(2).wan(LinkConfig::wan()).vfs(vfs).establish(&sim);
+        let session = Session::builder(session_config)
+            .clients(2)
+            .wan(LinkConfig::wan())
+            .vfs(vfs)
+            .establish(&sim);
         let (tp, tc) = (session.client_transport(0), session.client_transport(1));
         let root = session.root_fh();
         let stats: RpcStats = session.wan_stats().clone();

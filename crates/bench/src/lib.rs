@@ -75,7 +75,13 @@ impl RpcBreakdown {
 
     /// Total calls.
     pub fn total(&self) -> u64 {
-        self.getattr + self.lookup + self.read + self.write + self.getinv + self.callback + self.other
+        self.getattr
+            + self.lookup
+            + self.read
+            + self.write
+            + self.getinv
+            + self.callback
+            + self.other
     }
 
     /// Consistency-related calls (the paper's comparison unit in §5.1.2:
@@ -129,7 +135,8 @@ pub fn save_json(name: &str, value: &serde_json::Value) {
     let dir = Path::new("results");
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(name);
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize")).expect("write json");
+    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+        .expect("write json");
     println!("\n[saved {}]", path.display());
 }
 

@@ -4,8 +4,8 @@
 //! measures. They are plain data structures driven by the client; all
 //! policy (when to revalidate) lives in [`crate::NfsClient`].
 
-use gvfs_nfs3::{Fattr3, Fh3, NfsTime3};
 use gvfs_netsim::SimTime;
+use gvfs_nfs3::{Fattr3, Fh3, NfsTime3};
 use std::collections::HashMap;
 use std::time::Duration;
 

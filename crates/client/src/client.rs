@@ -2,13 +2,13 @@
 
 use crate::cache::{AttrCache, LookupCache, PageCache};
 use crate::options::MountOptions;
+use gvfs_netsim::transport::SimRpcClient;
 use gvfs_nfs3::{
     proc3, CommitArgs, CommitRes, CreateArgs, CreateHow, DirOpArgs, DirOpRes, Entry3, Fattr3, Fh3,
-    Ftype3, GetattrArgs, GetattrRes, LinkArgs, LinkRes, LookupArgs, LookupRes, MkdirArgs,
-    Nfsstat3, ReadArgs, ReadRes, ReaddirArgs, ReaddirRes, RenameArgs, RenameRes, Sattr3,
-    SetattrArgs, SetattrRes, StableHow, WriteArgs, WriteRes, NFS_PROGRAM, NFS_V3,
+    Ftype3, GetattrArgs, GetattrRes, LinkArgs, LinkRes, LookupArgs, LookupRes, MkdirArgs, Nfsstat3,
+    ReadArgs, ReadRes, ReaddirArgs, ReaddirRes, RenameArgs, RenameRes, Sattr3, SetattrArgs,
+    SetattrRes, StableHow, WriteArgs, WriteRes, NFS_PROGRAM, NFS_V3,
 };
-use gvfs_netsim::transport::SimRpcClient;
 use gvfs_rpc::RpcError;
 use gvfs_xdr::Xdr;
 use parking_lot::Mutex;
@@ -171,7 +171,9 @@ impl NfsClient {
                 Ok(bytes) => {
                     return Ok(gvfs_xdr::from_bytes(&bytes).map_err(RpcError::from)?);
                 }
-                Err(RpcError::Timeout | RpcError::Unreachable) if attempts < self.opts.max_retries => {
+                Err(RpcError::Timeout | RpcError::Unreachable)
+                    if attempts < self.opts.max_retries =>
+                {
                     attempts += 1;
                     gvfs_netsim::sleep(self.opts.retry_backoff);
                 }
@@ -269,7 +271,8 @@ impl NfsClient {
                 None => {} // purged by revalidation; fall through
             }
         }
-        let res: LookupRes = self.rpc(proc3::LOOKUP, &LookupArgs { dir, name: name.to_string() })?;
+        let res: LookupRes =
+            self.rpc(proc3::LOOKUP, &LookupArgs { dir, name: name.to_string() })?;
         match res {
             LookupRes::Ok { object, obj_attributes, dir_attributes } => {
                 if let Some(attr) = obj_attributes {
@@ -599,8 +602,7 @@ impl NfsClient {
     ///
     /// NFS or transport errors.
     pub fn remove(&self, dir: Fh3, name: &str) -> Result<(), ClientError> {
-        let res: DirOpRes =
-            self.rpc(proc3::REMOVE, &DirOpArgs { dir, name: name.to_string() })?;
+        let res: DirOpRes = self.rpc(proc3::REMOVE, &DirOpArgs { dir, name: name.to_string() })?;
         if res.status.is_ok() {
             self.caches.lock().lookups.insert_negative(dir, name);
         } else {
@@ -774,10 +776,8 @@ impl NfsClient {
         let mut cookie = 0u64;
         let mut cookieverf = 0u64;
         loop {
-            let res: ReaddirRes = self.rpc(
-                proc3::READDIR,
-                &ReaddirArgs { dir, cookie, cookieverf, count: 4096 },
-            )?;
+            let res: ReaddirRes =
+                self.rpc(proc3::READDIR, &ReaddirArgs { dir, cookie, cookieverf, count: 4096 })?;
             match res {
                 ReaddirRes::Ok { dir_attributes, cookieverf: verf, entries, eof } => {
                     if let Some(attr) = dir_attributes {
@@ -787,7 +787,9 @@ impl NfsClient {
                     cookie = last.map_or(cookie, |e| e.cookie);
                     cookieverf = verf;
                     out.extend(
-                        entries.into_iter().map(|e| DirEntryInfo { fileid: e.fileid, name: e.name }),
+                        entries
+                            .into_iter()
+                            .map(|e| DirEntryInfo { fileid: e.fileid, name: e.name }),
                     );
                     if eof {
                         return Ok(out);
@@ -882,7 +884,8 @@ impl NfsClient {
     ///
     /// NFS or transport errors.
     pub fn commit(&self, fh: Fh3) -> Result<(), ClientError> {
-        let res: CommitRes = self.rpc(proc3::COMMIT, &CommitArgs { file: fh, offset: 0, count: 0 })?;
+        let res: CommitRes =
+            self.rpc(proc3::COMMIT, &CommitArgs { file: fh, offset: 0, count: 0 })?;
         match res {
             CommitRes::Ok { .. } => Ok(()),
             CommitRes::Fail { status, .. } => Err(status.into()),

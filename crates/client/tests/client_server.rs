@@ -25,9 +25,10 @@ struct Rig {
 
 fn rig() -> Rig {
     let vfs = Arc::new(Vfs::new());
-    let nfs = Nfs3Server::new(Arc::clone(&vfs), Arc::new(|| {
-        Timestamp::from_nanos(gvfs_netsim::now().as_nanos())
-    }));
+    let nfs = Nfs3Server::new(
+        Arc::clone(&vfs),
+        Arc::new(|| Timestamp::from_nanos(gvfs_netsim::now().as_nanos())),
+    );
     let root = nfs.root_fh();
     let mut dispatcher = Dispatcher::new();
     dispatcher.register(nfs);
@@ -38,7 +39,8 @@ fn rig() -> Rig {
 
 impl Rig {
     fn client(&self, opts: MountOptions) -> NfsClient {
-        let transport = SimRpcClient::new(self.link.forward(), Arc::clone(&self.server), self.stats.clone());
+        let transport =
+            SimRpcClient::new(self.link.forward(), Arc::clone(&self.server), self.stats.clone());
         NfsClient::new(transport, self.root, opts)
     }
 }
@@ -145,7 +147,10 @@ fn noac_revalidates_every_stat() {
 fn two_clients_see_writes_after_attr_timeout() {
     let r = rig();
     let writer = r.client(MountOptions::with_attr_timeout(Duration::from_secs(30)));
-    let reader = r.client(MountOptions { close_to_open: false, ..MountOptions::with_attr_timeout(Duration::from_secs(30)) });
+    let reader = r.client(MountOptions {
+        close_to_open: false,
+        ..MountOptions::with_attr_timeout(Duration::from_secs(30))
+    });
     let sim = Sim::new();
     sim.spawn("writer", move || {
         writer.write_file("/shared", b"v1").unwrap();
@@ -199,10 +204,7 @@ fn remove_then_access_is_stale_or_noent() {
     sim.spawn("c1", move || {
         let fh = client.write_file("/gone", b"x").unwrap();
         client.remove_path("/gone").unwrap();
-        assert!(matches!(
-            client.getattr_force(fh).unwrap_err(),
-            ClientError::Nfs(Nfsstat3::Stale)
-        ));
+        assert!(matches!(client.getattr_force(fh).unwrap_err(), ClientError::Nfs(Nfsstat3::Stale)));
         assert!(matches!(
             client.read_file("/gone").unwrap_err(),
             ClientError::Nfs(Nfsstat3::Noent)
@@ -231,10 +233,8 @@ fn readdir_lists_server_side_tree() {
 #[test]
 fn hard_mount_retries_through_partition() {
     let r = rig();
-    let client = r.client(MountOptions {
-        retry_backoff: Duration::from_secs(1),
-        ..Default::default()
-    });
+    let client =
+        r.client(MountOptions { retry_backoff: Duration::from_secs(1), ..Default::default() });
     let link = Arc::clone(&r.link);
     let sim = Sim::new();
     sim.spawn("c1", move || {
@@ -276,7 +276,10 @@ fn symlink_and_readlink_roundtrip() {
 fn readdir_plus_warms_the_caches() {
     let r = rig();
     for i in 0..30 {
-        let f = r.vfs.create(r.vfs.root(), &format!("warm{i:02}"), 0o644, Timestamp::default()).unwrap();
+        let f = r
+            .vfs
+            .create(r.vfs.root(), &format!("warm{i:02}"), 0o644, Timestamp::default())
+            .unwrap();
         r.vfs.write(f, 0, &[1u8; 100], Timestamp::default()).unwrap();
     }
     let client = r.client(MountOptions { close_to_open: false, ..Default::default() });

@@ -42,7 +42,8 @@ impl FileCache {
         let mut out = Vec::with_capacity(len);
         let mut pos = offset;
         // Find the extent containing `pos`, then walk forward.
-        let mut iter = self.extents.range(..=pos).next_back().into_iter().chain(self.extents.range(pos + 1..).map(|(k, v)| (k, v)));
+        let mut iter =
+            self.extents.range(..=pos).next_back().into_iter().chain(self.extents.range(pos + 1..));
         let _ = &mut iter; // replaced by explicit loop below for clarity
         while pos < end {
             let (start, ext) = self.extents.range(..=pos).next_back()?;
@@ -144,11 +145,7 @@ impl FileCache {
 
     /// Offsets and lengths of all dirty extents, in order.
     pub fn dirty_ranges(&self) -> Vec<(u64, usize)> {
-        self.extents
-            .iter()
-            .filter(|(_, e)| e.dirty)
-            .map(|(o, e)| (*o, e.data.len()))
-            .collect()
+        self.extents.iter().filter(|(_, e)| e.dirty).map(|(o, e)| (*o, e.data.len())).collect()
     }
 
     /// The dirty bytes starting at exactly `offset`, if that extent
@@ -160,8 +157,7 @@ impl FileCache {
     /// Returns the dirty extent covering byte `pos`, as `(offset, data)`.
     pub fn dirty_covering(&self, pos: u64) -> Option<(u64, &[u8])> {
         let (start, ext) = self.extents.range(..=pos).next_back()?;
-        (ext.dirty && pos < start + ext.data.len() as u64)
-            .then(|| (*start, ext.data.as_slice()))
+        (ext.dirty && pos < start + ext.data.len() as u64).then_some((*start, ext.data.as_slice()))
     }
 
     /// Marks the extent at `offset` clean (after a successful
@@ -283,10 +279,10 @@ fn overlay(map: &mut BTreeMap<u64, Extent>, offset: u64, data: Vec<u8>, dirty: b
         }
         if ext_end > end {
             let from = (end.max(key) - key) as usize;
-            map.insert(ext_end - (ext.data.len() - from) as u64, Extent {
-                data: ext.data[from..].to_vec(),
-                dirty: ext.dirty,
-            });
+            map.insert(
+                ext_end - (ext.data.len() - from) as u64,
+                Extent { data: ext.data[from..].to_vec(), dirty: ext.dirty },
+            );
         }
     }
     map.insert(offset, Extent { data, dirty });

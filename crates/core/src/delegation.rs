@@ -26,7 +26,7 @@ use gvfs_nfs3::Fh3;
 use std::collections::{BTreeSet, HashMap};
 
 /// A delegation held by a client on a file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DelegationKind {
     /// Read delegation.
     Read,
@@ -62,7 +62,7 @@ pub struct PendingWriteback {
     pub blocks: BTreeSet<u64>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct FileEntry {
     sharers: HashMap<u32, Sharer>,
     pending: Option<PendingWriteback>,
@@ -105,10 +105,24 @@ pub struct RecallAction {
 /// assert_eq!(grant, DelegationGrant::Read);
 /// assert!(recalls.is_empty());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DelegationTable {
     files: HashMap<Fh3, FileEntry>,
     config: DelegationConfig,
+}
+
+/// A canonical, ordered dump of one file's delegation state, produced by
+/// [`DelegationTable::snapshot`] for diagnostics and model checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileSnapshot {
+    /// The file.
+    pub fh: Fh3,
+    /// `(client, delegation)` pairs, sorted by client id.
+    pub sharers: Vec<(u32, Option<DelegationKind>)>,
+    /// In-progress partial write-back: `(client, dirty offsets)`.
+    pub pending: Option<(u32, Vec<u64>)>,
+    /// Recall rounds currently in flight.
+    pub recalling: u32,
 }
 
 impl DelegationTable {
@@ -335,9 +349,9 @@ impl DelegationTable {
                     }
                 }
             }
-            entry
-                .sharers
-                .retain(|_, s| now.saturating_since(s.last_access) < expiration || s.delegation.is_some());
+            entry.sharers.retain(|_, s| {
+                now.saturating_since(s.last_access) < expiration || s.delegation.is_some()
+            });
         }
         self.files.retain(|_, e| !e.sharers.is_empty() || e.pending.is_some() || e.recalling > 0);
         actions.sort_unstable_by_key(|a| (a.fh, a.client));
@@ -398,6 +412,33 @@ impl DelegationTable {
     pub fn tracked_files(&self) -> usize {
         self.files.len()
     }
+
+    /// A canonical dump of the table, sorted by file handle, for
+    /// diagnostics and the protocol model checker. Access times are
+    /// deliberately omitted so snapshots of behaviourally-equal states
+    /// compare equal.
+    pub fn snapshot(&self) -> Vec<FileSnapshot> {
+        let mut out: Vec<FileSnapshot> = self
+            .files
+            .iter()
+            .map(|(&fh, e)| {
+                let mut sharers: Vec<(u32, Option<DelegationKind>)> =
+                    e.sharers.iter().map(|(&c, s)| (c, s.delegation)).collect();
+                sharers.sort_unstable();
+                FileSnapshot {
+                    fh,
+                    sharers,
+                    pending: e
+                        .pending
+                        .as_ref()
+                        .map(|p| (p.client, p.blocks.iter().copied().collect())),
+                    recalling: e.recalling,
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| s.fh);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -456,7 +497,12 @@ mod tests {
         assert_eq!(grant, DelegationGrant::NonCacheable);
         assert_eq!(
             recalls,
-            vec![RecallAction { client: 1, fh: fh(1), kind: DelegationKind::Read, requested_offset: None }]
+            vec![RecallAction {
+                client: 1,
+                fh: fh(1),
+                kind: DelegationKind::Read,
+                requested_offset: None
+            }]
         );
         assert_eq!(t.held(fh(1), 1), None, "read delegation revoked");
     }

@@ -12,7 +12,7 @@ use crate::protocol::{GetinvRes, MAX_INVALIDATIONS_PER_REPLY};
 use gvfs_nfs3::Fh3;
 use std::collections::{HashMap, HashSet, VecDeque};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ClientBuffer {
     entries: VecDeque<(u64, Fh3)>,
     members: HashSet<Fh3>,
@@ -20,6 +20,10 @@ struct ClientBuffer {
     /// (buffer creation point or wrap-around).
     floor: u64,
 }
+
+/// One client's buffer as reported by [`InvalidationTracker::snapshot`]:
+/// `(client, floor, queued (timestamp, handle) entries)`.
+pub type BufferSnapshot = (u32, u64, Vec<(u64, Fh3)>);
 
 /// Manages per-client invalidation buffers and the server's logical
 /// clock.
@@ -37,7 +41,7 @@ struct ClientBuffer {
 /// let res = tracker.getinv(1, Some(boot.timestamp));
 /// assert_eq!(res.handles, vec![Fh3::from_fileid(9)]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InvalidationTracker {
     buffers: HashMap<u32, ClientBuffer>,
     capacity: usize,
@@ -132,12 +136,7 @@ impl InvalidationTracker {
             let handles: Vec<Fh3> = buf.entries.drain(..).map(|(_, fh)| fh).collect();
             buf.members.clear();
             buf.floor = self.clock;
-            GetinvRes {
-                timestamp: self.clock,
-                force_invalidate: false,
-                poll_again: false,
-                handles,
-            }
+            GetinvRes { timestamp: self.clock, force_invalidate: false, poll_again: false, handles }
         }
     }
 
@@ -149,6 +148,19 @@ impl InvalidationTracker {
     /// Entries pending for one client (diagnostics).
     pub fn pending(&self, client: u32) -> usize {
         self.buffers.get(&client).map_or(0, |b| b.entries.len())
+    }
+
+    /// A canonical dump of every client buffer, sorted by client id:
+    /// `(client, floor, queued (timestamp, handle) entries)`. Used by
+    /// diagnostics and the protocol model checker.
+    pub fn snapshot(&self) -> Vec<BufferSnapshot> {
+        let mut out: Vec<BufferSnapshot> = self
+            .buffers
+            .iter()
+            .map(|(&c, b)| (c, b.floor, b.entries.iter().copied().collect()))
+            .collect();
+        out.sort_unstable_by_key(|&(c, _, _)| c);
+        out
     }
 }
 

@@ -297,6 +297,8 @@ mod tests {
     #[test]
     fn programs_are_distinct_and_transient() {
         assert_ne!(GVFS_PROXY_PROGRAM, GVFS_CALLBACK_PROGRAM);
-        assert!(GVFS_PROXY_PROGRAM >= 0x4000_0000);
+        // The transient program-number range starts at 0x4000_0000.
+        let transient_floor: u32 = 0x4000_0000;
+        assert!(GVFS_PROXY_PROGRAM >= transient_floor);
     }
 }

@@ -29,9 +29,9 @@ use crate::proxy::{block_of, BLOCK_SIZE};
 use gvfs_netsim::transport::SimRpcClient;
 use gvfs_netsim::SimTime;
 use gvfs_nfs3::{
-    proc3, CreateArgs, DirOpArgs, Fh3, GetattrArgs, GetattrRes, LinkArgs, LookupArgs,
-    LookupRes, MkdirArgs, NfsTime3, Nfsstat3, ReadArgs, ReadRes, ReaddirRes, RenameArgs,
-    SetattrRes, StableHow, SymlinkArgs, WccData, WriteArgs, WriteRes,
+    proc3, CreateArgs, DirOpArgs, Fh3, GetattrArgs, GetattrRes, LinkArgs, LookupArgs, LookupRes,
+    MkdirArgs, NfsTime3, Nfsstat3, ReadArgs, ReadRes, ReaddirRes, RenameArgs, SetattrRes,
+    StableHow, SymlinkArgs, WccData, WriteArgs, WriteRes,
 };
 use gvfs_rpc::dispatch::RpcService;
 use gvfs_rpc::RpcError;
@@ -171,7 +171,12 @@ impl ProxyClient {
     /// with backoff: a user-level proxy simply holds the kernel's
     /// request until the upstream answers, exactly as a hard NFS mount
     /// over TCP behaves.
-    fn forward(&self, procedure: u32, args: Vec<u8>, target: Option<Fh3>) -> Result<Vec<u8>, RpcError> {
+    fn forward(
+        &self,
+        procedure: u32,
+        args: Vec<u8>,
+        target: Option<Fh3>,
+    ) -> Result<Vec<u8>, RpcError> {
         let mut attempts = 0u32;
         let bytes = loop {
             match self.wan.call(GVFS_PROXY_PROGRAM, GVFS_VERSION, procedure, args.clone()) {
@@ -252,7 +257,12 @@ impl ProxyClient {
             };
             let Ok(reply) = self.forward(proc3::READDIRPLUS, args, Some(dir)) else { return };
             match gvfs_xdr::from_bytes::<gvfs_nfs3::ReaddirplusRes>(&reply) {
-                Ok(gvfs_nfs3::ReaddirplusRes::Ok { dir_attributes, cookieverf: verf, entries, eof }) => {
+                Ok(gvfs_nfs3::ReaddirplusRes::Ok {
+                    dir_attributes,
+                    cookieverf: verf,
+                    entries,
+                    eof,
+                }) => {
                     let mut disk = self.disk.lock();
                     if let Some(attr) = dir_attributes {
                         disk.put_attr(dir, attr);
@@ -401,34 +411,35 @@ impl ProxyClient {
             && self.disk.lock().attr(a.file).is_some();
         if wb_allowed {
             let mut disk = self.disk.lock();
-            let mut attr = disk.attr(a.file).expect("checked above");
-            {
-                let mut st = self.state.lock();
-                st.wb_base.entry(a.file).or_insert(attr.mtime);
+            // Re-checked under one lock hold: the attribute could have
+            // been evicted since the wb_allowed probe. If it is gone the
+            // write simply forwards.
+            if let Some(mut attr) = disk.attr(a.file) {
+                {
+                    let mut st = self.state.lock();
+                    st.wb_base.entry(a.file).or_insert(attr.mtime);
+                }
+                disk.write_dirty(a.file, a.offset, a.data.clone());
+                let before =
+                    gvfs_nfs3::WccAttr { size: attr.size, mtime: attr.mtime, ctime: attr.ctime };
+                attr.size = attr.size.max(a.offset + a.data.len() as u64);
+                attr.used = attr.size;
+                let now = gvfs_netsim::now();
+                attr.mtime = NfsTime3 {
+                    seconds: (now.as_nanos() / 1_000_000_000) as u32,
+                    nseconds: (now.as_nanos() % 1_000_000_000) as u32,
+                };
+                attr.ctime = attr.mtime;
+                disk.put_attr_own_write(a.file, attr);
+                drop(disk);
+                self.served();
+                return encode(&WriteRes::Ok {
+                    file_wcc: WccData { before: Some(before), after: Some(attr) },
+                    count: a.data.len() as u32,
+                    committed: StableHow::FileSync,
+                    verf: 1,
+                });
             }
-            disk.write_dirty(a.file, a.offset, a.data.clone());
-            let before = gvfs_nfs3::WccAttr {
-                size: attr.size,
-                mtime: attr.mtime,
-                ctime: attr.ctime,
-            };
-            attr.size = attr.size.max(a.offset + a.data.len() as u64);
-            attr.used = attr.size;
-            let now = gvfs_netsim::now();
-            attr.mtime = NfsTime3 {
-                seconds: (now.as_nanos() / 1_000_000_000) as u32,
-                nseconds: (now.as_nanos() % 1_000_000_000) as u32,
-            };
-            attr.ctime = attr.mtime;
-            disk.put_attr_own_write(a.file, attr);
-            drop(disk);
-            self.served();
-            return encode(&WriteRes::Ok {
-                file_wcc: WccData { before: Some(before), after: Some(attr) },
-                count: a.data.len() as u32,
-                committed: StableHow::FileSync,
-                verf: 1,
-            });
         }
         let reply = self.forward(proc3::WRITE, args.to_vec(), Some(a.file))?;
         if let Ok(WriteRes::Ok { file_wcc, .. }) = gvfs_xdr::from_bytes::<WriteRes>(&reply) {
@@ -567,9 +578,8 @@ impl ProxyClient {
                 {
                     self.disk.lock().put_attr(dir, attr);
                 }
-            } else if let Ok(gvfs_nfs3::ReaddirplusRes::Ok {
-                dir_attributes, entries, ..
-            }) = gvfs_xdr::from_bytes::<gvfs_nfs3::ReaddirplusRes>(&reply)
+            } else if let Ok(gvfs_nfs3::ReaddirplusRes::Ok { dir_attributes, entries, .. }) =
+                gvfs_xdr::from_bytes::<gvfs_nfs3::ReaddirplusRes>(&reply)
             {
                 let mut disk = self.disk.lock();
                 if let Some(attr) = dir_attributes {
@@ -598,10 +608,8 @@ impl ProxyClient {
         loop {
             let last = *self.poll_ts.lock();
             let args = gvfs_xdr::to_bytes(&GetinvArgs { last_timestamp: last }).ok()?;
-            let bytes = self
-                .wan
-                .call(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc_ext::GETINV, args)
-                .ok()?;
+            let bytes =
+                self.wan.call(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc_ext::GETINV, args).ok()?;
             let res: GetinvRes = gvfs_xdr::from_bytes(&bytes).ok()?;
             if std::env::var_os("GVFS_DEBUG_POLL").is_some() {
                 eprintln!(
@@ -664,14 +672,16 @@ impl ProxyClient {
         };
         for (offset, data) in segments {
             let count = data.len() as u32;
-            let args = gvfs_xdr::to_bytes(&WriteArgs {
+            let Ok(args) = gvfs_xdr::to_bytes(&WriteArgs {
                 file: fh,
                 offset,
                 count,
                 stable: StableHow::FileSync,
                 data,
-            })
-            .expect("encode write-back");
+            }) else {
+                // Leave the segment dirty; a later flush retries it.
+                return;
+            };
             // Failures leave the segment dirty for a later retry.
             if self.forward(proc3::WRITE, args, Some(fh)).is_err() {
                 return;
@@ -772,10 +782,8 @@ impl ProxyClient {
                     // requested block) flushes the highest block so the
                     // server's file size becomes correct at once.
                     let mut remaining = blocks;
-                    let wanted = a
-                        .requested_offset
-                        .map(block_of)
-                        .or_else(|| remaining.last().copied());
+                    let wanted =
+                        a.requested_offset.map(block_of).or_else(|| remaining.last().copied());
                     if let Some(wanted) = wanted {
                         if let Some(pos) = remaining.iter().position(|b| *b == wanted) {
                             remaining.remove(pos);
@@ -834,10 +842,9 @@ impl ProxyClient {
         let mut corrupted = Vec::new();
         for fh in dirty {
             let base = self.state.lock().wb_base.get(&fh).copied();
-            let args = gvfs_xdr::to_bytes(&GetattrArgs { object: fh }).expect("encode");
-            let current = self
-                .forward(proc3::GETATTR, args, Some(fh))
+            let current = gvfs_xdr::to_bytes(&GetattrArgs { object: fh })
                 .ok()
+                .and_then(|args| self.forward(proc3::GETATTR, args, Some(fh)).ok())
                 .and_then(|bytes| gvfs_xdr::from_bytes::<GetattrRes>(&bytes).ok());
             let unchanged = matches!(
                 (current, base),

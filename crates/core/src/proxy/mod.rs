@@ -92,11 +92,13 @@ impl OpClass {
     /// ops, the directory for namespace ops).
     pub fn delegation_target(&self) -> Option<Fh3> {
         match self {
-            OpClass::AttrRead { fh } | OpClass::Read { fh, .. } | OpClass::Write { fh, .. }
+            OpClass::AttrRead { fh }
+            | OpClass::Read { fh, .. }
+            | OpClass::Write { fh, .. }
             | OpClass::SetAttr { fh } => Some(*fh),
-            OpClass::Lookup { dir, .. } | OpClass::DirModify { dir, .. } | OpClass::ReadDir { dir } => {
-                Some(*dir)
-            }
+            OpClass::Lookup { dir, .. }
+            | OpClass::DirModify { dir, .. }
+            | OpClass::ReadDir { dir } => Some(*dir),
             OpClass::Other => None,
         }
     }
@@ -194,7 +196,8 @@ mod tests {
         let args = gvfs_xdr::to_bytes(&gvfs_nfs3::GetattrArgs { object: fh }).unwrap();
         assert_eq!(classify(proc3::GETATTR, &args).unwrap(), OpClass::AttrRead { fh });
 
-        let args = gvfs_xdr::to_bytes(&gvfs_nfs3::ReadArgs { file: fh, offset: 64, count: 32 }).unwrap();
+        let args =
+            gvfs_xdr::to_bytes(&gvfs_nfs3::ReadArgs { file: fh, offset: 64, count: 32 }).unwrap();
         let c = classify(proc3::READ, &args).unwrap();
         assert_eq!(c, OpClass::Read { fh, offset: 64, count: 32 });
         assert!(!c.is_modification());

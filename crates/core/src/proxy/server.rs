@@ -176,7 +176,11 @@ impl ProxyServer {
                             if let Ok(res) = gvfs_xdr::from_bytes::<RecoverRes>(&bytes) {
                                 answered.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                                 let now = gvfs_netsim::now();
-                                server.state.lock().deleg.recover_client(client, &res.dirty_files, now);
+                                server.state.lock().deleg.recover_client(
+                                    client,
+                                    &res.dirty_files,
+                                    now,
+                                );
                             }
                         }
                     }

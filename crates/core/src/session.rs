@@ -162,12 +162,17 @@ impl SessionBuilder {
         );
         proxy_server.set_invalidation_capacity(config.invalidation_buffer);
         let mut ps_dispatcher = Dispatcher::new();
-        ps_dispatcher.register_arc(Arc::clone(&proxy_server) as Arc<dyn gvfs_rpc::dispatch::RpcService>);
+        ps_dispatcher
+            .register_arc(Arc::clone(&proxy_server) as Arc<dyn gvfs_rpc::dispatch::RpcService>);
         // MOUNT passes through the proxy server to the NFS host.
         ps_dispatcher.register(ForwardService {
             program: gvfs_nfs3::mount::MOUNT_PROGRAM,
             version: gvfs_nfs3::mount::MOUNT_V3,
-            upstream: SimRpcClient::new(server_loop.forward(), Arc::clone(&nfs_node), lan_stats.clone()),
+            upstream: SimRpcClient::new(
+                server_loop.forward(),
+                Arc::clone(&nfs_node),
+                lan_stats.clone(),
+            ),
         });
         let proxy_server_node =
             ServerNode::new("proxy-server", ps_dispatcher, config.proxy_proc_time);
@@ -183,20 +188,16 @@ impl SessionBuilder {
                 .and_then(|links| links.get(i).copied())
                 .unwrap_or(self.wan);
             let wan_link = Link::new(link_config);
-            let cred = GvfsCred { session_key: self.session_key, client_id: id, callback_port: 7000 + id };
+            let cred =
+                GvfsCred { session_key: self.session_key, client_id: id, callback_port: 7000 + id };
             let wan = SimRpcClient::new(
                 wan_link.forward(),
                 Arc::clone(&proxy_server_node),
                 wan_stats.clone(),
             )
             .with_credential(OpaqueAuth::gvfs(&cred).expect("encode credential"));
-            let proxy = ProxyClient::new(
-                id,
-                config.model,
-                config.write_back,
-                wan,
-                config.disk_cache_bytes,
-            );
+            let proxy =
+                ProxyClient::new(id, config.model, config.write_back, wan, config.disk_cache_bytes);
 
             // Callback service node, reached from the proxy server over
             // the reverse WAN direction.

@@ -34,10 +34,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             len: len.min(SPACE - offset),
             byte
         }),
-        (0usize..SPACE - 1, 1usize..1024).prop_map(|(offset, len)| Op::CleanRange {
-            offset,
-            len: len.min(SPACE - offset),
-        }),
+        (0usize..SPACE - 1, 1usize..1024)
+            .prop_map(|(offset, len)| Op::CleanRange { offset, len: len.min(SPACE - offset) }),
         Just(Op::DropClean),
     ]
 }
@@ -142,10 +140,10 @@ proptest! {
             let mask = model.dirty_mask();
             let mut real_mask = vec![false; SPACE];
             for (off, len) in fc.dirty_ranges() {
-                for i in off as usize..off as usize + len {
-                    prop_assert!(i < SPACE);
-                    prop_assert!(!real_mask[i], "overlapping dirty extents");
-                    real_mask[i] = true;
+                prop_assert!(off as usize + len <= SPACE);
+                for flag in &mut real_mask[off as usize..off as usize + len] {
+                    prop_assert!(!*flag, "overlapping dirty extents");
+                    *flag = true;
                 }
             }
             prop_assert_eq!(&real_mask, &mask, "dirty mask diverged after {:?}", op);

@@ -117,7 +117,8 @@ fn polling_getinv_traffic_is_periodic_and_small() {
         let before = wan.snapshot();
         gvfs_netsim::sleep(Duration::from_secs(300)); // ten polling windows
         let delta = wan.snapshot().since(&before);
-        let getinvs = delta.calls(gvfs_core::protocol::GVFS_PROXY_PROGRAM, gvfs_core::protocol::proc_ext::GETINV);
+        let getinvs = delta
+            .calls(gvfs_core::protocol::GVFS_PROXY_PROGRAM, gvfs_core::protocol::proc_ext::GETINV);
         assert!((9..=11).contains(&getinvs), "expected ~10 GETINVs, got {getinvs}");
         handle.shutdown();
     });
@@ -318,7 +319,7 @@ fn proxy_server_crash_polling_rebootstraps_with_force_invalidate() {
         gvfs_netsim::sleep(Duration::from_secs(2));
         s2.restart_proxy_server();
         gvfs_netsim::sleep(Duration::from_secs(30)); // poller re-bootstraps
-        // Everything still works; soft state was rebuilt.
+                                                     // Everything still works; soft state was rebuilt.
         assert_eq!(client.read_file("/f").unwrap(), b"pre-crash");
         client.write_file("/g", b"post-crash").unwrap();
         assert_eq!(client.read_file("/g").unwrap(), b"post-crash");
@@ -341,8 +342,8 @@ fn proxy_server_crash_delegation_recovers_dirty_state() {
         let c = NfsClient::new(t0, root, MountOptions::noac());
         let fh = c.write_file("/survivor", b"seed").unwrap();
         c.write(fh, 0, b"dirty-after-crash").unwrap(); // delayed locally
-        // Wait for the consumer to have contacted the session too (the
-        // persisted client list drives the recovery multicast).
+                                                       // Wait for the consumer to have contacted the session too (the
+                                                       // persisted client list drives the recovery multicast).
         gvfs_netsim::sleep(Duration::from_secs(10));
         // Proxy server crashes and recovers; RECOVER callbacks rebuild
         // the write-delegation state from our dirty list.
@@ -381,8 +382,8 @@ fn proxy_client_crash_reconciles_or_corrupts() {
         let conflict_fh = c.write_file("/conflicted", b"seed-b").unwrap();
         c.write(clean_fh, 0, b"safe-x").unwrap(); // delayed
         c.write(conflict_fh, 0, b"lost-y").unwrap(); // delayed, will conflict
-        // "Crash": the victim machine drops off the network, so the
-        // recall triggered by the interferer cannot flush its dirty data.
+                                                     // "Crash": the victim machine drops off the network, so the
+                                                     // recall triggered by the interferer cannot flush its dirty data.
         s2.wan_link(0).set_partitioned(true);
         gvfs_netsim::sleep(Duration::from_secs(100));
         s2.wan_link(0).set_partitioned(false);
@@ -393,10 +394,7 @@ fn proxy_client_crash_reconciles_or_corrupts() {
         assert_eq!(c.read_file("/clean").unwrap(), b"safe-x");
         // The conflicted file reports an I/O error on access.
         c.drop_caches();
-        assert!(matches!(
-            c.read_file("/conflicted").unwrap_err(),
-            ClientError::Nfs(Nfsstat3::Io)
-        ));
+        assert!(matches!(c.read_file("/conflicted").unwrap_err(), ClientError::Nfs(Nfsstat3::Io)));
         handle.shutdown();
     });
     sim.spawn("interferer", move || {

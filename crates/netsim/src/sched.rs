@@ -8,7 +8,6 @@
 
 use crate::time::SimTime;
 
-
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -67,9 +66,7 @@ impl Scheduler {
         let candidate = st
             .actors
             .iter()
-            .filter_map(|(&id, rec)| {
-                rec.block.as_ref().and_then(|b| b.wake_at).map(|t| (t, id))
-            })
+            .filter_map(|(&id, rec)| rec.block.as_ref().and_then(|b| b.wake_at).map(|t| (t, id)))
             .min();
         match candidate {
             Some((wake, id)) => {
@@ -79,8 +76,7 @@ impl Scheduler {
             }
             None => {
                 if st.live > 0 && st.failed.is_none() {
-                    let stuck: Vec<&str> =
-                        st.actors.values().map(|r| r.name.as_str()).collect();
+                    let stuck: Vec<&str> = st.actors.values().map(|r| r.name.as_str()).collect();
                     st.failed = Some(format!(
                         "virtual-time deadlock at {}: all live actors parked: {stuck:?}",
                         st.time
@@ -134,7 +130,11 @@ impl Scheduler {
                 id,
                 ActorRec {
                     name: name.to_string(),
-                    block: Some(Block { kind: BlockKind::Sleeping, wake_at: Some(birth), unparked: false }),
+                    block: Some(Block {
+                        kind: BlockKind::Sleeping,
+                        wake_at: Some(birth),
+                        unparked: false,
+                    }),
                     permit: false,
                 },
             );
@@ -211,9 +211,7 @@ thread_local! {
 fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
     CURRENT.with(|c| {
         let borrow = c.borrow();
-        let ctx = borrow
-            .as_ref()
-            .expect("this operation must run inside a simulation actor");
+        let ctx = borrow.as_ref().expect("this operation must run inside a simulation actor");
         f(ctx)
     })
 }
@@ -368,10 +366,7 @@ impl Default for Sim {
 impl std::fmt::Debug for Sim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let st = self.sched.state.lock();
-        f.debug_struct("Sim")
-            .field("time", &st.time)
-            .field("live_actors", &st.live)
-            .finish()
+        f.debug_struct("Sim").field("time", &st.time).field("live_actors", &st.live).finish()
     }
 }
 
@@ -434,6 +429,18 @@ impl Sim {
     }
 }
 
+/// Spawns an actor from within another actor, on the same scheduler.
+///
+/// Equivalent to [`Sim::spawn`] but callable where the [`Sim`] handle is
+/// not available; the child starts at the parent's current virtual time.
+///
+/// # Panics
+///
+/// Panics when called from a thread that is not a simulation actor.
+pub fn spawn_from_actor<F: FnOnce() + Send + 'static>(name: &str, f: F) -> ActorHandle {
+    with_ctx(|ctx| ctx.sched.spawn_inner(name, Box::new(f)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,10 +472,7 @@ mod tests {
         }
         sim.run();
         let log = log.lock();
-        assert_eq!(
-            *log,
-            vec![("b", 20), ("a", 30), ("b", 40), ("a", 60), ("b", 60), ("a", 90)]
-        );
+        assert_eq!(*log, vec![("b", 20), ("a", 30), ("b", 40), ("a", 60), ("b", 60), ("a", 90)]);
     }
 
     #[test]
@@ -578,7 +582,7 @@ mod tests {
     #[should_panic(expected = "deadlock")]
     fn all_parked_is_deadlock() {
         let sim = Sim::new();
-        sim.spawn("stuck", || park());
+        sim.spawn("stuck", park);
         sim.run();
     }
 
@@ -625,16 +629,4 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(50));
         assert!(!*spawned.lock(), "the actor body never ran");
     }
-}
-
-/// Spawns an actor from within another actor, on the same scheduler.
-///
-/// Equivalent to [`Sim::spawn`] but callable where the [`Sim`] handle is
-/// not available; the child starts at the parent's current virtual time.
-///
-/// # Panics
-///
-/// Panics when called from a thread that is not a simulation actor.
-pub fn spawn_from_actor<F: FnOnce() + Send + 'static>(name: &str, f: F) -> ActorHandle {
-    with_ctx(|ctx| ctx.sched.spawn_inner(name, Box::new(f)))
 }

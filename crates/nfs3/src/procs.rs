@@ -5,7 +5,7 @@
 //! whatever attributes the RFC returns on failure.
 
 use crate::status::Nfsstat3;
-use crate::types::{Fattr3, Fh3, PostOpAttr, PostOpFh3, Sattr3, NfsTime3, WccData};
+use crate::types::{Fattr3, Fh3, NfsTime3, PostOpAttr, PostOpFh3, Sattr3, WccData};
 use gvfs_xdr::{Decoder, Encoder, Xdr, XdrError};
 
 /// Maximum filename length accepted (protocol hygiene bound).
@@ -577,7 +577,11 @@ impl Xdr for CreateArgs {
         self.how.encode(enc)
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
-        Ok(CreateArgs { dir: Fh3::decode(dec)?, name: get_name(dec)?, how: CreateHow::decode(dec)? })
+        Ok(CreateArgs {
+            dir: Fh3::decode(dec)?,
+            name: get_name(dec)?,
+            how: CreateHow::decode(dec)?,
+        })
     }
 }
 
@@ -1099,7 +1103,16 @@ pub enum FsstatRes {
 impl Xdr for FsstatRes {
     fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
         match self {
-            FsstatRes::Ok { obj_attributes, tbytes, fbytes, abytes, tfiles, ffiles, afiles, invarsec } => {
+            FsstatRes::Ok {
+                obj_attributes,
+                tbytes,
+                fbytes,
+                abytes,
+                tfiles,
+                ffiles,
+                afiles,
+                invarsec,
+            } => {
                 Nfsstat3::Ok.encode(enc)?;
                 obj_attributes.encode(enc)?;
                 enc.put_u64(*tbytes);
@@ -1393,7 +1406,11 @@ mod tests {
 
     #[test]
     fn mkdir_symlink_roundtrip() {
-        rt(&MkdirArgs { dir: Fh3::from_fileid(1), name: "d".into(), attributes: Sattr3::default() });
+        rt(&MkdirArgs {
+            dir: Fh3::from_fileid(1),
+            name: "d".into(),
+            attributes: Sattr3::default(),
+        });
         rt(&SymlinkArgs {
             dir: Fh3::from_fileid(1),
             name: "l".into(),

@@ -232,7 +232,11 @@ impl Xdr for WccAttr {
         self.ctime.encode(enc)
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
-        Ok(WccAttr { size: dec.get_u64()?, mtime: NfsTime3::decode(dec)?, ctime: NfsTime3::decode(dec)? })
+        Ok(WccAttr {
+            size: dec.get_u64()?,
+            mtime: NfsTime3::decode(dec)?,
+            ctime: NfsTime3::decode(dec)?,
+        })
     }
 }
 
@@ -388,7 +392,11 @@ mod tests {
     fn wcc_data_roundtrip() {
         rt(&WccData::default());
         let wcc = WccData {
-            before: Some(WccAttr { size: 1, mtime: NfsTime3::default(), ctime: NfsTime3::default() }),
+            before: Some(WccAttr {
+                size: 1,
+                mtime: NfsTime3::default(),
+                ctime: NfsTime3::default(),
+            }),
             after: None,
         };
         rt(&wcc);

@@ -103,7 +103,9 @@ impl Dispatcher {
             });
         }
         let Some(service) = self.services.get(&call.program()) else {
-            return ReplyBody::from_error(&RpcError::ProgramUnavailable { program: call.program() });
+            return ReplyBody::from_error(&RpcError::ProgramUnavailable {
+                program: call.program(),
+            });
         };
         if service.version() != call.version() {
             return ReplyBody::from_error(&RpcError::ProgramMismatch {
@@ -152,7 +154,8 @@ mod tests {
 
     #[test]
     fn successful_call_doubles() {
-        let call = CallBody::new(200001, 1, 1, OpaqueAuth::none(), gvfs_xdr::to_bytes(&21u32).unwrap());
+        let call =
+            CallBody::new(200001, 1, 1, OpaqueAuth::none(), gvfs_xdr::to_bytes(&21u32).unwrap());
         let reply = dispatcher().dispatch(1, &call);
         let n: u32 = gvfs_xdr::from_bytes(reply.results().unwrap()).unwrap();
         assert_eq!(n, 42);
@@ -185,7 +188,10 @@ mod tests {
     fn unknown_procedure_is_proc_unavail() {
         let call = CallBody::new(200001, 1, 99, OpaqueAuth::none(), vec![]);
         let reply = dispatcher().dispatch(1, &call);
-        assert!(matches!(reply, ReplyBody::Accepted { stat: AcceptStat::ProcedureUnavailable, .. }));
+        assert!(matches!(
+            reply,
+            ReplyBody::Accepted { stat: AcceptStat::ProcedureUnavailable, .. }
+        ));
     }
 
     #[test]
@@ -203,10 +209,7 @@ mod tests {
         bytes[3] = 3; // rpc_version = 3
         call = gvfs_xdr::from_bytes(&bytes).unwrap();
         let reply = dispatcher().dispatch(1, &call);
-        assert!(matches!(
-            reply,
-            ReplyBody::Denied(RejectedReply::RpcMismatch { low: 2, high: 2 })
-        ));
+        assert!(matches!(reply, ReplyBody::Denied(RejectedReply::RpcMismatch { low: 2, high: 2 })));
     }
 
     #[test]
@@ -226,7 +229,8 @@ mod tests {
         }
         let mut d = dispatcher();
         d.register(Tripler);
-        let call = CallBody::new(200001, 1, 1, OpaqueAuth::none(), gvfs_xdr::to_bytes(&10u32).unwrap());
+        let call =
+            CallBody::new(200001, 1, 1, OpaqueAuth::none(), gvfs_xdr::to_bytes(&10u32).unwrap());
         let n: u32 = gvfs_xdr::from_bytes(d.dispatch(1, &call).results().unwrap()).unwrap();
         assert_eq!(n, 30);
     }

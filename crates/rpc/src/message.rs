@@ -357,21 +357,25 @@ impl ReplyBody {
     /// Builds the reply corresponding to a dispatch error.
     pub fn from_error(err: &RpcError) -> Self {
         match err {
-            RpcError::ProgramUnavailable { .. } => {
-                ReplyBody::Accepted { verifier: OpaqueAuth::none(), stat: AcceptStat::ProgramUnavailable }
-            }
+            RpcError::ProgramUnavailable { .. } => ReplyBody::Accepted {
+                verifier: OpaqueAuth::none(),
+                stat: AcceptStat::ProgramUnavailable,
+            },
             RpcError::ProgramMismatch { low, high, .. } => ReplyBody::Accepted {
                 verifier: OpaqueAuth::none(),
                 stat: AcceptStat::ProgramMismatch { low: *low, high: *high },
             },
-            RpcError::ProcedureUnavailable { .. } => {
-                ReplyBody::Accepted { verifier: OpaqueAuth::none(), stat: AcceptStat::ProcedureUnavailable }
-            }
+            RpcError::ProcedureUnavailable { .. } => ReplyBody::Accepted {
+                verifier: OpaqueAuth::none(),
+                stat: AcceptStat::ProcedureUnavailable,
+            },
             RpcError::GarbageArgs | RpcError::Xdr(_) => {
                 ReplyBody::Accepted { verifier: OpaqueAuth::none(), stat: AcceptStat::GarbageArgs }
             }
             RpcError::AuthError => ReplyBody::Denied(RejectedReply::AuthError(1)),
-            _ => ReplyBody::Accepted { verifier: OpaqueAuth::none(), stat: AcceptStat::SystemError },
+            _ => {
+                ReplyBody::Accepted { verifier: OpaqueAuth::none(), stat: AcceptStat::SystemError }
+            }
         }
     }
 
@@ -510,7 +514,8 @@ mod tests {
 
     #[test]
     fn reply_success_roundtrip() {
-        let msg = RpcMessage { xid: 7, body: MessageBody::Reply(ReplyBody::success(vec![1, 2, 3, 4])) };
+        let msg =
+            RpcMessage { xid: 7, body: MessageBody::Reply(ReplyBody::success(vec![1, 2, 3, 4])) };
         assert_eq!(roundtrip(&msg), msg);
     }
 
@@ -589,9 +594,6 @@ mod tests {
     #[test]
     fn from_error_covers_transport_errors_as_system() {
         let reply = ReplyBody::from_error(&RpcError::Timeout);
-        assert!(matches!(
-            reply,
-            ReplyBody::Accepted { stat: AcceptStat::SystemError, .. }
-        ));
+        assert!(matches!(reply, ReplyBody::Accepted { stat: AcceptStat::SystemError, .. }));
     }
 }

@@ -99,7 +99,9 @@ impl RecordReader {
             let last = header & 0x8000_0000 != 0;
             let len = (header & 0x7fff_ffff) as usize;
             if self.record.len() + len > MAX_RECORD {
-                return Err(RpcError::SystemError { detail: format!("record exceeds {MAX_RECORD} bytes") });
+                return Err(RpcError::SystemError {
+                    detail: format!("record exceeds {MAX_RECORD} bytes"),
+                });
             }
             if self.buf.len() < 4 + len {
                 return Ok(());

@@ -115,9 +115,17 @@ impl StatsSnapshot {
 
 impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:>10} {:>10} {:>10} {:>12} {:>12}", "prog", "proc", "calls", "bytes_out", "bytes_in")?;
+        writeln!(
+            f,
+            "{:>10} {:>10} {:>10} {:>12} {:>12}",
+            "prog", "proc", "calls", "bytes_out", "bytes_in"
+        )?;
         for ((prog, pr), c) in &self.counters {
-            writeln!(f, "{prog:>10} {pr:>10} {:>10} {:>12} {:>12}", c.calls, c.bytes_out, c.bytes_in)?;
+            writeln!(
+                f,
+                "{prog:>10} {pr:>10} {:>10} {:>12} {:>12}",
+                c.calls, c.bytes_out, c.bytes_in
+            )?;
         }
         Ok(())
     }

@@ -55,6 +55,7 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct TcpRpcServer {
     listener: TcpListener,
+    addr: SocketAddr,
     dispatcher: Arc<Dispatcher>,
 }
 
@@ -74,17 +75,13 @@ impl TcpRpcServer {
     /// I/O errors from binding.
     pub fn bind<A: ToSocketAddrs>(addr: A, dispatcher: Dispatcher) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        Ok(TcpRpcServer { listener, dispatcher: Arc::new(dispatcher) })
+        let addr = listener.local_addr()?;
+        Ok(TcpRpcServer { listener, addr, dispatcher: Arc::new(dispatcher) })
     }
 
-    /// The bound address.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the socket has no local address (cannot happen after a
-    /// successful bind).
+    /// The bound address, captured at bind time.
     pub fn local_addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound socket has an address")
+        self.addr
     }
 
     /// Starts the acceptor thread and returns the control handle.
@@ -158,18 +155,21 @@ fn serve_connection(mut stream: TcpStream, dispatcher: &Dispatcher) -> std::io::
             let Ok(msg) = gvfs_xdr::from_bytes::<RpcMessage>(&record) else { continue };
             let MessageBody::Call(call) = msg.body else { continue };
             let key = DrcKey { client: peer.clone(), xid: msg.xid, procedure: call.procedure() };
-            let reply_bytes = {
-                let mut drc = drc.lock();
-                if let Some(cached) = drc.lookup(&key) {
-                    cached.to_vec()
-                } else {
-                    let reply = dispatcher.dispatch(msg.xid, &call);
-                    let reply_msg = RpcMessage { xid: msg.xid, body: MessageBody::Reply(reply) };
-                    let bytes = gvfs_xdr::to_bytes(&reply_msg)
-                        .expect("replies always encode");
-                    drc.insert(key, bytes.clone());
-                    bytes
-                }
+            // The DRC lock is released before dispatching: handlers may
+            // perform their own (slow) RPCs and must not run under it.
+            let cached = drc.lock().lookup(&key).map(<[u8]>::to_vec);
+            let reply_bytes = if let Some(bytes) = cached {
+                bytes
+            } else {
+                let reply = dispatcher.dispatch(msg.xid, &call);
+                let reply_msg = RpcMessage { xid: msg.xid, body: MessageBody::Reply(reply) };
+                let Ok(bytes) = gvfs_xdr::to_bytes(&reply_msg) else {
+                    // An unencodable reply is a local protocol bug; skip
+                    // the record rather than kill the connection thread.
+                    continue;
+                };
+                drc.lock().insert(key, bytes.clone());
+                bytes
             };
             stream.write_all(&write_record(&reply_bytes, MAX_FRAGMENT))?;
         }
@@ -191,7 +191,11 @@ impl TcpRpcClient {
     ///
     /// I/O errors from connecting.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        Ok(TcpRpcClient { stream: TcpStream::connect(addr)?, reader: RecordReader::new(), next_xid: 1 })
+        Ok(TcpRpcClient {
+            stream: TcpStream::connect(addr)?,
+            reader: RecordReader::new(),
+            next_xid: 1,
+        })
     }
 
     /// Performs one blocking call.

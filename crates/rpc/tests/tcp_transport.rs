@@ -89,7 +89,7 @@ fn duplicate_xid_is_replayed_not_reexecuted() {
     let framed = write_record(&bytes, MAX_FRAGMENT);
 
     let mut reader = RecordReader::new();
-    let mut read_reply = |stream: &mut std::net::TcpStream, reader: &mut RecordReader| {
+    let read_reply = |stream: &mut std::net::TcpStream, reader: &mut RecordReader| {
         let mut buf = [0u8; 4096];
         loop {
             if let Some(record) = reader.pop() {

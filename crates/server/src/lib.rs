@@ -35,10 +35,9 @@
 use gvfs_nfs3::{
     access, proc3, AccessArgs, AccessRes, CommitArgs, CommitRes, CreateArgs, CreateHow, DirOpArgs,
     DirOpRes, Entry3, Fattr3, Fh3, FsinfoRes, FsstatRes, GetattrArgs, GetattrRes, LinkArgs,
-    LinkRes, LookupArgs, LookupRes, MkdirArgs, Nfsstat3, PreOpAttr, ReadArgs, ReadRes,
-    ReaddirArgs, ReaddirRes, ReadlinkArgs, ReadlinkRes, RenameArgs, RenameRes, Sattr3,
-    SetattrArgs, SetattrRes, StableHow, SymlinkArgs, TimeHow, WccData, WriteArgs, WriteRes,
-    NFS_PROGRAM, NFS_V3,
+    LinkRes, LookupArgs, LookupRes, MkdirArgs, Nfsstat3, PreOpAttr, ReadArgs, ReadRes, ReaddirArgs,
+    ReaddirRes, ReadlinkArgs, ReadlinkRes, RenameArgs, RenameRes, Sattr3, SetattrArgs, SetattrRes,
+    StableHow, SymlinkArgs, TimeHow, WccData, WriteArgs, WriteRes, NFS_PROGRAM, NFS_V3,
 };
 use gvfs_rpc::dispatch::RpcService;
 use gvfs_rpc::RpcError;
@@ -177,7 +176,11 @@ impl Nfs3Server {
             Ok(attr) => {
                 let granted = match attr.kind {
                     gvfs_vfs::FileKind::Directory => {
-                        access::READ | access::LOOKUP | access::MODIFY | access::EXTEND | access::DELETE
+                        access::READ
+                            | access::LOOKUP
+                            | access::MODIFY
+                            | access::EXTEND
+                            | access::DELETE
                     }
                     _ => access::READ | access::MODIFY | access::EXTEND | access::EXECUTE,
                 };
@@ -190,7 +193,9 @@ impl Nfs3Server {
     fn readlink(&self, args: ReadlinkArgs) -> ReadlinkRes {
         match self.vfs.readlink(FileId::from_u64(args.symlink.fileid())) {
             Ok(data) => ReadlinkRes::Ok { symlink_attributes: self.attr(args.symlink), data },
-            Err(e) => ReadlinkRes::Fail { status: e.into(), symlink_attributes: self.attr(args.symlink) },
+            Err(e) => {
+                ReadlinkRes::Fail { status: e.into(), symlink_attributes: self.attr(args.symlink) }
+            }
         }
     }
 
@@ -230,9 +235,10 @@ impl Nfs3Server {
         let before = self.pre_attr(args.dir);
         let now = self.now();
         let (result, sattr) = match &args.how {
-            CreateHow::Unchecked(sattr) => {
-                (self.vfs.create_unchecked(dir, &args.name, sattr.mode.unwrap_or(0o644), now), Some(*sattr))
-            }
+            CreateHow::Unchecked(sattr) => (
+                self.vfs.create_unchecked(dir, &args.name, sattr.mode.unwrap_or(0o644), now),
+                Some(*sattr),
+            ),
             CreateHow::Guarded(sattr) => {
                 (self.vfs.create(dir, &args.name, sattr.mode.unwrap_or(0o644), now), Some(*sattr))
             }
@@ -243,7 +249,8 @@ impl Nfs3Server {
                 if let Some(sattr) = sattr {
                     // Only size matters post-create (mode was set above).
                     if sattr.size.is_some() {
-                        let _ = self.apply_sattr(id, &Sattr3 { size: sattr.size, ..Default::default() });
+                        let _ = self
+                            .apply_sattr(id, &Sattr3 { size: sattr.size, ..Default::default() });
                     }
                 }
                 let fh = Fh3::from_fileid(id.as_u64());
@@ -513,10 +520,8 @@ impl RpcService for MountServer {
         credential: &gvfs_rpc::message::OpaqueAuth,
     ) -> Result<Vec<u8>, RpcError> {
         use gvfs_nfs3::mount::{mount_proc, ExportEntry, ExportRes};
-        let client = credential
-            .as_sys()
-            .map(|c| c.machine_name)
-            .unwrap_or_else(|_| "anonymous".to_string());
+        let client =
+            credential.as_sys().map(|c| c.machine_name).unwrap_or_else(|_| "anonymous".to_string());
         match procedure {
             mount_proc::NULL => Ok(Vec::new()),
             mount_proc::MNT => reply(&self.mnt(args(payload)?, &client)),
@@ -623,14 +628,21 @@ mod tests {
         let written: WriteRes = call(
             &s,
             proc3::WRITE,
-            &WriteArgs { file: fh, offset: 0, count: 5, stable: StableHow::FileSync, data: b"hello".to_vec() },
+            &WriteArgs {
+                file: fh,
+                offset: 0,
+                count: 5,
+                stable: StableHow::FileSync,
+                data: b"hello".to_vec(),
+            },
         );
         assert!(matches!(written, WriteRes::Ok { count: 5, committed: StableHow::FileSync, .. }));
         let read: ReadRes = call(&s, proc3::READ, &ReadArgs { file: fh, offset: 0, count: 100 });
         let ReadRes::Ok { data, eof, .. } = read else { panic!("read failed") };
         assert_eq!(data, b"hello");
         assert!(eof);
-        let looked: LookupRes = call(&s, proc3::LOOKUP, &LookupArgs { dir: root, name: "data.txt".into() });
+        let looked: LookupRes =
+            call(&s, proc3::LOOKUP, &LookupArgs { dir: root, name: "data.txt".into() });
         assert!(matches!(looked, LookupRes::Ok { object, .. } if object == fh));
     }
 
@@ -647,7 +659,8 @@ mod tests {
     #[test]
     fn stale_handle_reported() {
         let s = server();
-        let res: GetattrRes = call(&s, proc3::GETATTR, &GetattrArgs { object: Fh3::from_fileid(9999) });
+        let res: GetattrRes =
+            call(&s, proc3::GETATTR, &GetattrArgs { object: Fh3::from_fileid(9999) });
         assert_eq!(res, GetattrRes::Fail(Nfsstat3::Stale));
     }
 
@@ -657,13 +670,23 @@ mod tests {
         let created: gvfs_nfs3::NewObjRes = call(
             &s,
             proc3::CREATE,
-            &CreateArgs { dir: s.root_fh(), name: "w".into(), how: CreateHow::Unchecked(Sattr3::default()) },
+            &CreateArgs {
+                dir: s.root_fh(),
+                name: "w".into(),
+                how: CreateHow::Unchecked(Sattr3::default()),
+            },
         );
         let gvfs_nfs3::NewObjRes::Ok { obj: Some(fh), .. } = created else { panic!() };
         let res: WriteRes = call(
             &s,
             proc3::WRITE,
-            &WriteArgs { file: fh, offset: 0, count: 3, stable: StableHow::Unstable, data: vec![1, 2, 3] },
+            &WriteArgs {
+                file: fh,
+                offset: 0,
+                count: 3,
+                stable: StableHow::Unstable,
+                data: vec![1, 2, 3],
+            },
         );
         let WriteRes::Ok { file_wcc, .. } = res else { panic!() };
         assert_eq!(file_wcc.before.unwrap().size, 0);
@@ -690,14 +713,19 @@ mod tests {
         let created: gvfs_nfs3::NewObjRes = call(
             &s,
             proc3::CREATE,
-            &CreateArgs { dir: root, name: "orig".into(), how: CreateHow::Unchecked(Sattr3::default()) },
+            &CreateArgs {
+                dir: root,
+                name: "orig".into(),
+                how: CreateHow::Unchecked(Sattr3::default()),
+            },
         );
         let gvfs_nfs3::NewObjRes::Ok { obj: Some(fh), .. } = created else { panic!() };
         let linked: LinkRes =
             call(&s, proc3::LINK, &LinkArgs { file: fh, dir: root, name: "alias".into() });
         assert_eq!(linked.status, Nfsstat3::Ok);
         assert_eq!(linked.file_attributes.unwrap().nlink, 2);
-        let removed: DirOpRes = call(&s, proc3::REMOVE, &DirOpArgs { dir: root, name: "orig".into() });
+        let removed: DirOpRes =
+            call(&s, proc3::REMOVE, &DirOpArgs { dir: root, name: "orig".into() });
         assert_eq!(removed.status, Nfsstat3::Ok);
         let res: GetattrRes = call(&s, proc3::GETATTR, &GetattrArgs { object: fh });
         assert!(matches!(res, GetattrRes::Ok(a) if a.nlink == 1));
@@ -734,7 +762,11 @@ mod tests {
         let created: gvfs_nfs3::NewObjRes = call(
             &s,
             proc3::CREATE,
-            &CreateArgs { dir: s.root_fh(), name: "g".into(), how: CreateHow::Unchecked(Sattr3::default()) },
+            &CreateArgs {
+                dir: s.root_fh(),
+                name: "g".into(),
+                how: CreateHow::Unchecked(Sattr3::default()),
+            },
         );
         let gvfs_nfs3::NewObjRes::Ok { obj: Some(fh), .. } = created else { panic!() };
         let res: SetattrRes = call(
@@ -794,12 +826,18 @@ mod tests {
         let vfs = s.vfs();
         for i in 0..5 {
             let f = vfs.create(vfs.root(), &format!("p{i}"), 0o644, Timestamp::default()).unwrap();
-            vfs.write(f, 0, &vec![7u8; 10], Timestamp::default()).unwrap();
+            vfs.write(f, 0, &[7u8; 10], Timestamp::default()).unwrap();
         }
         let res: ReaddirplusRes = call(
             &s,
             proc3::READDIRPLUS,
-            &ReaddirplusArgs { dir: s.root_fh(), cookie: 0, cookieverf: 0, dircount: 8192, maxcount: 32768 },
+            &ReaddirplusArgs {
+                dir: s.root_fh(),
+                cookie: 0,
+                cookieverf: 0,
+                dircount: 8192,
+                maxcount: 32768,
+            },
         );
         let ReaddirplusRes::Ok { entries, eof: true, .. } = res else { panic!("{res:?}") };
         assert_eq!(entries.len(), 5);
@@ -823,7 +861,10 @@ mod tests {
         // Mounting the right path yields the root handle.
         let ok: MntRes = gvfs_xdr::from_bytes(
             &mount
-                .call(mount_proc::MNT, &gvfs_xdr::to_bytes(&MntArgs { dirpath: "/export/grid".into() }).unwrap())
+                .call(
+                    mount_proc::MNT,
+                    &gvfs_xdr::to_bytes(&MntArgs { dirpath: "/export/grid".into() }).unwrap(),
+                )
                 .unwrap(),
         )
         .unwrap();
@@ -834,14 +875,20 @@ mod tests {
         // A wrong path is refused.
         let bad: MntRes = gvfs_xdr::from_bytes(
             &mount
-                .call(mount_proc::MNT, &gvfs_xdr::to_bytes(&MntArgs { dirpath: "/wrong".into() }).unwrap())
+                .call(
+                    mount_proc::MNT,
+                    &gvfs_xdr::to_bytes(&MntArgs { dirpath: "/wrong".into() }).unwrap(),
+                )
                 .unwrap(),
         )
         .unwrap();
         assert_eq!(bad, MntRes::Fail(MountStat3::Noent));
         // Unmount clears the ledger.
         mount
-            .call(mount_proc::UMNT, &gvfs_xdr::to_bytes(&MntArgs { dirpath: "/export/grid".into() }).unwrap())
+            .call(
+                mount_proc::UMNT,
+                &gvfs_xdr::to_bytes(&MntArgs { dirpath: "/export/grid".into() }).unwrap(),
+            )
             .unwrap();
         assert_eq!(mount.active_mounts(), 0);
     }
@@ -852,7 +899,11 @@ mod tests {
         let created: gvfs_nfs3::NewObjRes = call(
             &s,
             proc3::CREATE,
-            &CreateArgs { dir: s.root_fh(), name: "c".into(), how: CreateHow::Unchecked(Sattr3::default()) },
+            &CreateArgs {
+                dir: s.root_fh(),
+                name: "c".into(),
+                how: CreateHow::Unchecked(Sattr3::default()),
+            },
         );
         let gvfs_nfs3::NewObjRes::Ok { obj: Some(fh), .. } = created else { panic!() };
         let res: CommitRes = call(&s, proc3::COMMIT, &CommitArgs { file: fh, offset: 0, count: 0 });

@@ -603,7 +603,13 @@ impl Vfs {
     ///
     /// [`VfsError::NotSupported`] for directories;
     /// [`VfsError::Exists`] if the name is taken.
-    pub fn link(&self, id: FileId, dir: FileId, name: &str, now: Timestamp) -> Result<(), VfsError> {
+    pub fn link(
+        &self,
+        id: FileId,
+        dir: FileId,
+        name: &str,
+        now: Timestamp,
+    ) -> Result<(), VfsError> {
         Self::validate_name(name)?;
         let mut inner = self.inner.lock();
         match inner.inodes.get(&id.0).ok_or(VfsError::Stale)?.kind {
@@ -673,15 +679,14 @@ impl Vfs {
         }
 
         // Handle an existing target.
-        let existing = inner.inodes.get(&to_dir.0).expect("checked").dir().expect("checked").get(to_name);
+        let existing =
+            inner.inodes.get(&to_dir.0).expect("checked").dir().expect("checked").get(to_name);
         if let Some(existing_id) = existing {
             if existing_id == moving_id {
                 return Ok(());
             }
-            let existing_is_dir = matches!(
-                inner.inodes.get(&existing_id).map(|i| i.kind),
-                Some(FileKind::Directory)
-            );
+            let existing_is_dir =
+                matches!(inner.inodes.get(&existing_id).map(|i| i.kind), Some(FileKind::Directory));
             match (moving_is_dir, existing_is_dir) {
                 (true, false) => return Err(VfsError::NotDir),
                 (false, true) => return Err(VfsError::IsDir),
@@ -697,13 +702,25 @@ impl Vfs {
                     if !empty {
                         return Err(VfsError::NotEmpty);
                     }
-                    inner.inodes.get_mut(&to_dir.0).expect("checked").dir_mut().expect("checked").remove(to_name);
+                    inner
+                        .inodes
+                        .get_mut(&to_dir.0)
+                        .expect("checked")
+                        .dir_mut()
+                        .expect("checked")
+                        .remove(to_name);
                     inner.inodes.remove(&existing_id);
                     inner.parents.remove(&existing_id);
                     inner.inodes.get_mut(&to_dir.0).expect("checked").nlink -= 1;
                 }
                 (false, false) => {
-                    inner.inodes.get_mut(&to_dir.0).expect("checked").dir_mut().expect("checked").remove(to_name);
+                    inner
+                        .inodes
+                        .get_mut(&to_dir.0)
+                        .expect("checked")
+                        .dir_mut()
+                        .expect("checked")
+                        .remove(to_name);
                     let target = inner.inodes.get_mut(&existing_id).expect("checked");
                     target.nlink -= 1;
                     target.ctime = now;
@@ -719,8 +736,20 @@ impl Vfs {
             }
         }
 
-        inner.inodes.get_mut(&from_dir.0).expect("checked").dir_mut().expect("checked").remove(from_name);
-        inner.inodes.get_mut(&to_dir.0).expect("checked").dir_mut().expect("checked").insert(to_name, moving_id);
+        inner
+            .inodes
+            .get_mut(&from_dir.0)
+            .expect("checked")
+            .dir_mut()
+            .expect("checked")
+            .remove(from_name);
+        inner
+            .inodes
+            .get_mut(&to_dir.0)
+            .expect("checked")
+            .dir_mut()
+            .expect("checked")
+            .insert(to_name, moving_id);
         if moving_is_dir && from_dir != to_dir {
             inner.inodes.get_mut(&from_dir.0).expect("checked").nlink -= 1;
             inner.inodes.get_mut(&to_dir.0).expect("checked").nlink += 1;
@@ -813,7 +842,10 @@ mod tests {
     fn invalid_names_rejected() {
         let fs = fs();
         for name in ["", ".", "..", "a/b"] {
-            assert_eq!(fs.create(fs.root(), name, 0o644, T0).unwrap_err(), VfsError::InvalidArgument);
+            assert_eq!(
+                fs.create(fs.root(), name, 0o644, T0).unwrap_err(),
+                VfsError::InvalidArgument
+            );
         }
     }
 
@@ -961,10 +993,7 @@ mod tests {
         let fs = fs();
         let d = fs.mkdir(fs.root(), "d", 0o755, T0).unwrap();
         let sub = fs.mkdir(d, "sub", 0o755, T0).unwrap();
-        assert_eq!(
-            fs.rename(fs.root(), "d", sub, "d", T1).unwrap_err(),
-            VfsError::InvalidArgument
-        );
+        assert_eq!(fs.rename(fs.root(), "d", sub, "d", T1).unwrap_err(), VfsError::InvalidArgument);
     }
 
     #[test]
@@ -987,7 +1016,8 @@ mod tests {
         let page2 = fs.readdir(fs.root(), page1.entries.last().unwrap().cookie, 100).unwrap();
         assert_eq!(page2.entries.len(), 6);
         assert!(page2.eof);
-        let names: Vec<_> = page1.entries.iter().chain(&page2.entries).map(|e| e.name.clone()).collect();
+        let names: Vec<_> =
+            page1.entries.iter().chain(&page2.entries).map(|e| e.name.clone()).collect();
         assert_eq!(names, (0..10).map(|i| format!("f{i}")).collect::<Vec<_>>());
     }
 

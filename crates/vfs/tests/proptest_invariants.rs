@@ -63,11 +63,7 @@ fn check_invariants(fs: &Vfs) {
             }
         }
         let dir_attr = fs.getattr(dir).expect("dir attrs");
-        assert_eq!(
-            dir_attr.nlink,
-            2 + child_dirs,
-            "directory nlink must be 2 + child dirs"
-        );
+        assert_eq!(dir_attr.nlink, 2 + child_dirs, "directory nlink must be 2 + child dirs");
     }
     for (id, refs) in &file_refs {
         let attr = fs.getattr(gvfs_vfs::FileId::from_u64(*id)).expect("linked file");

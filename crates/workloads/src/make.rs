@@ -161,14 +161,12 @@ pub fn run(client: &NfsClient, config: &MakeConfig) -> MakeReport {
     for i in 0..config.sources {
         // Compile source i: open + read the source and every header it
         // cross-references.
-        let sfh = client
-            .open(&format!("/src/{}", MakeConfig::source_name(i)))
-            .expect("open source");
+        let sfh =
+            client.open(&format!("/src/{}", MakeConfig::source_name(i))).expect("open source");
         let _ = client.read(sfh, 0, config.source_bytes as u32).expect("read source");
         for h in config.includes(i) {
-            let hfh = client
-                .open(&format!("/src/{}", MakeConfig::header_name(h)))
-                .expect("open header");
+            let hfh =
+                client.open(&format!("/src/{}", MakeConfig::header_name(h))).expect("open header");
             let _ = client.read(hfh, 0, config.header_bytes as u32).expect("read header");
         }
         gvfs_netsim::sleep(config.compile_time);
@@ -181,7 +179,8 @@ pub fn run(client: &NfsClient, config: &MakeConfig) -> MakeReport {
         let _ = client.read(tmp, 0, config.object_bytes as u32).expect("read temp");
 
         if let Some(o) = config.emits_object(i) {
-            let ofh = client.create(obj, &MakeConfig::object_name(o), false).expect("create object");
+            let ofh =
+                client.create(obj, &MakeConfig::object_name(o), false).expect("create object");
             write_chunked(client, ofh, config.object_bytes, config.write_chunk, b'o');
             objects_built += 1;
         }
@@ -190,12 +189,19 @@ pub fn run(client: &NfsClient, config: &MakeConfig) -> MakeReport {
 
     // Link: read every object, write the binary.
     for o in 0..objects_built {
-        let ofh = client.open(&format!("/obj/{}", MakeConfig::object_name(o))).expect("open object");
+        let ofh =
+            client.open(&format!("/obj/{}", MakeConfig::object_name(o))).expect("open object");
         let _ = client.read(ofh, 0, config.object_bytes as u32).expect("read object");
     }
     gvfs_netsim::sleep(config.link_time);
     let bin = client.create(obj, "tclsh", false).expect("create binary");
-    write_chunked(client, bin, config.object_bytes * objects_built.min(40), config.write_chunk, b'b');
+    write_chunked(
+        client,
+        bin,
+        config.object_bytes * objects_built.min(40),
+        config.write_chunk,
+        b'b',
+    );
 
     let _ = src;
     MakeReport { runtime: gvfs_netsim::now().saturating_since(t0), objects_built }
@@ -208,7 +214,8 @@ mod tests {
     #[test]
     fn object_emission_covers_exactly_the_object_count() {
         let config = MakeConfig::default();
-        let emitted: Vec<usize> = (0..config.sources).filter_map(|i| config.emits_object(i)).collect();
+        let emitted: Vec<usize> =
+            (0..config.sources).filter_map(|i| config.emits_object(i)).collect();
         assert_eq!(emitted.len(), config.objects);
         assert_eq!(emitted.first(), Some(&0));
         assert_eq!(emitted.last(), Some(&(config.objects - 1)));

@@ -142,7 +142,7 @@ pub fn run(client: &NfsClient, config: &PostmarkConfig) -> PostmarkReport {
         // Read or append.
         if !live.is_empty() {
             let idx = rng.gen_range(0..live.len());
-            if rng.gen_range(0..10) < config.read_bias {
+            if rng.gen_range(0u32..10) < config.read_bias {
                 let f = &live[idx];
                 let fh = client.open(&f.path).expect("open for read");
                 let mut offset = 0usize;
@@ -163,7 +163,7 @@ pub fn run(client: &NfsClient, config: &PostmarkConfig) -> PostmarkReport {
             }
         }
         // Create or delete.
-        if rng.gen_range(0..10) < config.create_bias || live.is_empty() {
+        if rng.gen_range(0u32..10) < config.create_bias || live.is_empty() {
             create(client, &mut rng, &mut live, &mut report);
         } else {
             let idx = rng.gen_range(0..live.len());

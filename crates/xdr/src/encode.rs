@@ -113,7 +113,7 @@ impl Encoder {
     }
 
     fn pad(&mut self) {
-        while self.buf.len() % 4 != 0 {
+        while !self.buf.len().is_multiple_of(4) {
             self.buf.push(0);
         }
     }

@@ -27,7 +27,7 @@ fn main() {
     let root = session.root_fh();
     let (collector_t, analyst_t) = (session.client_transport(0), session.client_transport(1));
     let handle = session.handle();
-    let wan = session.wan_stats().clone();
+    let _wan = session.wan_stats().clone();
 
     let processed = Arc::new(Mutex::new(0usize));
 

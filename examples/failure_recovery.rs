@@ -121,7 +121,9 @@ fn client_crash_reconciliation() {
         client.drop_caches();
         let err = client.read_file("/doomed").unwrap_err();
         assert!(matches!(err, ClientError::Nfs(Nfsstat3::Io)));
-        println!("  /safe reconciled and readable; /doomed reports an I/O error as the paper specifies");
+        println!(
+            "  /safe reconciled and readable; /doomed reports an I/O error as the paper specifies"
+        );
         handle.shutdown();
     });
     sim.spawn("interferer", move || {

@@ -54,7 +54,10 @@ fn main() {
             client.stat("/results/run-001.dat").unwrap();
         }
         let delta = wan.snapshot().since(&before);
-        println!("100 stats -> {} WAN RPCs (proxy disk cache served the rest)", delta.total_calls());
+        println!(
+            "100 stats -> {} WAN RPCs (proxy disk cache served the rest)",
+            delta.total_calls()
+        );
 
         println!("virtual time elapsed: {}", gvfs_netsim::now());
         handle.shutdown();

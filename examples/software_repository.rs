@@ -24,7 +24,8 @@ fn main() {
     let vfs = Arc::new(Vfs::new());
     let repo = vfs.mkdir(vfs.root(), "repo", 0o755, Timestamp::from_nanos(0)).unwrap();
     for n in 0..20 {
-        let f = vfs.create(repo, &format!("tool-{n:02}.bin"), 0o755, Timestamp::from_nanos(0)).unwrap();
+        let f =
+            vfs.create(repo, &format!("tool-{n:02}.bin"), 0o755, Timestamp::from_nanos(0)).unwrap();
         vfs.write(f, 0, &vec![n as u8; 64 * 1024], Timestamp::from_nanos(0)).unwrap();
     }
 
@@ -75,10 +76,7 @@ fn main() {
             let fh = client.resolve(&format!("/repo/tool-{n:02}.bin")).unwrap();
             client.write(fh, 0, &vec![0xAA; 64 * 1024]).unwrap();
         }
-        println!(
-            "admin pushed 20 updated tools at t={} (LAN: cheap)",
-            gvfs_netsim::now()
-        );
+        println!("admin pushed 20 updated tools at t={} (LAN: cheap)", gvfs_netsim::now());
         let _ = before;
     });
 
@@ -91,6 +89,10 @@ fn main() {
 
     let end = sim.run();
     let snap = session.wan_stats().snapshot();
-    println!("simulated {end}; WAN totals: {} RPCs, {} GETINV polls", snap.total_calls(), getinv_calls(&snap));
+    println!(
+        "simulated {end}; WAN totals: {} RPCs, {} GETINV polls",
+        snap.total_calls(),
+        getinv_calls(&snap)
+    );
     println!("every user observed the update within one polling window of the push");
 }

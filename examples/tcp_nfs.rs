@@ -37,9 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Client side: bootstrap exactly like mount(8).
     let mut rpc = TcpRpcClient::connect(addr)?;
-    let mnt: MntRes = call(&mut rpc, MOUNT_PROGRAM, MOUNT_V3, mount_proc::MNT, &MntArgs {
-        dirpath: "/export/grid".into(),
-    })?;
+    let mnt: MntRes = call(
+        &mut rpc,
+        MOUNT_PROGRAM,
+        MOUNT_V3,
+        mount_proc::MNT,
+        &MntArgs { dirpath: "/export/grid".into() },
+    )?;
     let MntRes::Ok { fhandle: root, .. } = mnt else { panic!("mount refused: {mnt:?}") };
     println!("mounted /export/grid -> root fh {root:?}");
 
@@ -49,39 +53,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("server advertises rtmax={rtmax} wtmax={wtmax}");
 
     // Create, write, read back — every byte over the real socket.
-    let created: NewObjRes = call(&mut rpc, NFS_PROGRAM, NFS_V3, proc3::CREATE, &CreateArgs {
-        dir: root,
-        name: "over-tcp.txt".into(),
-        how: CreateHow::Guarded(Sattr3::default()),
-    })?;
+    let created: NewObjRes = call(
+        &mut rpc,
+        NFS_PROGRAM,
+        NFS_V3,
+        proc3::CREATE,
+        &CreateArgs {
+            dir: root,
+            name: "over-tcp.txt".into(),
+            how: CreateHow::Guarded(Sattr3::default()),
+        },
+    )?;
     let NewObjRes::Ok { obj: Some(fh), .. } = created else { panic!("create failed") };
 
     let payload = b"bytes that crossed a real TCP connection".to_vec();
-    let wrote: WriteRes = call(&mut rpc, NFS_PROGRAM, NFS_V3, proc3::WRITE, &WriteArgs {
-        file: fh,
-        offset: 0,
-        count: payload.len() as u32,
-        stable: StableHow::FileSync,
-        data: payload.clone(),
-    })?;
+    let wrote: WriteRes = call(
+        &mut rpc,
+        NFS_PROGRAM,
+        NFS_V3,
+        proc3::WRITE,
+        &WriteArgs {
+            file: fh,
+            offset: 0,
+            count: payload.len() as u32,
+            stable: StableHow::FileSync,
+            data: payload.clone(),
+        },
+    )?;
     let WriteRes::Ok { count, .. } = wrote else { panic!("write failed") };
     println!("wrote {count} bytes");
 
-    let read: ReadRes = call(&mut rpc, NFS_PROGRAM, NFS_V3, proc3::READ, &ReadArgs {
-        file: fh,
-        offset: 0,
-        count: 1024,
-    })?;
+    let read: ReadRes = call(
+        &mut rpc,
+        NFS_PROGRAM,
+        NFS_V3,
+        proc3::READ,
+        &ReadArgs { file: fh, offset: 0, count: 1024 },
+    )?;
     let ReadRes::Ok { data, eof, .. } = read else { panic!("read failed") };
     assert_eq!(data, payload);
     println!("read them back (eof={eof}): {:?}", String::from_utf8_lossy(&data));
 
     // A second connection sees the same namespace.
     let mut rpc2 = TcpRpcClient::connect(addr)?;
-    let found: LookupRes = call(&mut rpc2, NFS_PROGRAM, NFS_V3, proc3::LOOKUP, &LookupArgs {
-        dir: root,
-        name: "over-tcp.txt".into(),
-    })?;
+    let found: LookupRes = call(
+        &mut rpc2,
+        NFS_PROGRAM,
+        NFS_V3,
+        proc3::LOOKUP,
+        &LookupArgs { dir: root, name: "over-tcp.txt".into() },
+    )?;
     assert!(matches!(found, LookupRes::Ok { object, .. } if object == fh));
     println!("second connection resolved the file; shutting down");
 
@@ -96,6 +117,7 @@ fn call<A: gvfs_xdr::Xdr, R: gvfs_xdr::Xdr>(
     procedure: u32,
     args: &A,
 ) -> Result<R, Box<dyn std::error::Error>> {
-    let bytes = rpc.call(program, version, procedure, OpaqueAuth::none(), gvfs_xdr::to_bytes(args)?)?;
+    let bytes =
+        rpc.call(program, version, procedure, OpaqueAuth::none(), gvfs_xdr::to_bytes(args)?)?;
     Ok(gvfs_xdr::from_bytes(&bytes)?)
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b6e0d38e7442e9e7.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-b6e0d38e7442e9e7: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

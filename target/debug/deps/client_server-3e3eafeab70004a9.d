@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/client_server-3e3eafeab70004a9.d: crates/client/tests/client_server.rs
+
+/root/repo/target/debug/deps/client_server-3e3eafeab70004a9: crates/client/tests/client_server.rs
+
+crates/client/tests/client_server.rs:

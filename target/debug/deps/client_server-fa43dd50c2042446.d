@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/client_server-fa43dd50c2042446.d: /root/repo/clippy.toml crates/client/tests/client_server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclient_server-fa43dd50c2042446.rmeta: /root/repo/clippy.toml crates/client/tests/client_server.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/client/tests/client_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/consistency_matrix-56925a9456584682.d: /root/repo/clippy.toml crates/integration/../../tests/consistency_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsistency_matrix-56925a9456584682.rmeta: /root/repo/clippy.toml crates/integration/../../tests/consistency_matrix.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/integration/../../tests/consistency_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency_matrix-ab6824958f5f4f66.d: crates/integration/../../tests/consistency_matrix.rs
+
+/root/repo/target/debug/deps/consistency_matrix-ab6824958f5f4f66: crates/integration/../../tests/consistency_matrix.rs
+
+crates/integration/../../tests/consistency_matrix.rs:

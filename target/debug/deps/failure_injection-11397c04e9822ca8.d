@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-11397c04e9822ca8.d: crates/integration/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-11397c04e9822ca8: crates/integration/../../tests/failure_injection.rs
+
+crates/integration/../../tests/failure_injection.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/failure_injection-af9b1f3b14ca154b.d: /root/repo/clippy.toml crates/integration/../../tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-af9b1f3b14ca154b.rmeta: /root/repo/clippy.toml crates/integration/../../tests/failure_injection.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/integration/../../tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig4-25cbf8ad538c9529.d: /root/repo/clippy.toml crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-25cbf8ad538c9529.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

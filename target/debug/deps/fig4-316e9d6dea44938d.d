@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-316e9d6dea44938d.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-316e9d6dea44938d: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

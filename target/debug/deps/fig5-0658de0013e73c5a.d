@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig5-0658de0013e73c5a.d: /root/repo/clippy.toml crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-0658de0013e73c5a.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-cc9fe2bc10d31025.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-cc9fe2bc10d31025: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig5-f92a6e0677dda654.d: /root/repo/clippy.toml crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-f92a6e0677dda654.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a3e04839a3bed241.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a3e04839a3bed241: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig6-aa53ccd41f5c41a5.d: /root/repo/clippy.toml crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-aa53ccd41f5c41a5.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig7-6dc6acf4e5dd782c.d: /root/repo/clippy.toml crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-6dc6acf4e5dd782c.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

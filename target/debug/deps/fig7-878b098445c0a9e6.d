@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-878b098445c0a9e6.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-878b098445c0a9e6: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-99fd64b8ef5a26d1.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-99fd64b8ef5a26d1: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig8-9edc2003b2a7ecc4.d: /root/repo/clippy.toml crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-9edc2003b2a7ecc4.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

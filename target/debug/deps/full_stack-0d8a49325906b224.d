@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-0d8a49325906b224.d: crates/integration/../../tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-0d8a49325906b224: crates/integration/../../tests/full_stack.rs
+
+crates/integration/../../tests/full_stack.rs:

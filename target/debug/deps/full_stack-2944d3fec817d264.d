@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/full_stack-2944d3fec817d264.d: /root/repo/clippy.toml crates/integration/../../tests/full_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_stack-2944d3fec817d264.rmeta: /root/repo/clippy.toml crates/integration/../../tests/full_stack.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/integration/../../tests/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

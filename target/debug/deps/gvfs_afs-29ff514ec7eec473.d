@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gvfs_afs-29ff514ec7eec473.d: /root/repo/clippy.toml crates/afs/src/lib.rs crates/afs/src/client.rs crates/afs/src/proto.rs crates/afs/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_afs-29ff514ec7eec473.rmeta: /root/repo/clippy.toml crates/afs/src/lib.rs crates/afs/src/client.rs crates/afs/src/proto.rs crates/afs/src/server.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/afs/src/lib.rs:
+crates/afs/src/client.rs:
+crates/afs/src/proto.rs:
+crates/afs/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gvfs_afs-4364f1bc300b4e9c.d: crates/afs/src/lib.rs crates/afs/src/client.rs crates/afs/src/proto.rs crates/afs/src/server.rs
+
+/root/repo/target/debug/deps/gvfs_afs-4364f1bc300b4e9c: crates/afs/src/lib.rs crates/afs/src/client.rs crates/afs/src/proto.rs crates/afs/src/server.rs
+
+crates/afs/src/lib.rs:
+crates/afs/src/client.rs:
+crates/afs/src/proto.rs:
+crates/afs/src/server.rs:

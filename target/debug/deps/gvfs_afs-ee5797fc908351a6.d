@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gvfs_afs-ee5797fc908351a6.d: crates/afs/src/lib.rs crates/afs/src/client.rs crates/afs/src/proto.rs crates/afs/src/server.rs
+
+/root/repo/target/debug/deps/libgvfs_afs-ee5797fc908351a6.rlib: crates/afs/src/lib.rs crates/afs/src/client.rs crates/afs/src/proto.rs crates/afs/src/server.rs
+
+/root/repo/target/debug/deps/libgvfs_afs-ee5797fc908351a6.rmeta: crates/afs/src/lib.rs crates/afs/src/client.rs crates/afs/src/proto.rs crates/afs/src/server.rs
+
+crates/afs/src/lib.rs:
+crates/afs/src/client.rs:
+crates/afs/src/proto.rs:
+crates/afs/src/server.rs:

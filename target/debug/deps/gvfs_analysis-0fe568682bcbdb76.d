@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gvfs_analysis-0fe568682bcbdb76.d: /root/repo/clippy.toml crates/analysis/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_analysis-0fe568682bcbdb76.rmeta: /root/repo/clippy.toml crates/analysis/src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/analysis/src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gvfs_analysis-2a84d07c57f5c56a.d: crates/analysis/src/lib.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs
+
+/root/repo/target/debug/deps/gvfs_analysis-2a84d07c57f5c56a: crates/analysis/src/lib.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/lexer.rs:
+crates/analysis/src/lint.rs:
+crates/analysis/src/model.rs:

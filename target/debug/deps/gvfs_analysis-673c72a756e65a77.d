@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gvfs_analysis-673c72a756e65a77.d: crates/analysis/src/main.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs
+
+/root/repo/target/debug/deps/gvfs_analysis-673c72a756e65a77: crates/analysis/src/main.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs
+
+crates/analysis/src/main.rs:
+crates/analysis/src/lexer.rs:
+crates/analysis/src/lint.rs:
+crates/analysis/src/model.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

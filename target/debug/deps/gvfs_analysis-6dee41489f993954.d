@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gvfs_analysis-6dee41489f993954.d: crates/analysis/src/main.rs
+
+/root/repo/target/debug/deps/gvfs_analysis-6dee41489f993954: crates/analysis/src/main.rs
+
+crates/analysis/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

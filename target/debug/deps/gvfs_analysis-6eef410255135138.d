@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gvfs_analysis-6eef410255135138.d: crates/analysis/src/lib.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs
+
+/root/repo/target/debug/deps/libgvfs_analysis-6eef410255135138.rlib: crates/analysis/src/lib.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs
+
+/root/repo/target/debug/deps/libgvfs_analysis-6eef410255135138.rmeta: crates/analysis/src/lib.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/lexer.rs:
+crates/analysis/src/lint.rs:
+crates/analysis/src/model.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gvfs_analysis-91396f67834490c0.d: /root/repo/clippy.toml crates/analysis/src/lib.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_analysis-91396f67834490c0.rmeta: /root/repo/clippy.toml crates/analysis/src/lib.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/analysis/src/lib.rs:
+crates/analysis/src/lexer.rs:
+crates/analysis/src/lint.rs:
+crates/analysis/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gvfs_analysis-96b70c54848590e5.d: crates/analysis/src/main.rs
+
+/root/repo/target/debug/deps/gvfs_analysis-96b70c54848590e5: crates/analysis/src/main.rs
+
+crates/analysis/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

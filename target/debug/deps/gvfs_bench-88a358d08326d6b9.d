@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gvfs_bench-88a358d08326d6b9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgvfs_bench-88a358d08326d6b9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgvfs_bench-88a358d08326d6b9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

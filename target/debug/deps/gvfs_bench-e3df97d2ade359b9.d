@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gvfs_bench-e3df97d2ade359b9.d: /root/repo/clippy.toml crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_bench-e3df97d2ade359b9.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

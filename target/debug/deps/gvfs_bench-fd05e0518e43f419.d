@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvfs_bench-fd05e0518e43f419.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gvfs_bench-fd05e0518e43f419: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gvfs_client-757d90adb056e1c8.d: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/options.rs
+
+/root/repo/target/debug/deps/gvfs_client-757d90adb056e1c8: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/options.rs
+
+crates/client/src/lib.rs:
+crates/client/src/cache.rs:
+crates/client/src/client.rs:
+crates/client/src/options.rs:

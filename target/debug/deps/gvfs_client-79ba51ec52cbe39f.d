@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gvfs_client-79ba51ec52cbe39f.d: /root/repo/clippy.toml crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/options.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_client-79ba51ec52cbe39f.rmeta: /root/repo/clippy.toml crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/options.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/client/src/lib.rs:
+crates/client/src/cache.rs:
+crates/client/src/client.rs:
+crates/client/src/options.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gvfs_client-8bfad53db691ce4d.d: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/options.rs
+
+/root/repo/target/debug/deps/libgvfs_client-8bfad53db691ce4d.rlib: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/options.rs
+
+/root/repo/target/debug/deps/libgvfs_client-8bfad53db691ce4d.rmeta: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/options.rs
+
+crates/client/src/lib.rs:
+crates/client/src/cache.rs:
+crates/client/src/client.rs:
+crates/client/src/options.rs:

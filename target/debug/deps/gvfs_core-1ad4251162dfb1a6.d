@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/gvfs_core-1ad4251162dfb1a6.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/delegation.rs crates/core/src/invalidation.rs crates/core/src/protocol.rs crates/core/src/proxy/mod.rs crates/core/src/proxy/client.rs crates/core/src/proxy/server.rs crates/core/src/session.rs crates/core/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_core-1ad4251162dfb1a6.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/delegation.rs crates/core/src/invalidation.rs crates/core/src/protocol.rs crates/core/src/proxy/mod.rs crates/core/src/proxy/client.rs crates/core/src/proxy/server.rs crates/core/src/session.rs crates/core/src/model.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/delegation.rs:
+crates/core/src/invalidation.rs:
+crates/core/src/protocol.rs:
+crates/core/src/proxy/mod.rs:
+crates/core/src/proxy/client.rs:
+crates/core/src/proxy/server.rs:
+crates/core/src/session.rs:
+crates/core/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gvfs_core-8d32bb01b77744c4.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/delegation.rs crates/core/src/invalidation.rs crates/core/src/protocol.rs crates/core/src/proxy/mod.rs crates/core/src/proxy/client.rs crates/core/src/proxy/server.rs crates/core/src/session.rs crates/core/src/model.rs
+
+/root/repo/target/debug/deps/gvfs_core-8d32bb01b77744c4: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/delegation.rs crates/core/src/invalidation.rs crates/core/src/protocol.rs crates/core/src/proxy/mod.rs crates/core/src/proxy/client.rs crates/core/src/proxy/server.rs crates/core/src/session.rs crates/core/src/model.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/delegation.rs:
+crates/core/src/invalidation.rs:
+crates/core/src/protocol.rs:
+crates/core/src/proxy/mod.rs:
+crates/core/src/proxy/client.rs:
+crates/core/src/proxy/server.rs:
+crates/core/src/session.rs:
+crates/core/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvfs_integration-8e2c404c940e35d0.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/gvfs_integration-8e2c404c940e35d0: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gvfs_integration-d9641479156dc8f5.d: /root/repo/clippy.toml crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_integration-d9641479156dc8f5.rmeta: /root/repo/clippy.toml crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

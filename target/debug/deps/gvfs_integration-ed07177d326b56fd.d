@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gvfs_integration-ed07177d326b56fd.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libgvfs_integration-ed07177d326b56fd.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libgvfs_integration-ed07177d326b56fd.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

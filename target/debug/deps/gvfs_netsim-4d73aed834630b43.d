@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gvfs_netsim-4d73aed834630b43.d: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/transport.rs crates/netsim/src/sched.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/gvfs_netsim-4d73aed834630b43: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/transport.rs crates/netsim/src/sched.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/transport.rs:
+crates/netsim/src/sched.rs:
+crates/netsim/src/time.rs:

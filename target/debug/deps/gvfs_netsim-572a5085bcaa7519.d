@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gvfs_netsim-572a5085bcaa7519.d: /root/repo/clippy.toml crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/transport.rs crates/netsim/src/sched.rs crates/netsim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_netsim-572a5085bcaa7519.rmeta: /root/repo/clippy.toml crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/transport.rs crates/netsim/src/sched.rs crates/netsim/src/time.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/netsim/src/lib.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/transport.rs:
+crates/netsim/src/sched.rs:
+crates/netsim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

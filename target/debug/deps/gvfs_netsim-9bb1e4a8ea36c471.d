@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gvfs_netsim-9bb1e4a8ea36c471.d: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/transport.rs crates/netsim/src/sched.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/libgvfs_netsim-9bb1e4a8ea36c471.rlib: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/transport.rs crates/netsim/src/sched.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/libgvfs_netsim-9bb1e4a8ea36c471.rmeta: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/transport.rs crates/netsim/src/sched.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/transport.rs:
+crates/netsim/src/sched.rs:
+crates/netsim/src/time.rs:

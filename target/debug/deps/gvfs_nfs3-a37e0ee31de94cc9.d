@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gvfs_nfs3-a37e0ee31de94cc9.d: crates/nfs3/src/lib.rs crates/nfs3/src/mount.rs crates/nfs3/src/procs.rs crates/nfs3/src/status.rs crates/nfs3/src/types.rs
+
+/root/repo/target/debug/deps/libgvfs_nfs3-a37e0ee31de94cc9.rlib: crates/nfs3/src/lib.rs crates/nfs3/src/mount.rs crates/nfs3/src/procs.rs crates/nfs3/src/status.rs crates/nfs3/src/types.rs
+
+/root/repo/target/debug/deps/libgvfs_nfs3-a37e0ee31de94cc9.rmeta: crates/nfs3/src/lib.rs crates/nfs3/src/mount.rs crates/nfs3/src/procs.rs crates/nfs3/src/status.rs crates/nfs3/src/types.rs
+
+crates/nfs3/src/lib.rs:
+crates/nfs3/src/mount.rs:
+crates/nfs3/src/procs.rs:
+crates/nfs3/src/status.rs:
+crates/nfs3/src/types.rs:

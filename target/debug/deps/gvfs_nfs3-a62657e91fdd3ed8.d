@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gvfs_nfs3-a62657e91fdd3ed8.d: crates/nfs3/src/lib.rs crates/nfs3/src/mount.rs crates/nfs3/src/procs.rs crates/nfs3/src/status.rs crates/nfs3/src/types.rs
+
+/root/repo/target/debug/deps/gvfs_nfs3-a62657e91fdd3ed8: crates/nfs3/src/lib.rs crates/nfs3/src/mount.rs crates/nfs3/src/procs.rs crates/nfs3/src/status.rs crates/nfs3/src/types.rs
+
+crates/nfs3/src/lib.rs:
+crates/nfs3/src/mount.rs:
+crates/nfs3/src/procs.rs:
+crates/nfs3/src/status.rs:
+crates/nfs3/src/types.rs:

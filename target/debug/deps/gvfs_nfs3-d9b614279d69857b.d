@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gvfs_nfs3-d9b614279d69857b.d: /root/repo/clippy.toml crates/nfs3/src/lib.rs crates/nfs3/src/mount.rs crates/nfs3/src/procs.rs crates/nfs3/src/status.rs crates/nfs3/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_nfs3-d9b614279d69857b.rmeta: /root/repo/clippy.toml crates/nfs3/src/lib.rs crates/nfs3/src/mount.rs crates/nfs3/src/procs.rs crates/nfs3/src/status.rs crates/nfs3/src/types.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/nfs3/src/lib.rs:
+crates/nfs3/src/mount.rs:
+crates/nfs3/src/procs.rs:
+crates/nfs3/src/status.rs:
+crates/nfs3/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gvfs_rpc-3ffd42f6b3334db7.d: /root/repo/clippy.toml crates/rpc/src/lib.rs crates/rpc/src/dispatch.rs crates/rpc/src/drc.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/stats.rs crates/rpc/src/tcp.rs crates/rpc/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_rpc-3ffd42f6b3334db7.rmeta: /root/repo/clippy.toml crates/rpc/src/lib.rs crates/rpc/src/dispatch.rs crates/rpc/src/drc.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/stats.rs crates/rpc/src/tcp.rs crates/rpc/src/error.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/rpc/src/lib.rs:
+crates/rpc/src/dispatch.rs:
+crates/rpc/src/drc.rs:
+crates/rpc/src/message.rs:
+crates/rpc/src/record.rs:
+crates/rpc/src/stats.rs:
+crates/rpc/src/tcp.rs:
+crates/rpc/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

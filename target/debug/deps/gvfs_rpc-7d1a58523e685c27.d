@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gvfs_rpc-7d1a58523e685c27.d: crates/rpc/src/lib.rs crates/rpc/src/dispatch.rs crates/rpc/src/drc.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/stats.rs crates/rpc/src/tcp.rs crates/rpc/src/error.rs
+
+/root/repo/target/debug/deps/gvfs_rpc-7d1a58523e685c27: crates/rpc/src/lib.rs crates/rpc/src/dispatch.rs crates/rpc/src/drc.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/stats.rs crates/rpc/src/tcp.rs crates/rpc/src/error.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/dispatch.rs:
+crates/rpc/src/drc.rs:
+crates/rpc/src/message.rs:
+crates/rpc/src/record.rs:
+crates/rpc/src/stats.rs:
+crates/rpc/src/tcp.rs:
+crates/rpc/src/error.rs:

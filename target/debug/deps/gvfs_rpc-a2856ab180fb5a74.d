@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gvfs_rpc-a2856ab180fb5a74.d: crates/rpc/src/lib.rs crates/rpc/src/dispatch.rs crates/rpc/src/drc.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/stats.rs crates/rpc/src/tcp.rs crates/rpc/src/error.rs
+
+/root/repo/target/debug/deps/libgvfs_rpc-a2856ab180fb5a74.rlib: crates/rpc/src/lib.rs crates/rpc/src/dispatch.rs crates/rpc/src/drc.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/stats.rs crates/rpc/src/tcp.rs crates/rpc/src/error.rs
+
+/root/repo/target/debug/deps/libgvfs_rpc-a2856ab180fb5a74.rmeta: crates/rpc/src/lib.rs crates/rpc/src/dispatch.rs crates/rpc/src/drc.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/stats.rs crates/rpc/src/tcp.rs crates/rpc/src/error.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/dispatch.rs:
+crates/rpc/src/drc.rs:
+crates/rpc/src/message.rs:
+crates/rpc/src/record.rs:
+crates/rpc/src/stats.rs:
+crates/rpc/src/tcp.rs:
+crates/rpc/src/error.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gvfs_server-444f18c138cc183d.d: /root/repo/clippy.toml crates/server/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_server-444f18c138cc183d.rmeta: /root/repo/clippy.toml crates/server/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/server/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

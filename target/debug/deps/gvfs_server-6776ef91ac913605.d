@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvfs_server-6776ef91ac913605.d: crates/server/src/lib.rs
+
+/root/repo/target/debug/deps/gvfs_server-6776ef91ac913605: crates/server/src/lib.rs
+
+crates/server/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gvfs_server-8cea427a005ac48e.d: crates/server/src/lib.rs
+
+/root/repo/target/debug/deps/libgvfs_server-8cea427a005ac48e.rlib: crates/server/src/lib.rs
+
+/root/repo/target/debug/deps/libgvfs_server-8cea427a005ac48e.rmeta: crates/server/src/lib.rs
+
+crates/server/src/lib.rs:

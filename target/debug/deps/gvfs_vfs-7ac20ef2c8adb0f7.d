@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gvfs_vfs-7ac20ef2c8adb0f7.d: /root/repo/clippy.toml crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_vfs-7ac20ef2c8adb0f7.rmeta: /root/repo/clippy.toml crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/vfs/src/lib.rs:
+crates/vfs/src/attr.rs:
+crates/vfs/src/error.rs:
+crates/vfs/src/fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

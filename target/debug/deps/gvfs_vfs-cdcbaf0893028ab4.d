@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gvfs_vfs-cdcbaf0893028ab4.d: crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs
+
+/root/repo/target/debug/deps/libgvfs_vfs-cdcbaf0893028ab4.rlib: crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs
+
+/root/repo/target/debug/deps/libgvfs_vfs-cdcbaf0893028ab4.rmeta: crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/attr.rs:
+crates/vfs/src/error.rs:
+crates/vfs/src/fs.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gvfs_vfs-d1e1047a58ff7507.d: /root/repo/clippy.toml crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_vfs-d1e1047a58ff7507.rmeta: /root/repo/clippy.toml crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/vfs/src/lib.rs:
+crates/vfs/src/attr.rs:
+crates/vfs/src/error.rs:
+crates/vfs/src/fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

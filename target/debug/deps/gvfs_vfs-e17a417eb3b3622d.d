@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gvfs_vfs-e17a417eb3b3622d.d: crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs
+
+/root/repo/target/debug/deps/gvfs_vfs-e17a417eb3b3622d: crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/attr.rs:
+crates/vfs/src/error.rs:
+crates/vfs/src/fs.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gvfs_workloads-2cddb71d22d55749.d: /root/repo/clippy.toml crates/workloads/src/lib.rs crates/workloads/src/ch1d.rs crates/workloads/src/lock.rs crates/workloads/src/make.rs crates/workloads/src/nanomos.rs crates/workloads/src/postmark.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_workloads-2cddb71d22d55749.rmeta: /root/repo/clippy.toml crates/workloads/src/lib.rs crates/workloads/src/ch1d.rs crates/workloads/src/lock.rs crates/workloads/src/make.rs crates/workloads/src/nanomos.rs crates/workloads/src/postmark.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/workloads/src/lib.rs:
+crates/workloads/src/ch1d.rs:
+crates/workloads/src/lock.rs:
+crates/workloads/src/make.rs:
+crates/workloads/src/nanomos.rs:
+crates/workloads/src/postmark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

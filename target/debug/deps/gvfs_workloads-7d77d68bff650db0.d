@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gvfs_workloads-7d77d68bff650db0.d: crates/workloads/src/lib.rs crates/workloads/src/ch1d.rs crates/workloads/src/lock.rs crates/workloads/src/make.rs crates/workloads/src/nanomos.rs crates/workloads/src/postmark.rs
+
+/root/repo/target/debug/deps/libgvfs_workloads-7d77d68bff650db0.rlib: crates/workloads/src/lib.rs crates/workloads/src/ch1d.rs crates/workloads/src/lock.rs crates/workloads/src/make.rs crates/workloads/src/nanomos.rs crates/workloads/src/postmark.rs
+
+/root/repo/target/debug/deps/libgvfs_workloads-7d77d68bff650db0.rmeta: crates/workloads/src/lib.rs crates/workloads/src/ch1d.rs crates/workloads/src/lock.rs crates/workloads/src/make.rs crates/workloads/src/nanomos.rs crates/workloads/src/postmark.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/ch1d.rs:
+crates/workloads/src/lock.rs:
+crates/workloads/src/make.rs:
+crates/workloads/src/nanomos.rs:
+crates/workloads/src/postmark.rs:

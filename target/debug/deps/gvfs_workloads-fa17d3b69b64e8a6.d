@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gvfs_workloads-fa17d3b69b64e8a6.d: crates/workloads/src/lib.rs crates/workloads/src/ch1d.rs crates/workloads/src/lock.rs crates/workloads/src/make.rs crates/workloads/src/nanomos.rs crates/workloads/src/postmark.rs
+
+/root/repo/target/debug/deps/gvfs_workloads-fa17d3b69b64e8a6: crates/workloads/src/lib.rs crates/workloads/src/ch1d.rs crates/workloads/src/lock.rs crates/workloads/src/make.rs crates/workloads/src/nanomos.rs crates/workloads/src/postmark.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/ch1d.rs:
+crates/workloads/src/lock.rs:
+crates/workloads/src/make.rs:
+crates/workloads/src/nanomos.rs:
+crates/workloads/src/postmark.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gvfs_xdr-4c513b7aa0cc5786.d: crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs
+
+/root/repo/target/debug/deps/gvfs_xdr-4c513b7aa0cc5786: crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs
+
+crates/xdr/src/lib.rs:
+crates/xdr/src/decode.rs:
+crates/xdr/src/encode.rs:
+crates/xdr/src/error.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gvfs_xdr-6357de72d19007e4.d: /root/repo/clippy.toml crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_xdr-6357de72d19007e4.rmeta: /root/repo/clippy.toml crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xdr/src/lib.rs:
+crates/xdr/src/decode.rs:
+crates/xdr/src/encode.rs:
+crates/xdr/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

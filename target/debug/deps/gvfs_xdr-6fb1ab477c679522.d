@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gvfs_xdr-6fb1ab477c679522.d: /root/repo/clippy.toml crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvfs_xdr-6fb1ab477c679522.rmeta: /root/repo/clippy.toml crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xdr/src/lib.rs:
+crates/xdr/src/decode.rs:
+crates/xdr/src/encode.rs:
+crates/xdr/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

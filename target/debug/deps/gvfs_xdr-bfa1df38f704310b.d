@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gvfs_xdr-bfa1df38f704310b.d: crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs
+
+/root/repo/target/debug/deps/libgvfs_xdr-bfa1df38f704310b.rlib: crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs
+
+/root/repo/target/debug/deps/libgvfs_xdr-bfa1df38f704310b.rmeta: crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs
+
+crates/xdr/src/lib.rs:
+crates/xdr/src/decode.rs:
+crates/xdr/src/encode.rs:
+crates/xdr/src/error.rs:

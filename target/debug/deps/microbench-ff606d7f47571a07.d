@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/microbench-ff606d7f47571a07.d: /root/repo/clippy.toml crates/bench/benches/microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrobench-ff606d7f47571a07.rmeta: /root/repo/clippy.toml crates/bench/benches/microbench.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

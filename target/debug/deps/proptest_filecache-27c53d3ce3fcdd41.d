@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_filecache-27c53d3ce3fcdd41.d: crates/core/tests/proptest_filecache.rs
+
+/root/repo/target/debug/deps/proptest_filecache-27c53d3ce3fcdd41: crates/core/tests/proptest_filecache.rs
+
+crates/core/tests/proptest_filecache.rs:

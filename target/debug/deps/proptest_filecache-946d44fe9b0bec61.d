@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_filecache-946d44fe9b0bec61.d: /root/repo/clippy.toml crates/core/tests/proptest_filecache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_filecache-946d44fe9b0bec61.rmeta: /root/repo/clippy.toml crates/core/tests/proptest_filecache.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/tests/proptest_filecache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_invalidation-3d85a8f2522d2576.d: /root/repo/clippy.toml crates/core/tests/proptest_invalidation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_invalidation-3d85a8f2522d2576.rmeta: /root/repo/clippy.toml crates/core/tests/proptest_invalidation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/tests/proptest_invalidation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

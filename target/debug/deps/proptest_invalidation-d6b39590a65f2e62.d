@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invalidation-d6b39590a65f2e62.d: crates/core/tests/proptest_invalidation.rs
+
+/root/repo/target/debug/deps/proptest_invalidation-d6b39590a65f2e62: crates/core/tests/proptest_invalidation.rs
+
+crates/core/tests/proptest_invalidation.rs:

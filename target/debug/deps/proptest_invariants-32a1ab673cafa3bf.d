@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-32a1ab673cafa3bf.d: crates/vfs/tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-32a1ab673cafa3bf: crates/vfs/tests/proptest_invariants.rs
+
+crates/vfs/tests/proptest_invariants.rs:

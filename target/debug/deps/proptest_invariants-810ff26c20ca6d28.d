@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_invariants-810ff26c20ca6d28.d: /root/repo/clippy.toml crates/vfs/tests/proptest_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_invariants-810ff26c20ca6d28.rmeta: /root/repo/clippy.toml crates/vfs/tests/proptest_invariants.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/vfs/tests/proptest_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

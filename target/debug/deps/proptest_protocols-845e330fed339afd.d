@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_protocols-845e330fed339afd.d: crates/integration/../../tests/proptest_protocols.rs
+
+/root/repo/target/debug/deps/proptest_protocols-845e330fed339afd: crates/integration/../../tests/proptest_protocols.rs
+
+crates/integration/../../tests/proptest_protocols.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_protocols-eaed77bde2501070.d: /root/repo/clippy.toml crates/integration/../../tests/proptest_protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_protocols-eaed77bde2501070.rmeta: /root/repo/clippy.toml crates/integration/../../tests/proptest_protocols.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/integration/../../tests/proptest_protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-465132eb2d8f32f6.d: crates/xdr/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-465132eb2d8f32f6: crates/xdr/tests/proptest_roundtrip.rs
+
+crates/xdr/tests/proptest_roundtrip.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_roundtrip-838f0fbb7588491d.d: /root/repo/clippy.toml crates/xdr/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-838f0fbb7588491d.rmeta: /root/repo/clippy.toml crates/xdr/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xdr/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

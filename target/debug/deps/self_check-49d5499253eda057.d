@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/self_check-49d5499253eda057.d: /root/repo/clippy.toml crates/analysis/tests/self_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libself_check-49d5499253eda057.rmeta: /root/repo/clippy.toml crates/analysis/tests/self_check.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/analysis/tests/self_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

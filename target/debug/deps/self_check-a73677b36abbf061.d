@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/self_check-a73677b36abbf061.d: crates/analysis/tests/self_check.rs
+
+/root/repo/target/debug/deps/self_check-a73677b36abbf061: crates/analysis/tests/self_check.rs
+
+crates/analysis/tests/self_check.rs:

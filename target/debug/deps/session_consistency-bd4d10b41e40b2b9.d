@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/session_consistency-bd4d10b41e40b2b9.d: /root/repo/clippy.toml crates/core/tests/session_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_consistency-bd4d10b41e40b2b9.rmeta: /root/repo/clippy.toml crates/core/tests/session_consistency.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/tests/session_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

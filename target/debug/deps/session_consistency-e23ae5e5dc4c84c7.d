@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_consistency-e23ae5e5dc4c84c7.d: crates/core/tests/session_consistency.rs
+
+/root/repo/target/debug/deps/session_consistency-e23ae5e5dc4c84c7: crates/core/tests/session_consistency.rs
+
+crates/core/tests/session_consistency.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tcp_transport-c4546640e0fe6465.d: /root/repo/clippy.toml crates/rpc/tests/tcp_transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_transport-c4546640e0fe6465.rmeta: /root/repo/clippy.toml crates/rpc/tests/tcp_transport.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/rpc/tests/tcp_transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

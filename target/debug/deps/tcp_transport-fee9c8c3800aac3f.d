@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_transport-fee9c8c3800aac3f.d: crates/rpc/tests/tcp_transport.rs
+
+/root/repo/target/debug/deps/tcp_transport-fee9c8c3800aac3f: crates/rpc/tests/tcp_transport.rs
+
+crates/rpc/tests/tcp_transport.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workload_smoke-b0a866d729b42e1d.d: /root/repo/clippy.toml crates/integration/../../tests/workload_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_smoke-b0a866d729b42e1d.rmeta: /root/repo/clippy.toml crates/integration/../../tests/workload_smoke.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/integration/../../tests/workload_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_smoke-bbdf94b6bf26bebf.d: crates/integration/../../tests/workload_smoke.rs
+
+/root/repo/target/debug/deps/workload_smoke-bbdf94b6bf26bebf: crates/integration/../../tests/workload_smoke.rs
+
+crates/integration/../../tests/workload_smoke.rs:

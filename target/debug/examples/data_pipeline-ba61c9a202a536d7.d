@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/data_pipeline-ba61c9a202a536d7.d: /root/repo/clippy.toml crates/bench/../../examples/data_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_pipeline-ba61c9a202a536d7.rmeta: /root/repo/clippy.toml crates/bench/../../examples/data_pipeline.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/../../examples/data_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_pipeline-f7c123ccf1708862.d: crates/bench/../../examples/data_pipeline.rs
+
+/root/repo/target/debug/examples/data_pipeline-f7c123ccf1708862: crates/bench/../../examples/data_pipeline.rs
+
+crates/bench/../../examples/data_pipeline.rs:

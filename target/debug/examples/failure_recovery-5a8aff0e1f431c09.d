@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_recovery-5a8aff0e1f431c09.d: crates/bench/../../examples/failure_recovery.rs
+
+/root/repo/target/debug/examples/failure_recovery-5a8aff0e1f431c09: crates/bench/../../examples/failure_recovery.rs
+
+crates/bench/../../examples/failure_recovery.rs:

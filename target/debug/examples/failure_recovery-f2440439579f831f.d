@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/failure_recovery-f2440439579f831f.d: /root/repo/clippy.toml crates/bench/../../examples/failure_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_recovery-f2440439579f831f.rmeta: /root/repo/clippy.toml crates/bench/../../examples/failure_recovery.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/../../examples/failure_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3e13a13550d1dafb.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3e13a13550d1dafb: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

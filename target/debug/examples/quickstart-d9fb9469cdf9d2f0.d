@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/quickstart-d9fb9469cdf9d2f0.d: /root/repo/clippy.toml crates/bench/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-d9fb9469cdf9d2f0.rmeta: /root/repo/clippy.toml crates/bench/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/software_repository-0e86e09f4514ec39.d: /root/repo/clippy.toml crates/bench/../../examples/software_repository.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsoftware_repository-0e86e09f4514ec39.rmeta: /root/repo/clippy.toml crates/bench/../../examples/software_repository.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/../../examples/software_repository.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

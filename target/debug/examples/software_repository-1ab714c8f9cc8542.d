@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/software_repository-1ab714c8f9cc8542.d: crates/bench/../../examples/software_repository.rs
+
+/root/repo/target/debug/examples/software_repository-1ab714c8f9cc8542: crates/bench/../../examples/software_repository.rs
+
+crates/bench/../../examples/software_repository.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/tcp_nfs-87984e2a6f69ce82.d: /root/repo/clippy.toml crates/bench/../../examples/tcp_nfs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtcp_nfs-87984e2a6f69ce82.rmeta: /root/repo/clippy.toml crates/bench/../../examples/tcp_nfs.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/../../examples/tcp_nfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_nfs-f8de52d4e995e038.d: crates/bench/../../examples/tcp_nfs.rs
+
+/root/repo/target/debug/examples/tcp_nfs-f8de52d4e995e038: crates/bench/../../examples/tcp_nfs.rs
+
+crates/bench/../../examples/tcp_nfs.rs:

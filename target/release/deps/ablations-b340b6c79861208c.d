@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-b340b6c79861208c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-b340b6c79861208c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-27465caec3f62606.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-27465caec3f62606: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

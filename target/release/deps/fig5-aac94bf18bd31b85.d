@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-aac94bf18bd31b85.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-aac94bf18bd31b85: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

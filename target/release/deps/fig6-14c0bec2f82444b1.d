@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-14c0bec2f82444b1.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-14c0bec2f82444b1: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-04feb5cad5129347.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-04feb5cad5129347: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-d89674152e3ebfbb.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-d89674152e3ebfbb: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

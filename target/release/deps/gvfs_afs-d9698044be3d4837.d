@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gvfs_afs-d9698044be3d4837.d: crates/afs/src/lib.rs crates/afs/src/client.rs crates/afs/src/proto.rs crates/afs/src/server.rs
+
+/root/repo/target/release/deps/libgvfs_afs-d9698044be3d4837.rlib: crates/afs/src/lib.rs crates/afs/src/client.rs crates/afs/src/proto.rs crates/afs/src/server.rs
+
+/root/repo/target/release/deps/libgvfs_afs-d9698044be3d4837.rmeta: crates/afs/src/lib.rs crates/afs/src/client.rs crates/afs/src/proto.rs crates/afs/src/server.rs
+
+crates/afs/src/lib.rs:
+crates/afs/src/client.rs:
+crates/afs/src/proto.rs:
+crates/afs/src/server.rs:

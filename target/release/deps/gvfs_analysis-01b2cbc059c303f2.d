@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gvfs_analysis-01b2cbc059c303f2.d: crates/analysis/src/main.rs
+
+/root/repo/target/release/deps/gvfs_analysis-01b2cbc059c303f2: crates/analysis/src/main.rs
+
+crates/analysis/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gvfs_analysis-f8cd0e0aff08f928.d: crates/analysis/src/lib.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs
+
+/root/repo/target/release/deps/libgvfs_analysis-f8cd0e0aff08f928.rlib: crates/analysis/src/lib.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs
+
+/root/repo/target/release/deps/libgvfs_analysis-f8cd0e0aff08f928.rmeta: crates/analysis/src/lib.rs crates/analysis/src/lexer.rs crates/analysis/src/lint.rs crates/analysis/src/model.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/lexer.rs:
+crates/analysis/src/lint.rs:
+crates/analysis/src/model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gvfs_bench-8551561d00f1063b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgvfs_bench-8551561d00f1063b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgvfs_bench-8551561d00f1063b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

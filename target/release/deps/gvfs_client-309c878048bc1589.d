@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gvfs_client-309c878048bc1589.d: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/options.rs
+
+/root/repo/target/release/deps/libgvfs_client-309c878048bc1589.rlib: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/options.rs
+
+/root/repo/target/release/deps/libgvfs_client-309c878048bc1589.rmeta: crates/client/src/lib.rs crates/client/src/cache.rs crates/client/src/client.rs crates/client/src/options.rs
+
+crates/client/src/lib.rs:
+crates/client/src/cache.rs:
+crates/client/src/client.rs:
+crates/client/src/options.rs:

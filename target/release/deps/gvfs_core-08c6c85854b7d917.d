@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gvfs_core-08c6c85854b7d917.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/delegation.rs crates/core/src/invalidation.rs crates/core/src/protocol.rs crates/core/src/proxy/mod.rs crates/core/src/proxy/client.rs crates/core/src/proxy/server.rs crates/core/src/session.rs crates/core/src/model.rs
+
+/root/repo/target/release/deps/libgvfs_core-08c6c85854b7d917.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/delegation.rs crates/core/src/invalidation.rs crates/core/src/protocol.rs crates/core/src/proxy/mod.rs crates/core/src/proxy/client.rs crates/core/src/proxy/server.rs crates/core/src/session.rs crates/core/src/model.rs
+
+/root/repo/target/release/deps/libgvfs_core-08c6c85854b7d917.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/delegation.rs crates/core/src/invalidation.rs crates/core/src/protocol.rs crates/core/src/proxy/mod.rs crates/core/src/proxy/client.rs crates/core/src/proxy/server.rs crates/core/src/session.rs crates/core/src/model.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/delegation.rs:
+crates/core/src/invalidation.rs:
+crates/core/src/protocol.rs:
+crates/core/src/proxy/mod.rs:
+crates/core/src/proxy/client.rs:
+crates/core/src/proxy/server.rs:
+crates/core/src/session.rs:
+crates/core/src/model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gvfs_integration-3ab94fbe45edb14e.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libgvfs_integration-3ab94fbe45edb14e.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libgvfs_integration-3ab94fbe45edb14e.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

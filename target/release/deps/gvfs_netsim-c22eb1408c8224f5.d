@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gvfs_netsim-c22eb1408c8224f5.d: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/transport.rs crates/netsim/src/sched.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libgvfs_netsim-c22eb1408c8224f5.rlib: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/transport.rs crates/netsim/src/sched.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libgvfs_netsim-c22eb1408c8224f5.rmeta: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/transport.rs crates/netsim/src/sched.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/transport.rs:
+crates/netsim/src/sched.rs:
+crates/netsim/src/time.rs:

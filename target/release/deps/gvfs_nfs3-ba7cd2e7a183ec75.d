@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gvfs_nfs3-ba7cd2e7a183ec75.d: crates/nfs3/src/lib.rs crates/nfs3/src/mount.rs crates/nfs3/src/procs.rs crates/nfs3/src/status.rs crates/nfs3/src/types.rs
+
+/root/repo/target/release/deps/libgvfs_nfs3-ba7cd2e7a183ec75.rlib: crates/nfs3/src/lib.rs crates/nfs3/src/mount.rs crates/nfs3/src/procs.rs crates/nfs3/src/status.rs crates/nfs3/src/types.rs
+
+/root/repo/target/release/deps/libgvfs_nfs3-ba7cd2e7a183ec75.rmeta: crates/nfs3/src/lib.rs crates/nfs3/src/mount.rs crates/nfs3/src/procs.rs crates/nfs3/src/status.rs crates/nfs3/src/types.rs
+
+crates/nfs3/src/lib.rs:
+crates/nfs3/src/mount.rs:
+crates/nfs3/src/procs.rs:
+crates/nfs3/src/status.rs:
+crates/nfs3/src/types.rs:

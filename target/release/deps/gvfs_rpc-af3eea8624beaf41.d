@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gvfs_rpc-af3eea8624beaf41.d: crates/rpc/src/lib.rs crates/rpc/src/dispatch.rs crates/rpc/src/drc.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/stats.rs crates/rpc/src/tcp.rs crates/rpc/src/error.rs
+
+/root/repo/target/release/deps/libgvfs_rpc-af3eea8624beaf41.rlib: crates/rpc/src/lib.rs crates/rpc/src/dispatch.rs crates/rpc/src/drc.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/stats.rs crates/rpc/src/tcp.rs crates/rpc/src/error.rs
+
+/root/repo/target/release/deps/libgvfs_rpc-af3eea8624beaf41.rmeta: crates/rpc/src/lib.rs crates/rpc/src/dispatch.rs crates/rpc/src/drc.rs crates/rpc/src/message.rs crates/rpc/src/record.rs crates/rpc/src/stats.rs crates/rpc/src/tcp.rs crates/rpc/src/error.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/dispatch.rs:
+crates/rpc/src/drc.rs:
+crates/rpc/src/message.rs:
+crates/rpc/src/record.rs:
+crates/rpc/src/stats.rs:
+crates/rpc/src/tcp.rs:
+crates/rpc/src/error.rs:

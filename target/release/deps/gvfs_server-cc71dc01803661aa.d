@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gvfs_server-cc71dc01803661aa.d: crates/server/src/lib.rs
+
+/root/repo/target/release/deps/libgvfs_server-cc71dc01803661aa.rlib: crates/server/src/lib.rs
+
+/root/repo/target/release/deps/libgvfs_server-cc71dc01803661aa.rmeta: crates/server/src/lib.rs
+
+crates/server/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gvfs_vfs-f7c67eaba47edd47.d: crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs
+
+/root/repo/target/release/deps/libgvfs_vfs-f7c67eaba47edd47.rlib: crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs
+
+/root/repo/target/release/deps/libgvfs_vfs-f7c67eaba47edd47.rmeta: crates/vfs/src/lib.rs crates/vfs/src/attr.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/attr.rs:
+crates/vfs/src/error.rs:
+crates/vfs/src/fs.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gvfs_workloads-7e8c8feb4132f8ce.d: crates/workloads/src/lib.rs crates/workloads/src/ch1d.rs crates/workloads/src/lock.rs crates/workloads/src/make.rs crates/workloads/src/nanomos.rs crates/workloads/src/postmark.rs
+
+/root/repo/target/release/deps/libgvfs_workloads-7e8c8feb4132f8ce.rlib: crates/workloads/src/lib.rs crates/workloads/src/ch1d.rs crates/workloads/src/lock.rs crates/workloads/src/make.rs crates/workloads/src/nanomos.rs crates/workloads/src/postmark.rs
+
+/root/repo/target/release/deps/libgvfs_workloads-7e8c8feb4132f8ce.rmeta: crates/workloads/src/lib.rs crates/workloads/src/ch1d.rs crates/workloads/src/lock.rs crates/workloads/src/make.rs crates/workloads/src/nanomos.rs crates/workloads/src/postmark.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/ch1d.rs:
+crates/workloads/src/lock.rs:
+crates/workloads/src/make.rs:
+crates/workloads/src/nanomos.rs:
+crates/workloads/src/postmark.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gvfs_xdr-996bc344ed7a96d2.d: crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs
+
+/root/repo/target/release/deps/libgvfs_xdr-996bc344ed7a96d2.rlib: crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs
+
+/root/repo/target/release/deps/libgvfs_xdr-996bc344ed7a96d2.rmeta: crates/xdr/src/lib.rs crates/xdr/src/decode.rs crates/xdr/src/encode.rs crates/xdr/src/error.rs
+
+crates/xdr/src/lib.rs:
+crates/xdr/src/decode.rs:
+crates/xdr/src/encode.rs:
+crates/xdr/src/error.rs:

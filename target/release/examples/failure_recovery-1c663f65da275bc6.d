@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failure_recovery-1c663f65da275bc6.d: crates/bench/../../examples/failure_recovery.rs
+
+/root/repo/target/release/examples/failure_recovery-1c663f65da275bc6: crates/bench/../../examples/failure_recovery.rs
+
+crates/bench/../../examples/failure_recovery.rs:

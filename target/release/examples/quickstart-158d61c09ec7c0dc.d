@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-158d61c09ec7c0dc.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-158d61c09ec7c0dc: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

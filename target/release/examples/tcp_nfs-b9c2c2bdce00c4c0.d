@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tcp_nfs-b9c2c2bdce00c4c0.d: crates/bench/../../examples/tcp_nfs.rs
+
+/root/repo/target/release/examples/tcp_nfs-b9c2c2bdce00c4c0: crates/bench/../../examples/tcp_nfs.rs
+
+crates/bench/../../examples/tcp_nfs.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libgvfs_integration.rlib: /root/repo/crates/integration/src/lib.rs

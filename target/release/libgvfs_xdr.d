@@ -1,0 +1,1 @@
+/root/repo/target/release/libgvfs_xdr.rlib: /root/repo/crates/xdr/src/decode.rs /root/repo/crates/xdr/src/encode.rs /root/repo/crates/xdr/src/error.rs /root/repo/crates/xdr/src/lib.rs

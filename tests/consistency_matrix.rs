@@ -66,10 +66,7 @@ fn staleness_ordering_matches_the_models() {
     // Native NFS with a fixed 30 s attribute timeout: bounded by ~30 s.
     let nfs = staleness_for(None, MountOptions::with_attr_timeout(Duration::from_secs(30)));
     // GVFS polling(30): bounded by the polling window.
-    let polling = staleness_for(
-        Some(ConsistencyModel::polling_30s()),
-        MountOptions::noac(),
-    );
+    let polling = staleness_for(Some(ConsistencyModel::polling_30s()), MountOptions::noac());
     // GVFS delegation: effectively immediate (one probe interval).
     let strong = staleness_for(Some(ConsistencyModel::delegation()), MountOptions::noac());
 
@@ -81,8 +78,10 @@ fn staleness_ordering_matches_the_models() {
 
 #[test]
 fn passthrough_matches_native_semantics_with_proxy_hop() {
-    let passthrough =
-        staleness_for(Some(ConsistencyModel::Passthrough), MountOptions::with_attr_timeout(Duration::from_secs(30)));
+    let passthrough = staleness_for(
+        Some(ConsistencyModel::Passthrough),
+        MountOptions::with_attr_timeout(Duration::from_secs(30)),
+    );
     assert!(passthrough <= 31.0, "passthrough adds no staleness: {passthrough}");
 }
 
@@ -126,10 +125,7 @@ fn polling_backoff_reduces_idle_traffic() {
     let fixed = getinv_count(None);
     let backoff = getinv_count(Some(Duration::from_secs(120)));
     assert!((55..=65).contains(&fixed), "fixed 10 s polling ≈ 60 polls, got {fixed}");
-    assert!(
-        backoff < fixed / 3,
-        "exponential back-off cuts idle polls: {backoff} vs {fixed}"
-    );
+    assert!(backoff < fixed / 3, "exponential back-off cuts idle polls: {backoff} vs {fixed}");
 }
 
 #[test]

@@ -83,7 +83,11 @@ fn repeated_proxy_server_crashes_under_polling() {
         handle.shutdown();
     });
     sim.run();
-    assert_eq!(*writes_seen.lock(), 5, "every write survives every crash (server-side data is durable)");
+    assert_eq!(
+        *writes_seen.lock(),
+        5,
+        "every write survives every crash (server-side data is durable)"
+    );
 }
 
 #[test]

@@ -1,0 +1,422 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The benchmark harness only builds [`Value`] trees with the [`json!`]
+//! macro and writes them with [`to_string_pretty`], so that is the
+//! whole API: no serde integration, no parsing. Object keys keep
+//! insertion order.
+
+use std::fmt;
+
+/// A JSON number: integers are kept exact, everything else is `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Error type for [`to_string_pretty`] (infallible in practice; kept
+/// for call-site compatibility with real serde_json).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+macro_rules! from_unsigned {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::Number(Number::PosInt(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                if v < 0 {
+                    Value::Number(Number::NegInt(v as i64))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(f64::from(v)))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&Vec<T>> for Value {
+    fn from(v: &Vec<T>) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Conversion into [`Value`] by reference, so the [`json!`] macro never
+/// moves out of the expressions it is given (matching real serde_json,
+/// which serializes through `&T`).
+pub trait ToJson {
+    /// The value tree for `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+macro_rules! to_json_via_from {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json_value(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+    )*};
+}
+
+to_json_via_from!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl ToJson for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_ref().map_or(Value::Null, ToJson::to_json_value)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(Number::PosInt(n)) => out.push_str(&n.to_string()),
+        Value::Number(Number::NegInt(n)) => out.push_str(&n.to_string()),
+        Value::Number(Number::Float(x)) => {
+            if x.is_finite() {
+                // Match serde_json: floats always render with a
+                // fractional part or exponent.
+                let s = format!("{x}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&PAD.repeat(indent + 1));
+                write_value(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&PAD.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                out.push_str(&PAD.repeat(indent + 1));
+                escape_into(out, key);
+                out.push_str(": ");
+                write_value(out, val, indent + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&PAD.repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Renders a [`Value`] as two-space-indented JSON.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0);
+    Ok(out)
+}
+
+/// Renders a [`Value`] compactly.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    // Pretty output is valid JSON; compactness is not load-bearing here.
+    to_string_pretty(value)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, 0);
+        f.write_str(&out)
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax, supporting object and
+/// array literals with arbitrary Rust expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut fields: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_object!(fields; $($body)*);
+        $crate::Value::Object(fields)
+    }};
+    ([ $($body:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array!(items; $($body)*);
+        $crate::Value::Array(items)
+    }};
+    ($other:expr) => { $crate::ToJson::to_json_value(&$other) };
+}
+
+/// Internal: munches `"key": value` pairs. Values are accumulated one
+/// token tree at a time until a top-level `,` so expressions containing
+/// commas inside delimiters work.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ($fields:ident;) => {};
+    ($fields:ident; $key:literal : $($rest:tt)*) => {
+        $crate::json_object_value!($fields; $key [] $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_value {
+    ($fields:ident; $key:literal [$($val:tt)*] , $($rest:tt)*) => {
+        $fields.push(($key.to_string(), $crate::json!($($val)*)));
+        $crate::json_object!($fields; $($rest)*);
+    };
+    ($fields:ident; $key:literal [$($val:tt)*]) => {
+        $fields.push(($key.to_string(), $crate::json!($($val)*)));
+    };
+    ($fields:ident; $key:literal [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_object_value!($fields; $key [$($val)* $next] $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    ($items:ident;) => {};
+    ($items:ident; $($rest:tt)+) => {
+        $crate::json_array_value!($items; [] $($rest)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_value {
+    ($items:ident; [$($val:tt)*] , $($rest:tt)*) => {
+        $items.push($crate::json!($($val)*));
+        $crate::json_array!($items; $($rest)*);
+    };
+    ($items:ident; [$($val:tt)*]) => {
+        $items.push($crate::json!($($val)*));
+    };
+    ($items:ident; [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_array_value!($items; [$($val)* $next] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_nesting() {
+        let v = json!({
+            "name": "gvfs",
+            "count": 3u64,
+            "ratio": 1.5,
+            "flag": true,
+            "none": null,
+            "nested": { "a": [1, 2, 3], "b": "x" },
+            "list": vec![1u64, 2, 3],
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"gvfs\""));
+        assert!(s.contains("\"ratio\": 1.5"));
+        assert!(s.contains("\"none\": null"));
+        assert!(s.contains("\"a\": ["));
+    }
+
+    #[test]
+    fn expressions_with_commas() {
+        let rows = vec![1u64, 2, 3];
+        let v = json!({
+            "rows": rows.iter().map(|r| json!({ "v": *r })).collect::<Vec<_>>(),
+            "sum": rows.iter().sum::<u64>(),
+        });
+        match &v {
+            Value::Object(fields) => {
+                assert_eq!(fields.len(), 2);
+                assert!(matches!(fields[0].1, Value::Array(ref a) if a.len() == 3));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn floats_render_with_fraction() {
+        assert_eq!(to_string_pretty(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string_pretty(&json!(0.25)).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = to_string_pretty(&json!("a\"b\\c\nd")).unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}
