@@ -33,10 +33,12 @@ use std::path::{Path, PathBuf};
 /// may only be acquired while holding locks of strictly lower rank.
 ///
 /// Rank 0 is the session layer (callback routes, persisted client
-/// list), then the client disk cache, then the volatile delegation
-/// state (`state` also guards the server's `InvalidationTracker`, which
-/// makes the delegation → invalidation ordering trivially safe: they
-/// share a guard), then the write-back/invalidation plumbing, then
+/// list), then the client disk cache, then the proxy-client volatile
+/// state and the server's per-shard delegation tables (`deleg`, one
+/// mutex per file-handle shard; a thread holds at most one shard at a
+/// time, so the shards share a rank), then the sharded invalidation
+/// tracker (`buffers` registry read/write lock over the per-client
+/// `buf` mutexes), then the write-back/invalidation plumbing, then
 /// actor handles and counters.
 pub const LOCK_ORDER: &[(&str, u32)] = &[
     ("callbacks", 0),
@@ -44,25 +46,41 @@ pub const LOCK_ORDER: &[(&str, u32)] = &[
     ("mounts", 0),
     ("disk", 1),
     ("state", 2),
-    ("flush_queue", 3),
-    ("self_ref", 4),
-    ("flusher", 4),
-    ("poller", 4),
-    ("poll_ts", 5),
-    ("stats", 6),
+    ("deleg", 2),
+    ("buffers", 3),
+    ("buf", 4),
+    ("flush_queue", 5),
+    ("flusher", 6),
+    ("poller", 6),
+    ("poll_ts", 7),
+    ("stats", 8),
 ];
 
 /// Method names that send an RPC or invoke a callback (directly or as
-/// the documented entry point of a path that does).
+/// the documented entry point of a path that does). `send` /
+/// `send_with_cred` / `wait_pending` are the split halves of the
+/// [`RpcChannel`] pipeline: issuing *or* awaiting a pending call parks
+/// the actor, so a live guard at either point is held across the wire.
+/// (`wait` itself is deliberately absent: `Condvar::wait(guard)` in the
+/// TCP transport legitimately consumes a guard.)
+///
+/// [`RpcChannel`]: ../../rpc/src/channel.rs
 const SEND_MARKERS: &[&str] = &[
     "call",
     "call_with_cred",
+    "send",
+    "send_with_cred",
+    "wait_pending",
     "dispatch",
     "forward",
     "perform_recall",
     "perform_recalls",
+    "send_recall",
+    "finish_recall",
     "flush_block",
+    "flush_blocks",
     "flush_all",
+    "drain_flush_queue",
     "poll_once",
 ];
 

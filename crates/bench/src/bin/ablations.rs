@@ -4,11 +4,15 @@
 //! 2. polling period (fixed vs exponential back-off) vs staleness and
 //!    poll traffic,
 //! 3. delegation expiration vs callback volume and tracked state,
-//! 4. partial write-back threshold vs contending-reader latency.
+//! 4. partial write-back threshold vs contending-reader latency,
+//! 5. write-back pipelining (xid-multiplexed WRITE batches sharing one
+//!    WAN round trip) vs the serial one-RPC-at-a-time fallback.
 //!
-//! Run: `cargo run --release -p gvfs-bench --bin ablations`
+//! Run: `cargo run --release -p gvfs-bench --bin ablations [--only <name>]`
+//! where `<name>` is one of `buffer-capacity`, `polling-period`,
+//! `delegation-expiration`, `writeback-threshold`, `pipelining`.
 
-use gvfs_bench::{getinv_calls, nfs_calls, print_table, save_json};
+use gvfs_bench::{getinv_calls, nfs_calls, print_table, rpc_meta, save_json};
 use gvfs_client::{MountOptions, NfsClient};
 use gvfs_core::session::{Session, SessionConfig};
 use gvfs_core::{ConsistencyModel, DelegationConfig};
@@ -317,19 +321,96 @@ fn writeback_threshold_sweep() -> Vec<serde_json::Value> {
     json
 }
 
-fn main() {
-    let a1 = buffer_capacity_sweep();
-    let a2 = polling_period_sweep();
-    let a3 = expiration_sweep();
-    let a4 = writeback_threshold_sweep();
-    save_json(
-        "ablations.json",
-        &serde_json::json!({
-            "experiment": "ablations",
-            "buffer_capacity": a1,
-            "polling_period": a2,
-            "delegation_expiration": a3,
-            "writeback_threshold": a4,
-        }),
+/// Ablation 5: write-back pipelining. One client dirties 32 blocks
+/// (4 KiB in each 32 KiB block, so the flush sends partial segments)
+/// and unmounts; the flush drain is timed with pipelining on and off.
+/// Pipelined, the batch pays 32 serializations and one WAN round trip;
+/// serial, every block pays its own round trip.
+fn pipelining_sweep() -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut drains = [0.0f64; 2];
+    for (i, pipeline) in [false, true].into_iter().enumerate() {
+        let sim = Sim::new();
+        let session = Session::builder(SessionConfig {
+            model: ConsistencyModel::InvalidationPolling {
+                period: Duration::from_secs(30),
+                backoff_max: None,
+            },
+            write_back: true,
+            pipeline_writeback: pipeline,
+            ..SessionConfig::default()
+        })
+        .clients(1)
+        .wan(LinkConfig::wan())
+        .establish(&sim);
+        let t = session.client_transport(0);
+        let root = session.root_fh();
+        let stats = session.wan_stats().clone();
+        let handle = session.handle();
+        let drain = Arc::new(Mutex::new(0.0f64));
+        let d2 = Arc::clone(&drain);
+        sim.spawn("trickler", move || {
+            let c = NfsClient::new(t, root, MountOptions::noac());
+            let fh = c.write_file("/trickle", b"seed").unwrap();
+            for block in 0..32u64 {
+                c.write(fh, block * 32 * 1024, &[9u8; 4096]).unwrap();
+            }
+            // Unmounting drains the delayed writes; time that drain.
+            let t0 = gvfs_netsim::now();
+            handle.shutdown();
+            *d2.lock() = gvfs_netsim::now().saturating_since(t0).as_secs_f64();
+        });
+        sim.run();
+        let snap = stats.snapshot();
+        let drained = *drain.lock();
+        drains[i] = drained;
+        rows.push(vec![
+            if pipeline { "pipelined" } else { "serial" }.to_string(),
+            format!("{:.3}", drained),
+            snap.max_in_flight().to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "pipeline": pipeline,
+            "flush_drain_s": drained,
+            "rpc": rpc_meta(&snap),
+        }));
+    }
+    let speedup = drains[0] / drains[1];
+    print_table(
+        "Ablation 5: write-back pipelining (32 dirty blocks flushed at unmount)",
+        &["mode", "flush drain (s)", "max in-flight"],
+        &rows,
     );
+    println!("pipelining speedup: {speedup:.1}x (target: >=2x)");
+    assert!(speedup >= 2.0, "pipelined flush must drain >=2x faster, got {speedup:.2}x");
+    json.push(serde_json::json!({ "speedup": speedup }));
+    json
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let only = args.iter().position(|a| a == "--only").and_then(|i| args.get(i + 1)).cloned();
+    let run = |name: &str| only.as_deref().is_none_or(|o| o == name);
+
+    let mut doc: Vec<(String, serde_json::Value)> = Vec::new();
+    doc.push(("experiment".into(), serde_json::json!("ablations")));
+    if run("buffer-capacity") {
+        doc.push(("buffer_capacity".into(), buffer_capacity_sweep().into()));
+    }
+    if run("polling-period") {
+        doc.push(("polling_period".into(), polling_period_sweep().into()));
+    }
+    if run("delegation-expiration") {
+        doc.push(("delegation_expiration".into(), expiration_sweep().into()));
+    }
+    if run("writeback-threshold") {
+        doc.push(("writeback_threshold".into(), writeback_threshold_sweep().into()));
+    }
+    if run("pipelining") {
+        doc.push(("pipelining".into(), pipelining_sweep().into()));
+    }
+    // A partial run must not clobber the full committed results.
+    let name = if only.is_some() { "ablations-partial.json" } else { "ablations.json" };
+    save_json(name, &serde_json::Value::Object(doc));
 }

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin fig4 [--small]`
 
-use gvfs_bench::{print_table, save_json, small_mode, RpcBreakdown};
+use gvfs_bench::{print_table, rpc_meta, save_json, small_mode, RpcBreakdown};
 use gvfs_client::{MountOptions, NfsClient};
 use gvfs_core::session::{NativeMount, Session, SessionConfig};
 use gvfs_core::ConsistencyModel;
@@ -40,6 +40,7 @@ impl Setup {
 struct Outcome {
     runtime: Duration,
     rpcs: RpcBreakdown,
+    rpc: serde_json::Value,
 }
 
 fn run_one(setup: Setup, link: LinkConfig, config: &MakeConfig) -> Outcome {
@@ -77,9 +78,11 @@ fn run_one(setup: Setup, link: LinkConfig, config: &MakeConfig) -> Outcome {
             });
             sim.run();
             let report = result.lock().take().expect("report");
+            let snap = stats.snapshot();
             return Outcome {
                 runtime: report.runtime,
-                rpcs: RpcBreakdown::from_snapshot(&stats.snapshot()),
+                rpcs: RpcBreakdown::from_snapshot(&snap),
+                rpc: rpc_meta(&snap),
             };
         }
     };
@@ -92,7 +95,12 @@ fn run_one(setup: Setup, link: LinkConfig, config: &MakeConfig) -> Outcome {
     });
     sim.run();
     let report = result.lock().take().expect("report");
-    Outcome { runtime: report.runtime, rpcs: RpcBreakdown::from_snapshot(&stats.snapshot()) }
+    let snap = stats.snapshot();
+    Outcome {
+        runtime: report.runtime,
+        rpcs: RpcBreakdown::from_snapshot(&snap),
+        rpc: rpc_meta(&snap),
+    }
 }
 
 fn main() {
@@ -164,6 +172,7 @@ fn main() {
                 "setup": s.name(),
                 "runtime_s": o.runtime.as_secs_f64(),
                 "rpcs": o.rpcs.to_json(),
+                "rpc": o.rpc,
             })).collect::<Vec<_>>(),
             "lan": lan_outcomes.iter().map(|(s, o)| serde_json::json!({
                 "setup": s.name(),

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin fig5 [--small]`
 
-use gvfs_bench::{print_table, save_json, small_mode};
+use gvfs_bench::{print_table, rpc_meta, save_json, small_mode};
 use gvfs_client::{MountOptions, NfsClient};
 use gvfs_core::session::{NativeMount, Session, SessionConfig};
 use gvfs_core::ConsistencyModel;
@@ -36,7 +36,7 @@ impl Setup {
     }
 }
 
-fn run_one(setup: Setup, rtt_ms: f64, config: &PostmarkConfig) -> Duration {
+fn run_one(setup: Setup, rtt_ms: f64, config: &PostmarkConfig) -> (Duration, serde_json::Value) {
     // Figure 5 varies only the end-to-end latency (NIST Net delay
     // emulation on the testbed LAN); bandwidth stays at 100 Mbit/s.
     let link = LinkConfig::lan().with_rtt(Duration::from_micros((rtt_ms * 1000.0) as u64));
@@ -44,7 +44,7 @@ fn run_one(setup: Setup, rtt_ms: f64, config: &PostmarkConfig) -> Duration {
     let result = Arc::new(Mutex::new(None));
     let r2 = Arc::clone(&result);
     let cfg = config.clone();
-    match setup {
+    let stats = match setup {
         Setup::Nfs => {
             let native = NativeMount::establish(1, link, None);
             let (t, root) = (native.client_transport(0), native.root_fh());
@@ -52,6 +52,7 @@ fn run_one(setup: Setup, rtt_ms: f64, config: &PostmarkConfig) -> Duration {
                 let client = NfsClient::new(t, root, MountOptions::default());
                 *r2.lock() = Some(postmark::run(&client, &cfg).runtime);
             });
+            native.stats().clone()
         }
         Setup::Gvfs1 | Setup::Gvfs2 => {
             let session_config = SessionConfig {
@@ -67,17 +68,19 @@ fn run_one(setup: Setup, rtt_ms: f64, config: &PostmarkConfig) -> Duration {
             let handle = session.handle();
             let mount =
                 if setup == Setup::Gvfs1 { MountOptions::default() } else { MountOptions::noac() };
+            let stats = session.wan_stats().clone();
             sim.spawn("postmark", move || {
                 let client = NfsClient::new(t, root, mount);
                 let report = postmark::run(&client, &cfg);
                 handle.shutdown();
                 *r2.lock() = Some(report.runtime);
             });
+            stats
         }
-    }
+    };
     sim.run();
     let out = result.lock().take().expect("runtime");
-    out
+    (out, rpc_meta(&stats.snapshot()))
 }
 
 fn main() {
@@ -91,9 +94,13 @@ fn main() {
         let mut row = vec![setup.name().to_string()];
         let mut points = Vec::new();
         for &rtt in &rtts {
-            let runtime = run_one(setup, rtt, &config);
+            let (runtime, rpc) = run_one(setup, rtt, &config);
             row.push(format!("{:.1}", runtime.as_secs_f64()));
-            points.push(serde_json::json!({ "rtt_ms": rtt, "runtime_s": runtime.as_secs_f64() }));
+            points.push(serde_json::json!({
+                "rtt_ms": rtt,
+                "runtime_s": runtime.as_secs_f64(),
+                "rpc": rpc,
+            }));
             eprintln!("  [{} @ {rtt} ms: {:.1}s]", setup.name(), runtime.as_secs_f64());
         }
         rows.push(row);

@@ -10,7 +10,7 @@
 //! Run: `cargo run --release -p gvfs-bench --bin fig6 [--small]`
 
 use gvfs_afs::{AfsClient, AfsServer};
-use gvfs_bench::{print_table, save_json, small_mode, RpcBreakdown};
+use gvfs_bench::{print_table, rpc_meta, save_json, small_mode, RpcBreakdown};
 use gvfs_client::{MountOptions, NfsClient};
 use gvfs_core::session::{NativeMount, Session, SessionConfig};
 use gvfs_core::ConsistencyModel;
@@ -51,6 +51,7 @@ impl Setup {
 struct Outcome {
     runtime: Duration,
     rpcs: RpcBreakdown,
+    rpc: serde_json::Value,
     fairness: lock::Fairness,
 }
 
@@ -110,9 +111,11 @@ fn run_nfs_like(setup: Setup, config: LockConfig) -> Outcome {
                 });
             }
             let end = sim.run();
+            let snap = stats.snapshot();
             return Outcome {
                 runtime: end.saturating_since(gvfs_netsim::SimTime::ZERO),
-                rpcs: RpcBreakdown::from_snapshot(&stats.snapshot()),
+                rpcs: RpcBreakdown::from_snapshot(&snap),
+                rpc: rpc_meta(&snap),
                 fairness: lock::fairness(&log, CLIENTS),
             };
         }
@@ -133,9 +136,11 @@ fn run_nfs_like(setup: Setup, config: LockConfig) -> Outcome {
         });
     }
     let end = sim.run();
+    let snap = stats.snapshot();
     Outcome {
         runtime: end.saturating_since(gvfs_netsim::SimTime::ZERO),
-        rpcs: RpcBreakdown::from_snapshot(&stats.snapshot()),
+        rpcs: RpcBreakdown::from_snapshot(&snap),
+        rpc: rpc_meta(&snap),
         fairness: lock::fairness(&log, CLIENTS),
     }
 }
@@ -198,9 +203,11 @@ fn run_afs(config: LockConfig) -> Outcome {
         });
     }
     let end = sim.run();
+    let snap = stats.snapshot();
     Outcome {
         runtime: end.saturating_since(gvfs_netsim::SimTime::ZERO),
-        rpcs: RpcBreakdown::from_snapshot(&stats.snapshot()),
+        rpcs: RpcBreakdown::from_snapshot(&snap),
+        rpc: rpc_meta(&snap),
         fairness: lock::fairness(&log, CLIENTS),
     }
 }
@@ -291,6 +298,7 @@ fn main() {
                 "setup": s.name(),
                 "runtime_s": o.runtime.as_secs_f64(),
                 "rpcs": o.rpcs.to_json(),
+                "rpc": o.rpc,
                 "fairness": {
                     "max_consecutive": o.fairness.max_consecutive,
                     "per_client": o.fairness.per_client,

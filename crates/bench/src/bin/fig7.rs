@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin fig7 [--small]`
 
-use gvfs_bench::{getinv_calls, nfs_calls, print_table, save_json, small_mode};
+use gvfs_bench::{getinv_calls, nfs_calls, print_table, rpc_meta, save_json, small_mode};
 use gvfs_client::{MountOptions, NfsClient};
 use gvfs_core::session::{NativeMount, Session, SessionConfig};
 use gvfs_core::ConsistencyModel;
@@ -33,6 +33,8 @@ struct Outcome {
     getinv_for_update: f64,
     /// GETATTR calls per client per run (steady state).
     getattr_per_client_run: f64,
+    /// Channel metadata (pipelining high-water mark, latencies).
+    rpc: serde_json::Value,
 }
 
 fn run_one(gvfs: bool, scope: UpdateScope, config: &NanomosConfig) -> Outcome {
@@ -157,7 +159,12 @@ fn run_one(gvfs: bool, scope: UpdateScope, config: &NanomosConfig) -> Outcome {
     let getattr_per_client_run =
         nfs_calls(&final_snap, proc3::GETATTR) as f64 / (COMPUTE_CLIENTS * iterations) as f64;
 
-    Outcome { runtimes: means, getinv_for_update, getattr_per_client_run }
+    Outcome {
+        runtimes: means,
+        getinv_for_update,
+        getattr_per_client_run,
+        rpc: rpc_meta(&final_snap),
+    }
 }
 
 fn main() {
@@ -188,6 +195,8 @@ fn main() {
             "gvfs_runtimes_s": gvfs.runtimes,
             "nfs_getattr_per_client_run": nfs.getattr_per_client_run,
             "gvfs_getinv_per_client_update": gvfs.getinv_for_update,
+            "nfs_rpc": nfs.rpc,
+            "gvfs_rpc": gvfs.rpc,
         }));
     }
 

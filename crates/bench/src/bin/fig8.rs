@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin fig8 [--small]`
 
-use gvfs_bench::{callback_calls, print_table, save_json, small_mode};
+use gvfs_bench::{callback_calls, print_table, rpc_meta, save_json, small_mode};
 use gvfs_client::{MountOptions, NfsClient};
 use gvfs_core::session::{NativeMount, Session, SessionConfig};
 use gvfs_core::ConsistencyModel;
@@ -23,6 +23,7 @@ use std::sync::Arc;
 struct Outcome {
     runtimes: Vec<f64>,
     callbacks_per_run: Vec<f64>,
+    rpc: serde_json::Value,
 }
 
 fn run_one(gvfs: bool, config: &Ch1dConfig) -> Outcome {
@@ -64,12 +65,17 @@ fn run_one(gvfs: bool, config: &Ch1dConfig) -> Outcome {
                 runtimes.push(runtime.as_secs_f64());
             }
             handle.shutdown();
-            *o2.lock() = Some(Outcome { runtimes, callbacks_per_run: callbacks });
+            *o2.lock() = Some(Outcome {
+                runtimes,
+                callbacks_per_run: callbacks,
+                rpc: rpc_meta(&stats.snapshot()),
+            });
         });
     } else {
         let native = NativeMount::establish(2, LinkConfig::wan(), Some(vfs));
         let (tp, tc) = (native.client_transport(0), native.client_transport(1));
         let root = native.root_fh();
+        let stats: RpcStats = native.stats().clone();
         sim.spawn("pipeline", move || {
             let producer = NfsClient::new(tp, root, MountOptions::default());
             let consumer = NfsClient::new(tc, root, MountOptions::default());
@@ -77,7 +83,11 @@ fn run_one(gvfs: bool, config: &Ch1dConfig) -> Outcome {
                 .into_iter()
                 .map(|d| d.as_secs_f64())
                 .collect();
-            *o2.lock() = Some(Outcome { runtimes, callbacks_per_run: Vec::new() });
+            *o2.lock() = Some(Outcome {
+                runtimes,
+                callbacks_per_run: Vec::new(),
+                rpc: rpc_meta(&stats.snapshot()),
+            });
         });
     }
     sim.run();
@@ -125,6 +135,8 @@ fn main() {
             "nfs_runtimes_s": nfs.runtimes,
             "gvfs_runtimes_s": gvfs.runtimes,
             "gvfs_callbacks_per_run": gvfs.callbacks_per_run,
+            "nfs_rpc": nfs.rpc,
+            "gvfs_rpc": gvfs.rpc,
             "final_speedup": nfs.runtimes[last] / gvfs.runtimes[last],
         }),
     );

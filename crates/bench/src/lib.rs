@@ -105,6 +105,54 @@ impl RpcBreakdown {
     }
 }
 
+/// Human-readable name for a (program, procedure) pair, for JSON keys.
+fn proc_name(program: u32, procedure: u32) -> String {
+    let prog = match program {
+        NFS_PROGRAM => "nfs",
+        GVFS_PROXY_PROGRAM => "gvfs",
+        GVFS_CALLBACK_PROGRAM => "cb",
+        other => return format!("prog{other}.{procedure}"),
+    };
+    let proc = match (program, procedure) {
+        (GVFS_CALLBACK_PROGRAM, proc_ext::CALLBACK) => "CALLBACK".into(),
+        (GVFS_CALLBACK_PROGRAM, proc_ext::RECOVER) => "RECOVER".into(),
+        (_, p) if p == proc_ext::GETINV => "GETINV".into(),
+        (_, proc3::NULL) => "NULL".into(),
+        (_, proc3::GETATTR) => "GETATTR".into(),
+        (_, proc3::LOOKUP) => "LOOKUP".into(),
+        (_, proc3::READ) => "READ".into(),
+        (_, proc3::WRITE) => "WRITE".into(),
+        (_, proc3::CREATE) => "CREATE".into(),
+        (_, proc3::COMMIT) => "COMMIT".into(),
+        (_, p) => format!("proc{p}"),
+    };
+    format!("{prog}.{proc}")
+}
+
+/// RPC-channel metadata for a figure's JSON output: the pipelining
+/// high-water mark and per-procedure mean latencies (§ the paper reports
+/// RPC *counts*; this makes the concurrency of the channel observable
+/// alongside them).
+pub fn rpc_meta(snap: &StatsSnapshot) -> serde_json::Value {
+    let mut latencies: Vec<(String, serde_json::Value)> = Vec::new();
+    for (&(program, procedure), counter) in snap.iter() {
+        if counter.latency_nanos == 0 {
+            continue;
+        }
+        latencies.push((
+            proc_name(program, procedure),
+            serde_json::json!({
+                "calls": counter.calls,
+                "mean_latency_us": counter.mean_latency_nanos() / 1_000,
+            }),
+        ));
+    }
+    serde_json::json!({
+        "max_in_flight": snap.max_in_flight(),
+        "latency": serde_json::Value::Object(latencies),
+    })
+}
+
 /// Prints a fixed-width header followed by rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");

@@ -7,10 +7,24 @@
 //! their buffer with `GETINV`; the server detects first contact, client
 //! restart and wrap-around and answers with a `force-invalidate` flag in
 //! those cases.
+//!
+//! Two tracker shapes share the per-buffer logic ([`ClientBuffer`],
+//! private to this module):
+//!
+//! * [`InvalidationTracker`] — the single-owner (`&mut self`) form used
+//!   by unit tests and the protocol model checker, where explicit state
+//!   enumeration needs plain values;
+//! * [`ConcurrentInvalidationTracker`] — the proxy server's form: the
+//!   logical clock is atomic and every client's buffer has its own
+//!   lock, so request handlers for different clients append and drain
+//!   invalidations without serializing on one global mutex.
 
 use crate::protocol::{GetinvRes, MAX_INVALIDATIONS_PER_REPLY};
 use gvfs_nfs3::Fh3;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 struct ClientBuffer {
@@ -19,6 +33,86 @@ struct ClientBuffer {
     /// Timestamps at or below this value may have been discarded
     /// (buffer creation point or wrap-around).
     floor: u64,
+}
+
+impl ClientBuffer {
+    fn new(floor: u64, capacity: usize) -> Self {
+        ClientBuffer { entries: VecDeque::with_capacity(capacity), members: HashSet::new(), floor }
+    }
+
+    /// Appends one invalidation entry (coalesced per file; wraps past
+    /// `capacity` by discarding the oldest entry and raising the floor).
+    fn record(&mut self, ts: u64, fh: Fh3, capacity: usize) {
+        if self.members.contains(&fh) {
+            return; // coalesced with a pending entry
+        }
+        self.entries.push_back((ts, fh));
+        self.members.insert(fh);
+        if self.entries.len() > capacity {
+            // Wrap-around: discard the oldest and remember how far back
+            // the buffer is still complete.
+            if let Some((lost_ts, lost_fh)) = self.entries.pop_front() {
+                self.members.remove(&lost_fh);
+                self.floor = self.floor.max(lost_ts);
+            }
+        }
+    }
+
+    /// Answers one `GETINV` call against this buffer (§4.2.1, server
+    /// side). `first_contact` is decided by the owner (buffer existence);
+    /// `clock` is the tracker's current logical timestamp.
+    fn getinv(
+        &mut self,
+        last_timestamp: Option<u64>,
+        clock: u64,
+        first_contact: bool,
+    ) -> GetinvRes {
+        // Rule 1 (§4.2.1): the first GETINV from a client — including
+        // the first after a server restart lost all buffers — always
+        // bootstraps with a force-invalidation. So does a client that
+        // lost its timestamp. Rule 2: so does a buffer that has wrapped
+        // past what the client has seen.
+        let force = first_contact
+            || match last_timestamp {
+                None => true,
+                Some(ts) if ts < self.floor => true,
+                Some(_) => false,
+            };
+        if force {
+            self.entries.clear();
+            self.members.clear();
+            self.floor = clock;
+            return GetinvRes {
+                timestamp: clock,
+                force_invalidate: true,
+                poll_again: false,
+                handles: Vec::new(),
+            };
+        }
+        if self.entries.len() > MAX_INVALIDATIONS_PER_REPLY {
+            // Partial drain: return the oldest slice and have the client
+            // poll again immediately.
+            let mut handles = Vec::with_capacity(MAX_INVALIDATIONS_PER_REPLY);
+            let mut last_ts = clock;
+            for _ in 0..MAX_INVALIDATIONS_PER_REPLY {
+                let (ts, fh) = self.entries.pop_front().expect("len checked");
+                self.members.remove(&fh);
+                last_ts = ts;
+                handles.push(fh);
+            }
+            self.floor = last_ts;
+            GetinvRes { timestamp: last_ts, force_invalidate: false, poll_again: true, handles }
+        } else {
+            let handles: Vec<Fh3> = self.entries.drain(..).map(|(_, fh)| fh).collect();
+            self.members.clear();
+            self.floor = clock;
+            GetinvRes { timestamp: clock, force_invalidate: false, poll_again: false, handles }
+        }
+    }
+
+    fn dump(&self) -> (u64, Vec<(u64, Fh3)>) {
+        (self.floor, self.entries.iter().copied().collect())
+    }
 }
 
 /// One client's buffer as reported by [`InvalidationTracker::snapshot`]:
@@ -70,19 +164,7 @@ impl InvalidationTracker {
             if client == writer {
                 continue;
             }
-            if buf.members.contains(&fh) {
-                continue; // coalesced with a pending entry
-            }
-            buf.entries.push_back((ts, fh));
-            buf.members.insert(fh);
-            if buf.entries.len() > self.capacity {
-                // Wrap-around: discard the oldest and remember how far
-                // back the buffer is still complete.
-                if let Some((lost_ts, lost_fh)) = buf.entries.pop_front() {
-                    buf.members.remove(&lost_fh);
-                    buf.floor = buf.floor.max(lost_ts);
-                }
-            }
+            buf.record(ts, fh, self.capacity);
         }
     }
 
@@ -90,54 +172,9 @@ impl InvalidationTracker {
     pub fn getinv(&mut self, client: u32, last_timestamp: Option<u64>) -> GetinvRes {
         let clock = self.clock;
         let capacity = self.capacity;
-        // Rule 1 (§4.2.1): the first GETINV from a client — including
-        // the first after a server restart lost all buffers — always
-        // bootstraps with a force-invalidation.
         let first_contact = !self.buffers.contains_key(&client);
-        let buf = self.buffers.entry(client).or_insert_with(|| ClientBuffer {
-            entries: VecDeque::with_capacity(capacity),
-            members: HashSet::new(),
-            floor: clock,
-        });
-        let force = first_contact
-            || match last_timestamp {
-                // Client lost its timestamp: bootstrap.
-                None => true,
-                // Rule 2: the buffer has wrapped past what the client
-                // has seen.
-                Some(ts) if ts < buf.floor => true,
-                Some(_) => false,
-            };
-        if force {
-            buf.entries.clear();
-            buf.members.clear();
-            buf.floor = self.clock;
-            return GetinvRes {
-                timestamp: self.clock,
-                force_invalidate: true,
-                poll_again: false,
-                handles: Vec::new(),
-            };
-        }
-        if buf.entries.len() > MAX_INVALIDATIONS_PER_REPLY {
-            // Partial drain: return the oldest slice and have the client
-            // poll again immediately.
-            let mut handles = Vec::with_capacity(MAX_INVALIDATIONS_PER_REPLY);
-            let mut last_ts = self.clock;
-            for _ in 0..MAX_INVALIDATIONS_PER_REPLY {
-                let (ts, fh) = buf.entries.pop_front().expect("len checked");
-                buf.members.remove(&fh);
-                last_ts = ts;
-                handles.push(fh);
-            }
-            buf.floor = last_ts;
-            GetinvRes { timestamp: last_ts, force_invalidate: false, poll_again: true, handles }
-        } else {
-            let handles: Vec<Fh3> = buf.entries.drain(..).map(|(_, fh)| fh).collect();
-            buf.members.clear();
-            buf.floor = self.clock;
-            GetinvRes { timestamp: self.clock, force_invalidate: false, poll_again: false, handles }
-        }
+        let buf = self.buffers.entry(client).or_insert_with(|| ClientBuffer::new(clock, capacity));
+        buf.getinv(last_timestamp, clock, first_contact)
     }
 
     /// Number of registered client buffers.
@@ -157,7 +194,128 @@ impl InvalidationTracker {
         let mut out: Vec<BufferSnapshot> = self
             .buffers
             .iter()
-            .map(|(&c, b)| (c, b.floor, b.entries.iter().copied().collect()))
+            .map(|(&c, b)| {
+                let (floor, entries) = b.dump();
+                (c, floor, entries)
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(c, _, _)| c);
+        out
+    }
+}
+
+#[derive(Debug)]
+struct ClientSlot {
+    buf: Mutex<ClientBuffer>,
+}
+
+/// The proxy server's concurrently-shared form of
+/// [`InvalidationTracker`]: same protocol behaviour (the per-buffer
+/// logic is literally shared), but the logical clock is an atomic and
+/// each client's buffer sits behind its own lock. Request handlers for
+/// different clients therefore never contend on a global mutex — a
+/// `WRITE` appending invalidations and a `GETINV` draining another
+/// client's buffer proceed in parallel.
+///
+/// Lock order: the `buffers` map lock is strictly outer to any per
+/// client `buf` lock, and no RPC is ever sent under either.
+#[derive(Debug)]
+pub struct ConcurrentInvalidationTracker {
+    buffers: RwLock<HashMap<u32, Arc<ClientSlot>>>,
+    capacity: AtomicUsize,
+    clock: AtomicU64,
+}
+
+impl ConcurrentInvalidationTracker {
+    /// Creates a tracker whose per-client buffers hold at most
+    /// `capacity` entries before wrapping.
+    pub fn new(capacity: usize) -> Self {
+        ConcurrentInvalidationTracker {
+            buffers: RwLock::new(HashMap::new()),
+            capacity: AtomicUsize::new(capacity.max(1)),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// Discards all buffers and restarts the clock with a new capacity
+    /// (server crash, or the middleware re-configuring the session).
+    pub fn reset(&self, capacity: usize) {
+        let mut buffers = self.buffers.write();
+        buffers.clear();
+        self.capacity.store(capacity.max(1), Ordering::SeqCst);
+        self.clock.store(0, Ordering::SeqCst);
+    }
+
+    /// The current logical timestamp.
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Records a file modification observed from `writer`: every other
+    /// registered client gets an invalidation entry (coalesced per
+    /// file).
+    pub fn record_modification(&self, fh: Fh3, writer: u32) {
+        let ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let capacity = self.capacity.load(Ordering::SeqCst);
+        let buffers = self.buffers.read();
+        for (&client, slot) in buffers.iter() {
+            if client == writer {
+                continue;
+            }
+            slot.buf.lock().record(ts, fh, capacity);
+        }
+    }
+
+    /// Processes one `GETINV` call (§4.2.1, server side).
+    pub fn getinv(&self, client: u32, last_timestamp: Option<u64>) -> GetinvRes {
+        let existing = {
+            let buffers = self.buffers.read();
+            buffers.get(&client).cloned()
+        };
+        let (slot, first_contact) = match existing {
+            Some(slot) => (slot, false),
+            None => {
+                let capacity = self.capacity.load(Ordering::SeqCst);
+                let clock = self.clock.load(Ordering::SeqCst);
+                let mut buffers = self.buffers.write();
+                // A racing first contact resolves to whoever inserted
+                // first; the loser sees an existing buffer.
+                let first = !buffers.contains_key(&client);
+                let slot = Arc::clone(buffers.entry(client).or_insert_with(|| {
+                    Arc::new(ClientSlot { buf: Mutex::new(ClientBuffer::new(clock, capacity)) })
+                }));
+                (slot, first)
+            }
+        };
+        let clock = self.clock.load(Ordering::SeqCst);
+        let res = slot.buf.lock().getinv(last_timestamp, clock, first_contact);
+        res
+    }
+
+    /// Number of registered client buffers.
+    pub fn client_count(&self) -> usize {
+        self.buffers.read().len()
+    }
+
+    /// Entries pending for one client (diagnostics).
+    pub fn pending(&self, client: u32) -> usize {
+        let slot = {
+            let buffers = self.buffers.read();
+            buffers.get(&client).cloned()
+        };
+        slot.map_or(0, |s| s.buf.lock().entries.len())
+    }
+
+    /// A canonical dump of every client buffer, sorted by client id —
+    /// same shape as [`InvalidationTracker::snapshot`].
+    pub fn snapshot(&self) -> Vec<BufferSnapshot> {
+        let buffers = self.buffers.read();
+        let mut out: Vec<BufferSnapshot> = buffers
+            .iter()
+            .map(|(&c, s)| {
+                let (floor, entries) = s.buf.lock().dump();
+                (c, floor, entries)
+            })
             .collect();
         out.sort_unstable_by_key(|&(c, _, _)| c);
         out
@@ -304,5 +462,81 @@ mod tests {
             assert!(t.now() > last);
             last = t.now();
         }
+    }
+
+    /// One scripted operation against both tracker shapes.
+    enum Op {
+        Record(u64, u32),
+        Getinv(u32, UseTs),
+    }
+
+    enum UseTs {
+        Null,
+        Last,
+        Stale,
+    }
+
+    /// The concurrent tracker must be operationally indistinguishable
+    /// from the reference tracker: same script, same replies — across
+    /// bootstrap, coalescing, wrap-around, pagination and restart.
+    #[test]
+    fn concurrent_tracker_matches_reference() {
+        use Op::{Getinv, Record};
+        let mut script = vec![
+            Getinv(1, UseTs::Null),
+            Getinv(2, UseTs::Null),
+            Record(7, 1),
+            Record(7, 1), // coalesces
+            Record(8, 2),
+            Getinv(1, UseTs::Last),
+            Getinv(2, UseTs::Last),
+            Getinv(3, UseTs::Null), // late first contact
+        ];
+        // Wrap-around (capacity 4) for client 3, then a stale poll.
+        for i in 0..10 {
+            script.push(Record(100 + i, 1));
+        }
+        script.push(Getinv(3, UseTs::Stale));
+        script.push(Getinv(3, UseTs::Last));
+        script.push(Getinv(2, UseTs::Last));
+        script.push(Getinv(1, UseTs::Null)); // client 1 restarts
+
+        let mut reference = InvalidationTracker::new(4);
+        let concurrent = ConcurrentInvalidationTracker::new(4);
+        let mut last_ts: HashMap<u32, u64> = HashMap::new();
+        for op in &script {
+            match op {
+                Record(id, writer) => {
+                    reference.record_modification(fh(*id), *writer);
+                    concurrent.record_modification(fh(*id), *writer);
+                    assert_eq!(reference.now(), concurrent.now());
+                }
+                Getinv(client, ts) => {
+                    let last = match ts {
+                        UseTs::Null => None,
+                        UseTs::Last => last_ts.get(client).copied(),
+                        UseTs::Stale => Some(0),
+                    };
+                    let a = reference.getinv(*client, last);
+                    let b = concurrent.getinv(*client, last);
+                    assert_eq!(a, b, "replies diverged for client {client}");
+                    last_ts.insert(*client, a.timestamp);
+                }
+            }
+        }
+        assert_eq!(reference.snapshot(), concurrent.snapshot());
+        assert_eq!(reference.client_count(), concurrent.client_count());
+    }
+
+    #[test]
+    fn concurrent_reset_rebootstraps_clients() {
+        let t = ConcurrentInvalidationTracker::new(8);
+        let boot = t.getinv(1, None);
+        t.record_modification(fh(1), 2);
+        assert_eq!(t.pending(1), 1);
+        t.reset(8);
+        assert_eq!(t.client_count(), 0);
+        let res = t.getinv(1, Some(boot.timestamp));
+        assert!(res.force_invalidate, "buffers lost in reset force a bootstrap");
     }
 }

@@ -79,6 +79,9 @@ pub struct ProxyClient {
     flusher: Mutex<Option<gvfs_netsim::ActorHandle>>,
     poller: Mutex<Option<gvfs_netsim::ActorHandle>>,
     stopped: AtomicBool,
+    /// Pipeline write-back batches over the WAN (ablation knob; the
+    /// serial fallback pays one round trip per block).
+    pipeline: AtomicBool,
     stats: Mutex<ProxyClientStats>,
 }
 
@@ -120,8 +123,16 @@ impl ProxyClient {
             flusher: Mutex::new(None),
             poller: Mutex::new(None),
             stopped: AtomicBool::new(false),
+            pipeline: AtomicBool::new(true),
             stats: Mutex::new(ProxyClientStats::default()),
         })
+    }
+
+    /// Enables or disables pipelined write-back (on by default). With
+    /// pipelining off, every flushed block pays its own WAN round trip —
+    /// the ablation baseline.
+    pub fn set_pipelining(&self, on: bool) {
+        self.pipeline.store(on, Ordering::SeqCst);
     }
 
     /// This client's session-local id.
@@ -188,7 +199,15 @@ impl ProxyClient {
                 Err(e) => return Err(e),
             }
         };
-        let wrapped: WrappedReply = decode(&bytes)?;
+        self.absorb_reply(target, &bytes)
+    }
+
+    /// Unwraps one proxy-program reply: counts it, applies the
+    /// piggybacked grant for `target`, and returns the inner NFS bytes.
+    /// Shared by the blocking [`ProxyClient::forward`] path and the
+    /// pipelined write-back path, which claims replies after the fact.
+    fn absorb_reply(&self, target: Option<Fh3>, bytes: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let wrapped: WrappedReply = decode(bytes)?;
         self.stats.lock().forwarded += 1;
         if let Some(fh) = target {
             let mut st = self.state.lock();
@@ -696,7 +715,92 @@ impl ProxyClient {
         }
     }
 
-    /// Flushes every dirty block of every file (unmount/shutdown path).
+    /// Writes back the dirty segments of the given blocks as one
+    /// pipelined batch: every WRITE goes on the wire before the first
+    /// reply is claimed, so a trickle of N blocks costs N serializations
+    /// plus one WAN round trip instead of N round trips. Blocks whose
+    /// WRITEs fail stay dirty and are retried through the serial
+    /// (hard-mount) path.
+    fn flush_blocks(&self, fh: Fh3, blocks: &[u64]) {
+        if blocks.is_empty() {
+            return;
+        }
+        if !self.pipeline.load(Ordering::SeqCst) {
+            for &block in blocks {
+                self.flush_block(fh, block);
+            }
+            return;
+        }
+        // Phase 1: every segment of every block on the wire.
+        let mut in_flight = Vec::new();
+        let mut failed: HashSet<u64> = HashSet::new();
+        for &block in blocks {
+            let segments: Vec<(u64, Vec<u8>)> = {
+                let disk = self.disk.lock();
+                match disk.file(fh) {
+                    Some(fc) => fc.dirty_in_block(block, BLOCK_SIZE),
+                    None => return,
+                }
+            };
+            for (offset, data) in segments {
+                let count = data.len() as u32;
+                let Ok(args) = gvfs_xdr::to_bytes(&WriteArgs {
+                    file: fh,
+                    offset,
+                    count,
+                    stable: StableHow::FileSync,
+                    data,
+                }) else {
+                    failed.insert(block);
+                    continue;
+                };
+                match self.wan.send(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc3::WRITE, args) {
+                    Ok(call) => in_flight.push((block, call)),
+                    Err(_) => {
+                        failed.insert(block);
+                    }
+                }
+            }
+        }
+        // Phase 2: claim replies (in send order) and apply piggybacked
+        // grants.
+        for (block, call) in in_flight {
+            match self.wan.wait_pending(call) {
+                Ok(bytes) => {
+                    if self.absorb_reply(Some(fh), &bytes).is_err() {
+                        failed.insert(block);
+                    }
+                }
+                Err(_) => {
+                    failed.insert(block);
+                }
+            }
+        }
+        // Mark the fully-acknowledged blocks clean.
+        {
+            let mut disk = self.disk.lock();
+            if let Some(fc) = disk.file_mut(fh) {
+                for &block in blocks {
+                    if !failed.contains(&block) {
+                        fc.clean_range(block, BLOCK_SIZE);
+                    }
+                }
+                if !fc.has_dirty() {
+                    self.state.lock().wb_base.remove(&fh);
+                }
+            }
+        }
+        // Transport failures retry serially; the serial path waits out
+        // an outage like a hard mount.
+        for &block in blocks {
+            if failed.contains(&block) {
+                self.flush_block(fh, block);
+            }
+        }
+    }
+
+    /// Flushes every dirty block of every file (unmount/shutdown path),
+    /// one pipelined batch per file.
     pub fn flush_all(&self) {
         let files = self.disk.lock().dirty_files();
         for fh in files {
@@ -704,8 +808,33 @@ impl ProxyClient {
                 let disk = self.disk.lock();
                 disk.file(fh).map(|fc| fc.dirty_blocks(BLOCK_SIZE)).unwrap_or_default()
             };
-            for block in blocks {
-                self.flush_block(fh, block);
+            self.flush_blocks(fh, &blocks);
+        }
+    }
+
+    /// Drains the flush queue, grouping queued blocks into one pipelined
+    /// batch per file.
+    fn drain_flush_queue(&self) {
+        loop {
+            let mut batch: Vec<(Fh3, u64)> = Vec::new();
+            {
+                let mut q = self.flush_queue.lock();
+                while let Some(item) = q.pop_front() {
+                    batch.push(item);
+                }
+            }
+            if batch.is_empty() {
+                return;
+            }
+            let mut by_file: Vec<(Fh3, Vec<u64>)> = Vec::new();
+            for (fh, block) in batch {
+                match by_file.iter_mut().find(|(f, _)| *f == fh) {
+                    Some((_, blocks)) => blocks.push(block),
+                    None => by_file.push((fh, vec![block])),
+                }
+            }
+            for (fh, blocks) in by_file {
+                self.flush_blocks(fh, &blocks);
             }
         }
     }
@@ -716,19 +845,11 @@ impl ProxyClient {
         *self.flusher.lock() = Some(gvfs_netsim::current_actor());
         loop {
             gvfs_netsim::park();
-            if self.stopped.load(Ordering::SeqCst) {
-                // Drain whatever remains before exiting.
-                while let Some((fh, block)) = self.flush_queue.lock().pop_front() {
-                    self.flush_block(fh, block);
-                }
+            let stopping = self.stopped.load(Ordering::SeqCst);
+            // Drain whatever is queued (everything, when stopping).
+            self.drain_flush_queue();
+            if stopping {
                 return;
-            }
-            loop {
-                let next = self.flush_queue.lock().pop_front();
-                match next {
-                    Some((fh, block)) => self.flush_block(fh, block),
-                    None => break,
-                }
             }
         }
     }
@@ -770,10 +891,9 @@ impl ProxyClient {
                 }
                 let threshold = self.deleg_config().partial_writeback_threshold;
                 if blocks.len() <= threshold {
-                    // Small enough: flush inline before replying.
-                    for block in blocks {
-                        self.flush_block(a.fh, block);
-                    }
+                    // Small enough: flush inline (pipelined) before
+                    // replying.
+                    self.flush_blocks(a.fh, &blocks);
                     encode(&CallbackRes::default())
                 } else {
                     // Partial write-back: submit the contended block

@@ -11,9 +11,28 @@
 //!   requests, and piggybacks grants on replies;
 //! * tracks the participating-client list persistently, so a restarted
 //!   proxy server can multicast recovery callbacks (§4.3.4).
+//!
+//! # Concurrency
+//!
+//! The proxy is multithreaded (§4.3.2): while one handler waits out a
+//! WAN callback, others keep serving. Consistency state is therefore
+//! decomposed rather than held under one global mutex:
+//!
+//! * delegation state is **sharded by file handle** — each shard owns a
+//!   [`DelegationTable`] behind its own lock, so handlers touching
+//!   different files never contend;
+//! * invalidation buffers are **per client**
+//!   ([`ConcurrentInvalidationTracker`]): appends and `GETINV` drains
+//!   for different clients proceed in parallel.
+//!
+//! Recall fan-out and the `RECOVER` multicast use the RPC channel's
+//! send/wait split ([`SimRpcClient::send`]): every callback goes on the
+//! wire before the first reply is claimed, so a round to N clients
+//! costs one WAN round trip, not N. No lock is ever held across the
+//! wire.
 
 use crate::delegation::{DelegationKind, DelegationTable, RecallAction};
-use crate::invalidation::InvalidationTracker;
+use crate::invalidation::ConcurrentInvalidationTracker;
 use crate::model::ConsistencyModel;
 use crate::protocol::{
     proc_ext, CallbackArgs, CallbackKind, CallbackRes, DelegationGrant, GetinvArgs, GetinvRes,
@@ -22,6 +41,7 @@ use crate::protocol::{
 use crate::proxy::{block_of, classify, OpClass};
 use gvfs_netsim::transport::SimRpcClient;
 use gvfs_nfs3::{proc3, Fh3, LookupArgs, LookupRes, NFS_PROGRAM, NFS_V3};
+use gvfs_rpc::channel::PendingCall;
 use gvfs_rpc::dispatch::RpcService;
 use gvfs_rpc::message::OpaqueAuth;
 use gvfs_rpc::RpcError;
@@ -29,10 +49,31 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+/// Number of delegation shards. Shard choice hashes the file handle, so
+/// all state for one file lives in exactly one shard; the per-shard
+/// lock is held only for table operations, never across the wire.
+const DELEG_SHARDS: usize = 8;
+
+/// One delegation shard: the files whose handles hash here.
 #[derive(Debug)]
-struct VolatileState {
-    inval: InvalidationTracker,
-    deleg: DelegationTable,
+struct DelegShard {
+    deleg: Mutex<DelegationTable>,
+}
+
+/// Deterministic shard index for a file handle (fixed-key hasher, so
+/// simulations reproduce across runs and processes).
+fn shard_of(fh: Fh3) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    fh.hash(&mut hasher);
+    (hasher.finish() as usize) % DELEG_SHARDS
+}
+
+/// A recall callback that has been put on the wire but not yet
+/// acknowledged (phase one of a fan-out round).
+struct RecallInFlight {
+    action: RecallAction,
+    call: Option<(SimRpcClient, PendingCall)>,
 }
 
 /// The proxy server service. Register it (wrapped in an `Arc`) with a
@@ -41,14 +82,15 @@ struct VolatileState {
 pub struct ProxyServer {
     model: ConsistencyModel,
     nfs: SimRpcClient,
-    state: Mutex<VolatileState>,
+    /// Delegation state, sharded by file handle.
+    shards: Vec<DelegShard>,
+    /// Per-client invalidation buffers (internally locked).
+    inval: ConcurrentInvalidationTracker,
     /// Callback transports per client id, registered by the session.
     callbacks: RwLock<HashMap<u32, SimRpcClient>>,
     /// The client list is "always stored directly on disk" (§4.3.4):
     /// it survives crashes.
     persisted_clients: Mutex<HashSet<u32>>,
-    /// Back-reference for spawning parallel recall actors.
-    self_ref: Mutex<std::sync::Weak<ProxyServer>>,
 }
 
 impl std::fmt::Debug for ProxyServer {
@@ -61,59 +103,50 @@ impl ProxyServer {
     /// Creates a proxy server forwarding to the kernel NFS server via
     /// `nfs` (a loopback transport), applying `model`.
     pub fn new(model: ConsistencyModel, nfs: SimRpcClient) -> Arc<Self> {
-        let deleg_config = match model {
+        let mut deleg_config = match model {
             ConsistencyModel::DelegationCallback(c) => c,
             _ => crate::model::DelegationConfig::default(),
         };
-        let server = Arc::new(ProxyServer {
+        // The open-file budget is global; each shard polices its slice.
+        deleg_config.max_tracked_files = (deleg_config.max_tracked_files / DELEG_SHARDS).max(1);
+        let shards = (0..DELEG_SHARDS)
+            .map(|_| DelegShard { deleg: Mutex::new(DelegationTable::new(deleg_config)) })
+            .collect();
+        Arc::new(ProxyServer {
             model,
             nfs,
-            state: Mutex::new(VolatileState {
-                inval: InvalidationTracker::new(4096),
-                deleg: DelegationTable::new(deleg_config),
-            }),
+            shards,
+            inval: ConcurrentInvalidationTracker::new(4096),
             callbacks: RwLock::new(HashMap::new()),
             persisted_clients: Mutex::new(HashSet::new()),
-            self_ref: Mutex::new(std::sync::Weak::new()),
-        });
-        *server.self_ref.lock() = Arc::downgrade(&server);
-        server
+        })
     }
 
-    /// Performs a batch of recalls concurrently — the proxies are
-    /// multithreaded (§4.3.2), so callbacks to distinct clients overlap
-    /// on the wire rather than serializing their round trips.
+    /// The shard owning `fh`'s delegation state.
+    fn deleg_shard(&self, fh: Fh3) -> &DelegShard {
+        &self.shards[shard_of(fh)]
+    }
+
+    /// Performs a batch of recalls concurrently — every callback is put
+    /// on the wire before the first reply is claimed, so callbacks to
+    /// distinct clients overlap on the wire rather than serializing
+    /// their round trips (§4.3.2).
     fn perform_recalls(&self, actions: Vec<RecallAction>) {
-        if actions.len() <= 1 {
-            for action in &actions {
-                self.perform_recall(action);
-            }
-            return;
-        }
-        let me = gvfs_netsim::current_actor();
-        let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(actions.len()));
-        let weak = self.self_ref.lock().clone();
-        for action in actions {
-            let remaining = Arc::clone(&remaining);
-            let me = me.clone();
-            let weak = weak.clone();
-            gvfs_netsim::spawn_from_actor("recall", move || {
-                if let Some(server) = weak.upgrade() {
-                    server.perform_recall(&action);
-                }
-                if remaining.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1 {
-                    me.unpark();
-                }
-            });
-        }
-        while remaining.load(std::sync::atomic::Ordering::SeqCst) > 0 {
-            gvfs_netsim::park();
+        let round: Vec<RecallInFlight> = actions
+            .into_iter()
+            .map(|action| {
+                let call = self.send_recall(&action);
+                RecallInFlight { action, call }
+            })
+            .collect();
+        for in_flight in round {
+            self.finish_recall(&in_flight.action, in_flight.call);
         }
     }
 
     /// Overrides the invalidation-buffer capacity (ablation knob).
     pub fn set_invalidation_capacity(&self, capacity: usize) {
-        self.state.lock().inval = InvalidationTracker::new(capacity);
+        self.inval.reset(capacity);
     }
 
     /// Registers the callback transport for a proxy client (done by the
@@ -132,17 +165,19 @@ impl ProxyServer {
     /// timestamps, delegation table) is lost; the persisted client list
     /// survives.
     pub fn crash(&self) {
-        let mut st = self.state.lock();
-        st.inval = InvalidationTracker::new(4096);
-        let config = *st.deleg.config();
-        st.deleg = DelegationTable::new(config);
+        self.inval.reset(4096);
+        for shard in &self.shards {
+            let mut table = shard.deleg.lock();
+            let config = *table.config();
+            *table = DelegationTable::new(config);
+        }
     }
 
     /// Recovery after restart (§4.3.4): multicasts a cache-wide
     /// `RECOVER` callback to every known client and rebuilds the
-    /// delegation table from their dirty-file lists. Incoming requests
+    /// delegation tables from their dirty-file lists. Incoming requests
     /// are implicitly blocked for the duration (the grace period) by the
-    /// sequential callback round.
+    /// callback round.
     ///
     /// Returns the number of clients that answered.
     pub fn recover(&self) -> usize {
@@ -152,69 +187,60 @@ impl ProxyServer {
         let mut clients: Vec<u32> = self.persisted_clients.lock().iter().copied().collect();
         clients.sort_unstable();
         // "A single multicasted callback to the clients" (§4.3.4): the
-        // recovery round goes out in parallel, keeping the grace period
-        // to roughly one WAN round trip.
-        let me = gvfs_netsim::current_actor();
-        let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(clients.len()));
-        let answered = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        let weak = self.self_ref.lock().clone();
-        for client in clients {
-            let remaining = Arc::clone(&remaining);
-            let answered = Arc::clone(&answered);
-            let me = me.clone();
-            let weak = weak.clone();
-            gvfs_netsim::spawn_from_actor("recover-callback", move || {
-                if let Some(server) = weak.upgrade() {
-                    let transport = server.callbacks.read().get(&client).cloned();
-                    if let Some(transport) = transport {
-                        if let Ok(bytes) = transport.call(
-                            GVFS_CALLBACK_PROGRAM,
-                            GVFS_VERSION,
-                            proc_ext::RECOVER,
-                            Vec::new(),
-                        ) {
-                            if let Ok(res) = gvfs_xdr::from_bytes::<RecoverRes>(&bytes) {
-                                answered.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                                let now = gvfs_netsim::now();
-                                server.state.lock().deleg.recover_client(
-                                    client,
-                                    &res.dirty_files,
-                                    now,
-                                );
-                            }
-                        }
-                    }
+        // whole round goes on the wire before any reply is claimed,
+        // keeping the grace period to roughly one WAN round trip.
+        let round: Vec<(u32, Option<(SimRpcClient, PendingCall)>)> = clients
+            .into_iter()
+            .map(|client| {
+                let transport = self.callbacks.read().get(&client).cloned();
+                let call = transport.and_then(|t| {
+                    t.send(GVFS_CALLBACK_PROGRAM, GVFS_VERSION, proc_ext::RECOVER, Vec::new())
+                        .ok()
+                        .map(|call| (t, call))
+                });
+                (client, call)
+            })
+            .collect();
+        let mut answered = 0;
+        for (client, call) in round {
+            let Some((transport, call)) = call else { continue };
+            let Ok(bytes) = transport.wait_pending(call) else { continue };
+            let Ok(res) = gvfs_xdr::from_bytes::<RecoverRes>(&bytes) else { continue };
+            answered += 1;
+            let now = gvfs_netsim::now();
+            // Re-enter each dirty file in its owning shard.
+            let mut by_shard: Vec<Vec<Fh3>> = vec![Vec::new(); DELEG_SHARDS];
+            for &fh in &res.dirty_files {
+                by_shard[shard_of(fh)].push(fh);
+            }
+            for (i, files) in by_shard.iter().enumerate() {
+                if !files.is_empty() {
+                    self.shards[i].deleg.lock().recover_client(client, files, now);
                 }
-                if remaining.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1 {
-                    me.unpark();
-                }
-            });
+            }
         }
-        while remaining.load(std::sync::atomic::Ordering::SeqCst) > 0 {
-            gvfs_netsim::park();
-        }
-        answered.load(std::sync::atomic::Ordering::SeqCst)
+        answered
     }
 
     /// Runs one delegation sweep (speculated closes, LRU eviction); the
     /// session's sweeper actor calls this periodically.
     pub fn sweep(&self) {
-        let actions = {
-            let now = gvfs_netsim::now();
-            self.state.lock().deleg.sweep(now)
-        };
-        for action in actions {
-            self.state.lock().deleg.begin_recall(action.fh);
-            self.perform_recall(&action);
-            let mut st = self.state.lock();
-            st.deleg.end_recall(action.fh);
-            st.deleg.sweep_done(action.fh, action.client);
+        let now = gvfs_netsim::now();
+        for shard in &self.shards {
+            let actions = shard.deleg.lock().sweep(now);
+            for action in actions {
+                shard.deleg.lock().begin_recall(action.fh);
+                self.perform_recall(&action);
+                let mut table = shard.deleg.lock();
+                table.end_recall(action.fh);
+                table.sweep_done(action.fh, action.client);
+            }
         }
     }
 
-    /// Number of files currently tracked by the delegation table.
+    /// Number of files currently tracked across all delegation shards.
     pub fn tracked_files(&self) -> usize {
-        self.state.lock().deleg.tracked_files()
+        self.shards.iter().map(|s| s.deleg.lock().tracked_files()).sum()
     }
 
     fn forward(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
@@ -232,54 +258,68 @@ impl ProxyServer {
         }
     }
 
-    fn perform_recall(&self, action: &RecallAction) {
+    /// Phase one of a recall: put the callback on the wire. Returns
+    /// `None` when there is no route or the link rejects the send — the
+    /// recall then completes immediately with nothing recovered.
+    fn send_recall(&self, action: &RecallAction) -> Option<(SimRpcClient, PendingCall)> {
         if std::env::var_os("GVFS_DEBUG_RECALL").is_some() {
             eprintln!("[{}] recall {:?}", gvfs_netsim::now(), action);
         }
         let transport = self.callbacks.read().get(&action.client).cloned();
-        let Some(transport) = transport else {
-            // Unknown callback route: nothing to recall against.
-            self.state.lock().deleg.recall_done(action.fh, action.client, Vec::new());
-            return;
-        };
+        let transport = transport?;
         let kind = match action.kind {
             DelegationKind::Read => CallbackKind::RecallRead,
             DelegationKind::Write => CallbackKind::RecallWrite,
         };
         let args = CallbackArgs { fh: action.fh, kind, requested_offset: action.requested_offset };
         let encoded = gvfs_xdr::to_bytes(&args).unwrap_or_default();
-        match transport.call(GVFS_CALLBACK_PROGRAM, GVFS_VERSION, proc_ext::CALLBACK, encoded) {
-            Ok(bytes) => {
-                let pending = gvfs_xdr::from_bytes::<CallbackRes>(&bytes)
+        transport
+            .send(GVFS_CALLBACK_PROGRAM, GVFS_VERSION, proc_ext::CALLBACK, encoded)
+            .ok()
+            .map(|call| (transport, call))
+    }
+
+    /// Phase two of a recall: claim the reply and report the outcome to
+    /// the owning shard. An unreachable client is treated as revoked
+    /// with nothing recovered (its writes are lost unless it reconciles
+    /// after recovery, §4.3.4).
+    fn finish_recall(&self, action: &RecallAction, call: Option<(SimRpcClient, PendingCall)>) {
+        let pending_blocks = match call {
+            Some((transport, call)) => match transport.wait_pending(call) {
+                Ok(bytes) => gvfs_xdr::from_bytes::<CallbackRes>(&bytes)
                     .map(|r| r.pending_blocks)
-                    .unwrap_or_default();
-                self.state.lock().deleg.recall_done(action.fh, action.client, pending);
-            }
-            Err(_) => {
-                // Client unreachable: treat the delegation as revoked
-                // with nothing recovered (its writes are lost unless it
-                // reconciles after recovery, §4.3.4).
-                self.state.lock().deleg.recall_done(action.fh, action.client, Vec::new());
-            }
-        }
+                    .unwrap_or_default(),
+                Err(_) => Vec::new(),
+            },
+            None => Vec::new(),
+        };
+        self.deleg_shard(action.fh).deleg.lock().recall_done(
+            action.fh,
+            action.client,
+            pending_blocks,
+        );
+    }
+
+    fn perform_recall(&self, action: &RecallAction) {
+        let call = self.send_recall(action);
+        self.finish_recall(action, call);
     }
 
     fn record_invalidations(&self, class: &OpClass, client: u32, removed_targets: &[Fh3]) {
-        let mut st = self.state.lock();
         match class {
             OpClass::Write { fh, .. } | OpClass::SetAttr { fh } => {
-                st.inval.record_modification(*fh, client);
+                self.inval.record_modification(*fh, client);
             }
             OpClass::DirModify { dir, extra, file, .. } => {
-                st.inval.record_modification(*dir, client);
+                self.inval.record_modification(*dir, client);
                 if let Some((extra_dir, _)) = extra {
-                    st.inval.record_modification(*extra_dir, client);
+                    self.inval.record_modification(*extra_dir, client);
                 }
                 if let Some(fh) = file {
-                    st.inval.record_modification(*fh, client);
+                    self.inval.record_modification(*fh, client);
                 }
                 for fh in removed_targets {
-                    st.inval.record_modification(*fh, client);
+                    self.inval.record_modification(*fh, client);
                 }
             }
             _ => {}
@@ -296,11 +336,9 @@ impl ProxyServer {
             OpClass::Write { fh, offset } => {
                 // A write that is part of a tracked partial write-back
                 // bypasses conflict processing.
+                if self.deleg_shard(*fh).deleg.lock().note_writeback(*fh, client, block_of(*offset))
                 {
-                    let mut st = self.state.lock();
-                    if st.deleg.note_writeback(*fh, client, block_of(*offset)) {
-                        return DelegationGrant::None;
-                    }
+                    return DelegationGrant::None;
                 }
                 vec![(*fh, true, Some(block_of(*offset)))]
             }
@@ -323,7 +361,7 @@ impl ProxyServer {
             loop {
                 let (g, recalls) = {
                     let now = gvfs_netsim::now();
-                    self.state.lock().deleg.access(*fh, client, *write, *offset, now)
+                    self.deleg_shard(*fh).deleg.lock().access(*fh, client, *write, *offset, now)
                 };
                 if recalls.is_empty() {
                     if i == 0 {
@@ -335,17 +373,17 @@ impl ProxyServer {
                 // round is in flight: no delegation may be granted in the
                 // window, or the round's completion would silently revoke
                 // it server-side.
-                self.state.lock().deleg.begin_recall(*fh);
+                self.deleg_shard(*fh).deleg.lock().begin_recall(*fh);
                 self.perform_recalls(recalls);
-                self.state.lock().deleg.end_recall(*fh);
+                self.deleg_shard(*fh).deleg.lock().end_recall(*fh);
                 // Re-admit after the recalls completed: the pending
                 // write-back (if any) may still cover the block, in
                 // which case another targeted recall is issued; the
                 // inline flush of the requested block guarantees
                 // progress.
                 let covered = {
-                    let st = self.state.lock();
-                    match (offset, st.deleg.pending_writeback(*fh)) {
+                    let table = self.deleg_shard(*fh).deleg.lock();
+                    match (offset, table.pending_writeback(*fh)) {
                         (Some(off), Some(p)) => p.blocks.contains(off),
                         _ => false,
                     }
@@ -407,7 +445,7 @@ impl ProxyServer {
 
     fn handle_getinv(&self, args: &[u8], client: u32) -> Result<Vec<u8>, RpcError> {
         let a: GetinvArgs = gvfs_xdr::from_bytes(args).map_err(|_| RpcError::GarbageArgs)?;
-        let res: GetinvRes = self.state.lock().inval.getinv(client, a.last_timestamp);
+        let res: GetinvRes = self.inval.getinv(client, a.last_timestamp);
         Ok(gvfs_xdr::to_bytes(&res)?)
     }
 }

@@ -75,6 +75,10 @@ pub struct SessionConfig {
     pub nfs_proc_time: Duration,
     /// Delegation sweeper period (speculated closes); `None` disables.
     pub sweep_interval: Option<Duration>,
+    /// Pipeline write-back WRITE batches over the WAN (xid-multiplexed
+    /// sends sharing one round trip). Disabled, each flushed block pays
+    /// a full round trip; the `pipelining` ablation measures the gap.
+    pub pipeline_writeback: bool,
 }
 
 impl Default for SessionConfig {
@@ -87,6 +91,7 @@ impl Default for SessionConfig {
             proxy_proc_time: Duration::from_micros(1000),
             nfs_proc_time: Duration::from_micros(200),
             sweep_interval: Some(Duration::from_secs(60)),
+            pipeline_writeback: true,
         }
     }
 }
@@ -198,6 +203,7 @@ impl SessionBuilder {
             .with_credential(OpaqueAuth::gvfs(&cred).expect("encode credential"));
             let proxy =
                 ProxyClient::new(id, config.model, config.write_back, wan, config.disk_cache_bytes);
+            proxy.set_pipelining(config.pipeline_writeback);
 
             // Callback service node, reached from the proxy server over
             // the reverse WAN direction.

@@ -1,0 +1,51 @@
+//! The shared cross-transport conformance suite, run over the simulated
+//! channel inside a virtual-time actor. The rpc crate runs the identical
+//! suite over TCP (`crates/rpc/tests/channel_conformance.rs`); keeping
+//! both green is what guarantees the two [`RpcChannel`] implementations
+//! stay behavior-identical.
+//!
+//! [`RpcChannel`]: gvfs_rpc::channel::RpcChannel
+
+use gvfs_netsim::link::{Link, LinkConfig};
+use gvfs_netsim::transport::{ServerNode, SimRpcClient};
+use gvfs_netsim::Sim;
+use gvfs_rpc::channel::testkit;
+use gvfs_rpc::dispatch::Dispatcher;
+use gvfs_rpc::stats::RpcStats;
+use std::time::Duration;
+
+fn with_sim_channel(check: impl FnOnce(&SimRpcClient) + Send + 'static) {
+    let mut dispatcher = Dispatcher::new();
+    dispatcher.register(testkit::ConformanceService);
+    let server = ServerNode::new("conformance", dispatcher, Duration::from_micros(200));
+    let link = Link::new(LinkConfig::wan());
+    let client = SimRpcClient::new(link.forward(), server, RpcStats::new());
+    let sim = Sim::new();
+    sim.spawn("conformance-client", move || check(&client));
+    sim.run();
+}
+
+#[test]
+fn sim_channel_echo_roundtrip() {
+    with_sim_channel(|c| testkit::check_echo_roundtrip(c));
+}
+
+#[test]
+fn sim_channel_garbage_args() {
+    with_sim_channel(|c| testkit::check_garbage_args(c));
+}
+
+#[test]
+fn sim_channel_unknown_procedure() {
+    with_sim_channel(|c| testkit::check_unknown_procedure(c));
+}
+
+#[test]
+fn sim_channel_oversized_record() {
+    with_sim_channel(|c| testkit::check_oversized_record(c));
+}
+
+#[test]
+fn sim_channel_concurrent_xids_out_of_order() {
+    with_sim_channel(|c| testkit::check_concurrent_xids_out_of_order(c));
+}

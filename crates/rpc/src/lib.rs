@@ -9,6 +9,10 @@
 //!   identify themselves and advertise their callback port, §4.3.2 of the
 //!   paper).
 //! * [`record`] — the TCP record-marking stream codec.
+//! * [`channel`] — the transport-independent [`channel::RpcChannel`]
+//!   abstraction: `send` returns a pending call, `wait` claims its reply,
+//!   so many xids can be in flight on one connection (the paper's §4.3
+//!   multithreaded proxies pipelining callbacks and delayed writes).
 //! * [`dispatch`] — server-side program registration and call routing.
 //! * [`drc`] — the duplicate request cache replaying replies to
 //!   retransmitted non-idempotent calls.
@@ -47,6 +51,7 @@
 //!
 //! [RFC 5531]: https://www.rfc-editor.org/rfc/rfc5531
 
+pub mod channel;
 pub mod dispatch;
 pub mod drc;
 pub mod message;

@@ -18,6 +18,23 @@ pub const MAX_FRAGMENT: usize = 1 << 20;
 /// Hard cap on a reassembled record, to bound memory under hostile input.
 pub const MAX_RECORD: usize = 1 << 26;
 
+/// Checks that a message of `len` bytes may legally be sent as one
+/// record. Senders on every transport apply this before transmitting so
+/// an oversized message is rejected locally instead of poisoning the
+/// connection (receivers would drop it per [`RecordReader::push`]).
+///
+/// # Errors
+///
+/// Returns [`RpcError::SystemError`] when `len` exceeds [`MAX_RECORD`].
+pub fn ensure_sendable(len: usize) -> Result<(), RpcError> {
+    if len > MAX_RECORD {
+        return Err(RpcError::SystemError {
+            detail: format!("message of {len} bytes exceeds the {MAX_RECORD}-byte record limit"),
+        });
+    }
+    Ok(())
+}
+
 /// Frames `payload` as a record-marked byte sequence, splitting into
 /// fragments of at most `max_fragment` bytes.
 ///

@@ -4,6 +4,12 @@
 //! network" broken down by procedure (Figures 4a and 6a). [`RpcStats`] is a
 //! cheap, thread-safe counter set that transports attach to each link;
 //! the experiment harness snapshots it per setup.
+//!
+//! Beyond call/byte counts, the stats track an **in-flight gauge** with a
+//! high-water mark and a per-procedure **latency accumulator**: with the
+//! xid-multiplexed [`RpcChannel`](crate::channel::RpcChannel) a batch of
+//! pipelined WRITEs shows up as `max_in_flight > 1`, which is how the
+//! experiment output makes pipelining depth observable.
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -26,7 +32,14 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RpcStats {
-    inner: Arc<Mutex<BTreeMap<(u32, u32), ProcCounter>>>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<(u32, u32), ProcCounter>,
+    in_flight: u64,
+    max_in_flight: u64,
 }
 
 /// Counters for a single procedure.
@@ -38,12 +51,23 @@ pub struct ProcCounter {
     pub bytes_out: u64,
     /// Bytes received in replies.
     pub bytes_in: u64,
+    /// Total latency across all calls, in nanoseconds (virtual time on
+    /// the simulated transport, wall-clock on TCP).
+    pub latency_nanos: u64,
+}
+
+impl ProcCounter {
+    /// Mean per-call latency in nanoseconds (zero when no calls).
+    pub fn mean_latency_nanos(&self) -> u64 {
+        self.latency_nanos.checked_div(self.calls).unwrap_or(0)
+    }
 }
 
 /// An immutable copy of the counters at one instant.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     counters: BTreeMap<(u32, u32), ProcCounter>,
+    max_in_flight: u64,
 }
 
 impl RpcStats {
@@ -54,21 +78,58 @@ impl RpcStats {
 
     /// Records one completed call for `(program, procedure)`.
     pub fn record(&self, program: u32, procedure: u32, bytes_out: u64, bytes_in: u64) {
-        let mut map = self.inner.lock();
-        let c = map.entry((program, procedure)).or_default();
+        self.record_latency(program, procedure, bytes_out, bytes_in, 0);
+    }
+
+    /// Records one completed call including its observed latency.
+    pub fn record_latency(
+        &self,
+        program: u32,
+        procedure: u32,
+        bytes_out: u64,
+        bytes_in: u64,
+        latency_nanos: u64,
+    ) {
+        let mut inner = self.inner.lock();
+        let c = inner.counters.entry((program, procedure)).or_default();
         c.calls += 1;
         c.bytes_out += bytes_out;
         c.bytes_in += bytes_in;
+        c.latency_nanos += latency_nanos;
+    }
+
+    /// Notes that one call entered the wire; bumps the in-flight gauge
+    /// and its high-water mark.
+    pub fn call_started(&self) {
+        let mut inner = self.inner.lock();
+        inner.in_flight += 1;
+        if inner.in_flight > inner.max_in_flight {
+            inner.max_in_flight = inner.in_flight;
+        }
+    }
+
+    /// Notes that one call left the wire (reply claimed or failed).
+    pub fn call_finished(&self) {
+        let mut inner = self.inner.lock();
+        inner.in_flight = inner.in_flight.saturating_sub(1);
+    }
+
+    /// Calls currently in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.inner.lock().in_flight
     }
 
     /// Copies out the current counters.
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot { counters: self.inner.lock().clone() }
+        let inner = self.inner.lock();
+        StatsSnapshot { counters: inner.counters.clone(), max_in_flight: inner.max_in_flight }
     }
 
-    /// Resets all counters to zero.
+    /// Resets all counters (and the in-flight high-water mark) to zero.
     pub fn reset(&self) {
-        self.inner.lock().clear();
+        let mut inner = self.inner.lock();
+        inner.counters.clear();
+        inner.max_in_flight = inner.in_flight;
     }
 }
 
@@ -88,6 +149,17 @@ impl StatsSnapshot {
         self.counters.values().map(|c| c.bytes_in + c.bytes_out).sum()
     }
 
+    /// Highest number of simultaneously in-flight calls observed since
+    /// the stats were created (or last [`reset`](RpcStats::reset)).
+    pub fn max_in_flight(&self) -> u64 {
+        self.max_in_flight
+    }
+
+    /// Mean latency for one procedure, in nanoseconds.
+    pub fn mean_latency_nanos(&self, program: u32, procedure: u32) -> u64 {
+        self.counters.get(&(program, procedure)).map_or(0, ProcCounter::mean_latency_nanos)
+    }
+
     /// Iterates over `((program, procedure), counter)` pairs in order.
     pub fn iter(&self) -> impl Iterator<Item = (&(u32, u32), &ProcCounter)> {
         self.counters.iter()
@@ -95,7 +167,9 @@ impl StatsSnapshot {
 
     /// Returns the difference `self - earlier`, for measuring an interval.
     ///
-    /// Counters absent from `earlier` are taken as zero.
+    /// Counters absent from `earlier` are taken as zero. The in-flight
+    /// high-water mark is not differenced (it is a maximum, not a sum);
+    /// the later snapshot's value is kept.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         let mut counters = BTreeMap::new();
         for (key, c) in &self.counters {
@@ -104,12 +178,13 @@ impl StatsSnapshot {
                 calls: c.calls - before.calls,
                 bytes_out: c.bytes_out - before.bytes_out,
                 bytes_in: c.bytes_in - before.bytes_in,
+                latency_nanos: c.latency_nanos - before.latency_nanos,
             };
             if delta != ProcCounter::default() {
                 counters.insert(*key, delta);
             }
         }
-        StatsSnapshot { counters }
+        StatsSnapshot { counters, max_in_flight: self.max_in_flight }
     }
 }
 
@@ -117,17 +192,20 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:>10} {:>10} {:>10} {:>12} {:>12}",
-            "prog", "proc", "calls", "bytes_out", "bytes_in"
+            "{:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+            "prog", "proc", "calls", "bytes_out", "bytes_in", "mean_lat_us"
         )?;
         for ((prog, pr), c) in &self.counters {
             writeln!(
                 f,
-                "{prog:>10} {pr:>10} {:>10} {:>12} {:>12}",
-                c.calls, c.bytes_out, c.bytes_in
+                "{prog:>10} {pr:>10} {:>10} {:>12} {:>12} {:>12}",
+                c.calls,
+                c.bytes_out,
+                c.bytes_in,
+                c.mean_latency_nanos() / 1_000
             )?;
         }
-        Ok(())
+        writeln!(f, "max in-flight: {}", self.max_in_flight)
     }
 }
 
@@ -185,5 +263,40 @@ mod tests {
         let text = s.snapshot().to_string();
         assert!(text.contains("100003"));
         assert!(text.contains("calls"));
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_high_water() {
+        let s = RpcStats::new();
+        s.call_started();
+        s.call_started();
+        assert_eq!(s.in_flight(), 2);
+        s.call_finished();
+        s.call_started();
+        s.call_finished();
+        s.call_finished();
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.snapshot().max_in_flight(), 2);
+    }
+
+    #[test]
+    fn latency_accumulates_and_averages() {
+        let s = RpcStats::new();
+        s.record_latency(1, 1, 10, 10, 1_000);
+        s.record_latency(1, 1, 10, 10, 3_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.mean_latency_nanos(1, 1), 2_000);
+        assert_eq!(snap.mean_latency_nanos(1, 9), 0);
+    }
+
+    #[test]
+    fn reset_keeps_current_in_flight_as_floor() {
+        let s = RpcStats::new();
+        s.call_started();
+        s.call_started();
+        s.call_finished();
+        s.reset();
+        // One call still in flight: the new high-water mark starts there.
+        assert_eq!(s.snapshot().max_in_flight(), 1);
     }
 }

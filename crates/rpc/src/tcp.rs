@@ -7,6 +7,13 @@
 //! replies are cached in a [duplicate request cache](crate::drc) so
 //! retransmitted non-idempotent calls are replayed, not re-executed.
 //!
+//! [`TcpRpcClient`] implements [`RpcChannel`]: a background reader
+//! thread demultiplexes replies by xid into an outstanding-call table,
+//! so many calls can be in flight on one connection at once. Each call
+//! carries a timeout; on expiry the identical record (same xid) is
+//! retransmitted a bounded number of times, relying on the server's
+//! duplicate request cache to replay rather than re-execute.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,7 +37,7 @@
 //! let addr = server.local_addr();
 //! let handle = server.spawn();
 //!
-//! let mut client = TcpRpcClient::connect(addr)?;
+//! let client = TcpRpcClient::connect(addr)?;
 //! let reply = client.call(99, 1, 0, OpaqueAuth::none(), vec![0, 0, 0, 7])?;
 //! assert_eq!(reply, vec![0, 0, 0, 7]);
 //!
@@ -39,16 +46,20 @@
 //! # }
 //! ```
 
+use crate::channel::{CallSlot, PendingCall, RpcChannel};
 use crate::dispatch::Dispatcher;
 use crate::drc::{DrcKey, DuplicateRequestCache};
-use crate::message::{CallBody, MessageBody, OpaqueAuth, RpcMessage};
-use crate::record::{write_record, RecordReader, MAX_FRAGMENT};
+use crate::message::{CallBody, MessageBody, OpaqueAuth, ReplyBody, RpcMessage};
+use crate::record::{ensure_sendable, write_record, RecordReader, MAX_FRAGMENT};
+use crate::stats::RpcStats;
 use crate::RpcError;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError, Weak};
+use std::time::{Duration, Instant};
 
 /// A TCP RPC server: accepts connections and dispatches record-marked
 /// RPC messages.
@@ -176,70 +187,270 @@ fn serve_connection(mut stream: TcpStream, dispatcher: &Dispatcher) -> std::io::
     }
 }
 
-/// A blocking TCP RPC client.
+/// Default per-call timeout before a retransmission is attempted.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default number of retransmissions after the first timeout.
+pub const DEFAULT_RETRIES: u32 = 2;
+
+/// A TCP RPC client with xid-multiplexed concurrency.
+///
+/// A background reader thread demultiplexes replies into an
+/// outstanding-call table, so any number of [`send`](RpcChannel::send)s
+/// may be in flight before their [`wait`](RpcChannel::wait)s. Calls that
+/// time out are retransmitted verbatim — same xid — up to the configured
+/// retry bound; the server's [duplicate request cache](crate::drc)
+/// replays the reply if the original execution already happened.
 #[derive(Debug)]
 pub struct TcpRpcClient {
-    stream: TcpStream,
-    reader: RecordReader,
-    next_xid: u32,
+    inner: Arc<ClientInner>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct ClientInner {
+    writer: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u32, Arc<TcpSlot>>>,
+    next_xid: AtomicU32,
+    timeout: Mutex<Duration>,
+    retries: AtomicU32,
+    stats: RpcStats,
+    dead: AtomicBool,
+}
+
+/// Completion slot for one outstanding TCP call.
+#[derive(Debug)]
+struct TcpSlot {
+    client: Weak<ClientInner>,
+    xid: u32,
+    program: u32,
+    procedure: u32,
+    /// The framed record, kept verbatim for retransmission with the
+    /// same xid.
+    frame: Vec<u8>,
+    wire_out: u64,
+    started: Instant,
+    // std primitives: the reader thread parks waiters on a condvar with
+    // a timeout, which the vendored parking_lot shim does not provide.
+    state: StdMutex<SlotState>,
+    cond: Condvar,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Waiting,
+    Done(ReplyBody, u64),
+    Failed(RpcError),
+}
+
+impl TcpSlot {
+    fn lock_state(&self) -> MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Resolves the slot exactly once; later resolutions are ignored.
+    /// Accounts the call's completion in the shared stats.
+    fn complete(&self, inner: &ClientInner, outcome: SlotState) {
+        let mut st = self.lock_state();
+        if !matches!(*st, SlotState::Waiting) {
+            return;
+        }
+        if let SlotState::Done(_, wire_in) = &outcome {
+            let latency = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            inner.stats.record_latency(
+                self.program,
+                self.procedure,
+                self.wire_out,
+                *wire_in,
+                latency,
+            );
+        }
+        inner.stats.call_finished();
+        *st = outcome;
+        self.cond.notify_all();
+    }
+}
+
+impl CallSlot for TcpSlot {
+    fn wait(&self) -> Result<Vec<u8>, RpcError> {
+        let Some(inner) = self.client.upgrade() else {
+            return Err(RpcError::Unreachable);
+        };
+        let mut remaining = inner.retries.load(Ordering::SeqCst);
+        let timeout = *inner.timeout.lock();
+        let mut st = self.lock_state();
+        loop {
+            match &*st {
+                SlotState::Waiting => {}
+                SlotState::Done(body, _) => return body.results().map(<[u8]>::to_vec),
+                SlotState::Failed(e) => return Err(e.clone()),
+            }
+            let (guard, wait) =
+                self.cond.wait_timeout(st, timeout).unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            if !wait.timed_out() || !matches!(*st, SlotState::Waiting) {
+                continue; // woken, or resolved at the same instant
+            }
+            if remaining == 0 {
+                drop(st);
+                // Forget the xid so a late reply is dropped, then fail
+                // the slot (unless the reader resolved it just now).
+                inner.pending.lock().remove(&self.xid);
+                self.complete(&inner, SlotState::Failed(RpcError::Timeout));
+                st = self.lock_state();
+                continue;
+            }
+            remaining -= 1;
+            drop(st);
+            // Retransmit the identical record: the xid is reused so the
+            // server's duplicate request cache can suppress re-execution.
+            let _ = inner.writer.lock().write_all(&self.frame);
+            st = self.lock_state();
+        }
+    }
+}
+
+/// Reader half: demultiplexes record-marked replies into the
+/// outstanding-call table until the connection dies, then fails every
+/// still-outstanding call.
+fn run_reader(mut stream: TcpStream, client: Weak<ClientInner>) {
+    let mut reader = RecordReader::new();
+    let mut buf = [0u8; 64 * 1024];
+    'io: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break 'io,
+            Ok(n) => n,
+        };
+        if reader.push(&buf[..n]).is_err() {
+            break 'io; // hostile record from the server side
+        }
+        while let Some(record) = reader.pop() {
+            let Ok(msg) = gvfs_xdr::from_bytes::<RpcMessage>(&record) else { continue };
+            let MessageBody::Reply(body) = msg.body else { continue };
+            let Some(inner) = client.upgrade() else { return };
+            let slot = inner.pending.lock().remove(&msg.xid);
+            // A miss is a stale reply from a call that already timed out.
+            if let Some(slot) = slot {
+                slot.complete(&inner, SlotState::Done(body, record.len() as u64 + 4));
+            }
+        }
+    }
+    let Some(inner) = client.upgrade() else { return };
+    inner.dead.store(true, Ordering::SeqCst);
+    let slots: Vec<Arc<TcpSlot>> = inner.pending.lock().drain().map(|(_, s)| s).collect();
+    for slot in slots {
+        slot.complete(&inner, SlotState::Failed(RpcError::Unreachable));
+    }
 }
 
 impl TcpRpcClient {
-    /// Connects to an RPC server.
+    /// Connects to an RPC server and starts the reply-reader thread.
     ///
     /// # Errors
     ///
     /// I/O errors from connecting.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        Ok(TcpRpcClient {
-            stream: TcpStream::connect(addr)?,
-            reader: RecordReader::new(),
-            next_xid: 1,
-        })
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        let inner = Arc::new(ClientInner {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            next_xid: AtomicU32::new(1),
+            timeout: Mutex::new(DEFAULT_CALL_TIMEOUT),
+            retries: AtomicU32::new(DEFAULT_RETRIES),
+            stats: RpcStats::new(),
+            dead: AtomicBool::new(false),
+        });
+        let weak = Arc::downgrade(&inner);
+        let reader = std::thread::spawn(move || run_reader(read_half, weak));
+        Ok(TcpRpcClient { inner, reader: Some(reader) })
     }
 
-    /// Performs one blocking call.
+    /// Sets the per-call timeout after which the call is retransmitted.
+    #[must_use]
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        *self.inner.timeout.lock() = timeout;
+        self
+    }
+
+    /// Sets how many times a timed-out call is retransmitted before it
+    /// fails with [`RpcError::Timeout`].
+    #[must_use]
+    pub fn with_retries(self, retries: u32) -> Self {
+        self.inner.retries.store(retries, Ordering::SeqCst);
+        self
+    }
+
+    /// The per-procedure statistics recorded by this client.
+    pub fn stats(&self) -> &RpcStats {
+        &self.inner.stats
+    }
+
+    /// Performs one blocking call — a thin wrapper over
+    /// [`send`](RpcChannel::send) + [`wait`](RpcChannel::wait).
     ///
     /// # Errors
     ///
-    /// Transport failures surface as [`RpcError::Unreachable`]; protocol
-    /// errors as their RFC 5531 statuses.
+    /// Transport failures surface as [`RpcError::Unreachable`] or
+    /// [`RpcError::Timeout`]; protocol errors as their RFC 5531 statuses.
     pub fn call(
-        &mut self,
+        &self,
         program: u32,
         version: u32,
         procedure: u32,
         credential: OpaqueAuth,
         args: Vec<u8>,
     ) -> Result<Vec<u8>, RpcError> {
-        let xid = self.next_xid;
-        self.next_xid = self.next_xid.wrapping_add(1);
+        RpcChannel::call(self, program, version, procedure, credential, args)
+    }
+}
+
+impl RpcChannel for TcpRpcClient {
+    fn send(
+        &self,
+        program: u32,
+        version: u32,
+        procedure: u32,
+        credential: OpaqueAuth,
+        args: Vec<u8>,
+    ) -> Result<PendingCall, RpcError> {
+        let inner = &self.inner;
+        if inner.dead.load(Ordering::SeqCst) {
+            return Err(RpcError::Unreachable);
+        }
+        let xid = inner.next_xid.fetch_add(1, Ordering::SeqCst);
         let msg = RpcMessage {
             xid,
             body: MessageBody::Call(CallBody::new(program, version, procedure, credential, args)),
         };
         let bytes = gvfs_xdr::to_bytes(&msg)?;
-        self.stream
-            .write_all(&write_record(&bytes, MAX_FRAGMENT))
-            .map_err(|_| RpcError::Unreachable)?;
+        ensure_sendable(bytes.len())?;
+        let slot = Arc::new(TcpSlot {
+            client: Arc::downgrade(inner),
+            xid,
+            program,
+            procedure,
+            frame: write_record(&bytes, MAX_FRAGMENT),
+            wire_out: bytes.len() as u64 + 4,
+            started: Instant::now(),
+            state: StdMutex::new(SlotState::Waiting),
+            cond: Condvar::new(),
+        });
+        inner.pending.lock().insert(xid, Arc::clone(&slot));
+        if inner.writer.lock().write_all(&slot.frame).is_err() {
+            inner.pending.lock().remove(&xid);
+            return Err(RpcError::Unreachable);
+        }
+        inner.stats.call_started();
+        Ok(PendingCall::new(xid, program, procedure, slot))
+    }
+}
 
-        let mut buf = [0u8; 64 * 1024];
-        loop {
-            if let Some(record) = self.reader.pop() {
-                let reply: RpcMessage = gvfs_xdr::from_bytes(&record)?;
-                if reply.xid != xid {
-                    continue; // stale reply from a previous timeout
-                }
-                let MessageBody::Reply(body) = reply.body else {
-                    return Err(RpcError::GarbageArgs);
-                };
-                return body.results().map(<[u8]>::to_vec);
-            }
-            let n = self.stream.read(&mut buf).map_err(|_| RpcError::Unreachable)?;
-            if n == 0 {
-                return Err(RpcError::Unreachable);
-            }
-            self.reader.push(&buf[..n])?;
+impl Drop for TcpRpcClient {
+    fn drop(&mut self) {
+        self.inner.dead.store(true, Ordering::SeqCst);
+        let _ = self.inner.writer.lock().shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
         }
     }
 }

@@ -1,0 +1,57 @@
+//! The shared cross-transport conformance suite, run over the TCP
+//! channel. The netsim crate runs the identical suite over the
+//! simulated channel (`crates/netsim/tests/channel_conformance.rs`);
+//! keeping both green is what guarantees the two [`RpcChannel`]
+//! implementations stay behavior-identical.
+//!
+//! [`RpcChannel`]: gvfs_rpc::channel::RpcChannel
+
+use gvfs_rpc::channel::testkit;
+use gvfs_rpc::dispatch::Dispatcher;
+use gvfs_rpc::tcp::{TcpRpcClient, TcpRpcServer};
+
+fn start() -> gvfs_rpc::tcp::TcpServerHandle {
+    let mut dispatcher = Dispatcher::new();
+    dispatcher.register(testkit::ConformanceService);
+    TcpRpcServer::bind("127.0.0.1:0", dispatcher).expect("bind").spawn()
+}
+
+#[test]
+fn tcp_channel_echo_roundtrip() {
+    let handle = start();
+    let client = TcpRpcClient::connect(handle.addr()).expect("connect");
+    testkit::check_echo_roundtrip(&client);
+    handle.shutdown();
+}
+
+#[test]
+fn tcp_channel_garbage_args() {
+    let handle = start();
+    let client = TcpRpcClient::connect(handle.addr()).expect("connect");
+    testkit::check_garbage_args(&client);
+    handle.shutdown();
+}
+
+#[test]
+fn tcp_channel_unknown_procedure() {
+    let handle = start();
+    let client = TcpRpcClient::connect(handle.addr()).expect("connect");
+    testkit::check_unknown_procedure(&client);
+    handle.shutdown();
+}
+
+#[test]
+fn tcp_channel_oversized_record() {
+    let handle = start();
+    let client = TcpRpcClient::connect(handle.addr()).expect("connect");
+    testkit::check_oversized_record(&client);
+    handle.shutdown();
+}
+
+#[test]
+fn tcp_channel_concurrent_xids_out_of_order() {
+    let handle = start();
+    let client = TcpRpcClient::connect(handle.addr()).expect("connect");
+    testkit::check_concurrent_xids_out_of_order(&client);
+    handle.shutdown();
+}

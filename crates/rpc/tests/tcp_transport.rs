@@ -29,6 +29,13 @@ impl RpcService for CountingService {
                 let n = self.0.fetch_add(1, Ordering::SeqCst) + 1;
                 Ok(gvfs_xdr::to_bytes(&n).expect("encode"))
             }
+            2 => {
+                // Slow enough that an impatient client retransmits while
+                // the original execution is still running.
+                std::thread::sleep(std::time::Duration::from_millis(300));
+                let n = self.0.fetch_add(1, Ordering::SeqCst) + 1;
+                Ok(gvfs_xdr::to_bytes(&n).expect("encode"))
+            }
             p => Err(RpcError::ProcedureUnavailable { program: 77, procedure: p }),
         }
     }
@@ -49,7 +56,7 @@ fn concurrent_clients_get_their_own_replies() {
     let mut threads = Vec::new();
     for t in 0..8u32 {
         threads.push(std::thread::spawn(move || {
-            let mut client = TcpRpcClient::connect(addr).expect("connect");
+            let client = TcpRpcClient::connect(addr).expect("connect");
             for i in 0..50u32 {
                 let payload = gvfs_xdr::to_bytes(&(t * 1000 + i)).unwrap();
                 let reply = client.call(77, 1, 0, OpaqueAuth::none(), payload.clone()).unwrap();
@@ -66,7 +73,7 @@ fn concurrent_clients_get_their_own_replies() {
 #[test]
 fn large_payloads_cross_fragment_boundaries() {
     let (handle, _) = start();
-    let mut client = TcpRpcClient::connect(handle.addr()).expect("connect");
+    let client = TcpRpcClient::connect(handle.addr()).expect("connect");
     let big = vec![0xabu8; 2 * 1024 * 1024]; // 2 MiB: multiple fragments
     let reply = client.call(77, 1, 0, OpaqueAuth::none(), big.clone()).unwrap();
     assert_eq!(reply, big);
@@ -125,9 +132,47 @@ fn duplicate_xid_is_replayed_not_reexecuted() {
 }
 
 #[test]
+fn client_retransmission_is_suppressed_by_drc() {
+    let (handle, counter) = start();
+    let client = TcpRpcClient::connect(handle.addr())
+        .expect("connect")
+        .with_timeout(std::time::Duration::from_millis(60))
+        .with_retries(8);
+    // The call takes ~300 ms server-side; the client times out at 60 ms
+    // and retransmits the identical record (same xid) several times.
+    // The connection thread executes the original, then replays the
+    // cached reply for every retransmission: exactly one execution.
+    let reply = client.call(77, 1, 2, OpaqueAuth::none(), Vec::new()).unwrap();
+    let n: u32 = gvfs_xdr::from_bytes(&reply).unwrap();
+    assert_eq!(n, 1);
+    // Allow the server to drain the retransmitted duplicates.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    assert_eq!(counter.load(Ordering::SeqCst), 1, "retransmissions must not re-execute");
+    handle.shutdown();
+}
+
+#[test]
+fn call_times_out_after_bounded_retries() {
+    // A listener that accepts but never replies.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+    let client = TcpRpcClient::connect(addr)
+        .expect("connect")
+        .with_timeout(std::time::Duration::from_millis(40))
+        .with_retries(2);
+    let started = std::time::Instant::now();
+    let err = client.call(77, 1, 0, OpaqueAuth::none(), Vec::new()).unwrap_err();
+    assert_eq!(err, RpcError::Timeout);
+    // One initial timeout plus two retransmission windows.
+    assert!(started.elapsed() >= std::time::Duration::from_millis(120));
+    drop(hold.join());
+}
+
+#[test]
 fn unknown_program_reported_over_tcp() {
     let (handle, _) = start();
-    let mut client = TcpRpcClient::connect(handle.addr()).expect("connect");
+    let client = TcpRpcClient::connect(handle.addr()).expect("connect");
     let err = client.call(12345, 1, 0, OpaqueAuth::none(), Vec::new()).unwrap_err();
     assert!(matches!(err, RpcError::ProgramUnavailable { .. }));
     handle.shutdown();
@@ -141,7 +186,7 @@ fn shutdown_is_idempotent_and_joins() {
     // The port no longer accepts RPC service (a fresh connect may succeed
     // at the TCP level on some platforms before the listener closes, but
     // calls must fail).
-    if let Ok(mut client) = TcpRpcClient::connect(addr) {
+    if let Ok(client) = TcpRpcClient::connect(addr) {
         let _ = client.call(77, 1, 0, OpaqueAuth::none(), Vec::new());
     }
 }

@@ -36,9 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("NFSv3 + MOUNT serving on tcp://{addr}");
 
     // Client side: bootstrap exactly like mount(8).
-    let mut rpc = TcpRpcClient::connect(addr)?;
+    let rpc = TcpRpcClient::connect(addr)?;
     let mnt: MntRes = call(
-        &mut rpc,
+        &rpc,
         MOUNT_PROGRAM,
         MOUNT_V3,
         mount_proc::MNT,
@@ -48,13 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("mounted /export/grid -> root fh {root:?}");
 
     let fsinfo: FsinfoRes =
-        call(&mut rpc, NFS_PROGRAM, NFS_V3, proc3::FSINFO, &GetattrArgs { object: root })?;
+        call(&rpc, NFS_PROGRAM, NFS_V3, proc3::FSINFO, &GetattrArgs { object: root })?;
     let FsinfoRes::Ok { wtmax, rtmax, .. } = fsinfo else { panic!("fsinfo failed") };
     println!("server advertises rtmax={rtmax} wtmax={wtmax}");
 
     // Create, write, read back — every byte over the real socket.
     let created: NewObjRes = call(
-        &mut rpc,
+        &rpc,
         NFS_PROGRAM,
         NFS_V3,
         proc3::CREATE,
@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let payload = b"bytes that crossed a real TCP connection".to_vec();
     let wrote: WriteRes = call(
-        &mut rpc,
+        &rpc,
         NFS_PROGRAM,
         NFS_V3,
         proc3::WRITE,
@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wrote {count} bytes");
 
     let read: ReadRes = call(
-        &mut rpc,
+        &rpc,
         NFS_PROGRAM,
         NFS_V3,
         proc3::READ,
@@ -95,9 +95,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("read them back (eof={eof}): {:?}", String::from_utf8_lossy(&data));
 
     // A second connection sees the same namespace.
-    let mut rpc2 = TcpRpcClient::connect(addr)?;
+    let rpc2 = TcpRpcClient::connect(addr)?;
     let found: LookupRes = call(
-        &mut rpc2,
+        &rpc2,
         NFS_PROGRAM,
         NFS_V3,
         proc3::LOOKUP,
@@ -111,7 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn call<A: gvfs_xdr::Xdr, R: gvfs_xdr::Xdr>(
-    rpc: &mut TcpRpcClient,
+    rpc: &TcpRpcClient,
     program: u32,
     version: u32,
     procedure: u32,
