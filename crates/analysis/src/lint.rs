@@ -47,6 +47,7 @@ pub const LOCK_ORDER: &[(&str, u32)] = &[
     ("disk", 1),
     ("state", 2),
     ("deleg", 2),
+    ("readahead", 2),
     ("buffers", 3),
     ("buf", 4),
     ("flush_queue", 5),
@@ -82,6 +83,9 @@ const SEND_MARKERS: &[&str] = &[
     "flush_all",
     "drain_flush_queue",
     "poll_once",
+    "read_from_cache",
+    "fetch_missing",
+    "maybe_prefetch",
 ];
 
 /// One lint finding.

@@ -6,11 +6,14 @@
 //! 3. delegation expiration vs callback volume and tracked state,
 //! 4. partial write-back threshold vs contending-reader latency,
 //! 5. write-back pipelining (xid-multiplexed WRITE batches sharing one
-//!    WAN round trip) vs the serial one-RPC-at-a-time fallback.
+//!    WAN round trip) vs the serial one-RPC-at-a-time fallback,
+//! 6. the read path: serial all-or-nothing fetching vs gap-only miss
+//!    fetching vs gap fetching plus sequential read-ahead.
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin ablations [--only <name>]`
 //! where `<name>` is one of `buffer-capacity`, `polling-period`,
-//! `delegation-expiration`, `writeback-threshold`, `pipelining`.
+//! `delegation-expiration`, `writeback-threshold`, `pipelining`,
+//! `readahead`.
 
 use gvfs_bench::{getinv_calls, nfs_calls, print_table, rpc_meta, save_json};
 use gvfs_client::{MountOptions, NfsClient};
@@ -388,6 +391,90 @@ fn pipelining_sweep() -> Vec<serde_json::Value> {
     json
 }
 
+/// Ablation 6: the read path. A cold sequential read of a 1 MiB file
+/// over a long-fat link (200 ms RTT, 100 Mbit/s — latency-bound, so
+/// round trips dominate), under three arms: the pre-pipeline serial
+/// path, gap-only concurrent miss fetching, and gap fetching with the
+/// sequential read-ahead window.
+fn readahead_sweep() -> Vec<serde_json::Value> {
+    const BLOCKS: u64 = 32;
+    const BLOCK: u64 = 32 * 1024;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut times = Vec::new();
+    for (label, pipeline, window) in
+        [("serial", false, 0usize), ("gap-only", true, 0), ("gap+readahead", true, 8)]
+    {
+        let sim = Sim::new();
+        let session = Session::builder(SessionConfig {
+            model: ConsistencyModel::InvalidationPolling {
+                period: Duration::from_secs(300),
+                backoff_max: None,
+            },
+            pipeline_read: pipeline,
+            readahead_window: window,
+            ..SessionConfig::default()
+        })
+        .clients(1)
+        .wan(LinkConfig::wan().with_rtt(Duration::from_millis(200)).with_bandwidth_bps(100_000_000))
+        .establish(&sim);
+        let t = session.client_transport(0);
+        let root = session.root_fh();
+        let stats = session.wan_stats().clone();
+        let handle = session.handle();
+        // Seed server-side so the proxy cache is genuinely cold.
+        let seed_t = gvfs_vfs::Timestamp::from_nanos(0);
+        let vfs = session.vfs();
+        let f = vfs.create(vfs.root(), "seq", 0o644, seed_t).unwrap();
+        vfs.write(f, 0, &vec![6u8; (BLOCKS * BLOCK) as usize], seed_t).unwrap();
+        let session = Arc::new(session);
+        let s2 = Arc::clone(&session);
+        let elapsed = Arc::new(Mutex::new(0.0f64));
+        let el = Arc::clone(&elapsed);
+        let read_path = Arc::new(Mutex::new(serde_json::Value::Null));
+        let rp = Arc::clone(&read_path);
+        sim.spawn("reader", move || {
+            let c = NfsClient::new(t, root, MountOptions::noac());
+            let fh = c.open("/seq").unwrap();
+            let t0 = gvfs_netsim::now();
+            for b in 0..BLOCKS {
+                let data = c.read(fh, b * BLOCK, BLOCK as u32).unwrap();
+                assert_eq!(data, vec![6u8; BLOCK as usize], "block {b} content");
+            }
+            *el.lock() = gvfs_netsim::now().saturating_since(t0).as_secs_f64();
+            *rp.lock() = gvfs_bench::read_path_json(&s2.proxy_client(0).stats());
+            handle.shutdown();
+        });
+        sim.run();
+        let snap = stats.snapshot();
+        let t = *elapsed.lock();
+        times.push(t);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", t),
+            nfs_calls(&snap, proc3::READ).to_string(),
+            snap.max_in_flight().to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "arm": label,
+            "cold_sequential_s": t,
+            "wan_reads": nfs_calls(&snap, proc3::READ),
+            "read_path": read_path.lock().clone(),
+            "rpc": rpc_meta(&snap),
+        }));
+    }
+    let speedup = times[0] / times[2];
+    print_table(
+        "Ablation 6: read path (1 MiB cold sequential read, 200 ms RTT)",
+        &["arm", "cold read (s)", "WAN READs", "max in-flight"],
+        &rows,
+    );
+    println!("read-ahead speedup over serial: {speedup:.1}x (target: >=2x)");
+    assert!(speedup >= 2.0, "read-ahead must beat the serial path >=2x, got {speedup:.2}x");
+    json.push(serde_json::json!({ "speedup": speedup }));
+    json
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let only = args.iter().position(|a| a == "--only").and_then(|i| args.get(i + 1)).cloned();
@@ -409,6 +496,9 @@ fn main() {
     }
     if run("pipelining") {
         doc.push(("pipelining".into(), pipelining_sweep().into()));
+    }
+    if run("readahead") {
+        doc.push(("readahead".into(), readahead_sweep().into()));
     }
     // A partial run must not clobber the full committed results.
     let name = if only.is_some() { "ablations-partial.json" } else { "ablations.json" };

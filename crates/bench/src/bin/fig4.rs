@@ -41,6 +41,8 @@ struct Outcome {
     runtime: Duration,
     rpcs: RpcBreakdown,
     rpc: serde_json::Value,
+    /// Proxy read-path counters (absent for native NFS, which has no proxy).
+    read_path: serde_json::Value,
 }
 
 fn run_one(setup: Setup, link: LinkConfig, config: &MakeConfig) -> Outcome {
@@ -83,6 +85,7 @@ fn run_one(setup: Setup, link: LinkConfig, config: &MakeConfig) -> Outcome {
                 runtime: report.runtime,
                 rpcs: RpcBreakdown::from_snapshot(&snap),
                 rpc: rpc_meta(&snap),
+                read_path: gvfs_bench::read_path_json(&session.proxy_client(0).stats()),
             };
         }
     };
@@ -100,6 +103,7 @@ fn run_one(setup: Setup, link: LinkConfig, config: &MakeConfig) -> Outcome {
         runtime: report.runtime,
         rpcs: RpcBreakdown::from_snapshot(&snap),
         rpc: rpc_meta(&snap),
+        read_path: serde_json::Value::Null,
     }
 }
 
@@ -173,6 +177,7 @@ fn main() {
                 "runtime_s": o.runtime.as_secs_f64(),
                 "rpcs": o.rpcs.to_json(),
                 "rpc": o.rpc,
+                "read_path": o.read_path,
             })).collect::<Vec<_>>(),
             "lan": lan_outcomes.iter().map(|(s, o)| serde_json::json!({
                 "setup": s.name(),

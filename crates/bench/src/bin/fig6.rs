@@ -52,6 +52,8 @@ struct Outcome {
     runtime: Duration,
     rpcs: RpcBreakdown,
     rpc: serde_json::Value,
+    /// Proxy read-path counters (absent for setups without a proxy).
+    read_path: serde_json::Value,
     fairness: lock::Fairness,
 }
 
@@ -116,6 +118,7 @@ fn run_nfs_like(setup: Setup, config: LockConfig) -> Outcome {
                 runtime: end.saturating_since(gvfs_netsim::SimTime::ZERO),
                 rpcs: RpcBreakdown::from_snapshot(&snap),
                 rpc: rpc_meta(&snap),
+                read_path: gvfs_bench::session_read_path(&session, CLIENTS),
                 fairness: lock::fairness(&log, CLIENTS),
             };
         }
@@ -141,6 +144,7 @@ fn run_nfs_like(setup: Setup, config: LockConfig) -> Outcome {
         runtime: end.saturating_since(gvfs_netsim::SimTime::ZERO),
         rpcs: RpcBreakdown::from_snapshot(&snap),
         rpc: rpc_meta(&snap),
+        read_path: serde_json::Value::Null,
         fairness: lock::fairness(&log, CLIENTS),
     }
 }
@@ -208,6 +212,7 @@ fn run_afs(config: LockConfig) -> Outcome {
         runtime: end.saturating_since(gvfs_netsim::SimTime::ZERO),
         rpcs: RpcBreakdown::from_snapshot(&snap),
         rpc: rpc_meta(&snap),
+        read_path: serde_json::Value::Null,
         fairness: lock::fairness(&log, CLIENTS),
     }
 }
@@ -299,6 +304,7 @@ fn main() {
                 "runtime_s": o.runtime.as_secs_f64(),
                 "rpcs": o.rpcs.to_json(),
                 "rpc": o.rpc,
+                "read_path": o.read_path,
                 "fairness": {
                     "max_consecutive": o.fairness.max_consecutive,
                     "per_client": o.fairness.per_client,

@@ -35,6 +35,8 @@ struct Outcome {
     getattr_per_client_run: f64,
     /// Channel metadata (pipelining high-water mark, latencies).
     rpc: serde_json::Value,
+    /// Proxy read-path counters (absent for native NFS).
+    read_path: serde_json::Value,
 }
 
 fn run_one(gvfs: bool, scope: UpdateScope, config: &NanomosConfig) -> Outcome {
@@ -46,6 +48,7 @@ fn run_one(gvfs: bool, scope: UpdateScope, config: &NanomosConfig) -> Outcome {
     let mut links = vec![LinkConfig::wan(); COMPUTE_CLIENTS];
     links.push(LinkConfig::lan());
 
+    let mut gvfs_session = None;
     let (transports, root, stats, handle): (Vec<SimRpcClient>, _, RpcStats, _) = if gvfs {
         let session_config = SessionConfig {
             model: ConsistencyModel::polling_30s(),
@@ -53,12 +56,14 @@ fn run_one(gvfs: bool, scope: UpdateScope, config: &NanomosConfig) -> Outcome {
             ..SessionConfig::default()
         };
         let session = Session::builder(session_config).client_links(links).vfs(vfs).establish(&sim);
-        (
+        let parts = (
             (0..=COMPUTE_CLIENTS).map(|i| session.client_transport(i)).collect(),
             session.root_fh(),
             session.wan_stats().clone(),
             Some(session.handle()),
-        )
+        );
+        gvfs_session = Some(session);
+        parts
     } else {
         let native = NativeMount::establish_with_links(links, Some(vfs));
         (
@@ -164,6 +169,10 @@ fn run_one(gvfs: bool, scope: UpdateScope, config: &NanomosConfig) -> Outcome {
         getinv_for_update,
         getattr_per_client_run,
         rpc: rpc_meta(&final_snap),
+        read_path: match &gvfs_session {
+            Some(s) => gvfs_bench::session_read_path(s, COMPUTE_CLIENTS),
+            None => serde_json::Value::Null,
+        },
     }
 }
 
@@ -197,6 +206,7 @@ fn main() {
             "gvfs_getinv_per_client_update": gvfs.getinv_for_update,
             "nfs_rpc": nfs.rpc,
             "gvfs_rpc": gvfs.rpc,
+            "gvfs_read_path": gvfs.read_path,
         }));
     }
 

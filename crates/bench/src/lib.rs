@@ -105,6 +105,36 @@ impl RpcBreakdown {
     }
 }
 
+/// The read-path counters of one proxy client (cache hits, gap misses,
+/// speculative READs and their fate), as a figure/bench JSON block.
+pub fn read_path_json(stats: &gvfs_core::proxy::client::ProxyClientStats) -> serde_json::Value {
+    serde_json::json!({
+        "read_hits": stats.read_hits,
+        "read_misses": stats.read_misses,
+        "prefetch_issued": stats.prefetch_issued,
+        "prefetch_hits": stats.prefetch_hits,
+        "prefetch_wasted": stats.prefetch_wasted,
+    })
+}
+
+/// Sums the read-path counters across a session's proxy clients and
+/// returns the aggregate as a JSON block.
+pub fn session_read_path(
+    session: &gvfs_core::session::Session,
+    clients: usize,
+) -> serde_json::Value {
+    let mut agg = gvfs_core::proxy::client::ProxyClientStats::default();
+    for i in 0..clients {
+        let s = session.proxy_client(i).stats();
+        agg.read_hits += s.read_hits;
+        agg.read_misses += s.read_misses;
+        agg.prefetch_issued += s.prefetch_issued;
+        agg.prefetch_hits += s.prefetch_hits;
+        agg.prefetch_wasted += s.prefetch_wasted;
+    }
+    read_path_json(&agg)
+}
+
 /// Human-readable name for a (program, procedure) pair, for JSON keys.
 fn proc_name(program: u32, procedure: u32) -> String {
     let prog = match program {

@@ -41,10 +41,6 @@ impl FileCache {
         let end = offset + len as u64;
         let mut out = Vec::with_capacity(len);
         let mut pos = offset;
-        // Find the extent containing `pos`, then walk forward.
-        let mut iter =
-            self.extents.range(..=pos).next_back().into_iter().chain(self.extents.range(pos + 1..));
-        let _ = &mut iter; // replaced by explicit loop below for clarity
         while pos < end {
             let (start, ext) = self.extents.range(..=pos).next_back()?;
             let ext_end = start + ext.data.len() as u64;
@@ -57,6 +53,37 @@ impl FileCache {
             pos = start + to as u64;
         }
         Some(out)
+    }
+
+    /// The sub-ranges of `[offset, offset+len)` *not* covered by any
+    /// cached extent, in order. Empty when the range is fully cached.
+    /// Dirty extents count as covered: locally written bytes are never
+    /// refetched.
+    pub fn missing_ranges(&self, offset: u64, len: usize) -> Vec<(u64, usize)> {
+        let mut gaps = Vec::new();
+        if len == 0 {
+            return gaps;
+        }
+        let end = offset + len as u64;
+        let mut pos = offset;
+        // The extent containing `pos` (if any), then everything after.
+        let head = self.extents.range(..=pos).next_back();
+        let tail = self.extents.range(pos + 1..end);
+        for (start, ext) in head.into_iter().chain(tail) {
+            let ext_end = start + ext.data.len() as u64;
+            if ext_end <= pos {
+                continue; // ends before the cursor
+            }
+            if *start > pos {
+                gaps.push((pos, (*start - pos) as usize));
+            }
+            pos = ext_end;
+            if pos >= end {
+                return gaps;
+            }
+        }
+        gaps.push((pos, (end - pos) as usize));
+        gaps
     }
 
     /// Inserts bytes fetched from the server (clean). Overlapping cached
@@ -357,6 +384,25 @@ impl DiskCache {
         self.attrs.insert(fh, attr);
     }
 
+    /// Caches attributes piggybacked on an asynchronous READ reply
+    /// (prefetch or pipelined gap fetch). Unlike [`DiskCache::put_attr`],
+    /// the incoming attributes are applied only if they are not *older*
+    /// than what we already hold: a delayed write advances the cached
+    /// mtime/ctime locally (`put_attr_own_write`), and a prefetch reply
+    /// that was in flight before that write must not clobber it — doing
+    /// so would retag the file to the pre-write mtime and make the next
+    /// server attribute fetch discard our freshly written-back data.
+    /// Returns whether the attributes were applied.
+    pub fn put_attr_prefetch(&mut self, fh: Fh3, attr: Fattr3) -> bool {
+        if let Some(cached) = self.attrs.get(&fh) {
+            if (attr.mtime, attr.ctime) < (cached.mtime, cached.ctime) {
+                return false;
+            }
+        }
+        self.put_attr(fh, attr);
+        true
+    }
+
     /// Invalidates one file's cached attributes (the consistency
     /// protocols' unit of invalidation). Data stays; it will be
     /// revalidated through the mtime tag on the next attribute fetch.
@@ -446,6 +492,16 @@ impl DiskCache {
             self.touch(fh);
         }
         result
+    }
+
+    /// The sub-ranges of `[offset, offset+len)` not covered by cached
+    /// extents of `fh`. An uncached file is one whole gap.
+    pub fn missing_ranges(&self, fh: Fh3, offset: u64, len: usize) -> Vec<(u64, usize)> {
+        match self.files.get(&fh) {
+            Some(fc) => fc.missing_ranges(offset, len),
+            None if len == 0 => Vec::new(),
+            None => vec![(offset, len)],
+        }
     }
 
     /// Stores server-fetched bytes.
@@ -670,6 +726,72 @@ mod tests {
         assert_eq!(fc.read(0, 100).unwrap(), vec![1; 100]);
         fc.clean_range(0, 100);
         assert!(!fc.has_dirty());
+    }
+
+    #[test]
+    fn missing_ranges_reports_gaps_in_order() {
+        let mut fc = FileCache::default();
+        assert_eq!(fc.missing_ranges(0, 10), vec![(0, 10)], "empty cache is one gap");
+        assert_eq!(fc.missing_ranges(5, 0), Vec::<(u64, usize)>::new());
+        fc.insert_clean(4, vec![1; 4]); // [4, 8)
+        assert_eq!(fc.missing_ranges(0, 12), vec![(0, 4), (8, 4)]);
+        assert_eq!(fc.missing_ranges(4, 4), Vec::<(u64, usize)>::new());
+        assert_eq!(fc.missing_ranges(5, 2), Vec::<(u64, usize)>::new(), "inside one extent");
+        assert_eq!(fc.missing_ranges(6, 4), vec![(8, 2)], "tail gap only");
+        assert_eq!(fc.missing_ranges(0, 5), vec![(0, 4)], "head gap only");
+        fc.insert_clean(10, vec![2; 2]); // [10, 12)
+        assert_eq!(fc.missing_ranges(0, 14), vec![(0, 4), (8, 2), (12, 2)]);
+        assert_eq!(fc.missing_ranges(20, 3), vec![(20, 3)], "fully past cached data");
+    }
+
+    #[test]
+    fn missing_ranges_counts_dirty_as_covered() {
+        let mut fc = FileCache::default();
+        fc.write_dirty(4, vec![9; 4]);
+        assert_eq!(fc.missing_ranges(0, 12), vec![(0, 4), (8, 4)]);
+        assert_eq!(fc.missing_ranges(4, 4), Vec::<(u64, usize)>::new());
+    }
+
+    #[test]
+    fn disk_cache_missing_ranges_unknown_file_is_one_gap() {
+        let mut c = DiskCache::new(1 << 20);
+        let fh = Fh3::from_fileid(1);
+        assert_eq!(c.missing_ranges(fh, 3, 7), vec![(3, 7)]);
+        assert_eq!(c.missing_ranges(fh, 3, 0), Vec::<(u64, usize)>::new());
+        c.insert_clean(fh, 0, vec![1; 5]);
+        assert_eq!(c.missing_ranges(fh, 3, 7), vec![(5, 5)]);
+    }
+
+    #[test]
+    fn put_attr_prefetch_rejects_older_attr() {
+        let mut c = DiskCache::new(1 << 20);
+        let fh = Fh3::from_fileid(1);
+        // A delayed write advanced the cached attributes locally.
+        c.put_attr_own_write(fh, attr(1, 5));
+        c.write_dirty(fh, 0, vec![7; 4]);
+        // A prefetch reply from before the write carries the old mtime.
+        assert!(!c.put_attr_prefetch(fh, attr(1, 3)), "stale attr must be rejected");
+        assert_eq!(c.attr(fh).unwrap().mtime.seconds, 5, "own-write attr preserved");
+        assert!(c.read(fh, 0, 4).is_some(), "dirty data untouched");
+        // The next real server attr (same mtime tag as ours) must not
+        // drop the data either — the tag was never regressed.
+        c.put_attr(fh, attr(1, 5));
+        assert!(c.read(fh, 0, 4).is_some());
+    }
+
+    #[test]
+    fn put_attr_prefetch_applies_fresh_attr() {
+        let mut c = DiskCache::new(1 << 20);
+        let fh = Fh3::from_fileid(1);
+        assert!(c.put_attr_prefetch(fh, attr(1, 2)), "no cached attr: applies");
+        assert_eq!(c.attr(fh).unwrap().mtime.seconds, 2);
+        c.insert_clean(fh, 0, vec![1; 4]);
+        // Equal attrs re-apply harmlessly.
+        assert!(c.put_attr_prefetch(fh, attr(1, 2)));
+        assert!(c.read(fh, 0, 4).is_some());
+        // Newer attrs apply with full put_attr semantics: clean drop.
+        assert!(c.put_attr_prefetch(fh, attr(1, 9)));
+        assert!(c.read(fh, 0, 4).is_none(), "mtime moved: clean data dropped");
     }
 
     #[test]

@@ -33,12 +33,13 @@ use gvfs_nfs3::{
     MkdirArgs, NfsTime3, Nfsstat3, ReadArgs, ReadRes, ReaddirRes, RenameArgs, SetattrRes,
     StableHow, SymlinkArgs, WccData, WriteArgs, WriteRes,
 };
+use gvfs_rpc::channel::PendingCall;
 use gvfs_rpc::dispatch::RpcService;
 use gvfs_rpc::RpcError;
 use gvfs_xdr::Xdr;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -64,6 +65,60 @@ pub struct ProxyClientStats {
     pub invalidations_applied: u64,
     /// Callbacks received.
     pub callbacks: u64,
+    /// READ requests served entirely from cached extents.
+    pub read_hits: u64,
+    /// READ requests that found at least one uncached gap.
+    pub read_misses: u64,
+    /// Speculative read-ahead READs put on the wire.
+    pub prefetch_issued: u64,
+    /// Prefetched replies that landed in the cache for a demand read.
+    pub prefetch_hits: u64,
+    /// Prefetched replies discarded: cancelled by an invalidation or
+    /// recall, or failed in flight.
+    pub prefetch_wasted: u64,
+}
+
+/// One fetch (demand gap or speculative read-ahead) in flight over the
+/// WAN. Lives in [`ReadAheadState::files`] from the moment the range is
+/// reserved until its reply is applied, discarded, or cancelled.
+struct PendingFetch {
+    /// Unique reservation id: the issuer applies the reply only while
+    /// the token is still present, so a cancellation (which removes the
+    /// entry) makes every in-flight reply land on the floor instead of
+    /// overwriting a newer invalidation.
+    token: u64,
+    offset: u64,
+    len: usize,
+    /// Speculative read-ahead (true) vs a demand gap fetch (false) —
+    /// only speculative entries move the prefetch counters.
+    speculative: bool,
+    /// The in-flight call, present while unclaimed. A demand read takes
+    /// it and waits on it; `None` means some actor is already completing
+    /// this fetch, so overlapping readers park as waiters instead of
+    /// re-sending.
+    call: Option<PendingCall>,
+    /// Actors parked until this fetch resolves.
+    waiters: Vec<gvfs_netsim::ActorHandle>,
+}
+
+/// Per-file sequential-access detector plus in-flight fetch table.
+#[derive(Default)]
+struct FileReadState {
+    /// Offset one past the last served read; a read starting here (or
+    /// overlapping it) extends the sequential run.
+    next_expected: u64,
+    /// Consecutive sequential reads observed.
+    run: usize,
+    pending: Vec<PendingFetch>,
+}
+
+/// The read engine's shared state (lock rank: after `disk`).
+struct ReadAheadState {
+    /// Read-ahead window in blocks; 0 disables speculation.
+    window: usize,
+    /// Sequential run length that arms the prefetcher.
+    trigger: usize,
+    files: HashMap<Fh3, FileReadState>,
 }
 
 /// The proxy client service (see module docs).
@@ -82,6 +137,12 @@ pub struct ProxyClient {
     /// Pipeline write-back batches over the WAN (ablation knob; the
     /// serial fallback pays one round trip per block).
     pipeline: AtomicBool,
+    /// Pipeline the read path: fan gap READs out concurrently and run
+    /// the read-ahead window (ablation knob; off restores the serial
+    /// all-or-nothing read path).
+    pipeline_read: AtomicBool,
+    readahead: Mutex<ReadAheadState>,
+    fetch_token: AtomicU64,
     stats: Mutex<ProxyClientStats>,
 }
 
@@ -124,6 +185,9 @@ impl ProxyClient {
             poller: Mutex::new(None),
             stopped: AtomicBool::new(false),
             pipeline: AtomicBool::new(true),
+            pipeline_read: AtomicBool::new(true),
+            readahead: Mutex::new(ReadAheadState { window: 8, trigger: 2, files: HashMap::new() }),
+            fetch_token: AtomicU64::new(0),
             stats: Mutex::new(ProxyClientStats::default()),
         })
     }
@@ -133,6 +197,24 @@ impl ProxyClient {
     /// the ablation baseline.
     pub fn set_pipelining(&self, on: bool) {
         self.pipeline.store(on, Ordering::SeqCst);
+    }
+
+    /// Enables or disables the pipelined read path (on by default).
+    /// Off restores the serial all-or-nothing miss path: one forwarded
+    /// READ per kernel request, one WAN round trip each — the ablation
+    /// baseline.
+    pub fn set_read_pipelining(&self, on: bool) {
+        self.pipeline_read.store(on, Ordering::SeqCst);
+    }
+
+    /// Configures the sequential read-ahead window (blocks speculatively
+    /// fetched past a detected sequential run) and the run length that
+    /// arms it. A zero window disables speculation but keeps gap-only
+    /// fetching.
+    pub fn set_readahead(&self, window: usize, trigger: usize) {
+        let mut ra = self.readahead.lock();
+        ra.window = window;
+        ra.trigger = trigger.max(1);
     }
 
     /// This client's session-local id.
@@ -248,6 +330,7 @@ impl ProxyClient {
                 let mut disk = self.disk.lock();
                 disk.forget_file(a.object);
                 disk.purge_bindings_to(a.object);
+                self.cancel_prefetch(a.object);
             }
             _ => {}
         }
@@ -367,22 +450,9 @@ impl ProxyClient {
         if self.state.lock().corrupted.contains(&a.file) {
             return encode(&ReadRes::Fail { status: Nfsstat3::Io, file_attributes: None });
         }
-        if self.can_serve(a.file) {
-            let mut disk = self.disk.lock();
-            if let Some(attr) = disk.attr(a.file) {
-                let end = (a.offset + a.count as u64).min(attr.size);
-                let len = end.saturating_sub(a.offset) as usize;
-                if let Some(data) = disk.read(a.file, a.offset, len) {
-                    let res = ReadRes::Ok {
-                        file_attributes: Some(attr),
-                        count: data.len() as u32,
-                        eof: end >= attr.size,
-                        data,
-                    };
-                    drop(disk);
-                    self.served();
-                    return encode(&res);
-                }
+        if self.model.caches() && self.can_serve(a.file) {
+            if let Some(reply) = self.read_from_cache(&a)? {
+                return Ok(reply);
             }
         }
         let reply = self.forward(proc3::READ, args.to_vec(), Some(a.file))?;
@@ -390,13 +460,19 @@ impl ProxyClient {
             gvfs_xdr::from_bytes::<ReadRes>(&reply)
         {
             if self.model.caches() {
-                let mut disk = self.disk.lock();
-                if let Some(attr) = file_attributes {
-                    disk.put_attr(a.file, attr);
+                {
+                    let mut disk = self.disk.lock();
+                    if let Some(attr) = file_attributes {
+                        disk.put_attr(a.file, attr);
+                    }
+                    disk.insert_clean(a.file, a.offset, data.clone());
                 }
-                disk.insert_clean(a.file, a.offset, data.clone());
+                if self.can_serve(a.file) {
+                    self.maybe_prefetch(a.file, a.offset, a.count);
+                }
                 // Local dirty bytes win over what the server returned:
                 // re-serve from the merged cache when possible.
+                let mut disk = self.disk.lock();
                 if disk.file(a.file).is_some_and(crate::cache::FileCache::has_dirty) {
                     if let Some(merged) = disk.read(a.file, a.offset, data.len()) {
                         let attr = disk.attr(a.file);
@@ -412,6 +488,384 @@ impl ProxyClient {
             }
         }
         Ok(reply)
+    }
+
+    // --- pipelined read path & read-ahead -----------------------------
+
+    /// Serves a READ from the disk cache, fetching uncached gaps over
+    /// the WAN as a concurrent pipelined burst (one round trip per miss
+    /// burst instead of one per gap). Returns `Ok(None)` to fall back to
+    /// the serial full-forward path: no cached attributes, read
+    /// pipelining disabled, or a fetch failed (the fallback retries like
+    /// a hard mount and surfaces server errors verbatim).
+    fn read_from_cache(&self, a: &ReadArgs) -> Result<Option<Vec<u8>>, RpcError> {
+        let pipelined = self.pipeline_read.load(Ordering::SeqCst);
+        for attempt in 0..32 {
+            let (attr, end, len, hit) = {
+                let mut disk = self.disk.lock();
+                let Some(attr) = disk.attr(a.file) else { return Ok(None) };
+                let end = (a.offset + u64::from(a.count)).min(attr.size);
+                let len = end.saturating_sub(a.offset) as usize;
+                let hit = disk.read(a.file, a.offset, len);
+                (attr, end, len, hit)
+            };
+            if let Some(data) = hit {
+                {
+                    let mut stats = self.stats.lock();
+                    if attempt == 0 {
+                        stats.read_hits += 1;
+                        stats.served_local += 1;
+                    }
+                }
+                self.maybe_prefetch(a.file, a.offset, a.count);
+                let res = ReadRes::Ok {
+                    file_attributes: Some(attr),
+                    count: data.len() as u32,
+                    eof: end >= attr.size,
+                    data,
+                };
+                return encode(&res).map(Some);
+            }
+            if !pipelined {
+                return Ok(None);
+            }
+            if attempt == 0 {
+                self.stats.lock().read_misses += 1;
+            }
+            if !self.fetch_missing(a.file, a.offset, len) {
+                return Ok(None);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Fills the uncached gaps of `[offset, offset+len)`: claims
+    /// overlapping in-flight fetches (prefetches pay off here — their
+    /// reply is already on the wire, often already arrived), parks on
+    /// gaps some other reader is completing, and fans out concurrent
+    /// READs for the rest. Returns whether the caller should re-check
+    /// the cache; `false` falls back to the serial path.
+    fn fetch_missing(&self, fh: Fh3, offset: u64, len: usize) -> bool {
+        struct Claimed {
+            token: u64,
+            speculative: bool,
+            call: PendingCall,
+        }
+        let mut claimed: Vec<Claimed> = Vec::new();
+        let mut own: Vec<(u64, u64, u32)> = Vec::new();
+        let mut parked = false;
+        {
+            let disk = self.disk.lock();
+            let gaps = disk.missing_ranges(fh, offset, len);
+            if gaps.is_empty() {
+                return true; // raced to a hit; caller re-serves
+            }
+            let mut ra = self.readahead.lock();
+            let fs = ra.files.entry(fh).or_default();
+            for (goff, glen) in gaps {
+                let gend = goff + glen as u64;
+                let mut pos = goff;
+                while pos < gend {
+                    // One chunk per block: prefetch entries are
+                    // block-granular, so a chunk never spans two.
+                    let chunk_end = gend.min(block_of(pos) + BLOCK_SIZE);
+                    if let Some(e) = fs
+                        .pending
+                        .iter_mut()
+                        .find(|e| e.offset <= pos && e.offset + e.len as u64 >= chunk_end)
+                    {
+                        if claimed.iter().any(|c| c.token == e.token) {
+                            // Already claimed for an earlier chunk.
+                        } else if let Some(call) = e.call.take() {
+                            claimed.push(Claimed {
+                                token: e.token,
+                                speculative: e.speculative,
+                                call,
+                            });
+                        } else {
+                            e.waiters.push(gvfs_netsim::current_actor());
+                            parked = true;
+                        }
+                    } else {
+                        let token = self.fetch_token.fetch_add(1, Ordering::SeqCst);
+                        let clen = (chunk_end - pos) as usize;
+                        fs.pending.push(PendingFetch {
+                            token,
+                            offset: pos,
+                            len: clen,
+                            speculative: false,
+                            call: None,
+                            waiters: Vec::new(),
+                        });
+                        own.push((token, pos, clen as u32));
+                    }
+                    pos = chunk_end;
+                }
+            }
+        }
+        // Phase 1: every gap READ on the wire before the first reply is
+        // claimed.
+        let mut sent: Vec<(u64, PendingCall)> = Vec::new();
+        let mut ok = true;
+        for (token, off, count) in own {
+            let sendres = gvfs_xdr::to_bytes(&ReadArgs { file: fh, offset: off, count })
+                .map_err(RpcError::from)
+                .and_then(|args| {
+                    self.wan.send(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc3::READ, args)
+                });
+            match sendres {
+                Ok(call) => sent.push((token, call)),
+                Err(_) => {
+                    self.discard_fetch(fh, token);
+                    ok = false;
+                }
+            }
+        }
+        // Phase 2: claim replies, earliest sends (claimed prefetches)
+        // first.
+        for c in claimed {
+            match self.wan.wait_pending(c.call) {
+                Ok(bytes) => {
+                    if !self.apply_fetch(fh, c.token, c.speculative, &bytes) {
+                        ok = false;
+                    }
+                }
+                Err(_) => {
+                    self.discard_fetch(fh, c.token);
+                    ok = false;
+                }
+            }
+        }
+        for (token, call) in sent {
+            match self.wan.wait_pending(call) {
+                Ok(bytes) => {
+                    if !self.apply_fetch(fh, token, false, &bytes) {
+                        ok = false;
+                    }
+                }
+                Err(_) => {
+                    self.discard_fetch(fh, token);
+                    ok = false;
+                }
+            }
+        }
+        if !ok {
+            return false;
+        }
+        if parked {
+            // The completing actor unparks us when its fetch resolves;
+            // permits are banked, so a resolution that already happened
+            // returns immediately.
+            gvfs_netsim::park();
+        }
+        true
+    }
+
+    /// Applies one fetched READ reply to the disk cache — unless the
+    /// reservation token is gone, which means an invalidation or recall
+    /// cancelled the fetch while it was in flight: the bytes (and the
+    /// piggybacked attributes) predate the invalidation and are
+    /// discarded. Attributes go through the monotonic
+    /// `put_attr_prefetch` guard so a reply racing a delayed write can
+    /// never regress the file's own-write mtime.
+    fn apply_fetch(&self, fh: Fh3, token: u64, speculative: bool, bytes: &[u8]) -> bool {
+        let inner = match self.absorb_reply(Some(fh), bytes) {
+            Ok(inner) => inner,
+            Err(_) => {
+                self.discard_fetch(fh, token);
+                return false;
+            }
+        };
+        match gvfs_xdr::from_bytes::<ReadRes>(&inner) {
+            Ok(ReadRes::Ok { file_attributes, data, .. }) => {
+                let mut disk = self.disk.lock();
+                let mut ra = self.readahead.lock();
+                let Some(entry) = ra.files.get_mut(&fh).and_then(|fs| {
+                    fs.pending.iter().position(|e| e.token == token).map(|i| fs.pending.remove(i))
+                }) else {
+                    drop(ra);
+                    drop(disk);
+                    if speculative {
+                        self.stats.lock().prefetch_wasted += 1;
+                    }
+                    return false;
+                };
+                if let Some(attr) = file_attributes {
+                    disk.put_attr_prefetch(fh, attr);
+                }
+                disk.insert_clean(fh, entry.offset, data);
+                drop(ra);
+                drop(disk);
+                if speculative {
+                    self.stats.lock().prefetch_hits += 1;
+                }
+                for w in entry.waiters {
+                    w.unpark();
+                }
+                true
+            }
+            _ => {
+                self.discard_fetch(fh, token);
+                false
+            }
+        }
+    }
+
+    /// Drops one reserved fetch (send failure, error reply) and wakes
+    /// its waiters so they re-plan.
+    fn discard_fetch(&self, fh: Fh3, token: u64) {
+        let entry = {
+            let mut ra = self.readahead.lock();
+            ra.files.get_mut(&fh).and_then(|fs| {
+                fs.pending.iter().position(|e| e.token == token).map(|i| fs.pending.remove(i))
+            })
+        };
+        if let Some(entry) = entry {
+            if entry.speculative {
+                self.stats.lock().prefetch_wasted += 1;
+            }
+            for w in entry.waiters {
+                w.unpark();
+            }
+        }
+    }
+
+    /// Feeds the sequential-access detector with one served read and,
+    /// when a run of `trigger` sequential reads is up, speculatively
+    /// pipelines the next `window` uncached block-aligned READs onto the
+    /// wire. Nobody waits on them: a later demand read claims the
+    /// pending reply (usually already arrived — the WAN round trip
+    /// overlapped the application's compute) or parks on it.
+    fn maybe_prefetch(&self, fh: Fh3, offset: u64, count: u32) {
+        let mut plan: Vec<(u64, u64, u32)> = Vec::new();
+        {
+            let disk = self.disk.lock();
+            let Some(attr) = disk.attr(fh) else { return };
+            let end = (offset + u64::from(count)).min(attr.size);
+            let mut ra = self.readahead.lock();
+            let (window, trigger) = (ra.window, ra.trigger);
+            let fs = ra.files.entry(fh).or_default();
+            if offset == fs.next_expected || (offset < fs.next_expected && end > fs.next_expected) {
+                fs.run = fs.run.saturating_add(1);
+            } else {
+                fs.run = 1;
+            }
+            fs.next_expected = end;
+            if window == 0 || fs.run < trigger || !self.pipeline_read.load(Ordering::SeqCst) {
+                return;
+            }
+            let first = block_of(end);
+            for i in 0..window {
+                let b = first + i as u64 * BLOCK_SIZE;
+                if b >= attr.size {
+                    break;
+                }
+                let blen = BLOCK_SIZE.min(attr.size - b) as usize;
+                let blocked = fs
+                    .pending
+                    .iter()
+                    .any(|e| e.offset < b + blen as u64 && e.offset + e.len as u64 > b);
+                if blocked || disk.missing_ranges(fh, b, blen).is_empty() {
+                    continue;
+                }
+                let token = self.fetch_token.fetch_add(1, Ordering::SeqCst);
+                fs.pending.push(PendingFetch {
+                    token,
+                    offset: b,
+                    len: blen,
+                    speculative: true,
+                    call: None,
+                    waiters: Vec::new(),
+                });
+                plan.push((token, b, blen as u32));
+            }
+        }
+        let mut issued = 0u64;
+        for (token, b, blen) in plan {
+            let sendres = gvfs_xdr::to_bytes(&ReadArgs { file: fh, offset: b, count: blen })
+                .map_err(RpcError::from)
+                .and_then(|args| {
+                    self.wan.send(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc3::READ, args)
+                });
+            match sendres {
+                Ok(call) => {
+                    let mut stored = false;
+                    {
+                        let mut ra = self.readahead.lock();
+                        if let Some(e) = ra
+                            .files
+                            .get_mut(&fh)
+                            .and_then(|fs| fs.pending.iter_mut().find(|e| e.token == token))
+                        {
+                            e.call = Some(call);
+                            stored = true;
+                        }
+                    }
+                    if stored {
+                        issued += 1;
+                    } else {
+                        // Cancelled between reservation and send;
+                        // dropping the call abandons the reply.
+                        self.stats.lock().prefetch_wasted += 1;
+                    }
+                }
+                Err(_) => self.discard_fetch(fh, token),
+            }
+        }
+        if issued > 0 {
+            self.stats.lock().prefetch_issued += issued;
+        }
+    }
+
+    /// Cancels every in-flight fetch for `fh` and disarms its detector.
+    /// Must be called under the same disk-lock hold that invalidates the
+    /// file so a stale reply can never apply after the invalidation.
+    fn cancel_prefetch(&self, fh: Fh3) {
+        let entries = {
+            let mut ra = self.readahead.lock();
+            match ra.files.get_mut(&fh) {
+                Some(fs) => {
+                    fs.run = 0;
+                    std::mem::take(&mut fs.pending)
+                }
+                None => return,
+            }
+        };
+        self.retire_cancelled(entries);
+    }
+
+    /// Cancels every in-flight fetch of every file (force invalidation,
+    /// RECOVER, crash reconciliation).
+    fn cancel_all_prefetch(&self) {
+        let mut all = Vec::new();
+        {
+            let mut ra = self.readahead.lock();
+            for fs in ra.files.values_mut() {
+                fs.run = 0;
+                all.append(&mut fs.pending);
+            }
+        }
+        self.retire_cancelled(all);
+    }
+
+    fn retire_cancelled(&self, entries: Vec<PendingFetch>) {
+        let mut wasted = 0u64;
+        let mut waiters = Vec::new();
+        for e in entries {
+            // Dropping an unclaimed call abandons its reply at the
+            // transport. Claimed calls are discarded by their claimant,
+            // which finds the token gone and counts the waste itself.
+            if e.speculative && e.call.is_some() {
+                wasted += 1;
+            }
+            waiters.extend(e.waiters);
+        }
+        if wasted > 0 {
+            self.stats.lock().prefetch_wasted += wasted;
+        }
+        for w in waiters {
+            w.unpark();
+        }
     }
 
     fn op_write(&self, args: &[u8]) -> Result<Vec<u8>, RpcError> {
@@ -516,10 +970,13 @@ impl ProxyClient {
                 let mut disk = self.disk.lock();
                 if let Some(Some(gone)) = disk.lookup(a.dir, &a.name) {
                     disk.forget_file(gone);
-                    let mut st = self.state.lock();
-                    st.wb_base.remove(&gone);
-                    st.corrupted.remove(&gone);
-                    st.delegations.remove(&gone);
+                    self.cancel_prefetch(gone);
+                    {
+                        let mut st = self.state.lock();
+                        st.wb_base.remove(&gone);
+                        st.corrupted.remove(&gone);
+                        st.delegations.remove(&gone);
+                    }
                 }
                 disk.put_negative_lookup(a.dir, &a.name);
                 if let Some(attr) = res.dir_wcc.after {
@@ -641,12 +1098,18 @@ impl ProxyClient {
                 );
             }
             *self.poll_ts.lock() = Some(res.timestamp);
+            // Cancellations happen under the same disk-lock hold as the
+            // invalidations: a prefetch still in flight for an
+            // invalidated file must be discarded before any of its
+            // stale bytes can reach the cache.
             let mut disk = self.disk.lock();
             if res.force_invalidate {
                 disk.invalidate_all_attrs();
+                self.cancel_all_prefetch();
             }
             for fh in &res.handles {
                 disk.invalidate_attr(*fh);
+                self.cancel_prefetch(*fh);
                 applied += 1;
             }
             drop(disk);
@@ -876,12 +1339,20 @@ impl ProxyClient {
         match a.kind {
             CallbackKind::RecallRead => {
                 self.state.lock().delegations.remove(&a.fh);
-                self.disk.lock().invalidate_attr(a.fh);
+                {
+                    let mut disk = self.disk.lock();
+                    disk.invalidate_attr(a.fh);
+                    self.cancel_prefetch(a.fh);
+                }
                 encode(&CallbackRes::default())
             }
             CallbackKind::RecallWrite => {
                 self.state.lock().delegations.remove(&a.fh);
-                self.disk.lock().invalidate_attr(a.fh);
+                {
+                    let mut disk = self.disk.lock();
+                    disk.invalidate_attr(a.fh);
+                    self.cancel_prefetch(a.fh);
+                }
                 let blocks = {
                     let disk = self.disk.lock();
                     disk.file(a.fh).map(|fc| fc.dirty_blocks(BLOCK_SIZE)).unwrap_or_default()
@@ -930,6 +1401,7 @@ impl ProxyClient {
         // files we hold dirty so the server can rebuild its table.
         let mut disk = self.disk.lock();
         disk.invalidate_all_attrs();
+        self.cancel_all_prefetch();
         let dirty_files = disk.dirty_files();
         drop(disk);
         self.state.lock().delegations.clear();
@@ -957,6 +1429,7 @@ impl ProxyClient {
         let dirty = {
             let mut disk = self.disk.lock();
             disk.invalidate_all_attrs();
+            self.cancel_all_prefetch();
             disk.dirty_files()
         };
         let mut corrupted = Vec::new();

@@ -79,6 +79,19 @@ pub struct SessionConfig {
     /// sends sharing one round trip). Disabled, each flushed block pays
     /// a full round trip; the `pipelining` ablation measures the gap.
     pub pipeline_writeback: bool,
+    /// Pipeline the read path: fetch only the uncached gaps of a READ
+    /// as one concurrent burst, and run the sequential read-ahead
+    /// window. Disabled, a miss forwards the whole READ and pays one
+    /// round trip per request; the `readahead` ablation measures the
+    /// gap.
+    pub pipeline_read: bool,
+    /// Sequential read-ahead window, in `BLOCK_SIZE` blocks
+    /// speculatively fetched past a detected sequential run. Zero
+    /// disables speculation while keeping gap-only fetching.
+    pub readahead_window: usize,
+    /// Number of consecutive sequential reads that arms the
+    /// read-ahead window.
+    pub readahead_trigger: usize,
 }
 
 impl Default for SessionConfig {
@@ -92,6 +105,9 @@ impl Default for SessionConfig {
             nfs_proc_time: Duration::from_micros(200),
             sweep_interval: Some(Duration::from_secs(60)),
             pipeline_writeback: true,
+            pipeline_read: true,
+            readahead_window: 8,
+            readahead_trigger: 2,
         }
     }
 }
@@ -204,6 +220,8 @@ impl SessionBuilder {
             let proxy =
                 ProxyClient::new(id, config.model, config.write_back, wan, config.disk_cache_bytes);
             proxy.set_pipelining(config.pipeline_writeback);
+            proxy.set_read_pipelining(config.pipeline_read);
+            proxy.set_readahead(config.readahead_window, config.readahead_trigger);
 
             // Callback service node, reached from the proxy server over
             // the reverse WAN direction.

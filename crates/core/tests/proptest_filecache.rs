@@ -170,4 +170,51 @@ proptest! {
             prop_assert_eq!(fc.has_dirty(), mask.iter().any(|&d| d));
         }
     }
+
+    /// `missing_ranges` is the read path's gap planner: the union of the
+    /// returned gaps and the cached cells must tile the requested range
+    /// exactly, gaps must be in order and disjoint, and dirty bytes must
+    /// never be scheduled for refetch.
+    #[test]
+    fn missing_ranges_tiles_the_requested_range(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        probes in proptest::collection::vec((0usize..SPACE - 1, 0usize..512), 8),
+    ) {
+        let mut fc = FileCache::default();
+        let mut model = Model::new();
+        for op in &ops {
+            apply_real(&mut fc, op);
+            model.apply(op);
+
+            for &(offset, len) in &probes {
+                let len = len.min(SPACE - offset);
+                let gaps = fc.missing_ranges(offset as u64, len);
+                prop_assert_eq!(gaps.is_empty(), len == 0 || model.read(offset, len).is_some(),
+                    "no gaps iff the whole range is cached");
+
+                let mut in_gap = vec![false; len];
+                let mut last_end = offset as u64;
+                for &(goff, glen) in &gaps {
+                    prop_assert!(glen > 0, "empty gap");
+                    prop_assert!(goff >= last_end, "gaps out of order or overlapping");
+                    prop_assert!(goff as usize + glen <= offset + len, "gap leaks past range");
+                    last_end = goff + glen as u64;
+                    for flag in &mut in_gap[goff as usize - offset..goff as usize - offset + glen] {
+                        *flag = true;
+                    }
+                }
+
+                // Gaps ∪ cached cells == requested range, disjointly:
+                // a cell is in a gap exactly when the model lacks it.
+                for (i, &flag) in in_gap.iter().enumerate() {
+                    let absent = model.state[offset + i] == CellState::Absent;
+                    prop_assert_eq!(flag, absent,
+                        "cell {} of range ({}, {}) miscategorized", i, offset, len);
+                    if model.state[offset + i] == CellState::Dirty {
+                        prop_assert!(!flag, "dirty byte scheduled for refetch");
+                    }
+                }
+            }
+        }
+    }
 }

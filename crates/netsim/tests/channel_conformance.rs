@@ -49,3 +49,8 @@ fn sim_channel_oversized_record() {
 fn sim_channel_concurrent_xids_out_of_order() {
     with_sim_channel(|c| testkit::check_concurrent_xids_out_of_order(c));
 }
+
+#[test]
+fn sim_channel_concurrent_read_burst() {
+    with_sim_channel(|c| testkit::check_concurrent_read_burst(c));
+}

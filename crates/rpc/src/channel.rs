@@ -204,6 +204,20 @@ pub mod testkit {
     pub const PROC_ECHO: u32 = 1;
     /// Procedure: decodes a `u32` and returns its double.
     pub const PROC_DOUBLE: u32 = 2;
+    /// Procedure: decodes a `u32` block number and returns that block's
+    /// deterministic content (see [`read_block_content`]) — the testkit's
+    /// stand-in for a file-server READ.
+    pub const PROC_READ_BLOCK: u32 = 3;
+
+    /// Size of the blocks served by [`PROC_READ_BLOCK`].
+    pub const READ_BLOCK_SIZE: usize = 4096;
+
+    /// The deterministic content of block `n`: every byte derived from
+    /// the block number and its offset, so a swapped or torn reply is
+    /// detected byte-for-byte.
+    pub fn read_block_content(n: u32) -> Vec<u8> {
+        (0..READ_BLOCK_SIZE).map(|i| (n as usize).wrapping_mul(31).wrapping_add(i) as u8).collect()
+    }
 
     /// The service every conformance channel must dispatch to.
     #[derive(Debug, Default)]
@@ -223,6 +237,10 @@ pub mod testkit {
                 PROC_DOUBLE => {
                     let n: u32 = gvfs_xdr::from_bytes(args).map_err(|_| RpcError::GarbageArgs)?;
                     gvfs_xdr::to_bytes(&(n * 2)).map_err(RpcError::from)
+                }
+                PROC_READ_BLOCK => {
+                    let n: u32 = gvfs_xdr::from_bytes(args).map_err(|_| RpcError::GarbageArgs)?;
+                    Ok(read_block_content(n))
                 }
                 _ => {
                     Err(RpcError::ProcedureUnavailable { program: CONFORMANCE_PROGRAM, procedure })
@@ -349,6 +367,51 @@ pub mod testkit {
         }
     }
 
+    /// The pipelined read path's wire pattern: a burst of concurrent
+    /// READs all on the wire before the first reply is claimed. Every
+    /// reply must carry its own block's content, claimed both in send
+    /// order (the gap fan-out) and reverse order (a demand read claiming
+    /// a late prefetch first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the channel misbehaves.
+    pub fn check_concurrent_read_burst(channel: &dyn RpcChannel) {
+        const BURST: u32 = 8;
+        for reverse in [false, true] {
+            let mut pending = Vec::new();
+            for n in 0..BURST {
+                let args = gvfs_xdr::to_bytes(&n).unwrap_or_default();
+                match channel.send(
+                    CONFORMANCE_PROGRAM,
+                    CONFORMANCE_VERSION,
+                    PROC_READ_BLOCK,
+                    OpaqueAuth::none(),
+                    args,
+                ) {
+                    Ok(call) => pending.push((n, call)),
+                    Err(e) => panic!("read burst send {n} failed: {e}"),
+                }
+            }
+            assert_eq!(pending.len() as u32, BURST, "all READs in flight before any claim");
+            if reverse {
+                pending.reverse();
+            }
+            for (n, call) in pending {
+                match channel.wait(call) {
+                    Ok(reply) => {
+                        assert_eq!(
+                            reply,
+                            read_block_content(n),
+                            "block {n} reply must carry block {n} content"
+                        );
+                    }
+                    Err(e) => panic!("read burst wait {n} failed: {e}"),
+                }
+            }
+        }
+    }
+
     /// Runs the complete conformance suite against one channel.
     ///
     /// # Panics
@@ -360,5 +423,6 @@ pub mod testkit {
         check_unknown_procedure(channel);
         check_oversized_record(channel);
         check_concurrent_xids_out_of_order(channel);
+        check_concurrent_read_burst(channel);
     }
 }

@@ -55,3 +55,11 @@ fn tcp_channel_concurrent_xids_out_of_order() {
     testkit::check_concurrent_xids_out_of_order(&client);
     handle.shutdown();
 }
+
+#[test]
+fn tcp_channel_concurrent_read_burst() {
+    let handle = start();
+    let client = TcpRpcClient::connect(handle.addr()).expect("connect");
+    testkit::check_concurrent_read_burst(&client);
+    handle.shutdown();
+}
