@@ -86,6 +86,8 @@ const SEND_MARKERS: &[&str] = &[
     "read_from_cache",
     "fetch_missing",
     "maybe_prefetch",
+    "crash_recover",
+    "recover",
 ];
 
 /// One lint finding.

@@ -1,0 +1,173 @@
+//! Chaos soak: runs the seeded fault-injection scenarios over a seed
+//! matrix, replaying every seed twice to prove determinism, shrinking
+//! any violation to a minimal reproducer, and writing
+//! `results/chaos_violations.json` for CI artifact upload.
+//!
+//! Run: `cargo run --release -p gvfs-bench --bin chaos_soak --
+//!       [--seeds N] [--start S] [--model all|passthrough|polling|delegation]
+//!       [--break-recall]`
+//!
+//! `--break-recall` is the harness self-test: it re-runs the matrix with
+//! delegation recalls suppressed and **fails unless** the oracles catch
+//! the breakage and the shrinker produces a reproducer — a chaos harness
+//! that cannot see a broken protocol is worse than none.
+//!
+//! Exit codes: 0 clean, 1 violations or a determinism break, 2 the
+//! `--break-recall` self-test found the harness toothless.
+
+use gvfs_bench::save_json;
+use gvfs_integration::chaos::{
+    format_reproducer, generate_events, run_scenario, shrink_failure, ModelKind, ScenarioConfig,
+};
+use serde_json::json;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    models: Vec<ModelKind>,
+    break_recall: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args { seeds: 8, start: 1, models: ModelKind::ALL.to_vec(), break_recall: false };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let v = argv.next().expect("--seeds needs a count");
+                out.seeds = v.parse().expect("--seeds takes a number");
+            }
+            "--start" => {
+                let v = argv.next().expect("--start needs a seed");
+                out.start = v.parse().expect("--start takes a number");
+            }
+            "--model" => {
+                let v = argv.next().expect("--model needs a name");
+                out.models =
+                    match v.as_str() {
+                        "all" => ModelKind::ALL.to_vec(),
+                        name => vec![ModelKind::parse(name)
+                            .unwrap_or_else(|| panic!("unknown model {name:?}"))],
+                    };
+            }
+            "--break-recall" => out.break_recall = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let mut violations = Vec::new();
+    let mut determinism_breaks = 0u64;
+    let mut runs = 0u64;
+
+    for &model in &args.models {
+        for seed in args.start..args.start + args.seeds {
+            let cfg = ScenarioConfig::new(seed, model);
+            let a = run_scenario(&cfg);
+            let b = run_scenario(&cfg);
+            runs += 2;
+            if a.trace_hash != b.trace_hash || a.violations != b.violations {
+                determinism_breaks += 1;
+                println!(
+                    "DETERMINISM BREAK: seed={seed} model={} hashes {:#x} vs {:#x}",
+                    model.name(),
+                    a.trace_hash,
+                    b.trace_hash
+                );
+                continue;
+            }
+            if a.violations.is_empty() {
+                println!("seed={seed} model={} ok (trace {:#x})", model.name(), a.trace_hash);
+                continue;
+            }
+            println!(
+                "seed={seed} model={}: {} violation(s), shrinking...",
+                model.name(),
+                a.violations.len()
+            );
+            let events = generate_events(seed, cfg.clients);
+            let shrunk = shrink_failure(&cfg, &events);
+            let reproducer = shrunk.as_ref().map(format_reproducer);
+            if let Some(repro) = &reproducer {
+                println!("{repro}");
+            }
+            violations.push(json!({
+                "seed": seed,
+                "model": model.name(),
+                "suppress_recalls": false,
+                "violations": a.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+                "shrunk_events": shrunk
+                    .as_ref()
+                    .map(|s| s.events.iter().map(|e| e.to_string()).collect::<Vec<_>>()),
+                "reproducer": reproducer,
+            }));
+        }
+    }
+
+    // Self-test: with recalls suppressed the oracles MUST fire on at
+    // least one seed, and the shrinker must produce a reproducer.
+    let mut selftest_failed = false;
+    if args.break_recall {
+        let mut caught = 0u64;
+        let mut shrunk_ok = false;
+        for seed in args.start..args.start + args.seeds {
+            let mut cfg = ScenarioConfig::new(seed, ModelKind::Delegation);
+            cfg.suppress_recalls = true;
+            let report = run_scenario(&cfg);
+            runs += 1;
+            if report.violations.is_empty() {
+                continue;
+            }
+            caught += 1;
+            if !shrunk_ok {
+                let events = generate_events(seed, cfg.clients);
+                if let Some(s) = shrink_failure(&cfg, &events) {
+                    shrunk_ok = true;
+                    println!(
+                        "self-test: suppression caught at seed={seed}, shrunk to {} event(s)",
+                        s.events.len()
+                    );
+                    println!("{}", format_reproducer(&s));
+                }
+            }
+        }
+        if caught == 0 || !shrunk_ok {
+            selftest_failed = true;
+            println!(
+                "SELF-TEST FAILED: recall suppression caught on {caught}/{} seeds, \
+                 shrinker ok: {shrunk_ok} — the harness has lost its teeth",
+                args.seeds
+            );
+        } else {
+            println!("self-test passed: suppression caught on {caught}/{} seeds", args.seeds);
+        }
+    }
+
+    save_json(
+        "chaos_violations.json",
+        &json!({
+            "runs": runs,
+            "seed_start": args.start,
+            "seeds": args.seeds,
+            "models": args.models.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            "determinism_breaks": determinism_breaks,
+            "break_recall_selftest": if args.break_recall {
+                Some(!selftest_failed)
+            } else {
+                None
+            },
+            "violations": violations.clone(),
+        }),
+    );
+
+    if selftest_failed {
+        std::process::exit(2);
+    }
+    if determinism_breaks > 0 || !violations.is_empty() {
+        std::process::exit(1);
+    }
+    println!("chaos soak clean: {runs} runs, no violations, no determinism breaks");
+}

@@ -76,6 +76,15 @@ pub struct ProxyClientStats {
     /// Prefetched replies discarded: cancelled by an invalidation or
     /// recall, or failed in flight.
     pub prefetch_wasted: u64,
+    /// Transient WAN failures (timeout/unreachable) retried with
+    /// back-off by [`ProxyClient::forward`].
+    pub transport_retries: u64,
+    /// `GETINV` replies that demanded a full attribute purge (buffer
+    /// wrap or server restart, §4.2).
+    pub force_invalidations: u64,
+    /// Files whose dirty data was discarded during crash recovery
+    /// because the server-side copy changed during the outage (§4.3.4).
+    pub corrupted_discards: u64,
 }
 
 /// One fetch (demand gap or speculative read-ahead) in flight over the
@@ -270,13 +279,20 @@ impl ProxyClient {
         args: Vec<u8>,
         target: Option<Fh3>,
     ) -> Result<Vec<u8>, RpcError> {
+        const RETRY_CAP: Duration = Duration::from_secs(60);
         let mut attempts = 0u32;
+        let mut delay = Duration::from_secs(1);
         let bytes = loop {
             match self.wan.call(GVFS_PROXY_PROGRAM, GVFS_VERSION, procedure, args.clone()) {
                 Ok(bytes) => break bytes,
-                Err(RpcError::Timeout | RpcError::Unreachable) if attempts < 86_400 => {
+                Err(e) if e.is_transient() && attempts < 86_400 => {
+                    // Exponential back-off, like the empty-poll path: a
+                    // long partition costs O(log) attempts, not one per
+                    // second.
                     attempts += 1;
-                    gvfs_netsim::sleep(Duration::from_secs(1));
+                    self.stats.lock().transport_retries += 1;
+                    gvfs_netsim::sleep(delay);
+                    delay = (delay * 2).min(RETRY_CAP);
                 }
                 Err(e) => return Err(e),
             }
@@ -1113,7 +1129,12 @@ impl ProxyClient {
                 applied += 1;
             }
             drop(disk);
-            self.stats.lock().invalidations_applied += res.handles.len() as u64;
+            let mut stats = self.stats.lock();
+            stats.invalidations_applied += res.handles.len() as u64;
+            if res.force_invalidate {
+                stats.force_invalidations += 1;
+            }
+            drop(stats);
             if !res.poll_again {
                 return Some(applied);
             }
@@ -1132,9 +1153,11 @@ impl ProxyClient {
             }
             let applied = self.poll_once();
             window = match (backoff_max, applied) {
-                // Exponential back-off while quiet; reset on activity.
-                (Some(max), Some(0)) => (window * 2).min(max),
-                (Some(_), _) => period,
+                // Exponential back-off while quiet — and while the server
+                // is unreachable, so a partition doesn't turn the poller
+                // into a hot loop of doomed GETINVs.
+                (Some(max), Some(0) | None) => (window * 2).min(max),
+                (Some(_), Some(_)) => period,
                 (None, _) => period,
             };
         }
@@ -1474,6 +1497,8 @@ impl ProxyClient {
                 let mut st = self.state.lock();
                 st.wb_base.remove(&fh);
                 st.corrupted.insert(fh);
+                drop(st);
+                self.stats.lock().corrupted_discards += 1;
                 corrupted.push(fh);
             }
         }

@@ -47,6 +47,7 @@ use gvfs_rpc::message::OpaqueAuth;
 use gvfs_rpc::RpcError;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of delegation shards. Shard choice hashes the file handle, so
@@ -91,6 +92,15 @@ pub struct ProxyServer {
     /// The client list is "always stored directly on disk" (§4.3.4):
     /// it survives crashes.
     persisted_clients: Mutex<HashSet<u32>>,
+    /// Breakage knob for the chaos harness: when set, recall callbacks
+    /// are silently discarded instead of sent, so holders are revoked
+    /// without ever learning about it. A correct run never sets this;
+    /// the chaos oracles must catch the resulting stale reads.
+    recall_suppressed: AtomicBool,
+    /// Recall callbacks actually put on the wire.
+    recalls_sent: AtomicU64,
+    /// `RECOVER` multicast rounds performed after a restart.
+    recover_rounds: AtomicU64,
 }
 
 impl std::fmt::Debug for ProxyServer {
@@ -119,6 +129,9 @@ impl ProxyServer {
             inval: ConcurrentInvalidationTracker::new(4096),
             callbacks: RwLock::new(HashMap::new()),
             persisted_clients: Mutex::new(HashSet::new()),
+            recall_suppressed: AtomicBool::new(false),
+            recalls_sent: AtomicU64::new(0),
+            recover_rounds: AtomicU64::new(0),
         })
     }
 
@@ -184,6 +197,7 @@ impl ProxyServer {
         if !matches!(self.model, ConsistencyModel::DelegationCallback(_)) {
             return 0;
         }
+        self.recover_rounds.fetch_add(1, Ordering::SeqCst);
         let mut clients: Vec<u32> = self.persisted_clients.lock().iter().copied().collect();
         clients.sort_unstable();
         // "A single multicasted callback to the clients" (§4.3.4): the
@@ -243,6 +257,28 @@ impl ProxyServer {
         self.shards.iter().map(|s| s.deleg.lock().tracked_files()).sum()
     }
 
+    /// Aggregated [`DelegationTable::snapshot`] across all shards, for
+    /// diagnostics and the chaos harness's write-exclusion oracle.
+    pub fn delegation_snapshot(&self) -> Vec<crate::delegation::FileSnapshot> {
+        self.shards.iter().flat_map(|s| s.deleg.lock().snapshot()).collect()
+    }
+
+    /// Enables or disables the recall-suppression breakage knob (see
+    /// the field docs; chaos-harness self-test only).
+    pub fn set_recall_suppressed(&self, suppressed: bool) {
+        self.recall_suppressed.store(suppressed, Ordering::SeqCst);
+    }
+
+    /// Recall callbacks put on the wire since construction.
+    pub fn recalls_sent(&self) -> u64 {
+        self.recalls_sent.load(Ordering::SeqCst)
+    }
+
+    /// `RECOVER` multicast rounds performed since construction.
+    pub fn recover_rounds(&self) -> u64 {
+        self.recover_rounds.load(Ordering::SeqCst)
+    }
+
     fn forward(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
         self.nfs.call(NFS_PROGRAM, NFS_V3, procedure, args.to_vec())
     }
@@ -265,6 +301,11 @@ impl ProxyServer {
         if std::env::var_os("GVFS_DEBUG_RECALL").is_some() {
             eprintln!("[{}] recall {:?}", gvfs_netsim::now(), action);
         }
+        if self.recall_suppressed.load(Ordering::SeqCst) {
+            // The holder is revoked without being told: exactly the bug
+            // class the chaos oracles exist to catch.
+            return None;
+        }
         let transport = self.callbacks.read().get(&action.client).cloned();
         let transport = transport?;
         let kind = match action.kind {
@@ -273,10 +314,14 @@ impl ProxyServer {
         };
         let args = CallbackArgs { fh: action.fh, kind, requested_offset: action.requested_offset };
         let encoded = gvfs_xdr::to_bytes(&args).unwrap_or_default();
-        transport
+        let sent = transport
             .send(GVFS_CALLBACK_PROGRAM, GVFS_VERSION, proc_ext::CALLBACK, encoded)
             .ok()
-            .map(|call| (transport, call))
+            .map(|call| (transport, call));
+        if sent.is_some() {
+            self.recalls_sent.fetch_add(1, Ordering::SeqCst);
+        }
+        sent
     }
 
     /// Phase two of a recall: claim the reply and report the outcome to

@@ -305,7 +305,6 @@ struct ClientEnd {
     node: Arc<ServerNode>,
     loopback: Arc<Link>,
     wan_link: Arc<Link>,
-    #[allow(dead_code)] // keeps the callback node alive for the session
     cb_node: Arc<ServerNode>,
 }
 
@@ -424,6 +423,36 @@ impl Session {
     pub fn restart_proxy_server(&self) -> usize {
         self.proxy_server_node.set_up(true);
         self.proxy_server.recover()
+    }
+
+    /// Crashes proxy client `i`: both its kernel-facing node and its
+    /// callback node stop answering. The disk cache (and the volatile
+    /// state, untouchable while the node is down) stays in place until
+    /// [`Session::restart_proxy_client`] reconciles it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn crash_proxy_client(&self, i: usize) {
+        let end = &self.clients[i];
+        end.node.set_up(false);
+        end.cb_node.set_up(false);
+    }
+
+    /// Restarts proxy client `i` and runs client-side crash recovery
+    /// (§4.3.4): volatile state is cleared, attributes invalidated, and
+    /// dirty files reconciled against the server. Must be called from a
+    /// simulation actor (recovery performs WAN RPCs). Returns the
+    /// handles whose dirty data was discarded as corrupted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn restart_proxy_client(&self, i: usize) -> Vec<Fh3> {
+        let end = &self.clients[i];
+        end.node.set_up(true);
+        end.cb_node.set_up(true);
+        end.proxy.crash_recover()
     }
 
     /// A cloneable control handle usable from workload actors.

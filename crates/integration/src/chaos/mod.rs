@@ -1,0 +1,21 @@
+//! `gvfs-chaos`: the deterministic chaos harness.
+//!
+//! One `u64` seed expands into a fault plan ([`plan`]), a scenario
+//! driver runs a randomized multi-client workload under it on the
+//! virtual-time simulator ([`driver`]), per-model oracles judge the
+//! recorded history ([`oracle`]), and a shrinker bisects any violating
+//! plan to a minimal reproducer ([`shrink`]). Determinism is end to
+//! end: the same seed reproduces the identical event trace, verdict,
+//! and [`driver::ChaosReport::trace_hash`] on every run.
+
+pub mod driver;
+pub mod history;
+pub mod oracle;
+pub mod plan;
+pub mod shrink;
+
+pub use driver::{run_scenario, run_with_events, ChaosReport, ModelKind, ScenarioConfig};
+pub use history::{Event, History, Observation};
+pub use oracle::{Violation, ViolationKind};
+pub use plan::{compile_fault_plans, generate_events, FaultEvent};
+pub use shrink::{format_reproducer, shrink_failure, Shrunk};

@@ -1,0 +1,292 @@
+//! Chaos plans: the seeded fault-event list and its compilation into
+//! per-direction link [`FaultPlan`]s.
+//!
+//! A chaos run is parameterized by one `u64` seed. The seed expands —
+//! through the vendored deterministic [`StdRng`] — into an explicit
+//! [`FaultEvent`] list, and the *list* (not the seed) is what the
+//! scenario driver executes. That indirection is the shrinker's lever:
+//! deleting events from the list and re-running yields a smaller
+//! reproducer of the same violation, while every individual run stays a
+//! pure function of (scenario config, event list).
+
+use gvfs_netsim::fault::{FaultPlan, Window};
+use gvfs_netsim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// One injected fault, in virtual-time milliseconds from simulation
+/// start. Crash events are executed by the scenario's controller actor;
+/// the link-level events compile into [`FaultPlan`] windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Hard two-way outage of one client's WAN link.
+    Partition {
+        /// Affected client index.
+        client: usize,
+        /// Window start.
+        at_ms: u64,
+        /// Window length.
+        dur_ms: u64,
+    },
+    /// Probabilistic message loss on one direction of a client's link.
+    Drop {
+        /// Affected client index.
+        client: usize,
+        /// `true` faults client→server, `false` the callback/reply path.
+        to_server: bool,
+        /// Window start.
+        at_ms: u64,
+        /// Window length.
+        dur_ms: u64,
+        /// Loss probability in 1/1000.
+        permille: u16,
+    },
+    /// Probabilistic message duplication (retransmission) on one
+    /// direction of a client's link.
+    Duplicate {
+        /// Affected client index.
+        client: usize,
+        /// Direction, as for [`FaultEvent::Drop`].
+        to_server: bool,
+        /// Window start.
+        at_ms: u64,
+        /// Window length.
+        dur_ms: u64,
+        /// Duplication probability in 1/1000.
+        permille: u16,
+    },
+    /// Extra random delivery latency (reorders concurrent messages).
+    Jitter {
+        /// Affected client index.
+        client: usize,
+        /// Direction, as for [`FaultEvent::Drop`].
+        to_server: bool,
+        /// Window start.
+        at_ms: u64,
+        /// Window length.
+        dur_ms: u64,
+        /// Maximum extra latency in milliseconds.
+        max_ms: u64,
+    },
+    /// Proxy-server crash (volatile state lost) followed by restart and
+    /// the `RECOVER` multicast.
+    ServerCrash {
+        /// Crash instant.
+        at_ms: u64,
+        /// Outage length before the restart.
+        down_ms: u64,
+    },
+    /// Proxy-client crash (kernel-facing and callback nodes down)
+    /// followed by restart and client-side crash recovery.
+    ClientCrash {
+        /// Affected client index.
+        client: usize,
+        /// Crash instant.
+        at_ms: u64,
+        /// Outage length before the restart.
+        down_ms: u64,
+    },
+}
+
+impl FaultEvent {
+    /// The event's start instant in milliseconds.
+    pub fn at_ms(&self) -> u64 {
+        match *self {
+            FaultEvent::Partition { at_ms, .. }
+            | FaultEvent::Drop { at_ms, .. }
+            | FaultEvent::Duplicate { at_ms, .. }
+            | FaultEvent::Jitter { at_ms, .. }
+            | FaultEvent::ServerCrash { at_ms, .. }
+            | FaultEvent::ClientCrash { at_ms, .. } => at_ms,
+        }
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = |to_server: bool| if to_server { "c->s" } else { "s->c" };
+        match *self {
+            FaultEvent::Partition { client, at_ms, dur_ms } => {
+                write!(f, "partition client={client} at={at_ms}ms for={dur_ms}ms")
+            }
+            FaultEvent::Drop { client, to_server, at_ms, dur_ms, permille } => {
+                write!(
+                    f,
+                    "drop client={client} {} at={at_ms}ms for={dur_ms}ms p={permille}/1000",
+                    dir(to_server)
+                )
+            }
+            FaultEvent::Duplicate { client, to_server, at_ms, dur_ms, permille } => {
+                write!(
+                    f,
+                    "duplicate client={client} {} at={at_ms}ms for={dur_ms}ms p={permille}/1000",
+                    dir(to_server)
+                )
+            }
+            FaultEvent::Jitter { client, to_server, at_ms, dur_ms, max_ms } => {
+                write!(
+                    f,
+                    "jitter client={client} {} at={at_ms}ms for={dur_ms}ms max={max_ms}ms",
+                    dir(to_server)
+                )
+            }
+            FaultEvent::ServerCrash { at_ms, down_ms } => {
+                write!(f, "server-crash at={at_ms}ms down={down_ms}ms")
+            }
+            FaultEvent::ClientCrash { client, at_ms, down_ms } => {
+                write!(f, "client-crash client={client} at={at_ms}ms down={down_ms}ms")
+            }
+        }
+    }
+}
+
+/// Expands `seed` into a randomized event list for `clients` machines.
+///
+/// Fault windows land inside `[15 s, 150 s)` so they overlap the main
+/// workload phase but leave the tail of the run undisturbed — the
+/// oracles need some post-fault reads to observe convergence.
+pub fn generate_events(seed: u64, clients: usize) -> Vec<FaultEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let clients = clients.max(1);
+    let window = |rng: &mut StdRng| {
+        let at = rng.gen_range(15_000u64..120_000);
+        let dur = rng.gen_range(5_000u64..30_000);
+        (at, dur)
+    };
+    for _ in 0..rng.gen_range(0usize..=2) {
+        let (at_ms, dur_ms) = window(&mut rng);
+        events.push(FaultEvent::Partition { client: rng.gen_range(0..clients), at_ms, dur_ms });
+    }
+    for _ in 0..rng.gen_range(0usize..=2) {
+        let (at_ms, dur_ms) = window(&mut rng);
+        events.push(FaultEvent::Drop {
+            client: rng.gen_range(0..clients),
+            to_server: rng.gen_bool(0.5),
+            at_ms,
+            dur_ms,
+            permille: rng.gen_range(10u16..=40),
+        });
+    }
+    for _ in 0..rng.gen_range(0usize..=1) {
+        let (at_ms, dur_ms) = window(&mut rng);
+        events.push(FaultEvent::Duplicate {
+            client: rng.gen_range(0..clients),
+            to_server: rng.gen_bool(0.5),
+            at_ms,
+            dur_ms,
+            permille: rng.gen_range(20u16..=80),
+        });
+    }
+    for _ in 0..rng.gen_range(0usize..=2) {
+        let (at_ms, dur_ms) = window(&mut rng);
+        events.push(FaultEvent::Jitter {
+            client: rng.gen_range(0..clients),
+            to_server: rng.gen_bool(0.5),
+            at_ms,
+            dur_ms,
+            max_ms: rng.gen_range(1u64..=8),
+        });
+    }
+    if rng.gen_bool(0.5) {
+        events.push(FaultEvent::ServerCrash {
+            at_ms: rng.gen_range(25_000u64..100_000),
+            down_ms: rng.gen_range(5_000u64..20_000),
+        });
+    }
+    if rng.gen_bool(0.4) {
+        events.push(FaultEvent::ClientCrash {
+            client: rng.gen_range(0..clients),
+            at_ms: rng.gen_range(25_000u64..100_000),
+            down_ms: rng.gen_range(5_000u64..20_000),
+        });
+    }
+    events.sort_by_key(|e| (e.at_ms(), format!("{e}")));
+    events
+}
+
+/// Compiles the link-level events into per-`(client, to_server)`
+/// direction [`FaultPlan`]s. Each direction gets its own RNG seed
+/// derived from `seed`, so plans replay independently of each other.
+pub fn compile_fault_plans(seed: u64, events: &[FaultEvent]) -> Vec<(usize, bool, FaultPlan)> {
+    let dir_seed = |client: usize, to_server: bool| {
+        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(((client as u64) << 1) | u64::from(to_server))
+    };
+    let mut plans: Vec<(usize, bool, FaultPlan)> = Vec::new();
+    let plan_for = |plans: &mut Vec<(usize, bool, FaultPlan)>, client: usize, dir: bool| {
+        if let Some(i) = plans.iter().position(|(c, d, _)| *c == client && *d == dir) {
+            i
+        } else {
+            plans.push((client, dir, FaultPlan::new(dir_seed(client, dir))));
+            plans.len() - 1
+        }
+    };
+    let win = |at_ms: u64, dur_ms: u64| {
+        Window::new(SimTime::from_millis(at_ms), SimTime::from_millis(at_ms + dur_ms))
+    };
+    for ev in events {
+        match *ev {
+            FaultEvent::Partition { client, at_ms, dur_ms } => {
+                // A partition cuts both directions.
+                for dir in [true, false] {
+                    let i = plan_for(&mut plans, client, dir);
+                    plans[i].2.partitions.push(win(at_ms, dur_ms));
+                }
+            }
+            FaultEvent::Drop { client, to_server, at_ms, dur_ms, permille } => {
+                let i = plan_for(&mut plans, client, to_server);
+                let p = f64::from(permille) / 1000.0;
+                plans[i].2 = std::mem::take(&mut plans[i].2).with_drop(win(at_ms, dur_ms), p);
+            }
+            FaultEvent::Duplicate { client, to_server, at_ms, dur_ms, permille } => {
+                let i = plan_for(&mut plans, client, to_server);
+                let p = f64::from(permille) / 1000.0;
+                plans[i].2 = std::mem::take(&mut plans[i].2).with_duplicate(win(at_ms, dur_ms), p);
+            }
+            FaultEvent::Jitter { client, to_server, at_ms, dur_ms, max_ms } => {
+                let i = plan_for(&mut plans, client, to_server);
+                plans[i].2 = std::mem::take(&mut plans[i].2)
+                    .with_jitter(win(at_ms, dur_ms), std::time::Duration::from_millis(max_ms));
+            }
+            FaultEvent::ServerCrash { .. } | FaultEvent::ClientCrash { .. } => {}
+        }
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate_events(7, 3), generate_events(7, 3));
+        // Different seeds should (essentially always) differ.
+        assert_ne!(generate_events(7, 3), generate_events(8, 3));
+    }
+
+    #[test]
+    fn compiled_plans_cover_partition_in_both_directions() {
+        let events = vec![FaultEvent::Partition { client: 1, at_ms: 10_000, dur_ms: 5_000 }];
+        let plans = compile_fault_plans(1, &events);
+        assert_eq!(plans.len(), 2);
+        for (client, _, plan) in plans {
+            assert_eq!(client, 1);
+            assert_eq!(plan.partitions.len(), 1);
+            assert!(plan.partitions[0].contains(SimTime::from_millis(12_000)));
+        }
+    }
+
+    #[test]
+    fn direction_seeds_differ() {
+        let events = vec![
+            FaultEvent::Drop { client: 0, to_server: true, at_ms: 0, dur_ms: 1, permille: 1 },
+            FaultEvent::Drop { client: 0, to_server: false, at_ms: 0, dur_ms: 1, permille: 1 },
+        ];
+        let plans = compile_fault_plans(3, &events);
+        assert_eq!(plans.len(), 2);
+        assert_ne!(plans[0].2.seed, plans[1].2.seed);
+    }
+}

@@ -1,7 +1,18 @@
-//! Host crate for the workspace-level integration tests in `/tests`.
+//! `gvfs-integration`: cross-crate scenario infrastructure and the
+//! workspace-level integration tests in `/tests`.
 //!
-//! The tests exercise the full GVFS stack — XDR, ONC RPC, the NFSv3
-//! server over the in-memory filesystem, the kernel-client emulation,
-//! the proxies, and the workload drivers — across consistency models
-//! and failure scenarios. See the `[[test]]` targets in this crate's
-//! `Cargo.toml`.
+//! The library half is the **deterministic chaos harness** ([`chaos`]):
+//! seeded fault plans compiled onto the simulated links, a scenario
+//! driver running randomized multi-client workloads over every
+//! consistency model, per-model consistency oracles over the recorded
+//! history, and a shrinker that bisects a violating fault plan to a
+//! minimal reproducer. [`matrix`] adds the scripted consistency matrix
+//! used to pin each model's visibility semantics.
+//!
+//! The `[[test]]` targets in this crate's `Cargo.toml` exercise the
+//! full GVFS stack — XDR, ONC RPC, the NFSv3 server over the in-memory
+//! filesystem, the kernel-client emulation, the proxies, and the
+//! workload drivers — across consistency models and failure scenarios.
+
+pub mod chaos;
+pub mod matrix;

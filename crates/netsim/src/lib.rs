@@ -24,8 +24,11 @@
 //! * [`transport::SimRpcClient`] carries real, byte-accurate ONC RPC
 //!   messages across a link to a [`transport::ServerNode`] and executes
 //!   the server's dispatch inline, nested calls included.
-//! * Failure injection: links can be [partitioned](link::Link::set_partitioned)
-//!   and server nodes taken [down](transport::ServerNode::set_up).
+//! * Failure injection: links can be [partitioned](link::Link::set_partitioned),
+//!   server nodes taken [down](transport::ServerNode::set_up), and each
+//!   link direction can carry a seeded [`fault::FaultPlan`] injecting
+//!   probabilistic drop, duplication, jitter and timed partition windows
+//!   — all reproducible from one `u64` seed.
 //!
 //! # Examples
 //!
@@ -50,6 +53,7 @@
 //!
 //! [NIST Net]: https://en.wikipedia.org/wiki/NIST_Net
 
+pub mod fault;
 pub mod link;
 pub mod transport;
 

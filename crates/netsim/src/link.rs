@@ -7,8 +7,13 @@
 //! transfer occupies the directional pipe for `bytes × 8 ÷ bandwidth`
 //! seconds starting no earlier than the previous transfer finished.
 //!
-//! Links can be [partitioned](Link::set_partitioned) to inject failures.
+//! Links can be [partitioned](Link::set_partitioned) to inject failures,
+//! and each direction can carry a seeded
+//! [`FaultPlan`](crate::fault::FaultPlan) injecting probabilistic drop,
+//! duplication, jitter and timed partition windows; [`LinkHalf::transfer`]
+//! exposes the resulting [`Delivery`] fate to the transport.
 
+use crate::fault::{Delivery, FaultPlan, FaultState};
 use crate::time::SimTime;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -103,6 +108,8 @@ pub struct Link {
     partitioned: AtomicBool,
     ab: Mutex<DirState>,
     ba: Mutex<DirState>,
+    fault_ab: Mutex<Option<FaultState>>,
+    fault_ba: Mutex<Option<FaultState>>,
 }
 
 /// Error returned when sending over a partitioned link.
@@ -125,6 +132,8 @@ impl Link {
             partitioned: AtomicBool::new(false),
             ab: Mutex::new(DirState::default()),
             ba: Mutex::new(DirState::default()),
+            fault_ab: Mutex::new(None),
+            fault_ba: Mutex::new(None),
         })
     }
 
@@ -167,10 +176,41 @@ impl Link {
         (ab.messages + ba.messages, ab.bytes + ba.bytes)
     }
 
+    /// Installs (or, with `None`, clears) the fault plan for one
+    /// direction (`forward` = A→B). Installing a plan reseeds its RNG,
+    /// so re-installing the same plan replays the same fate sequence.
+    pub fn set_fault_plan(&self, forward: bool, plan: Option<FaultPlan>) {
+        let slot = if forward { &self.fault_ab } else { &self.fault_ba };
+        *slot.lock() = plan.map(FaultState::new);
+    }
+
+    /// Clears the fault plans of both directions (the link heals).
+    pub fn clear_fault_plans(&self) {
+        *self.fault_ab.lock() = None;
+        *self.fault_ba.lock() = None;
+    }
+
     fn send_dir(&self, forward: bool, now: SimTime, bytes: usize) -> Result<SimTime, Partitioned> {
+        self.transfer_dir(forward, now, bytes).map(|d| d.arrival)
+    }
+
+    fn transfer_dir(
+        &self,
+        forward: bool,
+        now: SimTime,
+        bytes: usize,
+    ) -> Result<Delivery, Partitioned> {
         if self.is_partitioned() {
             return Err(Partitioned);
         }
+        let (dropped, duplicated, jitter) = {
+            let mut fault = if forward { self.fault_ab.lock() } else { self.fault_ba.lock() };
+            match fault.as_mut() {
+                Some(state) if state.partitioned_at(now) => return Err(Partitioned),
+                Some(state) => state.roll(now),
+                None => (false, false, Duration::ZERO),
+            }
+        };
         let config = *self.config.lock();
         let total = bytes + config.per_message_overhead;
         let serialization = match config.bandwidth_bps {
@@ -185,7 +225,12 @@ impl Link {
         dir.busy_until = start + serialization;
         dir.messages += 1;
         dir.bytes += total as u64;
-        Ok(dir.busy_until + config.one_way_latency)
+        // A lost message still occupied the pipe: loss happens in flight.
+        Ok(Delivery {
+            arrival: dir.busy_until + config.one_way_latency + jitter,
+            dropped,
+            duplicated,
+        })
     }
 }
 
@@ -214,6 +259,27 @@ impl LinkHalf {
     /// Returns [`Partitioned`] if the link is cut.
     pub fn send_reverse(&self, now: SimTime, bytes: usize) -> Result<SimTime, Partitioned> {
         self.link.send_dir(!self.forward, now, bytes)
+    }
+
+    /// Sends `bytes` under the direction's fault plan, exposing the full
+    /// [`Delivery`] fate (arrival time, dropped, duplicated) instead of
+    /// the arrival time alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Partitioned`] if the link is cut, globally or by a
+    /// fault-plan partition window covering `now`.
+    pub fn transfer(&self, now: SimTime, bytes: usize) -> Result<Delivery, Partitioned> {
+        self.link.transfer_dir(self.forward, now, bytes)
+    }
+
+    /// Like [`LinkHalf::transfer`] in the opposite direction (replies).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LinkHalf::transfer`].
+    pub fn transfer_reverse(&self, now: SimTime, bytes: usize) -> Result<Delivery, Partitioned> {
+        self.link.transfer_dir(!self.forward, now, bytes)
     }
 
     /// The underlying link.
@@ -322,6 +388,59 @@ mod tests {
         // Reply path must not be delayed by the forward transfer.
         let back = h.send_reverse(SimTime::ZERO, 1250).unwrap();
         assert_eq!(back, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn fault_plan_partition_window_cuts_one_direction() {
+        use crate::fault::{FaultPlan, Window};
+        let link = Link::new(no_overhead(LinkConfig::lan()));
+        let window = Window::new(SimTime::from_millis(10), SimTime::from_millis(20));
+        link.set_fault_plan(true, Some(FaultPlan::new(1).with_partition(window)));
+        assert!(link.forward().send(SimTime::from_millis(5), 1).is_ok());
+        assert_eq!(link.forward().send(SimTime::from_millis(15), 1).unwrap_err(), Partitioned);
+        // The reverse direction carries no plan and stays healthy.
+        assert!(link.reverse().send(SimTime::from_millis(15), 1).is_ok());
+        assert!(link.forward().send(SimTime::from_millis(25), 1).is_ok());
+        link.clear_fault_plans();
+        assert!(link.forward().send(SimTime::from_millis(15), 1).is_ok());
+    }
+
+    #[test]
+    fn certain_drop_marks_delivery_and_still_charges_pipe() {
+        use crate::fault::{FaultPlan, Window};
+        let link = Link::new(no_overhead(LinkConfig {
+            one_way_latency: Duration::from_millis(5),
+            bandwidth_bps: Some(1_000_000),
+            per_message_overhead: 0,
+        }));
+        let window = Window::new(SimTime::ZERO, SimTime::from_secs(1));
+        link.set_fault_plan(true, Some(FaultPlan::new(2).with_drop(window, 1.0)));
+        let d = link.forward().transfer(SimTime::ZERO, 1250).unwrap();
+        assert!(d.dropped);
+        assert_eq!(d.arrival, SimTime::from_millis(15));
+        // The lost transfer occupied the pipe: the next one queues.
+        let d2 = link.forward().transfer(SimTime::ZERO, 1250).unwrap();
+        assert_eq!(d2.arrival, SimTime::from_millis(25));
+        assert_eq!(link.traffic().0, 2);
+    }
+
+    #[test]
+    fn fault_plan_replays_identically_after_reinstall() {
+        use crate::fault::{FaultPlan, Window};
+        let plan = FaultPlan::new(42)
+            .with_drop(Window::new(SimTime::ZERO, SimTime::from_secs(10)), 0.5)
+            .with_jitter(
+                Window::new(SimTime::ZERO, SimTime::from_secs(10)),
+                Duration::from_millis(3),
+            );
+        let run = |plan: FaultPlan| {
+            let link = Link::new(no_overhead(LinkConfig::lan()));
+            link.set_fault_plan(true, Some(plan));
+            (0..50)
+                .map(|ms| link.forward().transfer(SimTime::from_millis(ms), 100).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(plan.clone()), run(plan));
     }
 
     #[test]

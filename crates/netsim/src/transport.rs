@@ -263,10 +263,23 @@ impl SimRpcClient {
         let wire_out = call_bytes.len() + 4; // record mark
 
         let started = now();
-        let arrival = self.link.send(started, wire_out).map_err(|_| RpcError::Unreachable)?;
+        let delivery = self.link.transfer(started, wire_out).map_err(|_| {
+            self.stats.record_unreachable();
+            RpcError::Unreachable
+        })?;
         self.stats.call_started();
         let MessageBody::Call(call) = msg.body else { unreachable!() };
-        Ok(Transmitted { xid, program, procedure, call, wire_out, started, arrival })
+        Ok(Transmitted {
+            xid,
+            program,
+            procedure,
+            call,
+            wire_out,
+            started,
+            arrival: delivery.arrival,
+            dropped: delivery.dropped,
+            duplicated: delivery.duplicated,
+        })
     }
 
     /// Runs a transmitted call to completion on the calling actor's
@@ -282,18 +295,47 @@ impl SimRpcClient {
     fn complete_inner(&self, tx: &Transmitted) -> Result<Vec<u8>, RpcError> {
         advance_to(tx.arrival);
 
+        if tx.dropped {
+            // The request was lost in flight: the server never saw it and
+            // the caller burns its full RPC timeout before giving up.
+            sleep(self.timeout);
+            self.stats.record_timeout();
+            return Err(RpcError::Timeout);
+        }
         if !self.server.is_up() {
             sleep(self.timeout);
+            self.stats.record_timeout();
             return Err(RpcError::Timeout);
         }
         sleep(self.server_proc_time());
 
         let reply = self.server.dispatch(tx.xid, &tx.call);
+        if tx.duplicated {
+            // A duplicated request is a retransmission the server executes
+            // a second time (no duplicate-request cache, as with ONC RPC
+            // over UDP); the xid matcher claims only the first reply.
+            sleep(self.server_proc_time());
+            let _ = self.server.dispatch(tx.xid, &tx.call);
+        }
         let reply_msg = RpcMessage { xid: tx.xid, body: MessageBody::Reply(reply) };
         let reply_bytes = gvfs_xdr::to_bytes(&reply_msg)?;
         let wire_in = reply_bytes.len() + 4;
 
-        let back = self.link.send_reverse(now(), wire_in).map_err(|_| RpcError::Unreachable)?;
+        let back = match self.link.transfer_reverse(now(), wire_in) {
+            Ok(delivery) if delivery.dropped => {
+                // The reply was lost after the server executed the call:
+                // the caller observes a timeout even though the server's
+                // state changed (a lost acknowledgement).
+                sleep(self.timeout);
+                self.stats.record_timeout();
+                return Err(RpcError::Timeout);
+            }
+            Ok(delivery) => delivery.arrival,
+            Err(_) => {
+                self.stats.record_unreachable();
+                return Err(RpcError::Unreachable);
+            }
+        };
         advance_to(back);
 
         let latency = u64::try_from(back.saturating_since(tx.started).as_nanos()).unwrap_or(0);
@@ -323,6 +365,8 @@ struct Transmitted {
     wire_out: usize,
     started: SimTime,
     arrival: SimTime,
+    dropped: bool,
+    duplicated: bool,
 }
 
 /// A completed call's reply bytes and virtual completion time.
@@ -563,6 +607,112 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.max_in_flight(), 1);
         assert_eq!(snap.mean_latency_nanos(50, 0), 40_200_000);
+    }
+
+    #[test]
+    fn dropped_request_times_out_without_dispatch() {
+        use crate::fault::{FaultPlan, Window};
+        let link = Link::new(LinkConfig::loopback());
+        let window = Window::new(SimTime::ZERO, SimTime::from_secs(10));
+        link.set_fault_plan(true, Some(FaultPlan::new(5).with_drop(window, 1.0)));
+        let stats = RpcStats::new();
+        let client = SimRpcClient::new(link.forward(), server(), stats.clone())
+            .with_timeout(Duration::from_secs(1));
+        let out = Arc::new(Mutex::new(None));
+        let o = out.clone();
+        let sim = Sim::new();
+        sim.spawn("c", move || {
+            assert_eq!(client.call(50, 1, 0, vec![]).unwrap_err(), RpcError::Timeout);
+            *o.lock() = Some(now());
+        });
+        sim.run();
+        assert!(out.lock().unwrap() >= SimTime::from_secs(1), "timeout must be charged");
+        let snap = stats.snapshot();
+        assert_eq!(snap.transport_timeouts(), 1);
+        assert_eq!(snap.calls(50, 0), 0, "a lost call never completes");
+    }
+
+    #[test]
+    fn dropped_reply_loses_the_acknowledgement() {
+        use crate::fault::{FaultPlan, Window};
+        let link = Link::new(LinkConfig::loopback());
+        let window = Window::new(SimTime::ZERO, SimTime::from_secs(10));
+        // Fault only the reply direction: the server executes the call.
+        link.set_fault_plan(false, Some(FaultPlan::new(6).with_drop(window, 1.0)));
+        let hits = Arc::new(Mutex::new(0u32));
+        let h = hits.clone();
+        struct Counting(Arc<Mutex<u32>>);
+        impl RpcService for Counting {
+            fn program(&self) -> u32 {
+                50
+            }
+            fn version(&self) -> u32 {
+                1
+            }
+            fn call(&self, _procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+                *self.0.lock() += 1;
+                Ok(args.to_vec())
+            }
+        }
+        let mut d = Dispatcher::new();
+        d.register(Counting(h));
+        let srv = ServerNode::new("s1", d, Duration::from_micros(200));
+        let client = SimRpcClient::new(link.forward(), srv, RpcStats::new())
+            .with_timeout(Duration::from_secs(1));
+        let sim = Sim::new();
+        sim.spawn("c", move || {
+            assert_eq!(client.call(50, 1, 0, vec![]).unwrap_err(), RpcError::Timeout);
+        });
+        sim.run();
+        assert_eq!(*hits.lock(), 1, "the server executed the call despite the lost ack");
+    }
+
+    #[test]
+    fn duplicated_request_executes_twice_but_replies_once() {
+        use crate::fault::{FaultPlan, Window};
+        let link = Link::new(LinkConfig::loopback());
+        let window = Window::new(SimTime::ZERO, SimTime::from_secs(10));
+        link.set_fault_plan(true, Some(FaultPlan::new(7).with_duplicate(window, 1.0)));
+        let hits = Arc::new(Mutex::new(0u32));
+        let h = hits.clone();
+        struct Counting(Arc<Mutex<u32>>);
+        impl RpcService for Counting {
+            fn program(&self) -> u32 {
+                50
+            }
+            fn version(&self) -> u32 {
+                1
+            }
+            fn call(&self, _procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+                *self.0.lock() += 1;
+                Ok(args.to_vec())
+            }
+        }
+        let mut d = Dispatcher::new();
+        d.register(Counting(h));
+        let srv = ServerNode::new("s1", d, Duration::from_micros(200));
+        let client = SimRpcClient::new(link.forward(), srv, RpcStats::new());
+        let sim = Sim::new();
+        sim.spawn("c", move || {
+            assert_eq!(client.call(50, 1, 0, vec![1, 2, 3, 4]).unwrap(), vec![1, 2, 3, 4]);
+        });
+        sim.run();
+        assert_eq!(*hits.lock(), 2, "the retransmission reached the dispatcher");
+    }
+
+    #[test]
+    fn unreachable_sends_are_counted() {
+        let link = Link::new(LinkConfig::loopback());
+        link.set_partitioned(true);
+        let stats = RpcStats::new();
+        let client = SimRpcClient::new(link.forward(), server(), stats.clone());
+        let sim = Sim::new();
+        sim.spawn("c", move || {
+            assert_eq!(client.call(50, 1, 0, vec![]).unwrap_err(), RpcError::Unreachable);
+            assert_eq!(client.call(50, 1, 0, vec![]).unwrap_err(), RpcError::Unreachable);
+        });
+        sim.run();
+        assert_eq!(stats.snapshot().transport_unreachable(), 2);
     }
 
     #[test]

@@ -47,6 +47,20 @@ pub enum RpcError {
     },
 }
 
+impl RpcError {
+    /// Whether the error is a transient transport condition (a timeout
+    /// or an unreachable peer) that a retry with back-off can outwait,
+    /// as opposed to a protocol-level rejection that will recur.
+    ///
+    /// The chaos harness injects exactly these two conditions (dropped
+    /// messages surface as [`RpcError::Timeout`], partition windows as
+    /// [`RpcError::Unreachable`]); retry loops in the proxy key off this
+    /// predicate so injected faults and real outages take the same path.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RpcError::Timeout | RpcError::Unreachable)
+    }
+}
+
 impl fmt::Display for RpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -104,6 +118,14 @@ mod tests {
         for v in variants {
             assert!(!v.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(RpcError::Timeout.is_transient());
+        assert!(RpcError::Unreachable.is_transient());
+        assert!(!RpcError::GarbageArgs.is_transient());
+        assert!(!RpcError::SystemError { detail: "x".into() }.is_transient());
     }
 
     #[test]

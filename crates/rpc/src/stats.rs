@@ -40,6 +40,8 @@ struct Inner {
     counters: BTreeMap<(u32, u32), ProcCounter>,
     in_flight: u64,
     max_in_flight: u64,
+    unreachable: u64,
+    timeouts: u64,
 }
 
 /// Counters for a single procedure.
@@ -68,6 +70,8 @@ impl ProcCounter {
 pub struct StatsSnapshot {
     counters: BTreeMap<(u32, u32), ProcCounter>,
     max_in_flight: u64,
+    unreachable: u64,
+    timeouts: u64,
 }
 
 impl RpcStats {
@@ -98,6 +102,21 @@ impl RpcStats {
         c.latency_nanos += latency_nanos;
     }
 
+    /// Records one call that could not be put on the wire at all
+    /// (partitioned link). These calls never reach the per-procedure
+    /// counters, so a dedicated tally is the only way a harness can see
+    /// how hard a client hammered a dead link — the chaos back-off
+    /// regression tests read this.
+    pub fn record_unreachable(&self) {
+        self.inner.lock().unreachable += 1;
+    }
+
+    /// Records one call that was sent but never answered (lost request
+    /// or reply, or a down server) and burned its RPC timeout.
+    pub fn record_timeout(&self) {
+        self.inner.lock().timeouts += 1;
+    }
+
     /// Notes that one call entered the wire; bumps the in-flight gauge
     /// and its high-water mark.
     pub fn call_started(&self) {
@@ -122,7 +141,12 @@ impl RpcStats {
     /// Copies out the current counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let inner = self.inner.lock();
-        StatsSnapshot { counters: inner.counters.clone(), max_in_flight: inner.max_in_flight }
+        StatsSnapshot {
+            counters: inner.counters.clone(),
+            max_in_flight: inner.max_in_flight,
+            unreachable: inner.unreachable,
+            timeouts: inner.timeouts,
+        }
     }
 
     /// Resets all counters (and the in-flight high-water mark) to zero.
@@ -130,6 +154,8 @@ impl RpcStats {
         let mut inner = self.inner.lock();
         inner.counters.clear();
         inner.max_in_flight = inner.in_flight;
+        inner.unreachable = 0;
+        inner.timeouts = 0;
     }
 }
 
@@ -153,6 +179,16 @@ impl StatsSnapshot {
     /// the stats were created (or last [`reset`](RpcStats::reset)).
     pub fn max_in_flight(&self) -> u64 {
         self.max_in_flight
+    }
+
+    /// Calls that failed before reaching the wire (partitioned link).
+    pub fn transport_unreachable(&self) -> u64 {
+        self.unreachable
+    }
+
+    /// Calls that were sent but burned their RPC timeout unanswered.
+    pub fn transport_timeouts(&self) -> u64 {
+        self.timeouts
     }
 
     /// Mean latency for one procedure, in nanoseconds.
@@ -184,7 +220,12 @@ impl StatsSnapshot {
                 counters.insert(*key, delta);
             }
         }
-        StatsSnapshot { counters, max_in_flight: self.max_in_flight }
+        StatsSnapshot {
+            counters,
+            max_in_flight: self.max_in_flight,
+            unreachable: self.unreachable - earlier.unreachable,
+            timeouts: self.timeouts - earlier.timeouts,
+        }
     }
 }
 
@@ -205,7 +246,11 @@ impl fmt::Display for StatsSnapshot {
                 c.mean_latency_nanos() / 1_000
             )?;
         }
-        writeln!(f, "max in-flight: {}", self.max_in_flight)
+        writeln!(
+            f,
+            "max in-flight: {}  unreachable: {}  timeouts: {}",
+            self.max_in_flight, self.unreachable, self.timeouts
+        )
     }
 }
 
@@ -287,6 +332,23 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.mean_latency_nanos(1, 1), 2_000);
         assert_eq!(snap.mean_latency_nanos(1, 9), 0);
+    }
+
+    #[test]
+    fn transport_failures_are_tallied_and_differenced() {
+        let s = RpcStats::new();
+        s.record_unreachable();
+        s.record_unreachable();
+        s.record_timeout();
+        let before = s.snapshot();
+        assert_eq!(before.transport_unreachable(), 2);
+        assert_eq!(before.transport_timeouts(), 1);
+        s.record_unreachable();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.transport_unreachable(), 1);
+        assert_eq!(delta.transport_timeouts(), 0);
+        s.reset();
+        assert_eq!(s.snapshot().transport_unreachable(), 0);
     }
 
     #[test]

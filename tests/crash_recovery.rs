@@ -1,0 +1,267 @@
+//! Crash/recovery end to end (§4.3.4): a proxy-server crash with an
+//! outstanding partial write-back must not lose acknowledged data, and a
+//! proxy-client crash must replay its dirty cache only when the server
+//! copy is provably unchanged — otherwise the dirty data is discarded as
+//! corrupted, never blindly replayed over someone else's writes.
+
+use gvfs_client::{MountOptions, NfsClient};
+use gvfs_core::session::{Session, SessionConfig};
+use gvfs_core::{ConsistencyModel, DelegationConfig};
+use gvfs_netsim::Sim;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn delegation_config(partial_writeback_threshold: usize) -> SessionConfig {
+    SessionConfig {
+        model: ConsistencyModel::DelegationCallback(DelegationConfig {
+            partial_writeback_threshold,
+            ..DelegationConfig::default()
+        }),
+        write_back: true,
+        ..SessionConfig::default()
+    }
+}
+
+fn pattern(len: usize, salt: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt)).collect()
+}
+
+fn sleep_until(at: Duration) {
+    let elapsed = gvfs_netsim::now().saturating_since(gvfs_netsim::SimTime::ZERO);
+    if at > elapsed {
+        gvfs_netsim::sleep(at - elapsed);
+    }
+}
+
+/// A proxy-server crash while a recalled write delegation is still
+/// writing back asynchronously: the recall answered with a block list
+/// (dirty blocks > threshold), the flusher is mid-stream when the server
+/// dies, and recovery must rebuild the delegation table from the
+/// clients' dirty-file answers so the remaining blocks land. No
+/// acknowledged byte may be lost.
+#[test]
+fn server_crash_mid_partial_writeback_loses_nothing() {
+    let sim = Sim::new();
+    let session = Arc::new(Session::builder(delegation_config(2)).clients(2).establish(&sim));
+    let data = pattern(64 * 4096, 7);
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let answered = Arc::new(AtomicUsize::new(usize::MAX));
+
+    {
+        let t = session.client_transport(0);
+        let root = session.root_fh();
+        let done = Arc::clone(&done);
+        let data = data.clone();
+        sim.spawn("cr-writer", move || {
+            let c = NfsClient::new(t, root, MountOptions::noac());
+            gvfs_netsim::sleep(Duration::from_secs(1));
+            // 64 dirty blocks against a threshold of 2: the later recall
+            // must choose the partial (asynchronous) write-back path.
+            c.write_file("/cr-a", &data).expect("write survives in cache");
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    {
+        let t = session.client_transport(1);
+        let root = session.root_fh();
+        let done = Arc::clone(&done);
+        sim.spawn("cr-reader", move || {
+            let c = NfsClient::new(t, root, MountOptions::noac());
+            sleep_until(Duration::from_secs(4));
+            // The read recalls the write delegation; the answer is a
+            // block list and the writer starts flushing asynchronously.
+            // The server crashes under it, so this forward blocks until
+            // recovery — completion (not content) is the assertion here.
+            let _ = c.read_file("/cr-a");
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    {
+        let session = Arc::clone(&session);
+        let done = Arc::clone(&done);
+        let answered = Arc::clone(&answered);
+        sim.spawn("cr-controller", move || {
+            sleep_until(Duration::from_millis(4_200));
+            session.crash_proxy_server();
+            gvfs_netsim::sleep(Duration::from_secs(8));
+            answered.store(session.restart_proxy_server(), Ordering::SeqCst);
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    {
+        let handle = session.handle();
+        let done = Arc::clone(&done);
+        sim.spawn("cr-closer", move || {
+            loop {
+                gvfs_netsim::park_timeout(Duration::from_secs(1));
+                if done.load(Ordering::SeqCst) >= 3 {
+                    break;
+                }
+            }
+            handle.shutdown();
+        });
+    }
+    sim.run();
+
+    assert!(
+        answered.load(Ordering::SeqCst) >= 1,
+        "recovery must hear back from at least the dirty client"
+    );
+    let vfs = session.vfs();
+    let id = vfs.lookup_path("/cr-a").expect("file survives the crash");
+    let (bytes, _) = vfs.read(id, 0, data.len() as u32).expect("readable after recovery");
+    assert_eq!(bytes, data, "every acknowledged byte must reach stable storage");
+}
+
+/// A proxy-client crash while the server copy moved on: the crashed
+/// client held dirty data, its delegation was revoked unreachable, and
+/// another client's write was flushed in the meantime. Recovery must
+/// notice the mtime mismatch, discard the stale dirty cache as
+/// corrupted, and leave the surviving writer's data in place.
+#[test]
+fn client_crash_discards_dirty_when_server_moved_on() {
+    let sim = Sim::new();
+    let session = Arc::new(Session::builder(delegation_config(1024)).clients(2).establish(&sim));
+    let stale = pattern(4096, 1);
+    let fresh = pattern(4096, 2);
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let corrupted = Arc::new(Mutex::new(Vec::new()));
+
+    {
+        let t = session.client_transport(0);
+        let root = session.root_fh();
+        let done = Arc::clone(&done);
+        let stale = stale.clone();
+        sim.spawn("cr-crasher", move || {
+            let c = NfsClient::new(t, root, MountOptions::noac());
+            gvfs_netsim::sleep(Duration::from_secs(1));
+            // The first write forwards write-through and acquires the
+            // write delegation; the second is the one that stays dirty
+            // in the disk cache across the crash.
+            let fh = c.write_file("/cr-b", &pattern(4096, 0)).expect("acquire delegation");
+            c.write(fh, 0, &stale).expect("dirty write acked");
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    {
+        let t = session.client_transport(1);
+        let root = session.root_fh();
+        let done = Arc::clone(&done);
+        let fresh = fresh.clone();
+        sim.spawn("cr-survivor", move || {
+            let c = NfsClient::new(t, root, MountOptions::noac());
+            // Client 0 is already down: the recall of its write
+            // delegation times out and the server revokes it
+            // unreachable, losing the unflushed dirty data (§4.3.4).
+            // This first write then forwards write-through, so the
+            // server copy's mtime moves past the crashed client's
+            // write-back base.
+            sleep_until(Duration::from_secs(8));
+            let fh = c.resolve("/cr-b").expect("resolve");
+            c.write(fh, 0, &fresh).expect("surviving write acked");
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    {
+        let session = Arc::clone(&session);
+        let done = Arc::clone(&done);
+        let corrupted = Arc::clone(&corrupted);
+        sim.spawn("cr-controller", move || {
+            sleep_until(Duration::from_secs(4));
+            session.crash_proxy_client(0);
+            sleep_until(Duration::from_secs(30));
+            *corrupted.lock() = session.restart_proxy_client(0);
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    {
+        let handle = session.handle();
+        let done = Arc::clone(&done);
+        sim.spawn("cr-closer", move || {
+            loop {
+                gvfs_netsim::park_timeout(Duration::from_secs(1));
+                if done.load(Ordering::SeqCst) >= 3 {
+                    break;
+                }
+            }
+            handle.shutdown();
+        });
+    }
+    sim.run();
+
+    assert_eq!(
+        corrupted.lock().len(),
+        1,
+        "the crashed client's dirty file must be flagged corrupted, not replayed"
+    );
+    let vfs = session.vfs();
+    let id = vfs.lookup_path("/cr-b").expect("lookup");
+    let (bytes, _) = vfs.read(id, 0, fresh.len() as u32).expect("read");
+    assert_eq!(bytes, fresh, "the surviving writer's data must not be clobbered");
+}
+
+/// The companion case: the server copy did NOT change while the client
+/// was down, so crash recovery replays the dirty cache — one block
+/// written back inline to reacquire the delegation, the rest via the
+/// flusher — and nothing is reported corrupted.
+#[test]
+fn client_crash_replays_dirty_when_server_unchanged() {
+    let sim = Sim::new();
+    let session = Arc::new(Session::builder(delegation_config(1024)).clients(1).establish(&sim));
+    let data = pattern(4 * 4096, 3);
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let corrupted = Arc::new(Mutex::new(vec![gvfs_nfs3::Fh3::from_fileid(u64::MAX)]));
+
+    {
+        let t = session.client_transport(0);
+        let root = session.root_fh();
+        let done = Arc::clone(&done);
+        let data = data.clone();
+        sim.spawn("cr-writer", move || {
+            let c = NfsClient::new(t, root, MountOptions::noac());
+            gvfs_netsim::sleep(Duration::from_secs(1));
+            c.write_file("/cr-c", &data).expect("dirty write acked");
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    {
+        let session = Arc::clone(&session);
+        let done = Arc::clone(&done);
+        let corrupted = Arc::clone(&corrupted);
+        sim.spawn("cr-controller", move || {
+            sleep_until(Duration::from_secs(3));
+            session.crash_proxy_client(0);
+            gvfs_netsim::sleep(Duration::from_secs(10));
+            *corrupted.lock() = session.restart_proxy_client(0);
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    {
+        let handle = session.handle();
+        let done = Arc::clone(&done);
+        sim.spawn("cr-closer", move || {
+            loop {
+                gvfs_netsim::park_timeout(Duration::from_secs(1));
+                if done.load(Ordering::SeqCst) >= 2 {
+                    break;
+                }
+            }
+            handle.shutdown();
+        });
+    }
+    sim.run();
+
+    assert!(
+        corrupted.lock().is_empty(),
+        "an unchanged server copy means the dirty cache is replayed, not discarded"
+    );
+    let vfs = session.vfs();
+    let id = vfs.lookup_path("/cr-c").expect("lookup");
+    let (bytes, _) = vfs.read(id, 0, data.len() as u32).expect("read");
+    assert_eq!(bytes, data, "the replayed dirty data must reach stable storage");
+}

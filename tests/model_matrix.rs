@@ -1,0 +1,53 @@
+//! The consistency matrix: one scripted two-client scenario replayed
+//! under all three models, asserting the *model-specific* visibility of
+//! a remote write at each step (§3 of the paper — consistency is a
+//! per-application choice, and the observable difference is when a
+//! remote write becomes visible, not whether).
+
+use gvfs_integration::chaos::ModelKind;
+use gvfs_integration::matrix::run_matrix;
+
+#[test]
+fn passthrough_sees_remote_writes_immediately() {
+    let out = run_matrix(ModelKind::Passthrough);
+    assert_eq!(out.warm, b"v1", "write-through v1 must be visible by t=50s");
+    assert_eq!(out.after_write, b"v2", "passthrough reads go to the server: v2 at t=103s");
+    assert_eq!(out.after_window, b"v2");
+}
+
+#[test]
+fn polling_serves_stale_until_the_next_window() {
+    let out = run_matrix(ModelKind::Polling);
+    assert_eq!(out.warm, b"v1");
+    assert_eq!(
+        out.after_write, b"v1",
+        "t=103s predates the next 30s polling window, so the cached v1 survives"
+    );
+    assert_eq!(out.after_window, b"v2", "the poll at ~t=126s invalidates; t=135s sees v2");
+}
+
+#[test]
+fn delegation_recalls_before_the_write_completes() {
+    let out = run_matrix(ModelKind::Delegation);
+    assert_eq!(out.warm, b"v1");
+    assert_eq!(
+        out.after_write, b"v2",
+        "the v2 write recalls the reader's delegation first, so t=103s is fresh"
+    );
+    assert_eq!(out.after_window, b"v2");
+}
+
+#[test]
+fn models_disagree_exactly_where_the_paper_says() {
+    let pass = run_matrix(ModelKind::Passthrough);
+    let poll = run_matrix(ModelKind::Polling);
+    let dele = run_matrix(ModelKind::Delegation);
+    // Every model agrees on the warm read and the converged read...
+    assert_eq!(pass.warm, poll.warm);
+    assert_eq!(poll.warm, dele.warm);
+    assert_eq!(pass.after_window, poll.after_window);
+    assert_eq!(poll.after_window, dele.after_window);
+    // ...and disagrees only on the read racing the visibility window.
+    assert_eq!(pass.after_write, dele.after_write);
+    assert_ne!(poll.after_write, pass.after_write);
+}

@@ -1,0 +1,276 @@
+//! Property-based conformance bridge between the `gvfs-analysis` model
+//! checker and the runtime protocol tables.
+//!
+//! The checker proves the invariants below over *every* interleaving of
+//! small configurations (depth ≤ 6); this bridge drives the same
+//! implementations — [`DelegationTable`] and the invalidation trackers —
+//! through random histories hundreds of steps long and re-asserts the
+//! same safety properties after every step:
+//!
+//! * **write-exclusion** — a write delegation never coexists with any
+//!   other delegation on the same file, in any reachable state;
+//! * **recall bookkeeping** — the table's `recalling` counter always
+//!   equals the recall rounds the driver actually has in flight;
+//! * **re-grantability** — from every final state, answering the
+//!   outstanding recalls and draining pending write-backs makes every
+//!   file write-delegable again (no stuck `PendingWriteback`);
+//! * **refinement** — [`ConcurrentInvalidationTracker`] observed under
+//!   a serial schedule is indistinguishable from the sequential
+//!   [`InvalidationTracker`] (§4.2.1's spec machine).
+
+use gvfs_core::delegation::{DelegationKind, DelegationTable, RecallAction};
+use gvfs_core::invalidation::{ConcurrentInvalidationTracker, InvalidationTracker};
+use gvfs_core::protocol::DelegationGrant;
+use gvfs_core::DelegationConfig;
+use gvfs_netsim::SimTime;
+use gvfs_nfs3::Fh3;
+use proptest::prelude::*;
+
+const T0: SimTime = SimTime::ZERO;
+/// Second dirty block a partial write-back answer reports (matches the
+/// model checker's fixture).
+const BLOCK: u64 = 32_768;
+const CLIENTS: u32 = 3;
+const FILES: u64 = 2;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// A client access reaches the proxy server.
+    Access { client: u32, file: u64, write: bool },
+    /// One outstanding recall is answered; `partial` answers a write
+    /// recall with a dirty-block list instead of a full flush.
+    Answer { pick: usize, partial: bool },
+    /// The flusher submits the next outstanding write-back block.
+    Writeback { file: u64 },
+    /// Server restart: volatile table lost, rebuilt from the clients'
+    /// RECOVER answers (each write-delegation holder reports its file
+    /// dirty).
+    Restart,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..=CLIENTS, 1u64..=FILES, any::<bool>())
+            .prop_map(|(client, file, write)| Op::Access { client, file, write }),
+        (0usize..64, any::<bool>()).prop_map(|(pick, partial)| Op::Answer { pick, partial }),
+        (1u64..=FILES).prop_map(|file| Op::Writeback { file }),
+        Just(Op::Restart),
+    ]
+}
+
+/// An in-flight recall round: `begin_recall` has run, the matching
+/// `end_recall` runs when the last callback is answered.
+struct Round {
+    fh: Fh3,
+    pending: Vec<RecallAction>,
+}
+
+fn check_exclusion(table: &DelegationTable) -> Result<(), TestCaseError> {
+    for snap in table.snapshot() {
+        let held = snap.sharers.iter().filter(|(_, k)| k.is_some()).count();
+        let writers =
+            snap.sharers.iter().filter(|(_, k)| matches!(k, Some(DelegationKind::Write))).count();
+        prop_assert!(
+            writers == 0 || held == 1,
+            "write delegation shares {:?}: {:?}",
+            snap.fh,
+            snap.sharers
+        );
+    }
+    Ok(())
+}
+
+fn check_recall_bookkeeping(
+    table: &DelegationTable,
+    rounds: &[Round],
+) -> Result<(), TestCaseError> {
+    for snap in table.snapshot() {
+        let in_flight = rounds.iter().filter(|r| r.fh == snap.fh).count() as u32;
+        prop_assert_eq!(
+            snap.recalling,
+            in_flight,
+            "{:?}: table says {} recall rounds, driver has {}",
+            snap.fh,
+            snap.recalling,
+            in_flight
+        );
+    }
+    Ok(())
+}
+
+/// Answers every outstanding recall in full and drains every pending
+/// write-back, as a correct set of clients eventually would.
+fn settle(table: &mut DelegationTable, rounds: &mut Vec<Round>) {
+    for round in rounds.drain(..) {
+        for recall in round.pending {
+            table.recall_done(recall.fh, recall.client, Vec::new());
+        }
+        table.end_recall(round.fh);
+    }
+    for snap in table.snapshot() {
+        while let Some(p) = table.pending_writeback(snap.fh) {
+            let (client, block) = (p.client, *p.blocks.iter().next().expect("non-empty pending"));
+            table.note_writeback(snap.fh, client, block);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random delegation histories keep the checker's invariants.
+    #[test]
+    fn delegation_table_conformance(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut table = DelegationTable::new(DelegationConfig::default());
+        let mut rounds: Vec<Round> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Access { client, file, write } => {
+                    let fh = Fh3::from_fileid(file);
+                    let (grant, recalls) = table.access(fh, client, write, Some(0), T0);
+                    if grant == DelegationGrant::Write {
+                        prop_assert_eq!(
+                            table.held(fh, client),
+                            Some(DelegationKind::Write),
+                            "write grant not recorded for client {}",
+                            client
+                        );
+                    }
+                    if !recalls.is_empty() {
+                        prop_assert_eq!(
+                            grant,
+                            DelegationGrant::NonCacheable,
+                            "a conflicted access must be served non-cacheable"
+                        );
+                        table.begin_recall(fh);
+                        rounds.push(Round { fh, pending: recalls });
+                    }
+                }
+                Op::Answer { pick, partial } => {
+                    if rounds.is_empty() {
+                        continue;
+                    }
+                    let r = pick % rounds.len();
+                    let i = pick % rounds[r].pending.len();
+                    let recall = rounds[r].pending.remove(i);
+                    let blocks = if partial && recall.kind == DelegationKind::Write {
+                        vec![0, BLOCK]
+                    } else {
+                        Vec::new()
+                    };
+                    table.recall_done(recall.fh, recall.client, blocks);
+                    if rounds[r].pending.is_empty() {
+                        let done = rounds.remove(r);
+                        table.end_recall(done.fh);
+                    }
+                }
+                Op::Writeback { file } => {
+                    let fh = Fh3::from_fileid(file);
+                    if let Some(p) = table.pending_writeback(fh) {
+                        let (client, block) =
+                            (p.client, *p.blocks.iter().next().expect("non-empty pending"));
+                        table.note_writeback(fh, client, block);
+                    }
+                }
+                Op::Restart => {
+                    // Each client re-reports the files it holds write
+                    // delegations on (those are the ones it may hold
+                    // dirty data for); recall rounds die with the server.
+                    let mut dirty: Vec<(u32, Vec<Fh3>)> = Vec::new();
+                    for snap in table.snapshot() {
+                        for &(client, kind) in &snap.sharers {
+                            if kind == Some(DelegationKind::Write) {
+                                match dirty.iter_mut().find(|(c, _)| *c == client) {
+                                    Some((_, files)) => files.push(snap.fh),
+                                    None => dirty.push((client, vec![snap.fh])),
+                                }
+                            }
+                        }
+                    }
+                    table = DelegationTable::new(DelegationConfig::default());
+                    rounds.clear();
+                    for (client, files) in dirty {
+                        table.recover_client(client, &files, T0);
+                    }
+                }
+            }
+
+            check_exclusion(&table)?;
+            check_recall_bookkeeping(&table, &rounds)?;
+        }
+
+        // Re-grantability: once the dust settles — recalls answered,
+        // write-backs drained, and enough time passed for speculated
+        // opens to expire — every file must be write-delegable again
+        // for a fresh client.
+        settle(&mut table, &mut rounds);
+        let late = T0 + DelegationConfig::default().expiration + std::time::Duration::from_secs(1);
+        for file in 1..=FILES {
+            let fh = Fh3::from_fileid(file);
+            let mut granted = false;
+            for _ in 0..8 {
+                let (grant, recalls) = table.access(fh, 99, true, Some(0), late);
+                if grant == DelegationGrant::Write {
+                    granted = true;
+                    break;
+                }
+                if !recalls.is_empty() {
+                    table.begin_recall(fh);
+                    rounds.push(Round { fh, pending: recalls });
+                }
+                settle(&mut table, &mut rounds);
+            }
+            prop_assert!(granted, "{:?} never became write-delegable again", fh);
+        }
+    }
+
+    /// The sharded concurrent invalidation tracker refines the
+    /// sequential one: same history, same observable behaviour.
+    #[test]
+    fn concurrent_invalidation_refines_sequential(
+        capacity in 1usize..=5,
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (1u32..=CLIENTS, 1u64..=4u64).prop_map(|(w, f)| (0u8, w, f)),
+                (1u32..=CLIENTS).prop_map(|c| (1u8, c, 0)),
+                (1u32..=CLIENTS).prop_map(|c| (2u8, c, 0)),
+            ],
+            1..150,
+        ),
+    ) {
+        let mut seq = InvalidationTracker::new(capacity);
+        let conc = ConcurrentInvalidationTracker::new(capacity);
+        let mut last_ts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+
+        for (kind, client, file) in ops {
+            match kind {
+                0 => {
+                    let fh = Fh3::from_fileid(file);
+                    seq.record_modification(fh, client);
+                    conc.record_modification(fh, client);
+                }
+                kind => {
+                    // kind 1 polls with the remembered timestamp, kind 2
+                    // with null (a restarted client).
+                    let ts = if kind == 1 { last_ts.get(&client).copied() } else { None };
+                    let a = seq.getinv(client, ts);
+                    let b = conc.getinv(client, ts);
+                    prop_assert_eq!(a.force_invalidate, b.force_invalidate);
+                    prop_assert_eq!(a.timestamp, b.timestamp);
+                    prop_assert_eq!(a.poll_again, b.poll_again);
+                    let mut ha = a.handles.clone();
+                    let mut hb = b.handles.clone();
+                    ha.sort_unstable();
+                    hb.sort_unstable();
+                    prop_assert_eq!(ha, hb, "owed sets diverge for client {}", client);
+                    last_ts.insert(client, a.timestamp);
+                }
+            }
+            prop_assert_eq!(seq.now(), conc.now(), "logical clocks diverge");
+            prop_assert_eq!(seq.snapshot(), conc.snapshot(), "buffer states diverge");
+        }
+    }
+}
