@@ -39,7 +39,9 @@ use std::path::{Path, PathBuf};
 /// time, so the shards share a rank), then the sharded invalidation
 /// tracker (`buffers` registry read/write lock over the per-client
 /// `buf` mutexes), then the write-back/invalidation plumbing, then
-/// actor handles and counters.
+/// actor handles (flusher/poller/supervisor), the server's per-client
+/// WAN-health registry (`health`, scoped to a breaker lookup, never
+/// held across the wire), and counters.
 pub const LOCK_ORDER: &[(&str, u32)] = &[
     ("callbacks", 0),
     ("persisted_clients", 0),
@@ -53,7 +55,9 @@ pub const LOCK_ORDER: &[(&str, u32)] = &[
     ("flush_queue", 5),
     ("flusher", 6),
     ("poller", 6),
+    ("supervisor", 6),
     ("poll_ts", 7),
+    ("health", 7),
     ("stats", 8),
 ];
 
@@ -74,6 +78,7 @@ const SEND_MARKERS: &[&str] = &[
     "wait_pending",
     "dispatch",
     "forward",
+    "forward_wan",
     "perform_recall",
     "perform_recalls",
     "send_recall",
@@ -88,6 +93,9 @@ const SEND_MARKERS: &[&str] = &[
     "maybe_prefetch",
     "crash_recover",
     "recover",
+    "reconcile_dirty",
+    "repromote",
+    "run_supervisor",
 ];
 
 /// One lint finding.

@@ -49,7 +49,7 @@ fn run_model() -> Result<(), usize> {
     println!("== model check ==");
     let mut failures = 0usize;
     let mut total_states = 0usize;
-    for report in [model::check_delegation(), model::check_invalidation()] {
+    for report in [model::check_delegation(), model::check_invalidation(), model::check_breaker()] {
         println!(
             "model[{}]: {} states, {} transitions, {} violation(s)",
             report.machine,

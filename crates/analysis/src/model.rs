@@ -18,7 +18,17 @@
 //! * **getinv-soundness** — `GETINV` timestamps are monotone per
 //!   client, `force_invalidate` fires exactly on first contact, client
 //!   restart (null timestamp) or buffer wrap, and a non-forced reply
-//!   delivers exactly the invalidations owed.
+//!   delivers exactly the invalidations owed;
+//! * **lease-bounded-blocking** — from every reachable delegation
+//!   state, a conflicting write arriving one lease period after the
+//!   last activity needs *no recall round trip*: every stale delegation
+//!   is revoked server-side on the spot, so an unresponsive holder
+//!   blocks a writer for at most one lease period;
+//! * **breaker-refinement** — the WAN circuit breaker
+//!   ([`gvfs_rpc::breaker::CircuitBreaker`]) refines an explicit
+//!   three-state spec over every interleaving of successes, failures
+//!   and clock reads, including the lazy Open → HalfOpen promotion and
+//!   the capped cooldown doubling.
 //!
 //! The *spec* side of each machine is an explicit transition table kept
 //! in the model state ([`DelegAction`], [`InvalAction`] and the
@@ -32,6 +42,7 @@ use gvfs_core::protocol::DelegationGrant;
 use gvfs_core::DelegationConfig;
 use gvfs_netsim::SimTime;
 use gvfs_nfs3::Fh3;
+use gvfs_rpc::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -256,6 +267,69 @@ impl DelegState {
         None
     }
 
+    /// Invariant: once every outstanding recall is answered and every
+    /// pending write-back drained, a conflicting write arriving one
+    /// lease period after the last activity needs *no recall round
+    /// trip* — lapsed delegations are revoked server-side on the spot
+    /// (`DelegationTable::access` lease revocation), so an unresponsive
+    /// holder blocks a writer for at most one lease period. Open
+    /// speculation may still withhold the write *delegation* (that is
+    /// `expiration`'s business), but no stale delegation may survive
+    /// the probe.
+    fn check_lease_expiry(&self, files: &[Fh3]) -> Option<String> {
+        // A client id outside the model's set: a brand-new writer.
+        const PROBE: u32 = 99;
+        let mut s = self.clone();
+        for round in std::mem::take(&mut s.rounds) {
+            for r in &round.pending {
+                s.table.recall_done(r.fh, r.client, Vec::new());
+            }
+            s.table.end_recall(round.fh);
+        }
+        for &fh in files {
+            let mut spins = 0;
+            while let Some((client, block)) =
+                s.table.pending_writeback(fh).map(|p| (p.client, p.blocks.iter().next().copied()))
+            {
+                let Some(block) = block else {
+                    return Some(format!("stuck pending write-back without blocks on {fh:?}"));
+                };
+                s.table.note_writeback(fh, client, block);
+                spins += 1;
+                if spins > 64 {
+                    return Some(format!("pending write-back on {fh:?} does not drain"));
+                }
+            }
+        }
+        // All model activity happens at T0, so one lease later every
+        // delegation's renewal lease has lapsed (but open speculation,
+        // with its longer `expiration`, has not).
+        let late = T0 + DelegationConfig::default().lease + Duration::from_secs(1);
+        for &fh in files {
+            let (grant, recalls) = s.table.access(fh, PROBE, true, Some(0), late);
+            if !recalls.is_empty() {
+                return Some(format!(
+                    "write at lease expiry on {fh:?} still issues a recall round trip: {:?}",
+                    recalls.iter().map(|r| (r.client, r.kind)).collect::<Vec<_>>()
+                ));
+            }
+            if grant != DelegationGrant::Write {
+                // Blocking past the lease may only come from open
+                // speculation, never from a delegation that should have
+                // been lease-revoked.
+                if let Some(f) = s.table.snapshot().iter().find(|f| f.fh == fh) {
+                    if f.sharers.iter().any(|&(c, d)| c != PROBE && d.is_some()) {
+                        return Some(format!(
+                            "stale delegation survived lease expiry on {fh:?}: {:?}",
+                            f.sharers
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+
     fn enabled(&self, clients: &[u32], files: &[Fh3]) -> Vec<DelegAction> {
         let mut acts = Vec::new();
         for &client in clients {
@@ -319,6 +393,11 @@ pub fn check_delegation() -> ModelReport {
                 if visited.insert(fp) {
                     states += 1;
                     if let Some(v) = next.check_regrantable(&files, clients[0]) {
+                        report
+                            .violations
+                            .push(format!("{label}: {v}\n  trace: {}", fmt_trace(&next_trace)));
+                    }
+                    if let Some(v) = next.check_lease_expiry(&files) {
                         report
                             .violations
                             .push(format!("{label}: {v}\n  trace: {}", fmt_trace(&next_trace)));
@@ -540,6 +619,178 @@ pub fn check_invalidation() -> ModelReport {
             }
         }
         report.states += states;
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Breaker machine
+// ---------------------------------------------------------------------
+
+/// One step of the breaker spec: advance the clock, then feed one
+/// event. `Observe` matters because the implementation promotes
+/// Open → HalfOpen *lazily* inside `state()`; a failure reported
+/// without an intervening observation must be handled in the stored
+/// (un-promoted) state, and the spec mirrors exactly that.
+#[derive(Debug, Clone, Copy)]
+enum BreakerOp {
+    Success,
+    Failure,
+    Observe,
+}
+
+/// The explicit spec the implementation must refine (`DESIGN.md`,
+/// "Degradation ladder": Closed → Open at the failure threshold,
+/// lazy Open → HalfOpen after the cooldown, probe failure doubles the
+/// cooldown up to the cap, any success closes and resets).
+struct BreakerSpec {
+    state: BreakerState,
+    fails: u32,
+    reopened_at: Duration,
+    outage_since: Option<Duration>,
+    cooldown: Duration,
+    trips: u64,
+}
+
+impl BreakerSpec {
+    fn new(cfg: &BreakerConfig) -> Self {
+        BreakerSpec {
+            state: BreakerState::Closed,
+            fails: 0,
+            reopened_at: Duration::ZERO,
+            outage_since: None,
+            cooldown: cfg.cooldown,
+            trips: 0,
+        }
+    }
+
+    fn on_success(&mut self, cfg: &BreakerConfig) {
+        self.fails = 0;
+        if self.state.is_degraded() {
+            self.state = BreakerState::Closed;
+            self.outage_since = None;
+            self.cooldown = cfg.cooldown;
+        }
+    }
+
+    fn on_failure(&mut self, cfg: &BreakerConfig, now: Duration) {
+        self.fails = self.fails.saturating_add(1);
+        match self.state {
+            BreakerState::Closed => {
+                if self.fails >= cfg.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.reopened_at = now;
+                    self.outage_since = Some(now);
+                    self.trips += 1;
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.reopened_at = now;
+                self.cooldown = (self.cooldown * 2).min(cfg.cooldown_max);
+            }
+            BreakerState::Open => self.reopened_at = now,
+        }
+    }
+
+    fn observe(&mut self, now: Duration) -> BreakerState {
+        if self.state == BreakerState::Open && now >= self.reopened_at + self.cooldown {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    fn fingerprint(&self, cfg: &BreakerConfig) -> String {
+        format!(
+            "{:?}|{}|{:?}|{}|{}",
+            self.state,
+            self.fails.min(cfg.failure_threshold),
+            self.cooldown,
+            self.outage_since.is_some(),
+            self.trips.min(2)
+        )
+    }
+}
+
+/// Exhaustively checks the circuit breaker against [`BreakerSpec`] over
+/// every trace of clock advances and events up to a fixed depth. The
+/// clock deltas straddle the interesting boundaries: within the base
+/// cooldown (1 s), past it (6 s) and past the cooldown cap (61 s).
+pub fn check_breaker() -> ModelReport {
+    let mut report = ModelReport { machine: "breaker", ..ModelReport::default() };
+    let cfg = BreakerConfig::default();
+    let deltas = [Duration::from_secs(1), Duration::from_secs(6), Duration::from_secs(61)];
+    let ops = [BreakerOp::Success, BreakerOp::Failure, BreakerOp::Observe];
+    const DEPTH: usize = 5;
+    let arity = deltas.len() * ops.len();
+    let traces = arity.pow(DEPTH as u32);
+    let mut visited: HashSet<String> = HashSet::new();
+
+    'trace: for mut code in 0..traces {
+        let breaker = CircuitBreaker::new(cfg);
+        let mut spec = BreakerSpec::new(&cfg);
+        let mut now = Duration::ZERO;
+        let mut trace: Vec<String> = Vec::new();
+        for _ in 0..DEPTH {
+            let step = code % arity;
+            code /= arity;
+            let delta = deltas[step / ops.len()];
+            let op = ops[step % ops.len()];
+            now += delta;
+            trace.push(format!("+{delta:?} {op:?}"));
+            report.transitions += 1;
+            match op {
+                BreakerOp::Success => {
+                    breaker.on_success(now, Duration::from_millis(50));
+                    spec.on_success(&cfg);
+                }
+                BreakerOp::Failure => {
+                    breaker.on_failure(now);
+                    spec.on_failure(&cfg, now);
+                }
+                BreakerOp::Observe => {
+                    let got = breaker.state(now);
+                    let want = spec.observe(now);
+                    if got != want {
+                        report.violations.push(format!(
+                            "breaker state {got:?} but spec says {want:?} at {now:?}\n  trace: {}",
+                            fmt_trace(&trace)
+                        ));
+                        continue 'trace;
+                    }
+                }
+            }
+            if breaker.trips() != spec.trips {
+                report.violations.push(format!(
+                    "breaker trips {} but spec says {} at {now:?}\n  trace: {}",
+                    breaker.trips(),
+                    spec.trips,
+                    fmt_trace(&trace)
+                ));
+                continue 'trace;
+            }
+            let want_open_for = spec.outage_since.map(|s| now.saturating_sub(s));
+            if breaker.open_for(now) != want_open_for {
+                report.violations.push(format!(
+                    "breaker open_for {:?} but spec says {want_open_for:?} at {now:?}\n  trace: {}",
+                    breaker.open_for(now),
+                    fmt_trace(&trace)
+                ));
+                continue 'trace;
+            }
+            if spec.cooldown > cfg.cooldown_max {
+                report.violations.push(format!(
+                    "cooldown {:?} exceeds the cap {:?}\n  trace: {}",
+                    spec.cooldown,
+                    cfg.cooldown_max,
+                    fmt_trace(&trace)
+                ));
+                continue 'trace;
+            }
+            if visited.insert(spec.fingerprint(&cfg)) {
+                report.states += 1;
+            }
+        }
     }
     report
 }

@@ -8,12 +8,14 @@
 //! 5. write-back pipelining (xid-multiplexed WRITE batches sharing one
 //!    WAN round trip) vs the serial one-RPC-at-a-time fallback,
 //! 6. the read path: serial all-or-nothing fetching vs gap-only miss
-//!    fetching vs gap fetching plus sequential read-ahead.
+//!    fetching vs gap fetching plus sequential read-ahead,
+//! 7. the degradation ladder: availability through a 60 s partition with
+//!    bounded-staleness cache-only reads vs the hard-retry baseline.
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin ablations [--only <name>]`
 //! where `<name>` is one of `buffer-capacity`, `polling-period`,
 //! `delegation-expiration`, `writeback-threshold`, `pipelining`,
-//! `readahead`.
+//! `readahead`, `degradation`.
 
 use gvfs_bench::{getinv_calls, nfs_calls, print_table, rpc_meta, save_json};
 use gvfs_client::{MountOptions, NfsClient};
@@ -475,6 +477,104 @@ fn readahead_sweep() -> Vec<serde_json::Value> {
     json
 }
 
+/// Ablation 7: availability under a WAN partition. A delegation client
+/// with a warm cache reads one hot file every 100 ms across a scripted
+/// 60 s partition of a 200 ms-RTT link. With the ladder off
+/// (`max_staleness: None`) the first read whose renewal lapsed blocks in
+/// the retry loop for the rest of the outage, like a hard NFS mount.
+/// With the ladder on, the breaker opens after a few fast failures and
+/// the session degrades to bounded-staleness cache-only reads, so the
+/// reader keeps completing operations until the heal re-promotes it.
+fn degradation_sweep() -> Vec<serde_json::Value> {
+    const PARTITION_AT: f64 = 5.0;
+    const PARTITION_END: f64 = 65.0;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut ops = [0u64; 2];
+    for (i, (label, staleness)) in
+        [("hard-retry", None), ("degraded", Some(Duration::from_secs(120)))].into_iter().enumerate()
+    {
+        let config = SessionConfig {
+            model: ConsistencyModel::DelegationCallback(DelegationConfig {
+                // A short renewal so the reader's delegation lapses
+                // early in the outage and reads must face the WAN.
+                renewal: Duration::from_secs(5),
+                lease: Duration::from_secs(30),
+                ..DelegationConfig::default()
+            }),
+            max_staleness: staleness,
+            ..SessionConfig::default()
+        };
+        let sim = Sim::new();
+        let session = Session::builder(config)
+            .clients(1)
+            .wan(LinkConfig::wan().with_rtt(Duration::from_millis(200)))
+            .establish(&sim);
+        let t = session.client_transport(0);
+        let root = session.root_fh();
+        let handle = session.handle();
+        let session = Arc::new(session);
+        let s2 = Arc::clone(&session);
+        let counted = Arc::new(Mutex::new((0u64, 0u64, 0u64)));
+        let ct = Arc::clone(&counted);
+        sim.spawn("survivor", move || {
+            let c = NfsClient::new(t, root, MountOptions::noac());
+            gvfs_netsim::sleep(Duration::from_secs(1));
+            let fh = c.write_file("/hot", &[5u8; 4096]).unwrap();
+            let mut in_window = 0u64;
+            while gvfs_netsim::now().as_secs_f64() < 75.0 {
+                if c.read(fh, 0, 4096).is_ok() {
+                    let done = gvfs_netsim::now().as_secs_f64();
+                    if (PARTITION_AT..PARTITION_END).contains(&done) {
+                        in_window += 1;
+                    }
+                }
+                gvfs_netsim::sleep(Duration::from_millis(100));
+            }
+            let stats = s2.proxy_client(0).stats();
+            *ct.lock() = (in_window, s2.proxy_client(0).breaker().trips(), stats.degraded_reads);
+            handle.shutdown();
+        });
+        {
+            let session = Arc::clone(&session);
+            sim.spawn("partitioner", move || {
+                gvfs_netsim::sleep(Duration::from_secs_f64(PARTITION_AT));
+                session.wan_link(0).set_partitioned(true);
+                gvfs_netsim::sleep(Duration::from_secs_f64(PARTITION_END - PARTITION_AT));
+                session.wan_link(0).set_partitioned(false);
+            });
+        }
+        sim.run();
+        let (in_window, trips, degraded_reads) = *counted.lock();
+        ops[i] = in_window;
+        rows.push(vec![
+            label.to_string(),
+            in_window.to_string(),
+            trips.to_string(),
+            degraded_reads.to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "arm": label,
+            "reads_during_partition": in_window,
+            "breaker_trips": trips,
+            "degraded_reads": degraded_reads,
+        }));
+    }
+    let gain = ops[1] as f64 / ops[0].max(1) as f64;
+    print_table(
+        "Ablation 7: degradation ladder (60 s partition, 200 ms RTT, hot-file reads every 100 ms)",
+        &["arm", "reads in partition", "breaker trips", "degraded reads"],
+        &rows,
+    );
+    println!("availability gain: {gain:.1}x (target: >=10x)");
+    assert!(
+        gain >= 10.0,
+        "the ladder must complete >=10x more reads mid-partition, got {gain:.1}x"
+    );
+    json.push(serde_json::json!({ "availability_gain": gain }));
+    json
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let only = args.iter().position(|a| a == "--only").and_then(|i| args.get(i + 1)).cloned();
@@ -499,6 +599,9 @@ fn main() {
     }
     if run("readahead") {
         doc.push(("readahead".into(), readahead_sweep().into()));
+    }
+    if run("degradation") {
+        doc.push(("degradation".into(), degradation_sweep().into()));
     }
     // A partial run must not clobber the full committed results.
     let name = if only.is_some() { "ablations-partial.json" } else { "ablations.json" };

@@ -17,7 +17,8 @@
 
 use gvfs_bench::save_json;
 use gvfs_integration::chaos::{
-    format_reproducer, generate_events, run_scenario, shrink_failure, ModelKind, ScenarioConfig,
+    format_reproducer, generate_events, run_partition_heal, run_scenario, shrink_failure,
+    ModelKind, ScenarioConfig,
 };
 use serde_json::json;
 
@@ -103,6 +104,42 @@ fn main() {
                     .as_ref()
                     .map(|s| s.events.iter().map(|e| e.to_string()).collect::<Vec<_>>()),
                 "reproducer": reproducer,
+            }));
+        }
+    }
+
+    // The scripted partition-heal scenario rides alongside the random
+    // matrix whenever delegation is in scope: a 35 s partition must trip
+    // the breaker, the ladder must serve bounded-staleness reads, and
+    // the heal must re-promote without losing an acknowledged write.
+    if args.models.contains(&ModelKind::Delegation) {
+        for seed in args.start..args.start + args.seeds {
+            let a = run_partition_heal(seed);
+            let b = run_partition_heal(seed);
+            runs += 2;
+            if a.trace_hash != b.trace_hash || a.history != b.history {
+                determinism_breaks += 1;
+                println!(
+                    "DETERMINISM BREAK: partition-heal seed={seed} hashes {:#x} vs {:#x}",
+                    a.trace_hash, b.trace_hash
+                );
+                continue;
+            }
+            if a.violations.is_empty() {
+                println!(
+                    "seed={seed} partition-heal ok (trips {}, degraded reads {}, trace {:#x})",
+                    a.breaker_trips, a.writer_stats.degraded_reads, a.trace_hash
+                );
+                continue;
+            }
+            println!("seed={seed} partition-heal: {} violation(s)", a.violations.len());
+            violations.push(json!({
+                "seed": seed,
+                "model": "partition-heal",
+                "suppress_recalls": false,
+                "violations": a.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+                "shrunk_events": Option::<Vec<String>>::None,
+                "reproducer": Option::<String>::None,
             }));
         }
     }

@@ -109,6 +109,8 @@ pub struct RecallAction {
 pub struct DelegationTable {
     files: HashMap<Fh3, FileEntry>,
     config: DelegationConfig,
+    /// Delegations revoked server-side by lease expiry (no recall).
+    lease_revocations: u64,
 }
 
 /// A canonical, ordered dump of one file's delegation state, produced by
@@ -128,12 +130,17 @@ pub struct FileSnapshot {
 impl DelegationTable {
     /// Creates an empty table with the given policy.
     pub fn new(config: DelegationConfig) -> Self {
-        DelegationTable { files: HashMap::new(), config }
+        DelegationTable { files: HashMap::new(), config, lease_revocations: 0 }
     }
 
     /// The policy in effect.
     pub fn config(&self) -> &DelegationConfig {
         &self.config
+    }
+
+    /// Delegations revoked server-side by lease expiry (diagnostics).
+    pub fn lease_revocations(&self) -> u64 {
+        self.lease_revocations
     }
 
     /// Registers an access by `client` to `fh` and decides the grant.
@@ -188,28 +195,50 @@ impl DelegationTable {
             return (DelegationGrant::NonCacheable, Vec::new());
         }
 
-        // Collect conflicting delegations held by other clients.
+        // Collect conflicting delegations held by other clients. A
+        // conflicting holder whose renewal lease has lapsed is revoked
+        // on the spot instead of recalled (lease-based revocation): no
+        // recall round trip is spent on a client that stopped renewing
+        // — typically one that is partitioned — so a conflicting writer
+        // is blocked for at most one lease period. The lease is at
+        // least as long as the holder's renewal window, so a revoked
+        // holder has already stopped serving from the delegation; it
+        // learns of the revocation at re-promotion, when its dirty data
+        // goes through the §4.3.4 reconciliation rules.
+        let lease = self.config.lease;
         let mut recalls = Vec::new();
+        let mut lapsed: Vec<u32> = Vec::new();
         for (&other, sharer) in &entry.sharers {
             if other == client {
                 continue;
             }
-            match sharer.delegation {
-                Some(DelegationKind::Write) => recalls.push(RecallAction {
+            let conflict = match sharer.delegation {
+                Some(DelegationKind::Write) => Some(RecallAction {
                     client: other,
                     fh,
                     kind: DelegationKind::Write,
                     requested_offset,
                 }),
-                Some(DelegationKind::Read) if write => recalls.push(RecallAction {
+                Some(DelegationKind::Read) if write => Some(RecallAction {
                     client: other,
                     fh,
                     kind: DelegationKind::Read,
                     requested_offset: None,
                 }),
-                _ => {}
+                _ => None,
+            };
+            if let Some(recall) = conflict {
+                if now.saturating_since(sharer.last_access) >= lease {
+                    lapsed.push(other);
+                } else {
+                    recalls.push(recall);
+                }
             }
         }
+        for other in &lapsed {
+            entry.sharers.remove(other);
+        }
+        self.lease_revocations += lapsed.len() as u64;
 
         if !recalls.is_empty() {
             // Deterministic callback order regardless of map iteration.
@@ -654,6 +683,46 @@ mod tests {
         let actions = t.sweep(T0 + Duration::from_secs(10));
         assert_eq!(t.tracked_files(), 4);
         assert_eq!(actions.len(), 4, "evicted entries are recalled first");
+    }
+
+    #[test]
+    fn lease_expired_holder_revoked_without_recall() {
+        let mut t = table();
+        t.access(fh(1), 1, true, None, T0);
+        assert_eq!(t.held(fh(1), 1), Some(DelegationKind::Write));
+        // 550 s later the lease (540 s) has lapsed: a conflicting writer
+        // proceeds immediately, no recall round trip, holder revoked.
+        let late = T0 + Duration::from_secs(550);
+        let (grant, recalls) = t.access(fh(1), 2, true, None, late);
+        assert!(recalls.is_empty(), "lease lapsed: no recall round trip");
+        assert_eq!(grant, DelegationGrant::Write, "writer unblocks within one lease period");
+        assert_eq!(t.held(fh(1), 1), None, "stale delegation revoked server-side");
+        assert_eq!(t.lease_revocations(), 1);
+    }
+
+    #[test]
+    fn fresh_holder_still_recalled_not_lease_revoked() {
+        let mut t = table();
+        t.access(fh(1), 1, true, None, T0);
+        // Well within the lease: the ordinary recall path applies.
+        let (grant, recalls) = t.access(fh(1), 2, true, None, T0 + Duration::from_secs(100));
+        assert_eq!(grant, DelegationGrant::NonCacheable);
+        assert_eq!(recalls.len(), 1);
+        assert_eq!(t.lease_revocations(), 0);
+    }
+
+    #[test]
+    fn lease_revocation_only_hits_conflicting_holders() {
+        let mut t = table();
+        t.access(fh(1), 1, false, None, T0);
+        // Another READ long past the holder's lease does not conflict
+        // with a read delegation, so nothing is revoked.
+        let late = T0 + Duration::from_secs(550);
+        let (grant, recalls) = t.access(fh(1), 2, false, None, late);
+        assert_eq!(grant, DelegationGrant::Read);
+        assert!(recalls.is_empty());
+        assert_eq!(t.lease_revocations(), 0);
+        assert_eq!(t.held(fh(1), 1), Some(DelegationKind::Read));
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub struct DelegationConfig {
     /// Maximum files tracked in the server's open-file table before LRU
     /// entries are proactively called back and evicted.
     pub max_tracked_files: usize,
+    /// Renewal lease carried by every delegation: a holder that has not
+    /// accessed the file within this period may be revoked server-side
+    /// *without a recall round trip*, so a partitioned holder blocks a
+    /// conflicting writer for at most one lease period instead of a full
+    /// callback timeout. Must be at least as long as `renewal`: the
+    /// client stops trusting its delegation `renewal` after its last
+    /// forwarded access, so by the time the lease lapses the holder is
+    /// no longer serving from it.
+    pub lease: Duration,
 }
 
 impl Default for DelegationConfig {
@@ -67,6 +76,7 @@ impl Default for DelegationConfig {
             renewal: Duration::from_secs(480),
             partial_writeback_threshold: 1024,
             max_tracked_files: 65536,
+            lease: Duration::from_secs(540),
         }
     }
 }
@@ -93,5 +103,6 @@ mod tests {
         assert_eq!(d.renewal, Duration::from_secs(480));
         assert!(d.renewal < d.expiration);
         assert_eq!(d.partial_writeback_threshold, 1024);
+        assert!(d.lease >= d.renewal, "lease-revocation safety needs lease >= renewal");
     }
 }

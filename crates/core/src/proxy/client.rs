@@ -33,15 +33,31 @@ use gvfs_nfs3::{
     MkdirArgs, NfsTime3, Nfsstat3, ReadArgs, ReadRes, ReaddirRes, RenameArgs, SetattrRes,
     StableHow, SymlinkArgs, WccData, WriteArgs, WriteRes,
 };
+use gvfs_rpc::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use gvfs_rpc::channel::PendingCall;
 use gvfs_rpc::dispatch::RpcService;
 use gvfs_rpc::RpcError;
 use gvfs_xdr::Xdr;
 use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Deterministic per-client retry jitter: a hash of `(client_id,
+/// attempt)` spreads N clients' k-th retransmissions across
+/// `[0, delay/2)`, so a heal after a shared partition is not greeted by
+/// a synchronized retry storm. `DefaultHasher` has fixed keys, so the
+/// schedule is reproducible across runs — the simulator's determinism
+/// contract holds.
+pub fn retry_jitter(client_id: u32, attempt: u32, delay: Duration) -> Duration {
+    let mut hasher = DefaultHasher::new();
+    (client_id, attempt).hash(&mut hasher);
+    let slot = (hasher.finish() % 1024) as u32;
+    delay * slot / 2048
+}
 
 #[derive(Debug, Default)]
 struct ClientState {
@@ -85,6 +101,17 @@ pub struct ProxyClientStats {
     /// Files whose dirty data was discarded during crash recovery
     /// because the server-side copy changed during the outage (§4.3.4).
     pub corrupted_discards: u64,
+    /// READ and GETATTR calls answered from cache by the degradation
+    /// ladder's bounded-staleness rung while the WAN breaker was open.
+    pub degraded_reads: u64,
+    /// Files whose dirty data was discarded during post-heal
+    /// re-promotion because the server-side copy changed during the
+    /// outage (the lease-revocation analogue of `corrupted_discards`;
+    /// the file is *not* poisoned — fresh data is refetched).
+    pub stale_discards: u64,
+    /// Times the supervisor re-promoted the session to full delegation
+    /// semantics after an outage healed.
+    pub repromotions: u64,
 }
 
 /// One fetch (demand gap or speculative read-ahead) in flight over the
@@ -153,6 +180,24 @@ pub struct ProxyClient {
     readahead: Mutex<ReadAheadState>,
     fetch_token: AtomicU64,
     stats: Mutex<ProxyClientStats>,
+    /// Per-peer WAN health: fed by every forwarded call's outcome,
+    /// consulted by the degradation ladder and the supervisor.
+    breaker: CircuitBreaker,
+    /// Maximum transparent retransmissions per forwarded call.
+    retry_budget: AtomicU32,
+    /// Ladder engagement delay, milliseconds (see `SessionConfig`).
+    degrade_after_ms: AtomicU64,
+    /// Bounded-staleness limit for degraded serving, milliseconds;
+    /// 0 disables the ladder (hard-retry through outages).
+    max_staleness_ms: AtomicU64,
+    /// Set when the breaker degrades a delegation session: the held
+    /// delegations may have been revoked server-side, so the supervisor
+    /// must resync before trusting them again.
+    needs_resync: AtomicBool,
+    /// Last whole-cache validation point (a successful `GETINV`
+    /// exchange), in virtual milliseconds since the epoch; 0 = never.
+    last_validated_ms: AtomicU64,
+    supervisor: Mutex<Option<gvfs_netsim::ActorHandle>>,
 }
 
 impl std::fmt::Debug for ProxyClient {
@@ -169,6 +214,15 @@ fn encode<T: Xdr>(value: &T) -> Result<Vec<u8>, RpcError> {
     Ok(gvfs_xdr::to_bytes(value)?)
 }
 
+/// Outcome of a forwarded WAN call that may escape to the degradation
+/// ladder instead of blocking through an outage.
+enum Forwarded {
+    /// The call completed; the unwrapped NFS bytes follow.
+    Replied(Vec<u8>),
+    /// The ladder engaged mid-retry: the caller serves from cache.
+    Degraded,
+}
+
 impl ProxyClient {
     /// Creates a proxy client.
     ///
@@ -181,6 +235,7 @@ impl ProxyClient {
         wan: SimRpcClient,
         cache_bytes: usize,
     ) -> Arc<Self> {
+        let breaker = CircuitBreaker::new(BreakerConfig::default()).with_stats(wan.stats().clone());
         Arc::new(ProxyClient {
             id,
             model,
@@ -198,6 +253,15 @@ impl ProxyClient {
             readahead: Mutex::new(ReadAheadState { window: 8, trigger: 2, files: HashMap::new() }),
             fetch_token: AtomicU64::new(0),
             stats: Mutex::new(ProxyClientStats::default()),
+            breaker,
+            retry_budget: AtomicU32::new(600),
+            degrade_after_ms: AtomicU64::new(2_000),
+            // The ladder stays off until the session middleware opts in
+            // via `set_resilience`: a bare client hard-retries.
+            max_staleness_ms: AtomicU64::new(0),
+            needs_resync: AtomicBool::new(false),
+            last_validated_ms: AtomicU64::new(0),
+            supervisor: Mutex::new(None),
         })
     }
 
@@ -224,6 +288,36 @@ impl ProxyClient {
         let mut ra = self.readahead.lock();
         ra.window = window;
         ra.trigger = trigger.max(1);
+    }
+
+    /// Configures the resilience knobs: the retry budget for forwarded
+    /// calls, how long the breaker must be open before the degradation
+    /// ladder engages, and the bounded-staleness limit for degraded
+    /// serving (`None` disables the ladder — hard-retry semantics).
+    pub fn set_resilience(
+        &self,
+        retry_budget: u32,
+        degrade_after: Duration,
+        max_staleness: Option<Duration>,
+    ) {
+        self.retry_budget.store(retry_budget, Ordering::SeqCst);
+        let degrade_ms = u64::try_from(degrade_after.as_millis()).unwrap_or(u64::MAX);
+        self.degrade_after_ms.store(degrade_ms, Ordering::SeqCst);
+        let staleness_ms = max_staleness
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1))
+            .unwrap_or(0);
+        self.max_staleness_ms.store(staleness_ms, Ordering::SeqCst);
+    }
+
+    /// This client's WAN health breaker (diagnostics).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Virtual time as a `Duration` since the simulation epoch (the
+    /// breaker's clock representation).
+    fn now_dur() -> Duration {
+        gvfs_netsim::now().saturating_since(SimTime::ZERO)
     }
 
     /// This client's session-local id.
@@ -270,34 +364,104 @@ impl ProxyClient {
     /// One wrapped WAN call; applies the piggybacked grant for `target`.
     ///
     /// Transport failures (partition, proxy server down) are retried
-    /// with backoff: a user-level proxy simply holds the kernel's
-    /// request until the upstream answers, exactly as a hard NFS mount
-    /// over TCP behaves.
+    /// with jittered exponential backoff up to the configured retry
+    /// budget: a user-level proxy simply holds the kernel's request
+    /// until the upstream answers, exactly as a hard NFS mount over TCP
+    /// behaves.
     fn forward(
         &self,
         procedure: u32,
         args: Vec<u8>,
         target: Option<Fh3>,
     ) -> Result<Vec<u8>, RpcError> {
+        match self.forward_wan(procedure, args, target, false)? {
+            Forwarded::Replied(bytes) => Ok(bytes),
+            // With `degrade` off the retry loop only ends in a reply or
+            // an error; this arm is unreachable but must not panic.
+            Forwarded::Degraded => Err(RpcError::Unreachable),
+        }
+    }
+
+    /// The retrying WAN call behind [`ProxyClient::forward`]. Every
+    /// outcome feeds the health breaker; with `degrade` set, the loop
+    /// re-checks the degradation ladder before each attempt and escapes
+    /// with [`Forwarded::Degraded`] once it engages, so a read that was
+    /// already blocked when the breaker opened reaches the cache instead
+    /// of sleeping through the whole outage.
+    fn forward_wan(
+        &self,
+        procedure: u32,
+        args: Vec<u8>,
+        target: Option<Fh3>,
+        degrade: bool,
+    ) -> Result<Forwarded, RpcError> {
         const RETRY_CAP: Duration = Duration::from_secs(60);
+        let budget = self.retry_budget.load(Ordering::SeqCst);
         let mut attempts = 0u32;
         let mut delay = Duration::from_secs(1);
         let bytes = loop {
+            if degrade && self.degraded_now() {
+                return Ok(Forwarded::Degraded);
+            }
+            let started = Self::now_dur();
             match self.wan.call(GVFS_PROXY_PROGRAM, GVFS_VERSION, procedure, args.clone()) {
-                Ok(bytes) => break bytes,
-                Err(e) if e.is_transient() && attempts < 86_400 => {
+                Ok(bytes) => {
+                    let now = Self::now_dur();
+                    self.breaker.on_success(now, now.saturating_sub(started));
+                    break bytes;
+                }
+                Err(e) if e.is_transient() && attempts < budget => {
                     // Exponential back-off, like the empty-poll path: a
                     // long partition costs O(log) attempts, not one per
-                    // second.
+                    // second. The jitter decorrelates parallel clients'
+                    // post-heal retransmissions.
+                    self.note_wan_failure(&e);
                     attempts += 1;
                     self.stats.lock().transport_retries += 1;
-                    gvfs_netsim::sleep(delay);
+                    gvfs_netsim::sleep(delay + retry_jitter(self.id, attempts, delay));
                     delay = (delay * 2).min(RETRY_CAP);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.note_wan_failure(&e);
+                    return Err(e);
+                }
             }
         };
-        self.absorb_reply(target, &bytes)
+        self.absorb_reply(target, &bytes).map(Forwarded::Replied)
+    }
+
+    /// Feeds one failed WAN call into the breaker and, once the breaker
+    /// degrades a delegation session, flags the post-heal resync.
+    fn note_wan_failure(&self, e: &RpcError) {
+        if !e.trips_breaker() {
+            return;
+        }
+        let now = Self::now_dur();
+        self.breaker.on_failure(now);
+        if self.breaker.state(now).is_degraded()
+            && matches!(self.model, ConsistencyModel::DelegationCallback(_))
+        {
+            // Held delegations may be revoked server-side (lease expiry,
+            // short-circuited recalls) while we cannot hear the recalls.
+            self.needs_resync.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether the degradation ladder is engaged right now: enabled,
+    /// delegation model, and the breaker open (or probing) for at least
+    /// `degrade_after`.
+    fn degraded_now(&self) -> bool {
+        if self.max_staleness_ms.load(Ordering::SeqCst) == 0
+            || !matches!(self.model, ConsistencyModel::DelegationCallback(_))
+        {
+            return false;
+        }
+        let now = Self::now_dur();
+        if !self.breaker.state(now).is_degraded() {
+            return false;
+        }
+        let degrade_after = Duration::from_millis(self.degrade_after_ms.load(Ordering::SeqCst));
+        self.breaker.open_for(now).is_some_and(|open| open >= degrade_after)
     }
 
     /// Unwraps one proxy-program reply: counts it, applies the
@@ -339,7 +503,28 @@ impl ProxyClient {
                 return encode(&GetattrRes::Ok(attr));
             }
         }
-        let reply = self.forward(proc3::GETATTR, args.to_vec(), Some(a.object))?;
+        // Degradation ladder: `noac` kernels revalidate attributes
+        // before every read, so the bounded-staleness rung must answer
+        // GETATTR too — otherwise reads block on the dead WAN one RPC
+        // before the READ the rung was built for.
+        if self.degraded_now() {
+            if let Some(reply) = self.serve_degraded_getattr(a.object)? {
+                return Ok(reply);
+            }
+        }
+        let reply = match self.forward_wan(proc3::GETATTR, args.to_vec(), Some(a.object), true)? {
+            Forwarded::Replied(bytes) => bytes,
+            Forwarded::Degraded => {
+                // The breaker opened while this GETATTR was blocked
+                // mid-retry: escape to the cached attributes if the
+                // staleness bound allows, otherwise keep blocking like a
+                // hard mount.
+                match self.serve_degraded_getattr(a.object)? {
+                    Some(reply) => return Ok(reply),
+                    None => self.forward(proc3::GETATTR, args.to_vec(), Some(a.object))?,
+                }
+            }
+        };
         match gvfs_xdr::from_bytes::<GetattrRes>(&reply) {
             Ok(GetattrRes::Ok(attr)) => self.disk.lock().put_attr(a.object, attr),
             Ok(GetattrRes::Fail(Nfsstat3::Stale)) => {
@@ -471,7 +656,27 @@ impl ProxyClient {
                 return Ok(reply);
             }
         }
-        let reply = self.forward(proc3::READ, args.to_vec(), Some(a.file))?;
+        // Degradation ladder: while the WAN breaker is open, answer from
+        // sufficiently fresh cached state instead of blocking on a
+        // partitioned upstream (bounded staleness, §4 tailored per
+        // session).
+        if self.degraded_now() {
+            if let Some(reply) = self.serve_degraded_read(&a)? {
+                return Ok(reply);
+            }
+        }
+        let reply = match self.forward_wan(proc3::READ, args.to_vec(), Some(a.file), true)? {
+            Forwarded::Replied(bytes) => bytes,
+            Forwarded::Degraded => {
+                // The breaker opened while this read was blocked
+                // mid-retry: escape to the cache if the staleness bound
+                // allows, otherwise keep blocking like a hard mount.
+                match self.serve_degraded_read(&a)? {
+                    Some(reply) => return Ok(reply),
+                    None => self.forward(proc3::READ, args.to_vec(), Some(a.file))?,
+                }
+            }
+        };
         if let Ok(ReadRes::Ok { file_attributes, data, eof, .. }) =
             gvfs_xdr::from_bytes::<ReadRes>(&reply)
         {
@@ -504,6 +709,83 @@ impl ProxyClient {
             }
         }
         Ok(reply)
+    }
+
+    /// Serves a READ from the disk cache under the bounded-staleness
+    /// rung of the degradation ladder. The cached state qualifies only
+    /// if it was validated against the server within `max_staleness`:
+    /// the validation point is the newer of the last successful `GETINV`
+    /// exchange (which carries every invalidation the server saw, so it
+    /// vouches for the whole cache) and the file's own last forwarded
+    /// access. Returns `Ok(None)` when the state is too old or absent —
+    /// the caller then blocks on the WAN like a hard mount.
+    fn serve_degraded_read(&self, a: &ReadArgs) -> Result<Option<Vec<u8>>, RpcError> {
+        if !self.degraded_fresh_enough(a.file) {
+            return Ok(None);
+        }
+        let (attr, end, data) = {
+            let mut disk = self.disk.lock();
+            let Some(attr) = disk.attr(a.file) else { return Ok(None) };
+            let end = (a.offset + u64::from(a.count)).min(attr.size);
+            let len = end.saturating_sub(a.offset) as usize;
+            match disk.read(a.file, a.offset, len) {
+                Some(data) => (attr, end, data),
+                None => return Ok(None),
+            }
+        };
+        {
+            let mut stats = self.stats.lock();
+            stats.degraded_reads += 1;
+            stats.served_local += 1;
+        }
+        let res = ReadRes::Ok {
+            file_attributes: Some(attr),
+            count: data.len() as u32,
+            eof: end >= attr.size,
+            data,
+        };
+        encode(&res).map(Some)
+    }
+
+    /// Whether `fh`'s cached state is fresh enough for the ladder's
+    /// bounded-staleness rung: validated against the server within
+    /// `max_staleness`, where the validation point is the newer of the
+    /// last successful `GETINV` exchange (which carries every
+    /// invalidation the server saw, so it vouches for the whole cache)
+    /// and the file's own last forwarded access.
+    fn degraded_fresh_enough(&self, fh: Fh3) -> bool {
+        let staleness = Duration::from_millis(self.max_staleness_ms.load(Ordering::SeqCst));
+        let now = gvfs_netsim::now();
+        let validated_ms = self.last_validated_ms.load(Ordering::SeqCst);
+        let mut age = Self::now_dur().saturating_sub(Duration::from_millis(validated_ms));
+        if validated_ms == 0 {
+            // Never polled: only the file's own forwarding history can
+            // vouch for it.
+            age = Duration::MAX;
+        }
+        if let Some(t) = self.state.lock().last_forward.get(&fh) {
+            age = age.min(now.saturating_since(*t));
+        }
+        age <= staleness
+    }
+
+    /// Serves a GETATTR from cached attributes under the same
+    /// bounded-staleness rung as [`ProxyClient::serve_degraded_read`].
+    /// Attribute refreshes gate every kernel read (`noac` clients
+    /// revalidate per operation), so degraded serving must cover them or
+    /// the read path blocks on the dead WAN before the READ is even
+    /// issued.
+    fn serve_degraded_getattr(&self, fh: Fh3) -> Result<Option<Vec<u8>>, RpcError> {
+        if !self.degraded_fresh_enough(fh) {
+            return Ok(None);
+        }
+        let Some(attr) = self.disk.lock().attr(fh) else { return Ok(None) };
+        {
+            let mut stats = self.stats.lock();
+            stats.degraded_reads += 1;
+            stats.served_local += 1;
+        }
+        encode(&GetattrRes::Ok(attr)).map(Some)
     }
 
     // --- pipelined read path & read-ahead -----------------------------
@@ -1100,9 +1382,27 @@ impl ProxyClient {
         loop {
             let last = *self.poll_ts.lock();
             let args = gvfs_xdr::to_bytes(&GetinvArgs { last_timestamp: last }).ok()?;
+            let started = Self::now_dur();
             let bytes =
-                self.wan.call(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc_ext::GETINV, args).ok()?;
+                match self.wan.call(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc_ext::GETINV, args) {
+                    Ok(bytes) => {
+                        let now = Self::now_dur();
+                        self.breaker.on_success(now, now.saturating_sub(started));
+                        bytes
+                    }
+                    Err(e) => {
+                        self.note_wan_failure(&e);
+                        return None;
+                    }
+                };
             let res: GetinvRes = gvfs_xdr::from_bytes(&bytes).ok()?;
+            // A successful exchange validates the whole cache as of its
+            // send time: the reply carries every invalidation since the
+            // previous poll, so anything still cached is provably
+            // current up to `started`. This is what the degradation
+            // ladder's bounded-staleness rung measures age against.
+            let started_ms = u64::try_from(started.as_millis()).unwrap_or(u64::MAX);
+            self.last_validated_ms.fetch_max(started_ms, Ordering::SeqCst);
             if std::env::var_os("GVFS_DEBUG_POLL").is_some() {
                 eprintln!(
                     "[{}] poller id={} getinv last={last:?} -> ts={} force={} n={}",
@@ -1340,13 +1640,79 @@ impl ProxyClient {
         }
     }
 
-    /// Stops the poller and flusher actors.
+    // --- WAN health supervision -----------------------------------------
+
+    /// Runs the WAN health supervisor until shutdown: while the breaker
+    /// is degraded it paces half-open probes (a `GETINV`, which doubles
+    /// as a whole-cache validation point on success), and after a heal
+    /// it re-promotes the session to full delegation semantics. Spawn
+    /// this on its own actor (the session middleware does, for
+    /// delegation-model sessions with the ladder enabled).
+    pub fn run_supervisor(self: &Arc<Self>) {
+        const TICK: Duration = Duration::from_secs(1);
+        *self.supervisor.lock() = Some(gvfs_netsim::current_actor());
+        loop {
+            gvfs_netsim::park_timeout(TICK);
+            if self.stopped.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.breaker.state(Self::now_dur()) {
+                // Open: the cooldown has not elapsed; wait it out.
+                BreakerState::Open => {}
+                // Probe. Success closes the breaker and advances the
+                // validation point; failure re-opens it with a doubled
+                // cooldown. Either way `poll_once` feeds the breaker.
+                BreakerState::HalfOpen => {
+                    self.poll_once();
+                }
+                BreakerState::Closed => {
+                    if self.needs_resync.swap(false, Ordering::SeqCst) {
+                        self.repromote();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-promotes the session after an outage healed. The delegations
+    /// held before the outage may have been revoked server-side (lease
+    /// expiry, short-circuited recalls) without this client hearing the
+    /// recalls, so they are dropped wholesale and re-acquired through
+    /// normal forwarding; dirty write-back data is reconciled against
+    /// the server under the crash-recovery rules — replayed only when
+    /// the server copy is provably unchanged (§4.3.4). Unlike a crash,
+    /// a conflicting change does not poison the file: the stale dirty
+    /// data is dropped and fresh data refetched, so applications see a
+    /// consistent (if late) view instead of a permanent I/O error.
+    fn repromote(&self) {
+        // Drain the invalidation stream first: every file the server
+        // saw modified during the outage loses its cached attributes,
+        // so post-heal reads revalidate instead of serving outage-stale
+        // data. A failed poll means the heal was illusory — retry on a
+        // later tick.
+        if self.poll_once().is_none() {
+            self.needs_resync.store(true, Ordering::SeqCst);
+            return;
+        }
+        {
+            let mut st = self.state.lock();
+            st.delegations.clear();
+            st.noncacheable.clear();
+        }
+        self.reconcile_dirty(false);
+        self.stats.lock().repromotions += 1;
+    }
+
+    /// Stops the poller, flusher, and supervisor actors.
     pub fn shutdown(&self) {
         self.stopped.store(true, Ordering::SeqCst);
         if let Some(h) = self.poller.lock().clone() {
             h.unpark();
         }
         if let Some(h) = self.flusher.lock().clone() {
+            h.unpark();
+        }
+        if let Some(h) = self.supervisor.lock().clone() {
             h.unpark();
         }
     }
@@ -1449,13 +1815,25 @@ impl ProxyClient {
             st.last_forward.clear();
         }
         *self.poll_ts.lock() = None; // next GETINV bootstraps with null
-        let dirty = {
+        self.last_validated_ms.store(0, Ordering::SeqCst);
+        {
             let mut disk = self.disk.lock();
             disk.invalidate_all_attrs();
             self.cancel_all_prefetch();
-            disk.dirty_files()
-        };
-        let mut corrupted = Vec::new();
+        }
+        self.reconcile_dirty(true)
+    }
+
+    /// Reconciles every dirty file against the server (§4.3.4): the
+    /// dirty data is replayed only when the server copy is provably
+    /// unchanged since it accumulated (`wb_base` mtime match) —
+    /// otherwise it is discarded, with `poison` deciding whether the
+    /// file is additionally marked corrupted (crash recovery) or just
+    /// dropped for refetch (post-heal re-promotion). Returns the
+    /// discarded handles.
+    fn reconcile_dirty(&self, poison: bool) -> Vec<Fh3> {
+        let dirty = self.disk.lock().dirty_files();
+        let mut discarded = Vec::new();
         for fh in dirty {
             let base = self.state.lock().wb_base.get(&fh).copied();
             let current = gvfs_xdr::to_bytes(&GetattrArgs { object: fh })
@@ -1496,13 +1874,21 @@ impl ProxyClient {
                 drop(disk);
                 let mut st = self.state.lock();
                 st.wb_base.remove(&fh);
-                st.corrupted.insert(fh);
+                if poison {
+                    st.corrupted.insert(fh);
+                }
                 drop(st);
-                self.stats.lock().corrupted_discards += 1;
-                corrupted.push(fh);
+                let mut stats = self.stats.lock();
+                if poison {
+                    stats.corrupted_discards += 1;
+                } else {
+                    stats.stale_discards += 1;
+                }
+                drop(stats);
+                discarded.push(fh);
             }
         }
-        corrupted
+        discarded
     }
 }
 
@@ -1557,6 +1943,61 @@ impl RpcService for CallbackService {
                 program: crate::protocol::GVFS_CALLBACK_PROGRAM,
                 procedure: p,
             }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::retry_jitter;
+    use std::time::Duration;
+
+    #[test]
+    fn retry_jitter_stays_under_half_the_delay_and_reproduces() {
+        for delay in [Duration::from_secs(1), Duration::from_secs(8), Duration::from_secs(60)] {
+            for client in 0..8u32 {
+                for attempt in 1..=8u32 {
+                    let j = retry_jitter(client, attempt, delay);
+                    assert!(j < delay / 2, "jitter {j:?} must stay in [0, {delay:?}/2)");
+                    assert_eq!(
+                        j,
+                        retry_jitter(client, attempt, delay),
+                        "the schedule must be reproducible for the determinism contract"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Clients cut by one shared partition back off in lockstep without
+    /// jitter, so the heal would be greeted by a synchronized retry
+    /// storm. The per-client hash must spread them: no two clients may
+    /// share a retransmission schedule, and each round's offsets must
+    /// actually scatter instead of clustering on a few slots.
+    #[test]
+    fn retry_jitter_decorrelates_parallel_clients() {
+        let delay = Duration::from_secs(8);
+        let schedules: Vec<Vec<Duration>> = (0..16u32)
+            .map(|client| (1..=6u32).map(|a| retry_jitter(client, a, delay)).collect())
+            .collect();
+        for i in 0..schedules.len() {
+            for j in i + 1..schedules.len() {
+                assert_ne!(
+                    schedules[i], schedules[j],
+                    "clients {i} and {j} would retransmit in lockstep after a heal"
+                );
+            }
+        }
+        for attempt in 0..6 {
+            let mut offsets: Vec<Duration> = schedules.iter().map(|s| s[attempt]).collect();
+            offsets.sort();
+            offsets.dedup();
+            assert!(
+                offsets.len() >= schedules.len() / 2,
+                "round {attempt} clusters on {} slot(s) across {} clients",
+                offsets.len(),
+                schedules.len()
+            );
         }
     }
 }

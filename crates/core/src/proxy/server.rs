@@ -40,7 +40,9 @@ use crate::protocol::{
 };
 use crate::proxy::{block_of, classify, OpClass};
 use gvfs_netsim::transport::SimRpcClient;
+use gvfs_netsim::SimTime;
 use gvfs_nfs3::{proc3, Fh3, LookupArgs, LookupRes, NFS_PROGRAM, NFS_V3};
+use gvfs_rpc::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use gvfs_rpc::channel::PendingCall;
 use gvfs_rpc::dispatch::RpcService;
 use gvfs_rpc::message::OpaqueAuth;
@@ -49,6 +51,13 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Virtual time as a `Duration` since the simulation epoch (the
+/// breaker's clock representation).
+fn now_dur() -> Duration {
+    gvfs_netsim::now().saturating_since(SimTime::ZERO)
+}
 
 /// Number of delegation shards. Shard choice hashes the file handle, so
 /// all state for one file lives in exactly one shard; the per-shard
@@ -99,8 +108,16 @@ pub struct ProxyServer {
     recall_suppressed: AtomicBool,
     /// Recall callbacks actually put on the wire.
     recalls_sent: AtomicU64,
+    /// Recalls short-circuited because the target's breaker was open.
+    recalls_short_circuited: AtomicU64,
     /// `RECOVER` multicast rounds performed after a restart.
     recover_rounds: AtomicU64,
+    /// Per-client WAN health, fed by recall outcomes: a recall to a
+    /// breaker-open client is short-circuited (the holder is revoked as
+    /// unreachable immediately) instead of burning a callback timeout
+    /// per conflicting access. Guards are scoped to the map lookup and
+    /// never held across the wire or another lock.
+    health: Mutex<HashMap<u32, Arc<CircuitBreaker>>>,
 }
 
 impl std::fmt::Debug for ProxyServer {
@@ -131,8 +148,20 @@ impl ProxyServer {
             persisted_clients: Mutex::new(HashSet::new()),
             recall_suppressed: AtomicBool::new(false),
             recalls_sent: AtomicU64::new(0),
+            recalls_short_circuited: AtomicU64::new(0),
             recover_rounds: AtomicU64::new(0),
+            health: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// The health breaker for one client, created closed on first use.
+    fn client_breaker(&self, client: u32) -> Arc<CircuitBreaker> {
+        let mut health = self.health.lock();
+        Arc::clone(
+            health
+                .entry(client)
+                .or_insert_with(|| Arc::new(CircuitBreaker::new(BreakerConfig::default()))),
+        )
     }
 
     /// The shard owning `fh`'s delegation state.
@@ -274,6 +303,16 @@ impl ProxyServer {
         self.recalls_sent.load(Ordering::SeqCst)
     }
 
+    /// Recalls short-circuited because the target's breaker was open.
+    pub fn recalls_short_circuited(&self) -> u64 {
+        self.recalls_short_circuited.load(Ordering::SeqCst)
+    }
+
+    /// Delegations revoked server-side by lease expiry, across shards.
+    pub fn lease_revocations(&self) -> u64 {
+        self.shards.iter().map(|s| s.deleg.lock().lease_revocations()).sum()
+    }
+
     /// `RECOVER` multicast rounds performed since construction.
     pub fn recover_rounds(&self) -> u64 {
         self.recover_rounds.load(Ordering::SeqCst)
@@ -306,6 +345,14 @@ impl ProxyServer {
             // class the chaos oracles exist to catch.
             return None;
         }
+        // Health short-circuit: a recall to a client whose breaker is
+        // open would only burn a callback timeout before reaching the
+        // same "revoked as unreachable" outcome — take it immediately.
+        // A half-open breaker lets the recall through as the probe.
+        if self.client_breaker(action.client).state(now_dur()) == BreakerState::Open {
+            self.recalls_short_circuited.fetch_add(1, Ordering::SeqCst);
+            return None;
+        }
         let transport = self.callbacks.read().get(&action.client).cloned();
         let transport = transport?;
         let kind = match action.kind {
@@ -314,10 +361,22 @@ impl ProxyServer {
         };
         let args = CallbackArgs { fh: action.fh, kind, requested_offset: action.requested_offset };
         let encoded = gvfs_xdr::to_bytes(&args).unwrap_or_default();
-        let sent = transport
-            .send(GVFS_CALLBACK_PROGRAM, GVFS_VERSION, proc_ext::CALLBACK, encoded)
-            .ok()
-            .map(|call| (transport, call));
+        let sent = match transport.send(
+            GVFS_CALLBACK_PROGRAM,
+            GVFS_VERSION,
+            proc_ext::CALLBACK,
+            encoded,
+        ) {
+            Ok(call) => Some((transport, call)),
+            Err(e) => {
+                // A partitioned client fails at send time: feed the
+                // breaker here so later recalls short-circuit.
+                if e.trips_breaker() {
+                    self.client_breaker(action.client).on_failure(now_dur());
+                }
+                None
+            }
+        };
         if sent.is_some() {
             self.recalls_sent.fetch_add(1, Ordering::SeqCst);
         }
@@ -330,12 +389,25 @@ impl ProxyServer {
     /// after recovery, §4.3.4).
     fn finish_recall(&self, action: &RecallAction, call: Option<(SimRpcClient, PendingCall)>) {
         let pending_blocks = match call {
-            Some((transport, call)) => match transport.wait_pending(call) {
-                Ok(bytes) => gvfs_xdr::from_bytes::<CallbackRes>(&bytes)
-                    .map(|r| r.pending_blocks)
-                    .unwrap_or_default(),
-                Err(_) => Vec::new(),
-            },
+            Some((transport, call)) => {
+                let breaker = self.client_breaker(action.client);
+                let started = now_dur();
+                match transport.wait_pending(call) {
+                    Ok(bytes) => {
+                        let now = now_dur();
+                        breaker.on_success(now, now.saturating_sub(started));
+                        gvfs_xdr::from_bytes::<CallbackRes>(&bytes)
+                            .map(|r| r.pending_blocks)
+                            .unwrap_or_default()
+                    }
+                    Err(e) => {
+                        if e.trips_breaker() {
+                            breaker.on_failure(now_dur());
+                        }
+                        Vec::new()
+                    }
+                }
+            }
             None => Vec::new(),
         };
         self.deleg_shard(action.fh).deleg.lock().recall_done(
@@ -479,9 +551,13 @@ impl ProxyServer {
 
         let nfs_bytes = self.forward(procedure, args)?;
 
-        if matches!(self.model, ConsistencyModel::InvalidationPolling { .. })
-            && class.is_modification()
-        {
+        // Invalidations are recorded for every caching model, not just
+        // polling: a delegation client whose breaker opened degrades to
+        // invalidation-polling semantics, and its GETINV probes must see
+        // the modifications it missed. Buffers only exist for clients
+        // that have actually polled, so under healthy delegation
+        // sessions this records into zero buffers.
+        if self.model.caches() && class.is_modification() {
             self.record_invalidations(&class, client, &removed_targets);
         }
 

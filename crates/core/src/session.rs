@@ -92,6 +92,21 @@ pub struct SessionConfig {
     /// Number of consecutive sequential reads that arms the
     /// read-ahead window.
     pub readahead_trigger: usize,
+    /// Maximum transparent retransmissions of one forwarded call before
+    /// the proxy gives up and surfaces the transport error (hard-mount
+    /// semantics bounded by a budget instead of the clock). Back-off
+    /// between attempts is exponential with per-client jitter.
+    pub retry_budget: u32,
+    /// How long a client's WAN breaker must have been open before the
+    /// degradation ladder engages and cached reads are served without
+    /// revalidation (delegation model only; see `max_staleness`).
+    pub degrade_after: Duration,
+    /// Bounded-staleness limit for degraded serving: while the breaker
+    /// is open, a cached read is answered locally only if the cache was
+    /// validated against the server within this window. `None` disables
+    /// the degradation ladder entirely — forwarded calls hard-retry
+    /// through the outage (the availability ablation's baseline arm).
+    pub max_staleness: Option<Duration>,
 }
 
 impl Default for SessionConfig {
@@ -108,6 +123,9 @@ impl Default for SessionConfig {
             pipeline_read: true,
             readahead_window: 8,
             readahead_trigger: 2,
+            retry_budget: 600,
+            degrade_after: Duration::from_secs(2),
+            max_staleness: Some(Duration::from_secs(120)),
         }
     }
 }
@@ -222,6 +240,7 @@ impl SessionBuilder {
             proxy.set_pipelining(config.pipeline_writeback);
             proxy.set_read_pipelining(config.pipeline_read);
             proxy.set_readahead(config.readahead_window, config.readahead_trigger);
+            proxy.set_resilience(config.retry_budget, config.degrade_after, config.max_staleness);
 
             // Callback service node, reached from the proxy server over
             // the reverse WAN direction.
@@ -266,6 +285,16 @@ impl SessionBuilder {
             {
                 let p = Arc::clone(&proxy);
                 sim.spawn(&format!("flusher-{id}"), move || p.run_flusher());
+            }
+            // The WAN health supervisor drives half-open probes and
+            // post-heal re-promotion for the degradation ladder; only
+            // the delegation model degrades (polling sessions already
+            // serve stale-bounded reads by construction).
+            if matches!(config.model, ConsistencyModel::DelegationCallback(_))
+                && config.max_staleness.is_some()
+            {
+                let p = Arc::clone(&proxy);
+                sim.spawn(&format!("supervisor-{id}"), move || p.run_supervisor());
             }
 
             clients.push(ClientEnd { proxy, node: pc_node, loopback, wan_link, cb_node });

@@ -30,6 +30,18 @@ use std::time::Duration;
 pub const POLL_PERIOD: Duration = Duration::from_secs(5);
 /// Poll back-off cap used by chaos polling scenarios.
 pub const POLL_BACKOFF_MAX: Duration = Duration::from_secs(30);
+/// Delegation renewal window used by chaos delegation scenarios.
+pub const DELEG_RENEWAL: Duration = Duration::from_secs(20);
+/// Delegation lease used by chaos delegation scenarios: a partitioned
+/// holder blocks a conflicting writer for at most this long before the
+/// server revokes it without a recall round trip.
+pub const DELEG_LEASE: Duration = Duration::from_secs(30);
+/// Bounded-staleness limit the degradation ladder enforces while a
+/// chaos client's WAN breaker is open. The oracle's degraded-mode rule
+/// is calibrated against this value.
+pub const MAX_STALENESS: Duration = Duration::from_secs(30);
+/// How long a breaker must stay open before chaos clients degrade.
+pub const DEGRADE_AFTER: Duration = Duration::from_secs(2);
 
 /// Which consistency model a scenario exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,10 +96,13 @@ impl ModelKind {
             ModelKind::Delegation => SessionConfig {
                 model: ConsistencyModel::DelegationCallback(DelegationConfig {
                     expiration: Duration::from_secs(90),
-                    renewal: Duration::from_secs(20),
+                    renewal: DELEG_RENEWAL,
+                    lease: DELEG_LEASE,
                     ..DelegationConfig::default()
                 }),
                 write_back: true,
+                degrade_after: DEGRADE_AFTER,
+                max_staleness: Some(MAX_STALENESS),
                 ..SessionConfig::default()
             },
         }

@@ -12,10 +12,12 @@ pub mod driver;
 pub mod history;
 pub mod oracle;
 pub mod plan;
+pub mod scenario;
 pub mod shrink;
 
 pub use driver::{run_scenario, run_with_events, ChaosReport, ModelKind, ScenarioConfig};
 pub use history::{Event, History, Observation};
 pub use oracle::{Violation, ViolationKind};
 pub use plan::{compile_fault_plans, generate_events, FaultEvent};
+pub use scenario::{run_partition_heal, PartitionHealReport};
 pub use shrink::{format_reproducer, shrink_failure, Shrunk};

@@ -25,7 +25,7 @@
 //! strict — which is exactly how the suppressed-recall breakage knob is
 //! caught on a fault-free run.
 
-use crate::chaos::driver::ModelKind;
+use crate::chaos::driver::{ModelKind, DELEG_RENEWAL, MAX_STALENESS};
 use crate::chaos::history::{Event, Observation};
 use crate::chaos::plan::FaultEvent;
 use gvfs_netsim::SimTime;
@@ -113,6 +113,40 @@ fn disturbed(from: SimTime, to: SimTime, events: &[FaultEvent]) -> Duration {
         }
     }
     total
+}
+
+/// Degraded-mode freshness cap (delegation only). While a client's WAN
+/// link is partitioned or lossy its breaker opens and the degradation
+/// ladder takes over: cached reads are served only while the cache was
+/// validated against the server within [`MAX_STALENESS`], and a holder
+/// may have served without revalidation for up to [`DELEG_RENEWAL`]
+/// before that. So even though [`disturbed`] stretches the bound with
+/// the fault window, a read *started inside the reading client's own
+/// partition/drop window* must never lag an acknowledged write by more
+/// than `base + DELEG_RENEWAL + MAX_STALENESS` — the ladder promises
+/// bounded staleness, and this rule is what holds it to that promise
+/// (without it, a long window would excuse arbitrarily stale degraded
+/// serving).
+fn degraded_cap(
+    model: ModelKind,
+    client: usize,
+    started: SimTime,
+    events: &[FaultEvent],
+) -> Option<Duration> {
+    if !matches!(model, ModelKind::Delegation) {
+        return None;
+    }
+    let at = started.saturating_since(SimTime::ZERO);
+    let in_own_window = events.iter().any(|ev| match *ev {
+        FaultEvent::Partition { client: c, at_ms, dur_ms }
+        | FaultEvent::Drop { client: c, at_ms, dur_ms, .. } => {
+            c == client
+                && at >= Duration::from_millis(at_ms)
+                && at < Duration::from_millis(at_ms + dur_ms)
+        }
+        _ => false,
+    });
+    in_own_window.then(|| ModelKind::Delegation.staleness_base() + DELEG_RENEWAL + MAX_STALENESS)
 }
 
 /// Clients whose acknowledged writes the delegation oracles must not
@@ -242,7 +276,13 @@ pub fn check(
                     if (i as i64) <= observed_rank || untrusted.contains(&w.client) {
                         continue;
                     }
-                    let bound = base + disturbed(w.started, started, events);
+                    let mut bound = base + disturbed(w.started, started, events);
+                    // Degraded mode promises *bounded* staleness: the
+                    // reader's own fault window must not excuse more lag
+                    // than the ladder's cap.
+                    if let Some(cap) = degraded_cap(model, client, started, events) {
+                        bound = bound.min(cap);
+                    }
                     if w.finished + bound < started {
                         violations.push(Violation {
                             kind: ViolationKind::StaleRead,
@@ -357,6 +397,42 @@ mod tests {
         // 40 + 70 = 110 s bound, so the same read is no longer stale.
         let events = [FaultEvent::Partition { client: 1, at_ms: 20_000, dur_ms: 30_000 }];
         let v = check(ModelKind::Polling, &events, &history, &[Observation::Tag(t)]);
+        assert!(!v.iter().any(|x| x.kind == ViolationKind::StaleRead), "got: {v:?}");
+    }
+
+    #[test]
+    fn degraded_reads_are_held_to_the_staleness_cap() {
+        let t = make_tag(0, 1);
+        // Client 1 sits in a long partition window; the general rule
+        // would stretch its bound far past the write, but a degraded
+        // delegation client serves bounded-staleness reads, so an 83 s
+        // lag must still be flagged (cap is 12 + 20 + 30 = 62 s).
+        let history = vec![write(0, 0, t, 1_000), read(1, 0, Observation::Initial, 84_000)];
+        let events = [FaultEvent::Partition { client: 1, at_ms: 5_000, dur_ms: 80_000 }];
+        let v = check(ModelKind::Delegation, &events, &history, &[Observation::Tag(t)]);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::StaleRead), "got: {v:?}");
+    }
+
+    #[test]
+    fn degraded_reads_within_the_cap_pass() {
+        let t = make_tag(0, 1);
+        // Same window, but the read lags by only ~29 s — inside the
+        // ladder's bounded-staleness promise.
+        let history = vec![write(0, 0, t, 1_000), read(1, 0, Observation::Initial, 30_000)];
+        let events = [FaultEvent::Partition { client: 1, at_ms: 5_000, dur_ms: 80_000 }];
+        let v = check(ModelKind::Delegation, &events, &history, &[Observation::Tag(t)]);
+        assert!(!v.iter().any(|x| x.kind == ViolationKind::StaleRead), "got: {v:?}");
+    }
+
+    #[test]
+    fn degraded_cap_only_binds_the_partitioned_reader() {
+        let t = make_tag(0, 1);
+        // A different client (2) reading equally late is judged by the
+        // general stretched bound, not the degraded cap — it never
+        // entered degraded mode.
+        let history = vec![write(0, 0, t, 1_000), read(2, 0, Observation::Initial, 84_000)];
+        let events = [FaultEvent::Partition { client: 1, at_ms: 5_000, dur_ms: 80_000 }];
+        let v = check(ModelKind::Delegation, &events, &history, &[Observation::Tag(t)]);
         assert!(!v.iter().any(|x| x.kind == ViolationKind::StaleRead), "got: {v:?}");
     }
 

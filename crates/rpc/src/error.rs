@@ -59,6 +59,41 @@ impl RpcError {
     pub fn is_transient(&self) -> bool {
         matches!(self, RpcError::Timeout | RpcError::Unreachable)
     }
+
+    /// Whether the error is a protocol-level rejection that will recur
+    /// on retry — the complement of [`is_transient`](Self::is_transient).
+    /// Retry loops must surface these to the caller immediately instead
+    /// of burning back-off windows on a deterministic failure.
+    pub fn is_fatal(&self) -> bool {
+        !self.is_transient()
+    }
+
+    /// Whether the error is evidence of a *sick transport* and should
+    /// feed the per-peer circuit breaker
+    /// ([`CircuitBreaker`](crate::breaker::CircuitBreaker)).
+    ///
+    /// Only transport-health conditions qualify: a timeout or an
+    /// unreachable peer. Protocol rejections arrive over a perfectly
+    /// healthy wire — [`RpcError::ProcedureUnavailable`] in particular
+    /// means the peer answered promptly that it does not implement the
+    /// procedure, and must **not** trip the breaker (nor must a server
+    /// that rejects arguments or credentials). Today the predicate
+    /// coincides with [`is_transient`](Self::is_transient), but the
+    /// contracts differ: a future retryable-but-reachable condition
+    /// (e.g. server busy) would be transient without being
+    /// breaker-relevant.
+    pub fn trips_breaker(&self) -> bool {
+        match self {
+            RpcError::Timeout | RpcError::Unreachable => true,
+            RpcError::Xdr(_)
+            | RpcError::ProgramUnavailable { .. }
+            | RpcError::ProgramMismatch { .. }
+            | RpcError::ProcedureUnavailable { .. }
+            | RpcError::GarbageArgs
+            | RpcError::AuthError
+            | RpcError::SystemError { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for RpcError {
@@ -126,6 +161,39 @@ mod tests {
         assert!(RpcError::Unreachable.is_transient());
         assert!(!RpcError::GarbageArgs.is_transient());
         assert!(!RpcError::SystemError { detail: "x".into() }.is_transient());
+    }
+
+    /// Every variant, against all three predicates: transient and fatal
+    /// must partition the taxonomy, and only transport-health conditions
+    /// may feed the breaker.
+    #[test]
+    fn taxonomy_per_variant() {
+        // (variant, is_transient, trips_breaker)
+        let table = vec![
+            (RpcError::Xdr(XdrError::LengthOverflow), false, false),
+            (RpcError::ProgramUnavailable { program: 1 }, false, false),
+            (RpcError::ProgramMismatch { program: 1, low: 2, high: 3 }, false, false),
+            (RpcError::ProcedureUnavailable { program: 1, procedure: 9 }, false, false),
+            (RpcError::GarbageArgs, false, false),
+            (RpcError::AuthError, false, false),
+            (RpcError::Timeout, true, true),
+            (RpcError::Unreachable, true, true),
+            (RpcError::SystemError { detail: "x".into() }, false, false),
+        ];
+        for (err, transient, breaker) in table {
+            assert_eq!(err.is_transient(), transient, "is_transient({err})");
+            assert_eq!(err.is_fatal(), !transient, "is_fatal({err})");
+            assert_eq!(err.trips_breaker(), breaker, "trips_breaker({err})");
+        }
+    }
+
+    /// The regression the taxonomy exists for: a peer answering "no such
+    /// procedure" is a *healthy* peer and must never open its breaker.
+    #[test]
+    fn procedure_unavailable_never_trips_breaker() {
+        let err = RpcError::ProcedureUnavailable { program: 200_501, procedure: 77 };
+        assert!(err.is_fatal());
+        assert!(!err.trips_breaker());
     }
 
     #[test]

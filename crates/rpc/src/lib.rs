@@ -21,6 +21,10 @@
 //! * [`stats`] — per-procedure call/byte counters used by the experiment
 //!   harness to reproduce the paper's "RPCs transferred over the network"
 //!   figures.
+//! * [`breaker`] — the per-peer WAN health supervisor: a deterministic
+//!   closed/open/half-open circuit breaker fed by call outcomes and a
+//!   latency EWMA, consulted by the proxy's degradation ladder and the
+//!   server's lease-based recall short-circuit.
 //!
 //! # Examples
 //!
@@ -51,6 +55,7 @@
 //!
 //! [RFC 5531]: https://www.rfc-editor.org/rfc/rfc5531
 
+pub mod breaker;
 pub mod channel;
 pub mod dispatch;
 pub mod drc;

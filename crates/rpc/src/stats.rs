@@ -42,6 +42,9 @@ struct Inner {
     max_in_flight: u64,
     unreachable: u64,
     timeouts: u64,
+    breaker_trips: u64,
+    breaker_probes: u64,
+    breakers_open: u64,
 }
 
 /// Counters for a single procedure.
@@ -72,6 +75,9 @@ pub struct StatsSnapshot {
     max_in_flight: u64,
     unreachable: u64,
     timeouts: u64,
+    breaker_trips: u64,
+    breaker_probes: u64,
+    breakers_open: u64,
 }
 
 impl RpcStats {
@@ -117,6 +123,28 @@ impl RpcStats {
         self.inner.lock().timeouts += 1;
     }
 
+    /// Records one circuit-breaker trip (Closed → Open) and bumps the
+    /// open-breaker gauge. Fed by
+    /// [`CircuitBreaker`](crate::breaker::CircuitBreaker) when a stats
+    /// sink is attached.
+    pub fn record_breaker_trip(&self) {
+        let mut inner = self.inner.lock();
+        inner.breaker_trips += 1;
+        inner.breakers_open += 1;
+    }
+
+    /// Records one breaker heal (a probe succeeded; Open/HalfOpen →
+    /// Closed) and drops the open-breaker gauge.
+    pub fn record_breaker_heal(&self) {
+        let mut inner = self.inner.lock();
+        inner.breakers_open = inner.breakers_open.saturating_sub(1);
+    }
+
+    /// Records one half-open probe window (Open → HalfOpen promotion).
+    pub fn record_breaker_probe(&self) {
+        self.inner.lock().breaker_probes += 1;
+    }
+
     /// Notes that one call entered the wire; bumps the in-flight gauge
     /// and its high-water mark.
     pub fn call_started(&self) {
@@ -146,16 +174,22 @@ impl RpcStats {
             max_in_flight: inner.max_in_flight,
             unreachable: inner.unreachable,
             timeouts: inner.timeouts,
+            breaker_trips: inner.breaker_trips,
+            breaker_probes: inner.breaker_probes,
+            breakers_open: inner.breakers_open,
         }
     }
 
     /// Resets all counters (and the in-flight high-water mark) to zero.
+    /// The open-breaker gauge is state, not a tally, and survives.
     pub fn reset(&self) {
         let mut inner = self.inner.lock();
         inner.counters.clear();
         inner.max_in_flight = inner.in_flight;
         inner.unreachable = 0;
         inner.timeouts = 0;
+        inner.breaker_trips = 0;
+        inner.breaker_probes = 0;
     }
 }
 
@@ -189,6 +223,21 @@ impl StatsSnapshot {
     /// Calls that were sent but burned their RPC timeout unanswered.
     pub fn transport_timeouts(&self) -> u64 {
         self.timeouts
+    }
+
+    /// Circuit-breaker trips (Closed → Open) recorded into this sink.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker_trips
+    }
+
+    /// Half-open probe windows (Open → HalfOpen promotions) recorded.
+    pub fn breaker_probes(&self) -> u64 {
+        self.breaker_probes
+    }
+
+    /// Breakers currently open or half-open (a gauge, not a tally).
+    pub fn breakers_open(&self) -> u64 {
+        self.breakers_open
     }
 
     /// Mean latency for one procedure, in nanoseconds.
@@ -225,6 +274,11 @@ impl StatsSnapshot {
             max_in_flight: self.max_in_flight,
             unreachable: self.unreachable - earlier.unreachable,
             timeouts: self.timeouts - earlier.timeouts,
+            breaker_trips: self.breaker_trips - earlier.breaker_trips,
+            breaker_probes: self.breaker_probes - earlier.breaker_probes,
+            // A gauge: the later snapshot's value is kept, like
+            // `max_in_flight`.
+            breakers_open: self.breakers_open,
         }
     }
 }
@@ -248,8 +302,14 @@ impl fmt::Display for StatsSnapshot {
         }
         writeln!(
             f,
-            "max in-flight: {}  unreachable: {}  timeouts: {}",
-            self.max_in_flight, self.unreachable, self.timeouts
+            "max in-flight: {}  unreachable: {}  timeouts: {}  breaker trips: {} \
+             (open: {}, probes: {})",
+            self.max_in_flight,
+            self.unreachable,
+            self.timeouts,
+            self.breaker_trips,
+            self.breakers_open,
+            self.breaker_probes
         )
     }
 }
@@ -349,6 +409,27 @@ mod tests {
         assert_eq!(delta.transport_timeouts(), 0);
         s.reset();
         assert_eq!(s.snapshot().transport_unreachable(), 0);
+    }
+
+    #[test]
+    fn breaker_counters_tally_difference_and_reset() {
+        let s = RpcStats::new();
+        s.record_breaker_trip();
+        s.record_breaker_probe();
+        let before = s.snapshot();
+        assert_eq!(before.breaker_trips(), 1);
+        assert_eq!(before.breaker_probes(), 1);
+        assert_eq!(before.breakers_open(), 1);
+        s.record_breaker_heal();
+        s.record_breaker_trip();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.breaker_trips(), 1);
+        assert_eq!(delta.breaker_probes(), 0);
+        assert_eq!(delta.breakers_open(), 1, "gauge keeps the later value");
+        s.reset();
+        let snap = s.snapshot();
+        assert_eq!(snap.breaker_trips(), 0);
+        assert_eq!(snap.breakers_open(), 1, "the gauge is state and survives reset");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! seed-only reproducer.
 
 use gvfs_integration::chaos::{
-    generate_events, run_scenario, run_with_events, shrink_failure, ModelKind, ScenarioConfig,
+    generate_events, run_partition_heal, run_scenario, run_with_events, shrink_failure, ModelKind,
+    ScenarioConfig,
 };
 
 #[test]
@@ -48,6 +49,36 @@ fn clean_seeds_pass_every_model() {
             );
         }
     }
+}
+
+#[test]
+fn partition_heal_rides_the_ladder_and_loses_nothing() {
+    let report = run_partition_heal(7);
+    assert!(
+        report.violations.is_empty(),
+        "partition-heal must be clean, got: {:#?}\nhistory: {:#?}",
+        report.violations,
+        report.history
+    );
+    // The report's own checks already demand these, but assert the
+    // interesting counters explicitly so a regression reads clearly.
+    assert!(report.breaker_trips >= 1, "the partition must trip the WAN breaker");
+    assert!(
+        report.writer_stats.degraded_reads >= 3,
+        "the bounded-staleness rung must serve the mid-outage reads, stats: {:?}",
+        report.writer_stats
+    );
+    assert_eq!(report.writer_stats.repromotions, 1, "exactly one heal, one re-promotion");
+    assert_eq!(
+        report.writer_stats.stale_discards + report.writer_stats.corrupted_discards,
+        0,
+        "nothing conflicted server-side, so nothing may be discarded"
+    );
+
+    // Exact-replay determinism, scripted like the randomized scenarios.
+    let again = run_partition_heal(7);
+    assert_eq!(report.history, again.history, "scenario must replay bit-identically");
+    assert_eq!(report.trace_hash, again.trace_hash);
 }
 
 #[test]
