@@ -9,3 +9,5 @@
 pub mod lexer;
 pub mod lint;
 pub mod model;
+pub mod product;
+pub mod replay;

@@ -2,16 +2,23 @@
 //! checking for the GVFS workspace.
 //!
 //! ```text
-//! cargo run -p gvfs-analysis -- check    # lint + model check (CI entry)
-//! cargo run -p gvfs-analysis -- lint     # source lint only
-//! cargo run -p gvfs-analysis -- model    # protocol model check only
+//! cargo run -p gvfs-analysis -- check           # lint + model check (CI entry)
+//! cargo run -p gvfs-analysis -- lint            # source lint only
+//! cargo run -p gvfs-analysis -- model           # protocol model check only
+//! cargo run -p gvfs-analysis -- replay <path>   # trace-conformance replay
 //! ```
 //!
-//! Exits non-zero when any lint diagnostic or model-checker violation
-//! is found, or when the model checker explores suspiciously few states
-//! (which would mean the exploration itself is broken).
+//! `replay` takes a protocol-event trace (`*.jsonl`, written by
+//! `chaos_soak --trace-dir`) or a directory of them and asserts every
+//! trace is an accepted path of the protocol model.
+//!
+//! Exits non-zero when any lint diagnostic, model-checker violation, or
+//! trace rejection is found, when the model checker explores
+//! suspiciously few states (which would mean the exploration itself is
+//! broken), or when `GVFS_ANALYSIS_BUDGET_MS` is set and the run
+//! overshoots that wall-clock budget.
 
-use gvfs_analysis::{lint, model};
+use gvfs_analysis::{lint, model, product, replay};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,8 +27,46 @@ use std::process::ExitCode;
 const MIN_MODEL_STATES: usize = 1_000;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: gvfs-analysis <check|lint|model> [workspace-root]");
+    eprintln!("usage: gvfs-analysis <check|lint|model> [workspace-root] | replay <trace-path>");
     ExitCode::from(2)
+}
+
+fn run_replay(path: &std::path::Path) -> Result<(), usize> {
+    println!("== replay: {} ==", path.display());
+    let reports = match replay::replay_path(path) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("replay: cannot read {}: {e}", path.display());
+            return Err(1);
+        }
+    };
+    if reports.is_empty() {
+        eprintln!("replay: no *.jsonl traces under {}", path.display());
+        return Err(1);
+    }
+    let mut rejected = 0usize;
+    for report in &reports {
+        if report.accepted() {
+            println!("replay[{}]: {} events, accepted", report.path.display(), report.events);
+        } else {
+            rejected += report.rejections.len();
+            println!(
+                "replay[{}]: {} events, {} rejection(s)",
+                report.path.display(),
+                report.events,
+                report.rejections.len()
+            );
+            for r in &report.rejections {
+                println!("rejection[{}]: {r}", report.path.display());
+            }
+        }
+    }
+    if rejected == 0 {
+        println!("replay: {} trace(s) conform to the protocol model", reports.len());
+        Ok(())
+    } else {
+        Err(rejected)
+    }
 }
 
 fn run_lint(root: &std::path::Path) -> Result<(), usize> {
@@ -49,7 +94,12 @@ fn run_model() -> Result<(), usize> {
     println!("== model check ==");
     let mut failures = 0usize;
     let mut total_states = 0usize;
-    for report in [model::check_delegation(), model::check_invalidation(), model::check_breaker()] {
+    for report in [
+        model::check_delegation(),
+        model::check_invalidation(),
+        model::check_breaker(),
+        product::check_product(),
+    ] {
         println!(
             "model[{}]: {} states, {} transitions, {} violation(s)",
             report.machine,
@@ -79,6 +129,7 @@ fn run_model() -> Result<(), usize> {
 }
 
 fn main() -> ExitCode {
+    let started = std::time::Instant::now();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("check");
     let root = args
@@ -90,9 +141,36 @@ fn main() -> ExitCode {
         "lint" => vec![run_lint(&root)],
         "model" => vec![run_model()],
         "check" => vec![run_lint(&root), run_model()],
+        "replay" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("replay: missing trace path");
+                return usage();
+            };
+            vec![run_replay(std::path::Path::new(path))]
+        }
         _ => return usage(),
     };
-    let failures: usize = results.into_iter().filter_map(Result::err).sum();
+    let mut failures: usize = results.into_iter().filter_map(Result::err).sum();
+
+    // CI asserts the analysis step stays inside a wall-clock budget so
+    // state-space or lint-pass growth cannot silently eat the pipeline.
+    if let Ok(budget) = std::env::var("GVFS_ANALYSIS_BUDGET_MS") {
+        match budget.parse::<u64>() {
+            Ok(budget_ms) => {
+                let elapsed = started.elapsed().as_millis() as u64;
+                if elapsed > budget_ms {
+                    println!("analysis: took {elapsed}ms, over the {budget_ms}ms budget");
+                    failures += 1;
+                } else {
+                    println!("analysis: {elapsed}ms elapsed (budget {budget_ms}ms)");
+                }
+            }
+            Err(e) => {
+                eprintln!("analysis: bad GVFS_ANALYSIS_BUDGET_MS {budget:?}: {e}");
+                failures += 1;
+            }
+        }
+    }
     if failures == 0 {
         println!("analysis: OK");
         ExitCode::SUCCESS

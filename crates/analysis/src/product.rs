@@ -1,0 +1,573 @@
+//! Composed product-model checking: delegation × invalidation ×
+//! breaker × degradation ladder × lease.
+//!
+//! The per-machine models in [`crate::model`] prove each protocol piece
+//! refines its own spec, but the session-resilience bugs worth losing
+//! sleep over live in the *composition*: a lease revocation racing a
+//! recall, a degraded client serving reads the invalidation stream
+//! already disowned, a repromotion that skips the GETINV drain. This
+//! module explores the product machine — the real
+//! [`DelegationTable`] and [`InvalidationTracker`] composed with
+//! explicit spec machines for the WAN breaker, the client degradation
+//! ladder (healthy → degraded → repromoting) and per-delegation lease
+//! bookkeeping — under an explicit virtual clock, and checks
+//! cross-machine invariants in every reachable state:
+//!
+//! * **I1 bounded-staleness** — a degraded client never serves a read
+//!   older than `max_staleness` past its last freshness proof (grant or
+//!   GETINV drain); equivalently, it never serves a byte the
+//!   invalidation machinery claims invalidated outside the bound.
+//! * **I2 lease-revocation-legitimacy** — an in-table revocation
+//!   implies the holder's lease really elapsed since its last
+//!   server-visible access, or the holder was partitioned with its
+//!   breaker open (so its renewals could not reach the server).
+//! * **I3 repromote-drains-getinv** — a ladder transition out of
+//!   degraded always drains the invalidation stream first; at the
+//!   moment of repromotion the spec owes the client nothing.
+//! * **I4 failed-recall-eviction** — a recall round that ends with the
+//!   target partitioned still evicts the target's table entry; a stale
+//!   sharer left behind would read as an open file and starve every
+//!   later writer of a delegation until the open-speculation expiry.
+//! * **I5 getinv-soundness-under-composition** — GETINV timestamps stay
+//!   monotone per client and a non-forced drain delivers exactly the
+//!   owed set, even with delegation traffic, partitions and lease
+//!   revocations interleaved.
+//! * **I6 write-exclusion-under-composition** — write delegations stay
+//!   exclusive per file across partitions, heals and revocations.
+//!
+//! Each invariant has a fault knob ([`Knobs`]) that re-introduces the
+//! corresponding bug in the spec side; the unit tests flip the knobs
+//! one at a time and assert the checker convicts — a checker that
+//! cannot see a planted bug proves nothing.
+
+use crate::model::ModelReport;
+use gvfs_core::delegation::DelegationTable;
+use gvfs_core::invalidation::InvalidationTracker;
+use gvfs_core::DelegationConfig;
+use gvfs_netsim::SimTime;
+use gvfs_nfs3::Fh3;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Renewal lease used by the product configurations: short enough that
+/// the clock actions can lapse it within the depth bound.
+const LEASE_S: u64 = 3;
+/// Bounded-staleness window for degraded reads.
+const MAX_STALENESS_S: u64 = 4;
+/// WAN failures before the spec breaker trips open.
+const BREAKER_THRESHOLD: u32 = 2;
+/// Invalidation buffer capacity (large enough that the small
+/// configurations never wrap; wrap is the per-machine model's job).
+const INVAL_CAPACITY: usize = 8;
+/// Virtual-clock ceiling: ticks are disabled past this point. Raw
+/// timestamps are sound but each tick mints a fresh state, so an
+/// unbounded clock starves the protocol actions of frontier budget;
+/// 10 s comfortably straddles both the lease (3 s) and the staleness
+/// bound (4 s).
+const MAX_CLOCK_S: u64 = 10;
+/// Bound on states explored per configuration.
+const STATE_CAP: usize = 8_000;
+/// Bound on exploration depth (actions from the initial state).
+const DEPTH_CAP: usize = 6;
+
+/// Fault-injection knobs: each re-introduces one composition bug so the
+/// unit tests can prove the corresponding invariant has teeth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Knobs {
+    /// Degraded reads ignore the staleness bound (breaks I1).
+    pub serve_ignores_staleness: bool,
+    /// The spec's lease bookkeeping counts accesses made while
+    /// partitioned, as if client-side renewals reached the server
+    /// (breaks I2: real revocations then look premature).
+    pub lease_counts_offline_access: bool,
+    /// Repromotion is enabled without the GETINV drain (breaks I3).
+    pub repromote_skips_drain: bool,
+    /// A recall round skips `recall_done` for partitioned targets, so
+    /// their delegations survive the round (breaks I4).
+    pub recall_keeps_partitioned_holder: bool,
+}
+
+/// One actionable step of the composed machine.
+#[derive(Debug, Clone, Copy)]
+enum ProductAction {
+    /// The virtual clock advances.
+    Tick { secs: u64 },
+    /// A client read/write reaches (or, partitioned, fails to reach)
+    /// the proxy server.
+    Access { client: u32, fh: Fh3, write: bool },
+    /// The WAN link to `client` partitions.
+    Partition { client: u32 },
+    /// The WAN link to `client` heals (breaker probe succeeds).
+    Heal { client: u32 },
+    /// `client` polls the invalidation stream.
+    Getinv { client: u32 },
+    /// A degraded, healed client re-promotes to healthy.
+    Repromote { client: u32 },
+    /// A degraded client serves a read from its frozen cache.
+    DegradedRead { client: u32, fh: Fh3 },
+}
+
+impl std::fmt::Display for ProductAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ProductAction::Tick { secs } => write!(f, "tick(+{secs}s)"),
+            ProductAction::Access { client, fh, write } => {
+                write!(f, "access(client={client}, fh={fh:?}, write={write})")
+            }
+            ProductAction::Partition { client } => write!(f, "partition(client={client})"),
+            ProductAction::Heal { client } => write!(f, "heal(client={client})"),
+            ProductAction::Getinv { client } => write!(f, "getinv(client={client})"),
+            ProductAction::Repromote { client } => write!(f, "repromote(client={client})"),
+            ProductAction::DegradedRead { client, fh } => {
+                write!(f, "degraded_read(client={client}, fh={fh:?})")
+            }
+        }
+    }
+}
+
+/// Spec breaker: two observable positions are enough for the product
+/// (the full lazy-promotion machine is checked by
+/// [`crate::model::check_breaker`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecBreaker {
+    Closed { fails: u32 },
+    Open,
+}
+
+/// Client degradation ladder, the spec side of the proxy client's
+/// `needs_resync` + breaker machinery: `Degraded { drained }` is the
+/// repromoting sub-state once the GETINV drain has landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ladder {
+    Healthy,
+    Degraded { drained: bool },
+}
+
+#[derive(Debug, Clone)]
+struct ClientSpec {
+    partitioned: bool,
+    breaker: SpecBreaker,
+    ladder: Ladder,
+    /// Virtual second of the last freshness proof (grant or drain).
+    last_sync: Option<u64>,
+    /// Timestamp the client would send on its next GETINV.
+    ts: Option<u64>,
+    /// Whether the tracker currently has a buffer for this client.
+    registered: bool,
+    /// Files modified by others since this client's last drain.
+    owed: BTreeSet<Fh3>,
+}
+
+impl ClientSpec {
+    fn new() -> Self {
+        ClientSpec {
+            partitioned: false,
+            breaker: SpecBreaker::Closed { fails: 0 },
+            ladder: Ladder::Healthy,
+            last_sync: None,
+            ts: None,
+            registered: false,
+            owed: BTreeSet::new(),
+        }
+    }
+}
+
+#[derive(Clone)]
+struct ProductState {
+    now_s: u64,
+    table: DelegationTable,
+    tracker: InvalidationTracker,
+    clients: BTreeMap<u32, ClientSpec>,
+    /// (client, fh) → virtual second of the last access the *server*
+    /// saw; the spec mirror of the table's lease bookkeeping.
+    last_access: BTreeMap<(u32, u64), u64>,
+    knobs: Knobs,
+}
+
+fn product_config() -> DelegationConfig {
+    DelegationConfig { lease: Duration::from_secs(LEASE_S), ..DelegationConfig::default() }
+}
+
+impl ProductState {
+    fn new(n_clients: u32, knobs: Knobs) -> Self {
+        let mut table = DelegationTable::new(product_config());
+        table.set_revocation_log(true);
+        ProductState {
+            now_s: 0,
+            table,
+            tracker: InvalidationTracker::new(INVAL_CAPACITY),
+            clients: (1..=n_clients).map(|c| (c, ClientSpec::new())).collect(),
+            last_access: BTreeMap::new(),
+            knobs,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(self.now_s)
+    }
+
+    fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        // Raw timestamps on purpose: the lease and staleness invariants
+        // are time-dependent, so time-shifted states are NOT equivalent
+        // and folding them would be unsound.
+        let _ = write!(s, "t={};", self.now_s);
+        for f in self.table.snapshot() {
+            let _ = write!(s, "{f:?};");
+        }
+        let _ = write!(s, "inv={:?}@{};", self.tracker.snapshot(), self.tracker.now());
+        for (c, cs) in &self.clients {
+            let _ = write!(
+                s,
+                "c{c}={:?}/{:?}/{:?}/{:?}/{:?}/{}/{:?};",
+                cs.partitioned, cs.breaker, cs.ladder, cs.last_sync, cs.ts, cs.registered, cs.owed
+            );
+        }
+        let _ = write!(s, "la={:?}", self.last_access);
+        s
+    }
+
+    /// I2: every revocation the table just performed must be
+    /// legitimate: the holder's lease elapsed since its last
+    /// server-visible access, or the holder sat behind an open breaker.
+    fn check_revocations(&mut self) -> Option<String> {
+        for (holder, fh) in self.table.take_revocations() {
+            let last = self.last_access.get(&(holder, fh.fileid())).copied();
+            let lapsed = last.is_none_or(|t| self.now_s.saturating_sub(t) >= LEASE_S);
+            let breaker_open = self
+                .clients
+                .get(&holder)
+                .is_some_and(|cs| cs.partitioned && cs.breaker == SpecBreaker::Open);
+            if !lapsed && !breaker_open {
+                return Some(format!(
+                    "I2: in-table revocation of client {holder} on {fh:?} at t={} but its last \
+                     access was t={last:?} (< lease {LEASE_S}s) and its breaker is not open",
+                    self.now_s
+                ));
+            }
+        }
+        None
+    }
+
+    /// I6: write delegations stay exclusive per file.
+    fn check_write_exclusion(&self) -> Option<String> {
+        use gvfs_core::delegation::DelegationKind;
+        for f in self.table.snapshot() {
+            let writers =
+                f.sharers.iter().filter(|&&(_, d)| d == Some(DelegationKind::Write)).count();
+            let delegated = f.sharers.iter().filter(|&&(_, d)| d.is_some()).count();
+            if writers > 0 && delegated > 1 {
+                return Some(format!(
+                    "I6: write delegation coexists with another delegation on {:?}: {:?}",
+                    f.fh, f.sharers
+                ));
+            }
+        }
+        None
+    }
+
+    /// Applies `action`, returning the first invariant violation.
+    fn apply(&mut self, action: &ProductAction) -> Option<String> {
+        match *action {
+            ProductAction::Tick { secs } => {
+                self.now_s += secs;
+            }
+            ProductAction::Access { client, fh, write } => {
+                let cs = self.clients.get_mut(&client).expect("model client");
+                if cs.partitioned {
+                    // WAN failure: the breaker counts it; tripping open
+                    // degrades the ladder (the proxy client's
+                    // DEGRADE_AFTER machinery, collapsed to the trip).
+                    cs.breaker = match cs.breaker {
+                        SpecBreaker::Closed { fails } if fails + 1 >= BREAKER_THRESHOLD => {
+                            SpecBreaker::Open
+                        }
+                        SpecBreaker::Closed { fails } => SpecBreaker::Closed { fails: fails + 1 },
+                        SpecBreaker::Open => SpecBreaker::Open,
+                    };
+                    if cs.breaker == SpecBreaker::Open && cs.ladder == Ladder::Healthy {
+                        cs.ladder = Ladder::Degraded { drained: false };
+                    }
+                    if self.knobs.lease_counts_offline_access {
+                        self.last_access.insert((client, fh.fileid()), self.now_s);
+                    }
+                    return None;
+                }
+                let now = self.now();
+                let (grant, recalls) = self.table.access(fh, client, write, Some(0), now);
+                self.last_access.insert((client, fh.fileid()), self.now_s);
+                if let Some(v) = self.check_revocations() {
+                    return Some(v);
+                }
+                if grant != gvfs_core::protocol::DelegationGrant::None {
+                    // Any grant is a freshness proof for the accessor.
+                    self.clients.get_mut(&client).expect("model client").last_sync =
+                        Some(self.now_s);
+                }
+                if !recalls.is_empty() {
+                    self.table.begin_recall(fh);
+                    for r in &recalls {
+                        let target_partitioned =
+                            self.clients.get(&r.client).is_some_and(|t| t.partitioned);
+                        if target_partitioned && self.knobs.recall_keeps_partitioned_holder {
+                            continue;
+                        }
+                        // Answered recalls flush clean; partitioned
+                        // targets time out and are evicted unanswered.
+                        self.table.recall_done(r.fh, r.client, Vec::new());
+                    }
+                    self.table.end_recall(fh);
+                    // The table strips the delegation at recall-issue
+                    // time; what an unanswered recall must still clean
+                    // up is the *sharer entry* — left behind, it reads
+                    // as an open file and starves every later writer of
+                    // a delegation until the 10-minute expiration.
+                    for r in &recalls {
+                        let target_partitioned =
+                            self.clients.get(&r.client).is_some_and(|t| t.partitioned);
+                        let still_sharer = self
+                            .table
+                            .snapshot()
+                            .iter()
+                            .find(|f| f.fh == r.fh)
+                            .is_some_and(|f| f.sharers.iter().any(|&(c, _)| c == r.client));
+                        if target_partitioned && still_sharer {
+                            return Some(format!(
+                                "I4: partitioned client {} still registered on {:?} after its \
+                                 recall round completed (writers stay undelegable)",
+                                r.client, r.fh
+                            ));
+                        }
+                    }
+                }
+                if write {
+                    self.tracker.record_modification(fh, client);
+                    for (&c, cs) in &mut self.clients {
+                        if c != client && cs.registered {
+                            cs.owed.insert(fh);
+                        }
+                    }
+                }
+            }
+            ProductAction::Partition { client } => {
+                self.clients.get_mut(&client).expect("model client").partitioned = true;
+            }
+            ProductAction::Heal { client } => {
+                let cs = self.clients.get_mut(&client).expect("model client");
+                cs.partitioned = false;
+                // The healed probe succeeds: the breaker closes. The
+                // ladder stays degraded until an explicit repromote.
+                cs.breaker = SpecBreaker::Closed { fails: 0 };
+            }
+            ProductAction::Getinv { client } => {
+                let cs = self.clients.get_mut(&client).expect("model client");
+                let res = self.tracker.getinv(client, cs.ts);
+                if let (Some(prev), false) = (cs.ts, res.force_invalidate) {
+                    if res.timestamp < prev {
+                        return Some(format!(
+                            "I5: GETINV timestamp regressed for client {client}: {} < {prev}",
+                            res.timestamp
+                        ));
+                    }
+                }
+                let expect_force = !cs.registered || cs.ts.is_none();
+                if res.force_invalidate != expect_force {
+                    return Some(format!(
+                        "I5: client {client}: force_invalidate={} but the composed spec expects \
+                         {expect_force} (registered={}, ts={:?})",
+                        res.force_invalidate, cs.registered, cs.ts
+                    ));
+                }
+                if !res.force_invalidate {
+                    let got: BTreeSet<Fh3> = res.handles.iter().copied().collect();
+                    if got != cs.owed {
+                        return Some(format!(
+                            "I5: client {client}: GETINV delivered {got:?} but the spec owes {:?}",
+                            cs.owed
+                        ));
+                    }
+                }
+                cs.ts = Some(res.timestamp);
+                cs.registered = true;
+                cs.owed.clear();
+                cs.last_sync = Some(self.now_s);
+                if let Ladder::Degraded { drained: false } = cs.ladder {
+                    cs.ladder = Ladder::Degraded { drained: true };
+                }
+            }
+            ProductAction::Repromote { client } => {
+                let cs = self.clients.get_mut(&client).expect("model client");
+                match cs.ladder {
+                    Ladder::Degraded { drained } => {
+                        if !drained {
+                            return Some(format!(
+                                "I3: client {client} repromoted without draining GETINV"
+                            ));
+                        }
+                        if !cs.owed.is_empty() {
+                            return Some(format!(
+                                "I3: client {client} repromoted while still owed {:?}",
+                                cs.owed
+                            ));
+                        }
+                        cs.ladder = Ladder::Healthy;
+                    }
+                    Ladder::Healthy => {
+                        return Some(format!("I3: client {client} repromoted while healthy"));
+                    }
+                }
+            }
+            ProductAction::DegradedRead { client, fh } => {
+                let cs = self.clients.get_mut(&client).expect("model client");
+                if !matches!(cs.ladder, Ladder::Degraded { .. }) {
+                    return Some(format!(
+                        "I1: client {client} served a degraded read of {fh:?} while healthy"
+                    ));
+                }
+                let age = cs.last_sync.map_or(u64::MAX, |t| self.now_s.saturating_sub(t));
+                // The implementation refuses the serve outside the
+                // bound; the knob re-introduces serving regardless, and
+                // only then can the invariant fire.
+                if age > MAX_STALENESS_S && self.knobs.serve_ignores_staleness {
+                    return Some(format!(
+                        "I1: degraded client {client} served {fh:?} {age}s after its last \
+                         freshness proof (bound {MAX_STALENESS_S}s)"
+                    ));
+                }
+            }
+        }
+        self.check_write_exclusion()
+    }
+
+    fn enabled(&self, files: &[Fh3]) -> Vec<ProductAction> {
+        let mut acts = Vec::new();
+        if self.now_s < MAX_CLOCK_S {
+            // One fine step and one jump past the lease/staleness
+            // boundaries; more deltas add breadth, not coverage.
+            for &secs in &[1u64, 4] {
+                acts.push(ProductAction::Tick { secs });
+            }
+        }
+        for (&client, cs) in &self.clients {
+            for &fh in files {
+                for write in [false, true] {
+                    acts.push(ProductAction::Access { client, fh, write });
+                }
+            }
+            if cs.partitioned {
+                acts.push(ProductAction::Heal { client });
+            } else {
+                acts.push(ProductAction::Partition { client });
+                acts.push(ProductAction::Getinv { client });
+            }
+            match cs.ladder {
+                Ladder::Degraded { drained } => {
+                    for &fh in files {
+                        acts.push(ProductAction::DegradedRead { client, fh });
+                    }
+                    let repromotable =
+                        !cs.partitioned && (drained || self.knobs.repromote_skips_drain);
+                    if repromotable {
+                        acts.push(ProductAction::Repromote { client });
+                    }
+                }
+                Ladder::Healthy => {}
+            }
+        }
+        acts
+    }
+}
+
+/// Exhaustively checks the composed product machine over small
+/// configurations with the given fault knobs.
+pub fn check_product_with(knobs: Knobs) -> ModelReport {
+    let mut report = ModelReport { machine: "product", ..ModelReport::default() };
+    for &(n_clients, n_files) in &[(2u32, 1u64), (2, 2), (3, 1)] {
+        let files: Vec<Fh3> = (1..=n_files).map(Fh3::from_fileid).collect();
+        let label = format!("product[clients={n_clients},files={n_files}]");
+
+        let initial = ProductState::new(n_clients, knobs);
+        let mut visited: HashSet<String> = HashSet::new();
+        visited.insert(initial.fingerprint());
+        let mut queue: VecDeque<(ProductState, Vec<String>, usize)> = VecDeque::new();
+        queue.push_back((initial, Vec::new(), 0));
+        let mut states = 1usize;
+
+        while let Some((state, trace, depth)) = queue.pop_front() {
+            if depth >= DEPTH_CAP || states >= STATE_CAP {
+                continue;
+            }
+            for action in state.enabled(&files) {
+                let mut next = state.clone();
+                let mut next_trace = trace.clone();
+                next_trace.push(action.to_string());
+                report.transitions += 1;
+                if let Some(v) = next.apply(&action) {
+                    report
+                        .violations
+                        .push(format!("{label}: {v}\n  trace: {}", next_trace.join(" ; ")));
+                    continue;
+                }
+                let fp = next.fingerprint();
+                if visited.insert(fp) {
+                    states += 1;
+                    queue.push_back((next, next_trace, depth + 1));
+                }
+            }
+        }
+        report.states += states;
+    }
+    report
+}
+
+/// Exhaustively checks the composed product machine (CI entry).
+pub fn check_product() -> ModelReport {
+    check_product_with(Knobs::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn first_violation(knobs: Knobs) -> String {
+        let report = check_product_with(knobs);
+        assert!(
+            !report.violations.is_empty(),
+            "planted bug produced no violation ({knobs:?}); the checker is toothless"
+        );
+        report.violations[0].clone()
+    }
+
+    #[test]
+    fn clean_product_holds_all_invariants() {
+        let report = check_product();
+        assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+        assert!(report.states > 1_000, "only {} states explored", report.states);
+    }
+
+    #[test]
+    fn catches_staleness_bound_violation() {
+        let v = first_violation(Knobs { serve_ignores_staleness: true, ..Knobs::default() });
+        assert!(v.contains("I1"), "wrong invariant convicted: {v}");
+    }
+
+    #[test]
+    fn catches_premature_lease_revocation() {
+        let v = first_violation(Knobs { lease_counts_offline_access: true, ..Knobs::default() });
+        assert!(v.contains("I2"), "wrong invariant convicted: {v}");
+    }
+
+    #[test]
+    fn catches_undrained_repromotion() {
+        let v = first_violation(Knobs { repromote_skips_drain: true, ..Knobs::default() });
+        assert!(v.contains("I3"), "wrong invariant convicted: {v}");
+    }
+
+    #[test]
+    fn catches_surviving_partitioned_holder() {
+        let v =
+            first_violation(Knobs { recall_keeps_partitioned_holder: true, ..Knobs::default() });
+        assert!(v.contains("I4"), "wrong invariant convicted: {v}");
+    }
+}

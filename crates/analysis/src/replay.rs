@@ -1,0 +1,759 @@
+//! Trace-conformance replay: asserts that a protocol-event trace
+//! recorded by `gvfs_core::trace` (chaos soak, netsim integration
+//! tests) is an accepted path of the composed protocol model.
+//!
+//! The checker is a deterministic abstract machine mirroring the
+//! server's delegation table, the breaker-driven recall lifecycle, and
+//! the client degradation ladder. Every rule errs conservative: when
+//! the trace cannot prove a violation (because an internal transition
+//! is not observable), the event is accepted. What it *can* prove:
+//!
+//! - structure: `meta` first, `seq` strictly increasing, `t_ms`
+//!   non-decreasing, known discriminators, required fields present;
+//! - exclusivity: a `write` grant admits no other holder, a `read`
+//!   grant admits no write holder (modulo in-flight recalls);
+//! - recall lifecycle: every `recall_done` consumes a prior
+//!   `recall_sent` (ok) or `recall_short`/`recall_fail` (not ok), and
+//!   `recall_recv` on a client consumes a matching `recall_sent`;
+//! - lease discipline: an in-table `lease_revoke` only fires after a
+//!   full lease elapsed since the holder's last observed grant;
+//! - ladder discipline: `degrade` only from healthy, `degraded_serve`
+//!   and `repromote` only while degraded, and every `repromote` drains
+//!   GETINV first (a `validate` for that client after the `degrade`);
+//! - bounded staleness: a degraded read is served within
+//!   `max_staleness_ms` (plus poll-cadence slack) of the client's last
+//!   proof of freshness;
+//! - invalidation clock: per-client GETINV timestamps are monotone,
+//!   resetting only across a server crash.
+//!
+//! Lines are flat JSON objects (see `TraceRecord::to_json_line`); the
+//! parser here is hand-rolled because the vendored `serde_json` stub
+//! has no deserializer.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Freshness slack for the bounded-staleness rule, covering the gap
+/// between a client's last *observable* freshness proof (grant or
+/// GETINV exchange) and the cache entry's actual validation stamp,
+/// which the poll loop may have refreshed without emitting an event.
+const STALENESS_SLACK_MS: u64 = 5_000;
+
+/// One rejected event with enough context to find it in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    pub line: usize,
+    pub seq: u64,
+    pub t_ms: u64,
+    pub rule: &'static str,
+    pub detail: String,
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {} (seq {}, t={}ms): {}: {}",
+            self.line, self.seq, self.t_ms, self.rule, self.detail
+        )
+    }
+}
+
+/// Outcome of replaying one trace file.
+#[derive(Debug)]
+pub struct ReplayReport {
+    pub path: PathBuf,
+    pub events: usize,
+    pub rejections: Vec<Rejection>,
+}
+
+impl ReplayReport {
+    pub fn accepted(&self) -> bool {
+        self.rejections.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flat-JSON line parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed trace line: the discriminator plus its numeric and string
+/// fields. The writer emits only `u64` numbers and plain strings.
+struct RawEvent {
+    seq: u64,
+    t_ms: u64,
+    ev: String,
+    nums: HashMap<String, u64>,
+    strs: HashMap<String, String>,
+}
+
+/// Parses one `{"k":v,...}` line. Returns `Err` with a human-readable
+/// reason on malformed input; the writer never produces nesting,
+/// escapes, floats, or negative numbers, so none are accepted.
+fn parse_line(line: &str) -> Result<RawEvent, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let mut nums = HashMap::new();
+    let mut strs = HashMap::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Key.
+        if bytes[i] != b'"' {
+            return Err(format!("expected '\"' at byte {i}"));
+        }
+        let kstart = i + 1;
+        let kend = inner[kstart..].find('"').ok_or("unterminated key")? + kstart;
+        let key = &inner[kstart..kend];
+        i = kend + 1;
+        if i >= bytes.len() || bytes[i] != b':' {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        i += 1;
+        // Value: string or unsigned integer.
+        if i < bytes.len() && bytes[i] == b'"' {
+            let vstart = i + 1;
+            let vend = inner[vstart..].find('"').ok_or("unterminated string value")? + vstart;
+            strs.insert(key.to_string(), inner[vstart..vend].to_string());
+            i = vend + 1;
+        } else {
+            let vstart = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i == vstart {
+                return Err(format!("expected value for key {key:?}"));
+            }
+            let v: u64 =
+                inner[vstart..i].parse().map_err(|e| format!("bad number for {key:?}: {e}"))?;
+            nums.insert(key.to_string(), v);
+        }
+        if i < bytes.len() {
+            if bytes[i] != b',' {
+                return Err(format!("expected ',' at byte {i}"));
+            }
+            i += 1;
+        }
+    }
+    let seq = *nums.get("seq").ok_or("missing seq")?;
+    let t_ms = *nums.get("t_ms").ok_or("missing t_ms")?;
+    let ev = strs.get("ev").ok_or("missing ev")?.clone();
+    Ok(RawEvent { seq, t_ms, ev, nums, strs })
+}
+
+impl RawEvent {
+    fn num(&self, key: &str) -> Result<u64, String> {
+        self.nums.get(key).copied().ok_or_else(|| format!("{}: missing field {key:?}", self.ev))
+    }
+    fn str_field(&self, key: &str) -> Result<&str, String> {
+        self.strs
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("{}: missing field {key:?}", self.ev))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conformance state machine
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Read,
+    Write,
+    NonCacheable,
+}
+
+impl Kind {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "read" => Some(Kind::Read),
+            "write" => Some(Kind::Write),
+            "noncacheable" => Some(Kind::NonCacheable),
+            _ => None,
+        }
+    }
+}
+
+/// Client-side degradation ladder position, reconstructed from events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ladder {
+    Healthy,
+    /// Degraded since (seq, with or without a completed GETINV drain).
+    Degraded {
+        since_seq: u64,
+        drained: bool,
+    },
+}
+
+#[derive(Default)]
+struct ClientState {
+    ladder: Option<Ladder>,
+    /// Timestamp of the last GETINV exchange (freshness proof).
+    last_validate_t: Option<u64>,
+    /// Last GETINV invalidation-clock value; monotone between crashes.
+    last_ts: Option<u64>,
+}
+
+struct Checker {
+    lease_ms: u64,
+    max_staleness_ms: u64,
+    /// fh → (client → kind): delegations the trace shows outstanding.
+    holders: HashMap<u64, HashMap<u32, Kind>>,
+    /// (client, fh) → timestamp of the last grant/regrant observed.
+    last_grant: HashMap<(u32, u64), u64>,
+    /// (client, fh) pairs that have ever been sent a recall. The fault
+    /// injector duplicates packets, so delivery is at-least-once and a
+    /// recv cannot be matched one-to-one against a send.
+    recall_sent_ever: std::collections::HashSet<(u32, u64)>,
+    /// (client, fh) → (ok-capable, fail-capable) outstanding recall
+    /// outcomes awaiting a recall_done.
+    done_credit: HashMap<(u32, u64), (u64, u64)>,
+    clients: HashMap<u32, ClientState>,
+    server_crashed_once: bool,
+}
+
+impl Checker {
+    fn new(lease_ms: u64, max_staleness_ms: u64) -> Self {
+        Checker {
+            lease_ms,
+            max_staleness_ms,
+            holders: HashMap::new(),
+            last_grant: HashMap::new(),
+            recall_sent_ever: std::collections::HashSet::new(),
+            done_credit: HashMap::new(),
+            clients: HashMap::new(),
+            server_crashed_once: false,
+        }
+    }
+
+    fn client(&mut self, id: u32) -> &mut ClientState {
+        self.clients.entry(id).or_default()
+    }
+
+    /// Applies one event; returns Err(rule, detail) on a violation.
+    fn step(&mut self, ev: &RawEvent) -> Result<(), (&'static str, String)> {
+        let field = |r: Result<u64, String>| r.map_err(|d| ("malformed-event", d));
+        match ev.ev.as_str() {
+            "grant" => {
+                let client = field(ev.num("client"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                let kind = Kind::parse(ev.str_field("kind").map_err(|d| ("malformed-event", d))?)
+                    .ok_or(("malformed-event", String::from("unknown kind in grant")))?;
+                // Exclusivity, modulo holders a concurrent recall is
+                // already evicting (their recall_done arrives later).
+                let conflict = self.holders.get(&fh).and_then(|held| {
+                    held.iter().find(|&(&c, &k)| {
+                        c != client
+                            && self.done_credit.get(&(c, fh)).is_none_or(|&(a, b)| a + b == 0)
+                            && match kind {
+                                Kind::Write => k != Kind::NonCacheable,
+                                Kind::Read => k == Kind::Write,
+                                Kind::NonCacheable => false,
+                            }
+                    })
+                });
+                if let Some((&c, &k)) = conflict {
+                    return Err((
+                        "grant-exclusivity",
+                        format!(
+                            "{kind:?} grant to client {client} for fh {fh} while client {c} \
+                             holds {k:?}"
+                        ),
+                    ));
+                }
+                self.holders.entry(fh).or_default().insert(client, kind);
+                self.last_grant.insert((client, fh), ev.t_ms);
+            }
+            "regrant" => {
+                let client = field(ev.num("client"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                if !self.server_crashed_once {
+                    return Err((
+                        "regrant-without-crash",
+                        format!("regrant to client {client} for fh {fh} before any server crash"),
+                    ));
+                }
+                self.holders.entry(fh).or_default().insert(client, Kind::Read);
+                self.last_grant.insert((client, fh), ev.t_ms);
+            }
+            "recall_sent" => {
+                let client = field(ev.num("client"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                self.recall_sent_ever.insert((client, fh));
+                self.done_credit.entry((client, fh)).or_default().0 += 1;
+            }
+            "recall_short" | "recall_fail" => {
+                let client = field(ev.num("client"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                self.done_credit.entry((client, fh)).or_default().1 += 1;
+            }
+            "recall_recv" => {
+                let client = field(ev.num("client"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                if !self.recall_sent_ever.contains(&(client, fh)) {
+                    return Err((
+                        "recall-recv-unsent",
+                        format!("client {client} received a recall for fh {fh} never sent"),
+                    ));
+                }
+            }
+            "recall_done" => {
+                let client = field(ev.num("client"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                let ok = field(ev.num("ok"))? != 0;
+                let credit = self.done_credit.entry((client, fh)).or_default();
+                if ok {
+                    if credit.0 == 0 {
+                        return Err((
+                            "recall-done-unsent",
+                            format!(
+                                "answered recall_done for client {client} fh {fh} with no \
+                                 outstanding recall_sent"
+                            ),
+                        ));
+                    }
+                    credit.0 -= 1;
+                } else {
+                    // An unanswered recall was either never sent (the
+                    // breaker short-circuited it, or the send failed:
+                    // recall_short/recall_fail) or sent and then timed
+                    // out unanswered (recall_sent only).
+                    if credit.1 > 0 {
+                        credit.1 -= 1;
+                    } else if credit.0 > 0 {
+                        credit.0 -= 1;
+                    } else {
+                        return Err((
+                            "recall-done-unfailed",
+                            format!(
+                                "unanswered recall_done for client {client} fh {fh} with no \
+                                 prior recall_sent/recall_short/recall_fail"
+                            ),
+                        ));
+                    }
+                }
+                if let Some(held) = self.holders.get_mut(&fh) {
+                    held.remove(&client);
+                }
+            }
+            "lease_revoke" => {
+                let client = field(ev.num("client"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                if self.lease_ms == 0 {
+                    return Err((
+                        "lease-revoke-unleased",
+                        format!("lease_revoke for client {client} fh {fh} but no lease configured"),
+                    ));
+                }
+                // The table revokes only when a full lease elapsed since
+                // the holder's last access. The trace's last grant is at
+                // or before that access, so this bound is conservative.
+                if let Some(&granted) = self.last_grant.get(&(client, fh)) {
+                    let elapsed = ev.t_ms.saturating_sub(granted);
+                    if elapsed < self.lease_ms {
+                        return Err((
+                            "lease-revoke-early",
+                            format!(
+                                "client {client} fh {fh} revoked {elapsed}ms after its last \
+                                 grant (< lease {}ms)",
+                                self.lease_ms
+                            ),
+                        ));
+                    }
+                }
+                if let Some(held) = self.holders.get_mut(&fh) {
+                    held.remove(&client);
+                }
+            }
+            "degrade" => {
+                let client = field(ev.num("client"))? as u32;
+                let state = self.client(client);
+                if matches!(state.ladder, Some(Ladder::Degraded { .. })) {
+                    return Err((
+                        "degrade-while-degraded",
+                        format!("client {client} degraded twice without a repromote"),
+                    ));
+                }
+                state.ladder = Some(Ladder::Degraded { since_seq: ev.seq, drained: false });
+            }
+            "degraded_serve" => {
+                let client = field(ev.num("client"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                let state = self.clients.entry(client).or_default();
+                if !matches!(state.ladder, Some(Ladder::Degraded { .. })) {
+                    return Err((
+                        "degraded-serve-healthy",
+                        format!("client {client} served a degraded read for fh {fh} while healthy"),
+                    ));
+                }
+                // Bounded staleness: the serve must sit within
+                // max_staleness of the client's freshest proof.
+                let grant_t = self.last_grant.get(&(client, fh)).copied();
+                let freshness = match (state.last_validate_t, grant_t) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+                if self.max_staleness_ms > 0 {
+                    if let Some(fresh) = freshness {
+                        let age = ev.t_ms.saturating_sub(fresh);
+                        if age > self.max_staleness_ms + STALENESS_SLACK_MS {
+                            return Err((
+                                "staleness-bound",
+                                format!(
+                                    "client {client} served fh {fh} {age}ms after its last \
+                                     freshness proof (bound {}ms + {STALENESS_SLACK_MS}ms slack)",
+                                    self.max_staleness_ms
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            "validate" => {
+                let client = field(ev.num("client"))? as u32;
+                let ts = field(ev.num("ts"))?;
+                let force = field(ev.num("force"))? != 0;
+                let state = self.client(client);
+                if let Some(prev) = state.last_ts {
+                    if ts < prev && !force {
+                        return Err((
+                            "invalidation-clock-regressed",
+                            format!("client {client} GETINV timestamp went {prev} -> {ts}"),
+                        ));
+                    }
+                }
+                state.last_ts = Some(ts);
+                state.last_validate_t = Some(ev.t_ms);
+                if let Some(Ladder::Degraded { since_seq, drained }) = state.ladder {
+                    if ev.seq > since_seq && !drained {
+                        state.ladder = Some(Ladder::Degraded { since_seq, drained: true });
+                    }
+                }
+            }
+            "repromote" => {
+                let client = field(ev.num("client"))? as u32;
+                let state = self.client(client);
+                match state.ladder {
+                    Some(Ladder::Degraded { drained: true, .. }) => {
+                        state.ladder = Some(Ladder::Healthy);
+                    }
+                    Some(Ladder::Degraded { drained: false, .. }) => {
+                        return Err((
+                            "repromote-undrained",
+                            format!(
+                                "client {client} repromoted without draining GETINV (no \
+                                 validate since degrade)"
+                            ),
+                        ));
+                    }
+                    _ => {
+                        return Err((
+                            "repromote-healthy",
+                            format!("client {client} repromoted while not degraded"),
+                        ));
+                    }
+                }
+            }
+            "server_crash" => {
+                self.server_crashed_once = true;
+                // The table is wiped; every outstanding delegation dies.
+                self.holders.clear();
+                // GETINV clocks restart from zero after recovery.
+                for state in self.clients.values_mut() {
+                    state.last_ts = None;
+                }
+            }
+            "server_recover" => {
+                if !self.server_crashed_once {
+                    return Err((
+                        "recover-without-crash",
+                        "server_recover with no preceding server_crash".to_string(),
+                    ));
+                }
+            }
+            "client_crash" => {
+                let client = field(ev.num("client"))? as u32;
+                // The crashed client loses its cache, but the resync
+                // flag behind the ladder survives (it is repromote that
+                // clears it), and the server-side table keeps its
+                // entries until recall or lease expiry — so neither the
+                // ladder nor the holders map changes here.
+                let _ = self.client(client);
+            }
+            "meta" => {
+                return Err(("duplicate-meta", "second meta record".to_string()));
+            }
+            other => {
+                return Err(("unknown-event", format!("unknown discriminator {other:?}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Replays one JSONL trace string against the conformance machine.
+pub fn replay_str(path: &Path, text: &str) -> ReplayReport {
+    let mut rejections = Vec::new();
+    let mut events = 0usize;
+    let mut checker: Option<Checker> = None;
+    let mut prev_seq: Option<u64> = None;
+    let mut prev_t: u64 = 0;
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = match parse_line(line) {
+            Ok(ev) => ev,
+            Err(detail) => {
+                rejections.push(Rejection {
+                    line: lineno,
+                    seq: 0,
+                    t_ms: 0,
+                    rule: "malformed-line",
+                    detail,
+                });
+                continue;
+            }
+        };
+        events += 1;
+        let reject = |rule: &'static str, detail: String| Rejection {
+            line: lineno,
+            seq: ev.seq,
+            t_ms: ev.t_ms,
+            rule,
+            detail,
+        };
+        if let Some(p) = prev_seq {
+            if ev.seq <= p {
+                rejections.push(reject("seq-not-increasing", format!("seq {} after {p}", ev.seq)));
+            }
+        }
+        if ev.t_ms < prev_t {
+            rejections.push(reject("time-regressed", format!("t_ms {} after {prev_t}", ev.t_ms)));
+        }
+        prev_seq = Some(ev.seq);
+        prev_t = prev_t.max(ev.t_ms);
+
+        match (&mut checker, ev.ev.as_str()) {
+            (None, "meta") => match (ev.num("lease_ms"), ev.num("max_staleness_ms")) {
+                (Ok(lease), Ok(stale)) => checker = Some(Checker::new(lease, stale)),
+                (a, b) => {
+                    let detail = a.err().or(b.err()).unwrap_or_default();
+                    rejections.push(reject("malformed-event", detail));
+                }
+            },
+            (None, _) => {
+                rejections.push(reject(
+                    "missing-meta",
+                    format!("first record is {:?}, expected meta", ev.ev),
+                ));
+                // Synthesize a permissive config so later structural
+                // checks still run instead of cascading.
+                checker = Some(Checker::new(0, 0));
+            }
+            (Some(c), _) => {
+                if let Err((rule, detail)) = c.step(&ev) {
+                    rejections.push(reject(rule, detail));
+                }
+            }
+        }
+    }
+    ReplayReport { path: path.to_path_buf(), events, rejections }
+}
+
+/// Replays one trace file from disk.
+pub fn replay_file(path: &Path) -> std::io::Result<ReplayReport> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(replay_str(path, &text))
+}
+
+/// Replays a file, or every `*.jsonl` under a directory (sorted for
+/// deterministic output).
+pub fn replay_path(path: &Path) -> std::io::Result<Vec<ReplayReport>> {
+    if path.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(path)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        files.sort();
+        files.iter().map(|f| replay_file(f)).collect()
+    } else {
+        Ok(vec![replay_file(path)?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: &str = r#"{"seq":0,"t_ms":0,"ev":"meta","lease_ms":30000,"degrade_after_ms":2000,"max_staleness_ms":30000,"clients":2}"#;
+
+    fn replay(lines: &[&str]) -> ReplayReport {
+        let text = lines.join("\n");
+        replay_str(Path::new("<test>"), &text)
+    }
+
+    #[test]
+    fn accepts_grant_recall_cycle() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"grant","client":1,"fh":7,"kind":"write"}"#,
+            r#"{"seq":2,"t_ms":200,"ev":"recall_sent","client":1,"fh":7,"kind":"write"}"#,
+            r#"{"seq":3,"t_ms":210,"ev":"recall_recv","client":1,"fh":7,"kind":"write"}"#,
+            r#"{"seq":4,"t_ms":250,"ev":"recall_done","client":1,"fh":7,"ok":1,"pending":0}"#,
+            r#"{"seq":5,"t_ms":260,"ev":"grant","client":2,"fh":7,"kind":"write"}"#,
+        ]);
+        assert!(r.accepted(), "{:?}", r.rejections);
+        assert_eq!(r.events, 6);
+    }
+
+    #[test]
+    fn rejects_conflicting_write_grants() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"grant","client":1,"fh":7,"kind":"write"}"#,
+            r#"{"seq":2,"t_ms":150,"ev":"grant","client":2,"fh":7,"kind":"write"}"#,
+        ]);
+        assert_eq!(r.rejections.len(), 1);
+        assert_eq!(r.rejections[0].rule, "grant-exclusivity");
+    }
+
+    #[test]
+    fn rejects_early_lease_revoke() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":1000,"ev":"grant","client":1,"fh":3,"kind":"write"}"#,
+            r#"{"seq":2,"t_ms":5000,"ev":"lease_revoke","client":1,"fh":3}"#,
+        ]);
+        assert_eq!(r.rejections.len(), 1);
+        assert_eq!(r.rejections[0].rule, "lease-revoke-early");
+    }
+
+    #[test]
+    fn accepts_expired_lease_revoke() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":1000,"ev":"grant","client":1,"fh":3,"kind":"write"}"#,
+            r#"{"seq":2,"t_ms":40000,"ev":"lease_revoke","client":1,"fh":3}"#,
+        ]);
+        assert!(r.accepted(), "{:?}", r.rejections);
+    }
+
+    #[test]
+    fn rejects_repromote_without_drain() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"degrade","client":1}"#,
+            r#"{"seq":2,"t_ms":200,"ev":"repromote","client":1,"discarded":0}"#,
+        ]);
+        assert_eq!(r.rejections.len(), 1);
+        assert_eq!(r.rejections[0].rule, "repromote-undrained");
+    }
+
+    #[test]
+    fn accepts_drained_repromote() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"degrade","client":1}"#,
+            r#"{"seq":2,"t_ms":200,"ev":"validate","client":1,"force":1,"n":0,"ts":0}"#,
+            r#"{"seq":3,"t_ms":250,"ev":"repromote","client":1,"discarded":0}"#,
+        ]);
+        assert!(r.accepted(), "{:?}", r.rejections);
+    }
+
+    #[test]
+    fn rejects_degraded_serve_while_healthy() {
+        let r = replay(&[META, r#"{"seq":1,"t_ms":100,"ev":"degraded_serve","client":1,"fh":2}"#]);
+        assert_eq!(r.rejections.len(), 1);
+        assert_eq!(r.rejections[0].rule, "degraded-serve-healthy");
+    }
+
+    #[test]
+    fn rejects_stale_degraded_serve() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":1000,"ev":"grant","client":1,"fh":2,"kind":"read"}"#,
+            r#"{"seq":2,"t_ms":2000,"ev":"degrade","client":1}"#,
+            r#"{"seq":3,"t_ms":90000,"ev":"degraded_serve","client":1,"fh":2}"#,
+        ]);
+        assert_eq!(r.rejections.len(), 1);
+        assert_eq!(r.rejections[0].rule, "staleness-bound");
+    }
+
+    #[test]
+    fn rejects_recall_done_without_sent() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"recall_done","client":1,"fh":7,"ok":1,"pending":0}"#,
+        ]);
+        assert_eq!(r.rejections.len(), 1);
+        assert_eq!(r.rejections[0].rule, "recall-done-unsent");
+    }
+
+    #[test]
+    fn unanswered_recall_done_needs_failure_evidence() {
+        let bad = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"recall_done","client":1,"fh":7,"ok":0,"pending":0}"#,
+        ]);
+        assert_eq!(bad.rejections[0].rule, "recall-done-unfailed");
+        let good = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"recall_fail","client":1,"fh":7}"#,
+            r#"{"seq":2,"t_ms":150,"ev":"recall_done","client":1,"fh":7,"ok":0,"pending":0}"#,
+        ]);
+        assert!(good.accepted(), "{:?}", good.rejections);
+    }
+
+    #[test]
+    fn rejects_clock_regression_and_missing_meta() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"validate","client":1,"force":0,"n":1,"ts":5}"#,
+            r#"{"seq":2,"t_ms":200,"ev":"validate","client":1,"force":0,"n":0,"ts":3}"#,
+        ]);
+        assert_eq!(r.rejections[0].rule, "invalidation-clock-regressed");
+
+        let r = replay(&[r#"{"seq":1,"t_ms":100,"ev":"degrade","client":1}"#]);
+        assert_eq!(r.rejections[0].rule, "missing-meta");
+    }
+
+    #[test]
+    fn server_crash_resets_clock_and_holders() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"grant","client":1,"fh":7,"kind":"write"}"#,
+            r#"{"seq":2,"t_ms":200,"ev":"validate","client":1,"force":0,"n":1,"ts":9}"#,
+            r#"{"seq":3,"t_ms":300,"ev":"server_crash"}"#,
+            r#"{"seq":4,"t_ms":400,"ev":"server_recover","answered":1}"#,
+            r#"{"seq":5,"t_ms":500,"ev":"regrant","client":1,"fh":7}"#,
+            r#"{"seq":6,"t_ms":600,"ev":"validate","client":1,"force":0,"n":0,"ts":0}"#,
+            r#"{"seq":7,"t_ms":700,"ev":"grant","client":2,"fh":9,"kind":"write"}"#,
+        ]);
+        assert!(r.accepted(), "{:?}", r.rejections);
+    }
+
+    #[test]
+    fn rejects_seq_regression_and_malformed_lines() {
+        let r = replay(&[
+            META,
+            r#"{"seq":5,"t_ms":100,"ev":"degrade","client":1}"#,
+            r#"{"seq":4,"t_ms":150,"ev":"validate","client":1,"force":0,"n":0,"ts":0}"#,
+            "not json at all",
+        ]);
+        let rules: Vec<_> = r.rejections.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"seq-not-increasing"), "{rules:?}");
+        assert!(rules.contains(&"malformed-line"), "{rules:?}");
+    }
+}

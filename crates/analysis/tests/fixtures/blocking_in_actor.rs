@@ -1,0 +1,7 @@
+// expect: blocking-in-actor
+// as: crates/core/src/proxy/client.rs
+// Known-bad: real thread sleep inside actor-scoped code blocks the
+// simulation actor instead of parking on the virtual clock.
+fn backoff(&self) {
+    std::thread::sleep(Duration::from_millis(50));
+}

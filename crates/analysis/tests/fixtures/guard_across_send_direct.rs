@@ -1,0 +1,7 @@
+// expect: guard-across-send
+// as: crates/core/src/proxy/server.rs
+// Known-bad: a named guard is live at a direct wire entry point.
+fn recall(&self) {
+    let st = self.state.lock();
+    self.transport.call(RECALL, st.fh);
+}

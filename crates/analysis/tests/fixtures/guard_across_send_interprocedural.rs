@@ -1,0 +1,13 @@
+// expect: guard-across-send
+// as: crates/core/src/proxy/server.rs
+// Known-bad: the guard is live at a call to a *helper* whose body
+// reaches the wire. `notify_holder` is not a send-marker name, so the
+// purely textual scan (pre call-graph) missed exactly this shape.
+fn issue_recall(&self) {
+    let st = self.state.lock();
+    self.notify_holder(st.fh);
+}
+
+fn notify_holder(&self, fh: Fh3) {
+    self.transport.call(RECALL, fh);
+}

@@ -1,0 +1,13 @@
+// expect: lock-order
+// as: crates/core/src/proxy/client.rs
+// Known-bad: the callee acquires `disk` (rank 1) while the caller
+// holds `state` (rank 2); only the call graph can see the inversion.
+fn op(&self) {
+    let st = self.state.lock();
+    self.read_disk(st.fh);
+}
+
+fn read_disk(&self, fh: Fh3) {
+    let d = self.disk.lock();
+    d.len();
+}

@@ -1,0 +1,9 @@
+// expect: lock-order
+// as: crates/core/src/proxy/client.rs
+// Known-bad: `state` (rank 2) is held while `disk` (rank 1) is
+// acquired — the inverse of the declared order.
+fn op(&self) {
+    let st = self.state.lock();
+    let d = self.disk.lock();
+    d.len();
+}

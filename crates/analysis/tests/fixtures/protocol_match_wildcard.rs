@@ -1,0 +1,10 @@
+// expect: protocol-match-exhaustive
+// as: crates/core/src/proxy/client.rs
+// Known-bad: a `_` arm over a wire-protocol enum silently absorbs new
+// protocol states instead of failing to compile.
+fn grant_rank(g: DelegationGrant) -> u32 {
+    match g {
+        DelegationGrant::Write => 2,
+        _ => 0,
+    }
+}

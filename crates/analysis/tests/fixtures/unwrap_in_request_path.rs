@@ -1,0 +1,8 @@
+// expect: unwrap-in-request-path
+// as: crates/rpc/src/server.rs
+// Known-bad: a malformed request must surface as an error reply, not a
+// panic that takes the session down.
+fn handle(&self, bytes: &[u8]) -> Reply {
+    let call = decode(bytes).unwrap();
+    dispatch_call(call)
+}

@@ -5,7 +5,11 @@
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin chaos_soak --
 //!       [--seeds N] [--start S] [--model all|passthrough|polling|delegation]
-//!       [--break-recall]`
+//!       [--break-recall] [--trace-dir DIR]`
+//!
+//! `--trace-dir DIR` writes each run's protocol-event trace to
+//! `DIR/<model>-seed<N>.jsonl` for `gvfs-analysis -- replay` conformance
+//! checking; the traces also join the determinism comparison.
 //!
 //! `--break-recall` is the harness self-test: it re-runs the matrix with
 //! delegation recalls suppressed and **fails unless** the oracles catch
@@ -27,10 +31,17 @@ struct Args {
     start: u64,
     models: Vec<ModelKind>,
     break_recall: bool,
+    trace_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
-    let mut out = Args { seeds: 8, start: 1, models: ModelKind::ALL.to_vec(), break_recall: false };
+    let mut out = Args {
+        seeds: 8,
+        start: 1,
+        models: ModelKind::ALL.to_vec(),
+        break_recall: false,
+        trace_dir: None,
+    };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -52,10 +63,24 @@ fn parse_args() -> Args {
                     };
             }
             "--break-recall" => out.break_recall = true,
+            "--trace-dir" => {
+                let v = argv.next().expect("--trace-dir needs a directory");
+                out.trace_dir = Some(std::path::PathBuf::from(v));
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
     out
+}
+
+fn write_trace(dir: &std::path::Path, name: &str, seed: u64, trace: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        panic!("cannot create trace dir {}: {e}", dir.display());
+    }
+    let path = dir.join(format!("{name}-seed{seed}.jsonl"));
+    if let Err(e) = std::fs::write(&path, trace) {
+        panic!("cannot write trace {}: {e}", path.display());
+    }
 }
 
 fn main() {
@@ -70,7 +95,13 @@ fn main() {
             let a = run_scenario(&cfg);
             let b = run_scenario(&cfg);
             runs += 2;
-            if a.trace_hash != b.trace_hash || a.violations != b.violations {
+            if let Some(dir) = &args.trace_dir {
+                write_trace(dir, model.name(), seed, &a.protocol_trace);
+            }
+            if a.trace_hash != b.trace_hash
+                || a.violations != b.violations
+                || a.protocol_trace != b.protocol_trace
+            {
                 determinism_breaks += 1;
                 println!(
                     "DETERMINISM BREAK: seed={seed} model={} hashes {:#x} vs {:#x}",
@@ -117,7 +148,13 @@ fn main() {
             let a = run_partition_heal(seed);
             let b = run_partition_heal(seed);
             runs += 2;
-            if a.trace_hash != b.trace_hash || a.history != b.history {
+            if let Some(dir) = &args.trace_dir {
+                write_trace(dir, "partition-heal", seed, &a.protocol_trace);
+            }
+            if a.trace_hash != b.trace_hash
+                || a.history != b.history
+                || a.protocol_trace != b.protocol_trace
+            {
                 determinism_breaks += 1;
                 println!(
                     "DETERMINISM BREAK: partition-heal seed={seed} hashes {:#x} vs {:#x}",

@@ -111,6 +111,13 @@ pub struct DelegationTable {
     config: DelegationConfig,
     /// Delegations revoked server-side by lease expiry (no recall).
     lease_revocations: u64,
+    /// When set, every in-table lease revocation is appended to
+    /// `revocation_log` for the caller to drain (trace emission, the
+    /// product model). Off by default so untraced long-running sessions
+    /// accumulate nothing.
+    log_revocations: bool,
+    /// `(client, fh)` pairs revoked since the last drain.
+    revocation_log: Vec<(u32, Fh3)>,
 }
 
 /// A canonical, ordered dump of one file's delegation state, produced by
@@ -130,7 +137,28 @@ pub struct FileSnapshot {
 impl DelegationTable {
     /// Creates an empty table with the given policy.
     pub fn new(config: DelegationConfig) -> Self {
-        DelegationTable { files: HashMap::new(), config, lease_revocations: 0 }
+        DelegationTable {
+            files: HashMap::new(),
+            config,
+            lease_revocations: 0,
+            log_revocations: false,
+            revocation_log: Vec::new(),
+        }
+    }
+
+    /// Enables or disables per-event recording of in-table lease
+    /// revocations (drained with [`DelegationTable::take_revocations`]).
+    pub fn set_revocation_log(&mut self, enabled: bool) {
+        self.log_revocations = enabled;
+        if !enabled {
+            self.revocation_log.clear();
+        }
+    }
+
+    /// Drains the `(client, fh)` pairs revoked in-table since the last
+    /// drain. Always empty unless recording was enabled.
+    pub fn take_revocations(&mut self) -> Vec<(u32, Fh3)> {
+        std::mem::take(&mut self.revocation_log)
     }
 
     /// The policy in effect.
@@ -239,6 +267,11 @@ impl DelegationTable {
             entry.sharers.remove(other);
         }
         self.lease_revocations += lapsed.len() as u64;
+        if self.log_revocations {
+            // Deterministic drain order regardless of map iteration.
+            lapsed.sort_unstable();
+            self.revocation_log.extend(lapsed.iter().map(|&c| (c, fh)));
+        }
 
         if !recalls.is_empty() {
             // Deterministic callback order regardless of map iteration.

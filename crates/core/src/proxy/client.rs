@@ -26,6 +26,8 @@ use crate::protocol::{
     RecoverRes, WrappedReply, GVFS_PROXY_PROGRAM, GVFS_VERSION,
 };
 use crate::proxy::{block_of, BLOCK_SIZE};
+#[cfg(feature = "trace")]
+use crate::trace::{ProtocolEvent, TraceBuffer, TraceKind};
 use gvfs_netsim::transport::SimRpcClient;
 use gvfs_netsim::SimTime;
 use gvfs_nfs3::{
@@ -198,6 +200,11 @@ pub struct ProxyClient {
     /// exchange), in virtual milliseconds since the epoch; 0 = never.
     last_validated_ms: AtomicU64,
     supervisor: Mutex<Option<gvfs_netsim::ActorHandle>>,
+    /// Protocol-event sink for spec-conformance replay, installed once
+    /// by the session (shared with the proxy server so `seq` is a
+    /// session-global order).
+    #[cfg(feature = "trace")]
+    trace: std::sync::OnceLock<Arc<TraceBuffer>>,
 }
 
 impl std::fmt::Debug for ProxyClient {
@@ -262,7 +269,22 @@ impl ProxyClient {
             needs_resync: AtomicBool::new(false),
             last_validated_ms: AtomicU64::new(0),
             supervisor: Mutex::new(None),
+            #[cfg(feature = "trace")]
+            trace: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Installs the shared protocol-trace buffer (first call wins).
+    #[cfg(feature = "trace")]
+    pub fn install_trace(&self, buf: Arc<TraceBuffer>) {
+        let _ = self.trace.set(buf);
+    }
+
+    #[cfg(feature = "trace")]
+    fn emit_trace(&self, ev: ProtocolEvent) {
+        if let Some(buf) = self.trace.get() {
+            buf.record(ev);
+        }
     }
 
     /// Enables or disables pipelined write-back (on by default). With
@@ -443,7 +465,12 @@ impl ProxyClient {
         {
             // Held delegations may be revoked server-side (lease expiry,
             // short-circuited recalls) while we cannot hear the recalls.
-            self.needs_resync.store(true, Ordering::SeqCst);
+            let first = !self.needs_resync.swap(true, Ordering::SeqCst);
+            let _ = first;
+            #[cfg(feature = "trace")]
+            if first {
+                self.emit_trace(ProtocolEvent::Degrade { client: self.id });
+            }
         }
     }
 
@@ -738,6 +765,8 @@ impl ProxyClient {
             stats.degraded_reads += 1;
             stats.served_local += 1;
         }
+        #[cfg(feature = "trace")]
+        self.emit_trace(ProtocolEvent::DegradedServe { client: self.id, fh: a.file.fileid() });
         let res = ReadRes::Ok {
             file_attributes: Some(attr),
             count: data.len() as u32,
@@ -785,6 +814,8 @@ impl ProxyClient {
             stats.degraded_reads += 1;
             stats.served_local += 1;
         }
+        #[cfg(feature = "trace")]
+        self.emit_trace(ProtocolEvent::DegradedServe { client: self.id, fh: fh.fileid() });
         encode(&GetattrRes::Ok(attr)).map(Some)
     }
 
@@ -1435,6 +1466,13 @@ impl ProxyClient {
                 stats.force_invalidations += 1;
             }
             drop(stats);
+            #[cfg(feature = "trace")]
+            self.emit_trace(ProtocolEvent::Validate {
+                client: self.id,
+                force: res.force_invalidate,
+                n: res.handles.len() as u32,
+                ts: res.timestamp,
+            });
             if !res.poll_again {
                 return Some(applied);
             }
@@ -1699,8 +1737,14 @@ impl ProxyClient {
             st.delegations.clear();
             st.noncacheable.clear();
         }
-        self.reconcile_dirty(false);
+        let discarded = self.reconcile_dirty(false);
+        let _ = &discarded;
         self.stats.lock().repromotions += 1;
+        #[cfg(feature = "trace")]
+        self.emit_trace(ProtocolEvent::Repromote {
+            client: self.id,
+            discarded: discarded.len() as u32,
+        });
     }
 
     /// Stops the poller, flusher, and supervisor actors.
@@ -1725,6 +1769,15 @@ impl ProxyClient {
             eprintln!("[{}] client {} callback {:?}", gvfs_netsim::now(), self.id, a);
         }
         self.stats.lock().callbacks += 1;
+        #[cfg(feature = "trace")]
+        self.emit_trace(ProtocolEvent::RecallRecv {
+            client: self.id,
+            fh: a.fh.fileid(),
+            kind: match a.kind {
+                CallbackKind::RecallRead => TraceKind::Read,
+                CallbackKind::RecallWrite => TraceKind::Write,
+            },
+        });
         match a.kind {
             CallbackKind::RecallRead => {
                 self.state.lock().delegations.remove(&a.fh);
@@ -1808,6 +1861,8 @@ impl ProxyClient {
     ///
     /// Returns the handles found corrupted.
     pub fn crash_recover(&self) -> Vec<Fh3> {
+        #[cfg(feature = "trace")]
+        self.emit_trace(ProtocolEvent::ClientCrash { client: self.id });
         {
             let mut st = self.state.lock();
             st.delegations.clear();

@@ -39,6 +39,8 @@ use crate::protocol::{
     RecoverRes, WrappedReply, GVFS_CALLBACK_PROGRAM, GVFS_PROXY_PROGRAM, GVFS_VERSION,
 };
 use crate::proxy::{block_of, classify, OpClass};
+#[cfg(feature = "trace")]
+use crate::trace::{ProtocolEvent, TraceBuffer, TraceKind};
 use gvfs_netsim::transport::SimRpcClient;
 use gvfs_netsim::SimTime;
 use gvfs_nfs3::{proc3, Fh3, LookupArgs, LookupRes, NFS_PROGRAM, NFS_V3};
@@ -118,6 +120,12 @@ pub struct ProxyServer {
     /// per conflicting access. Guards are scoped to the map lookup and
     /// never held across the wire or another lock.
     health: Mutex<HashMap<u32, Arc<CircuitBreaker>>>,
+    /// Protocol-event sink for spec-conformance replay, installed once
+    /// by the session. Grant/recall/revocation events are recorded
+    /// under the owning shard's lock so the per-file subsequence is
+    /// linearized exactly as the table decided it.
+    #[cfg(feature = "trace")]
+    trace: std::sync::OnceLock<Arc<TraceBuffer>>,
 }
 
 impl std::fmt::Debug for ProxyServer {
@@ -151,7 +159,26 @@ impl ProxyServer {
             recalls_short_circuited: AtomicU64::new(0),
             recover_rounds: AtomicU64::new(0),
             health: Mutex::new(HashMap::new()),
+            #[cfg(feature = "trace")]
+            trace: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Installs the shared protocol-trace buffer (first call wins) and
+    /// turns on per-event lease-revocation recording in every shard.
+    #[cfg(feature = "trace")]
+    pub fn install_trace(&self, buf: Arc<TraceBuffer>) {
+        let _ = self.trace.set(buf);
+        for shard in &self.shards {
+            shard.deleg.lock().set_revocation_log(true);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    fn emit_trace(&self, ev: ProtocolEvent) {
+        if let Some(buf) = self.trace.get() {
+            buf.record(ev);
+        }
     }
 
     /// The health breaker for one client, created closed on first use.
@@ -207,11 +234,17 @@ impl ProxyServer {
     /// timestamps, delegation table) is lost; the persisted client list
     /// survives.
     pub fn crash(&self) {
+        #[cfg(feature = "trace")]
+        self.emit_trace(ProtocolEvent::ServerCrash);
         self.inval.reset(4096);
         for shard in &self.shards {
             let mut table = shard.deleg.lock();
             let config = *table.config();
             *table = DelegationTable::new(config);
+            #[cfg(feature = "trace")]
+            if self.trace.get().is_some() {
+                table.set_revocation_log(true);
+            }
         }
     }
 
@@ -258,10 +291,17 @@ impl ProxyServer {
             }
             for (i, files) in by_shard.iter().enumerate() {
                 if !files.is_empty() {
-                    self.shards[i].deleg.lock().recover_client(client, files, now);
+                    let mut table = self.shards[i].deleg.lock();
+                    table.recover_client(client, files, now);
+                    #[cfg(feature = "trace")]
+                    for &fh in files.iter() {
+                        self.emit_trace(ProtocolEvent::Regrant { client, fh: fh.fileid() });
+                    }
                 }
             }
         }
+        #[cfg(feature = "trace")]
+        self.emit_trace(ProtocolEvent::ServerRecover { answered: answered as u32 });
         answered
     }
 
@@ -351,10 +391,22 @@ impl ProxyServer {
         // A half-open breaker lets the recall through as the probe.
         if self.client_breaker(action.client).state(now_dur()) == BreakerState::Open {
             self.recalls_short_circuited.fetch_add(1, Ordering::SeqCst);
+            #[cfg(feature = "trace")]
+            self.emit_trace(ProtocolEvent::RecallShort {
+                client: action.client,
+                fh: action.fh.fileid(),
+            });
             return None;
         }
         let transport = self.callbacks.read().get(&action.client).cloned();
-        let transport = transport?;
+        let Some(transport) = transport else {
+            #[cfg(feature = "trace")]
+            self.emit_trace(ProtocolEvent::RecallFail {
+                client: action.client,
+                fh: action.fh.fileid(),
+            });
+            return None;
+        };
         let kind = match action.kind {
             DelegationKind::Read => CallbackKind::RecallRead,
             DelegationKind::Write => CallbackKind::RecallWrite,
@@ -374,11 +426,25 @@ impl ProxyServer {
                 if e.trips_breaker() {
                     self.client_breaker(action.client).on_failure(now_dur());
                 }
+                #[cfg(feature = "trace")]
+                self.emit_trace(ProtocolEvent::RecallFail {
+                    client: action.client,
+                    fh: action.fh.fileid(),
+                });
                 None
             }
         };
         if sent.is_some() {
             self.recalls_sent.fetch_add(1, Ordering::SeqCst);
+            #[cfg(feature = "trace")]
+            self.emit_trace(ProtocolEvent::RecallSent {
+                client: action.client,
+                fh: action.fh.fileid(),
+                kind: match action.kind {
+                    DelegationKind::Read => TraceKind::Read,
+                    DelegationKind::Write => TraceKind::Write,
+                },
+            });
         }
         sent
     }
@@ -388,7 +454,7 @@ impl ProxyServer {
     /// with nothing recovered (its writes are lost unless it reconciles
     /// after recovery, §4.3.4).
     fn finish_recall(&self, action: &RecallAction, call: Option<(SimRpcClient, PendingCall)>) {
-        let pending_blocks = match call {
+        let (pending_blocks, answered) = match call {
             Some((transport, call)) => {
                 let breaker = self.client_breaker(action.client);
                 let started = now_dur();
@@ -396,25 +462,33 @@ impl ProxyServer {
                     Ok(bytes) => {
                         let now = now_dur();
                         breaker.on_success(now, now.saturating_sub(started));
-                        gvfs_xdr::from_bytes::<CallbackRes>(&bytes)
+                        let blocks = gvfs_xdr::from_bytes::<CallbackRes>(&bytes)
                             .map(|r| r.pending_blocks)
-                            .unwrap_or_default()
+                            .unwrap_or_default();
+                        (blocks, true)
                     }
                     Err(e) => {
                         if e.trips_breaker() {
                             breaker.on_failure(now_dur());
                         }
-                        Vec::new()
+                        (Vec::new(), false)
                     }
                 }
             }
-            None => Vec::new(),
+            None => (Vec::new(), false),
         };
-        self.deleg_shard(action.fh).deleg.lock().recall_done(
-            action.fh,
-            action.client,
-            pending_blocks,
-        );
+        let _ = answered;
+        #[cfg(feature = "trace")]
+        let pending = pending_blocks.len() as u32;
+        let mut table = self.deleg_shard(action.fh).deleg.lock();
+        table.recall_done(action.fh, action.client, pending_blocks);
+        #[cfg(feature = "trace")]
+        self.emit_trace(ProtocolEvent::RecallDone {
+            client: action.client,
+            fh: action.fh.fileid(),
+            ok: answered,
+            pending,
+        });
     }
 
     fn perform_recall(&self, action: &RecallAction) {
@@ -478,7 +552,35 @@ impl ProxyServer {
             loop {
                 let (g, recalls) = {
                     let now = gvfs_netsim::now();
-                    self.deleg_shard(*fh).deleg.lock().access(*fh, client, *write, *offset, now)
+                    let mut table = self.deleg_shard(*fh).deleg.lock();
+                    let (g, recalls) = table.access(*fh, client, *write, *offset, now);
+                    // Emission happens under the shard lock so the
+                    // trace's per-file order is the table's own.
+                    #[cfg(feature = "trace")]
+                    {
+                        for (revoked, rfh) in table.take_revocations() {
+                            self.emit_trace(ProtocolEvent::LeaseRevoke {
+                                client: revoked,
+                                fh: rfh.fileid(),
+                            });
+                        }
+                        if recalls.is_empty() {
+                            let kind = match g {
+                                DelegationGrant::Read => Some(TraceKind::Read),
+                                DelegationGrant::Write => Some(TraceKind::Write),
+                                DelegationGrant::NonCacheable => Some(TraceKind::NonCacheable),
+                                DelegationGrant::None => None,
+                            };
+                            if let Some(kind) = kind {
+                                self.emit_trace(ProtocolEvent::Grant {
+                                    client,
+                                    fh: fh.fileid(),
+                                    kind,
+                                });
+                            }
+                        }
+                    }
+                    (g, recalls)
                 };
                 if recalls.is_empty() {
                     if i == 0 {
@@ -509,6 +611,12 @@ impl ProxyServer {
                     if i == 0 {
                         grant = DelegationGrant::NonCacheable;
                     }
+                    #[cfg(feature = "trace")]
+                    self.emit_trace(ProtocolEvent::Grant {
+                        client,
+                        fh: fh.fileid(),
+                        kind: TraceKind::NonCacheable,
+                    });
                     break;
                 }
             }

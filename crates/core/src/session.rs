@@ -412,6 +412,37 @@ impl Session {
         &self.proxy_server
     }
 
+    /// Installs a fresh protocol-trace buffer into the proxy server and
+    /// every proxy client, emits the `meta` record the replay checker
+    /// needs, and returns the shared buffer. Call once, before virtual
+    /// time starts.
+    #[cfg(feature = "trace")]
+    pub fn install_trace(&self) -> Arc<crate::trace::TraceBuffer> {
+        let buf = crate::trace::TraceBuffer::new();
+        let lease_ms = match self.config.model {
+            ConsistencyModel::DelegationCallback(c) => c.lease.as_millis() as u64,
+            _ => 0,
+        };
+        buf.record_at(
+            0,
+            crate::trace::ProtocolEvent::Meta {
+                lease_ms,
+                degrade_after_ms: self.config.degrade_after.as_millis() as u64,
+                max_staleness_ms: self
+                    .config
+                    .max_staleness
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0),
+                clients: self.clients.len() as u32,
+            },
+        );
+        self.proxy_server.install_trace(Arc::clone(&buf));
+        for end in &self.clients {
+            end.proxy.install_trace(Arc::clone(&buf));
+        }
+        buf
+    }
+
     /// The proxy client of machine `i`.
     ///
     /// # Panics

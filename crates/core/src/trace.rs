@@ -1,0 +1,292 @@
+//! Protocol-event tracing for spec-conformance replay.
+//!
+//! The proxies can record every externally meaningful protocol
+//! transition — delegation grants, recall rounds, in-table lease
+//! revocations, GETINV validations, and the degradation ladder's
+//! degrade/repromote steps — into a [`TraceBuffer`] shared across the
+//! session. `gvfs-analysis -- replay` then asserts the recorded run is
+//! an accepted path of the composed product model, turning every netsim
+//! and chaos run into a spec-conformance run (TLA+-style trace
+//! validation).
+//!
+//! Emission is gated behind the `trace` cargo feature: without it the
+//! proxies carry no sink and no call site is compiled, so the hot path
+//! pays nothing. The event types themselves are always compiled so the
+//! schema (and its serialization tests) do not depend on the feature.
+//!
+//! # Trace schema (JSONL)
+//!
+//! One flat JSON object per line, `seq`-ordered, `t_ms` in virtual
+//! milliseconds. The first line is always the `meta` record carrying
+//! the session parameters the replay checker needs:
+//!
+//! ```text
+//! {"seq":0,"t_ms":0,"ev":"meta","lease_ms":30000,"degrade_after_ms":2000,"max_staleness_ms":30000,"clients":3}
+//! {"seq":1,"t_ms":4103,"ev":"grant","client":1,"fh":5,"kind":"write"}
+//! {"seq":2,"t_ms":40210,"ev":"recall_short","client":1,"fh":5}
+//! {"seq":3,"t_ms":40210,"ev":"recall_done","client":1,"fh":5,"ok":0,"pending":0}
+//! ```
+
+use gvfs_netsim::SimTime;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which delegation a grant or recall concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A read delegation.
+    Read,
+    /// A write delegation.
+    Write,
+    /// No delegation: the file is served non-cacheable.
+    NonCacheable,
+}
+
+impl TraceKind {
+    fn name(self) -> &'static str {
+        match self {
+            TraceKind::Read => "read",
+            TraceKind::Write => "write",
+            TraceKind::NonCacheable => "noncacheable",
+        }
+    }
+
+    /// Parses [`TraceKind::name`] back.
+    pub fn parse(s: &str) -> Option<TraceKind> {
+        match s {
+            "read" => Some(TraceKind::Read),
+            "write" => Some(TraceKind::Write),
+            "noncacheable" => Some(TraceKind::NonCacheable),
+            _ => None,
+        }
+    }
+}
+
+/// One protocol transition, as recorded by the proxies.
+///
+/// Server-side events (grants, recalls, revocations) are emitted under
+/// the owning delegation shard's lock, so the per-file subsequence is
+/// linearized exactly as the table saw it; client-side events are
+/// emitted by the client's own actors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// Session parameters; always the first record of a trace.
+    Meta { lease_ms: u64, degrade_after_ms: u64, max_staleness_ms: u64, clients: u32 },
+    /// The server resolved an access and granted `kind` to `client`.
+    Grant { client: u32, fh: u64, kind: TraceKind },
+    /// A recall callback went on the wire to `client`.
+    RecallSent { client: u32, fh: u64, kind: TraceKind },
+    /// A recall was short-circuited: the target's health breaker was
+    /// open, so the holder is revoked as unreachable without a timeout.
+    RecallShort { client: u32, fh: u64 },
+    /// A recall could not be sent (no route, or the link rejected it).
+    RecallFail { client: u32, fh: u64 },
+    /// A recall round finished for `client`; `ok` is false when no
+    /// reply was received and the holder was revoked as unreachable.
+    RecallDone { client: u32, fh: u64, ok: bool, pending: u32 },
+    /// The server revoked `client`'s delegation in-table because its
+    /// renewal lease had lapsed (no recall round trip).
+    LeaseRevoke { client: u32, fh: u64 },
+    /// Post-restart recovery re-entered a write delegation reported in
+    /// `client`'s dirty-file list.
+    Regrant { client: u32, fh: u64 },
+    /// The proxy server crashed (volatile state lost).
+    ServerCrash,
+    /// The restarted server finished its `RECOVER` multicast round.
+    ServerRecover { answered: u32 },
+    /// Proxy client `client` restarted and ran crash recovery.
+    ClientCrash { client: u32 },
+    /// A recall callback arrived at `client`.
+    RecallRecv { client: u32, fh: u64, kind: TraceKind },
+    /// `client` completed one GETINV exchange: `n` invalidations
+    /// applied, `force` when the server demanded a cache-wide
+    /// invalidation, `ts` the server timestamp acknowledged.
+    Validate { client: u32, force: bool, n: u32, ts: u64 },
+    /// `client`'s WAN breaker degraded its delegation session: the
+    /// resync flag is raised and the ladder may start serving
+    /// bounded-staleness reads.
+    Degrade { client: u32 },
+    /// `client` answered a read or getattr from cache under the
+    /// bounded-staleness rung while its breaker was open.
+    DegradedServe { client: u32, fh: u64 },
+    /// `client` re-promoted after a heal: invalidations drained, stale
+    /// delegations dropped, `discarded` dirty files thrown away as
+    /// unreconcilable.
+    Repromote { client: u32, discarded: u32 },
+}
+
+impl ProtocolEvent {
+    /// The record's `ev` discriminator string.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolEvent::Meta { .. } => "meta",
+            ProtocolEvent::Grant { .. } => "grant",
+            ProtocolEvent::RecallSent { .. } => "recall_sent",
+            ProtocolEvent::RecallShort { .. } => "recall_short",
+            ProtocolEvent::RecallFail { .. } => "recall_fail",
+            ProtocolEvent::RecallDone { .. } => "recall_done",
+            ProtocolEvent::LeaseRevoke { .. } => "lease_revoke",
+            ProtocolEvent::Regrant { .. } => "regrant",
+            ProtocolEvent::ServerCrash => "server_crash",
+            ProtocolEvent::ServerRecover { .. } => "server_recover",
+            ProtocolEvent::ClientCrash { .. } => "client_crash",
+            ProtocolEvent::RecallRecv { .. } => "recall_recv",
+            ProtocolEvent::Validate { .. } => "validate",
+            ProtocolEvent::Degrade { .. } => "degrade",
+            ProtocolEvent::DegradedServe { .. } => "degraded_serve",
+            ProtocolEvent::Repromote { .. } => "repromote",
+        }
+    }
+}
+
+/// One timestamped, sequence-numbered record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Global emission order (atomic counter).
+    pub seq: u64,
+    /// Virtual time of emission, in milliseconds.
+    pub t_ms: u64,
+    /// The transition.
+    pub ev: ProtocolEvent,
+}
+
+impl TraceRecord {
+    /// Serializes the record as one flat JSON object (the trace-line
+    /// schema `gvfs-analysis -- replay` parses).
+    pub fn to_json_line(&self) -> String {
+        let mut s =
+            format!(r#"{{"seq":{},"t_ms":{},"ev":"{}""#, self.seq, self.t_ms, self.ev.name());
+        match &self.ev {
+            ProtocolEvent::Meta { lease_ms, degrade_after_ms, max_staleness_ms, clients } => {
+                s.push_str(&format!(
+                    r#","lease_ms":{lease_ms},"degrade_after_ms":{degrade_after_ms},"max_staleness_ms":{max_staleness_ms},"clients":{clients}"#
+                ));
+            }
+            ProtocolEvent::Grant { client, fh, kind }
+            | ProtocolEvent::RecallSent { client, fh, kind }
+            | ProtocolEvent::RecallRecv { client, fh, kind } => {
+                s.push_str(&format!(r#","client":{client},"fh":{fh},"kind":"{}""#, kind.name()));
+            }
+            ProtocolEvent::RecallShort { client, fh }
+            | ProtocolEvent::RecallFail { client, fh }
+            | ProtocolEvent::LeaseRevoke { client, fh }
+            | ProtocolEvent::Regrant { client, fh }
+            | ProtocolEvent::DegradedServe { client, fh } => {
+                s.push_str(&format!(r#","client":{client},"fh":{fh}"#));
+            }
+            ProtocolEvent::RecallDone { client, fh, ok, pending } => {
+                s.push_str(&format!(
+                    r#","client":{client},"fh":{fh},"ok":{},"pending":{pending}"#,
+                    u32::from(*ok)
+                ));
+            }
+            ProtocolEvent::ServerCrash => {}
+            ProtocolEvent::ServerRecover { answered } => {
+                s.push_str(&format!(r#","answered":{answered}"#));
+            }
+            ProtocolEvent::ClientCrash { client } | ProtocolEvent::Degrade { client } => {
+                s.push_str(&format!(r#","client":{client}"#));
+            }
+            ProtocolEvent::Validate { client, force, n, ts } => {
+                s.push_str(&format!(
+                    r#","client":{client},"force":{},"n":{n},"ts":{ts}"#,
+                    u32::from(*force)
+                ));
+            }
+            ProtocolEvent::Repromote { client, discarded } => {
+                s.push_str(&format!(r#","client":{client},"discarded":{discarded}"#));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A shared, append-only buffer of protocol events for one session.
+///
+/// Cheap enough to record under a delegation shard lock: one mutex
+/// push. The session installs one buffer into the proxy server and
+/// every proxy client, so `seq` is a session-global order.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    seq: AtomicU64,
+    tracebuf: Mutex<Vec<TraceRecord>>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty shared buffer.
+    pub fn new() -> Arc<TraceBuffer> {
+        Arc::new(TraceBuffer::default())
+    }
+
+    /// Appends `ev` stamped with the current virtual time. Must be
+    /// called from a simulation actor; use [`TraceBuffer::record_at`]
+    /// outside one (e.g. the pre-run `meta` record).
+    pub fn record(&self, ev: ProtocolEvent) {
+        let t_ms = gvfs_netsim::now().saturating_since(SimTime::ZERO).as_millis() as u64;
+        self.record_at(t_ms, ev);
+    }
+
+    /// Appends `ev` with an explicit virtual timestamp.
+    pub fn record_at(&self, t_ms: u64, ev: ProtocolEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.tracebuf.lock().push(TraceRecord { seq, t_ms, ev });
+    }
+
+    /// All records so far, in emission (`seq`) order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = self.tracebuf.lock().clone();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// The whole trace as JSONL (one record per line, `seq`-ordered).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.records() {
+            out.push_str(&record.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_round_trip_fields() {
+        let buf = TraceBuffer::new();
+        buf.record_at(
+            0,
+            ProtocolEvent::Meta {
+                lease_ms: 30_000,
+                degrade_after_ms: 2_000,
+                max_staleness_ms: 30_000,
+                clients: 2,
+            },
+        );
+        buf.record_at(1, ProtocolEvent::Grant { client: 1, fh: 7, kind: TraceKind::Write });
+        buf.record_at(2, ProtocolEvent::RecallDone { client: 1, fh: 7, ok: false, pending: 3 });
+        buf.record_at(3, ProtocolEvent::Validate { client: 2, force: true, n: 4, ts: 9 });
+        let jsonl = buf.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(r#""ev":"meta""#) && lines[0].contains(r#""lease_ms":30000"#));
+        assert!(lines[1].contains(r#""kind":"write""#));
+        assert!(lines[2].contains(r#""ok":0"#) && lines[2].contains(r#""pending":3"#));
+        assert!(lines[3].contains(r#""force":1"#) && lines[3].contains(r#""ts":9"#));
+    }
+
+    #[test]
+    fn records_are_seq_ordered() {
+        let buf = TraceBuffer::new();
+        for i in 0..10u32 {
+            buf.record_at(u64::from(i), ProtocolEvent::Degrade { client: i });
+        }
+        let records = buf.records();
+        assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

@@ -18,8 +18,8 @@ const BLOCK: u64 = 32 * 1024; // gvfs_server::TRANSFER_SIZE
 /// stays cold — a read of it is a true WAN miss.
 fn seed(vfs: &Arc<gvfs_vfs::Vfs>, name: &str, data: &[u8]) {
     let t = gvfs_vfs::Timestamp::from_nanos(0);
-    let f = vfs.create(vfs.root(), name, 0o644, t).unwrap();
-    vfs.write(f, 0, data, t).unwrap();
+    let f = vfs.create(vfs.root(), name, 0o644, t).expect("create seed file");
+    vfs.write(f, 0, data, t).expect("write seed data");
 }
 
 fn polling(period_secs: u64) -> SessionConfig {

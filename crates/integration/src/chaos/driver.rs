@@ -185,6 +185,9 @@ pub struct ChaosReport {
     pub trace_hash: u64,
     /// Everything the oracles rejected; empty means the run is clean.
     pub violations: Vec<Violation>,
+    /// The protocol-event trace (JSONL; see `gvfs_core::trace`), fed to
+    /// `gvfs-analysis -- replay` for spec-conformance checking.
+    pub protocol_trace: String,
 }
 
 fn worker_seed(seed: u64, client: usize) -> u64 {
@@ -211,6 +214,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ChaosReport {
 pub fn run_with_events(cfg: &ScenarioConfig, events: &[FaultEvent]) -> ChaosReport {
     let sim = Sim::new();
     let session = Session::builder(cfg.model.session_config()).clients(cfg.clients).establish(&sim);
+    let protocol_trace = session.install_trace();
 
     // Pre-populate the chaos files out of band, before virtual time
     // starts: every file begins as FILE_LEN zero bytes (tag 0).
@@ -427,5 +431,6 @@ pub fn run_with_events(cfg: &ScenarioConfig, events: &[FaultEvent]) -> ChaosRepo
         final_tags,
         trace_hash: hash,
         violations,
+        protocol_trace: protocol_trace.to_jsonl(),
     }
 }

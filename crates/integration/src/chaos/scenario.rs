@@ -53,6 +53,9 @@ pub struct PartitionHealReport {
     pub trace_hash: u64,
     /// Oracle rejections plus scenario-specific checks; empty = clean.
     pub violations: Vec<Violation>,
+    /// The protocol-event trace (JSONL; see `gvfs_core::trace`), fed to
+    /// `gvfs-analysis -- replay` for spec-conformance checking.
+    pub protocol_trace: String,
 }
 
 /// The tag the partitioned writer must land as the final content of
@@ -140,6 +143,7 @@ pub fn run_partition_heal(seed: u64) -> PartitionHealReport {
     let sim = Sim::new();
     let session =
         Session::builder(ModelKind::Delegation.session_config()).clients(2).establish(&sim);
+    let protocol_trace = session.install_trace();
 
     // Pre-populate out of band: both files start as FILE_LEN zeros
     // (tag 0), plus a canary file nobody caches before the partition.
@@ -339,5 +343,6 @@ pub fn run_partition_heal(seed: u64) -> PartitionHealReport {
         final_tags,
         trace_hash: hash,
         violations,
+        protocol_trace: protocol_trace.to_jsonl(),
     }
 }
