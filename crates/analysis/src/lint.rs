@@ -53,14 +53,22 @@ use std::path::{Path, PathBuf};
 ///
 /// Rank 0 is the session layer (callback routes, persisted client
 /// list), then the client disk cache, then the proxy-client volatile
-/// state and the server's per-shard delegation tables (`deleg`, one
+/// state, the server's per-shard delegation tables (`deleg`, one
 /// mutex per file-handle shard; a thread holds at most one shard at a
-/// time, so the shards share a rank), then the sharded invalidation
-/// tracker (`buffers` registry read/write lock over the per-client
-/// `buf` mutexes), then the write-back/invalidation plumbing, then
+/// time, so the shards share a rank) and the client readahead window,
+/// then the persistent block store's extent index (`index`, reached
+/// under the disk-cache guard — and, on the fill path, the readahead
+/// guard too — so it must rank below both; it shares a rank with the
+/// server's sharded invalidation tracker `buffers` because the client
+/// store and the server tracker never interleave), then the store's
+/// WAL appender (`wal`, taken under `index` to keep log order matching
+/// index order) beside the tracker's per-client `buf` mutexes, then
+/// the write-back/invalidation plumbing, then
 /// actor handles (flusher/poller/supervisor), the server's per-client
 /// WAN-health registry (`health`, scoped to a breaker lookup, never
-/// held across the wire), and counters.
+/// held across the wire), and counters. Neither store lock may be held
+/// across a WAN send: the store does disk I/O only, and its deferred
+/// cost settlement happens after every guard is released.
 pub const LOCK_ORDER: &[(&str, u32)] = &[
     ("callbacks", 0),
     ("persisted_clients", 0),
@@ -68,7 +76,9 @@ pub const LOCK_ORDER: &[(&str, u32)] = &[
     ("state", 2),
     ("deleg", 2),
     ("readahead", 2),
+    ("index", 3),
     ("buffers", 3),
+    ("wal", 4),
     ("buf", 4),
     ("flush_queue", 5),
     ("flusher", 6),
@@ -124,7 +134,12 @@ const SEND_MARKERS: &[&str] = &[
 /// Callee names never followed through the call graph. Resolution is
 /// by bare name, so a workspace method that happens to share its name
 /// with a std container/combinator method would otherwise claim every
-/// `.get(…)` or `.insert(…)` in the tree as an edge to itself.
+/// `.get(…)` or `.insert(…)` in the tree as an edge to itself. `sync`
+/// is here for the same reason: it is the universal durability verb —
+/// the netsim virtual disk, the block-store trait, and `std::fs::File`
+/// all speak it — and following `disk.sync()` to the store's own
+/// `sync` would make every WAL append look like a recursive
+/// index-lock acquisition.
 const EXCLUDED_CALLEES: &[&str] = &[
     "all",
     "and_modify",
@@ -230,6 +245,7 @@ const EXCLUDED_CALLEES: &[&str] = &[
     "store",
     "sum",
     "swap",
+    "sync",
     "take",
     "to_owned",
     "to_string",

@@ -1,0 +1,9 @@
+// expect: guard-across-send
+// as: crates/core/src/store/persist.rs
+// Known-bad: the persistent store's extent-index guard is live at a
+// WAN entry point. The store must never reach the wire — a replay
+// fetch belongs in the proxy client, after every store guard drops.
+fn refetch_evicted(&self) {
+    let idx = self.index.lock();
+    self.transport.call(READ, idx.first_gap);
+}

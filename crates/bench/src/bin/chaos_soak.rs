@@ -21,8 +21,8 @@
 
 use gvfs_bench::save_json;
 use gvfs_integration::chaos::{
-    format_reproducer, generate_events, run_partition_heal, run_scenario, shrink_failure,
-    ModelKind, ScenarioConfig,
+    format_reproducer, generate_events, run_crash_restart, run_partition_heal, run_scenario,
+    shrink_failure, ModelKind, ScenarioConfig,
 };
 use serde_json::json;
 
@@ -173,6 +173,49 @@ fn main() {
             violations.push(json!({
                 "seed": seed,
                 "model": "partition-heal",
+                "suppress_recalls": false,
+                "violations": a.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+                "shrunk_events": Option::<Vec<String>>::None,
+                "reproducer": Option::<String>::None,
+            }));
+        }
+    }
+
+    // The scripted crash-restart scenario also rides along for the
+    // delegation model: a mid-write-back machine crash on a persistent
+    // block store must recover exactly the synced prefix — the torn WAL
+    // tail discarded, the surviving dirty data reconciled, and no reader
+    // ever served a torn or never-synced block from disk.
+    if args.models.contains(&ModelKind::Delegation) {
+        for seed in args.start..args.start + args.seeds {
+            let a = run_crash_restart(seed);
+            let b = run_crash_restart(seed);
+            runs += 2;
+            if let Some(dir) = &args.trace_dir {
+                write_trace(dir, "crash-restart", seed, &a.protocol_trace);
+            }
+            if a.trace_hash != b.trace_hash
+                || a.history != b.history
+                || a.protocol_trace != b.protocol_trace
+            {
+                determinism_breaks += 1;
+                println!(
+                    "DETERMINISM BREAK: crash-restart seed={seed} hashes {:#x} vs {:#x}",
+                    a.trace_hash, b.trace_hash
+                );
+                continue;
+            }
+            if a.violations.is_empty() {
+                println!(
+                    "seed={seed} crash-restart ok (warm blocks {}, trace {:#x})",
+                    a.writer_stats.restart_warm_blocks, a.trace_hash
+                );
+                continue;
+            }
+            println!("seed={seed} crash-restart: {} violation(s)", a.violations.len());
+            violations.push(json!({
+                "seed": seed,
+                "model": "crash-restart",
                 "suppress_recalls": false,
                 "violations": a.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
                 "shrunk_events": Option::<Vec<String>>::None,

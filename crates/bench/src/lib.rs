@@ -114,6 +114,10 @@ pub fn read_path_json(stats: &gvfs_core::proxy::client::ProxyClientStats) -> ser
         "prefetch_issued": stats.prefetch_issued,
         "prefetch_hits": stats.prefetch_hits,
         "prefetch_wasted": stats.prefetch_wasted,
+        "cache_bytes": stats.cache_bytes,
+        "cache_evictions": stats.cache_evictions,
+        "dedup_hits": stats.dedup_hits,
+        "restart_warm_blocks": stats.restart_warm_blocks,
     })
 }
 
@@ -131,6 +135,10 @@ pub fn session_read_path(
         agg.prefetch_issued += s.prefetch_issued;
         agg.prefetch_hits += s.prefetch_hits;
         agg.prefetch_wasted += s.prefetch_wasted;
+        agg.cache_bytes += s.cache_bytes;
+        agg.cache_evictions += s.cache_evictions;
+        agg.dedup_hits += s.dedup_hits;
+        agg.restart_warm_blocks += s.restart_warm_blocks;
     }
     read_path_json(&agg)
 }

@@ -12,7 +12,8 @@
 //! partial write-back protocol: dirty extents are exactly the "list of
 //! blocks' offsets" a recalled write delegation reports (§4.3.2).
 
-use gvfs_nfs3::{Fattr3, Fh3, NfsTime3};
+use crate::store::BlockStore;
+use gvfs_nfs3::{Fattr3, Fh3};
 use std::collections::{BTreeMap, HashMap};
 
 /// One cached byte range of a file.
@@ -316,11 +317,13 @@ fn overlay(map: &mut BTreeMap<u64, Extent>, offset: u64, data: Vec<u8>, dirty: b
 }
 
 /// The proxy client's disk cache: attributes, name lookups and file
-/// content, with LRU eviction of clean data.
+/// content. Content lives in a pluggable [`BlockStore`] — the in-memory
+/// [`MemStore`](crate::store::mem::MemStore) by default, or the
+/// persistent [`PersistentStore`](crate::store::persist::PersistentStore)
+/// that survives proxy restarts.
 #[derive(Debug)]
 pub struct DiskCache {
     attrs: HashMap<Fh3, Fattr3>,
-    mtime_tags: HashMap<Fh3, NfsTime3>,
     lookups: HashMap<(Fh3, String), Option<Fh3>>,
     /// Directories whose name bindings need a bulk refresh because the
     /// directory was invalidated by the consistency protocol. Serving a
@@ -328,28 +331,23 @@ pub struct DiskCache {
     /// whose inode survives through another hard link (the lock-file
     /// pattern) would keep resolving.
     stale_dirs: std::collections::HashSet<Fh3>,
-    files: HashMap<Fh3, FileCache>,
-    lru: BTreeMap<u64, Fh3>,
-    lru_seq: HashMap<Fh3, u64>,
-    next_seq: u64,
-    capacity: usize,
-    used: usize,
+    store: Box<dyn BlockStore>,
 }
 
 impl DiskCache {
-    /// Creates a cache bounded to `capacity` bytes of file content.
+    /// Creates a cache bounded to `capacity` bytes of file content,
+    /// backed by the in-memory store.
     pub fn new(capacity: usize) -> Self {
+        DiskCache::with_store(Box::new(crate::store::mem::MemStore::new(capacity)))
+    }
+
+    /// Creates a cache over an explicit block store.
+    pub fn with_store(store: Box<dyn BlockStore>) -> Self {
         DiskCache {
             attrs: HashMap::new(),
-            mtime_tags: HashMap::new(),
             lookups: HashMap::new(),
             stale_dirs: std::collections::HashSet::new(),
-            files: HashMap::new(),
-            lru: BTreeMap::new(),
-            lru_seq: HashMap::new(),
-            next_seq: 0,
-            capacity,
-            used: 0,
+            store,
         }
     }
 
@@ -363,24 +361,16 @@ impl DiskCache {
     /// Caches attributes; if the mtime moved against cached data, the
     /// file's clean content is dropped.
     pub fn put_attr(&mut self, fh: Fh3, attr: Fattr3) {
-        match self.mtime_tags.get(&fh) {
-            Some(tag) if *tag != attr.mtime => {
-                if let Some(fc) = self.files.get_mut(&fh) {
-                    let before = fc.bytes();
-                    fc.drop_clean();
-                    self.used -= before - fc.bytes();
-                }
-            }
-            _ => {}
-        }
-        self.mtime_tags.insert(fh, attr.mtime);
+        self.store.revalidate(fh, attr.mtime);
+        self.store.note_size(fh, attr.size);
         self.attrs.insert(fh, attr);
     }
 
     /// Caches attributes for data we wrote ourselves: retags without
     /// dropping content.
     pub fn put_attr_own_write(&mut self, fh: Fh3, attr: Fattr3) {
-        self.mtime_tags.insert(fh, attr.mtime);
+        self.store.retag(fh, attr.mtime);
+        self.store.note_size(fh, attr.size);
         self.attrs.insert(fh, attr);
     }
 
@@ -475,119 +465,101 @@ impl DiskCache {
 
     // --- data ---
 
-    fn touch(&mut self, fh: Fh3) {
-        if let Some(old) = self.lru_seq.remove(&fh) {
-            self.lru.remove(&old);
-        }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.lru.insert(seq, fh);
-        self.lru_seq.insert(fh, seq);
-    }
-
     /// Reads `[offset, offset+len)` from cache if fully present.
     pub fn read(&mut self, fh: Fh3, offset: u64, len: usize) -> Option<Vec<u8>> {
-        let result = self.files.get(&fh)?.read(offset, len);
-        if result.is_some() {
-            self.touch(fh);
-        }
-        result
+        self.store.read(fh, offset, len)
     }
 
     /// The sub-ranges of `[offset, offset+len)` not covered by cached
     /// extents of `fh`. An uncached file is one whole gap.
     pub fn missing_ranges(&self, fh: Fh3, offset: u64, len: usize) -> Vec<(u64, usize)> {
-        match self.files.get(&fh) {
-            Some(fc) => fc.missing_ranges(offset, len),
-            None if len == 0 => Vec::new(),
-            None => vec![(offset, len)],
-        }
+        self.store.missing_ranges(fh, offset, len)
     }
 
     /// Stores server-fetched bytes.
     pub fn insert_clean(&mut self, fh: Fh3, offset: u64, data: Vec<u8>) {
-        let fc = self.files.entry(fh).or_default();
-        let before = fc.bytes();
-        fc.insert_clean(offset, data);
-        self.used += fc.bytes() - before;
-        self.touch(fh);
-        self.evict();
+        self.store.insert_clean(fh, offset, data);
     }
 
     /// Stores locally written bytes as dirty (write-back mode).
     pub fn write_dirty(&mut self, fh: Fh3, offset: u64, data: Vec<u8>) {
-        let fc = self.files.entry(fh).or_default();
-        let before = fc.bytes();
-        fc.write_dirty(offset, data);
-        self.used += fc.bytes() - before;
-        self.touch(fh);
-        self.evict();
+        self.store.write_dirty(fh, offset, data);
     }
 
-    /// Access to a file's cached content.
-    pub fn file(&self, fh: Fh3) -> Option<&FileCache> {
-        self.files.get(&fh)
+    /// Marks `[offset, offset+len)` clean after a successful write-back.
+    pub fn clean_range(&mut self, fh: Fh3, offset: u64, len: u64) {
+        self.store.clean_range(fh, offset, len);
     }
 
-    /// Mutable access to a file's cached content.
-    pub fn file_mut(&mut self, fh: Fh3) -> Option<&mut FileCache> {
-        self.files.get_mut(&fh)
+    /// Offsets and lengths of the file's dirty extents, in order.
+    pub fn dirty_ranges(&self, fh: Fh3) -> Vec<(u64, usize)> {
+        self.store.dirty_ranges(fh)
+    }
+
+    /// Aligned offsets of every `block_size` block holding dirty bytes.
+    pub fn dirty_blocks(&self, fh: Fh3, block_size: u64) -> Vec<u64> {
+        self.store.dirty_blocks(fh, block_size)
+    }
+
+    /// The dirty byte segments inside one aligned block.
+    pub fn dirty_in_block(
+        &self,
+        fh: Fh3,
+        block_offset: u64,
+        block_size: u64,
+    ) -> Vec<(u64, Vec<u8>)> {
+        self.store.dirty_in_block(fh, block_offset, block_size)
+    }
+
+    /// Whether the file holds any dirty extent.
+    pub fn has_dirty(&self, fh: Fh3) -> bool {
+        self.store.has_dirty(fh)
     }
 
     /// All files that hold dirty data.
     pub fn dirty_files(&self) -> Vec<Fh3> {
-        let mut v: Vec<Fh3> =
-            self.files.iter().filter(|(_, fc)| fc.has_dirty()).map(|(fh, _)| *fh).collect();
-        v.sort_unstable();
-        v
+        self.store.dirty_files()
     }
 
     /// Drops everything known about a file (it was removed).
     pub fn forget_file(&mut self, fh: Fh3) {
-        if let Some(fc) = self.files.remove(&fh) {
-            self.used -= fc.bytes();
-        }
-        if let Some(seq) = self.lru_seq.remove(&fh) {
-            self.lru.remove(&seq);
-        }
+        self.store.forget(fh);
         self.attrs.remove(&fh);
-        self.mtime_tags.remove(&fh);
-    }
-
-    /// Evicts clean content of least-recently-used files until within
-    /// capacity. Dirty data is never evicted.
-    fn evict(&mut self) {
-        while self.used > self.capacity {
-            let Some((&seq, &fh)) = self.lru.iter().next() else { break };
-            self.lru.remove(&seq);
-            self.lru_seq.remove(&fh);
-            let Some(fc) = self.files.get_mut(&fh) else { continue };
-            let before = fc.bytes();
-            fc.drop_clean();
-            self.used -= before - fc.bytes();
-            if fc.bytes() == 0 {
-                self.files.remove(&fh);
-            } else {
-                // Still holds dirty data: keep it hot so the loop makes
-                // progress on other files.
-                self.touch(fh);
-                if self.lru.len() <= 1 {
-                    break; // only dirty files remain
-                }
-            }
-        }
     }
 
     /// Bytes of file content cached.
     pub fn used_bytes(&self) -> usize {
-        self.used
+        self.store.used_bytes()
+    }
+
+    /// The backing store's counters.
+    pub fn store_stats(&self) -> crate::store::StoreStats {
+        self.store.stats()
+    }
+
+    /// Durability barrier on the backing store (no-op in memory).
+    pub fn sync_store(&mut self) {
+        self.store.sync();
+    }
+
+    /// Simulated machine crash + restart of the backing store: volatile
+    /// content is lost; a persistent store replays its index and keeps
+    /// whatever its WAL proves intact.
+    pub fn crash_reopen_store(&mut self) {
+        self.store.crash_reopen();
+    }
+
+    /// Drains simulated disk I/O cost accrued by the backing store; the
+    /// caller charges it to its actor clock while holding no locks.
+    pub fn take_disk_cost(&mut self) -> std::time::Duration {
+        self.store.take_cost()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gvfs_nfs3::Ftype3;
+    use gvfs_nfs3::{Ftype3, NfsTime3};
 
     fn attr(fileid: u64, mtime_s: u32) -> Fattr3 {
         Fattr3 {

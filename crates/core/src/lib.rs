@@ -80,6 +80,7 @@ pub mod invalidation;
 pub mod protocol;
 pub mod proxy;
 pub mod session;
+pub mod store;
 pub mod trace;
 
 mod model;

@@ -114,6 +114,16 @@ pub struct ProxyClientStats {
     /// Times the supervisor re-promoted the session to full delegation
     /// semantics after an outage healed.
     pub repromotions: u64,
+    /// Bytes of file content currently held by the block store.
+    pub cache_bytes: u64,
+    /// Files whose clean content the block store evicted for capacity.
+    pub cache_evictions: u64,
+    /// Clean chunk insertions deduplicated against an identical stored
+    /// chunk (persistent store only).
+    pub dedup_hits: u64,
+    /// Clean blocks served warm from the replayed on-disk index after
+    /// the last restart (persistent store only).
+    pub restart_warm_blocks: u64,
 }
 
 /// One fetch (demand gap or speculative read-ahead) in flight over the
@@ -242,13 +252,32 @@ impl ProxyClient {
         wan: SimRpcClient,
         cache_bytes: usize,
     ) -> Arc<Self> {
+        Self::with_store(
+            id,
+            model,
+            write_back,
+            wan,
+            Box::new(crate::store::mem::MemStore::new(cache_bytes)),
+        )
+    }
+
+    /// Creates a proxy client over an explicit block store (e.g. a
+    /// [`crate::store::persist::PersistentStore`] whose disk survives
+    /// restarts).
+    pub fn with_store(
+        id: u32,
+        model: ConsistencyModel,
+        write_back: bool,
+        wan: SimRpcClient,
+        store: Box<dyn crate::store::BlockStore>,
+    ) -> Arc<Self> {
         let breaker = CircuitBreaker::new(BreakerConfig::default()).with_stats(wan.stats().clone());
         Arc::new(ProxyClient {
             id,
             model,
             write_back,
             wan,
-            disk: Mutex::new(DiskCache::new(cache_bytes)),
+            disk: Mutex::new(DiskCache::with_store(store)),
             state: Mutex::new(ClientState::default()),
             poll_ts: Mutex::new(None),
             flush_queue: Mutex::new(VecDeque::new()),
@@ -347,9 +376,32 @@ impl ProxyClient {
         self.id
     }
 
-    /// Effectiveness counters.
+    /// Effectiveness counters, merged with the block store's.
     pub fn stats(&self) -> ProxyClientStats {
-        *self.stats.lock()
+        let store = self.disk.lock().store_stats();
+        let mut s = *self.stats.lock();
+        s.cache_bytes = store.bytes;
+        s.cache_evictions = store.evictions;
+        s.dedup_hits = store.dedup_hits;
+        s.restart_warm_blocks = store.restart_warm_blocks;
+        s
+    }
+
+    /// Forces a durability barrier on the block store (no-op for the
+    /// in-memory store). Everything cached so far survives a crash.
+    pub fn sync_store(&self) {
+        self.disk.lock().sync_store();
+        self.settle_disk();
+    }
+
+    /// Charges any simulated disk I/O cost accrued by the block store to
+    /// this actor's virtual clock. Must be called with no locks held;
+    /// outside an actor the cost is absorbed silently (unit tests).
+    fn settle_disk(&self) {
+        let cost = self.disk.lock().take_disk_cost();
+        if !cost.is_zero() && gvfs_netsim::in_actor() {
+            gvfs_netsim::sleep(cost);
+        }
     }
 
     fn deleg_config(&self) -> DelegationConfig {
@@ -721,7 +773,7 @@ impl ProxyClient {
                 // Local dirty bytes win over what the server returned:
                 // re-serve from the merged cache when possible.
                 let mut disk = self.disk.lock();
-                if disk.file(a.file).is_some_and(crate::cache::FileCache::has_dirty) {
+                if disk.has_dirty(a.file) {
                     if let Some(merged) = disk.read(a.file, a.offset, data.len()) {
                         let attr = disk.attr(a.file);
                         let res = ReadRes::Ok {
@@ -1474,6 +1526,7 @@ impl ProxyClient {
                 ts: res.timestamp,
             });
             if !res.poll_again {
+                self.settle_disk();
                 return Some(applied);
             }
         }
@@ -1506,13 +1559,11 @@ impl ProxyClient {
     /// Writes back the dirty segments of one block over the WAN and
     /// marks them clean.
     fn flush_block(&self, fh: Fh3, block_offset: u64) {
-        let segments: Vec<(u64, Vec<u8>)> = {
-            let disk = self.disk.lock();
-            match disk.file(fh) {
-                Some(fc) => fc.dirty_in_block(block_offset, BLOCK_SIZE),
-                None => return,
-            }
-        };
+        let segments: Vec<(u64, Vec<u8>)> =
+            self.disk.lock().dirty_in_block(fh, block_offset, BLOCK_SIZE);
+        if segments.is_empty() {
+            return;
+        }
         for (offset, data) in segments {
             let count = data.len() as u32;
             let Ok(args) = gvfs_xdr::to_bytes(&WriteArgs {
@@ -1531,11 +1582,9 @@ impl ProxyClient {
             }
         }
         let mut disk = self.disk.lock();
-        if let Some(fc) = disk.file_mut(fh) {
-            fc.clean_range(block_offset, BLOCK_SIZE);
-            if !fc.has_dirty() {
-                self.state.lock().wb_base.remove(&fh);
-            }
+        disk.clean_range(fh, block_offset, BLOCK_SIZE);
+        if !disk.has_dirty(fh) {
+            self.state.lock().wb_base.remove(&fh);
         }
     }
 
@@ -1559,13 +1608,8 @@ impl ProxyClient {
         let mut in_flight = Vec::new();
         let mut failed: HashSet<u64> = HashSet::new();
         for &block in blocks {
-            let segments: Vec<(u64, Vec<u8>)> = {
-                let disk = self.disk.lock();
-                match disk.file(fh) {
-                    Some(fc) => fc.dirty_in_block(block, BLOCK_SIZE),
-                    None => return,
-                }
-            };
+            let segments: Vec<(u64, Vec<u8>)> =
+                self.disk.lock().dirty_in_block(fh, block, BLOCK_SIZE);
             for (offset, data) in segments {
                 let count = data.len() as u32;
                 let Ok(args) = gvfs_xdr::to_bytes(&WriteArgs {
@@ -1603,15 +1647,13 @@ impl ProxyClient {
         // Mark the fully-acknowledged blocks clean.
         {
             let mut disk = self.disk.lock();
-            if let Some(fc) = disk.file_mut(fh) {
-                for &block in blocks {
-                    if !failed.contains(&block) {
-                        fc.clean_range(block, BLOCK_SIZE);
-                    }
+            for &block in blocks {
+                if !failed.contains(&block) {
+                    disk.clean_range(fh, block, BLOCK_SIZE);
                 }
-                if !fc.has_dirty() {
-                    self.state.lock().wb_base.remove(&fh);
-                }
+            }
+            if !disk.has_dirty(fh) {
+                self.state.lock().wb_base.remove(&fh);
             }
         }
         // Transport failures retry serially; the serial path waits out
@@ -1628,10 +1670,7 @@ impl ProxyClient {
     pub fn flush_all(&self) {
         let files = self.disk.lock().dirty_files();
         for fh in files {
-            let blocks = {
-                let disk = self.disk.lock();
-                disk.file(fh).map(|fc| fc.dirty_blocks(BLOCK_SIZE)).unwrap_or_default()
-            };
+            let blocks = self.disk.lock().dirty_blocks(fh, BLOCK_SIZE);
             self.flush_blocks(fh, &blocks);
         }
     }
@@ -1660,6 +1699,7 @@ impl ProxyClient {
             for (fh, blocks) in by_file {
                 self.flush_blocks(fh, &blocks);
             }
+            self.settle_disk();
         }
     }
 
@@ -1795,10 +1835,7 @@ impl ProxyClient {
                     disk.invalidate_attr(a.fh);
                     self.cancel_prefetch(a.fh);
                 }
-                let blocks = {
-                    let disk = self.disk.lock();
-                    disk.file(a.fh).map(|fc| fc.dirty_blocks(BLOCK_SIZE)).unwrap_or_default()
-                };
+                let blocks = self.disk.lock().dirty_blocks(a.fh, BLOCK_SIZE);
                 if blocks.is_empty() {
                     return encode(&CallbackRes::default());
                 }
@@ -1863,6 +1900,26 @@ impl ProxyClient {
     pub fn crash_recover(&self) -> Vec<Fh3> {
         #[cfg(feature = "trace")]
         self.emit_trace(ProtocolEvent::ClientCrash { client: self.id });
+        self.crash_recover_inner()
+    }
+
+    /// Reconciles after a whole-machine crash and restart: the block
+    /// store reopens from its backing disk first — a persistent store
+    /// replays its index and discards entries whose dirty WAL records
+    /// are torn; the in-memory store comes back empty — and then the
+    /// usual crash recovery of [`ProxyClient::crash_recover`] runs over
+    /// whatever dirty data provably survived.
+    pub fn crash_restart(&self) -> Vec<Fh3> {
+        #[cfg(feature = "trace")]
+        self.emit_trace(ProtocolEvent::ClientCrash { client: self.id });
+        self.disk.lock().crash_reopen_store();
+        // Replaying the on-disk index is real I/O: charge it to the
+        // restarting actor's clock.
+        self.settle_disk();
+        self.crash_recover_inner()
+    }
+
+    fn crash_recover_inner(&self) -> Vec<Fh3> {
         {
             let mut st = self.state.lock();
             st.delegations.clear();
@@ -1901,18 +1958,12 @@ impl ProxyClient {
             );
             if unchanged {
                 // Write back one block to reacquire the delegation.
-                let first = {
-                    let disk = self.disk.lock();
-                    disk.file(fh).and_then(|fc| fc.dirty_blocks(BLOCK_SIZE).first().copied())
-                };
+                let first = self.disk.lock().dirty_blocks(fh, BLOCK_SIZE).first().copied();
                 if let Some(block) = first {
                     self.flush_block(fh, block);
                 }
                 // Remaining blocks flush lazily (queue to flusher).
-                let rest = {
-                    let disk = self.disk.lock();
-                    disk.file(fh).map(|fc| fc.dirty_blocks(BLOCK_SIZE)).unwrap_or_default()
-                };
+                let rest = self.disk.lock().dirty_blocks(fh, BLOCK_SIZE);
                 if !rest.is_empty() {
                     let mut q = self.flush_queue.lock();
                     for block in rest {
@@ -1955,7 +2006,7 @@ impl RpcService for ProxyClient {
         gvfs_nfs3::NFS_V3
     }
     fn call(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
-        match procedure {
+        let result = match procedure {
             proc3::NULL => Ok(Vec::new()),
             proc3::GETATTR => self.op_getattr(args),
             proc3::LOOKUP => self.op_lookup(args),
@@ -1974,7 +2025,12 @@ impl RpcService for ProxyClient {
                 program: gvfs_nfs3::NFS_PROGRAM,
                 procedure: p,
             }),
-        }
+        };
+        // Pay for any block-store I/O this call performed, with no
+        // locks held, so a persistent store's seek/throughput costs
+        // land on this actor's virtual clock deterministically.
+        self.settle_disk();
+        result
     }
 }
 
@@ -1991,14 +2047,16 @@ impl RpcService for CallbackService {
         GVFS_VERSION
     }
     fn call(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
-        match procedure {
+        let result = match procedure {
             proc_ext::CALLBACK => self.0.handle_callback(args),
             proc_ext::RECOVER => self.0.handle_recover(),
             p => Err(RpcError::ProcedureUnavailable {
                 program: crate::protocol::GVFS_CALLBACK_PROGRAM,
                 procedure: p,
             }),
-        }
+        };
+        self.0.settle_disk();
+        result
     }
 }
 

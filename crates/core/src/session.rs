@@ -107,6 +107,19 @@ pub struct SessionConfig {
     /// the degradation ladder entirely — forwarded calls hard-retry
     /// through the outage (the availability ablation's baseline arm).
     pub max_staleness: Option<Duration>,
+    /// Back each proxy client's cache with the persistent
+    /// content-addressed block store instead of the in-memory one: the
+    /// cache survives a proxy-machine crash (torn writes discarded) and
+    /// a restarted session over the same disks serves clean blocks warm.
+    pub persistent_store: bool,
+    /// Files at or below this size are stored as one whole-file chunk
+    /// by the persistent store (full-file mode); larger files are
+    /// chunked per transfer block. Ignored by the in-memory store.
+    pub store_file_threshold: u64,
+    /// Simulated performance envelope of each proxy machine's local
+    /// disk (seek time and throughput, charged to virtual time).
+    /// Ignored by the in-memory store.
+    pub disk: gvfs_netsim::disk::DiskConfig,
 }
 
 impl Default for SessionConfig {
@@ -126,6 +139,9 @@ impl Default for SessionConfig {
             retry_budget: 600,
             degrade_after: Duration::from_secs(2),
             max_staleness: Some(Duration::from_secs(120)),
+            persistent_store: false,
+            store_file_threshold: 64 * 1024,
+            disk: gvfs_netsim::disk::DiskConfig::ssd(),
         }
     }
 }
@@ -139,6 +155,7 @@ pub struct SessionBuilder {
     client_links: Option<Vec<LinkConfig>>,
     loopback: LinkConfig,
     vfs: Option<Arc<Vfs>>,
+    client_disks: Option<Vec<Arc<gvfs_netsim::disk::VirtualDisk>>>,
     session_key: u64,
 }
 
@@ -169,6 +186,18 @@ impl SessionBuilder {
     /// one.
     pub fn vfs(mut self, vfs: Arc<Vfs>) -> Self {
         self.vfs = Some(vfs);
+        self
+    }
+
+    /// Uses existing per-client virtual disks for the persistent store
+    /// instead of fresh ones — a session established over the disks of
+    /// a previous session models a restart: the stores replay their
+    /// on-disk indexes and serve surviving clean blocks warm. Implies
+    /// [`SessionConfig::persistent_store`]. Entries beyond the list get
+    /// fresh disks.
+    pub fn client_disks(mut self, disks: Vec<Arc<gvfs_netsim::disk::VirtualDisk>>) -> Self {
+        self.config.persistent_store = true;
+        self.client_disks = Some(disks);
         self
     }
 
@@ -235,8 +264,39 @@ impl SessionBuilder {
                 wan_stats.clone(),
             )
             .with_credential(OpaqueAuth::gvfs(&cred).expect("encode credential"));
-            let proxy =
-                ProxyClient::new(id, config.model, config.write_back, wan, config.disk_cache_bytes);
+            let (proxy, disk) = if config.persistent_store {
+                let disk = self
+                    .client_disks
+                    .as_ref()
+                    .and_then(|disks| disks.get(i).cloned())
+                    .unwrap_or_else(|| gvfs_netsim::disk::VirtualDisk::new(config.disk));
+                let store = crate::store::persist::PersistentStore::open(
+                    Arc::clone(&disk),
+                    crate::store::persist::PersistConfig {
+                        capacity: config.disk_cache_bytes,
+                        block_size: u64::from(gvfs_server::TRANSFER_SIZE),
+                        file_threshold: config.store_file_threshold,
+                        ..crate::store::persist::PersistConfig::default()
+                    },
+                );
+                let proxy = ProxyClient::with_store(
+                    id,
+                    config.model,
+                    config.write_back,
+                    wan,
+                    Box::new(store),
+                );
+                (proxy, Some(disk))
+            } else {
+                let proxy = ProxyClient::new(
+                    id,
+                    config.model,
+                    config.write_back,
+                    wan,
+                    config.disk_cache_bytes,
+                );
+                (proxy, None)
+            };
             proxy.set_pipelining(config.pipeline_writeback);
             proxy.set_read_pipelining(config.pipeline_read);
             proxy.set_readahead(config.readahead_window, config.readahead_trigger);
@@ -297,7 +357,7 @@ impl SessionBuilder {
                 sim.spawn(&format!("supervisor-{id}"), move || p.run_supervisor());
             }
 
-            clients.push(ClientEnd { proxy, node: pc_node, loopback, wan_link, cb_node });
+            clients.push(ClientEnd { proxy, node: pc_node, loopback, wan_link, cb_node, disk });
         }
 
         if let (ConsistencyModel::DelegationCallback(_), Some(interval)) =
@@ -335,6 +395,7 @@ struct ClientEnd {
     loopback: Arc<Link>,
     wan_link: Arc<Link>,
     cb_node: Arc<ServerNode>,
+    disk: Option<Arc<gvfs_netsim::disk::VirtualDisk>>,
 }
 
 /// An established GVFS session.
@@ -370,6 +431,7 @@ impl Session {
             client_links: None,
             loopback: LinkConfig::loopback(),
             vfs: None,
+            client_disks: None,
             session_key: 0x6776_6673,
         }
     }
@@ -512,7 +574,25 @@ impl Session {
         let end = &self.clients[i];
         end.node.set_up(true);
         end.cb_node.set_up(true);
-        end.proxy.crash_recover()
+        if self.config.persistent_store {
+            // The machine crashed, not just the process: the store
+            // reopens from its disk, losing whatever a durability
+            // barrier didn't cover, before the protocol reconciles.
+            end.proxy.crash_restart()
+        } else {
+            end.proxy.crash_recover()
+        }
+    }
+
+    /// The virtual disk backing client `i`'s persistent store, if the
+    /// session runs one — hand it to a later session's
+    /// [`SessionBuilder::client_disks`] to model a restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn client_disk(&self, i: usize) -> Option<Arc<gvfs_netsim::disk::VirtualDisk>> {
+        self.clients[i].disk.clone()
     }
 
     /// A cloneable control handle usable from workload actors.
@@ -553,6 +633,9 @@ impl SessionHandle {
     pub fn shutdown(&self) {
         for proxy in &self.proxies {
             proxy.flush_all();
+            // Clean unmount: make the block store durable so a session
+            // re-established over the same disks restarts warm.
+            proxy.sync_store();
         }
         self.stop.store(true, Ordering::SeqCst);
         for proxy in &self.proxies {

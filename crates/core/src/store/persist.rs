@@ -1,0 +1,1355 @@
+//! The persistent content-addressed block store.
+//!
+//! On-disk layout over one [`VirtualDisk`] (one per proxy machine):
+//!
+//! ```text
+//! wal.log                      append-only redo log (framed XDR records)
+//! index.snap                   checkpoint snapshot of the extent index
+//! data/<2hex>/<16hex>          per-handle sparse file (dirty bytes and
+//!                              bytes cleaned in place after write-back),
+//!                              keyed by the FNV hash of the Fh3
+//! chunks/<2hex>/<16hex>-<8hex> refcounted clean chunks, keyed by
+//!                              (content hash, length) — duplicate
+//!                              blocks across files are stored once
+//! ```
+//!
+//! **Write-ahead log.** Every mutation appends one framed record
+//! (`[u32 len][XDR payload][u64 FNV]`). `WriteDirty` records carry the
+//! written bytes inline — the WAL is a *redo* log, so replay never
+//! depends on the data file having survived for dirty bytes. Clean
+//! inserts reference chunk files by content hash instead of inlining
+//! (clean data is refetchable; dirty data is not).
+//!
+//! **Recovery.** On open (and after [`BlockStore::crash_reopen`]) the
+//! store loads `index.snap` if its trailing checksum verifies, then
+//! replays `wal.log` record by record, *stopping at the first record
+//! that fails verification* — a torn frame, an undecodable payload, or
+//! an `InsertClean` whose chunk is absent or fails its content hash.
+//! Everything the durability barrier ([`BlockStore::sync`], charged to
+//! the virtual disk) covered is guaranteed to verify, so the recovered
+//! state is always the exact live state at some instant at or after the
+//! last sync: no torn dirty record is ever applied, and no clean block
+//! is served whose content hash does not match its index entry.
+//!
+//! **Chunking.** A clean insert is split at absolute `block_size`
+//! boundaries — unless the file's last known size is at or below
+//! `file_threshold`, in which case the whole insert is one chunk
+//! (full-file mode: small files dedup and restore as a unit, the
+//! MosaicFS split). A chunk whose `(hash, len)` already exists is not
+//! rewritten: its refcount rises and `dedup_hits` is counted, after a
+//! byte-compare guards against hash collisions (a colliding insert
+//! falls back to a raw WAL record). Refcounts are not persisted; they
+//! are recomputed by replay. Dead chunk files are garbage-collected at
+//! checkpoint time, never between checkpoints — earlier WAL records may
+//! still reference them.
+//!
+//! **Checkpoint.** Every `checkpoint_every` records the index is
+//! snapshotted (`index.snap.new` → sync → rename → sync), the WAL is
+//! truncated, and unreferenced chunk files are removed.
+//!
+//! **Eviction.** Clean extents of least-recently-used files are dropped
+//! (with an `Evict` record) until within capacity; dirty bytes are
+//! never evicted. The LRU clock is volatile: after a restart, recency
+//! is WAL replay order.
+//!
+//! Lock order: `index` before `wal`, both ranked in the analysis
+//! crate's `LOCK_ORDER` table; neither may be held across a WAN send.
+
+use super::{BlockStore, StoreStats};
+use gvfs_netsim::disk::VirtualDisk;
+use gvfs_nfs3::{Fh3, NfsTime3};
+use gvfs_xdr::{Decoder, Encoder, Xdr, XdrError};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAL_PATH: &str = "wal.log";
+const SNAP_PATH: &str = "index.snap";
+const SNAP_NEW_PATH: &str = "index.snap.new";
+const SNAP_MAGIC: u32 = 0x6776_7353; // "gvsS"
+
+/// Tuning for a [`PersistentStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct PersistConfig {
+    /// Cached-content byte budget (clean data beyond it is evicted).
+    pub capacity: usize,
+    /// Chunking granularity for clean data, normally the transfer size.
+    pub block_size: u64,
+    /// Files whose known size is at or below this are stored as one
+    /// whole-file chunk per insert instead of per-block chunks.
+    pub file_threshold: u64,
+    /// WAL records between checkpoints (snapshot + WAL truncate + GC).
+    pub checkpoint_every: usize,
+    /// WAL records between implicit durability barriers.
+    pub sync_every: usize,
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        PersistConfig {
+            capacity: 4 << 30,
+            block_size: 32 * 1024,
+            file_threshold: 64 * 1024,
+            checkpoint_every: 8192,
+            sync_every: 64,
+        }
+    }
+}
+
+/// Content address of a clean chunk: (FNV-1a hash, length).
+type ChunkId = (u64, u32);
+
+/// 64-bit FNV-1a; the content hash, record checksum and handle shard
+/// function (stable across processes, unlike `DefaultHasher`).
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn data_path(fh: Fh3) -> String {
+    let h = fnv(&fh.fileid().to_be_bytes());
+    format!("data/{:02x}/{:016x}", h & 0xff, h)
+}
+
+fn chunk_path(id: ChunkId) -> String {
+    format!("chunks/{:02x}/{:016x}-{:08x}", id.0 & 0xff, id.0, id.1)
+}
+
+fn parse_chunk_path(path: &str) -> Option<ChunkId> {
+    let name = path.rsplit('/').next()?;
+    let (h, l) = name.split_once('-')?;
+    Some((u64::from_str_radix(h, 16).ok()?, u32::from_str_radix(l, 16).ok()?))
+}
+
+/// Where an extent's bytes live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// Clean bytes inside a content chunk, starting `off` bytes in.
+    Chunk { id: ChunkId, off: u32 },
+    /// Bytes in the handle's own data file at the extent's absolute
+    /// offset; dirty, or cleaned in place after write-back.
+    Data { dirty: bool },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ext {
+    len: usize,
+    src: Src,
+}
+
+impl Ext {
+    fn dirty(&self) -> bool {
+        matches!(self.src, Src::Data { dirty: true })
+    }
+
+    /// Splits at `at` bytes in, returning the tail.
+    fn split_off(&mut self, at: usize) -> Ext {
+        let tail_len = self.len - at;
+        self.len = at;
+        let tail_src = match self.src {
+            Src::Chunk { id, off } => {
+                Src::Chunk { id, off: off + u32::try_from(at).expect("extent fits u32") }
+            }
+            Src::Data { dirty } => Src::Data { dirty },
+        };
+        Ext { len: tail_len, src: tail_src }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    tag: Option<NfsTime3>,
+    size_hint: Option<u64>,
+    extents: BTreeMap<u64, Ext>,
+}
+
+impl Entry {
+    fn bytes(&self) -> usize {
+        self.extents.values().map(|e| e.len).sum()
+    }
+}
+
+/// One clean segment of an `InsertClean` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SegRec {
+    /// A refcounted content chunk.
+    Chunk { id: ChunkId },
+    /// Raw bytes (hash-collision fallback), carried in the record and
+    /// stored in the handle's data file.
+    Raw { bytes: Vec<u8> },
+}
+
+impl SegRec {
+    fn len(&self) -> usize {
+        match self {
+            SegRec::Chunk { id } => id.1 as usize,
+            SegRec::Raw { bytes } => bytes.len(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WalRecord {
+    Retag { fh: Fh3, mtime: NfsTime3, drop: bool },
+    InsertClean { fh: Fh3, offset: u64, segs: Vec<SegRec> },
+    WriteDirty { fh: Fh3, offset: u64, bytes: Vec<u8> },
+    CleanRange { fh: Fh3, offset: u64, len: u64 },
+    DropClean { fh: Fh3 },
+    Evict { fh: Fh3 },
+    Forget { fh: Fh3 },
+}
+
+impl Xdr for WalRecord {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            WalRecord::Retag { fh, mtime, drop } => {
+                enc.put_u32(1);
+                enc.put_u64(fh.fileid());
+                mtime.encode(enc)?;
+                enc.put_bool(*drop);
+            }
+            WalRecord::InsertClean { fh, offset, segs } => {
+                enc.put_u32(2);
+                enc.put_u64(fh.fileid());
+                enc.put_u64(*offset);
+                enc.put_u32(u32::try_from(segs.len()).map_err(|_| XdrError::LengthOverflow)?);
+                for seg in segs {
+                    match seg {
+                        SegRec::Chunk { id } => {
+                            enc.put_u32(0);
+                            enc.put_u64(id.0);
+                            enc.put_u32(id.1);
+                        }
+                        SegRec::Raw { bytes } => {
+                            enc.put_u32(1);
+                            enc.put_opaque(bytes)?;
+                        }
+                    }
+                }
+            }
+            WalRecord::WriteDirty { fh, offset, bytes } => {
+                enc.put_u32(3);
+                enc.put_u64(fh.fileid());
+                enc.put_u64(*offset);
+                enc.put_opaque(bytes)?;
+            }
+            WalRecord::CleanRange { fh, offset, len } => {
+                enc.put_u32(4);
+                enc.put_u64(fh.fileid());
+                enc.put_u64(*offset);
+                enc.put_u64(*len);
+            }
+            WalRecord::DropClean { fh } => {
+                enc.put_u32(5);
+                enc.put_u64(fh.fileid());
+            }
+            WalRecord::Evict { fh } => {
+                enc.put_u32(6);
+                enc.put_u64(fh.fileid());
+            }
+            WalRecord::Forget { fh } => {
+                enc.put_u32(7);
+                enc.put_u64(fh.fileid());
+            }
+        }
+        Ok(())
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let disc = dec.get_u32()?;
+        let fh = Fh3::from_fileid(dec.get_u64()?);
+        Ok(match disc {
+            1 => WalRecord::Retag { fh, mtime: NfsTime3::decode(dec)?, drop: dec.get_bool()? },
+            2 => {
+                let offset = dec.get_u64()?;
+                let n = dec.get_u32()?;
+                let mut segs = Vec::new();
+                for _ in 0..n {
+                    segs.push(match dec.get_u32()? {
+                        0 => SegRec::Chunk { id: (dec.get_u64()?, dec.get_u32()?) },
+                        1 => SegRec::Raw { bytes: dec.get_opaque()? },
+                        other => {
+                            return Err(XdrError::InvalidDiscriminant {
+                                type_name: "SegRec",
+                                value: other,
+                            })
+                        }
+                    });
+                }
+                WalRecord::InsertClean { fh, offset, segs }
+            }
+            3 => WalRecord::WriteDirty { fh, offset: dec.get_u64()?, bytes: dec.get_opaque()? },
+            4 => WalRecord::CleanRange { fh, offset: dec.get_u64()?, len: dec.get_u64()? },
+            5 => WalRecord::DropClean { fh },
+            6 => WalRecord::Evict { fh },
+            7 => WalRecord::Forget { fh },
+            other => {
+                return Err(XdrError::InvalidDiscriminant { type_name: "WalRecord", value: other })
+            }
+        })
+    }
+}
+
+#[derive(Debug, Default)]
+struct Idx {
+    files: HashMap<Fh3, Entry>,
+    chunk_refs: HashMap<ChunkId, u32>,
+    /// Chunks whose refcount hit zero; files removed at checkpoint.
+    dead_chunks: HashSet<ChunkId>,
+    lru: BTreeMap<u64, Fh3>,
+    lru_seq: HashMap<Fh3, u64>,
+    next_seq: u64,
+    used: usize,
+    evictions: u64,
+    dedup_hits: u64,
+    warm_blocks: u64,
+    replaying: bool,
+}
+
+impl Idx {
+    fn touch(&mut self, fh: Fh3) {
+        if let Some(old) = self.lru_seq.remove(&fh) {
+            self.lru.remove(&old);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.lru.insert(seq, fh);
+        self.lru_seq.insert(fh, seq);
+    }
+
+    fn add_ref(&mut self, id: ChunkId) {
+        *self.chunk_refs.entry(id).or_insert(0) += 1;
+        self.dead_chunks.remove(&id);
+    }
+
+    fn drop_ref(&mut self, id: ChunkId) {
+        if let Some(rc) = self.chunk_refs.get_mut(&id) {
+            *rc -= 1;
+            if *rc == 0 {
+                self.chunk_refs.remove(&id);
+                self.dead_chunks.insert(id);
+            }
+        }
+    }
+
+    fn insert_ext(&mut self, fh: Fh3, offset: u64, ext: Ext) {
+        if ext.len == 0 {
+            return;
+        }
+        if let Src::Chunk { id, .. } = ext.src {
+            self.add_ref(id);
+        }
+        self.files.entry(fh).or_default().extents.insert(offset, ext);
+    }
+
+    /// Removes every extent overlapping `[start, end)`, reinserting the
+    /// parts outside the range and returning the *dirty* sub-ranges
+    /// inside it (whose data-file bytes are untouched).
+    fn remove_overlaps(&mut self, fh: Fh3, start: u64, end: u64) -> Vec<(u64, usize)> {
+        let Some(entry) = self.files.get_mut(&fh) else { return Vec::new() };
+        let overlapping: Vec<u64> = entry
+            .extents
+            .range(..end)
+            .filter(|(s, e)| *s + e.len as u64 > start)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut dirty_kept = Vec::new();
+        let mut reinsert = Vec::new();
+        let mut derefs = Vec::new();
+        for key in overlapping {
+            let mut ext = entry.extents.remove(&key).expect("listed key");
+            if let Src::Chunk { id, .. } = ext.src {
+                derefs.push(id);
+            }
+            let ext_end = key + ext.len as u64;
+            let mut seg_start = key;
+            if key < start {
+                let tail = ext.split_off((start - key) as usize);
+                reinsert.push((key, ext));
+                ext = tail;
+                seg_start = start;
+            }
+            if ext_end > end {
+                let tail = ext.split_off(ext.len - (ext_end - end) as usize);
+                reinsert.push((end, tail));
+            }
+            if ext.dirty() {
+                dirty_kept.push((seg_start, ext.len));
+            }
+        }
+        for (k, e) in reinsert {
+            self.insert_ext(fh, k, e);
+        }
+        for id in derefs {
+            self.drop_ref(id);
+        }
+        dirty_kept.sort_unstable();
+        dirty_kept
+    }
+
+    /// Merges adjacent extents with compatible sources, mirroring
+    /// `FileCache::coalesce` so dirty-range tilings agree exactly.
+    fn coalesce(&mut self, fh: Fh3) {
+        let Some(entry) = self.files.get_mut(&fh) else { return };
+        let keys: Vec<u64> = entry.extents.keys().copied().collect();
+        let mut derefs = Vec::new();
+        let mut prev: Option<u64> = None;
+        for key in keys {
+            if let Some(p) = prev {
+                let prev_ext = entry.extents[&p];
+                let cur = entry.extents[&key];
+                let adjacent = p + prev_ext.len as u64 == key;
+                let merge = adjacent
+                    && match (prev_ext.src, cur.src) {
+                        (Src::Data { dirty: a }, Src::Data { dirty: b }) => a == b,
+                        (Src::Chunk { id: a, off: ao }, Src::Chunk { id: b, off: bo }) => {
+                            a == b && ao as usize + prev_ext.len == bo as usize
+                        }
+                        _ => false,
+                    };
+                if merge {
+                    let ext = entry.extents.remove(&key).expect("key");
+                    if let Src::Chunk { id, .. } = ext.src {
+                        derefs.push(id);
+                    }
+                    entry.extents.get_mut(&p).expect("prev").len += ext.len;
+                    continue;
+                }
+            }
+            prev = Some(key);
+        }
+        for id in derefs {
+            self.drop_ref(id);
+        }
+    }
+
+    fn recount_used(&mut self, fh: Fh3, before: usize) {
+        let after = self.files.get(&fh).map_or(0, Entry::bytes);
+        self.used = self.used + after - before;
+    }
+
+    fn entry_bytes(&self, fh: Fh3) -> usize {
+        self.files.get(&fh).map_or(0, Entry::bytes)
+    }
+
+    fn apply_insert_clean(&mut self, fh: Fh3, offset: u64, segs: &[SegRec]) {
+        let total: u64 = segs.iter().map(|s| s.len() as u64).sum();
+        if total == 0 {
+            return;
+        }
+        let before = self.entry_bytes(fh);
+        let end = offset + total;
+        let dirty_kept = self.remove_overlaps(fh, offset, end);
+        // Insert the incoming clean segments, skipping dirty sub-ranges.
+        let mut seg_start = offset;
+        for seg in segs {
+            let seg_len = seg.len() as u64;
+            let seg_end = seg_start + seg_len;
+            // Uncovered pieces of [seg_start, seg_end) w.r.t. dirty_kept.
+            let mut pos = seg_start;
+            for &(d_off, d_len) in &dirty_kept {
+                let d_end = d_off + d_len as u64;
+                if d_end <= pos || d_off >= seg_end {
+                    continue;
+                }
+                if d_off > pos {
+                    self.insert_clean_piece(fh, seg, seg_start, pos, (d_off - pos) as usize);
+                }
+                pos = d_end.min(seg_end);
+            }
+            if pos < seg_end {
+                self.insert_clean_piece(fh, seg, seg_start, pos, (seg_end - pos) as usize);
+            }
+            seg_start = seg_end;
+        }
+        for (d_off, d_len) in dirty_kept {
+            self.insert_ext(fh, d_off, Ext { len: d_len, src: Src::Data { dirty: true } });
+        }
+        self.coalesce(fh);
+        self.recount_used(fh, before);
+    }
+
+    fn insert_clean_piece(&mut self, fh: Fh3, seg: &SegRec, seg_start: u64, at: u64, len: usize) {
+        let src = match seg {
+            SegRec::Chunk { id } => Src::Chunk {
+                id: *id,
+                off: u32::try_from(at - seg_start).expect("chunk offset fits u32"),
+            },
+            SegRec::Raw { .. } => Src::Data { dirty: false },
+        };
+        self.insert_ext(fh, at, Ext { len, src });
+    }
+
+    fn apply_write_dirty(&mut self, fh: Fh3, offset: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let before = self.entry_bytes(fh);
+        let end = offset + len as u64;
+        self.remove_overlaps(fh, offset, end);
+        self.insert_ext(fh, offset, Ext { len, src: Src::Data { dirty: true } });
+        self.coalesce(fh);
+        self.recount_used(fh, before);
+    }
+
+    fn apply_clean_range(&mut self, fh: Fh3, offset: u64, len: u64) {
+        let Some(entry) = self.files.get_mut(&fh) else { return };
+        let end = offset + len;
+        let overlapping: Vec<u64> = entry
+            .extents
+            .range(..end)
+            .filter(|(s, e)| e.dirty() && *s + e.len as u64 > offset)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in overlapping {
+            let mut ext = entry.extents.remove(&key).expect("listed key");
+            let ext_end = key + ext.len as u64;
+            let mut seg_start = key;
+            if key < offset {
+                let tail = ext.split_off((offset - key) as usize);
+                entry.extents.insert(key, ext);
+                ext = tail;
+                seg_start = offset;
+            }
+            if ext_end > end {
+                let tail = ext.split_off(ext.len - (ext_end - end) as usize);
+                entry.extents.insert(end, tail);
+            }
+            ext.src = Src::Data { dirty: false };
+            entry.extents.insert(seg_start, ext);
+        }
+        self.coalesce(fh);
+    }
+
+    fn apply_drop_clean(&mut self, fh: Fh3) {
+        let Some(entry) = self.files.get_mut(&fh) else { return };
+        let before = entry.bytes();
+        let clean: Vec<u64> =
+            entry.extents.iter().filter(|(_, e)| !e.dirty()).map(|(k, _)| *k).collect();
+        let mut derefs = Vec::new();
+        for key in clean {
+            if let Some(ext) = entry.extents.remove(&key) {
+                if let Src::Chunk { id, .. } = ext.src {
+                    derefs.push(id);
+                }
+            }
+        }
+        for id in derefs {
+            self.drop_ref(id);
+        }
+        self.recount_used(fh, before);
+    }
+
+    fn apply_forget(&mut self, fh: Fh3) {
+        let before = self.entry_bytes(fh);
+        if let Some(entry) = self.files.remove(&fh) {
+            let ids: Vec<ChunkId> = entry
+                .extents
+                .values()
+                .filter_map(|e| match e.src {
+                    Src::Chunk { id, .. } => Some(id),
+                    Src::Data { .. } => None,
+                })
+                .collect();
+            for id in ids {
+                self.drop_ref(id);
+            }
+        }
+        if let Some(seq) = self.lru_seq.remove(&fh) {
+            self.lru.remove(&seq);
+        }
+        self.used -= before;
+    }
+
+    fn apply_record(&mut self, rec: &WalRecord) {
+        match rec {
+            WalRecord::Retag { fh, mtime, drop } => {
+                if *drop {
+                    self.apply_drop_clean(*fh);
+                }
+                self.files.entry(*fh).or_default().tag = Some(*mtime);
+            }
+            WalRecord::InsertClean { fh, offset, segs } => {
+                self.apply_insert_clean(*fh, *offset, segs);
+                self.touch(*fh);
+            }
+            WalRecord::WriteDirty { fh, offset, bytes } => {
+                self.apply_write_dirty(*fh, *offset, bytes.len());
+                self.touch(*fh);
+            }
+            WalRecord::CleanRange { fh, offset, len } => self.apply_clean_range(*fh, *offset, *len),
+            WalRecord::DropClean { fh } | WalRecord::Evict { fh } => self.apply_drop_clean(*fh),
+            WalRecord::Forget { fh } => self.apply_forget(*fh),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct WalState {
+    since_sync: usize,
+    since_checkpoint: usize,
+}
+
+/// The persistent store; see the module docs.
+#[derive(Debug)]
+pub struct PersistentStore {
+    cfg: PersistConfig,
+    disk: Arc<VirtualDisk>,
+    index: Mutex<Idx>,
+    wal: Mutex<WalState>,
+}
+
+impl PersistentStore {
+    /// Opens (or creates) the store on `disk`, replaying any index
+    /// snapshot and WAL left by a previous incarnation. Replay I/O is
+    /// treated as mount-time work: its simulated cost is discarded.
+    #[must_use]
+    pub fn open(disk: Arc<VirtualDisk>, cfg: PersistConfig) -> Self {
+        let store = PersistentStore {
+            cfg,
+            disk,
+            index: Mutex::new(Idx::default()),
+            wal: Mutex::new(WalState::default()),
+        };
+        store.replay(0, 0);
+        let _ = store.disk.take_pending_cost();
+        store
+    }
+
+    /// The underlying disk (shared with a restarted successor).
+    #[must_use]
+    pub fn disk(&self) -> Arc<VirtualDisk> {
+        Arc::clone(&self.disk)
+    }
+
+    // --- WAL ---
+
+    fn log(&self, idx: &mut Idx, rec: &WalRecord) {
+        if idx.replaying {
+            return;
+        }
+        let payload = gvfs_xdr::to_bytes(rec).expect("WAL records always encode");
+        let mut frame = Vec::with_capacity(payload.len() + 12);
+        frame.extend_from_slice(
+            &u32::try_from(payload.len()).expect("record fits u32").to_be_bytes(),
+        );
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&fnv(&payload).to_be_bytes());
+        let mut wal = self.wal.lock();
+        self.disk.append(WAL_PATH, &frame);
+        wal.since_sync += 1;
+        wal.since_checkpoint += 1;
+        if wal.since_checkpoint >= self.cfg.checkpoint_every {
+            self.checkpoint(idx, &mut wal);
+        } else if wal.since_sync >= self.cfg.sync_every {
+            self.disk.sync();
+            wal.since_sync = 0;
+        }
+    }
+
+    /// Snapshot + sync + WAL truncate + dead-chunk GC.
+    fn checkpoint(&self, idx: &mut Idx, wal: &mut WalState) {
+        let snap = encode_snapshot(idx);
+        self.disk.remove(SNAP_NEW_PATH);
+        self.disk.write(SNAP_NEW_PATH, 0, &snap);
+        self.disk.sync();
+        self.disk.rename(SNAP_NEW_PATH, SNAP_PATH);
+        self.disk.sync();
+        self.disk.truncate(WAL_PATH, 0);
+        // Chunk files no WAL record references any more and no extent
+        // holds: safe to delete only now that the WAL is empty.
+        for path in self.disk.list("chunks/") {
+            match parse_chunk_path(&path) {
+                Some(id) if !idx.chunk_refs.contains_key(&id) => self.disk.remove(&path),
+                _ => {}
+            }
+        }
+        idx.dead_chunks.clear();
+        self.disk.sync();
+        wal.since_sync = 0;
+        wal.since_checkpoint = 0;
+    }
+
+    /// Loads the snapshot and replays the WAL, stopping at the first
+    /// record that fails verification. Carries over lifetime counters.
+    fn replay(&self, evictions: u64, dedup_hits: u64) {
+        let mut idx = Idx { replaying: true, evictions, dedup_hits, ..Idx::default() };
+        if let Some(snap) = self.disk.read(SNAP_PATH, 0, usize::MAX) {
+            decode_snapshot(&snap, &mut idx);
+        }
+        let wal_bytes = self.disk.read(WAL_PATH, 0, usize::MAX).unwrap_or_default();
+        let mut pos = 0usize;
+        let mut valid = 0usize;
+        while pos + 12 <= wal_bytes.len() {
+            let len =
+                u32::from_be_bytes(wal_bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let Some(frame_end) = pos.checked_add(4 + len + 8) else { break };
+            if frame_end > wal_bytes.len() {
+                break; // torn tail
+            }
+            let payload = &wal_bytes[pos + 4..pos + 4 + len];
+            let stored = u64::from_be_bytes(
+                wal_bytes[pos + 4 + len..frame_end].try_into().expect("8 bytes"),
+            );
+            if fnv(payload) != stored {
+                break; // torn or corrupt frame
+            }
+            let Ok(rec) = gvfs_xdr::from_bytes::<WalRecord>(payload) else { break };
+            if !self.verify_record(&rec) {
+                break; // e.g. chunk lost with the crash
+            }
+            match &rec {
+                WalRecord::WriteDirty { fh, offset, bytes } => {
+                    // Redo: the WAL carries the dirty bytes.
+                    self.disk.write(&data_path(*fh), *offset, bytes);
+                }
+                WalRecord::InsertClean { fh, offset, segs } => {
+                    // Raw segments (hash-collision fallback) live in the
+                    // data file; redo them from the inline copy.
+                    let mut abs = *offset;
+                    for seg in segs {
+                        if let SegRec::Raw { bytes } = seg {
+                            self.disk.write(&data_path(*fh), abs, bytes);
+                        }
+                        abs += seg.len() as u64;
+                    }
+                }
+                _ => {}
+            }
+            idx.apply_record(&rec);
+            pos = frame_end;
+            valid = frame_end;
+        }
+        if valid < wal_bytes.len() {
+            self.disk.truncate(WAL_PATH, valid as u64);
+        }
+        // Everything replayed clean is servable warm.
+        idx.warm_blocks = count_clean_blocks(&idx, self.cfg.block_size);
+        idx.used = idx.files.values().map(Entry::bytes).sum();
+        idx.replaying = false;
+        *self.index.lock() = idx;
+        let mut wal = self.wal.lock();
+        wal.since_sync = 0;
+        wal.since_checkpoint = 0;
+    }
+
+    /// A record may only be applied if every chunk it references is
+    /// present with matching content hash.
+    fn verify_record(&self, rec: &WalRecord) -> bool {
+        let WalRecord::InsertClean { segs, .. } = rec else { return true };
+        segs.iter().all(|seg| match seg {
+            SegRec::Chunk { id } => self
+                .disk
+                .read(&chunk_path(*id), 0, id.1 as usize)
+                .is_some_and(|b| b.len() == id.1 as usize && fnv(&b) == id.0),
+            SegRec::Raw { .. } => true,
+        })
+    }
+
+    /// Stores one clean segment, dedup-ing against existing chunks.
+    fn store_segment(&self, idx: &mut Idx, fh: Fh3, abs_off: u64, bytes: &[u8]) -> SegRec {
+        let id: ChunkId = (fnv(bytes), u32::try_from(bytes.len()).expect("segment fits u32"));
+        let path = chunk_path(id);
+        if let Some(existing) = self.disk.read(&path, 0, bytes.len() + 1) {
+            if existing == bytes {
+                idx.dedup_hits += 1;
+                return SegRec::Chunk { id };
+            }
+            // Content-hash collision: fall back to raw bytes in the
+            // handle's data file, carried inline by the WAL record.
+            self.disk.write(&data_path(fh), abs_off, bytes);
+            return SegRec::Raw { bytes: bytes.to_vec() };
+        }
+        self.disk.write(&path, 0, bytes);
+        SegRec::Chunk { id }
+    }
+
+    fn evict_over_capacity(&self, idx: &mut Idx) {
+        while idx.used > self.cfg.capacity {
+            let Some((&seq, &fh)) = idx.lru.iter().next() else { break };
+            idx.lru.remove(&seq);
+            idx.lru_seq.remove(&fh);
+            if !idx.files.contains_key(&fh) {
+                continue;
+            }
+            let before = idx.entry_bytes(fh);
+            idx.apply_drop_clean(fh);
+            let dropped = before - idx.entry_bytes(fh);
+            if dropped > 0 {
+                idx.evictions += 1;
+                self.log(idx, &WalRecord::Evict { fh });
+            }
+            if idx.files.get(&fh).is_some_and(|e| !e.extents.is_empty()) {
+                // Still dirty: keep hot so the loop can make progress.
+                idx.touch(fh);
+                if idx.lru.len() <= 1 {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn read_ext(
+        &self,
+        fh: Fh3,
+        start: u64,
+        ext: &Ext,
+        from: usize,
+        take: usize,
+    ) -> Option<Vec<u8>> {
+        let bytes = match ext.src {
+            Src::Chunk { id, off } => {
+                self.disk.read(&chunk_path(id), u64::from(off) + from as u64, take)?
+            }
+            Src::Data { .. } => self.disk.read(&data_path(fh), start + from as u64, take)?,
+        };
+        (bytes.len() == take).then_some(bytes)
+    }
+}
+
+fn count_clean_blocks(idx: &Idx, block_size: u64) -> u64 {
+    let mut total = 0u64;
+    for entry in idx.files.values() {
+        let mut blocks: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for (off, ext) in &entry.extents {
+            if ext.dirty() {
+                continue;
+            }
+            let mut b = off / block_size * block_size;
+            let end = off + ext.len as u64;
+            while b < end {
+                blocks.insert(b);
+                b += block_size;
+            }
+        }
+        total += blocks.len() as u64;
+    }
+    total
+}
+
+fn encode_snapshot(idx: &Idx) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u32(SNAP_MAGIC);
+    enc.put_u32(1); // version
+    let mut fhs: Vec<Fh3> = idx.files.keys().copied().collect();
+    fhs.sort_unstable();
+    enc.put_u32(u32::try_from(fhs.len()).expect("file count fits u32"));
+    for fh in fhs {
+        let entry = &idx.files[&fh];
+        enc.put_u64(fh.fileid());
+        match entry.tag {
+            Some(t) => {
+                enc.put_bool(true);
+                enc.put_u32(t.seconds);
+                enc.put_u32(t.nseconds);
+            }
+            None => enc.put_bool(false),
+        }
+        enc.put_u32(u32::try_from(entry.extents.len()).expect("extent count fits u32"));
+        for (off, ext) in &entry.extents {
+            enc.put_u64(*off);
+            enc.put_u32(u32::try_from(ext.len).expect("extent len fits u32"));
+            match ext.src {
+                Src::Chunk { id, off: coff } => {
+                    enc.put_u32(0);
+                    enc.put_u64(id.0);
+                    enc.put_u32(id.1);
+                    enc.put_u32(coff);
+                }
+                Src::Data { dirty } => {
+                    enc.put_u32(1);
+                    enc.put_bool(dirty);
+                }
+            }
+        }
+    }
+    enc.put_u64(idx.next_seq);
+    let mut bytes = enc.into_bytes();
+    let sum = fnv(&bytes);
+    bytes.extend_from_slice(&sum.to_be_bytes());
+    bytes
+}
+
+/// Populates `idx` from a snapshot if it verifies; a torn or corrupt
+/// snapshot is ignored (the WAL alone still recovers a valid prefix).
+fn decode_snapshot(bytes: &[u8], idx: &mut Idx) {
+    if bytes.len() < 8 {
+        return;
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_be_bytes(trailer.try_into().expect("8 bytes"));
+    if fnv(payload) != stored {
+        return;
+    }
+    let mut dec = Decoder::new(payload);
+    let ok = (|| -> Result<(), XdrError> {
+        if dec.get_u32()? != SNAP_MAGIC || dec.get_u32()? != 1 {
+            return Err(XdrError::InvalidDiscriminant { type_name: "snapshot", value: 0 });
+        }
+        let nfiles = dec.get_u32()?;
+        for _ in 0..nfiles {
+            let fh = Fh3::from_fileid(dec.get_u64()?);
+            let tag = if dec.get_bool()? {
+                Some(NfsTime3 { seconds: dec.get_u32()?, nseconds: dec.get_u32()? })
+            } else {
+                None
+            };
+            let mut entry = Entry { tag, ..Entry::default() };
+            let nexts = dec.get_u32()?;
+            for _ in 0..nexts {
+                let off = dec.get_u64()?;
+                let len = dec.get_u32()? as usize;
+                let src = match dec.get_u32()? {
+                    0 => {
+                        let hash = dec.get_u64()?;
+                        let clen = dec.get_u32()?;
+                        let coff = dec.get_u32()?;
+                        Src::Chunk { id: (hash, clen), off: coff }
+                    }
+                    _ => Src::Data { dirty: dec.get_bool()? },
+                };
+                entry.extents.insert(off, Ext { len, src });
+            }
+            idx.files.insert(fh, entry);
+        }
+        idx.next_seq = dec.get_u64()?;
+        Ok(())
+    })();
+    if ok.is_err() {
+        idx.files.clear();
+        idx.next_seq = 0;
+        return;
+    }
+    // Rebuild refcounts and the LRU (recency order is volatile; seed it
+    // with snapshot order).
+    let fhs: Vec<Fh3> = {
+        let mut v: Vec<Fh3> = idx.files.keys().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    for fh in fhs {
+        let ids: Vec<ChunkId> = idx.files[&fh]
+            .extents
+            .values()
+            .filter_map(|e| match e.src {
+                Src::Chunk { id, .. } => Some(id),
+                Src::Data { .. } => None,
+            })
+            .collect();
+        for id in ids {
+            idx.add_ref(id);
+        }
+        idx.touch(fh);
+    }
+}
+
+impl BlockStore for PersistentStore {
+    fn read(&mut self, fh: Fh3, offset: u64, len: usize) -> Option<Vec<u8>> {
+        let mut idx = self.index.lock();
+        idx.files.get(&fh)?;
+        if len == 0 {
+            return Some(Vec::new());
+        }
+        let end = offset + len as u64;
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        while pos < end {
+            let entry = idx.files.get(&fh)?;
+            let (start, ext) = entry.extents.range(..=pos).next_back()?;
+            let ext_end = start + ext.len as u64;
+            if pos >= ext_end {
+                return None; // gap
+            }
+            let from = (pos - start) as usize;
+            let to = ((end.min(ext_end)) - start) as usize;
+            out.extend_from_slice(&self.read_ext(fh, *start, ext, from, to - from)?);
+            pos = start + to as u64;
+        }
+        idx.touch(fh);
+        Some(out)
+    }
+
+    fn missing_ranges(&self, fh: Fh3, offset: u64, len: usize) -> Vec<(u64, usize)> {
+        let idx = self.index.lock();
+        let Some(entry) = idx.files.get(&fh) else {
+            return if len == 0 { Vec::new() } else { vec![(offset, len)] };
+        };
+        let mut gaps = Vec::new();
+        if len == 0 {
+            return gaps;
+        }
+        let end = offset + len as u64;
+        let mut pos = offset;
+        let head = entry.extents.range(..=pos).next_back();
+        let tail = entry.extents.range(pos + 1..end);
+        for (start, ext) in head.into_iter().chain(tail) {
+            let ext_end = start + ext.len as u64;
+            if ext_end <= pos {
+                continue;
+            }
+            if *start > pos {
+                gaps.push((pos, (*start - pos) as usize));
+            }
+            pos = ext_end;
+            if pos >= end {
+                return gaps;
+            }
+        }
+        gaps.push((pos, (end - pos) as usize));
+        gaps
+    }
+
+    fn insert_clean(&mut self, fh: Fh3, offset: u64, data: Vec<u8>) {
+        if data.is_empty() {
+            return;
+        }
+        let mut idx = self.index.lock();
+        // Full-file mode below the size threshold, else absolute
+        // block_size-aligned chunks (maximizes cross-file dedup).
+        let full_file = idx
+            .files
+            .get(&fh)
+            .and_then(|e| e.size_hint)
+            .is_some_and(|s| s <= self.cfg.file_threshold);
+        let mut segs = Vec::new();
+        let mut rel = 0usize;
+        while rel < data.len() {
+            let abs = offset + rel as u64;
+            let piece_len = if full_file {
+                data.len() - rel
+            } else {
+                let next_boundary = (abs / self.cfg.block_size + 1) * self.cfg.block_size;
+                ((next_boundary - abs) as usize).min(data.len() - rel)
+            };
+            segs.push(self.store_segment(&mut idx, fh, abs, &data[rel..rel + piece_len]));
+            rel += piece_len;
+        }
+        idx.apply_insert_clean(fh, offset, &segs);
+        idx.touch(fh);
+        self.log(&mut idx, &WalRecord::InsertClean { fh, offset, segs });
+        self.evict_over_capacity(&mut idx);
+    }
+
+    fn write_dirty(&mut self, fh: Fh3, offset: u64, data: Vec<u8>) {
+        if data.is_empty() {
+            return;
+        }
+        let mut idx = self.index.lock();
+        self.disk.write(&data_path(fh), offset, &data);
+        idx.apply_write_dirty(fh, offset, data.len());
+        idx.touch(fh);
+        self.log(&mut idx, &WalRecord::WriteDirty { fh, offset, bytes: data });
+        self.evict_over_capacity(&mut idx);
+    }
+
+    fn clean_range(&mut self, fh: Fh3, offset: u64, len: u64) {
+        let mut idx = self.index.lock();
+        if idx.files.contains_key(&fh) {
+            idx.apply_clean_range(fh, offset, len);
+            self.log(&mut idx, &WalRecord::CleanRange { fh, offset, len });
+        }
+        drop(idx);
+        // The server holds the data now; make the clean marking (and the
+        // write-back it records) durable so a restart serves it warm
+        // instead of re-flushing. Unconditional: clean_range is always a
+        // durability barrier, whether or not the handle was cached.
+        self.disk.sync();
+        self.wal.lock().since_sync = 0;
+    }
+
+    fn drop_clean(&mut self, fh: Fh3) {
+        let mut idx = self.index.lock();
+        if !idx.files.contains_key(&fh) {
+            return;
+        }
+        idx.apply_drop_clean(fh);
+        self.log(&mut idx, &WalRecord::DropClean { fh });
+    }
+
+    fn forget(&mut self, fh: Fh3) {
+        let mut idx = self.index.lock();
+        if !idx.files.contains_key(&fh) && !idx.lru_seq.contains_key(&fh) {
+            return;
+        }
+        idx.apply_forget(fh);
+        self.disk.remove(&data_path(fh));
+        self.log(&mut idx, &WalRecord::Forget { fh });
+    }
+
+    fn dirty_ranges(&self, fh: Fh3) -> Vec<(u64, usize)> {
+        let idx = self.index.lock();
+        idx.files.get(&fh).map_or_else(Vec::new, |e| {
+            e.extents.iter().filter(|(_, x)| x.dirty()).map(|(o, x)| (*o, x.len)).collect()
+        })
+    }
+
+    fn dirty_blocks(&self, fh: Fh3, block_size: u64) -> Vec<u64> {
+        let mut blocks = std::collections::BTreeSet::new();
+        for (offset, len) in self.dirty_ranges(fh) {
+            let mut b = offset / block_size * block_size;
+            let end = offset + len as u64;
+            while b < end {
+                blocks.insert(b);
+                b += block_size;
+            }
+        }
+        blocks.into_iter().collect()
+    }
+
+    fn dirty_in_block(&self, fh: Fh3, block_offset: u64, block_size: u64) -> Vec<(u64, Vec<u8>)> {
+        let idx = self.index.lock();
+        let Some(entry) = idx.files.get(&fh) else { return Vec::new() };
+        let block_end = block_offset + block_size;
+        let mut out = Vec::new();
+        for (start, ext) in &entry.extents {
+            if !ext.dirty() {
+                continue;
+            }
+            let ext_end = start + ext.len as u64;
+            if ext_end <= block_offset || *start >= block_end {
+                continue;
+            }
+            let from = block_offset.max(*start);
+            let to = block_end.min(ext_end);
+            let bytes = self
+                .disk
+                .read(&data_path(fh), from, (to - from) as usize)
+                .expect("dirty extent bytes are present in the data file");
+            out.push((from, bytes));
+        }
+        out
+    }
+
+    fn has_dirty(&self, fh: Fh3) -> bool {
+        let idx = self.index.lock();
+        idx.files.get(&fh).is_some_and(|e| e.extents.values().any(Ext::dirty))
+    }
+
+    fn dirty_files(&self) -> Vec<Fh3> {
+        let idx = self.index.lock();
+        let mut v: Vec<Fh3> = idx
+            .files
+            .iter()
+            .filter(|(_, e)| e.extents.values().any(Ext::dirty))
+            .map(|(fh, _)| *fh)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn revalidate(&mut self, fh: Fh3, mtime: NfsTime3) {
+        let mut idx = self.index.lock();
+        let changed = idx.files.get(&fh).and_then(|e| e.tag).is_some_and(|t| t != mtime);
+        if changed {
+            idx.apply_drop_clean(fh);
+        }
+        let had_entry = idx.files.contains_key(&fh);
+        let prev_tag = idx.files.get(&fh).and_then(|e| e.tag);
+        idx.files.entry(fh).or_default().tag = Some(mtime);
+        // Only log when something durable changed: first sight of the
+        // handle, a tag move, or a clean drop.
+        if changed || !had_entry || prev_tag != Some(mtime) {
+            self.log(&mut idx, &WalRecord::Retag { fh, mtime, drop: changed });
+        }
+    }
+
+    fn retag(&mut self, fh: Fh3, mtime: NfsTime3) {
+        let mut idx = self.index.lock();
+        let prev = idx.files.get(&fh).and_then(|e| e.tag);
+        idx.files.entry(fh).or_default().tag = Some(mtime);
+        if prev != Some(mtime) {
+            self.log(&mut idx, &WalRecord::Retag { fh, mtime, drop: false });
+        }
+    }
+
+    fn note_size(&mut self, fh: Fh3, size: u64) {
+        self.index.lock().files.entry(fh).or_default().size_hint = Some(size);
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.index.lock().used
+    }
+
+    fn stats(&self) -> StoreStats {
+        let idx = self.index.lock();
+        StoreStats {
+            bytes: idx.used as u64,
+            evictions: idx.evictions,
+            dedup_hits: idx.dedup_hits,
+            restart_warm_blocks: idx.warm_blocks,
+        }
+    }
+
+    fn sync(&mut self) {
+        let idx = self.index.lock();
+        let mut wal = self.wal.lock();
+        drop(idx);
+        self.disk.sync();
+        wal.since_sync = 0;
+    }
+
+    fn crash_reopen(&mut self) {
+        let (evictions, dedup_hits) = {
+            let idx = self.index.lock();
+            (idx.evictions, idx.dedup_hits)
+        };
+        self.disk.crash();
+        self.replay(evictions, dedup_hits);
+    }
+
+    fn take_cost(&mut self) -> Duration {
+        self.disk.take_pending_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvfs_netsim::disk::DiskConfig;
+
+    fn store() -> PersistentStore {
+        PersistentStore::open(
+            VirtualDisk::new(DiskConfig::instant()),
+            PersistConfig { capacity: 1 << 20, ..PersistConfig::default() },
+        )
+    }
+
+    fn t(s: u32) -> NfsTime3 {
+        NfsTime3 { seconds: s, nseconds: 0 }
+    }
+
+    #[test]
+    fn read_write_roundtrip_with_gaps() {
+        let mut s = store();
+        let fh = Fh3::from_fileid(1);
+        s.insert_clean(fh, 0, vec![1; 4]);
+        s.insert_clean(fh, 8, vec![2; 4]);
+        assert_eq!(s.read(fh, 0, 4).unwrap(), vec![1; 4]);
+        assert!(s.read(fh, 0, 12).is_none(), "gap at [4,8)");
+        assert_eq!(s.missing_ranges(fh, 0, 12), vec![(4, 4)]);
+        s.write_dirty(fh, 4, vec![9; 4]);
+        assert_eq!(s.read(fh, 0, 12).unwrap(), [vec![1; 4], vec![9; 4], vec![2; 4]].concat());
+        assert_eq!(s.dirty_ranges(fh), vec![(4, 4)]);
+    }
+
+    #[test]
+    fn dirty_beats_incoming_clean() {
+        let mut s = store();
+        let fh = Fh3::from_fileid(1);
+        s.write_dirty(fh, 2, vec![7; 4]);
+        s.insert_clean(fh, 0, vec![0; 8]);
+        assert_eq!(s.read(fh, 0, 8).unwrap(), vec![0, 0, 7, 7, 7, 7, 0, 0]);
+        assert_eq!(s.dirty_ranges(fh), vec![(2, 4)]);
+    }
+
+    #[test]
+    fn warm_restart_serves_clean_blocks() {
+        let disk = VirtualDisk::new(DiskConfig::instant());
+        let cfg = PersistConfig { capacity: 1 << 20, ..PersistConfig::default() };
+        let fh = Fh3::from_fileid(7);
+        {
+            let mut s = PersistentStore::open(Arc::clone(&disk), cfg);
+            s.revalidate(fh, t(5));
+            s.insert_clean(fh, 0, vec![3; 1000]);
+            s.sync();
+        }
+        let mut s2 = PersistentStore::open(disk, cfg);
+        assert_eq!(s2.read(fh, 0, 1000).unwrap(), vec![3; 1000]);
+        assert_eq!(s2.stats().restart_warm_blocks, 1);
+        // The tag survived: revalidating with the same mtime keeps data.
+        s2.revalidate(fh, t(5));
+        assert!(s2.read(fh, 0, 1000).is_some());
+        s2.revalidate(fh, t(9));
+        assert!(s2.read(fh, 0, 1000).is_none(), "tag moved: clean dropped");
+    }
+
+    #[test]
+    fn unsynced_dirty_tail_is_discarded_after_crash() {
+        let mut s = store();
+        let fh = Fh3::from_fileid(1);
+        s.write_dirty(fh, 0, vec![1; 100]);
+        s.sync();
+        s.write_dirty(fh, 200, vec![2; 100]); // never synced
+        s.crash_reopen();
+        assert_eq!(s.read(fh, 0, 100).unwrap(), vec![1; 100], "synced dirty survives");
+        assert_eq!(s.dirty_ranges(fh), vec![(0, 100)], "torn record discarded");
+    }
+
+    #[test]
+    fn dedup_stores_identical_chunks_once() {
+        let mut s = store();
+        let a = Fh3::from_fileid(1);
+        let b = Fh3::from_fileid(2);
+        let block = vec![42u8; 32 * 1024];
+        s.insert_clean(a, 0, block.clone());
+        assert_eq!(s.stats().dedup_hits, 0);
+        s.insert_clean(b, 0, block.clone());
+        assert_eq!(s.stats().dedup_hits, 1);
+        assert_eq!(s.read(b, 0, block.len()).unwrap(), block);
+        // One chunk file backs both.
+        assert_eq!(s.disk.list("chunks/").len(), 1);
+        s.forget(a);
+        assert_eq!(s.read(b, 0, block.len()).unwrap(), block, "refcount keeps the chunk");
+    }
+
+    #[test]
+    fn eviction_spares_dirty_and_counts() {
+        let mut s = PersistentStore::open(
+            VirtualDisk::new(DiskConfig::instant()),
+            PersistConfig { capacity: 100, ..PersistConfig::default() },
+        );
+        let dirty = Fh3::from_fileid(1);
+        let clean = Fh3::from_fileid(2);
+        s.write_dirty(dirty, 0, vec![1; 80]);
+        s.insert_clean(clean, 0, vec![2; 80]);
+        assert!(s.used_bytes() <= 160);
+        assert_eq!(s.dirty_files(), vec![dirty]);
+        assert!(s.read(dirty, 0, 80).is_some(), "dirty survives eviction");
+        assert!(s.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn checkpoint_snapshots_and_truncates_wal() {
+        let disk = VirtualDisk::new(DiskConfig::instant());
+        let cfg = PersistConfig {
+            capacity: 1 << 20,
+            checkpoint_every: 4,
+            sync_every: usize::MAX,
+            ..PersistConfig::default()
+        };
+        let fh = Fh3::from_fileid(1);
+        let mut s = PersistentStore::open(Arc::clone(&disk), cfg);
+        for i in 0..6u64 {
+            s.write_dirty(fh, i * 10, vec![i as u8 + 1; 10]);
+        }
+        assert!(disk.exists(SNAP_PATH), "checkpoint wrote a snapshot");
+        s.sync();
+        drop(s);
+        let mut s2 = PersistentStore::open(disk, cfg);
+        let got = s2.read(fh, 0, 60).unwrap();
+        let want: Vec<u8> = (0..6u64).flat_map(|i| vec![i as u8 + 1; 10]).collect();
+        assert_eq!(got, want);
+        assert_eq!(s2.dirty_ranges(fh), vec![(0, 60)]);
+    }
+
+    #[test]
+    fn clean_range_is_durable_and_restores_warm() {
+        let disk = VirtualDisk::new(DiskConfig::instant());
+        let cfg = PersistConfig { capacity: 1 << 20, ..PersistConfig::default() };
+        let fh = Fh3::from_fileid(3);
+        {
+            let mut s = PersistentStore::open(Arc::clone(&disk), cfg);
+            s.write_dirty(fh, 0, vec![5; 512]);
+            s.clean_range(fh, 0, 512); // implies a durability barrier
+        }
+        let mut s2 = PersistentStore::open(disk, cfg);
+        assert_eq!(s2.read(fh, 0, 512).unwrap(), vec![5; 512]);
+        assert!(!s2.has_dirty(fh), "cleaned-in-place bytes restore clean");
+        assert_eq!(s2.stats().restart_warm_blocks, 1);
+    }
+}

@@ -19,5 +19,7 @@ pub use driver::{run_scenario, run_with_events, ChaosReport, ModelKind, Scenario
 pub use history::{Event, History, Observation};
 pub use oracle::{Violation, ViolationKind};
 pub use plan::{compile_fault_plans, generate_events, FaultEvent};
-pub use scenario::{run_partition_heal, PartitionHealReport};
+pub use scenario::{
+    run_crash_restart, run_partition_heal, CrashRestartReport, PartitionHealReport,
+};
 pub use shrink::{format_reproducer, shrink_failure, Shrunk};

@@ -2,7 +2,7 @@
 //! timelines that exercise one resilience mechanism end to end, in
 //! contrast to [`super::driver`]'s seed-randomized workloads.
 //!
-//! The first (and so far only) scenario is **partition-heal**: a
+//! The first scenario is **partition-heal**: a
 //! delegation client with dirty write-back data loses its WAN link for
 //! ~35 s of virtual time, rides the degradation ladder (breaker opens →
 //! bounded-staleness cached reads, local write acknowledgement), is
@@ -12,6 +12,15 @@
 //! through the same per-model oracle as the randomized runs (including
 //! the degraded-mode staleness cap), and the report carries the ladder
 //! counters the harness asserts on.
+//!
+//! The second is **crash-restart**: a write-back client on a persistent
+//! block store is killed mid-write-back — after a durability barrier
+//! covered some of its dirty data but not the latest write — and
+//! restarted on the same virtual disk. The store must reopen to an
+//! exact historical state: the synced write survives and reconciles to
+//! the server, the never-synced write vanishes entirely (it was never
+//! acknowledged durable by a barrier), and no reader anywhere observes
+//! a torn block or the discarded write's data.
 
 use crate::chaos::driver::ModelKind;
 use crate::chaos::history::{
@@ -341,6 +350,293 @@ pub fn run_partition_heal(seed: u64) -> PartitionHealReport {
         events,
         history,
         final_tags,
+        trace_hash: hash,
+        violations,
+        protocol_trace: protocol_trace.to_jsonl(),
+    }
+}
+
+/// The outcome of one crash-restart run.
+#[derive(Debug)]
+pub struct CrashRestartReport {
+    /// The scenario seed (jitters the op schedule, not the structure).
+    pub seed: u64,
+    /// Client 0's proxy statistics at shutdown (carries the store's
+    /// `restart_warm_blocks` from the reopen).
+    pub writer_stats: gvfs_core::proxy::client::ProxyClientStats,
+    /// Handles whose dirty data the restart discarded as corrupted —
+    /// must be empty: the server copy never moved during the outage.
+    pub corrupted: Vec<gvfs_nfs3::Fh3>,
+    /// The full recorded history.
+    pub history: Vec<Event>,
+    /// Final content of `/crash-0`, read out of band.
+    pub final_tag: Observation,
+    /// Deterministic fingerprint of (history, final state).
+    pub trace_hash: u64,
+    /// Scenario-specific oracle rejections; empty = clean.
+    pub violations: Vec<Violation>,
+    /// The protocol-event trace (JSONL), for conformance replay.
+    pub protocol_trace: String,
+}
+
+/// The tag client 0 lands as the final content of `/crash-0`.
+pub fn final_crash_tag() -> u64 {
+    make_tag(0, 4)
+}
+
+/// The write the crash must discard: acknowledged into the write-back
+/// cache after the last durability barrier, never synced.
+pub fn lost_crash_tag() -> u64 {
+    make_tag(0, 3)
+}
+
+/// Runs the crash-restart scenario for `seed`.
+///
+/// Phase map (virtual seconds; every op carries ≤200 ms seeded jitter):
+///
+/// - **0–11 accumulate**: client 0 forwards one write to `/crash-0`
+///   (delegation + write-back base), reads `/crash-1` (a clean block in
+///   the persistent store), acknowledges write 2 locally, and hits a
+///   durability barrier (`sync_store`) at 8 s. Write 3 lands at 10 s —
+///   dirty in the cache, WAL record appended but **not** synced.
+/// - **12 crash**: the proxy machine dies. The virtual disk keeps only
+///   what the barrier covered, plus a torn fragment of write 3's WAL
+///   record.
+/// - **16 restart**: the store reopens from disk — replay stops at the
+///   torn record, so write 2's dirty bytes and `/crash-1`'s clean block
+///   come back and write 3 is gone — then crash recovery reconciles the
+///   surviving dirty data against the (unchanged) server.
+/// - **20+ verify**: client 1 cross-reads `/crash-0` (must see write 2,
+///   then write 4, never write 3 or a torn block), client 0 lands one
+///   more forwarded write, and a final out-of-band read pins the end
+///   state.
+pub fn run_crash_restart(seed: u64) -> CrashRestartReport {
+    let sim = Sim::new();
+    let mut config = ModelKind::Delegation.session_config();
+    config.persistent_store = true;
+    let session = Session::builder(config).clients(2).establish(&sim);
+    let protocol_trace = session.install_trace();
+
+    let vfs = Arc::clone(session.vfs());
+    let t0 = gvfs_vfs::Timestamp::from_nanos(0);
+    for name in ["crash-0", "crash-1"] {
+        let id = vfs.create(vfs.root(), name, 0o644, t0).expect("create scenario file");
+        vfs.write(id, 0, &vec![0u8; FILE_LEN], t0).expect("initialize scenario file");
+    }
+
+    let history = Arc::new(History::new());
+    let done = Arc::new(AtomicUsize::new(0));
+    let session = Arc::new(session);
+    let corrupted = Arc::new(parking_lot::Mutex::new(Vec::new()));
+
+    // Client 0: accumulates write-back data across the barrier, then
+    // keeps using the cache after the restart.
+    {
+        let transport = session.client_transport(0);
+        let root = session.root_fh();
+        let history = Arc::clone(&history);
+        let done = Arc::clone(&done);
+        sim.spawn("crash-writer", move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(5).wrapping_add(1));
+            sleep_until(at(&mut rng, 1));
+            let client = NfsClient::new(transport, root, MountOptions::noac());
+            let w = client.resolve("/crash-0").expect("resolve /crash-0");
+            let r = client.resolve("/crash-1").expect("resolve /crash-1");
+            let s = Scripted { client: &client, history: &history, id: 0 };
+
+            // Forwarded write: delegation + write-back base.
+            s.write(w, 0, 1, at(&mut rng, 2));
+            // A clean block the restart must serve warm.
+            s.read(r, 1, at(&mut rng, 4));
+            // Local acknowledgement, covered by the 8 s barrier.
+            s.write(w, 0, 2, at(&mut rng, 6));
+            // Local acknowledgement the crash must discard cleanly.
+            s.write(w, 0, 3, at(&mut rng, 10));
+
+            // Post-restart: land the final state with a forwarded write
+            // (the restart cleared the delegation).
+            s.write(w, 0, 4, at(&mut rng, 24));
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // The operator: barrier at 8 s, crash at 12 s, restart at 16 s.
+    {
+        let session = Arc::clone(&session);
+        let done = Arc::clone(&done);
+        let corrupted = Arc::clone(&corrupted);
+        sim.spawn("crash-operator", move || {
+            sleep_until(SimTime::from_millis(8_500));
+            session.proxy_client(0).sync_store();
+            sleep_until(SimTime::from_millis(12_000));
+            session.crash_proxy_client(0);
+            sleep_until(SimTime::from_millis(16_000));
+            *corrupted.lock() = session.restart_proxy_client(0);
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // Client 1: the cross-reader that must never see the lost write.
+    {
+        let transport = session.client_transport(1);
+        let root = session.root_fh();
+        let history = Arc::clone(&history);
+        let done = Arc::clone(&done);
+        sim.spawn("crash-reader", move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(5).wrapping_add(2));
+            sleep_until(at(&mut rng, 20));
+            let client = NfsClient::new(transport, root, MountOptions::noac());
+            let w = client.resolve("/crash-0").expect("resolve /crash-0");
+            let s = Scripted { client: &client, history: &history, id: 1 };
+            // Post-restart, pre-final-write: the reconciled write 2.
+            s.read(w, 0, at(&mut rng, 21));
+            s.read(w, 0, at(&mut rng, 22));
+            // Past the final write: write 4.
+            s.read(w, 0, at(&mut rng, 28));
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // Closer: waits for all three actors, then shuts down (flushing and
+    // syncing the store).
+    {
+        let session = Arc::clone(&session);
+        let done = Arc::clone(&done);
+        let handle = session.handle();
+        sim.spawn("crash-closer", move || {
+            loop {
+                gvfs_netsim::park_timeout(Duration::from_secs(1));
+                if done.load(Ordering::SeqCst) >= 3 {
+                    break;
+                }
+            }
+            handle.shutdown();
+        });
+    }
+
+    sim.run();
+
+    let writer_stats = session.proxy_client(0).stats();
+    let corrupted = corrupted.lock().clone();
+
+    let final_tag = {
+        let id = vfs.lookup_path("/crash-0").expect("scenario file still present");
+        let (buf, _eof) = vfs.read(id, 0, FILE_LEN as u32).expect("read final state");
+        Observation::decode(&buf)
+    };
+
+    let history = history.events();
+    let mut violations = Vec::new();
+
+    // No torn block may ever be observed — not from the wire, and above
+    // all not from the reopened store.
+    for ev in &history {
+        if let Event::Read { client, file, observed: Observation::Torn, started, .. } = ev {
+            violations.push(Violation {
+                kind: oracle::ViolationKind::TornRead,
+                detail: format!(
+                    "client {client} observed a torn block of file {file} at {started:?}"
+                ),
+            });
+        }
+    }
+    // The never-synced write must have vanished with the crash: its WAL
+    // record was torn, so serving its data anywhere means the store
+    // replayed past a failed verification.
+    for ev in &history {
+        if let Event::Read { client, file, observed: Observation::Tag(t), started, .. } = ev {
+            if *t == lost_crash_tag() {
+                violations.push(Violation {
+                    kind: oracle::ViolationKind::StaleRead,
+                    detail: format!(
+                        "client {client} read the never-synced write {t:#x} of file {file} \
+                         at {started:?} — a torn WAL record was replayed"
+                    ),
+                });
+            }
+        }
+    }
+    // The cross-reader's view must move monotonically through the
+    // surviving states: write 2 (reconciled from the reopened store),
+    // then write 4.
+    let allowed = [make_tag(0, 2), final_crash_tag()];
+    let mut last_pos = 0usize;
+    for ev in &history {
+        let Event::Read { client: 1, observed, started, .. } = ev else { continue };
+        match observed {
+            Observation::Tag(t) if allowed.contains(t) => {
+                let pos = allowed.iter().position(|a| a == t).expect("just matched");
+                if pos < last_pos {
+                    violations.push(Violation {
+                        kind: oracle::ViolationKind::StaleRead,
+                        detail: format!(
+                            "cross-reader regressed from {:#x} to {t:#x} at {started:?}",
+                            allowed[last_pos]
+                        ),
+                    });
+                }
+                last_pos = pos;
+            }
+            Observation::Torn => {} // already reported above
+            other => violations.push(Violation {
+                kind: oracle::ViolationKind::InvalidValue,
+                detail: format!(
+                    "cross-reader observed {other:?} at {started:?}; the only states the \
+                     crash leaves behind are {allowed:?}"
+                ),
+            }),
+        }
+    }
+    // Every scripted write happened outside the outage and must ack.
+    for ev in &history {
+        if let Event::WriteFailed { client, file, tag, started, .. } = ev {
+            violations.push(Violation {
+                kind: oracle::ViolationKind::FinalState,
+                detail: format!(
+                    "client {client} write {tag:#x} to file {file} failed at {started:?}"
+                ),
+            });
+        }
+    }
+    // The server never moved while client 0 was down, so the restart
+    // must reconcile — not discard — the surviving dirty data.
+    if !corrupted.is_empty() {
+        violations.push(Violation {
+            kind: oracle::ViolationKind::FinalState,
+            detail: format!(
+                "restart discarded {corrupted:?} as corrupted; the server copy was unchanged"
+            ),
+        });
+    }
+    // The store must actually have come back warm: the barrier covered
+    // /crash-1's clean block (and write 2's dirty bytes).
+    if writer_stats.restart_warm_blocks == 0 {
+        violations.push(Violation {
+            kind: oracle::ViolationKind::FinalState,
+            detail: "the reopened store served nothing warm; every block was refetched".into(),
+        });
+    }
+    if final_tag != Observation::Tag(final_crash_tag()) {
+        violations.push(Violation {
+            kind: oracle::ViolationKind::FinalState,
+            detail: format!(
+                "/crash-0 ended as {final_tag:?}, expected tag {:#x}",
+                final_crash_tag()
+            ),
+        });
+    }
+
+    let mut hash = trace_hash(&history);
+    for byte in format!("{final_tag:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    CrashRestartReport {
+        seed,
+        writer_stats,
+        corrupted,
+        history,
+        final_tag,
         trace_hash: hash,
         violations,
         protocol_trace: protocol_trace.to_jsonl(),

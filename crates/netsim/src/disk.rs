@@ -1,0 +1,401 @@
+//! An in-memory "disk" with deterministic seek/throughput costs and
+//! crash semantics, for persistent caches living inside the simulation.
+//!
+//! Real disks would wreck the determinism the scheduler guarantees, so a
+//! [`VirtualDisk`] keeps every file as two byte vectors: the *current*
+//! content (what reads observe) and the *durable* content (what survives
+//! a crash). [`VirtualDisk::sync`] promotes current to durable;
+//! [`VirtualDisk::crash`] reverts to durable, except that the first
+//! unsynced appended region of each file keeps a deterministic half-way
+//! *torn prefix* — exactly the failure a write-ahead log must tolerate.
+//!
+//! I/O never blocks: each operation accrues virtual nanoseconds
+//! (per-operation seek plus bytes ÷ throughput) into a pending-cost
+//! accumulator. Callers drain it with [`VirtualDisk::take_pending_cost`]
+//! and charge it to their own actor clock via [`crate::sleep`] at a
+//! point where no locks are held — sleeping inside a store method would
+//! deadlock the cooperative scheduler if the store's mutex is contended.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cost model for one simulated disk.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskConfig {
+    /// Fixed positioning cost charged once per operation.
+    pub seek: Duration,
+    /// Sequential read throughput, bytes per second.
+    pub read_bps: u64,
+    /// Sequential write throughput, bytes per second.
+    pub write_bps: u64,
+}
+
+impl DiskConfig {
+    /// A commodity SSD: 80 µs access, 500/450 MB/s read/write.
+    #[must_use]
+    pub fn ssd() -> Self {
+        DiskConfig {
+            seek: Duration::from_micros(80),
+            read_bps: 500_000_000,
+            write_bps: 450_000_000,
+        }
+    }
+
+    /// A 7200 rpm hard drive: 8 ms seek, 120 MB/s both ways.
+    #[must_use]
+    pub fn hdd() -> Self {
+        DiskConfig { seek: Duration::from_millis(8), read_bps: 120_000_000, write_bps: 120_000_000 }
+    }
+
+    /// A free disk for tests that only care about contents.
+    #[must_use]
+    pub fn instant() -> Self {
+        DiskConfig { seek: Duration::ZERO, read_bps: u64::MAX, write_bps: u64::MAX }
+    }
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig::ssd()
+    }
+}
+
+/// Operation counters, for benchmarks and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Read operations.
+    pub reads: u64,
+    /// Write operations (including appends and truncates).
+    pub writes: u64,
+    /// Bytes returned by reads.
+    pub bytes_read: u64,
+    /// Bytes accepted by writes.
+    pub bytes_written: u64,
+    /// Completed [`VirtualDisk::sync`] barriers.
+    pub syncs: u64,
+    /// Simulated crashes.
+    pub crashes: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct VFile {
+    /// Current content, as in-flight writes left it.
+    data: Vec<u8>,
+    /// Content as of the last global [`VirtualDisk::sync`].
+    durable: Vec<u8>,
+    /// Removed since the last sync: invisible to reads, but the durable
+    /// content must survive a crash (an unlink is only durable after a
+    /// sync, like a POSIX unlink without a directory fsync).
+    deleted: bool,
+}
+
+#[derive(Debug, Default)]
+struct DiskInner {
+    files: HashMap<String, VFile>,
+    stats: DiskStats,
+}
+
+/// A deterministic in-memory disk; see the module docs.
+///
+/// Cloneable via `Arc`; a proxy client and a restarted successor share
+/// the same `Arc<VirtualDisk>` to model one machine's platter.
+#[derive(Debug)]
+pub struct VirtualDisk {
+    cfg: DiskConfig,
+    inner: Mutex<DiskInner>,
+    pending_ns: AtomicU64,
+}
+
+impl VirtualDisk {
+    /// Creates an empty disk with the given cost model.
+    #[must_use]
+    pub fn new(cfg: DiskConfig) -> Arc<Self> {
+        Arc::new(VirtualDisk {
+            cfg,
+            inner: Mutex::new(DiskInner::default()),
+            pending_ns: AtomicU64::new(0),
+        })
+    }
+
+    fn charge(&self, bytes: usize, bps: u64) {
+        let mut ns = u64::try_from(self.cfg.seek.as_nanos()).unwrap_or(u64::MAX);
+        if bps < u64::MAX && bytes > 0 {
+            ns = ns.saturating_add((bytes as u64).saturating_mul(1_000_000_000) / bps.max(1));
+        }
+        self.pending_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Drains the accrued I/O cost. The caller should charge it to its
+    /// actor clock (`gvfs_netsim::sleep`) while holding no locks; code
+    /// running outside the simulation may simply drop it.
+    pub fn take_pending_cost(&self) -> Duration {
+        Duration::from_nanos(self.pending_ns.swap(0, Ordering::Relaxed))
+    }
+
+    /// Operation counters so far.
+    pub fn stats(&self) -> DiskStats {
+        self.inner.lock().stats
+    }
+
+    /// Writes `bytes` at `offset`, zero-extending any hole.
+    pub fn write(&self, path: &str, offset: u64, bytes: &[u8]) {
+        self.charge(bytes.len(), self.cfg.write_bps);
+        let mut inner = self.inner.lock();
+        inner.stats.writes += 1;
+        inner.stats.bytes_written += bytes.len() as u64;
+        let file = inner.files.entry(path.to_owned()).or_default();
+        if file.deleted {
+            // Re-creating a removed path: fresh content, but the durable
+            // copy of the old file still governs what a crash restores.
+            file.deleted = false;
+            file.data.clear();
+        }
+        let off = usize::try_from(offset).expect("offset fits usize");
+        let end = off + bytes.len();
+        if file.data.len() < end {
+            file.data.resize(end, 0);
+        }
+        file.data[off..end].copy_from_slice(bytes);
+    }
+
+    /// Appends `bytes`, returning the offset they landed at.
+    pub fn append(&self, path: &str, bytes: &[u8]) -> u64 {
+        self.charge(bytes.len(), self.cfg.write_bps);
+        let mut inner = self.inner.lock();
+        inner.stats.writes += 1;
+        inner.stats.bytes_written += bytes.len() as u64;
+        let file = inner.files.entry(path.to_owned()).or_default();
+        if file.deleted {
+            file.deleted = false;
+            file.data.clear();
+        }
+        let off = file.data.len() as u64;
+        file.data.extend_from_slice(bytes);
+        off
+    }
+
+    /// Reads up to `len` bytes at `offset`; short at end of file, `None`
+    /// if the file does not exist.
+    pub fn read(&self, path: &str, offset: u64, len: usize) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        let file = inner.files.get(path).filter(|f| !f.deleted)?;
+        let off = usize::try_from(offset).expect("offset fits usize");
+        let end = off.saturating_add(len).min(file.data.len());
+        let out = if off >= file.data.len() { Vec::new() } else { file.data[off..end].to_vec() };
+        inner.stats.reads += 1;
+        inner.stats.bytes_read += out.len() as u64;
+        drop(inner);
+        self.charge(out.len(), self.cfg.read_bps);
+        Some(out)
+    }
+
+    /// Current length of `path`, or `None` if absent.
+    pub fn len(&self, path: &str) -> Option<u64> {
+        self.inner.lock().files.get(path).filter(|f| !f.deleted).map(|f| f.data.len() as u64)
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.lock().files.get(path).is_some_and(|f| !f.deleted)
+    }
+
+    /// All paths starting with `prefix`, sorted (a readdir stand-in for
+    /// garbage collection).
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut v: Vec<String> = inner
+            .files
+            .iter()
+            .filter(|(p, f)| p.starts_with(prefix) && !f.deleted)
+            .map(|(p, _)| p.clone())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Truncates `path` to `len` bytes (creating it if absent).
+    pub fn truncate(&self, path: &str, len: u64) {
+        self.charge(0, self.cfg.write_bps);
+        let mut inner = self.inner.lock();
+        inner.stats.writes += 1;
+        let file = inner.files.entry(path.to_owned()).or_default();
+        if file.deleted {
+            file.deleted = false;
+            file.data.clear();
+        }
+        file.data.truncate(usize::try_from(len).expect("len fits usize"));
+    }
+
+    /// Removes `path` if present. Durable only after the next
+    /// [`VirtualDisk::sync`]: a crash before it resurrects the durable
+    /// content.
+    pub fn remove(&self, path: &str) {
+        self.charge(0, self.cfg.write_bps);
+        let mut inner = self.inner.lock();
+        inner.stats.writes += 1;
+        if let Some(f) = inner.files.get_mut(path) {
+            if f.durable.is_empty() {
+                inner.files.remove(path);
+            } else {
+                f.deleted = true;
+                f.data.clear();
+            }
+        }
+    }
+
+    /// Atomically renames `old` to `new` (replacing `new`). The rename
+    /// itself is durable only after the next [`VirtualDisk::sync`], like
+    /// a POSIX `rename` without a directory fsync — but a crash keeps
+    /// whichever of the two contents was durable, never a mix.
+    pub fn rename(&self, old: &str, new: &str) {
+        self.charge(0, self.cfg.write_bps);
+        let mut inner = self.inner.lock();
+        inner.stats.writes += 1;
+        if let Some(mut f) = inner.files.remove(old) {
+            // The moved file carries its durable copy; if the target had
+            // one it is replaced wholesale (no torn mix across a rename).
+            if let Some(prev) = inner.files.get(new) {
+                if !prev.durable.is_empty() && f.durable.is_empty() {
+                    f.durable = prev.durable.clone();
+                }
+            }
+            inner.files.insert(new.to_owned(), f);
+        }
+    }
+
+    /// Durability barrier: everything written so far survives a crash.
+    pub fn sync(&self) {
+        self.charge(0, self.cfg.write_bps);
+        let mut inner = self.inner.lock();
+        inner.stats.syncs += 1;
+        inner.files.retain(|_, f| !f.deleted);
+        for f in inner.files.values_mut() {
+            f.durable = f.data.clone();
+        }
+    }
+
+    /// Simulates a machine crash: every file reverts to its durable
+    /// content, except that a file that grew since the last sync keeps a
+    /// deterministic **torn prefix** — half (rounded down) of the
+    /// unsynced appended bytes. In-place overwrites of durable bytes are
+    /// reverted entirely. Files never synced keep only their torn half.
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats.crashes += 1;
+        inner.files.retain(|_, f| {
+            if f.deleted {
+                // Unsynced removal: the unlink is lost with the crash.
+                f.deleted = false;
+                f.data = f.durable.clone();
+            } else if f.data.len() > f.durable.len() {
+                let torn = (f.data.len() - f.durable.len()) / 2;
+                f.data.truncate(f.durable.len() + torn);
+                f.data[..f.durable.len()].copy_from_slice(&f.durable);
+            } else {
+                f.data = f.durable.clone();
+            }
+            !f.data.is_empty() || !f.durable.is_empty()
+        });
+        // A crash forgets queued I/O cost along with the dirty pages.
+        self.pending_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip_and_holes() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.write("a", 4, b"xyz");
+        assert_eq!(d.read("a", 0, 8).unwrap(), vec![0, 0, 0, 0, b'x', b'y', b'z']);
+        assert_eq!(d.len("a"), Some(7));
+        assert_eq!(d.read("missing", 0, 1), None);
+    }
+
+    #[test]
+    fn crash_reverts_unsynced_overwrites() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.write("f", 0, b"aaaa");
+        d.sync();
+        d.write("f", 0, b"bbbb");
+        d.crash();
+        assert_eq!(d.read("f", 0, 4).unwrap(), b"aaaa");
+    }
+
+    #[test]
+    fn crash_keeps_torn_prefix_of_unsynced_append() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.append("log", b"aaaa");
+        d.sync();
+        d.append("log", b"bbbbbb");
+        d.crash();
+        // 6 unsynced bytes -> 3 survive.
+        assert_eq!(d.read("log", 0, 16).unwrap(), b"aaaabbb");
+    }
+
+    #[test]
+    fn sync_then_crash_is_lossless() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.append("log", b"abcdef");
+        d.write("data", 8, b"zz");
+        d.sync();
+        d.crash();
+        assert_eq!(d.read("log", 0, 16).unwrap(), b"abcdef");
+        assert_eq!(d.read("data", 6, 4).unwrap(), vec![0, 0, b'z', b'z']);
+    }
+
+    #[test]
+    fn costs_accrue_and_drain() {
+        let d = VirtualDisk::new(DiskConfig {
+            seek: Duration::from_millis(1),
+            read_bps: 1_000_000,
+            write_bps: 1_000_000,
+        });
+        d.write("f", 0, &[0u8; 1000]); // 1 ms seek + 1 ms transfer
+        let cost = d.take_pending_cost();
+        assert_eq!(cost, Duration::from_millis(2));
+        assert_eq!(d.take_pending_cost(), Duration::ZERO);
+    }
+
+    #[test]
+    fn unsynced_remove_is_resurrected_by_crash() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.write("f", 0, b"keep");
+        d.sync();
+        d.remove("f");
+        assert!(!d.exists("f"));
+        assert_eq!(d.read("f", 0, 4), None);
+        d.crash();
+        assert_eq!(d.read("f", 0, 4).unwrap(), b"keep", "unlink was not durable");
+        // A synced removal is final.
+        d.remove("f");
+        d.sync();
+        d.crash();
+        assert!(!d.exists("f"));
+    }
+
+    #[test]
+    fn recreate_after_remove_starts_fresh() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.write("f", 0, b"oldcontent");
+        d.sync();
+        d.remove("f");
+        d.write("f", 0, b"nw");
+        assert_eq!(d.read("f", 0, 16).unwrap(), b"nw", "no stale tail from the removed file");
+    }
+
+    #[test]
+    fn rename_replaces_target() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.write("new", 0, b"vvvv");
+        d.write("old", 0, b"ww");
+        d.rename("old", "new");
+        assert_eq!(d.read("new", 0, 8).unwrap(), b"ww");
+        assert!(!d.exists("old"));
+    }
+}

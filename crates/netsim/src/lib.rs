@@ -53,6 +53,7 @@
 //!
 //! [NIST Net]: https://en.wikipedia.org/wiki/NIST_Net
 
+pub mod disk;
 pub mod fault;
 pub mod link;
 pub mod transport;
@@ -61,6 +62,7 @@ mod sched;
 mod time;
 
 pub use sched::{
-    advance_to, current_actor, now, park, park_timeout, sleep, spawn_from_actor, ActorHandle, Sim,
+    advance_to, current_actor, in_actor, now, park, park_timeout, sleep, spawn_from_actor,
+    ActorHandle, Sim,
 };
 pub use time::SimTime;

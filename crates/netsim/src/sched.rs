@@ -216,6 +216,14 @@ fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
     })
 }
 
+/// Whether the calling thread is a simulation actor, i.e. whether
+/// [`now`]/[`sleep`]/[`park`] may be called without panicking. Lets code
+/// shared between actors and ordinary threads (tests, setup) charge
+/// virtual-time costs only when there is a clock to charge.
+pub fn in_actor() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
 /// The calling actor's current virtual time.
 ///
 /// # Panics

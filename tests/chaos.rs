@@ -82,6 +82,31 @@ fn partition_heal_rides_the_ladder_and_loses_nothing() {
 }
 
 #[test]
+fn crash_restart_recovers_synced_state_and_discards_the_torn_write() {
+    let report = gvfs_integration::chaos::run_crash_restart(7);
+    assert!(
+        report.violations.is_empty(),
+        "crash-restart must be clean, got: {:#?}\nhistory: {:#?}\nstats: {:?}",
+        report.violations,
+        report.history,
+        report.writer_stats
+    );
+    // The report's own checks already demand these, but assert the
+    // interesting counters explicitly so a regression reads clearly.
+    assert!(
+        report.writer_stats.restart_warm_blocks >= 1,
+        "the reopened store must serve at least /crash-1's clean block warm, stats: {:?}",
+        report.writer_stats
+    );
+    assert!(report.corrupted.is_empty(), "nothing conflicted server-side");
+
+    // Exact-replay determinism, scripted like the randomized scenarios.
+    let again = gvfs_integration::chaos::run_crash_restart(7);
+    assert_eq!(report.history, again.history, "scenario must replay bit-identically");
+    assert_eq!(report.trace_hash, again.trace_hash);
+}
+
+#[test]
 fn suppressed_recalls_are_caught_and_shrunk() {
     let mut cfg = ScenarioConfig::new(10, ModelKind::Delegation);
     cfg.suppress_recalls = true;
