@@ -62,11 +62,12 @@ use std::path::{Path, PathBuf};
 /// server's sharded invalidation tracker `buffers` because the client
 /// store and the server tracker never interleave), then the store's
 /// WAL appender (`wal`, taken under `index` to keep log order matching
-/// index order) beside the tracker's per-client `buf` mutexes, then
-/// the write-back/invalidation plumbing, then
+/// index order), then the write-back/invalidation plumbing, then
 /// actor handles (flusher/poller/supervisor), the server's per-client
 /// WAN-health registry (`health`, scoped to a breaker lookup, never
-/// held across the wire), and counters. Neither store lock may be held
+/// held across the wire), and counters beside the recall fan-out
+/// window (`fanout`, a terminal lock: the semaphore guard is dropped
+/// before the acquiring actor parks and nothing is acquired under it). Neither store lock may be held
 /// across a WAN send: the store does disk I/O only, and its deferred
 /// cost settlement happens after every guard is released.
 pub const LOCK_ORDER: &[(&str, u32)] = &[
@@ -79,7 +80,6 @@ pub const LOCK_ORDER: &[(&str, u32)] = &[
     ("index", 3),
     ("buffers", 3),
     ("wal", 4),
-    ("buf", 4),
     ("flush_queue", 5),
     ("flusher", 6),
     ("poller", 6),
@@ -87,6 +87,7 @@ pub const LOCK_ORDER: &[(&str, u32)] = &[
     ("poll_ts", 7),
     ("health", 7),
     ("stats", 8),
+    ("fanout", 8),
     // The protocol-trace buffer is written under the deleg shard lock
     // (so per-file event order matches the table's linearization) and
     // must therefore rank below everything that may be held at an

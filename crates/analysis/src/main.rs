@@ -98,6 +98,7 @@ fn run_model() -> Result<(), usize> {
         model::check_delegation(),
         model::check_invalidation(),
         model::check_breaker(),
+        model::check_fanout(),
         product::check_product(),
     ] {
         println!(

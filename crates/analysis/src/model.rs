@@ -794,3 +794,178 @@ pub fn check_breaker() -> ModelReport {
     }
     report
 }
+
+// ---------------------------------------------------------------------------
+// Bounded recall fan-out window
+// ---------------------------------------------------------------------------
+
+/// Per-recall status in the fan-out model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RecallStatus {
+    /// Not yet issued; waiting for a window slot.
+    Queued,
+    /// Issued; holds a window slot until its reply is awaited.
+    InFlight,
+    /// Reply awaited; slot released.
+    Done,
+    /// Breaker-open target: completed without ever taking a slot.
+    ShortCircuited,
+    /// Fault injection only: slot released but the recall's completion
+    /// was lost. Must never be reachable with the knob off.
+    Dropped,
+}
+
+/// Fault knobs for the fan-out model, mirroring the product checker's
+/// pattern: each knob re-introduces a bug class the implementation must
+/// not have, and a unit test asserts the checker convicts it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FanoutKnobs {
+    /// A completing recall releases its window slot but is dropped
+    /// before being recorded as done — the bug class the bounded
+    /// window must not introduce (issue-all-then-wait never lost a
+    /// completion because every `PendingCall` was held in one local
+    /// vector; the windowed loop must preserve that).
+    pub drop_completion: bool,
+}
+
+/// One state of the bounded fan-out window: a recall round of `n`
+/// targets (some breaker-open) driven through a window of `w` slots.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FanoutState {
+    status: Vec<RecallStatus>,
+}
+
+impl FanoutState {
+    fn in_flight(&self) -> usize {
+        self.status.iter().filter(|s| **s == RecallStatus::InFlight).count()
+    }
+}
+
+/// Exhaustively explores every interleaving of issue/complete actions
+/// for recall rounds driven through the bounded fan-out window, over a
+/// grid of round sizes, window widths and breaker-open target sets.
+///
+/// Invariants checked at every reachable state:
+///
+/// 1. **window bound** — recalls in flight never exceed the window;
+/// 2. **breaker isolation** — a breaker-open target is never in
+///    flight (it must short-circuit without consuming a slot);
+/// 3. **completion** — every terminal state has every recall either
+///    done or short-circuited: no recall is stranded queued (window
+///    deadlock) or dropped (lost completion).
+pub fn check_fanout_with(knobs: FanoutKnobs) -> ModelReport {
+    let mut report = ModelReport { machine: "fanout", ..ModelReport::default() };
+    let mut visited: HashSet<String> = HashSet::new();
+
+    for &n in &[4usize, 6] {
+        for &window in &[1usize, 2, n] {
+            // Breaker-open sets: none, one, alternating, all.
+            let masks: [u64; 4] = [0, 1, 0b0101_0101 & ((1 << n) - 1), (1 << n) - 1];
+            for &mask in &masks {
+                let open = |i: usize| mask & (1 << i) != 0;
+                let init = FanoutState { status: vec![RecallStatus::Queued; n] };
+                let mut queue: VecDeque<(FanoutState, Vec<String>)> =
+                    VecDeque::from([(init, Vec::new())]);
+                let mut seen: HashSet<FanoutState> = HashSet::new();
+                while let Some((state, trace)) = queue.pop_front() {
+                    if !seen.insert(state.clone()) {
+                        continue;
+                    }
+                    if visited.insert(format!("{n}/{window}/{mask}:{:?}", state.status)) {
+                        report.states += 1;
+                    }
+                    let in_flight = state.in_flight();
+                    if in_flight > window {
+                        report.violations.push(format!(
+                            "{in_flight} recalls in flight exceeds window {window}\n  trace: {}",
+                            fmt_trace(&trace)
+                        ));
+                        continue;
+                    }
+                    if let Some(i) =
+                        (0..n).find(|&i| state.status[i] == RecallStatus::InFlight && open(i))
+                    {
+                        report.violations.push(format!(
+                            "breaker-open target {i} holds a window slot\n  trace: {}",
+                            fmt_trace(&trace)
+                        ));
+                        continue;
+                    }
+                    let mut any_action = false;
+                    for i in 0..n {
+                        let mut next = None;
+                        match state.status[i] {
+                            RecallStatus::Queued if open(i) => {
+                                // Short-circuit: completes without a slot.
+                                next = Some((RecallStatus::ShortCircuited, "short"));
+                            }
+                            RecallStatus::Queued if in_flight < window => {
+                                next = Some((RecallStatus::InFlight, "issue"));
+                            }
+                            RecallStatus::InFlight => {
+                                next = Some(if knobs.drop_completion {
+                                    (RecallStatus::Dropped, "drop")
+                                } else {
+                                    (RecallStatus::Done, "complete")
+                                });
+                            }
+                            _ => {}
+                        }
+                        if let Some((status, label)) = next {
+                            any_action = true;
+                            report.transitions += 1;
+                            let mut succ = state.clone();
+                            succ.status[i] = status;
+                            let mut succ_trace = trace.clone();
+                            succ_trace.push(format!("{label}({i})"));
+                            queue.push_back((succ, succ_trace));
+                        }
+                    }
+                    if !any_action {
+                        // Terminal state: every recall must have been
+                        // answered — a queued recall here is a window
+                        // deadlock, a dropped one a lost completion.
+                        if let Some(i) = (0..n).find(|&i| {
+                            !matches!(
+                                state.status[i],
+                                RecallStatus::Done | RecallStatus::ShortCircuited
+                            )
+                        }) {
+                            report.violations.push(format!(
+                                "recall {i} never completed ({:?})\n  trace: {}",
+                                state.status[i],
+                                fmt_trace(&trace)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// [`check_fanout_with`] with all fault knobs off — the shipped
+/// configuration.
+pub fn check_fanout() -> ModelReport {
+    check_fanout_with(FanoutKnobs::default())
+}
+
+#[cfg(test)]
+mod fanout_tests {
+    use super::*;
+
+    #[test]
+    fn fanout_invariants_hold() {
+        let report = check_fanout();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.states > 1_000, "only {} states", report.states);
+    }
+
+    #[test]
+    fn dropped_completion_is_convicted() {
+        let report = check_fanout_with(FanoutKnobs { drop_completion: true });
+        let v = report.violations.first().expect("knob must convict");
+        assert!(v.contains("never completed"), "unexpected violation: {v}");
+    }
+}

@@ -10,14 +10,17 @@
 //! 6. the read path: serial all-or-nothing fetching vs gap-only miss
 //!    fetching vs gap fetching plus sequential read-ahead,
 //! 7. the degradation ladder: availability through a 60 s partition with
-//!    bounded-staleness cache-only reads vs the hard-retry baseline.
+//!    bounded-staleness cache-only reads vs the hard-retry baseline,
+//! 8. recall fan-out: the bounded-concurrency fan-out window vs the
+//!    sequential issue-and-wait baseline at 1k delegation holders.
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin ablations [--only <name>]`
 //! where `<name>` is one of `buffer-capacity`, `polling-period`,
 //! `delegation-expiration`, `writeback-threshold`, `pipelining`,
-//! `readahead`, `degradation`.
+//! `readahead`, `degradation`, `fanout`.
 
-use gvfs_bench::{getinv_calls, nfs_calls, print_table, rpc_meta, save_json};
+use gvfs_bench::scale::fanout_round;
+use gvfs_bench::{getinv_calls, nfs_calls, print_table, rpc_meta, save_json, small_mode};
 use gvfs_client::{MountOptions, NfsClient};
 use gvfs_core::session::{Session, SessionConfig};
 use gvfs_core::{ConsistencyModel, DelegationConfig};
@@ -575,6 +578,46 @@ fn degradation_sweep() -> Vec<serde_json::Value> {
     json
 }
 
+/// Ablation 8: recall fan-out. A writer invalidates a file held by 1k
+/// read delegations; the server must recall every holder before the
+/// write completes. Sequential issue-and-wait (window 1, the pre-rework
+/// shape) pays one WAN round trip per holder; the bounded window
+/// overlaps them, bounded only by the in-flight cap. The window must
+/// win by >=2x (in practice it wins by the window size, minus the
+/// short issue phase).
+fn fanout_sweep() -> Vec<serde_json::Value> {
+    let clients = if small_mode() { 96 } else { 1000 };
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut round = [0.0f64; 2];
+    for (i, (label, window)) in
+        [("sequential-wait", 1usize), ("bounded-window", 64)].into_iter().enumerate()
+    {
+        let (round_s, block) = fanout_round(clients, window);
+        round[i] = round_s;
+        rows.push(vec![
+            label.to_string(),
+            window.to_string(),
+            format!("{round_s:.3}"),
+            format!("{:.0}", clients as f64 / round_s),
+        ]);
+        json.push(serde_json::json!({ "arm": label, "holders": clients, "detail": block }));
+    }
+    let speedup = round[0] / round[1];
+    print_table(
+        "Ablation 8: recall fan-out window (1k holders, one shared-file invalidation)",
+        &["arm", "window", "recall round (s)", "recalls/s"],
+        &rows,
+    );
+    println!("fan-out speedup: {speedup:.1}x (target: >=2x)");
+    assert!(
+        speedup >= 2.0,
+        "the bounded window must beat sequential-wait >=2x at {clients} holders,          got {speedup:.2}x"
+    );
+    json.push(serde_json::json!({ "fanout_speedup": speedup }));
+    json
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let only = args.iter().position(|a| a == "--only").and_then(|i| args.get(i + 1)).cloned();
@@ -602,6 +645,9 @@ fn main() {
     }
     if run("degradation") {
         doc.push(("degradation".into(), degradation_sweep().into()));
+    }
+    if run("fanout") {
+        doc.push(("fanout".into(), fanout_sweep().into()));
     }
     // A partial run must not clobber the full committed results.
     let name = if only.is_some() { "ablations-partial.json" } else { "ablations.json" };

@@ -9,6 +9,8 @@ use gvfs_nfs3::{proc3, NFS_PROGRAM};
 use gvfs_rpc::stats::StatsSnapshot;
 use std::path::Path;
 
+pub mod scale;
+
 /// Whether the binary was invoked with `--small` (reduced workloads for
 /// smoke-testing the harness).
 pub fn small_mode() -> bool {
@@ -188,6 +190,33 @@ pub fn rpc_meta(snap: &StatsSnapshot) -> serde_json::Value {
     serde_json::json!({
         "max_in_flight": snap.max_in_flight(),
         "latency": serde_json::Value::Object(latencies),
+    })
+}
+
+/// The proxy server's scale counters (fan-out window, delegation and
+/// invalidation footprint, stripe-lock contention, batch volumes) as a
+/// figure/bench `server` JSON block.
+pub fn server_meta(server: &gvfs_core::proxy::server::ProxyServer) -> serde_json::Value {
+    let s = server.scale_stats();
+    serde_json::json!({
+        "recalls_sent": s.recalls_sent,
+        "recalls_short_circuited": s.recalls_short_circuited,
+        "fanout_window": s.fanout_window,
+        "fanout_in_flight_hwm": s.fanout_in_flight_hwm,
+        "health_entries": s.health_entries,
+        "health_evicted": s.health_evicted,
+        "deleg_files": s.deleg_files,
+        "deleg_sharers": s.deleg_sharers,
+        "deleg_approx_bytes": s.deleg_approx_bytes,
+        "inval_clients": s.inval_clients,
+        "inval_approx_bytes": s.inval_approx_bytes,
+        "inval_lock_acquisitions": s.inval.lock_acquisitions,
+        "inval_lock_contended": s.inval.lock_contended,
+        "getinv_replies": s.inval.getinv_replies,
+        "getinv_handles": s.inval.getinv_handles,
+        "piggyback_replies": s.inval.piggyback_replies,
+        "piggyback_handles": s.inval.piggyback_handles,
+        "inval_evicted_buffers": s.inval.evicted_buffers,
     })
 }
 

@@ -475,6 +475,37 @@ impl DelegationTable {
         self.files.len()
     }
 
+    /// Total sharer entries across all tracked files (diagnostics; the
+    /// per-client half of the table's cardinality).
+    pub fn sharer_entries(&self) -> usize {
+        self.files.values().map(|e| e.sharers.len()).sum()
+    }
+
+    /// Rough heap footprint of the table, for the scale bench's memory
+    /// counter.
+    pub fn approx_bytes(&self) -> usize {
+        // Map-entry + FileEntry fixed overhead per file; a Sharer plus
+        // its map slot per sharer; pending write-backs add their block
+        // set.
+        const PER_FILE: usize = 128;
+        const PER_SHARER: usize = 48;
+        const PER_PENDING_BLOCK: usize = 16;
+        self.files
+            .values()
+            .map(|e| {
+                PER_FILE
+                    + e.sharers.len() * PER_SHARER
+                    + e.pending.as_ref().map_or(0, |p| 32 + p.blocks.len() * PER_PENDING_BLOCK)
+            })
+            .sum()
+    }
+
+    /// `(files, sharer entries, approx bytes)` in one call, for the
+    /// server's scale-stats dump (one guard acquisition per shard).
+    pub fn scale_footprint(&self) -> (usize, usize, usize) {
+        (self.files.len(), self.sharer_entries(), self.approx_bytes())
+    }
+
     /// A canonical dump of the table, sorted by file handle, for
     /// diagnostics and the protocol model checker. Access times are
     /// deliberately omitted so snapshots of behaviourally-equal states

@@ -15,16 +15,22 @@
 //!   by unit tests and the protocol model checker, where explicit state
 //!   enumeration needs plain values;
 //! * [`ConcurrentInvalidationTracker`] — the proxy server's form: the
-//!   logical clock is atomic and every client's buffer has its own
-//!   lock, so request handlers for different clients append and drain
-//!   invalidations without serializing on one global mutex.
+//!   logical clock is atomic and client buffers are striped across a
+//!   fixed set of locks, so request handlers for different clients
+//!   append and drain invalidations without serializing on one global
+//!   mutex, and a modification pass costs one lock acquisition per
+//!   stripe rather than one per client. It additionally supports
+//!   piggybacked drains ([`ConcurrentInvalidationTracker::try_drain`]),
+//!   batched drains under one stripe pass
+//!   ([`ConcurrentInvalidationTracker::getinv_batch`]) and epoch-based
+//!   idle-client eviction
+//!   ([`ConcurrentInvalidationTracker::advance_epoch`]).
 
 use crate::protocol::{GetinvRes, MAX_INVALIDATIONS_PER_REPLY};
 use gvfs_nfs3::Fh3;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 struct ClientBuffer {
@@ -204,26 +210,91 @@ impl InvalidationTracker {
     }
 }
 
+/// Number of lock stripes in the concurrent tracker. Clients map to a
+/// stripe by id, so an append pass touches each stripe lock exactly
+/// once per modification and handlers for clients on different stripes
+/// never contend.
+const INVAL_STRIPES: usize = 16;
+
+/// One client's buffer plus the bookkeeping the striped tracker needs
+/// around it.
 #[derive(Debug)]
-struct ClientSlot {
-    buf: Mutex<ClientBuffer>,
+struct StripeSlot {
+    buf: ClientBuffer,
+    /// The timestamp of the last reply produced for this client over
+    /// any path (a real `GETINV` or a piggybacked drain). The client's
+    /// own timestamp can only lag this value, so `synced < floor`
+    /// detects a wrap-around the client has not yet been told about.
+    synced: u64,
+    /// Eviction epoch at the client's last contact.
+    epoch: u64,
+}
+
+/// One lock stripe: the buffers of every client whose id maps here.
+#[derive(Debug, Default)]
+struct Stripe {
+    buffers: Mutex<HashMap<u32, StripeSlot>>,
+    /// Lock acquisitions on this stripe.
+    acquisitions: AtomicU64,
+    /// Acquisitions that found the lock already held.
+    contended: AtomicU64,
+}
+
+impl Stripe {
+    /// Acquires the stripe lock, counting the acquisition and whether
+    /// it contended.
+    fn guard(&self) -> parking_lot::MutexGuard<'_, HashMap<u32, StripeSlot>> {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if let Some(guard) = self.buffers.try_lock() {
+            return guard;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.buffers.lock()
+    }
+}
+
+/// Scale counters exported by [`ConcurrentInvalidationTracker`] for the
+/// bench harness's `server` JSON block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvalScaleCounters {
+    /// Stripe-lock acquisitions across all stripes.
+    pub lock_acquisitions: u64,
+    /// Acquisitions that found the stripe lock held.
+    pub lock_contended: u64,
+    /// `GETINV` replies produced.
+    pub getinv_replies: u64,
+    /// File handles delivered across all `GETINV` replies (batch-size
+    /// numerator; `/ getinv_replies` gives the mean batch size).
+    pub getinv_handles: u64,
+    /// Piggybacked drains produced (replies that cost zero messages).
+    pub piggyback_replies: u64,
+    /// File handles delivered via piggybacked drains.
+    pub piggyback_handles: u64,
+    /// Idle client buffers dropped by epoch eviction.
+    pub evicted_buffers: u64,
 }
 
 /// The proxy server's concurrently-shared form of
 /// [`InvalidationTracker`]: same protocol behaviour (the per-buffer
 /// logic is literally shared), but the logical clock is an atomic and
-/// each client's buffer sits behind its own lock. Request handlers for
-/// different clients therefore never contend on a global mutex — a
-/// `WRITE` appending invalidations and a `GETINV` draining another
-/// client's buffer proceed in parallel.
+/// client buffers are striped across [`INVAL_STRIPES`] locks. A `WRITE`
+/// appending invalidations takes each stripe lock once per pass, and a
+/// `GETINV` draining a client on another stripe proceeds in parallel.
 ///
-/// Lock order: the `buffers` map lock is strictly outer to any per
-/// client `buf` lock, and no RPC is ever sent under either.
+/// Lock order: a stripe's `buffers` lock is terminal — no other lock is
+/// acquired and no RPC is ever sent while it is held.
 #[derive(Debug)]
 pub struct ConcurrentInvalidationTracker {
-    buffers: RwLock<HashMap<u32, Arc<ClientSlot>>>,
+    stripes: Vec<Stripe>,
     capacity: AtomicUsize,
     clock: AtomicU64,
+    /// Idle-eviction epoch, advanced by [`Self::advance_epoch`].
+    epoch: AtomicU64,
+    getinv_replies: AtomicU64,
+    getinv_handles: AtomicU64,
+    piggyback_replies: AtomicU64,
+    piggyback_handles: AtomicU64,
+    evicted_buffers: AtomicU64,
 }
 
 impl ConcurrentInvalidationTracker {
@@ -231,17 +302,28 @@ impl ConcurrentInvalidationTracker {
     /// `capacity` entries before wrapping.
     pub fn new(capacity: usize) -> Self {
         ConcurrentInvalidationTracker {
-            buffers: RwLock::new(HashMap::new()),
+            stripes: (0..INVAL_STRIPES).map(|_| Stripe::default()).collect(),
             capacity: AtomicUsize::new(capacity.max(1)),
             clock: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            getinv_replies: AtomicU64::new(0),
+            getinv_handles: AtomicU64::new(0),
+            piggyback_replies: AtomicU64::new(0),
+            piggyback_handles: AtomicU64::new(0),
+            evicted_buffers: AtomicU64::new(0),
         }
+    }
+
+    fn stripe(&self, client: u32) -> &Stripe {
+        &self.stripes[client as usize % INVAL_STRIPES]
     }
 
     /// Discards all buffers and restarts the clock with a new capacity
     /// (server crash, or the middleware re-configuring the session).
     pub fn reset(&self, capacity: usize) {
-        let mut buffers = self.buffers.write();
-        buffers.clear();
+        for stripe in &self.stripes {
+            stripe.guard().clear();
+        }
         self.capacity.store(capacity.max(1), Ordering::SeqCst);
         self.clock.store(0, Ordering::SeqCst);
     }
@@ -253,70 +335,183 @@ impl ConcurrentInvalidationTracker {
 
     /// Records a file modification observed from `writer`: every other
     /// registered client gets an invalidation entry (coalesced per
-    /// file).
+    /// file). One stripe-lock acquisition per stripe, regardless of how
+    /// many clients live there.
     pub fn record_modification(&self, fh: Fh3, writer: u32) {
         let ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let capacity = self.capacity.load(Ordering::SeqCst);
-        let buffers = self.buffers.read();
-        for (&client, slot) in buffers.iter() {
-            if client == writer {
-                continue;
+        for stripe in &self.stripes {
+            let mut buffers = stripe.guard();
+            for (&client, slot) in buffers.iter_mut() {
+                if client == writer {
+                    continue;
+                }
+                slot.buf.record(ts, fh, capacity);
             }
-            slot.buf.lock().record(ts, fh, capacity);
         }
     }
 
     /// Processes one `GETINV` call (§4.2.1, server side).
     pub fn getinv(&self, client: u32, last_timestamp: Option<u64>) -> GetinvRes {
-        let existing = {
-            let buffers = self.buffers.read();
-            buffers.get(&client).cloned()
-        };
-        let (slot, first_contact) = match existing {
-            Some(slot) => (slot, false),
-            None => {
-                let capacity = self.capacity.load(Ordering::SeqCst);
-                let clock = self.clock.load(Ordering::SeqCst);
-                let mut buffers = self.buffers.write();
-                // A racing first contact resolves to whoever inserted
-                // first; the loser sees an existing buffer.
-                let first = !buffers.contains_key(&client);
-                let slot = Arc::clone(buffers.entry(client).or_insert_with(|| {
-                    Arc::new(ClientSlot { buf: Mutex::new(ClientBuffer::new(clock, capacity)) })
-                }));
-                (slot, first)
-            }
-        };
+        let capacity = self.capacity.load(Ordering::SeqCst);
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let mut buffers = self.stripe(client).guard();
         let clock = self.clock.load(Ordering::SeqCst);
-        let res = slot.buf.lock().getinv(last_timestamp, clock, first_contact);
+        let first_contact = !buffers.contains_key(&client);
+        let slot = buffers.entry(client).or_insert_with(|| StripeSlot {
+            buf: ClientBuffer::new(clock, capacity),
+            synced: clock,
+            epoch,
+        });
+        slot.epoch = epoch;
+        let res = slot.buf.getinv(last_timestamp, clock, first_contact);
+        slot.synced = res.timestamp;
+        self.getinv_replies.fetch_add(1, Ordering::Relaxed);
+        self.getinv_handles.fetch_add(res.handles.len() as u64, Ordering::Relaxed);
         res
+    }
+
+    /// Answers a batch of `GETINV` requests `(client, last_timestamp)`,
+    /// coalescing all requests whose clients share a stripe under one
+    /// lock acquisition (one shard pass). Observationally equivalent to
+    /// calling [`Self::getinv`] once per request in order; replies come
+    /// back in request order.
+    pub fn getinv_batch(&self, requests: &[(u32, Option<u64>)]) -> Vec<GetinvRes> {
+        let capacity = self.capacity.load(Ordering::SeqCst);
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let mut out: Vec<Option<GetinvRes>> = vec![None; requests.len()];
+        for (stripe_idx, stripe) in self.stripes.iter().enumerate() {
+            if !requests.iter().any(|&(c, _)| c as usize % INVAL_STRIPES == stripe_idx) {
+                continue;
+            }
+            let mut buffers = stripe.guard();
+            let clock = self.clock.load(Ordering::SeqCst);
+            for (i, &(client, last_timestamp)) in requests.iter().enumerate() {
+                if client as usize % INVAL_STRIPES != stripe_idx {
+                    continue;
+                }
+                let first_contact = !buffers.contains_key(&client);
+                let slot = buffers.entry(client).or_insert_with(|| StripeSlot {
+                    buf: ClientBuffer::new(clock, capacity),
+                    synced: clock,
+                    epoch,
+                });
+                slot.epoch = epoch;
+                let res = slot.buf.getinv(last_timestamp, clock, first_contact);
+                slot.synced = res.timestamp;
+                self.getinv_replies.fetch_add(1, Ordering::Relaxed);
+                self.getinv_handles.fetch_add(res.handles.len() as u64, Ordering::Relaxed);
+                out[i] = Some(res);
+            }
+        }
+        out.into_iter().map(|r| r.expect("every request answered")).collect()
+    }
+
+    /// Attempts a piggybacked drain for `client`: if the client has a
+    /// buffer with pending entries (or an unreported wrap-around), the
+    /// drain the client's next `GETINV` would have produced is returned
+    /// for free-riding on an outgoing reply. Returns `None` — at zero
+    /// cost beyond one stripe lookup — when there is nothing to say.
+    ///
+    /// Safety: the drain is computed against `synced`, the timestamp of
+    /// the last reply this client was handed. If the client never
+    /// applies the piggyback, its own timestamp stays behind the
+    /// buffer's floor and the next real `GETINV` force-invalidates — a
+    /// lost piggyback degrades to one extra full invalidation, never to
+    /// a stale cache.
+    pub fn try_drain(&self, client: u32) -> Option<GetinvRes> {
+        let mut buffers = self.stripe(client).guard();
+        let slot = buffers.get_mut(&client)?;
+        slot.epoch = self.epoch.load(Ordering::Relaxed);
+        if slot.buf.entries.is_empty() && slot.synced >= slot.buf.floor {
+            return None;
+        }
+        let clock = self.clock.load(Ordering::SeqCst);
+        let res = slot.buf.getinv(Some(slot.synced), clock, false);
+        slot.synced = res.timestamp;
+        self.piggyback_replies.fetch_add(1, Ordering::Relaxed);
+        self.piggyback_handles.fetch_add(res.handles.len() as u64, Ordering::Relaxed);
+        Some(res)
+    }
+
+    /// Advances the eviction epoch and drops buffers of clients idle
+    /// for more than `max_idle` whole epochs, one batched pass per
+    /// stripe. Returns the number of buffers evicted.
+    ///
+    /// An evicted client re-enters through the first-contact path on
+    /// its next poll and is force-invalidated — eviction is invisible
+    /// to the protocol beyond that one extra full invalidation.
+    pub fn advance_epoch(&self, max_idle: u64) -> usize {
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut evicted = 0;
+        for stripe in &self.stripes {
+            let mut buffers = stripe.guard();
+            let before = buffers.len();
+            buffers.retain(|_, slot| epoch.saturating_sub(slot.epoch) <= max_idle);
+            evicted += before - buffers.len();
+        }
+        self.evicted_buffers.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
     }
 
     /// Number of registered client buffers.
     pub fn client_count(&self) -> usize {
-        self.buffers.read().len()
+        self.stripes.iter().map(|s| s.guard().len()).sum()
     }
 
     /// Entries pending for one client (diagnostics).
     pub fn pending(&self, client: u32) -> usize {
-        let slot = {
-            let buffers = self.buffers.read();
-            buffers.get(&client).cloned()
-        };
-        slot.map_or(0, |s| s.buf.lock().entries.len())
+        self.stripe(client).guard().get(&client).map_or(0, |s| s.buf.entries.len())
+    }
+
+    /// Rough heap footprint of all client buffers, for the scale
+    /// bench's memory counter.
+    pub fn approx_bytes(&self) -> usize {
+        // Per entry: a (u64, Fh3) deque slot plus a HashSet member.
+        const PER_ENTRY: usize = 48;
+        // Per client: buffer + map-entry fixed overhead.
+        const PER_SLOT: usize = 96;
+        self.stripes
+            .iter()
+            .map(|s| {
+                let buffers = s.guard();
+                buffers
+                    .values()
+                    .map(|slot| PER_SLOT + slot.buf.entries.len() * PER_ENTRY)
+                    .sum::<usize>()
+            })
+            .sum::<usize>()
+    }
+
+    /// The tracker's scale counters (stripe-lock contention, reply batch
+    /// sizes, piggyback volume, eviction).
+    pub fn scale_counters(&self) -> InvalScaleCounters {
+        InvalScaleCounters {
+            lock_acquisitions: self
+                .stripes
+                .iter()
+                .map(|s| s.acquisitions.load(Ordering::Relaxed))
+                .sum(),
+            lock_contended: self.stripes.iter().map(|s| s.contended.load(Ordering::Relaxed)).sum(),
+            getinv_replies: self.getinv_replies.load(Ordering::Relaxed),
+            getinv_handles: self.getinv_handles.load(Ordering::Relaxed),
+            piggyback_replies: self.piggyback_replies.load(Ordering::Relaxed),
+            piggyback_handles: self.piggyback_handles.load(Ordering::Relaxed),
+            evicted_buffers: self.evicted_buffers.load(Ordering::Relaxed),
+        }
     }
 
     /// A canonical dump of every client buffer, sorted by client id —
     /// same shape as [`InvalidationTracker::snapshot`].
     pub fn snapshot(&self) -> Vec<BufferSnapshot> {
-        let buffers = self.buffers.read();
-        let mut out: Vec<BufferSnapshot> = buffers
-            .iter()
-            .map(|(&c, s)| {
-                let (floor, entries) = s.buf.lock().dump();
+        let mut out: Vec<BufferSnapshot> = Vec::new();
+        for stripe in &self.stripes {
+            let buffers = stripe.guard();
+            out.extend(buffers.iter().map(|(&c, s)| {
+                let (floor, entries) = s.buf.dump();
                 (c, floor, entries)
-            })
-            .collect();
+            }));
+        }
         out.sort_unstable_by_key(|&(c, _, _)| c);
         out
     }
@@ -526,6 +721,112 @@ mod tests {
         }
         assert_eq!(reference.snapshot(), concurrent.snapshot());
         assert_eq!(reference.client_count(), concurrent.client_count());
+    }
+
+    #[test]
+    fn try_drain_returns_pending_and_matches_poll() {
+        let t = ConcurrentInvalidationTracker::new(64);
+        let boot = t.getinv(1, None);
+        assert!(t.try_drain(1).is_none(), "empty buffer piggybacks nothing");
+        t.record_modification(fh(7), 2);
+        t.record_modification(fh(8), 2);
+        let drained = t.try_drain(1).expect("pending entries piggyback");
+        assert!(!drained.force_invalidate);
+        assert_eq!(drained.handles, vec![fh(7), fh(8)]);
+        // The piggyback advanced the server's view: a poll with the
+        // piggybacked timestamp is clean.
+        let follow = t.getinv(1, Some(drained.timestamp));
+        assert!(!follow.force_invalidate);
+        assert!(follow.handles.is_empty());
+        let _ = boot;
+    }
+
+    #[test]
+    fn try_drain_never_creates_buffers() {
+        let t = ConcurrentInvalidationTracker::new(64);
+        assert!(t.try_drain(9).is_none());
+        assert_eq!(t.client_count(), 0);
+    }
+
+    #[test]
+    fn try_drain_after_wrap_forces() {
+        let t = ConcurrentInvalidationTracker::new(4);
+        let _boot = t.getinv(1, None);
+        for i in 0..10 {
+            t.record_modification(fh(100 + i), 2); // wraps past capacity 4
+        }
+        let drained = t.try_drain(1).expect("wrap must be reported");
+        assert!(drained.force_invalidate, "piggyback may not silently skip wrapped entries");
+        // Follow-up poll with the piggybacked timestamp is clean.
+        let follow = t.getinv(1, Some(drained.timestamp));
+        assert!(!follow.force_invalidate);
+    }
+
+    #[test]
+    fn ignored_piggyback_degrades_to_force_not_staleness() {
+        let t = ConcurrentInvalidationTracker::new(64);
+        let boot = t.getinv(1, None);
+        t.record_modification(fh(7), 2);
+        let drained = t.try_drain(1).expect("pending entry");
+        assert_eq!(drained.handles, vec![fh(7)]);
+        // The client never applied the piggyback and polls with its old
+        // timestamp: the floor rule must force a full invalidation, so
+        // the drained handle is never silently lost.
+        let res = t.getinv(1, Some(boot.timestamp));
+        assert!(res.force_invalidate);
+    }
+
+    #[test]
+    fn batch_getinv_matches_per_client_path() {
+        let reference = ConcurrentInvalidationTracker::new(8);
+        let batched = ConcurrentInvalidationTracker::new(8);
+        for t in [&reference, &batched] {
+            for c in 1..=6u32 {
+                t.getinv(c, None);
+            }
+            for i in 0..5 {
+                t.record_modification(fh(50 + i), 1);
+            }
+        }
+        let requests: Vec<(u32, Option<u64>)> =
+            (1..=6u32).map(|c| (c, Some(reference.now()))).collect();
+        let a: Vec<GetinvRes> = requests.iter().map(|&(c, ts)| reference.getinv(c, ts)).collect();
+        let b = batched.getinv_batch(&requests);
+        assert_eq!(a, b);
+        assert_eq!(reference.snapshot(), batched.snapshot());
+    }
+
+    #[test]
+    fn epoch_eviction_drops_only_idle_clients() {
+        let t = ConcurrentInvalidationTracker::new(8);
+        for c in 1..=10u32 {
+            t.getinv(c, None);
+        }
+        assert_eq!(t.client_count(), 10);
+        // Clients 1 and 2 stay active across epochs; the rest go idle.
+        for _ in 0..4 {
+            t.advance_epoch(2);
+            t.getinv(1, None);
+            let _ = t.try_drain(2);
+        }
+        assert_eq!(t.client_count(), 2, "idle clients evicted, active ones kept");
+        // An evicted client re-bootstraps like a first contact.
+        let res = t.getinv(5, Some(t.now()));
+        assert!(res.force_invalidate);
+    }
+
+    #[test]
+    fn scale_counters_track_lock_and_batch_activity() {
+        let t = ConcurrentInvalidationTracker::new(8);
+        t.getinv(1, None);
+        t.record_modification(fh(1), 2);
+        let drained = t.try_drain(1).expect("pending");
+        let c = t.scale_counters();
+        assert!(c.lock_acquisitions > 0);
+        assert_eq!(c.getinv_replies, 1);
+        assert_eq!(c.piggyback_replies, 1);
+        assert_eq!(c.piggyback_handles, drained.handles.len() as u64);
+        assert!(t.approx_bytes() > 0);
     }
 
     #[test]

@@ -82,17 +82,34 @@ impl Xdr for DelegationGrant {
 pub struct WrappedReply {
     /// Piggybacked delegation decision.
     pub grant: DelegationGrant,
+    /// Piggybacked invalidation drain (§4.2 extension): the reply the
+    /// client's next `GETINV` would have produced, riding on this call
+    /// so a steady-state poll costs zero extra messages. `None` when
+    /// the client has no pending invalidations.
+    pub inv: Option<GetinvRes>,
     /// The unmodified NFSv3 result encoding.
     pub nfs_bytes: Vec<u8>,
 }
 
 impl Xdr for WrappedReply {
+    // `inv` rides as a *trailing* optional — present iff bytes follow
+    // the opaque NFS reply — so a reply with nothing to piggyback is
+    // byte-identical (and therefore wire-time identical) to the
+    // pre-piggyback format. The encoding stays unambiguous because
+    // `nfs_bytes` is length-prefixed.
     fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
         self.grant.encode(enc)?;
-        enc.put_opaque(&self.nfs_bytes)
+        enc.put_opaque(&self.nfs_bytes)?;
+        match &self.inv {
+            Some(inv) => inv.encode(enc),
+            None => Ok(()),
+        }
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
-        Ok(WrappedReply { grant: DelegationGrant::decode(dec)?, nfs_bytes: dec.get_opaque()? })
+        let grant = DelegationGrant::decode(dec)?;
+        let nfs_bytes = dec.get_opaque()?;
+        let inv = if dec.remaining() > 0 { Some(GetinvRes::decode(dec)?) } else { None };
+        Ok(WrappedReply { grant, inv, nfs_bytes })
     }
 }
 
@@ -262,8 +279,18 @@ mod tests {
 
     #[test]
     fn wrapped_reply_roundtrip() {
-        rt(&WrappedReply { grant: DelegationGrant::Read, nfs_bytes: vec![0, 0, 0, 0] });
-        rt(&WrappedReply { grant: DelegationGrant::None, nfs_bytes: vec![] });
+        rt(&WrappedReply { grant: DelegationGrant::Read, inv: None, nfs_bytes: vec![0, 0, 0, 0] });
+        rt(&WrappedReply { grant: DelegationGrant::None, inv: None, nfs_bytes: vec![] });
+        rt(&WrappedReply {
+            grant: DelegationGrant::None,
+            inv: Some(GetinvRes {
+                timestamp: 17,
+                force_invalidate: false,
+                poll_again: true,
+                handles: vec![Fh3::from_fileid(3)],
+            }),
+            nfs_bytes: vec![1, 2, 3, 4],
+        });
     }
 
     #[test]

@@ -81,6 +81,9 @@ pub struct ProxyClientStats {
     pub forwarded: u64,
     /// Invalidation handles applied from `GETINV` replies.
     pub invalidations_applied: u64,
+    /// Invalidation drains applied from piggybacked NFS replies
+    /// (polls that cost zero extra messages).
+    pub piggyback_drains: u64,
     /// Callbacks received.
     pub callbacks: u64,
     /// READ requests served entirely from cached extents.
@@ -565,7 +568,61 @@ impl ProxyClient {
                 DelegationGrant::None => {}
             }
         }
+        if let Some(inv) = &wrapped.inv {
+            self.apply_piggyback_inv(inv);
+        }
         Ok(wrapped.nfs_bytes)
+    }
+
+    /// Applies an invalidation drain piggybacked on an NFS reply — the
+    /// poll the server answered for free on this round trip.
+    ///
+    /// Only a client that has already bootstrapped (holds a poll
+    /// timestamp) applies piggybacks, and only forward in time: a
+    /// pre-bootstrap or stale drain is dropped, which is always safe —
+    /// the server detects the resulting timestamp lag on the next real
+    /// `GETINV` and force-invalidates.
+    fn apply_piggyback_inv(&self, res: &crate::protocol::GetinvRes) {
+        {
+            let mut ts = self.poll_ts.lock();
+            match *ts {
+                Some(current) if res.timestamp > current => *ts = Some(res.timestamp),
+                _ => return,
+            }
+        }
+        // Same discipline as `poll_once`: prefetch cancellation happens
+        // under the disk-lock hold that applies the invalidations.
+        let mut disk = self.disk.lock();
+        if res.force_invalidate {
+            disk.invalidate_all_attrs();
+            self.cancel_all_prefetch();
+        }
+        for fh in &res.handles {
+            disk.invalidate_attr(*fh);
+            self.cancel_prefetch(*fh);
+        }
+        drop(disk);
+        let mut stats = self.stats.lock();
+        stats.piggyback_drains += 1;
+        stats.invalidations_applied += res.handles.len() as u64;
+        if res.force_invalidate {
+            stats.force_invalidations += 1;
+        }
+        drop(stats);
+        #[cfg(feature = "trace")]
+        self.emit_trace(ProtocolEvent::Validate {
+            client: self.id,
+            force: res.force_invalidate,
+            n: res.handles.len() as u32,
+            ts: res.timestamp,
+        });
+        if res.poll_again {
+            // More pages are waiting server-side: kick the poller so a
+            // real GETINV drains them now instead of at the next window.
+            if let Some(poller) = self.poller.lock().clone() {
+                poller.unpark();
+            }
+        }
     }
 
     fn served(&self) {

@@ -26,13 +26,17 @@
 //!   for different clients proceed in parallel.
 //!
 //! Recall fan-out and the `RECOVER` multicast use the RPC channel's
-//! send/wait split ([`SimRpcClient::send`]): every callback goes on the
-//! wire before the first reply is claimed, so a round to N clients
-//! costs one WAN round trip, not N. No lock is ever held across the
-//! wire.
+//! send/wait split ([`SimRpcClient::send`]) behind a **bounded fan-out
+//! window** (a semaphore over in-flight `PendingCall`s): up to the
+//! window's worth of callbacks overlap on the wire, so a round to N
+//! clients costs ~N/window WAN round trips instead of N serialized
+//! ones, while a 10k-holder round can no longer bury the callback
+//! network under 10k simultaneous calls. Breaker-open targets are
+//! short-circuited before a slot is taken, so unreachable peers never
+//! consume window capacity. No lock is ever held across the wire.
 
 use crate::delegation::{DelegationKind, DelegationTable, RecallAction};
-use crate::invalidation::ConcurrentInvalidationTracker;
+use crate::invalidation::{ConcurrentInvalidationTracker, InvalScaleCounters};
 use crate::model::ConsistencyModel;
 use crate::protocol::{
     proc_ext, CallbackArgs, CallbackKind, CallbackRes, DelegationGrant, GetinvArgs, GetinvRes,
@@ -42,7 +46,7 @@ use crate::proxy::{block_of, classify, OpClass};
 #[cfg(feature = "trace")]
 use crate::trace::{ProtocolEvent, TraceBuffer, TraceKind};
 use gvfs_netsim::transport::SimRpcClient;
-use gvfs_netsim::SimTime;
+use gvfs_netsim::{ActorHandle, SimTime};
 use gvfs_nfs3::{proc3, Fh3, LookupArgs, LookupRes, NFS_PROGRAM, NFS_V3};
 use gvfs_rpc::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use gvfs_rpc::channel::PendingCall;
@@ -50,7 +54,7 @@ use gvfs_rpc::dispatch::RpcService;
 use gvfs_rpc::message::OpaqueAuth;
 use gvfs_rpc::RpcError;
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -85,7 +89,154 @@ fn shard_of(fh: Fh3) -> usize {
 /// acknowledged (phase one of a fan-out round).
 struct RecallInFlight {
     action: RecallAction,
-    call: Option<(SimRpcClient, PendingCall)>,
+    call: (SimRpcClient, PendingCall),
+}
+
+/// Default bound on concurrently in-flight recall/`RECOVER` callbacks.
+const DEFAULT_FANOUT_WINDOW: usize = 64;
+
+/// The mutable half of [`FanoutSemaphore`], behind its lock.
+struct FanoutState {
+    capacity: usize,
+    available: usize,
+    /// Handlers parked waiting for a slot, FIFO.
+    waiters: VecDeque<ActorHandle>,
+}
+
+/// A deterministic counting semaphore bounding how many recall or
+/// `RECOVER` callbacks may be in flight at once (the fan-out window).
+///
+/// The `fanout` lock is terminal: no other lock is acquired and no RPC
+/// is sent while it is held; waiters park strictly *after* dropping the
+/// guard (the unpark permit is banked if the release wins the race).
+struct FanoutSemaphore {
+    fanout: Mutex<FanoutState>,
+    /// High-water mark of slots in use, for the scale bench.
+    in_flight_hwm: AtomicU64,
+}
+
+impl FanoutSemaphore {
+    fn new(capacity: usize) -> Self {
+        FanoutSemaphore {
+            fanout: Mutex::new(FanoutState {
+                capacity: capacity.max(1),
+                available: capacity.max(1),
+                waiters: VecDeque::new(),
+            }),
+            in_flight_hwm: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a slot if one is free.
+    fn try_acquire(&self) -> bool {
+        let in_flight = {
+            let mut st = self.fanout.lock();
+            if st.available == 0 {
+                return false;
+            }
+            st.available -= 1;
+            (st.capacity - st.available) as u64
+        };
+        self.in_flight_hwm.fetch_max(in_flight, Ordering::Relaxed);
+        true
+    }
+
+    /// Takes a slot, parking until one frees up.
+    fn acquire(&self) {
+        loop {
+            {
+                let mut st = self.fanout.lock();
+                if st.available > 0 {
+                    st.available -= 1;
+                    let in_flight = (st.capacity - st.available) as u64;
+                    drop(st);
+                    self.in_flight_hwm.fetch_max(in_flight, Ordering::Relaxed);
+                    return;
+                }
+                st.waiters.push_back(gvfs_netsim::current_actor());
+            }
+            gvfs_netsim::park();
+        }
+    }
+
+    /// Returns a slot and wakes the oldest waiter, if any.
+    fn release(&self) {
+        let waiter = {
+            let mut st = self.fanout.lock();
+            st.available = (st.available + 1).min(st.capacity);
+            st.waiters.pop_front()
+        };
+        if let Some(w) = waiter {
+            w.unpark();
+        }
+    }
+
+    /// Resizes the window (bench/ablation knob; call while no round is
+    /// in flight).
+    fn set_capacity(&self, capacity: usize) {
+        let waiter = {
+            let mut st = self.fanout.lock();
+            let capacity = capacity.max(1);
+            let in_use = st.capacity - st.available;
+            st.capacity = capacity;
+            st.available = capacity.saturating_sub(in_use);
+            if st.available > 0 {
+                st.waiters.pop_front()
+            } else {
+                None
+            }
+        };
+        if let Some(w) = waiter {
+            w.unpark();
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.fanout.lock().capacity
+    }
+
+    fn hwm(&self) -> u64 {
+        self.in_flight_hwm.load(Ordering::Relaxed)
+    }
+}
+
+/// One client's WAN-health record: the breaker plus the sweep epoch of
+/// its last use, for idle eviction.
+struct HealthEntry {
+    breaker: Arc<CircuitBreaker>,
+    epoch: u64,
+}
+
+/// The server-side scale counters exported by
+/// [`ProxyServer::scale_stats`]: fan-out window pressure, per-client
+/// state cardinality and memory, and the invalidation tracker's
+/// stripe-lock/batching counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerScaleStats {
+    /// Recall callbacks put on the wire.
+    pub recalls_sent: u64,
+    /// Recalls short-circuited (breaker open).
+    pub recalls_short_circuited: u64,
+    /// Configured fan-out window.
+    pub fanout_window: usize,
+    /// High-water mark of concurrently in-flight fan-out callbacks.
+    pub fanout_in_flight_hwm: u64,
+    /// Live per-client health breakers.
+    pub health_entries: usize,
+    /// Health breakers dropped by idle eviction.
+    pub health_evicted: u64,
+    /// Files tracked across all delegation shards.
+    pub deleg_files: usize,
+    /// Sharer entries across all delegation shards.
+    pub deleg_sharers: usize,
+    /// Rough delegation-table heap footprint in bytes.
+    pub deleg_approx_bytes: usize,
+    /// Live invalidation client buffers.
+    pub inval_clients: usize,
+    /// Rough invalidation-buffer heap footprint in bytes.
+    pub inval_approx_bytes: usize,
+    /// The invalidation tracker's stripe-lock and batching counters.
+    pub inval: InvalScaleCounters,
 }
 
 /// The proxy server service. Register it (wrapped in an `Arc`) with a
@@ -118,8 +269,23 @@ pub struct ProxyServer {
     /// breaker-open client is short-circuited (the holder is revoked as
     /// unreachable immediately) instead of burning a callback timeout
     /// per conflicting access. Guards are scoped to the map lookup and
-    /// never held across the wire or another lock.
-    health: Mutex<HashMap<u32, Arc<CircuitBreaker>>>,
+    /// never held across the wire or another lock. Entries are stamped
+    /// with the sweep epoch of their last use and evicted when idle.
+    health: Mutex<HashMap<u32, HealthEntry>>,
+    /// Bounded window over in-flight recall/`RECOVER` callbacks.
+    fanout: FanoutSemaphore,
+    /// Idle-eviction epoch, advanced once per [`ProxyServer::maintain`].
+    sweep_epoch: AtomicU64,
+    /// Whole epochs a client may stay idle before its breaker and
+    /// invalidation buffer are evicted.
+    idle_epochs: AtomicU64,
+    /// Idle health entries dropped by epoch eviction.
+    health_evicted: AtomicU64,
+    /// When set, replies to NFS calls piggyback the client's pending
+    /// invalidation drain (see [`WrappedReply::inv`]). Off by default:
+    /// the scale bench enables it; the figure harnesses keep the
+    /// paper's pure-polling message pattern.
+    piggyback_inval: AtomicBool,
     /// Protocol-event sink for spec-conformance replay, installed once
     /// by the session. Grant/recall/revocation events are recorded
     /// under the owning shard's lock so the per-file subsequence is
@@ -159,6 +325,11 @@ impl ProxyServer {
             recalls_short_circuited: AtomicU64::new(0),
             recover_rounds: AtomicU64::new(0),
             health: Mutex::new(HashMap::new()),
+            fanout: FanoutSemaphore::new(DEFAULT_FANOUT_WINDOW),
+            sweep_epoch: AtomicU64::new(0),
+            idle_epochs: AtomicU64::new(8),
+            health_evicted: AtomicU64::new(0),
+            piggyback_inval: AtomicBool::new(false),
             #[cfg(feature = "trace")]
             trace: std::sync::OnceLock::new(),
         })
@@ -181,14 +352,18 @@ impl ProxyServer {
         }
     }
 
-    /// The health breaker for one client, created closed on first use.
+    /// The health breaker for one client, created closed on first use
+    /// and re-stamped with the current sweep epoch (so idle eviction
+    /// only reaps clients no recall has touched for whole epochs).
     fn client_breaker(&self, client: u32) -> Arc<CircuitBreaker> {
+        let epoch = self.sweep_epoch.load(Ordering::Relaxed);
         let mut health = self.health.lock();
-        Arc::clone(
-            health
-                .entry(client)
-                .or_insert_with(|| Arc::new(CircuitBreaker::new(BreakerConfig::default()))),
-        )
+        let entry = health.entry(client).or_insert_with(|| HealthEntry {
+            breaker: Arc::new(CircuitBreaker::new(BreakerConfig::default())),
+            epoch,
+        });
+        entry.epoch = epoch;
+        Arc::clone(&entry.breaker)
     }
 
     /// The shard owning `fh`'s delegation state.
@@ -196,21 +371,72 @@ impl ProxyServer {
         &self.shards[shard_of(fh)]
     }
 
-    /// Performs a batch of recalls concurrently — every callback is put
-    /// on the wire before the first reply is claimed, so callbacks to
-    /// distinct clients overlap on the wire rather than serializing
-    /// their round trips (§4.3.2).
+    /// Performs a batch of recalls concurrently through the bounded
+    /// fan-out window: up to a window's worth of callbacks overlap on
+    /// the wire (§4.3.2), completions are claimed oldest-first as the
+    /// window slides, and short-circuited recalls (suppressed targets,
+    /// open breakers, missing routes) complete immediately without
+    /// consuming a slot.
     fn perform_recalls(&self, actions: Vec<RecallAction>) {
-        let round: Vec<RecallInFlight> = actions
-            .into_iter()
-            .map(|action| {
-                let call = self.send_recall(&action);
-                RecallInFlight { action, call }
-            })
-            .collect();
-        for in_flight in round {
-            self.finish_recall(&in_flight.action, in_flight.call);
+        let mut in_flight: VecDeque<RecallInFlight> = VecDeque::new();
+        for action in actions {
+            if self.recall_short_circuits(&action) {
+                self.finish_recall(&action, None);
+                continue;
+            }
+            self.acquire_fanout_slot(&mut in_flight);
+            match self.send_recall(&action) {
+                Some(call) => in_flight.push_back(RecallInFlight { action, call }),
+                None => {
+                    // Send failed at the link: the slot was held only
+                    // for the (local, instantaneous) send attempt.
+                    self.fanout.release();
+                    self.finish_recall(&action, None);
+                }
+            }
         }
+        while let Some(f) = in_flight.pop_front() {
+            self.finish_recall(&f.action, Some(f.call));
+            self.fanout.release();
+        }
+    }
+
+    /// Takes one fan-out window slot. While the window is full this
+    /// round retires its *own* oldest in-flight recall first (a round
+    /// larger than the window can therefore never deadlock on slots it
+    /// holds itself), and parks only when another handler owns the
+    /// missing slot.
+    fn acquire_fanout_slot(&self, in_flight: &mut VecDeque<RecallInFlight>) {
+        loop {
+            if self.fanout.try_acquire() {
+                return;
+            }
+            if let Some(f) = in_flight.pop_front() {
+                self.finish_recall(&f.action, Some(f.call));
+                self.fanout.release();
+                // The freed slot may have gone to a parked waiter;
+                // retry rather than assume it is ours.
+                continue;
+            }
+            self.fanout.acquire();
+            return;
+        }
+    }
+
+    /// Resizes the recall/`RECOVER` fan-out window (bench and ablation
+    /// knob; a window of 1 reproduces fully serialized fan-out).
+    pub fn set_fanout_window(&self, window: usize) {
+        self.fanout.set_capacity(window);
+    }
+
+    /// The fan-out window currently configured.
+    pub fn fanout_window(&self) -> usize {
+        self.fanout.capacity()
+    }
+
+    /// High-water mark of concurrently in-flight fan-out callbacks.
+    pub fn fanout_hwm(&self) -> u64 {
+        self.fanout.hwm()
     }
 
     /// Overrides the invalidation-buffer capacity (ablation knob).
@@ -262,51 +488,69 @@ impl ProxyServer {
         self.recover_rounds.fetch_add(1, Ordering::SeqCst);
         let mut clients: Vec<u32> = self.persisted_clients.lock().iter().copied().collect();
         clients.sort_unstable();
-        // "A single multicasted callback to the clients" (§4.3.4): the
-        // whole round goes on the wire before any reply is claimed,
-        // keeping the grace period to roughly one WAN round trip.
-        let round: Vec<(u32, Option<(SimRpcClient, PendingCall)>)> = clients
-            .into_iter()
-            .map(|client| {
-                let transport = self.callbacks.read().get(&client).cloned();
-                let call = transport.and_then(|t| {
-                    t.send(GVFS_CALLBACK_PROGRAM, GVFS_VERSION, proc_ext::RECOVER, Vec::new())
-                        .ok()
-                        .map(|call| (t, call))
-                });
-                (client, call)
-            })
-            .collect();
+        // "A single multicasted callback to the clients" (§4.3.4),
+        // bounded by the fan-out window: up to a window's worth of
+        // `RECOVER` callbacks overlap on the wire at once, so the grace
+        // period is ~ceil(N/window) WAN round trips while a 10k-client
+        // restart cannot flood the callback network.
+        let mut in_flight: VecDeque<(u32, SimRpcClient, PendingCall)> = VecDeque::new();
         let mut answered = 0;
-        for (client, call) in round {
-            let Some((transport, call)) = call else { continue };
-            let Ok(bytes) = transport.wait_pending(call) else { continue };
-            let Ok(res) = gvfs_xdr::from_bytes::<RecoverRes>(&bytes) else { continue };
-            answered += 1;
-            let now = gvfs_netsim::now();
-            // Re-enter each dirty file in its owning shard.
-            let mut by_shard: Vec<Vec<Fh3>> = vec![Vec::new(); DELEG_SHARDS];
-            for &fh in &res.dirty_files {
-                by_shard[shard_of(fh)].push(fh);
-            }
-            for (i, files) in by_shard.iter().enumerate() {
-                if !files.is_empty() {
-                    let mut table = self.shards[i].deleg.lock();
-                    table.recover_client(client, files, now);
-                    #[cfg(feature = "trace")]
-                    for &fh in files.iter() {
-                        self.emit_trace(ProtocolEvent::Regrant { client, fh: fh.fileid() });
-                    }
+        for client in clients {
+            let Some(transport) = self.callbacks.read().get(&client).cloned() else { continue };
+            loop {
+                if self.fanout.try_acquire() {
+                    break;
                 }
+                if let Some((c, t, call)) = in_flight.pop_front() {
+                    answered += usize::from(self.finish_recover(c, &t, call));
+                    self.fanout.release();
+                    continue;
+                }
+                self.fanout.acquire();
+                break;
             }
+            match transport.send(GVFS_CALLBACK_PROGRAM, GVFS_VERSION, proc_ext::RECOVER, Vec::new())
+            {
+                Ok(call) => in_flight.push_back((client, transport, call)),
+                Err(_) => self.fanout.release(),
+            }
+        }
+        while let Some((c, t, call)) = in_flight.pop_front() {
+            answered += usize::from(self.finish_recover(c, &t, call));
+            self.fanout.release();
         }
         #[cfg(feature = "trace")]
         self.emit_trace(ProtocolEvent::ServerRecover { answered: answered as u32 });
         answered
     }
 
+    /// Claims one `RECOVER` reply and re-enters the client's dirty
+    /// files in their owning shards. Returns whether the client
+    /// answered.
+    fn finish_recover(&self, client: u32, transport: &SimRpcClient, call: PendingCall) -> bool {
+        let Ok(bytes) = transport.wait_pending(call) else { return false };
+        let Ok(res) = gvfs_xdr::from_bytes::<RecoverRes>(&bytes) else { return false };
+        let now = gvfs_netsim::now();
+        let mut by_shard: Vec<Vec<Fh3>> = vec![Vec::new(); DELEG_SHARDS];
+        for &fh in &res.dirty_files {
+            by_shard[shard_of(fh)].push(fh);
+        }
+        for (i, files) in by_shard.iter().enumerate() {
+            if !files.is_empty() {
+                let mut table = self.shards[i].deleg.lock();
+                table.recover_client(client, files, now);
+                #[cfg(feature = "trace")]
+                for &fh in files.iter() {
+                    self.emit_trace(ProtocolEvent::Regrant { client, fh: fh.fileid() });
+                }
+            }
+        }
+        true
+    }
+
     /// Runs one delegation sweep (speculated closes, LRU eviction); the
-    /// session's sweeper actor calls this periodically.
+    /// session's sweeper actor calls this periodically. Each sweep also
+    /// advances the idle-eviction epoch ([`ProxyServer::maintain`]).
     pub fn sweep(&self) {
         let now = gvfs_netsim::now();
         for shard in &self.shards {
@@ -319,6 +563,44 @@ impl ProxyServer {
                 table.sweep_done(action.fh, action.client);
             }
         }
+        self.maintain();
+    }
+
+    /// Advances the idle-eviction epoch by one and drops per-client
+    /// state — invalidation buffers and health breakers — belonging to
+    /// clients idle for more than the configured number of whole
+    /// epochs. Delegation shard entries are bounded separately by the
+    /// table's own expiry + LRU sweep. Returns `(buffers, breakers)`
+    /// evicted.
+    ///
+    /// Eviction is protocol-invisible beyond one extra full
+    /// invalidation: an evicted poller re-bootstraps through the
+    /// first-contact path, and an evicted breaker is recreated closed
+    /// on the next recall to that client.
+    pub fn maintain(&self) -> (usize, usize) {
+        let idle = self.idle_epochs.load(Ordering::Relaxed);
+        let epoch = self.sweep_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let buffers = self.inval.advance_epoch(idle);
+        let breakers = {
+            let mut health = self.health.lock();
+            let before = health.len();
+            health.retain(|_, e| epoch.saturating_sub(e.epoch) <= idle);
+            before - health.len()
+        };
+        self.health_evicted.fetch_add(breakers as u64, Ordering::Relaxed);
+        (buffers, breakers)
+    }
+
+    /// Sets how many whole sweep epochs a client may stay idle before
+    /// its per-client state is evicted.
+    pub fn set_idle_epochs(&self, epochs: u64) {
+        self.idle_epochs.store(epochs, Ordering::Relaxed);
+    }
+
+    /// Enables or disables piggybacking pending invalidation drains on
+    /// NFS replies (see [`WrappedReply::inv`]).
+    pub fn set_piggyback_inval(&self, enabled: bool) {
+        self.piggyback_inval.store(enabled, Ordering::SeqCst);
     }
 
     /// Number of files currently tracked across all delegation shards.
@@ -358,6 +640,30 @@ impl ProxyServer {
         self.recover_rounds.load(Ordering::SeqCst)
     }
 
+    /// One coherent dump of the server's scale counters, for the bench
+    /// harness's `server` JSON block.
+    pub fn scale_stats(&self) -> ServerScaleStats {
+        let (deleg_files, deleg_sharers, deleg_bytes) =
+            self.shards.iter().fold((0, 0, 0), |(files, sharers, bytes), shard| {
+                let (f, s, b) = shard.deleg.lock().scale_footprint();
+                (files + f, sharers + s, bytes + b)
+            });
+        ServerScaleStats {
+            recalls_sent: self.recalls_sent.load(Ordering::SeqCst),
+            recalls_short_circuited: self.recalls_short_circuited.load(Ordering::SeqCst),
+            fanout_window: self.fanout.capacity(),
+            fanout_in_flight_hwm: self.fanout.hwm(),
+            health_entries: self.health.lock().len(),
+            health_evicted: self.health_evicted.load(Ordering::Relaxed),
+            deleg_files,
+            deleg_sharers,
+            deleg_approx_bytes: deleg_bytes,
+            inval_clients: self.inval.client_count(),
+            inval_approx_bytes: self.inval.approx_bytes(),
+            inval: self.inval.scale_counters(),
+        }
+    }
+
     fn forward(&self, procedure: u32, args: &[u8]) -> Result<Vec<u8>, RpcError> {
         self.nfs.call(NFS_PROGRAM, NFS_V3, procedure, args.to_vec())
     }
@@ -373,17 +679,17 @@ impl ProxyServer {
         }
     }
 
-    /// Phase one of a recall: put the callback on the wire. Returns
-    /// `None` when there is no route or the link rejects the send — the
-    /// recall then completes immediately with nothing recovered.
-    fn send_recall(&self, action: &RecallAction) -> Option<(SimRpcClient, PendingCall)> {
+    /// Pre-wire short-circuit check, run *before* a fan-out window slot
+    /// is taken so suppressed targets and breaker-open peers never
+    /// consume window capacity.
+    fn recall_short_circuits(&self, action: &RecallAction) -> bool {
         if std::env::var_os("GVFS_DEBUG_RECALL").is_some() {
             eprintln!("[{}] recall {:?}", gvfs_netsim::now(), action);
         }
         if self.recall_suppressed.load(Ordering::SeqCst) {
             // The holder is revoked without being told: exactly the bug
             // class the chaos oracles exist to catch.
-            return None;
+            return true;
         }
         // Health short-circuit: a recall to a client whose breaker is
         // open would only burn a callback timeout before reaching the
@@ -396,8 +702,15 @@ impl ProxyServer {
                 client: action.client,
                 fh: action.fh.fileid(),
             });
-            return None;
+            return true;
         }
+        false
+    }
+
+    /// Phase one of a recall: put the callback on the wire. Returns
+    /// `None` when there is no route or the link rejects the send — the
+    /// recall then completes immediately with nothing recovered.
+    fn send_recall(&self, action: &RecallAction) -> Option<(SimRpcClient, PendingCall)> {
         let transport = self.callbacks.read().get(&action.client).cloned();
         let Some(transport) = transport else {
             #[cfg(feature = "trace")]
@@ -492,6 +805,10 @@ impl ProxyServer {
     }
 
     fn perform_recall(&self, action: &RecallAction) {
+        if self.recall_short_circuits(action) {
+            self.finish_recall(action, None);
+            return;
+        }
         let call = self.send_recall(action);
         self.finish_recall(action, call);
     }
@@ -669,7 +986,17 @@ impl ProxyServer {
             self.record_invalidations(&class, client, &removed_targets);
         }
 
-        Ok(gvfs_xdr::to_bytes(&WrappedReply { grant, nfs_bytes })?)
+        // Steady-state polls cost zero extra messages when enabled: the
+        // drain the client's next GETINV would return rides back on
+        // this reply. `try_drain` never creates buffers, so clients
+        // that never polled (pure delegation sessions) pay nothing.
+        let inv = if self.piggyback_inval.load(Ordering::SeqCst) && self.model.caches() {
+            self.inval.try_drain(client)
+        } else {
+            None
+        };
+
+        Ok(gvfs_xdr::to_bytes(&WrappedReply { grant, inv, nfs_bytes })?)
     }
 
     fn handle_getinv(&self, args: &[u8], client: u32) -> Result<Vec<u8>, RpcError> {

@@ -9,7 +9,8 @@
 use crate::time::SimTime;
 
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,6 +49,14 @@ struct State {
     next_id: ActorId,
     failed: Option<String>,
     started: bool,
+    /// Pending wake-ups `(wake_at, actor)`, lazily invalidated: an entry
+    /// is honored only while the actor's *current* block still wakes at
+    /// exactly that time; anything else (finished actor, consumed
+    /// block, rescheduled wake) is discarded on pop. Keeps picking the
+    /// next actor O(log n) instead of a linear scan over all actors —
+    /// the scheduling hot path once simulations carry thousands of
+    /// actors.
+    ready: BinaryHeap<Reverse<(SimTime, ActorId)>>,
 }
 
 pub(crate) struct Scheduler {
@@ -61,28 +70,31 @@ impl Scheduler {
     }
 
     /// Picks the next actor to run. Must be called with `running == None`.
+    ///
+    /// Pops the minimum `(wake_at, actor)` entry — ties therefore still
+    /// resolve by actor id, i.e. spawn order, exactly as the previous
+    /// full scan did — skipping entries the lazy invalidation scheme
+    /// has made stale.
     fn schedule_next(st: &mut State) {
         debug_assert!(st.running.is_none());
-        let candidate = st
-            .actors
-            .iter()
-            .filter_map(|(&id, rec)| rec.block.as_ref().and_then(|b| b.wake_at).map(|t| (t, id)))
-            .min();
-        match candidate {
-            Some((wake, id)) => {
-                debug_assert!(wake >= st.time, "virtual time went backwards");
-                st.time = st.time.max(wake);
-                st.running = Some(id);
+        while let Some(&Reverse((wake, id))) = st.ready.peek() {
+            let current_wake =
+                st.actors.get(&id).and_then(|rec| rec.block.as_ref()).and_then(|b| b.wake_at);
+            st.ready.pop();
+            if current_wake != Some(wake) {
+                continue; // stale: finished, already woken, or re-timed
             }
-            None => {
-                if st.live > 0 && st.failed.is_none() {
-                    let stuck: Vec<&str> = st.actors.values().map(|r| r.name.as_str()).collect();
-                    st.failed = Some(format!(
-                        "virtual-time deadlock at {}: all live actors parked: {stuck:?}",
-                        st.time
-                    ));
-                }
-            }
+            debug_assert!(wake >= st.time, "virtual time went backwards");
+            st.time = st.time.max(wake);
+            st.running = Some(id);
+            return;
+        }
+        if st.live > 0 && st.failed.is_none() {
+            let stuck: Vec<&str> = st.actors.values().map(|r| r.name.as_str()).collect();
+            st.failed = Some(format!(
+                "virtual-time deadlock at {}: all live actors parked: {stuck:?}",
+                st.time
+            ));
         }
     }
 
@@ -94,6 +106,9 @@ impl Scheduler {
         {
             let rec = st.actors.get_mut(&id).expect("actor record");
             rec.block = Some(Block { kind, wake_at, unparked: false });
+        }
+        if let Some(wake) = wake_at {
+            st.ready.push(Reverse((wake, id)));
         }
         st.running = None;
         Self::schedule_next(&mut st);
@@ -138,6 +153,7 @@ impl Scheduler {
                     permit: false,
                 },
             );
+            st.ready.push(Reverse((birth, id)));
             st.live += 1;
         }
         let sched = Arc::clone(self);
@@ -343,15 +359,21 @@ impl ActorHandle {
         let mut st = self.sched.state.lock();
         let time = st.time;
         let Some(rec) = st.actors.get_mut(&self.id) else { return };
+        let mut woke_at = None;
         match rec.block.as_mut() {
             Some(b) if b.kind == BlockKind::Parked => {
                 b.unparked = true;
-                b.wake_at = Some(match b.wake_at {
+                let wake = match b.wake_at {
                     Some(t) if t <= time => t,
                     _ => time,
-                });
+                };
+                b.wake_at = Some(wake);
+                woke_at = Some(wake);
             }
             _ => rec.permit = true,
+        }
+        if let Some(wake) = woke_at {
+            st.ready.push(Reverse((wake, self.id)));
         }
         // The unparker keeps running; the scheduler will consider the
         // woken actor at the unparker's next yield.

@@ -7,7 +7,7 @@
 //! * GVFS protocol messages round-trip through XDR.
 
 use gvfs_core::delegation::{DelegationKind, DelegationTable};
-use gvfs_core::invalidation::InvalidationTracker;
+use gvfs_core::invalidation::{ConcurrentInvalidationTracker, InvalidationTracker};
 use gvfs_core::protocol::{CallbackArgs, CallbackKind, DelegationGrant, GetinvRes, WrappedReply};
 use gvfs_core::DelegationConfig;
 use gvfs_netsim::SimTime;
@@ -195,7 +195,13 @@ proptest! {
         // Payloads must stay word-aligned for the wrapper.
         let mut payload = nfs_payload;
         payload.resize(payload.len().div_ceil(4) * 4, 0);
-        let wrapped = WrappedReply { grant: DelegationGrant::Read, nfs_bytes: payload };
+        let inv = again.then(|| GetinvRes {
+            timestamp: ts,
+            force_invalidate: force,
+            poll_again: false,
+            handles: handles.iter().map(|&h| Fh3::from_fileid(h)).collect(),
+        });
+        let wrapped = WrappedReply { grant: DelegationGrant::Read, inv, nfs_bytes: payload };
         let bytes = gvfs_xdr::to_bytes(&wrapped).unwrap();
         prop_assert_eq!(gvfs_xdr::from_bytes::<WrappedReply>(&bytes).unwrap(), wrapped);
 
@@ -206,5 +212,99 @@ proptest! {
         };
         let bytes = gvfs_xdr::to_bytes(&cb).unwrap();
         prop_assert_eq!(gvfs_xdr::from_bytes::<CallbackArgs>(&bytes).unwrap(), cb);
+    }
+
+    /// Batched/coalesced GETINV (one stripe pass for many clients) is
+    /// observationally equivalent to the unbatched per-client path:
+    /// same replies, same resulting buffer state, for arbitrary
+    /// interleavings of modifications and drains.
+    #[test]
+    fn batched_getinv_equivalent_to_unbatched(
+        ops in proptest::collection::vec(inv_op(), 1..120),
+        capacity in 1usize..32,
+        batch in proptest::collection::vec(1u32..4, 1..8),
+    ) {
+        let unbatched = ConcurrentInvalidationTracker::new(capacity);
+        let batched = ConcurrentInvalidationTracker::new(capacity);
+        let mut timestamps: HashMap<u32, Option<u64>> = HashMap::new();
+        for op in ops {
+            match op {
+                InvOp::Modify { fh, writer } => {
+                    unbatched.record_modification(Fh3::from_fileid(fh), writer);
+                    batched.record_modification(Fh3::from_fileid(fh), writer);
+                }
+                InvOp::Poll { client } => {
+                    let last = timestamps.get(&client).copied().flatten();
+                    let a = unbatched.getinv(client, last);
+                    let b = batched.getinv_batch(&[(client, last)]);
+                    prop_assert_eq!(&a, &b[0]);
+                    timestamps.insert(client, Some(a.timestamp));
+                }
+            }
+        }
+        // One coalesced multi-client batch against per-client calls.
+        let requests: Vec<(u32, Option<u64>)> = batch
+            .iter()
+            .map(|&c| (c, timestamps.get(&c).copied().flatten()))
+            .collect();
+        let mut per_client = Vec::new();
+        for &(c, ts) in &requests {
+            per_client.push(unbatched.getinv(c, ts));
+        }
+        let coalesced = batched.getinv_batch(&requests);
+        prop_assert_eq!(per_client, coalesced);
+        prop_assert_eq!(unbatched.snapshot(), batched.snapshot());
+    }
+
+    /// A piggybacked drain plus the follow-up poll delivers exactly
+    /// what a plain poll would have: piggybacking never loses an
+    /// invalidation (wrap-around included) and never delivers one the
+    /// per-client path would not.
+    #[test]
+    fn piggybacked_drain_equivalent_to_poll(
+        ops in proptest::collection::vec(inv_op(), 1..120),
+        capacity in 1usize..16,
+    ) {
+        let plain = ConcurrentInvalidationTracker::new(capacity);
+        let piggy = ConcurrentInvalidationTracker::new(capacity);
+        let mut timestamps: HashMap<u32, Option<u64>> = HashMap::new();
+        // The piggybacked client applies every drain it is handed, like
+        // a live client absorbing replies.
+        for op in ops {
+            match op {
+                InvOp::Modify { fh, writer } => {
+                    plain.record_modification(Fh3::from_fileid(fh), writer);
+                    piggy.record_modification(Fh3::from_fileid(fh), writer);
+                }
+                InvOp::Poll { client } => {
+                    let last = timestamps.get(&client).copied().flatten();
+                    let a = plain.getinv(client, last);
+                    // The piggybacked path: try a free drain first, then
+                    // poll with whatever timestamp it handed out.
+                    let drained = piggy.try_drain(client);
+                    let ts = drained.as_ref().map(|d| d.timestamp).or(last);
+                    let b = piggy.getinv(client, ts);
+                    // Between them, the piggyback and the poll must
+                    // deliver the same handles the plain poll did (order
+                    // preserved), or force when the plain path forced.
+                    let mut via_piggy: Vec<Fh3> =
+                        drained.as_ref().map(|d| d.handles.clone()).unwrap_or_default();
+                    via_piggy.extend(b.handles.iter().copied());
+                    let forced_piggy =
+                        drained.as_ref().is_some_and(|d| d.force_invalidate) || b.force_invalidate;
+                    if a.force_invalidate {
+                        prop_assert!(
+                            forced_piggy,
+                            "plain path forced but piggybacked path did not"
+                        );
+                    } else if !forced_piggy {
+                        prop_assert_eq!(&a.handles, &via_piggy);
+                    }
+                    prop_assert_eq!(a.timestamp, b.timestamp, "paths diverged in time");
+                    timestamps.insert(client, Some(b.timestamp));
+                }
+            }
+        }
+        prop_assert_eq!(plain.snapshot(), piggy.snapshot());
     }
 }

@@ -1,0 +1,225 @@
+//! Server-scale regressions: per-client state on the proxy server must
+//! stay bounded after a churn of mostly-idle clients, and a large
+//! invalidation backlog must drain through `poll_again` paging without
+//! degrading to a force-invalidation.
+//!
+//! These are the cargo-test twins of the `bench_scale` harness asserts:
+//! the bench exercises them at 1k–10k clients, these pin the behavior
+//! at CI-sized populations.
+
+use gvfs_core::invalidation::ConcurrentInvalidationTracker;
+use gvfs_core::protocol::{
+    proc_ext, CallbackRes, GetinvArgs, GetinvRes, RecoverRes, GVFS_CALLBACK_PROGRAM,
+    GVFS_PROXY_PROGRAM, GVFS_VERSION, MAX_INVALIDATIONS_PER_REPLY,
+};
+use gvfs_core::proxy::server::ProxyServer;
+use gvfs_core::{ConsistencyModel, DelegationConfig};
+use gvfs_netsim::link::{Link, LinkConfig};
+use gvfs_netsim::transport::{ServerNode, SimRpcClient};
+use gvfs_netsim::Sim;
+use gvfs_nfs3::{proc3, Fh3};
+use gvfs_rpc::dispatch::{Dispatcher, RpcService};
+use gvfs_rpc::message::{GvfsCred, OpaqueAuth};
+use gvfs_rpc::stats::RpcStats;
+use gvfs_rpc::RpcError;
+use gvfs_vfs::{Timestamp, Vfs};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cred(client: u32) -> OpaqueAuth {
+    let cred = GvfsCred { session_key: 0xb0a7, client_id: client, callback_port: 7000 + client };
+    OpaqueAuth::gvfs(&cred).expect("encode credential")
+}
+
+/// Answers every recall instantly with nothing pending.
+struct NullCallback;
+
+impl RpcService for NullCallback {
+    fn program(&self) -> u32 {
+        GVFS_CALLBACK_PROGRAM
+    }
+    fn version(&self) -> u32 {
+        GVFS_VERSION
+    }
+    fn call(&self, procedure: u32, _args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        match procedure {
+            proc_ext::CALLBACK => Ok(gvfs_xdr::to_bytes(&CallbackRes::default())?),
+            proc_ext::RECOVER => Ok(gvfs_xdr::to_bytes(&RecoverRes::default())?),
+            p => {
+                Err(RpcError::ProcedureUnavailable { program: GVFS_CALLBACK_PROGRAM, procedure: p })
+            }
+        }
+    }
+}
+
+fn getinv(t: &SimRpcClient, id: u32, last: Option<u64>) -> GetinvRes {
+    let args = gvfs_xdr::to_bytes(&GetinvArgs { last_timestamp: last }).expect("encode");
+    let bytes = t
+        .call_with_cred(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc_ext::GETINV, args, cred(id))
+        .expect("getinv");
+    gvfs_xdr::from_bytes(&bytes).expect("decode")
+}
+
+/// A churn of `CLIENTS` delegation holders and pollers leaves the
+/// server tracking every one of them; after the active set shrinks to
+/// `ACTIVE`, epoch sweeps must evict the idle majority's invalidation
+/// buffers and health breakers, bounding per-client state by the live
+/// population rather than the historical one.
+#[test]
+fn idle_client_state_is_bounded_after_churn() {
+    const CLIENTS: usize = 64;
+    const ACTIVE: usize = 4;
+    let sim = Sim::new();
+    sim.spawn("test", || {
+        let vfs = Arc::new(Vfs::new());
+        let clock: gvfs_server::Clock =
+            Arc::new(|| Timestamp::from_nanos(gvfs_netsim::now().as_nanos()));
+        let nfs = gvfs_server::Nfs3Server::new(Arc::clone(&vfs), clock);
+        let mut dispatcher = Dispatcher::new();
+        dispatcher.register(nfs);
+        let nfs_node = ServerNode::new("nfs-server", dispatcher, Duration::from_micros(100));
+        let loopback = Link::new(LinkConfig::loopback());
+        let server = ProxyServer::new(
+            ConsistencyModel::DelegationCallback(DelegationConfig::default()),
+            SimRpcClient::new(loopback.forward(), nfs_node, RpcStats::new()),
+        );
+        let mut ps_dispatcher = Dispatcher::new();
+        ps_dispatcher.register_arc(Arc::clone(&server) as Arc<dyn RpcService>);
+        let node = ServerNode::new("proxy-server", ps_dispatcher, Duration::from_micros(100));
+        let link = Link::new(LinkConfig::loopback());
+        let wan_stats = RpcStats::new();
+
+        let mut cb_dispatcher = Dispatcher::new();
+        cb_dispatcher.register(NullCallback);
+        let cb_node = ServerNode::new("callback", cb_dispatcher, Duration::from_micros(100));
+        for i in 0..CLIENTS {
+            server.register_callback(
+                i as u32 + 1,
+                SimRpcClient::new(link.reverse(), Arc::clone(&cb_node), wan_stats.clone()),
+            );
+        }
+        let t = SimRpcClient::new(link.forward(), node, wan_stats);
+
+        // Seed one shared file; every client reads it (a delegation
+        // each) and bootstraps a poll buffer.
+        let fid = vfs.create(vfs.root(), "shared", 0o644, Timestamp::from_nanos(0)).unwrap();
+        vfs.write(fid, 0, &[7u8; 512], Timestamp::from_nanos(0)).unwrap();
+        let fh = Fh3::from_fileid(fid.as_u64());
+        let read_args =
+            gvfs_xdr::to_bytes(&gvfs_nfs3::ReadArgs { file: fh, offset: 0, count: 512 }).unwrap();
+        let mut ts: Vec<u64> = (0..CLIENTS)
+            .map(|i| {
+                let id = i as u32 + 1;
+                t.call_with_cred(
+                    GVFS_PROXY_PROGRAM,
+                    GVFS_VERSION,
+                    proc3::READ,
+                    read_args.clone(),
+                    cred(id),
+                )
+                .expect("read");
+                getinv(&t, id, None).timestamp
+            })
+            .collect();
+
+        // A writer invalidates it: the server recalls all CLIENTS
+        // holders, creating a health breaker per client.
+        let write_args = gvfs_xdr::to_bytes(&gvfs_nfs3::WriteArgs {
+            file: fh,
+            offset: 0,
+            count: 8,
+            stable: gvfs_nfs3::StableHow::FileSync,
+            data: vec![9u8; 8],
+        })
+        .unwrap();
+        t.call_with_cred(
+            GVFS_PROXY_PROGRAM,
+            GVFS_VERSION,
+            proc3::WRITE,
+            write_args,
+            cred(CLIENTS as u32 + 1),
+        )
+        .expect("write");
+        let before = server.scale_stats();
+        assert!(before.recalls_sent >= CLIENTS as u64, "every holder must be recalled");
+        assert_eq!(before.inval_clients, CLIENTS, "every poller is tracked before eviction");
+        assert!(before.health_entries >= CLIENTS, "every recall target has a breaker");
+
+        // Only ACTIVE clients keep polling while epochs pass.
+        server.set_idle_epochs(2);
+        for _ in 0..4 {
+            for (i, slot) in ts.iter_mut().enumerate().take(ACTIVE) {
+                *slot = getinv(&t, i as u32 + 1, Some(*slot)).timestamp;
+            }
+            server.maintain();
+        }
+        let after = server.scale_stats();
+        assert!(
+            after.inval_clients <= ACTIVE,
+            "idle buffers must be evicted: {} tracked after churn of {CLIENTS}",
+            after.inval_clients
+        );
+        assert!(
+            after.inval.evicted_buffers >= (CLIENTS - ACTIVE) as u64,
+            "expected >= {} buffer evictions, saw {}",
+            CLIENTS - ACTIVE,
+            after.inval.evicted_buffers
+        );
+        assert!(
+            after.health_entries <= ACTIVE,
+            "idle breakers must be evicted: {} remain",
+            after.health_entries
+        );
+        assert!(
+            after.health_evicted >= (CLIENTS - ACTIVE) as u64,
+            "expected >= {} breaker evictions, saw {}",
+            CLIENTS - ACTIVE,
+            after.health_evicted
+        );
+
+        // Eviction is invisible beyond one re-bootstrap: an evicted
+        // client's next poll force-invalidates and re-registers it.
+        let back = getinv(&t, CLIENTS as u32, Some(ts[CLIENTS - 1]));
+        assert!(back.force_invalidate, "an evicted poller re-enters via first contact");
+    });
+    sim.run();
+}
+
+/// A backlog several times the per-reply cap must drain through
+/// `poll_again` pages — each page full, none forced — and leave the
+/// buffer empty: the piggyback path (`try_drain`) then has nothing to
+/// attach.
+#[test]
+fn poll_again_drains_multi_page_backlog() {
+    let tracker = ConcurrentInvalidationTracker::new(10_000);
+    let boot = tracker.getinv(1, None);
+    let total = 2 * MAX_INVALIDATIONS_PER_REPLY + 50;
+    for i in 0..total {
+        tracker.record_modification(Fh3::from_fileid(5000 + i as u64), 2);
+    }
+
+    let mut last = boot.timestamp;
+    let mut pages = Vec::new();
+    let mut drained = 0usize;
+    loop {
+        let res = tracker.getinv(1, Some(last));
+        assert!(!res.force_invalidate, "a paged drain must never degrade to a force");
+        pages.push(res.handles.len());
+        drained += res.handles.len();
+        last = res.timestamp;
+        if !res.poll_again {
+            break;
+        }
+    }
+    assert_eq!(
+        pages,
+        vec![MAX_INVALIDATIONS_PER_REPLY, MAX_INVALIDATIONS_PER_REPLY, 50],
+        "three pages: two full, one remainder"
+    );
+    assert_eq!(drained, total, "every invalidation is delivered exactly once");
+    assert_eq!(
+        tracker.try_drain(1),
+        None,
+        "a fully drained buffer must not piggyback spurious replies"
+    );
+}
