@@ -67,7 +67,13 @@ use std::path::{Path, PathBuf};
 /// WAN-health registry (`health`, scoped to a breaker lookup, never
 /// held across the wire), and counters beside the recall fan-out
 /// window (`fanout`, a terminal lock: the semaphore guard is dropped
-/// before the acquiring actor parks and nothing is acquired under it). Neither store lock may be held
+/// before the acquiring actor parks and nothing is acquired under it).
+/// The peer-sourcing registry (`peers`) and advert map (`peer_hints`)
+/// are likewise terminal: each guard scopes a single lookup / insert /
+/// removal — candidate peers are collected and the guard dropped
+/// before any `PEERREAD` goes on the wire — and `peer_hints` is taken
+/// under the disk-cache guard on the invalidation path, so it must
+/// rank below `disk`. Neither store lock may be held
 /// across a WAN send: the store does disk I/O only, and its deferred
 /// cost settlement happens after every guard is released.
 pub const LOCK_ORDER: &[(&str, u32)] = &[
@@ -88,6 +94,8 @@ pub const LOCK_ORDER: &[(&str, u32)] = &[
     ("health", 7),
     ("stats", 8),
     ("fanout", 8),
+    ("peers", 8),
+    ("peer_hints", 8),
     // The protocol-trace buffer is written under the deleg shard lock
     // (so per-file event order matches the table's linearization) and
     // must therefore rank below everything that may be held at an

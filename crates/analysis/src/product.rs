@@ -34,6 +34,10 @@
 //!   revocations interleaved.
 //! * **I6 write-exclusion-under-composition** — write delegations stay
 //!   exclusive per file across partitions, heals and revocations.
+//! * **I7 no-condemned-peer-serve** — a peer never serves a block the
+//!   origin has condemned: every write eagerly de-advertises all peer
+//!   holders of the file, so an advertised holder always carries the
+//!   origin's current version when it answers a `PEERREAD`.
 //!
 //! Each invariant has a fault knob ([`Knobs`]) that re-introduces the
 //! corresponding bug in the spec side; the unit tests flip the knobs
@@ -66,8 +70,11 @@ const INVAL_CAPACITY: usize = 8;
 /// 10 s comfortably straddles both the lease (3 s) and the staleness
 /// bound (4 s).
 const MAX_CLOCK_S: u64 = 10;
-/// Bound on states explored per configuration.
-const STATE_CAP: usize = 8_000;
+/// Bound on states explored per configuration. Sized for the machine
+/// as composed — the peer-sourcing state (versions, adverts, clean
+/// copies) multiplies the reachable set, and the cap must leave the
+/// frontier enough budget to reach every knob's conviction depth.
+const STATE_CAP: usize = 24_000;
 /// Bound on exploration depth (actions from the initial state).
 const DEPTH_CAP: usize = 6;
 
@@ -86,6 +93,10 @@ pub struct Knobs {
     /// A recall round skips `recall_done` for partitioned targets, so
     /// their delegations survive the round (breaks I4).
     pub recall_keeps_partitioned_holder: bool,
+    /// Writes skip the eager de-advertisement, so stale holders stay
+    /// advertised and serve condemned blocks (breaks I7) — the model
+    /// twin of the chaos harness's `--break-peerread` knob.
+    pub peer_ignores_condemnation: bool,
 }
 
 /// One actionable step of the composed machine.
@@ -106,6 +117,8 @@ enum ProductAction {
     Repromote { client: u32 },
     /// A degraded client serves a read from its frozen cache.
     DegradedRead { client: u32, fh: Fh3 },
+    /// An advertised holder answers a `PEERREAD` for `fh`.
+    PeerServe { client: u32, fh: Fh3 },
 }
 
 impl std::fmt::Display for ProductAction {
@@ -121,6 +134,9 @@ impl std::fmt::Display for ProductAction {
             ProductAction::Repromote { client } => write!(f, "repromote(client={client})"),
             ProductAction::DegradedRead { client, fh } => {
                 write!(f, "degraded_read(client={client}, fh={fh:?})")
+            }
+            ProductAction::PeerServe { client, fh } => {
+                write!(f, "peer_serve(client={client}, fh={fh:?})")
             }
         }
     }
@@ -157,6 +173,10 @@ struct ClientSpec {
     registered: bool,
     /// Files modified by others since this client's last drain.
     owed: BTreeSet<Fh3>,
+    /// fileid → origin version this client's clean cached copy carries
+    /// (the peer-sourcing machine: only these copies can answer a
+    /// `PEERREAD`; an applied invalidation drops the entry).
+    clean: BTreeMap<u64, u64>,
 }
 
 impl ClientSpec {
@@ -169,6 +189,7 @@ impl ClientSpec {
             ts: None,
             registered: false,
             owed: BTreeSet::new(),
+            clean: BTreeMap::new(),
         }
     }
 }
@@ -182,6 +203,11 @@ struct ProductState {
     /// (client, fh) → virtual second of the last access the *server*
     /// saw; the spec mirror of the table's lease bookkeeping.
     last_access: BTreeMap<(u32, u64), u64>,
+    /// fileid → origin content version, bumped by every write.
+    version: BTreeMap<u64, u64>,
+    /// fileid → holders the origin currently advertises for peer
+    /// sourcing; a write eagerly empties the file's entry.
+    advertised: BTreeMap<u64, BTreeSet<u32>>,
     knobs: Knobs,
 }
 
@@ -199,6 +225,8 @@ impl ProductState {
             tracker: InvalidationTracker::new(INVAL_CAPACITY),
             clients: (1..=n_clients).map(|c| (c, ClientSpec::new())).collect(),
             last_access: BTreeMap::new(),
+            version: BTreeMap::new(),
+            advertised: BTreeMap::new(),
             knobs,
         }
     }
@@ -220,11 +248,19 @@ impl ProductState {
         for (c, cs) in &self.clients {
             let _ = write!(
                 s,
-                "c{c}={:?}/{:?}/{:?}/{:?}/{:?}/{}/{:?};",
-                cs.partitioned, cs.breaker, cs.ladder, cs.last_sync, cs.ts, cs.registered, cs.owed
+                "c{c}={:?}/{:?}/{:?}/{:?}/{:?}/{}/{:?}/{:?};",
+                cs.partitioned,
+                cs.breaker,
+                cs.ladder,
+                cs.last_sync,
+                cs.ts,
+                cs.registered,
+                cs.owed,
+                cs.clean
             );
         }
-        let _ = write!(s, "la={:?}", self.last_access);
+        let _ = write!(s, "la={:?};", self.last_access);
+        let _ = write!(s, "v={:?};adv={:?}", self.version, self.advertised);
         s
     }
 
@@ -348,6 +384,27 @@ impl ProductState {
                             cs.owed.insert(fh);
                         }
                     }
+                    // The write condemns every cached copy: the origin
+                    // bumps the content version and — under the same
+                    // stripe lock in the implementation — eagerly
+                    // de-advertises all peer holders. The writer's own
+                    // copy turns dirty, which a peer answers as a miss.
+                    *self.version.entry(fh.fileid()).or_insert(0) += 1;
+                    if !self.knobs.peer_ignores_condemnation {
+                        self.advertised.remove(&fh.fileid());
+                    }
+                    self.clients.get_mut(&client).expect("model client").clean.remove(&fh.fileid());
+                } else {
+                    // A served read leaves the client holding the
+                    // origin's current version; the origin advertises it
+                    // as a live peer source.
+                    let v = self.version.get(&fh.fileid()).copied().unwrap_or(0);
+                    self.clients
+                        .get_mut(&client)
+                        .expect("model client")
+                        .clean
+                        .insert(fh.fileid(), v);
+                    self.advertised.entry(fh.fileid()).or_default().insert(client);
                 }
             }
             ProductAction::Partition { client } => {
@@ -390,6 +447,15 @@ impl ProductState {
                 }
                 cs.ts = Some(res.timestamp);
                 cs.registered = true;
+                // Applying the drain drops the invalidated copies; they
+                // can no longer back a PEERREAD.
+                if res.force_invalidate {
+                    cs.clean.clear();
+                } else {
+                    for fh in &res.handles {
+                        cs.clean.remove(&fh.fileid());
+                    }
+                }
                 cs.owed.clear();
                 cs.last_sync = Some(self.now_s);
                 if let Ladder::Degraded { drained: false } = cs.ladder {
@@ -436,6 +502,21 @@ impl ProductState {
                     ));
                 }
             }
+            ProductAction::PeerServe { client, fh } => {
+                // A holder without a clean copy (its own drain already
+                // dropped it) answers an honest miss — safe. Serving
+                // *content* of a superseded version is the sin.
+                let current = self.version.get(&fh.fileid()).copied().unwrap_or(0);
+                let held = self.clients.get(&client).expect("model client").clean.get(&fh.fileid());
+                if let Some(&v) = held {
+                    if v != current {
+                        return Some(format!(
+                            "I7: advertised client {client} served {fh:?} holding version {v} \
+                             while the origin is at {current} — condemned block served by a peer"
+                        ));
+                    }
+                }
+            }
         }
         self.check_write_exclusion()
     }
@@ -473,6 +554,14 @@ impl ProductState {
                     }
                 }
                 Ladder::Healthy => {}
+            }
+        }
+        // Any advertised holder can be asked for any advertised file —
+        // the requester trusts the origin's advert, so the serve must be
+        // safe whenever the advert exists.
+        for (&fileid, holders) in &self.advertised {
+            for &client in holders {
+                acts.push(ProductAction::PeerServe { client, fh: Fh3::from_fileid(fileid) });
             }
         }
         acts
@@ -569,5 +658,11 @@ mod tests {
         let v =
             first_violation(Knobs { recall_keeps_partitioned_holder: true, ..Knobs::default() });
         assert!(v.contains("I4"), "wrong invariant convicted: {v}");
+    }
+
+    #[test]
+    fn catches_condemned_peer_serve() {
+        let v = first_violation(Knobs { peer_ignores_condemnation: true, ..Knobs::default() });
+        assert!(v.contains("I7"), "wrong invariant convicted: {v}");
     }
 }

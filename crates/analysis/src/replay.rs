@@ -24,7 +24,11 @@
 //!   `max_staleness_ms` (plus poll-cadence slack) of the client's last
 //!   proof of freshness;
 //! - invalidation clock: per-client GETINV timestamps are monotone,
-//!   resetting only across a server crash.
+//!   resetting only across a server crash;
+//! - peer sourcing: a `peer_serve` never comes from a condemned copy —
+//!   a client that received a recall for the handle must re-validate
+//!   (a later grant) before it may serve peers again — and a verified
+//!   `peer_fetch` always has a matching prior `peer_serve`.
 //!
 //! Lines are flat JSON objects (see `TraceRecord::to_json_line`); the
 //! parser here is hand-rolled because the vendored `serde_json` stub
@@ -215,6 +219,13 @@ struct Checker {
     done_credit: HashMap<(u32, u64), (u64, u64)>,
     clients: HashMap<u32, ClientState>,
     server_crashed_once: bool,
+    /// (client, fh) pairs whose cached copy the trace shows condemned
+    /// (a recall arrived) with no re-validation (grant) since. Serving
+    /// a peer from such a copy is the peer-sourcing cardinal sin.
+    condemned: std::collections::HashSet<(u32, u64)>,
+    /// (client, fh) pairs that have ever answered a PEERREAD with data;
+    /// a verified peer_fetch must be backed by one of these.
+    served_ever: std::collections::HashSet<(u32, u64)>,
 }
 
 impl Checker {
@@ -228,6 +239,8 @@ impl Checker {
             done_credit: HashMap::new(),
             clients: HashMap::new(),
             server_crashed_once: false,
+            condemned: std::collections::HashSet::new(),
+            served_ever: std::collections::HashSet::new(),
         }
     }
 
@@ -268,6 +281,9 @@ impl Checker {
                 }
                 self.holders.entry(fh).or_default().insert(client, kind);
                 self.last_grant.insert((client, fh), ev.t_ms);
+                // A fresh grant is a re-validation: the client's copy is
+                // current again and may back PEERREADs.
+                self.condemned.remove(&(client, fh));
             }
             "regrant" => {
                 let client = field(ev.num("client"))? as u32;
@@ -280,6 +296,7 @@ impl Checker {
                 }
                 self.holders.entry(fh).or_default().insert(client, Kind::Read);
                 self.last_grant.insert((client, fh), ev.t_ms);
+                self.condemned.remove(&(client, fh));
             }
             "recall_sent" => {
                 let client = field(ev.num("client"))? as u32;
@@ -301,6 +318,9 @@ impl Checker {
                         format!("client {client} received a recall for fh {fh} never sent"),
                     ));
                 }
+                // The recall condemns this client's cached copy until a
+                // later grant proves it re-validated.
+                self.condemned.insert((client, fh));
             }
             "recall_done" => {
                 let client = field(ev.num("client"))? as u32;
@@ -467,6 +487,10 @@ impl Checker {
                 for state in self.clients.values_mut() {
                     state.last_ts = None;
                 }
+                // Post-crash the trace can no longer prove a copy stale
+                // (the condemning writes may have been lost); err
+                // conservative and accept.
+                self.condemned.clear();
             }
             "server_recover" => {
                 if !self.server_crashed_once {
@@ -484,6 +508,44 @@ impl Checker {
                 // entries until recall or lease expiry — so neither the
                 // ladder nor the holders map changes here.
                 let _ = self.client(client);
+            }
+            "peer_serve" => {
+                let client = field(ev.num("client"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                // Recorded before the verdict: even a condemned serve
+                // structurally backs the requester's peer_fetch, which
+                // should not be convicted a second time for it.
+                self.served_ever.insert((client, fh));
+                if self.condemned.contains(&(client, fh)) {
+                    return Err((
+                        "peer-serve-condemned",
+                        format!(
+                            "client {client} served fh {fh} to a peer after a recall condemned \
+                             its copy and before any re-validating grant"
+                        ),
+                    ));
+                }
+            }
+            "peer_fetch" => {
+                let client = field(ev.num("client"))? as u32;
+                let peer = field(ev.num("peer"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                let ok = field(ev.num("ok"))? != 0;
+                if ok && !self.served_ever.contains(&(peer, fh)) {
+                    return Err((
+                        "peer-fetch-unserved",
+                        format!(
+                            "client {client} verified a peer transfer of fh {fh} from peer \
+                             {peer}, which never served that handle"
+                        ),
+                    ));
+                }
+            }
+            "peer_fallback" => {
+                // An origin fallback is always a legal move; the event
+                // only needs its fields present.
+                let _ = field(ev.num("client"))?;
+                let _ = field(ev.num("fh"))?;
             }
             "meta" => {
                 return Err(("duplicate-meta", "second meta record".to_string()));
@@ -740,6 +802,53 @@ mod tests {
             r#"{"seq":5,"t_ms":500,"ev":"regrant","client":1,"fh":7}"#,
             r#"{"seq":6,"t_ms":600,"ev":"validate","client":1,"force":0,"n":0,"ts":0}"#,
             r#"{"seq":7,"t_ms":700,"ev":"grant","client":2,"fh":9,"kind":"write"}"#,
+        ]);
+        assert!(r.accepted(), "{:?}", r.rejections);
+    }
+
+    #[test]
+    fn accepts_revalidated_peer_serve() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"grant","client":1,"fh":7,"kind":"read"}"#,
+            r#"{"seq":2,"t_ms":200,"ev":"peer_serve","client":1,"fh":7,"bytes":32768}"#,
+            r#"{"seq":3,"t_ms":300,"ev":"recall_sent","client":1,"fh":7,"kind":"read"}"#,
+            r#"{"seq":4,"t_ms":310,"ev":"recall_recv","client":1,"fh":7,"kind":"read"}"#,
+            r#"{"seq":5,"t_ms":350,"ev":"recall_done","client":1,"fh":7,"ok":1,"pending":0}"#,
+            r#"{"seq":6,"t_ms":400,"ev":"grant","client":1,"fh":7,"kind":"read"}"#,
+            r#"{"seq":7,"t_ms":500,"ev":"peer_serve","client":1,"fh":7,"bytes":32768}"#,
+            r#"{"seq":8,"t_ms":510,"ev":"peer_fetch","client":2,"peer":1,"fh":7,"ok":1}"#,
+        ]);
+        assert!(r.accepted(), "{:?}", r.rejections);
+    }
+
+    #[test]
+    fn rejects_condemned_peer_serve() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"grant","client":1,"fh":7,"kind":"read"}"#,
+            r#"{"seq":2,"t_ms":300,"ev":"recall_sent","client":1,"fh":7,"kind":"read"}"#,
+            r#"{"seq":3,"t_ms":310,"ev":"recall_recv","client":1,"fh":7,"kind":"read"}"#,
+            r#"{"seq":4,"t_ms":350,"ev":"recall_done","client":1,"fh":7,"ok":1,"pending":0}"#,
+            r#"{"seq":5,"t_ms":500,"ev":"peer_serve","client":1,"fh":7,"bytes":32768}"#,
+        ]);
+        assert_eq!(r.rejections.len(), 1);
+        assert_eq!(r.rejections[0].rule, "peer-serve-condemned");
+    }
+
+    #[test]
+    fn rejects_verified_fetch_without_serve() {
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"peer_fetch","client":2,"peer":1,"fh":7,"ok":1}"#,
+        ]);
+        assert_eq!(r.rejections.len(), 1);
+        assert_eq!(r.rejections[0].rule, "peer-fetch-unserved");
+        // An unverified fetch (miss or garbled) needs no serve behind it.
+        let r = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"peer_fetch","client":2,"peer":1,"fh":7,"ok":0}"#,
+            r#"{"seq":2,"t_ms":150,"ev":"peer_fallback","client":2,"fh":7}"#,
         ]);
         assert!(r.accepted(), "{:?}", r.rejections);
     }

@@ -12,12 +12,15 @@
 //! 7. the degradation ladder: availability through a 60 s partition with
 //!    bounded-staleness cache-only reads vs the hard-retry baseline,
 //! 8. recall fan-out: the bounded-concurrency fan-out window vs the
-//!    sequential issue-and-wait baseline at 1k delegation holders.
+//!    sequential issue-and-wait baseline at 1k delegation holders,
+//! 9. peer sourcing: a cold fan-in on the star topology (every block
+//!    over the WAN) vs `PEERREAD` block sourcing from advertised peers
+//!    over the LAN.
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin ablations [--only <name>]`
 //! where `<name>` is one of `buffer-capacity`, `polling-period`,
 //! `delegation-expiration`, `writeback-threshold`, `pipelining`,
-//! `readahead`, `degradation`, `fanout`.
+//! `readahead`, `degradation`, `fanout`, `peerread`.
 
 use gvfs_bench::scale::fanout_round;
 use gvfs_bench::{getinv_calls, nfs_calls, print_table, rpc_meta, save_json, small_mode};
@@ -618,6 +621,108 @@ fn fanout_sweep() -> Vec<serde_json::Value> {
     json
 }
 
+/// Ablation 9: peer-to-peer block sourcing. A staggered fan-in of
+/// clients behind 200 ms-RTT WAN links cold-reads the same shared file.
+/// On the star topology every block of every client pays the WAN; with
+/// `PEERREAD` on, the origin serves each client one attestation-bearing
+/// READ and the remaining blocks arrive from advertised peers over the
+/// LAN, so the mean per-client cold read collapses.
+fn peerread_sweep() -> Vec<serde_json::Value> {
+    const BLOCK: u64 = 32 * 1024;
+    // Blocks stay at 16 even in small mode: with fewer the per-client
+    // fixed WAN costs (open + the attestation-bearing first READ)
+    // dominate both arms and flatten the ratio.
+    let (clients, blocks) = if small_mode() { (6usize, 16u64) } else { (12, 16) };
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut means = [0.0f64; 2];
+    for (i, (label, peer_read)) in [("star", false), ("peer", true)].into_iter().enumerate() {
+        let sim = Sim::new();
+        let session = Session::builder(SessionConfig {
+            model: ConsistencyModel::InvalidationPolling {
+                period: Duration::from_secs(300),
+                backoff_max: None,
+            },
+            pipeline_read: true,
+            readahead_window: 8,
+            peer_read,
+            ..SessionConfig::default()
+        })
+        .clients(clients)
+        .wan(LinkConfig::wan().with_rtt(Duration::from_millis(200)).with_bandwidth_bps(100_000_000))
+        .establish(&sim);
+        let seed_t = gvfs_vfs::Timestamp::from_nanos(0);
+        let vfs = session.vfs();
+        let f = vfs.create(vfs.root(), "shared", 0o644, seed_t).unwrap();
+        vfs.write(f, 0, &vec![3u8; (blocks * BLOCK) as usize], seed_t).unwrap();
+        let stats = session.wan_stats().clone();
+        let peer_stats = session.peer_stats().clone();
+        let walls = Arc::new(Mutex::new(Vec::new()));
+        let done = Arc::new(Mutex::new(0usize));
+        for n in 0..clients {
+            let t = session.client_transport(n);
+            let root = session.root_fh();
+            let handle = session.handle();
+            let walls = Arc::clone(&walls);
+            let done = Arc::clone(&done);
+            sim.spawn(&format!("fan-in-{n}"), move || {
+                if n > 0 {
+                    // Client 0 seeds the mesh; the rest fan in with a
+                    // small stagger (a couple overlap at any moment).
+                    gvfs_netsim::sleep(Duration::from_millis(30_000 + n as u64 * 200));
+                }
+                let c = NfsClient::new(t, root, MountOptions::noac());
+                let t0 = gvfs_netsim::now();
+                let fh = c.open("/shared").unwrap();
+                for b in 0..blocks {
+                    let data = c.read(fh, b * BLOCK, BLOCK as u32).unwrap();
+                    assert_eq!(data, vec![3u8; BLOCK as usize], "client {n} block {b}");
+                }
+                if n > 0 {
+                    walls.lock().push(gvfs_netsim::now().saturating_since(t0).as_secs_f64());
+                }
+                let mut d = done.lock();
+                *d += 1;
+                if *d == clients {
+                    handle.shutdown();
+                }
+            });
+        }
+        sim.run();
+        let walls = walls.lock();
+        let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+        means[i] = mean;
+        let snap = stats.snapshot();
+        let peerreads = gvfs_bench::peerread_calls(&peer_stats.snapshot());
+        rows.push(vec![
+            label.to_string(),
+            format!("{mean:.3}"),
+            nfs_calls(&snap, proc3::READ).to_string(),
+            peerreads.to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "arm": label,
+            "clients": clients,
+            "mean_cold_read_s": mean,
+            "wan_reads": nfs_calls(&snap, proc3::READ),
+            "peerreads": peerreads,
+        }));
+    }
+    let speedup = means[0] / means[1];
+    print_table(
+        "Ablation 9: peer sourcing (cold fan-in on one shared file, 200 ms RTT)",
+        &["arm", "mean cold read (s)", "WAN READs", "PEERREADs"],
+        &rows,
+    );
+    println!("peer-sourcing speedup: {speedup:.1}x (target: >=2x)");
+    assert!(
+        speedup >= 2.0,
+        "peer sourcing must beat the star topology >=2x on the fan-in, got {speedup:.2}x"
+    );
+    json.push(serde_json::json!({ "speedup": speedup }));
+    json
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let only = args.iter().position(|a| a == "--only").and_then(|i| args.get(i + 1)).cloned();
@@ -648,6 +753,9 @@ fn main() {
     }
     if run("fanout") {
         doc.push(("fanout".into(), fanout_sweep().into()));
+    }
+    if run("peerread") {
+        doc.push(("peerread".into(), peerread_sweep().into()));
     }
     // A partial run must not clobber the full committed results.
     let name = if only.is_some() { "ablations-partial.json" } else { "ablations.json" };

@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin chaos_soak --
 //!       [--seeds N] [--start S] [--model all|passthrough|polling|delegation]
-//!       [--break-recall] [--trace-dir DIR]`
+//!       [--break-recall] [--break-peerread] [--trace-dir DIR]`
 //!
 //! `--trace-dir DIR` writes each run's protocol-event trace to
 //! `DIR/<model>-seed<N>.jsonl` for `gvfs-analysis -- replay` conformance
@@ -15,14 +15,18 @@
 //! delegation recalls suppressed and **fails unless** the oracles catch
 //! the breakage and the shrinker produces a reproducer — a chaos harness
 //! that cannot see a broken protocol is worse than none.
+//! `--break-peerread` is the same idea for the peer mesh: it re-runs the
+//! peer-partition scenario with de-advertisement suppressed and the
+//! serving peer answering from raw (condemned) store bytes, and fails
+//! unless the oracle convicts the stale read on at least one seed.
 //!
-//! Exit codes: 0 clean, 1 violations or a determinism break, 2 the
-//! `--break-recall` self-test found the harness toothless.
+//! Exit codes: 0 clean, 1 violations or a determinism break, 2 a
+//! `--break-*` self-test found the harness toothless.
 
 use gvfs_bench::save_json;
 use gvfs_integration::chaos::{
-    format_reproducer, generate_events, run_crash_restart, run_partition_heal, run_scenario,
-    shrink_failure, ModelKind, ScenarioConfig,
+    format_reproducer, generate_events, run_crash_restart, run_partition_heal, run_peer_partition,
+    run_scenario, shrink_failure, ModelKind, ScenarioConfig,
 };
 use serde_json::json;
 
@@ -31,6 +35,7 @@ struct Args {
     start: u64,
     models: Vec<ModelKind>,
     break_recall: bool,
+    break_peerread: bool,
     trace_dir: Option<std::path::PathBuf>,
 }
 
@@ -40,6 +45,7 @@ fn parse_args() -> Args {
         start: 1,
         models: ModelKind::ALL.to_vec(),
         break_recall: false,
+        break_peerread: false,
         trace_dir: None,
     };
     let mut argv = std::env::args().skip(1);
@@ -63,6 +69,7 @@ fn parse_args() -> Args {
                     };
             }
             "--break-recall" => out.break_recall = true,
+            "--break-peerread" => out.break_peerread = true,
             "--trace-dir" => {
                 let v = argv.next().expect("--trace-dir needs a directory");
                 out.trace_dir = Some(std::path::PathBuf::from(v));
@@ -224,6 +231,48 @@ fn main() {
         }
     }
 
+    // The scripted peer-partition scenario: a serving peer is cut off
+    // mid-PEERREAD (the read must complete via origin fallback, never
+    // torn or stale), and a later write must condemn every advertised
+    // peer copy before the verify-phase mesh reads.
+    if args.models.contains(&ModelKind::Delegation) {
+        for seed in args.start..args.start + args.seeds {
+            let a = run_peer_partition(seed, false);
+            let b = run_peer_partition(seed, false);
+            runs += 2;
+            if let Some(dir) = &args.trace_dir {
+                write_trace(dir, "peer-partition", seed, &a.protocol_trace);
+            }
+            if a.trace_hash != b.trace_hash
+                || a.history != b.history
+                || a.protocol_trace != b.protocol_trace
+            {
+                determinism_breaks += 1;
+                println!(
+                    "DETERMINISM BREAK: peer-partition seed={seed} hashes {:#x} vs {:#x}",
+                    a.trace_hash, b.trace_hash
+                );
+                continue;
+            }
+            if a.violations.is_empty() {
+                println!(
+                    "seed={seed} peer-partition ok (peer hits {}, fallbacks {}, trace {:#x})",
+                    a.reader_stats.peer_hits, a.reader_stats.peer_fallbacks, a.trace_hash
+                );
+                continue;
+            }
+            println!("seed={seed} peer-partition: {} violation(s)", a.violations.len());
+            violations.push(json!({
+                "seed": seed,
+                "model": "peer-partition",
+                "suppress_recalls": false,
+                "violations": a.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+                "shrunk_events": Option::<Vec<String>>::None,
+                "reproducer": Option::<String>::None,
+            }));
+        }
+    }
+
     // Self-test: with recalls suppressed the oracles MUST fire on at
     // least one seed, and the shrinker must produce a reproducer.
     let mut selftest_failed = false;
@@ -263,6 +312,37 @@ fn main() {
         }
     }
 
+    // Self-test: with de-advertisement suppressed and the serving peer
+    // answering from condemned store bytes, the peer-partition oracle
+    // MUST convict the stale read on at least one seed.
+    if args.break_peerread {
+        let mut caught = 0u64;
+        for seed in args.start..args.start + args.seeds {
+            let report = run_peer_partition(seed, true);
+            runs += 1;
+            if report.violations.is_empty() {
+                continue;
+            }
+            caught += 1;
+            if caught == 1 {
+                println!(
+                    "self-test: broken peer convicted at seed={seed}: {}",
+                    report.violations[0]
+                );
+            }
+        }
+        if caught == 0 {
+            selftest_failed = true;
+            println!(
+                "SELF-TEST FAILED: a peer serving condemned blocks went unconvicted on all \
+                 {} seeds — the peer oracle has lost its teeth",
+                args.seeds
+            );
+        } else {
+            println!("self-test passed: broken peer convicted on {caught}/{} seeds", args.seeds);
+        }
+    }
+
     save_json(
         "chaos_violations.json",
         &json!({
@@ -272,6 +352,11 @@ fn main() {
             "models": args.models.iter().map(|m| m.name()).collect::<Vec<_>>(),
             "determinism_breaks": determinism_breaks,
             "break_recall_selftest": if args.break_recall {
+                Some(!selftest_failed)
+            } else {
+                None
+            },
+            "break_peerread_selftest": if args.break_peerread {
                 Some(!selftest_failed)
             } else {
                 None

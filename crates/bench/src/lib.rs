@@ -35,6 +35,11 @@ pub fn callback_calls(snap: &StatsSnapshot) -> u64 {
         + snap.calls(GVFS_CALLBACK_PROGRAM, proc_ext::RECOVER)
 }
 
+/// `PEERREAD` calls in a snapshot (the peer-mesh counter).
+pub fn peerread_calls(snap: &StatsSnapshot) -> u64 {
+    snap.calls(GVFS_CALLBACK_PROGRAM, proc_ext::PEERREAD)
+}
+
 /// The RPC-count breakdown the paper plots in Figures 4a and 6a.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RpcBreakdown {
@@ -120,6 +125,10 @@ pub fn read_path_json(stats: &gvfs_core::proxy::client::ProxyClientStats) -> ser
         "cache_evictions": stats.cache_evictions,
         "dedup_hits": stats.dedup_hits,
         "restart_warm_blocks": stats.restart_warm_blocks,
+        "peer_hits": stats.peer_hits,
+        "peer_misses": stats.peer_misses,
+        "peer_fallbacks": stats.peer_fallbacks,
+        "peer_bytes_served": stats.peer_bytes_served,
     })
 }
 
@@ -141,6 +150,10 @@ pub fn session_read_path(
         agg.cache_evictions += s.cache_evictions;
         agg.dedup_hits += s.dedup_hits;
         agg.restart_warm_blocks += s.restart_warm_blocks;
+        agg.peer_hits += s.peer_hits;
+        agg.peer_misses += s.peer_misses;
+        agg.peer_fallbacks += s.peer_fallbacks;
+        agg.peer_bytes_served += s.peer_bytes_served;
     }
     read_path_json(&agg)
 }
@@ -156,6 +169,7 @@ fn proc_name(program: u32, procedure: u32) -> String {
     let proc = match (program, procedure) {
         (GVFS_CALLBACK_PROGRAM, proc_ext::CALLBACK) => "CALLBACK".into(),
         (GVFS_CALLBACK_PROGRAM, proc_ext::RECOVER) => "RECOVER".into(),
+        (GVFS_CALLBACK_PROGRAM, proc_ext::PEERREAD) => "PEERREAD".into(),
         (_, p) if p == proc_ext::GETINV => "GETINV".into(),
         (_, proc3::NULL) => "NULL".into(),
         (_, proc3::GETATTR) => "GETATTR".into(),

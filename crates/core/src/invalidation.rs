@@ -228,6 +228,14 @@ struct StripeSlot {
     synced: u64,
     /// Eviction epoch at the client's last contact.
     epoch: u64,
+    /// Files this client is advertised as holding a clean copy of
+    /// (peer sourcing). Living inside the slot puts the holdings under
+    /// the *same stripe lock* as the invalidation buffer: the
+    /// modification pass that enqueues an invalidation for a handle
+    /// removes the handle from every holding in the same critical
+    /// section, so no reader can be handed an advert for a condemned
+    /// copy. Eviction drops the slot and the holdings with it.
+    holdings: HashSet<Fh3>,
 }
 
 /// One lock stripe: the buffers of every client whose id maps here.
@@ -272,6 +280,11 @@ pub struct InvalScaleCounters {
     pub piggyback_handles: u64,
     /// Idle client buffers dropped by epoch eviction.
     pub evicted_buffers: u64,
+    /// Peer adverts recorded (client, file) pairs.
+    pub peer_advertised: u64,
+    /// Peer adverts condemned by modifications, recalls or client
+    /// resets.
+    pub peer_condemned: u64,
 }
 
 /// The proxy server's concurrently-shared form of
@@ -295,6 +308,11 @@ pub struct ConcurrentInvalidationTracker {
     piggyback_replies: AtomicU64,
     piggyback_handles: AtomicU64,
     evicted_buffers: AtomicU64,
+    peer_advertised: AtomicU64,
+    peer_condemned: AtomicU64,
+    /// Chaos self-test knob: suppress peer de-advertising so the
+    /// oracle can prove it would catch a stale peer serve.
+    deadvertise_suppressed: std::sync::atomic::AtomicBool,
 }
 
 impl ConcurrentInvalidationTracker {
@@ -311,6 +329,9 @@ impl ConcurrentInvalidationTracker {
             piggyback_replies: AtomicU64::new(0),
             piggyback_handles: AtomicU64::new(0),
             evicted_buffers: AtomicU64::new(0),
+            peer_advertised: AtomicU64::new(0),
+            peer_condemned: AtomicU64::new(0),
+            deadvertise_suppressed: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -340,15 +361,113 @@ impl ConcurrentInvalidationTracker {
     pub fn record_modification(&self, fh: Fh3, writer: u32) {
         let ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let capacity = self.capacity.load(Ordering::SeqCst);
+        let suppress = self.deadvertise_suppressed.load(Ordering::SeqCst);
         for stripe in &self.stripes {
             let mut buffers = stripe.guard();
             for (&client, slot) in buffers.iter_mut() {
+                // Condemn every advertised copy of the modified file —
+                // including the writer's, whose copy now carries a
+                // change attribute the origin has moved past. Done
+                // under the same stripe lock as the invalidation
+                // enqueue: an advert can never be collected for a
+                // handle this pass has condemned.
+                if !suppress && slot.holdings.remove(&fh) {
+                    self.peer_condemned.fetch_add(1, Ordering::Relaxed);
+                }
                 if client == writer {
                     continue;
                 }
                 slot.buf.record(ts, fh, capacity);
             }
         }
+    }
+
+    /// Advertises `client` as holding a clean copy of `fh`. Creates
+    /// the client's slot if it has none yet (a delegation-model client
+    /// may be advertised before it ever polls): the slot then queues
+    /// invalidations from this point on, and the first real `GETINV`
+    /// behaves exactly as a poll against an empty buffer.
+    pub fn advertise(&self, client: u32, fh: Fh3) {
+        let capacity = self.capacity.load(Ordering::SeqCst);
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let mut buffers = self.stripe(client).guard();
+        let clock = self.clock.load(Ordering::SeqCst);
+        let slot = buffers.entry(client).or_insert_with(|| StripeSlot {
+            buf: ClientBuffer::new(clock, capacity),
+            synced: clock,
+            epoch,
+            holdings: HashSet::new(),
+        });
+        slot.epoch = epoch;
+        if slot.holdings.insert(fh) {
+            self.peer_advertised.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes every client's advert for `fh` (delegation recall,
+    /// explicit invalidation): after this returns, no collected advert
+    /// names the handle. One stripe-lock pass, same rank as
+    /// [`Self::record_modification`].
+    pub fn condemn(&self, fh: Fh3) {
+        if self.deadvertise_suppressed.load(Ordering::SeqCst) {
+            return;
+        }
+        for stripe in &self.stripes {
+            let mut buffers = stripe.guard();
+            for slot in buffers.values_mut() {
+                if slot.holdings.remove(&fh) {
+                    self.peer_condemned.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Removes every advert held by one client (the client crashed or
+    /// told us it dropped its cache).
+    pub fn deadvertise_client(&self, client: u32) {
+        let mut buffers = self.stripe(client).guard();
+        if let Some(slot) = buffers.get_mut(&client) {
+            self.peer_condemned.fetch_add(slot.holdings.len() as u64, Ordering::Relaxed);
+            slot.holdings.clear();
+        }
+    }
+
+    /// Clients currently advertised as holding a clean copy of `fh`,
+    /// excluding `exclude` (the requester), sorted by id for
+    /// determinism and capped at `cap`.
+    pub fn collect_holders(&self, fh: Fh3, exclude: u32, cap: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            let buffers = stripe.guard();
+            for (&client, slot) in buffers.iter() {
+                if client != exclude && slot.holdings.contains(&fh) {
+                    out.push(client);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.truncate(cap);
+        out
+    }
+
+    /// Test/chaos knob: when set, modifications and recalls stop
+    /// de-advertising peer copies — the `--break-peerread` self-test
+    /// the chaos oracle must convict.
+    pub fn set_deadvertise_suppressed(&self, suppressed: bool) {
+        self.deadvertise_suppressed.store(suppressed, Ordering::SeqCst);
+    }
+
+    /// An empty drain anchored at `client`'s current sync point. Used
+    /// to satisfy the `peers ⟹ inv` wire-framing invariant when a
+    /// reply carries a peer advert but no pending invalidations: the
+    /// timestamp never moves past entries still queued for the client,
+    /// so applying it is a no-op for invalidation state.
+    pub fn empty_drain(&self, client: u32) -> GetinvRes {
+        let buffers = self.stripe(client).guard();
+        let timestamp = buffers
+            .get(&client)
+            .map_or_else(|| self.clock.load(Ordering::SeqCst), |slot| slot.synced);
+        GetinvRes { timestamp, force_invalidate: false, poll_again: false, handles: Vec::new() }
     }
 
     /// Processes one `GETINV` call (§4.2.1, server side).
@@ -362,9 +481,15 @@ impl ConcurrentInvalidationTracker {
             buf: ClientBuffer::new(clock, capacity),
             synced: clock,
             epoch,
+            holdings: HashSet::new(),
         });
         slot.epoch = epoch;
         let res = slot.buf.getinv(last_timestamp, clock, first_contact);
+        if res.force_invalidate {
+            // The client is discarding its whole attribute cache; none
+            // of its copies are known-clean any more.
+            slot.holdings.clear();
+        }
         slot.synced = res.timestamp;
         self.getinv_replies.fetch_add(1, Ordering::Relaxed);
         self.getinv_handles.fetch_add(res.handles.len() as u64, Ordering::Relaxed);
@@ -395,9 +520,13 @@ impl ConcurrentInvalidationTracker {
                     buf: ClientBuffer::new(clock, capacity),
                     synced: clock,
                     epoch,
+                    holdings: HashSet::new(),
                 });
                 slot.epoch = epoch;
                 let res = slot.buf.getinv(last_timestamp, clock, first_contact);
+                if res.force_invalidate {
+                    slot.holdings.clear();
+                }
                 slot.synced = res.timestamp;
                 self.getinv_replies.fetch_add(1, Ordering::Relaxed);
                 self.getinv_handles.fetch_add(res.handles.len() as u64, Ordering::Relaxed);
@@ -428,6 +557,9 @@ impl ConcurrentInvalidationTracker {
         }
         let clock = self.clock.load(Ordering::SeqCst);
         let res = slot.buf.getinv(Some(slot.synced), clock, false);
+        if res.force_invalidate {
+            slot.holdings.clear();
+        }
         slot.synced = res.timestamp;
         self.piggyback_replies.fetch_add(1, Ordering::Relaxed);
         self.piggyback_handles.fetch_add(res.handles.len() as u64, Ordering::Relaxed);
@@ -440,17 +572,27 @@ impl ConcurrentInvalidationTracker {
     ///
     /// An evicted client re-enters through the first-contact path on
     /// its next poll and is force-invalidated — eviction is invisible
-    /// to the protocol beyond that one extra full invalidation.
+    /// to the protocol beyond that one extra full invalidation. Peer
+    /// adverts die with the slot (an idle holder cannot be trusted to
+    /// still hold the copy) and are accounted as condemned.
     pub fn advance_epoch(&self, max_idle: u64) -> usize {
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let mut evicted = 0;
+        let mut condemned = 0u64;
         for stripe in &self.stripes {
             let mut buffers = stripe.guard();
             let before = buffers.len();
-            buffers.retain(|_, slot| epoch.saturating_sub(slot.epoch) <= max_idle);
+            buffers.retain(|_, slot| {
+                let keep = epoch.saturating_sub(slot.epoch) <= max_idle;
+                if !keep {
+                    condemned += slot.holdings.len() as u64;
+                }
+                keep
+            });
             evicted += before - buffers.len();
         }
         self.evicted_buffers.fetch_add(evicted as u64, Ordering::Relaxed);
+        self.peer_condemned.fetch_add(condemned, Ordering::Relaxed);
         evicted
     }
 
@@ -471,13 +613,19 @@ impl ConcurrentInvalidationTracker {
         const PER_ENTRY: usize = 48;
         // Per client: buffer + map-entry fixed overhead.
         const PER_SLOT: usize = 96;
+        // Per peer-advert holding: one HashSet member.
+        const PER_HOLDING: usize = 40;
         self.stripes
             .iter()
             .map(|s| {
                 let buffers = s.guard();
                 buffers
                     .values()
-                    .map(|slot| PER_SLOT + slot.buf.entries.len() * PER_ENTRY)
+                    .map(|slot| {
+                        PER_SLOT
+                            + slot.buf.entries.len() * PER_ENTRY
+                            + slot.holdings.len() * PER_HOLDING
+                    })
                     .sum::<usize>()
             })
             .sum::<usize>()
@@ -498,6 +646,8 @@ impl ConcurrentInvalidationTracker {
             piggyback_replies: self.piggyback_replies.load(Ordering::Relaxed),
             piggyback_handles: self.piggyback_handles.load(Ordering::Relaxed),
             evicted_buffers: self.evicted_buffers.load(Ordering::Relaxed),
+            peer_advertised: self.peer_advertised.load(Ordering::Relaxed),
+            peer_condemned: self.peer_condemned.load(Ordering::Relaxed),
         }
     }
 
@@ -827,6 +977,102 @@ mod tests {
         assert_eq!(c.piggyback_replies, 1);
         assert_eq!(c.piggyback_handles, drained.handles.len() as u64);
         assert!(t.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn advertise_and_collect_holders() {
+        let t = ConcurrentInvalidationTracker::new(8);
+        for c in 1..=4u32 {
+            t.getinv(c, None);
+        }
+        t.advertise(1, fh(7));
+        t.advertise(2, fh(7));
+        t.advertise(2, fh(7)); // repeat coalesces
+        t.advertise(3, fh(9));
+        // A client the tracker has never seen gets a slot on advertise
+        // (delegation clients may never poll).
+        t.advertise(99, fh(7));
+        assert_eq!(t.collect_holders(fh(7), 4, 8), vec![1, 2, 99]);
+        assert_eq!(t.collect_holders(fh(7), 2, 8), vec![1, 99], "requester excluded");
+        assert_eq!(t.collect_holders(fh(7), 4, 1), vec![1], "cap respected");
+        assert_eq!(t.collect_holders(fh(9), 4, 8), vec![3]);
+        let c = t.scale_counters();
+        assert_eq!(c.peer_advertised, 4, "repeat advert coalesced");
+    }
+
+    #[test]
+    fn modification_condemns_all_adverts_including_writer() {
+        let t = ConcurrentInvalidationTracker::new(8);
+        for c in 1..=3u32 {
+            t.getinv(c, None);
+        }
+        t.advertise(1, fh(7));
+        t.advertise(2, fh(7));
+        t.advertise(2, fh(8));
+        t.record_modification(fh(7), 1);
+        assert!(t.collect_holders(fh(7), 99, 8).is_empty(), "write condemns every copy");
+        assert_eq!(t.collect_holders(fh(8), 99, 8), vec![2], "other files untouched");
+        assert_eq!(t.scale_counters().peer_condemned, 2);
+    }
+
+    #[test]
+    fn explicit_condemn_and_client_deadvertise() {
+        let t = ConcurrentInvalidationTracker::new(8);
+        for c in 1..=3u32 {
+            t.getinv(c, None);
+        }
+        t.advertise(1, fh(7));
+        t.advertise(2, fh(7));
+        t.advertise(2, fh(8));
+        t.condemn(fh(7));
+        assert!(t.collect_holders(fh(7), 99, 8).is_empty());
+        t.deadvertise_client(2);
+        assert!(t.collect_holders(fh(8), 99, 8).is_empty());
+    }
+
+    #[test]
+    fn force_invalidate_clears_holdings() {
+        let t = ConcurrentInvalidationTracker::new(4);
+        let _boot = t.getinv(1, None);
+        t.advertise(1, fh(7));
+        // Client restarts and polls with a null timestamp: force path.
+        let res = t.getinv(1, None);
+        assert!(res.force_invalidate);
+        assert!(t.collect_holders(fh(7), 99, 8).is_empty(), "forced client holds nothing");
+    }
+
+    #[test]
+    fn eviction_drops_holdings_with_the_slot() {
+        let t = ConcurrentInvalidationTracker::new(8);
+        t.getinv(1, None);
+        t.getinv(2, None);
+        t.advertise(1, fh(7));
+        t.advertise(2, fh(7));
+        // Client 2 stays active; client 1 goes idle past the limit.
+        for _ in 0..4 {
+            t.advance_epoch(2);
+            let _ = t.try_drain(2);
+        }
+        assert_eq!(t.collect_holders(fh(7), 99, 8), vec![2], "evicted peer de-advertised");
+    }
+
+    #[test]
+    fn suppression_knob_keeps_condemned_adverts() {
+        let t = ConcurrentInvalidationTracker::new(8);
+        t.getinv(1, None);
+        t.getinv(2, None);
+        t.advertise(1, fh(7));
+        t.set_deadvertise_suppressed(true);
+        t.record_modification(fh(7), 2);
+        t.condemn(fh(7));
+        assert_eq!(
+            t.collect_holders(fh(7), 2, 8),
+            vec![1],
+            "suppressed de-advertise leaves the stale advert for the oracle to convict"
+        );
+        t.set_deadvertise_suppressed(false);
+        t.record_modification(fh(7), 2);
+        assert!(t.collect_holders(fh(7), 2, 8).is_empty());
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub mod proc_ext {
     /// Cache-wide recovery callback after proxy-server restart
     /// (callback program).
     pub const RECOVER: u32 = 2;
+    /// Peer block fetch (callback program): one proxy *client* asks
+    /// another for a clean cached block range it was advertised as
+    /// holding. The origin keeps sole authority over attributes and
+    /// invalidation; the peer only moves verified bytes.
+    pub const PEERREAD: u32 = 3;
 }
 
 /// Maximum invalidation handles carried in a single `GETINV` reply; more
@@ -42,6 +47,19 @@ pub mod proc_ext {
 /// handles (~6 KiB of payload) a 14 K-entry update drains in ~28 calls,
 /// matching the paper's "about 30 GETINV calls" for the MATLAB update.
 pub const MAX_INVALIDATIONS_PER_REPLY: usize = 512;
+
+/// Maximum peer client ids carried in one [`PeerAdvert`]. Enough for a
+/// useful next-best list after breaker skips without bloating every
+/// reply; the origin picks the advertised subset.
+pub const MAX_PEER_HOLDERS: usize = 8;
+
+/// The change attribute peer sourcing attests blocks against: a
+/// monotone `u64` folding of the file's NFSv3 modification time (v3
+/// has no `change` attribute; mtime is what the attribute cache keys
+/// freshness on, so it is what a peer's copy must match exactly).
+pub fn change_of(mtime: gvfs_nfs3::NfsTime3) -> u64 {
+    (u64::from(mtime.seconds) << 32) | u64::from(mtime.nseconds)
+}
 
 /// The delegation/cacheability decision piggybacked on every proxy
 /// reply (§4.3.1).
@@ -87,6 +105,13 @@ pub struct WrappedReply {
     /// so a steady-state poll costs zero extra messages. `None` when
     /// the client has no pending invalidations.
     pub inv: Option<GetinvRes>,
+    /// Piggybacked peer advertisement: which live clients hold a clean
+    /// copy of the file this reply served, so a `peer_read` client can
+    /// source the bytes over the LAN instead of the origin WAN. Rides
+    /// as a *second* trailing optional, so `peers` may only be present
+    /// when `inv` is — the server synthesizes an empty drain when it
+    /// has an advert but nothing pending.
+    pub peers: Option<PeerAdvert>,
     /// The unmodified NFSv3 result encoding.
     pub nfs_bytes: Vec<u8>,
 }
@@ -96,12 +121,23 @@ impl Xdr for WrappedReply {
     // the opaque NFS reply — so a reply with nothing to piggyback is
     // byte-identical (and therefore wire-time identical) to the
     // pre-piggyback format. The encoding stays unambiguous because
-    // `nfs_bytes` is length-prefixed.
+    // `nfs_bytes` is length-prefixed. `peers` extends the same trick
+    // one level: present iff bytes follow the drain, which is why the
+    // encoder refuses to write an advert without a drain in front of
+    // it (the decoder could not tell the two apart).
     fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
         self.grant.encode(enc)?;
         enc.put_opaque(&self.nfs_bytes)?;
         match &self.inv {
-            Some(inv) => inv.encode(enc),
+            Some(inv) => {
+                inv.encode(enc)?;
+                match &self.peers {
+                    Some(peers) => peers.encode(enc),
+                    None => Ok(()),
+                }
+            }
+            // Invariant: peers ⟹ inv. An advert with no drain is
+            // undecodable, so it is dropped rather than mis-framed.
             None => Ok(()),
         }
     }
@@ -109,7 +145,133 @@ impl Xdr for WrappedReply {
         let grant = DelegationGrant::decode(dec)?;
         let nfs_bytes = dec.get_opaque()?;
         let inv = if dec.remaining() > 0 { Some(GetinvRes::decode(dec)?) } else { None };
-        Ok(WrappedReply { grant, inv, nfs_bytes })
+        let peers = if inv.is_some() && dec.remaining() > 0 {
+            Some(PeerAdvert::decode(dec)?)
+        } else {
+            None
+        };
+        Ok(WrappedReply { grant, inv, peers, nfs_bytes })
+    }
+}
+
+/// A peer advertisement: live clients known by the origin to hold a
+/// clean copy of `fh`, plus the origin-attested attributes the reader
+/// must verify any peer-served bytes against. The origin de-advertises
+/// eagerly — under the same invalidation stripe lock that condemns the
+/// handle — so an advert never outlives the data's validity *at the
+/// origin*; the `change` check catches the remaining races end-to-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerAdvert {
+    /// The advertised file.
+    pub fh: Fh3,
+    /// Origin-attested change attribute the peer's copy must match.
+    pub change: u64,
+    /// Origin-attested file length (guards truncated peer copies).
+    pub len: u64,
+    /// Client ids holding clean copies, capped at
+    /// [`MAX_PEER_HOLDERS`].
+    pub holders: Vec<u32>,
+}
+
+impl Xdr for PeerAdvert {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.fh.encode(enc)?;
+        enc.put_u64(self.change);
+        enc.put_u64(self.len);
+        self.holders.encode(enc)
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(PeerAdvert {
+            fh: Fh3::decode(dec)?,
+            change: dec.get_u64()?,
+            len: dec.get_u64()?,
+            holders: Vec::<u32>::decode(dec)?,
+        })
+    }
+}
+
+/// `PEERREAD` arguments: the block range wanted and the origin-attested
+/// change attribute the peer's cached copy must match exactly — a peer
+/// holding any other version answers [`PeerReadRes::Miss`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerReadArgs {
+    /// The file to read.
+    pub fh: Fh3,
+    /// Byte offset of the wanted range.
+    pub offset: u64,
+    /// Byte count of the wanted range.
+    pub count: u32,
+    /// Origin-attested change attribute the copy must carry.
+    pub change: u64,
+}
+
+impl Xdr for PeerReadArgs {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        self.fh.encode(enc)?;
+        enc.put_u64(self.offset);
+        enc.put_u32(self.count);
+        enc.put_u64(self.change);
+        Ok(())
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(PeerReadArgs {
+            fh: Fh3::decode(dec)?,
+            offset: dec.get_u64()?,
+            count: dec.get_u32()?,
+            change: dec.get_u64()?,
+        })
+    }
+}
+
+/// `PEERREAD` result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerReadRes {
+    /// The peer holds a clean, change-matched copy of the range.
+    Ok {
+        /// The change attribute of the served copy (echoes the
+        /// request's on a well-behaved peer; the reader re-checks).
+        change: u64,
+        /// The peer's cached file length.
+        len: u64,
+        /// FNV-1a content hash of `data` (the store's content-address
+        /// form), verified end-to-end by the reader.
+        hash: u64,
+        /// The block bytes.
+        data: Vec<u8>,
+    },
+    /// The peer no longer holds a clean matching copy; the reader
+    /// falls back to the origin.
+    Miss,
+}
+
+impl Xdr for PeerReadRes {
+    fn encode(&self, enc: &mut Encoder) -> Result<(), XdrError> {
+        match self {
+            PeerReadRes::Ok { change, len, hash, data } => {
+                enc.put_u32(0);
+                enc.put_u64(*change);
+                enc.put_u64(*len);
+                enc.put_u64(*hash);
+                enc.put_opaque(data)?;
+                Ok(())
+            }
+            PeerReadRes::Miss => {
+                enc.put_u32(1);
+                Ok(())
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(PeerReadRes::Ok {
+                change: dec.get_u64()?,
+                len: dec.get_u64()?,
+                hash: dec.get_u64()?,
+                data: dec.get_opaque()?,
+            }),
+            1 => Ok(PeerReadRes::Miss),
+            value => Err(XdrError::InvalidDiscriminant { type_name: "PeerReadRes", value }),
+        }
     }
 }
 
@@ -279,8 +441,18 @@ mod tests {
 
     #[test]
     fn wrapped_reply_roundtrip() {
-        rt(&WrappedReply { grant: DelegationGrant::Read, inv: None, nfs_bytes: vec![0, 0, 0, 0] });
-        rt(&WrappedReply { grant: DelegationGrant::None, inv: None, nfs_bytes: vec![] });
+        rt(&WrappedReply {
+            grant: DelegationGrant::Read,
+            inv: None,
+            peers: None,
+            nfs_bytes: vec![0, 0, 0, 0],
+        });
+        rt(&WrappedReply {
+            grant: DelegationGrant::None,
+            inv: None,
+            peers: None,
+            nfs_bytes: vec![],
+        });
         rt(&WrappedReply {
             grant: DelegationGrant::None,
             inv: Some(GetinvRes {
@@ -289,8 +461,82 @@ mod tests {
                 poll_again: true,
                 handles: vec![Fh3::from_fileid(3)],
             }),
+            peers: None,
             nfs_bytes: vec![1, 2, 3, 4],
         });
+        rt(&WrappedReply {
+            grant: DelegationGrant::Read,
+            inv: Some(GetinvRes {
+                timestamp: 99,
+                force_invalidate: false,
+                poll_again: false,
+                handles: vec![],
+            }),
+            peers: Some(PeerAdvert {
+                fh: Fh3::from_fileid(7),
+                change: 3,
+                len: 65536,
+                holders: vec![0, 2, 5],
+            }),
+            nfs_bytes: vec![9, 9],
+        });
+    }
+
+    #[test]
+    fn wrapped_reply_without_peers_is_byte_identical_to_pre_peer_format() {
+        // A reply carrying no advert must encode to exactly the bytes
+        // the pre-PEERREAD format produced: grant + opaque + optional
+        // drain, nothing more. This is the wire-compat half of the
+        // trailing-optional discipline.
+        let reply = WrappedReply {
+            grant: DelegationGrant::Write,
+            inv: Some(GetinvRes {
+                timestamp: 5,
+                force_invalidate: false,
+                poll_again: false,
+                handles: vec![Fh3::from_fileid(1)],
+            }),
+            peers: None,
+            nfs_bytes: vec![1, 2, 3, 4],
+        };
+        let bytes = gvfs_xdr::to_bytes(&reply).unwrap();
+        let mut manual = gvfs_xdr::Encoder::new();
+        reply.grant.encode(&mut manual).unwrap();
+        manual.put_opaque(&reply.nfs_bytes).unwrap();
+        reply.inv.as_ref().unwrap().encode(&mut manual).unwrap();
+        assert_eq!(bytes, manual.into_bytes());
+    }
+
+    #[test]
+    fn wrapped_reply_advert_without_drain_is_dropped_not_misframed() {
+        // peers ⟹ inv: an advert without a drain in front of it would
+        // be undecodable, so the encoder drops it entirely.
+        let reply = WrappedReply {
+            grant: DelegationGrant::None,
+            inv: None,
+            peers: Some(PeerAdvert {
+                fh: Fh3::from_fileid(9),
+                change: 1,
+                len: 10,
+                holders: vec![4],
+            }),
+            nfs_bytes: vec![8, 8, 8, 8],
+        };
+        let bytes = gvfs_xdr::to_bytes(&reply).unwrap();
+        let decoded = gvfs_xdr::from_bytes::<WrappedReply>(&bytes).unwrap();
+        assert_eq!(decoded.inv, None);
+        assert_eq!(decoded.peers, None);
+        assert_eq!(decoded.nfs_bytes, reply.nfs_bytes);
+    }
+
+    #[test]
+    fn peer_types_roundtrip() {
+        rt(&PeerAdvert { fh: Fh3::from_fileid(11), change: 7, len: 1 << 20, holders: vec![1, 3] });
+        rt(&PeerAdvert { fh: Fh3::from_fileid(11), change: 0, len: 0, holders: vec![] });
+        rt(&PeerReadArgs { fh: Fh3::from_fileid(2), offset: 32768, count: 32768, change: 4 });
+        rt(&PeerReadRes::Ok { change: 4, len: 65536, hash: 0xdead_beef, data: vec![5; 128] });
+        rt(&PeerReadRes::Miss);
+        assert!(gvfs_xdr::from_bytes::<PeerReadRes>(&[0, 0, 0, 7]).is_err());
     }
 
     #[test]

@@ -22,10 +22,12 @@
 use crate::cache::DiskCache;
 use crate::model::{ConsistencyModel, DelegationConfig};
 use crate::protocol::{
-    proc_ext, CallbackArgs, CallbackKind, CallbackRes, DelegationGrant, GetinvArgs, GetinvRes,
-    RecoverRes, WrappedReply, GVFS_PROXY_PROGRAM, GVFS_VERSION,
+    change_of, proc_ext, CallbackArgs, CallbackKind, CallbackRes, DelegationGrant, GetinvArgs,
+    GetinvRes, PeerAdvert, PeerReadArgs, PeerReadRes, RecoverRes, WrappedReply,
+    GVFS_CALLBACK_PROGRAM, GVFS_PROXY_PROGRAM, GVFS_VERSION,
 };
 use crate::proxy::{block_of, BLOCK_SIZE};
+use crate::store::persist::fnv;
 #[cfg(feature = "trace")]
 use crate::trace::{ProtocolEvent, TraceBuffer, TraceKind};
 use gvfs_netsim::transport::SimRpcClient;
@@ -127,6 +129,17 @@ pub struct ProxyClientStats {
     /// Clean blocks served warm from the replayed on-disk index after
     /// the last restart (persistent store only).
     pub restart_warm_blocks: u64,
+    /// Block fetches satisfied by a peer's clean cache over the LAN
+    /// (verified against the origin-attested change/length/hash).
+    pub peer_hits: u64,
+    /// Peer fetches that came back empty or failed verification (the
+    /// block then falls back to the origin).
+    pub peer_misses: u64,
+    /// Block fetches that fell back to the origin: no live peer, peer
+    /// miss, breaker-open, timeout, or verification failure.
+    pub peer_fallbacks: u64,
+    /// Bytes this client served to other peers' `PEERREAD`s.
+    pub peer_bytes_served: u64,
 }
 
 /// One fetch (demand gap or speculative read-ahead) in flight over the
@@ -148,6 +161,10 @@ struct PendingFetch {
     /// this fetch, so overlapping readers park as waiters instead of
     /// re-sending.
     call: Option<PendingCall>,
+    /// Set when the in-flight call is a `PEERREAD` instead of an origin
+    /// READ: the claimant must verify the reply against these
+    /// origin-attested values (and knows which breaker to feed).
+    peer: Option<PeerMeta>,
     /// Actors parked until this fetch resolves.
     waiters: Vec<gvfs_netsim::ActorHandle>,
 }
@@ -161,6 +178,53 @@ struct FileReadState {
     /// Consecutive sequential reads observed.
     run: usize,
     pending: Vec<PendingFetch>,
+}
+
+/// One registered peer: a LAN-priced transport to the peer's callback
+/// node plus a dedicated health breaker. The breaker's integer-EWMA
+/// latency is the peer-selection key; an open breaker removes the peer
+/// from candidacy until its cooldown elapses.
+struct PeerTransport {
+    rpc: SimRpcClient,
+    breaker: CircuitBreaker,
+}
+
+/// Provenance of one in-flight `PEERREAD`: which peer it went to and the
+/// origin-attested values its reply must verify against. Travels with
+/// the [`PendingFetch`] so a demand read claiming a peer-sent prefetch
+/// knows how to complete (and verify) it.
+struct PeerMeta {
+    peer: Arc<PeerTransport>,
+    peer_id: u32,
+    started: Duration,
+    /// Origin-attested change attribute the block must match.
+    change: u64,
+    /// Origin-attested file length the reply must stay within.
+    total_len: u64,
+}
+
+/// One `PEERREAD` in flight to a peer (phase 1 of the fan-out), carrying
+/// everything phase 2 needs to verify the reply against the
+/// origin-attested advertisement.
+struct PeerSent {
+    token: u64,
+    speculative: bool,
+    offset: u64,
+    count: u32,
+    call: PendingCall,
+    meta: PeerMeta,
+}
+
+/// What became of one peer-sourced fetch after its reply was claimed.
+enum PeerOutcome {
+    /// Verified and applied to the cache.
+    Applied,
+    /// The reservation token vanished (invalidation/recall raced the
+    /// transfer): the caller falls back to the serial path.
+    Cancelled,
+    /// Miss, transport failure, or verification failure: the chunk
+    /// `(token, offset, count, speculative)` re-fetches from the origin.
+    Fallback(u64, u64, u32, bool),
 }
 
 /// The read engine's shared state (lock rank: after `disk`).
@@ -213,6 +277,19 @@ pub struct ProxyClient {
     /// exchange), in virtual milliseconds since the epoch; 0 = never.
     last_validated_ms: AtomicU64,
     supervisor: Mutex<Option<gvfs_netsim::ActorHandle>>,
+    /// Peer-sourced reads enabled (`SessionConfig.peer_read`): gap
+    /// fetches try an advertised live peer over the LAN before the WAN.
+    peer_read: AtomicBool,
+    /// LAN transports to registered peers, keyed by peer client id
+    /// (lock rank: terminal — nothing else is taken under it).
+    peers: Mutex<HashMap<u32, Arc<PeerTransport>>>,
+    /// Origin-attested peer advertisements, one per handle, absorbed
+    /// from `WrappedReply.peers` and dropped whenever the handle is
+    /// invalidated (lock rank: terminal).
+    peer_hints: Mutex<HashMap<Fh3, PeerAdvert>>,
+    /// Chaos selftest knob: serve `PEERREAD`s from raw store content,
+    /// skipping the attestation checks — the oracle must convict this.
+    break_peerread: AtomicBool,
     /// Protocol-event sink for spec-conformance replay, installed once
     /// by the session (shared with the proxy server so `seq` is a
     /// session-global order).
@@ -301,6 +378,10 @@ impl ProxyClient {
             needs_resync: AtomicBool::new(false),
             last_validated_ms: AtomicU64::new(0),
             supervisor: Mutex::new(None),
+            peer_read: AtomicBool::new(false),
+            peers: Mutex::new(HashMap::new()),
+            peer_hints: Mutex::new(HashMap::new()),
+            break_peerread: AtomicBool::new(false),
             #[cfg(feature = "trace")]
             trace: std::sync::OnceLock::new(),
         })
@@ -366,6 +447,49 @@ impl ProxyClient {
     /// This client's WAN health breaker (diagnostics).
     pub fn breaker(&self) -> &CircuitBreaker {
         &self.breaker
+    }
+
+    /// Enables or disables peer-sourced reads (off by default; the
+    /// session middleware turns it on for `SessionConfig.peer_read`).
+    pub fn set_peer_read(&self, on: bool) {
+        self.peer_read.store(on, Ordering::SeqCst);
+        if !on {
+            self.peer_hints.lock().clear();
+        }
+    }
+
+    /// Registers a LAN transport to peer `id` (the session middleware
+    /// wires the full mesh). Each peer gets its own health breaker.
+    pub fn add_peer(&self, id: u32, rpc: SimRpcClient) {
+        let breaker = CircuitBreaker::new(BreakerConfig::default());
+        self.peers.lock().insert(id, Arc::new(PeerTransport { rpc, breaker }));
+    }
+
+    /// Feeds one failure into peer `id`'s health breaker at the current
+    /// virtual time (tests force a breaker open with a burst of these).
+    pub fn note_peer_failure(&self, id: u32) {
+        if let Some(p) = self.peers.lock().get(&id) {
+            p.breaker.on_failure(Self::now_dur());
+        }
+    }
+
+    /// Chaos selftest knob: when set, this client answers `PEERREAD`s
+    /// from raw store content with the requester's attestation echoed
+    /// back, skipping the change/cleanliness checks — deliberately
+    /// serving condemned bytes so the chaos oracle can prove it convicts.
+    pub fn set_break_peerread(&self, on: bool) {
+        self.break_peerread.store(on, Ordering::SeqCst);
+    }
+
+    /// Drops the peer hint for one invalidated handle: the origin
+    /// condemned its advertised copies, so the hint is dead.
+    fn drop_peer_hint(&self, fh: Fh3) {
+        self.peer_hints.lock().remove(&fh);
+    }
+
+    /// Drops every peer hint (force invalidation, crash, recovery).
+    fn drop_all_peer_hints(&self) {
+        self.peer_hints.lock().clear();
     }
 
     /// Virtual time as a `Duration` since the simulation epoch (the
@@ -571,6 +695,15 @@ impl ProxyClient {
         if let Some(inv) = &wrapped.inv {
             self.apply_piggyback_inv(inv);
         }
+        if let Some(advert) = wrapped.peers {
+            // The advert is absorbed after the piggybacked drain: a
+            // drain that just invalidated this handle dropped the old
+            // hint, and the advert (served with the reply that carries
+            // the drain) postdates it.
+            if self.peer_read.load(Ordering::SeqCst) {
+                self.peer_hints.lock().insert(advert.fh, advert);
+            }
+        }
         Ok(wrapped.nfs_bytes)
     }
 
@@ -596,10 +729,12 @@ impl ProxyClient {
         if res.force_invalidate {
             disk.invalidate_all_attrs();
             self.cancel_all_prefetch();
+            self.drop_all_peer_hints();
         }
         for fh in &res.handles {
             disk.invalidate_attr(*fh);
             self.cancel_prefetch(*fh);
+            self.drop_peer_hint(*fh);
         }
         drop(disk);
         let mut stats = self.stats.lock();
@@ -668,6 +803,7 @@ impl ProxyClient {
                 disk.forget_file(a.object);
                 disk.purge_bindings_to(a.object);
                 self.cancel_prefetch(a.object);
+                self.drop_peer_hint(a.object);
             }
             _ => {}
         }
@@ -987,7 +1123,10 @@ impl ProxyClient {
         struct Claimed {
             token: u64,
             speculative: bool,
+            offset: u64,
+            count: u32,
             call: PendingCall,
+            peer: Option<PeerMeta>,
         }
         let mut claimed: Vec<Claimed> = Vec::new();
         let mut own: Vec<(u64, u64, u32)> = Vec::new();
@@ -1018,7 +1157,10 @@ impl ProxyClient {
                             claimed.push(Claimed {
                                 token: e.token,
                                 speculative: e.speculative,
+                                offset: e.offset,
+                                count: e.len as u32,
                                 call,
+                                peer: e.peer.take(),
                             });
                         } else {
                             e.waiters.push(gvfs_netsim::current_actor());
@@ -1033,6 +1175,7 @@ impl ProxyClient {
                             len: clen,
                             speculative: false,
                             call: None,
+                            peer: None,
                             waiters: Vec::new(),
                         });
                         own.push((token, pos, clen as u32));
@@ -1041,18 +1184,39 @@ impl ProxyClient {
                 }
             }
         }
-        // Phase 1: every gap READ on the wire before the first reply is
-        // claimed.
-        let mut sent: Vec<(u64, PendingCall)> = Vec::new();
+        // Phase 1: every gap fetch on the wire before the first reply is
+        // claimed. With peer sourcing on and an advertised live holder,
+        // the chunk goes to the lowest-latency peer over the LAN; the
+        // rest go to the origin as before.
+        let hint = if self.peer_read.load(Ordering::SeqCst) {
+            self.peer_hints.lock().get(&fh).cloned()
+        } else {
+            None
+        };
+        let mut sent: Vec<(u64, bool, PendingCall)> = Vec::new();
+        let mut peer_sent: Vec<PeerSent> = Vec::new();
         let mut ok = true;
         for (token, off, count) in own {
+            if let Some(h) = &hint {
+                if let Some((call, meta)) = self.peer_transmit(fh, off, count, h) {
+                    peer_sent.push(PeerSent {
+                        token,
+                        speculative: false,
+                        offset: off,
+                        count,
+                        call,
+                        meta,
+                    });
+                    continue;
+                }
+            }
             let sendres = gvfs_xdr::to_bytes(&ReadArgs { file: fh, offset: off, count })
                 .map_err(RpcError::from)
                 .and_then(|args| {
                     self.wan.send(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc3::READ, args)
                 });
             match sendres {
-                Ok(call) => sent.push((token, call)),
+                Ok(call) => sent.push((token, false, call)),
                 Err(_) => {
                     self.discard_fetch(fh, token);
                     ok = false;
@@ -1060,24 +1224,65 @@ impl ProxyClient {
             }
         }
         // Phase 2: claim replies, earliest sends (claimed prefetches)
-        // first.
+        // first. A claimed prefetch that went to a peer verifies exactly
+        // like a demand peer fetch.
+        let mut fallback: Vec<(u64, u64, u32, bool)> = Vec::new();
         for c in claimed {
-            match self.wan.wait_pending(c.call) {
-                Ok(bytes) => {
-                    if !self.apply_fetch(fh, c.token, c.speculative, &bytes) {
+            match c.peer {
+                Some(meta) => peer_sent.push(PeerSent {
+                    token: c.token,
+                    speculative: c.speculative,
+                    offset: c.offset,
+                    count: c.count,
+                    call: c.call,
+                    meta,
+                }),
+                None => match self.wan.wait_pending(c.call) {
+                    Ok(bytes) => {
+                        if !self.apply_fetch(fh, c.token, c.speculative, &bytes) {
+                            ok = false;
+                        }
+                    }
+                    Err(_) => {
+                        self.discard_fetch(fh, c.token);
                         ok = false;
                     }
+                },
+            }
+        }
+        // Peer replies verify against the origin-attested advert; every
+        // chunk a peer could not serve falls back to the origin as one
+        // more pipelined burst.
+        for ps in peer_sent {
+            match self.finish_peer_fetch(fh, ps) {
+                PeerOutcome::Applied => {}
+                PeerOutcome::Cancelled => ok = false,
+                PeerOutcome::Fallback(token, off, count, spec) => {
+                    fallback.push((token, off, count, spec));
                 }
+            }
+        }
+        for (token, off, count, spec) in fallback {
+            self.stats.lock().peer_fallbacks += 1;
+            #[cfg(feature = "trace")]
+            self.emit_trace(ProtocolEvent::PeerFallback { client: self.id, fh: fh.fileid() });
+            let sendres = gvfs_xdr::to_bytes(&ReadArgs { file: fh, offset: off, count })
+                .map_err(RpcError::from)
+                .and_then(|args| {
+                    self.wan.send(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc3::READ, args)
+                });
+            match sendres {
+                Ok(call) => sent.push((token, spec, call)),
                 Err(_) => {
-                    self.discard_fetch(fh, c.token);
+                    self.discard_fetch(fh, token);
                     ok = false;
                 }
             }
         }
-        for (token, call) in sent {
+        for (token, spec, call) in sent {
             match self.wan.wait_pending(call) {
                 Ok(bytes) => {
-                    if !self.apply_fetch(fh, token, false, &bytes) {
+                    if !self.apply_fetch(fh, token, spec, &bytes) {
                         ok = false;
                     }
                 }
@@ -1168,6 +1373,235 @@ impl ProxyClient {
         }
     }
 
+    // --- peer sourcing (PEERREAD) -------------------------------------
+
+    /// Picks the lowest-EWMA live peer advertised for `fh` and puts one
+    /// `PEERREAD` for `[off, off+count)` on its LAN link. Breaker-open
+    /// peers are skipped for the next-best; a send failure feeds that
+    /// peer's breaker and tries the next. `None` means no live peer
+    /// could take the send — the caller uses the origin.
+    fn peer_transmit(
+        &self,
+        fh: Fh3,
+        off: u64,
+        count: u32,
+        hint: &PeerAdvert,
+    ) -> Option<(PendingCall, PeerMeta)> {
+        let now = Self::now_dur();
+        let mut candidates: Vec<(Duration, u32, Arc<PeerTransport>)> = Vec::new();
+        {
+            let peers = self.peers.lock();
+            for &holder in &hint.holders {
+                if holder == self.id {
+                    continue;
+                }
+                let Some(p) = peers.get(&holder) else { continue };
+                if matches!(p.breaker.state(now), BreakerState::Open) {
+                    continue;
+                }
+                candidates.push((p.breaker.ewma_latency(), holder, Arc::clone(p)));
+            }
+        }
+        // Proven peers (a successful transfer behind them) first by
+        // EWMA latency; untried peers — whose zero EWMA says nothing —
+        // are probes of last resort. The peer id breaks ties so the
+        // selection is deterministic.
+        candidates.sort_by_key(|(ewma, id, _)| (ewma.is_zero(), *ewma, *id));
+        let args =
+            gvfs_xdr::to_bytes(&PeerReadArgs { fh, offset: off, count, change: hint.change })
+                .ok()?;
+        for (_, id, peer) in candidates {
+            let started = Self::now_dur();
+            match peer.rpc.send(
+                GVFS_CALLBACK_PROGRAM,
+                GVFS_VERSION,
+                proc_ext::PEERREAD,
+                args.clone(),
+            ) {
+                Ok(call) => {
+                    let meta = PeerMeta {
+                        peer,
+                        peer_id: id,
+                        started,
+                        change: hint.change,
+                        total_len: hint.len,
+                    };
+                    return Some((call, meta));
+                }
+                Err(_) => peer.breaker.on_failure(Self::now_dur()),
+            }
+        }
+        // The advert named live holders but none could carry the fetch
+        // (breaker open, unregistered, or the send itself failed — e.g.
+        // a partitioned LAN link errors at transmit time). The caller
+        // goes to the origin, and that is a peer fallback just as much
+        // as a post-flight timeout.
+        if hint.holders.iter().any(|&h| h != self.id) {
+            self.stats.lock().peer_fallbacks += 1;
+            #[cfg(feature = "trace")]
+            self.emit_trace(ProtocolEvent::PeerFallback { client: self.id, fh: fh.fileid() });
+        }
+        None
+    }
+
+    /// Claims one peer reply and verifies it end to end against the
+    /// origin-attested advert: the echoed change attribute must match,
+    /// the data must be exactly the requested length and stay within the
+    /// attested file size, and the FNV content hash must check out. A
+    /// verified block applies under the same reservation-token
+    /// discipline as an origin fetch, so an invalidation that raced the
+    /// transfer drops it on the floor.
+    fn finish_peer_fetch(&self, fh: Fh3, ps: PeerSent) -> PeerOutcome {
+        let m = &ps.meta;
+        let res = m.peer.rpc.wait_pending(ps.call);
+        let now = Self::now_dur();
+        let verified: Option<Vec<u8>> = match res {
+            Ok(bytes) => match gvfs_xdr::from_bytes::<PeerReadRes>(&bytes) {
+                Ok(PeerReadRes::Ok { change, len: _, hash, data })
+                    if change == m.change
+                        && data.len() == ps.count as usize
+                        && ps.offset + data.len() as u64 <= m.total_len
+                        && fnv(&data) == hash =>
+                {
+                    m.peer.breaker.on_success(now, now.saturating_sub(m.started));
+                    Some(data)
+                }
+                Ok(PeerReadRes::Miss) => {
+                    // An honest miss is a healthy RPC (no breaker
+                    // failure) but not a transfer: recording it as a
+                    // success would hand a consistently-missing peer an
+                    // attractive EWMA, so the breaker only samples
+                    // verified transfers.
+                    None
+                }
+                Ok(PeerReadRes::Ok { .. }) | Err(_) => {
+                    // Garbled or attestation-mismatched reply: the peer
+                    // is stale or misbehaving; its breaker absorbs it.
+                    m.peer.breaker.on_failure(now);
+                    None
+                }
+            },
+            Err(_) => {
+                m.peer.breaker.on_failure(now);
+                None
+            }
+        };
+        #[cfg(feature = "trace")]
+        self.emit_trace(ProtocolEvent::PeerFetch {
+            client: self.id,
+            peer: m.peer_id,
+            fh: fh.fileid(),
+            ok: verified.is_some(),
+        });
+        #[cfg(not(feature = "trace"))]
+        let _ = m.peer_id;
+        match verified {
+            Some(data) => {
+                if self.apply_peer_fetch(fh, ps.token, ps.speculative, data) {
+                    self.stats.lock().peer_hits += 1;
+                    PeerOutcome::Applied
+                } else {
+                    PeerOutcome::Cancelled
+                }
+            }
+            None => {
+                self.stats.lock().peer_misses += 1;
+                PeerOutcome::Fallback(ps.token, ps.offset, ps.count, ps.speculative)
+            }
+        }
+    }
+
+    /// Applies one verified peer-served block under the reservation
+    /// token: if an invalidation or recall removed the token while the
+    /// transfer was in flight, the bytes predate the invalidation and
+    /// are discarded (same discipline as [`ProxyClient::apply_fetch`]).
+    /// Peers never carry attributes — the reader's own origin-attested
+    /// attributes stay authoritative.
+    fn apply_peer_fetch(&self, fh: Fh3, token: u64, speculative: bool, data: Vec<u8>) -> bool {
+        let mut disk = self.disk.lock();
+        let mut ra = self.readahead.lock();
+        let Some(entry) = ra.files.get_mut(&fh).and_then(|fs| {
+            fs.pending.iter().position(|e| e.token == token).map(|i| fs.pending.remove(i))
+        }) else {
+            drop(ra);
+            drop(disk);
+            if speculative {
+                self.stats.lock().prefetch_wasted += 1;
+            }
+            return false;
+        };
+        disk.insert_clean(fh, entry.offset, data);
+        drop(ra);
+        drop(disk);
+        if speculative {
+            self.stats.lock().prefetch_hits += 1;
+        }
+        for w in entry.waiters {
+            w.unpark();
+        }
+        true
+    }
+
+    /// Serves one `PEERREAD` from this client's clean cache. The block
+    /// is served only while every origin attestation holds: cached
+    /// attributes present (an invalidation or recall drops them, so a
+    /// condemned block is never served), the change attribute matching
+    /// the requester's origin-attested value, no local dirty bytes, and
+    /// the range fully cached. Anything else is an honest `Miss` — the
+    /// requester falls back to the origin.
+    fn handle_peerread(&self, args: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let a: PeerReadArgs = decode(args)?;
+        let res = if self.break_peerread.load(Ordering::SeqCst) {
+            // Chaos selftest knob: serve raw store content with the
+            // requester's attestation echoed back. After an invalidation
+            // the attributes are gone but the condemned bytes linger in
+            // the store until revalidation — exactly the stale serve the
+            // oracle must convict.
+            let data = self.disk.lock().read(a.fh, a.offset, a.count as usize);
+            match data {
+                Some(data) => PeerReadRes::Ok {
+                    change: a.change,
+                    len: a.offset + data.len() as u64,
+                    hash: fnv(&data),
+                    data,
+                },
+                None => PeerReadRes::Miss,
+            }
+        } else {
+            let mut disk = self.disk.lock();
+            let attested = disk.attr(a.fh).filter(|attr| change_of(attr.mtime) == a.change);
+            let served = attested.and_then(|attr| {
+                if disk.has_dirty(a.fh) {
+                    return None;
+                }
+                let end = (a.offset + u64::from(a.count)).min(attr.size);
+                let len = end.saturating_sub(a.offset) as usize;
+                if len != a.count as usize {
+                    // The requester clamps against the same attested
+                    // size; a disagreement means a different version.
+                    return None;
+                }
+                disk.read(a.fh, a.offset, len).map(|data| (attr.size, data))
+            });
+            match served {
+                Some((size, data)) => {
+                    PeerReadRes::Ok { change: a.change, len: size, hash: fnv(&data), data }
+                }
+                None => PeerReadRes::Miss,
+            }
+        };
+        if let PeerReadRes::Ok { data, .. } = &res {
+            self.stats.lock().peer_bytes_served += data.len() as u64;
+            #[cfg(feature = "trace")]
+            self.emit_trace(ProtocolEvent::PeerServe {
+                client: self.id,
+                fh: a.fh.fileid(),
+                bytes: data.len() as u32,
+            });
+        }
+        encode(&res)
+    }
+
     /// Feeds the sequential-access detector with one served read and,
     /// when a run of `trigger` sequential reads is up, speculatively
     /// pipelines the next `window` uncached block-aligned READs onto the
@@ -1213,20 +1647,34 @@ impl ProxyClient {
                     len: blen,
                     speculative: true,
                     call: None,
+                    peer: None,
                     waiters: Vec::new(),
                 });
                 plan.push((token, b, blen as u32));
             }
         }
+        // Read-ahead pipelines over peers too: with an advertised live
+        // holder, speculative blocks go out as LAN `PEERREAD`s; the
+        // claimant verifies them like any peer fetch.
+        let hint = if self.peer_read.load(Ordering::SeqCst) {
+            self.peer_hints.lock().get(&fh).cloned()
+        } else {
+            None
+        };
         let mut issued = 0u64;
         for (token, b, blen) in plan {
-            let sendres = gvfs_xdr::to_bytes(&ReadArgs { file: fh, offset: b, count: blen })
-                .map_err(RpcError::from)
-                .and_then(|args| {
-                    self.wan.send(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc3::READ, args)
-                });
+            let peer_tx = hint.as_ref().and_then(|h| self.peer_transmit(fh, b, blen, h));
+            let sendres = match peer_tx {
+                Some((call, meta)) => Ok((call, Some(meta))),
+                None => gvfs_xdr::to_bytes(&ReadArgs { file: fh, offset: b, count: blen })
+                    .map_err(RpcError::from)
+                    .and_then(|args| {
+                        self.wan.send(GVFS_PROXY_PROGRAM, GVFS_VERSION, proc3::READ, args)
+                    })
+                    .map(|call| (call, None)),
+            };
             match sendres {
-                Ok(call) => {
+                Ok((call, meta)) => {
                     let mut stored = false;
                     {
                         let mut ra = self.readahead.lock();
@@ -1236,6 +1684,7 @@ impl ProxyClient {
                             .and_then(|fs| fs.pending.iter_mut().find(|e| e.token == token))
                         {
                             e.call = Some(call);
+                            e.peer = meta;
                             stored = true;
                         }
                     }
@@ -1409,6 +1858,7 @@ impl ProxyClient {
                 if let Some(Some(gone)) = disk.lookup(a.dir, &a.name) {
                     disk.forget_file(gone);
                     self.cancel_prefetch(gone);
+                    self.drop_peer_hint(gone);
                     {
                         let mut st = self.state.lock();
                         st.wb_base.remove(&gone);
@@ -1562,10 +2012,12 @@ impl ProxyClient {
             if res.force_invalidate {
                 disk.invalidate_all_attrs();
                 self.cancel_all_prefetch();
+                self.drop_all_peer_hints();
             }
             for fh in &res.handles {
                 disk.invalidate_attr(*fh);
                 self.cancel_prefetch(*fh);
+                self.drop_peer_hint(*fh);
                 applied += 1;
             }
             drop(disk);
@@ -1882,6 +2334,7 @@ impl ProxyClient {
                     let mut disk = self.disk.lock();
                     disk.invalidate_attr(a.fh);
                     self.cancel_prefetch(a.fh);
+                    self.drop_peer_hint(a.fh);
                 }
                 encode(&CallbackRes::default())
             }
@@ -1891,6 +2344,7 @@ impl ProxyClient {
                     let mut disk = self.disk.lock();
                     disk.invalidate_attr(a.fh);
                     self.cancel_prefetch(a.fh);
+                    self.drop_peer_hint(a.fh);
                 }
                 let blocks = self.disk.lock().dirty_blocks(a.fh, BLOCK_SIZE);
                 if blocks.is_empty() {
@@ -1938,6 +2392,7 @@ impl ProxyClient {
         let mut disk = self.disk.lock();
         disk.invalidate_all_attrs();
         self.cancel_all_prefetch();
+        self.drop_all_peer_hints();
         let dirty_files = disk.dirty_files();
         drop(disk);
         self.state.lock().delegations.clear();
@@ -1989,6 +2444,7 @@ impl ProxyClient {
             let mut disk = self.disk.lock();
             disk.invalidate_all_attrs();
             self.cancel_all_prefetch();
+            self.drop_all_peer_hints();
         }
         self.reconcile_dirty(true)
     }
@@ -2107,6 +2563,7 @@ impl RpcService for CallbackService {
         let result = match procedure {
             proc_ext::CALLBACK => self.0.handle_callback(args),
             proc_ext::RECOVER => self.0.handle_recover(),
+            proc_ext::PEERREAD => self.0.handle_peerread(args),
             p => Err(RpcError::ProcedureUnavailable {
                 program: crate::protocol::GVFS_CALLBACK_PROGRAM,
                 procedure: p,

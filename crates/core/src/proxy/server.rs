@@ -39,8 +39,9 @@ use crate::delegation::{DelegationKind, DelegationTable, RecallAction};
 use crate::invalidation::{ConcurrentInvalidationTracker, InvalScaleCounters};
 use crate::model::ConsistencyModel;
 use crate::protocol::{
-    proc_ext, CallbackArgs, CallbackKind, CallbackRes, DelegationGrant, GetinvArgs, GetinvRes,
-    RecoverRes, WrappedReply, GVFS_CALLBACK_PROGRAM, GVFS_PROXY_PROGRAM, GVFS_VERSION,
+    change_of, proc_ext, CallbackArgs, CallbackKind, CallbackRes, DelegationGrant, GetinvArgs,
+    GetinvRes, PeerAdvert, RecoverRes, WrappedReply, GVFS_CALLBACK_PROGRAM, GVFS_PROXY_PROGRAM,
+    GVFS_VERSION, MAX_PEER_HOLDERS,
 };
 use crate::proxy::{block_of, classify, OpClass};
 #[cfg(feature = "trace")]
@@ -286,6 +287,11 @@ pub struct ProxyServer {
     /// the scale bench enables it; the figure harnesses keep the
     /// paper's pure-polling message pattern.
     piggyback_inval: AtomicBool,
+    /// When set, successful READ replies advertise which live clients
+    /// hold clean copies of the file ([`WrappedReply::peers`]) and the
+    /// tracker's peer map is maintained. Off by default — the wire
+    /// stays byte-identical to the star topology.
+    peer_read: AtomicBool,
     /// Protocol-event sink for spec-conformance replay, installed once
     /// by the session. Grant/recall/revocation events are recorded
     /// under the owning shard's lock so the per-file subsequence is
@@ -330,6 +336,7 @@ impl ProxyServer {
             idle_epochs: AtomicU64::new(8),
             health_evicted: AtomicU64::new(0),
             piggyback_inval: AtomicBool::new(false),
+            peer_read: AtomicBool::new(false),
             #[cfg(feature = "trace")]
             trace: std::sync::OnceLock::new(),
         })
@@ -601,6 +608,25 @@ impl ProxyServer {
     /// NFS replies (see [`WrappedReply::inv`]).
     pub fn set_piggyback_inval(&self, enabled: bool) {
         self.piggyback_inval.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Enables or disables peer sourcing: READ replies advertise live
+    /// holders and the peer map tracks/condemns clean copies.
+    pub fn set_peer_read(&self, enabled: bool) {
+        self.peer_read.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Chaos self-test knob (`--break-peerread`): suppresses peer-map
+    /// de-advertising on modification and recall, so a stale advert
+    /// survives for the oracle to convict. Never set on a correct run.
+    pub fn set_peer_deadvertise_suppressed(&self, suppressed: bool) {
+        self.inval.set_deadvertise_suppressed(suppressed);
+    }
+
+    /// Clients currently advertised as holding a clean copy of `fh`
+    /// (diagnostics and integration tests).
+    pub fn peer_holders(&self, fh: Fh3) -> Vec<u32> {
+        self.inval.collect_holders(fh, u32::MAX, usize::MAX)
     }
 
     /// Number of files currently tracked across all delegation shards.
@@ -910,6 +936,12 @@ impl ProxyServer {
                 // window, or the round's completion would silently revoke
                 // it server-side.
                 self.deleg_shard(*fh).deleg.lock().begin_recall(*fh);
+                // Condemn peer copies before the recalls go out: once
+                // the conflicting writer proceeds, no reader may be
+                // handed an advert for the pre-recall version.
+                if self.peer_read.load(Ordering::SeqCst) {
+                    self.inval.condemn(*fh);
+                }
                 self.perform_recalls(recalls);
                 self.deleg_shard(*fh).deleg.lock().end_recall(*fh);
                 // Re-admit after the recalls completed: the pending
@@ -996,7 +1028,42 @@ impl ProxyServer {
             None
         };
 
-        Ok(gvfs_xdr::to_bytes(&WrappedReply { grant, inv, nfs_bytes })?)
+        // Peer sourcing: a successful READ proves this client now
+        // holds a clean copy — record it, and advertise the other live
+        // holders so the client's next cold block can be sourced over
+        // the LAN instead of this WAN link.
+        let peers = if self.peer_read.load(Ordering::SeqCst) {
+            self.peer_advert(&class, client, &nfs_bytes)
+        } else {
+            None
+        };
+        // The advert rides as the second trailing optional, so it
+        // needs a drain in front of it; synthesize an empty one
+        // anchored at the client's sync point when nothing is pending.
+        let inv = match (&peers, inv) {
+            (Some(_), None) => Some(self.inval.empty_drain(client)),
+            (_, inv) => inv,
+        };
+
+        Ok(gvfs_xdr::to_bytes(&WrappedReply { grant, inv, peers, nfs_bytes })?)
+    }
+
+    /// Builds the peer advert for a successful READ reply: collects the
+    /// live holders of the file (excluding the requester), attests the
+    /// reply's own post-op attributes, and records the requester as a
+    /// new holder. Returns `None` for non-READ operations, failed
+    /// reads, or when no other client holds a clean copy.
+    fn peer_advert(&self, class: &OpClass, client: u32, nfs_bytes: &[u8]) -> Option<PeerAdvert> {
+        let OpClass::Read { fh, .. } = class else { return None };
+        let res = gvfs_xdr::from_bytes::<gvfs_nfs3::ReadRes>(nfs_bytes).ok()?;
+        let gvfs_nfs3::ReadRes::Ok { file_attributes, .. } = res else { return None };
+        let attrs = file_attributes?;
+        let holders = self.inval.collect_holders(*fh, client, MAX_PEER_HOLDERS);
+        self.inval.advertise(client, *fh);
+        if holders.is_empty() {
+            return None;
+        }
+        Some(PeerAdvert { fh: *fh, change: change_of(attrs.mtime), len: attrs.size, holders })
     }
 
     fn handle_getinv(&self, args: &[u8], client: u32) -> Result<Vec<u8>, RpcError> {

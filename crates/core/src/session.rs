@@ -120,6 +120,15 @@ pub struct SessionConfig {
     /// disk (seek time and throughput, charged to virtual time).
     /// Ignored by the in-memory store.
     pub disk: gvfs_netsim::disk::DiskConfig,
+    /// Enable peer-to-peer block sourcing (`PEERREAD`): the origin
+    /// advertises live holders of clean blocks, and gap fetches try the
+    /// lowest-latency advertised peer over a LAN link before paying the
+    /// WAN round trip to the origin. Off, the wire traffic is
+    /// byte-identical to a star-only session.
+    pub peer_read: bool,
+    /// Link configuration of every client↔client peer link (only built
+    /// when [`SessionConfig::peer_read`] is on).
+    pub peer_lan: LinkConfig,
 }
 
 impl Default for SessionConfig {
@@ -142,6 +151,8 @@ impl Default for SessionConfig {
             persistent_store: false,
             store_file_threshold: 64 * 1024,
             disk: gvfs_netsim::disk::DiskConfig::ssd(),
+            peer_read: false,
+            peer_lan: LinkConfig::lan(),
         }
     }
 }
@@ -360,6 +371,43 @@ impl SessionBuilder {
             clients.push(ClientEnd { proxy, node: pc_node, loopback, wan_link, cb_node, disk });
         }
 
+        // Peer mesh: one LAN link per client pair, used forward in one
+        // direction and reverse in the other, each end registered as a
+        // peer transport targeting the other end's callback node (where
+        // the PEERREAD service lives). The origin starts advertising
+        // holders only once its own knob is on.
+        let peer_stats = RpcStats::new();
+        let mut peer_links = std::collections::HashMap::new();
+        if config.peer_read {
+            proxy_server.set_peer_read(true);
+            for end in &clients {
+                end.proxy.set_peer_read(true);
+            }
+            for i in 0..clients.len() {
+                for j in i + 1..clients.len() {
+                    let (id_i, id_j) = (i as u32 + 1, j as u32 + 1);
+                    let link = Link::new(config.peer_lan);
+                    clients[i].proxy.add_peer(
+                        id_j,
+                        SimRpcClient::new(
+                            link.forward(),
+                            Arc::clone(&clients[j].cb_node),
+                            peer_stats.clone(),
+                        ),
+                    );
+                    clients[j].proxy.add_peer(
+                        id_i,
+                        SimRpcClient::new(
+                            link.reverse(),
+                            Arc::clone(&clients[i].cb_node),
+                            peer_stats.clone(),
+                        ),
+                    );
+                    peer_links.insert((id_i, id_j), link);
+                }
+            }
+        }
+
         if let (ConsistencyModel::DelegationCallback(_), Some(interval)) =
             (config.model, config.sweep_interval)
         {
@@ -383,6 +431,8 @@ impl SessionBuilder {
             clients,
             wan_stats,
             lan_stats,
+            peer_stats,
+            peer_links,
             root,
             stop,
         }
@@ -408,6 +458,8 @@ pub struct Session {
     clients: Vec<ClientEnd>,
     wan_stats: RpcStats,
     lan_stats: RpcStats,
+    peer_stats: RpcStats,
+    peer_links: std::collections::HashMap<(u32, u32), Arc<Link>>,
     root: Fh3,
     stop: Arc<AtomicBool>,
 }
@@ -467,6 +519,25 @@ impl Session {
     /// Loopback traffic counters (proxy server ↔ NFS server).
     pub fn lan_stats(&self) -> &RpcStats {
         &self.lan_stats
+    }
+
+    /// Peer-mesh traffic counters (`PEERREAD`s between clients); all
+    /// zero unless [`SessionConfig::peer_read`] is on.
+    pub fn peer_stats(&self) -> &RpcStats {
+        &self.peer_stats
+    }
+
+    /// The LAN link between clients `i` and `j` (partition injection
+    /// for the peer-partition chaos scenario); `None` when the session
+    /// runs without a peer mesh or `i == j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn peer_link(&self, i: usize, j: usize) -> Option<&Arc<Link>> {
+        assert!(i < self.clients.len() && j < self.clients.len());
+        let (a, b) = ((i.min(j)) as u32 + 1, (i.max(j)) as u32 + 1);
+        self.peer_links.get(&(a, b))
     }
 
     /// The proxy server (failure injection, diagnostics).

@@ -101,8 +101,11 @@ impl Default for PersistConfig {
 type ChunkId = (u64, u32);
 
 /// 64-bit FNV-1a; the content hash, record checksum and handle shard
-/// function (stable across processes, unlike `DefaultHasher`).
-fn fnv(bytes: &[u8]) -> u64 {
+/// function (stable across processes, unlike `DefaultHasher`). Also the
+/// end-to-end integrity hash on `PEERREAD` transfers, so a peer-served
+/// block is checked with the same machinery that checks the on-disk
+/// chunks it came from.
+pub fn fnv(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

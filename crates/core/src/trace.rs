@@ -114,6 +114,15 @@ pub enum ProtocolEvent {
     /// delegations dropped, `discarded` dirty files thrown away as
     /// unreconcilable.
     Repromote { client: u32, discarded: u32 },
+    /// `client` answered a `PEERREAD` from its clean cache (`bytes`
+    /// served to the requesting peer).
+    PeerServe { client: u32, fh: u64, bytes: u32 },
+    /// `client` completed a peer-sourced block fetch from `peer`; `ok`
+    /// is false when the peer missed or the block failed verification.
+    PeerFetch { client: u32, peer: u32, fh: u64, ok: bool },
+    /// `client` fell back to the origin for a block no live peer could
+    /// serve (miss, breaker-open, timeout, or verification failure).
+    PeerFallback { client: u32, fh: u64 },
 }
 
 impl ProtocolEvent {
@@ -136,6 +145,9 @@ impl ProtocolEvent {
             ProtocolEvent::Degrade { .. } => "degrade",
             ProtocolEvent::DegradedServe { .. } => "degraded_serve",
             ProtocolEvent::Repromote { .. } => "repromote",
+            ProtocolEvent::PeerServe { .. } => "peer_serve",
+            ProtocolEvent::PeerFetch { .. } => "peer_fetch",
+            ProtocolEvent::PeerFallback { .. } => "peer_fallback",
         }
     }
 }
@@ -196,6 +208,18 @@ impl TraceRecord {
             }
             ProtocolEvent::Repromote { client, discarded } => {
                 s.push_str(&format!(r#","client":{client},"discarded":{discarded}"#));
+            }
+            ProtocolEvent::PeerServe { client, fh, bytes } => {
+                s.push_str(&format!(r#","client":{client},"fh":{fh},"bytes":{bytes}"#));
+            }
+            ProtocolEvent::PeerFetch { client, peer, fh, ok } => {
+                s.push_str(&format!(
+                    r#","client":{client},"peer":{peer},"fh":{fh},"ok":{}"#,
+                    u32::from(*ok)
+                ));
+            }
+            ProtocolEvent::PeerFallback { client, fh } => {
+                s.push_str(&format!(r#","client":{client},"fh":{fh}"#));
             }
         }
         s.push('}');

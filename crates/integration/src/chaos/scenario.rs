@@ -642,3 +642,329 @@ pub fn run_crash_restart(seed: u64) -> CrashRestartReport {
         protocol_trace: protocol_trace.to_jsonl(),
     }
 }
+
+/// Block size of the peer-partition scenario's shared file (the proxy
+/// cache's block granularity, so each block is one fetch).
+const PEER_BLOCK: u64 = 32 * 1024;
+/// The scenario file spans two blocks: block 0 is always fetched from
+/// the origin (it carries the attestation and the peer advert), block 1
+/// is the one the mesh sources from a peer.
+const PEER_BLOCKS: u64 = 2;
+/// Fill byte of the seeded version.
+const PEER_V1: u8 = 0x11;
+/// Fill byte the writer lands mid-scenario.
+const PEER_V2: u8 = 0x22;
+
+/// The outcome of one peer-partition run.
+#[derive(Debug)]
+pub struct PeerPartitionReport {
+    /// The scenario seed (jitters the op schedule, not the structure).
+    pub seed: u64,
+    /// Client 0's (the fan-in reader's) proxy statistics at shutdown —
+    /// carries the `peer_hits` / `peer_fallbacks` counters the harness
+    /// asserts on.
+    pub reader_stats: gvfs_core::proxy::client::ProxyClientStats,
+    /// Whether the serving peer ran with the `--break-peerread` knob
+    /// (serving condemned store bytes under an echoed attestation).
+    pub broken_peer: bool,
+    /// The full recorded history (reads observe one block each; the
+    /// `file` field is the block index).
+    pub history: Vec<Event>,
+    /// Deterministic fingerprint of the history.
+    pub trace_hash: u64,
+    /// Oracle rejections; empty = clean.
+    pub violations: Vec<Violation>,
+    /// The protocol-event trace (JSONL), for conformance replay.
+    pub protocol_trace: String,
+}
+
+/// Decodes one block of the peer-partition file: a single repeated fill
+/// byte is a version observation, anything else is torn.
+fn decode_peer_block(buf: &[u8]) -> Observation {
+    if buf.len() != PEER_BLOCK as usize {
+        return Observation::Torn;
+    }
+    let first = buf[0];
+    if buf.iter().any(|&b| b != first) {
+        return Observation::Torn;
+    }
+    Observation::Tag(u64::from(first))
+}
+
+/// Runs the peer-partition scenario for `seed`. With
+/// `broken_peer = false` this is the 32-seed matrix scenario; with
+/// `broken_peer = true` it is the `--break-peerread` self-test arm the
+/// oracle must convict.
+///
+/// Phase map (virtual seconds; every op carries ≤200 ms seeded jitter):
+///
+/// - **0–4 warm-up**: the serving peer (client 1) cold-reads both
+///   blocks of `/peer-0` from the origin; the origin now advertises it
+///   as a live holder.
+/// - **5–8 mid-PEERREAD partition**: the reader (client 0) fetches
+///   block 0 from the origin (attestation + advert), the peer LAN link
+///   between reader and serving peer is cut, and the reader's block-1
+///   `PEERREAD` times out into the breaker. The read must still
+///   complete — via origin fallback — and observe the seeded version,
+///   never a stale or torn block.
+/// - **12 heal**, then **20–24 condemnation**: client 2 overwrites the
+///   file. The recall invalidates both caches and — unless suppressed
+///   by the break knob — de-advertises every peer copy under the same
+///   stripe lock. In the honest run the serving peer re-reads the new
+///   version and is re-advertised.
+/// - **26+ verify**: the reader cold-reads both blocks again. Block 1
+///   arrives over the mesh; it must carry the writer's version. The
+///   broken peer instead serves its condemned bytes under the echoed
+///   attestation, which the oracle convicts as a stale read.
+pub fn run_peer_partition(seed: u64, broken_peer: bool) -> PeerPartitionReport {
+    let sim = Sim::new();
+    let mut config = ModelKind::Delegation.session_config();
+    config.peer_read = true;
+    // No read-ahead: block 1 must be a *demand* PEERREAD so the
+    // partition window provably interrupts an in-flight peer fetch
+    // (read-ahead would warm it over the mesh before the cut).
+    config.readahead_window = 0;
+    let session = Session::builder(config).clients(3).establish(&sim);
+    let protocol_trace = session.install_trace();
+
+    // Pre-populate out of band: two blocks of the seeded version.
+    let vfs = Arc::clone(session.vfs());
+    let t0 = gvfs_vfs::Timestamp::from_nanos(0);
+    let id = vfs.create(vfs.root(), "peer-0", 0o644, t0).expect("create scenario file");
+    vfs.write(id, 0, &vec![PEER_V1; (PEER_BLOCKS * PEER_BLOCK) as usize], t0)
+        .expect("initialize scenario file");
+
+    if broken_peer {
+        // The self-test knob: the origin stops de-advertising condemned
+        // copies and the serving peer serves raw store bytes under the
+        // requester's echoed attestation.
+        session.proxy_server().set_peer_deadvertise_suppressed(true);
+        session.proxy_client(1).set_break_peerread(true);
+    }
+
+    let history = Arc::new(History::new());
+    let done = Arc::new(AtomicUsize::new(0));
+    let session = Arc::new(session);
+
+    let read_block = |client: &NfsClient,
+                      history: &History,
+                      id: usize,
+                      fh: gvfs_nfs3::Fh3,
+                      block: u64,
+                      when: SimTime| {
+        sleep_until(when);
+        let started = gvfs_netsim::now();
+        if let Ok(buf) = client.read(fh, block * PEER_BLOCK, PEER_BLOCK as u32) {
+            let finished = gvfs_netsim::now();
+            history.push(Event::Read {
+                client: id,
+                file: block as usize,
+                observed: decode_peer_block(&buf),
+                started,
+                finished,
+            });
+        }
+    };
+
+    // Client 1: the serving peer. Cold-reads both blocks in warm-up; in
+    // the honest run it re-reads the writer's version afterwards so the
+    // origin re-advertises it for the verify phase.
+    {
+        let transport = session.client_transport(1);
+        let root = session.root_fh();
+        let history = Arc::clone(&history);
+        let done = Arc::clone(&done);
+        sim.spawn("peer-holder", move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7).wrapping_add(1));
+            sleep_until(at(&mut rng, 1));
+            let client = NfsClient::new(transport, root, MountOptions::noac());
+            let fh = client.resolve("/peer-0").expect("resolve /peer-0");
+            for block in 0..PEER_BLOCKS {
+                read_block(&client, &history, 1, fh, block, at(&mut rng, 2 + block));
+            }
+            if !broken_peer {
+                for block in 0..PEER_BLOCKS {
+                    read_block(&client, &history, 1, fh, block, at(&mut rng, 23 + block));
+                }
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // Client 0: the fan-in reader whose block-1 PEERREAD the partition
+    // interrupts, and whose verify-phase reads the oracle judges.
+    {
+        let transport = session.client_transport(0);
+        let root = session.root_fh();
+        let history = Arc::clone(&history);
+        let done = Arc::clone(&done);
+        sim.spawn("peer-reader", move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7).wrapping_add(2));
+            sleep_until(at(&mut rng, 5));
+            let client = NfsClient::new(transport, root, MountOptions::noac());
+            let fh = client.resolve("/peer-0").expect("resolve /peer-0");
+            // Attestation + advert from the origin.
+            read_block(&client, &history, 0, fh, 0, at(&mut rng, 5));
+            // Mid-PEERREAD partition: the serving peer is unreachable;
+            // this read must complete via origin fallback.
+            read_block(&client, &history, 0, fh, 1, at(&mut rng, 8));
+            // Verify phase, after the writer's version and the recall.
+            read_block(&client, &history, 0, fh, 0, at(&mut rng, 26));
+            read_block(&client, &history, 0, fh, 1, at(&mut rng, 27));
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // Client 2: the writer whose modification condemns every advertised
+    // peer copy before it proceeds.
+    {
+        let transport = session.client_transport(2);
+        let root = session.root_fh();
+        let history = Arc::clone(&history);
+        let done = Arc::clone(&done);
+        sim.spawn("peer-writer", move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7).wrapping_add(3));
+            sleep_until(at(&mut rng, 20));
+            let client = NfsClient::new(transport, root, MountOptions::noac());
+            let fh = client.resolve("/peer-0").expect("resolve /peer-0");
+            let started = gvfs_netsim::now();
+            let outcome = client.write(fh, 0, &vec![PEER_V2; (PEER_BLOCKS * PEER_BLOCK) as usize]);
+            let finished = gvfs_netsim::now();
+            history.push(match outcome {
+                Ok(()) => Event::WriteAcked {
+                    client: 2,
+                    file: 0,
+                    tag: u64::from(PEER_V2),
+                    started,
+                    finished,
+                },
+                Err(_) => Event::WriteFailed {
+                    client: 2,
+                    file: 0,
+                    tag: u64::from(PEER_V2),
+                    started,
+                    finished,
+                },
+            });
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // The partitioner: cuts the reader↔peer LAN link just before the
+    // reader's block-1 PEERREAD, heals it at 12 s.
+    {
+        let session = Arc::clone(&session);
+        sim.spawn("peer-partitioner", move || {
+            sleep_until(SimTime::from_millis(7_500));
+            let link = session.peer_link(0, 1).expect("peer mesh is on").clone();
+            link.set_partitioned(true);
+            sleep_until(SimTime::from_millis(12_000));
+            link.set_partitioned(false);
+        });
+    }
+
+    // Closer: waits for all three scripted actors, then shuts down.
+    {
+        let session = Arc::clone(&session);
+        let done = Arc::clone(&done);
+        let handle = session.handle();
+        sim.spawn("peer-closer", move || {
+            loop {
+                gvfs_netsim::park_timeout(Duration::from_secs(1));
+                if done.load(Ordering::SeqCst) >= 3 {
+                    break;
+                }
+            }
+            handle.shutdown();
+        });
+    }
+
+    sim.run();
+
+    let reader_stats = session.proxy_client(0).stats();
+    let history = history.events();
+    let mut violations = Vec::new();
+
+    // No torn block, ever — not mid-partition, not from the mesh.
+    for ev in &history {
+        if let Event::Read { client, file, observed: Observation::Torn, started, .. } = ev {
+            violations.push(Violation {
+                kind: oracle::ViolationKind::TornRead,
+                detail: format!("client {client} observed a torn block {file} at {started:?}"),
+            });
+        }
+    }
+    // The writer's acknowledgement window splits the timeline: reads
+    // finished before it began must observe the seeded version, reads
+    // started after it acked must observe the writer's — "no condemned
+    // block served by a peer". Reads overlapping the window may land on
+    // either side (but never torn; checked above).
+    let write_window = history.iter().find_map(|ev| match ev {
+        Event::WriteAcked { started, finished, .. } => Some((*started, *finished)),
+        _ => None,
+    });
+    let mut fallback_read_done = false;
+    for ev in &history {
+        let Event::Read { client, file, observed, started, finished } = ev else { continue };
+        let want = match write_window {
+            Some((w_start, _)) if *finished < w_start => Some(PEER_V1),
+            Some((_, w_end)) if *started > w_end => Some(PEER_V2),
+            Some(_) => None,
+            None => Some(PEER_V1),
+        };
+        if *started >= SimTime::from_secs(7) && *started < SimTime::from_secs(12) {
+            fallback_read_done = true;
+        }
+        if let (Observation::Tag(t), Some(want)) = (observed, want) {
+            if *t != u64::from(want) {
+                violations.push(Violation {
+                    kind: oracle::ViolationKind::StaleRead,
+                    detail: format!(
+                        "client {client} read version {t:#x} of block {file} at {started:?}, \
+                         expected {want:#x} — a condemned peer copy was served"
+                    ),
+                });
+            }
+        }
+    }
+    if !fallback_read_done {
+        violations.push(Violation {
+            kind: oracle::ViolationKind::FinalState,
+            detail: "the mid-partition read never completed via origin fallback".into(),
+        });
+    }
+    // Every scripted write happens on a healthy WAN link and must ack.
+    for ev in &history {
+        if let Event::WriteFailed { client, tag, started, .. } = ev {
+            violations.push(Violation {
+                kind: oracle::ViolationKind::FinalState,
+                detail: format!("client {client} write {tag:#x} failed at {started:?}"),
+            });
+        }
+    }
+    // Mechanism checks: the partition must have forced at least one
+    // origin fallback, and (honestly run) the mesh must have actually
+    // served the verify-phase block.
+    if reader_stats.peer_fallbacks == 0 {
+        violations.push(Violation {
+            kind: oracle::ViolationKind::FinalState,
+            detail: "the partitioned PEERREAD never fell back to the origin".into(),
+        });
+    }
+    if !broken_peer && reader_stats.peer_hits == 0 {
+        violations.push(Violation {
+            kind: oracle::ViolationKind::FinalState,
+            detail: "the peer mesh never served a block; the scenario lost its subject".into(),
+        });
+    }
+
+    PeerPartitionReport {
+        seed,
+        reader_stats,
+        broken_peer,
+        trace_hash: trace_hash(&history),
+        history,
+        violations,
+        protocol_trace: protocol_trace.to_jsonl(),
+    }
+}

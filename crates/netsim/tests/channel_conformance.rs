@@ -54,3 +54,8 @@ fn sim_channel_concurrent_xids_out_of_order() {
 fn sim_channel_concurrent_read_burst() {
     with_sim_channel(|c| testkit::check_concurrent_read_burst(c));
 }
+
+#[test]
+fn sim_channel_concurrent_peerread_burst() {
+    with_sim_channel(|c| testkit::check_concurrent_peerread_burst(c));
+}

@@ -208,9 +208,41 @@ pub mod testkit {
     /// deterministic content (see [`read_block_content`]) — the testkit's
     /// stand-in for a file-server READ.
     pub const PROC_READ_BLOCK: u32 = 3;
+    /// Procedure: the testkit's stand-in for the proxy mesh's `PEERREAD`.
+    /// Args are `(fh: u64, offset: u64, count: u32, change: u64)`; the
+    /// reply is the same discriminated union the proxy protocol uses —
+    /// `Ok { change, len, hash, data }` when the attested change matches
+    /// [`PEER_ATTESTED_CHANGE`], `Miss` otherwise.
+    pub const PROC_PEERREAD: u32 = 4;
 
     /// Size of the blocks served by [`PROC_READ_BLOCK`].
     pub const READ_BLOCK_SIZE: usize = 4096;
+
+    /// The change attribute the conformance peer's copy carries; any
+    /// other attested value is answered with a `Miss`.
+    pub const PEER_ATTESTED_CHANGE: u64 = 0x5eed_c0de_0000_0001;
+    /// Length of the virtual file the conformance peer serves.
+    pub const PEER_FILE_LEN: u64 = 8 * READ_BLOCK_SIZE as u64;
+
+    /// FNV-1a, the content-address form peer replies are verified with
+    /// (same parameters as the proxy's block store).
+    pub fn fnv(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The deterministic content of the conformance peer's virtual file
+    /// `fh` at `[offset, offset + count)`, clamped to the attested file
+    /// length — every byte derived from the handle and its absolute
+    /// offset, so a swapped or torn peer reply is detected byte-for-byte.
+    pub fn peer_block_content(fh: u64, offset: u64, count: u32) -> Vec<u8> {
+        let end = (offset + u64::from(count)).min(PEER_FILE_LEN);
+        (offset..end).map(|p| (fh.wrapping_mul(37).wrapping_add(p) % 251) as u8).collect()
+    }
 
     /// The deterministic content of block `n`: every byte derived from
     /// the block number and its offset, so a swapped or torn reply is
@@ -241,6 +273,31 @@ pub mod testkit {
                 PROC_READ_BLOCK => {
                     let n: u32 = gvfs_xdr::from_bytes(args).map_err(|_| RpcError::GarbageArgs)?;
                     Ok(read_block_content(n))
+                }
+                PROC_PEERREAD => {
+                    let mut dec = gvfs_xdr::Decoder::new(args);
+                    let (fh, offset, count, change) = (|| {
+                        let fh = dec.get_u64()?;
+                        let offset = dec.get_u64()?;
+                        let count = dec.get_u32()?;
+                        let change = dec.get_u64()?;
+                        Ok::<_, gvfs_xdr::XdrError>((fh, offset, count, change))
+                    })()
+                    .map_err(|_| RpcError::GarbageArgs)?;
+                    let mut enc = gvfs_xdr::Encoder::new();
+                    if change == PEER_ATTESTED_CHANGE && offset < PEER_FILE_LEN {
+                        let data = peer_block_content(fh, offset, count);
+                        enc.put_u32(0);
+                        enc.put_u64(change);
+                        enc.put_u64(PEER_FILE_LEN);
+                        enc.put_u64(fnv(&data));
+                        enc.put_opaque(&data).map_err(|_| RpcError::GarbageArgs)?;
+                    } else {
+                        // A change the copy does not carry (or a range
+                        // past the file) is an honest Miss.
+                        enc.put_u32(1);
+                    }
+                    Ok(enc.into_bytes())
                 }
                 _ => {
                     Err(RpcError::ProcedureUnavailable { program: CONFORMANCE_PROGRAM, procedure })
@@ -412,6 +469,90 @@ pub mod testkit {
         }
     }
 
+    /// The peer-sourcing wire pattern: an 8-deep burst of concurrent
+    /// `PEERREAD`s all on the wire before the first reply is claimed,
+    /// mixing attested hits with stale-change misses. Every hit must
+    /// verify end to end — change echoed, attested length, FNV content
+    /// hash over byte-exact block content — and every stale attestation
+    /// must decode as a `Miss`, claimed both in send order and reverse
+    /// (the proxy's demand read claiming a late peer prefetch first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the channel misbehaves.
+    pub fn check_concurrent_peerread_burst(channel: &dyn RpcChannel) {
+        const BURST: u32 = 8;
+        for reverse in [false, true] {
+            let mut pending = Vec::new();
+            for n in 0..BURST {
+                // Odd requests attest a change the peer's copy does not
+                // carry — those must come back as honest misses.
+                let hit = n % 2 == 0;
+                let fh = u64::from(n / 2 + 1);
+                let offset = u64::from(n) * READ_BLOCK_SIZE as u64;
+                let count = READ_BLOCK_SIZE as u32;
+                let change = if hit {
+                    PEER_ATTESTED_CHANGE
+                } else {
+                    PEER_ATTESTED_CHANGE ^ u64::from(n + 1)
+                };
+                let mut enc = gvfs_xdr::Encoder::new();
+                enc.put_u64(fh);
+                enc.put_u64(offset);
+                enc.put_u32(count);
+                enc.put_u64(change);
+                match channel.send(
+                    CONFORMANCE_PROGRAM,
+                    CONFORMANCE_VERSION,
+                    PROC_PEERREAD,
+                    OpaqueAuth::none(),
+                    enc.into_bytes(),
+                ) {
+                    Ok(call) => pending.push((n, hit, fh, offset, count, call)),
+                    Err(e) => panic!("peerread burst send {n} failed: {e}"),
+                }
+            }
+            assert_eq!(pending.len() as u32, BURST, "all PEERREADs in flight before any claim");
+            if reverse {
+                pending.reverse();
+            }
+            for (n, hit, fh, offset, count, call) in pending {
+                let reply = match channel.wait(call) {
+                    Ok(reply) => reply,
+                    Err(e) => panic!("peerread burst wait {n} failed: {e}"),
+                };
+                let mut dec = gvfs_xdr::Decoder::new(&reply);
+                let disc = match dec.get_u32() {
+                    Ok(d) => d,
+                    Err(e) => panic!("request {n}: undecodable reply discriminant: {e}"),
+                };
+                if hit {
+                    assert_eq!(disc, 0, "attested request {n} must be served");
+                    let fields = (|| {
+                        Ok::<_, gvfs_xdr::XdrError>((
+                            dec.get_u64()?,
+                            dec.get_u64()?,
+                            dec.get_u64()?,
+                            dec.get_opaque()?,
+                        ))
+                    })();
+                    let (change, len, hash, data) = match fields {
+                        Ok(f) => f,
+                        Err(e) => panic!("request {n}: undecodable Ok reply: {e}"),
+                    };
+                    assert_eq!(change, PEER_ATTESTED_CHANGE, "request {n}: change echo");
+                    assert_eq!(len, PEER_FILE_LEN, "request {n}: attested length");
+                    let expect = peer_block_content(fh, offset, count);
+                    assert_eq!(data, expect, "request {n}: reply must carry its own block");
+                    assert_eq!(hash, fnv(&data), "request {n}: content hash must verify");
+                } else {
+                    assert_eq!(disc, 1, "stale attestation {n} must answer Miss, not bytes");
+                    assert_eq!(dec.remaining(), 0, "a Miss carries nothing");
+                }
+            }
+        }
+    }
+
     /// Runs the complete conformance suite against one channel.
     ///
     /// # Panics
@@ -424,5 +565,6 @@ pub mod testkit {
         check_oversized_record(channel);
         check_concurrent_xids_out_of_order(channel);
         check_concurrent_read_burst(channel);
+        check_concurrent_peerread_burst(channel);
     }
 }

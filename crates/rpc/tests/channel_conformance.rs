@@ -63,3 +63,11 @@ fn tcp_channel_concurrent_read_burst() {
     testkit::check_concurrent_read_burst(&client);
     handle.shutdown();
 }
+
+#[test]
+fn tcp_channel_concurrent_peerread_burst() {
+    let handle = start();
+    let client = TcpRpcClient::connect(handle.addr()).expect("connect");
+    testkit::check_concurrent_peerread_burst(&client);
+    handle.shutdown();
+}

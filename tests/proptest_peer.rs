@@ -1,0 +1,333 @@
+//! Differential property tests for peer-to-peer block sourcing
+//! (`PEERREAD`):
+//!
+//! * **observational equivalence** — under random interleavings of
+//!   reads, remote writes, and cache drops, every byte an application
+//!   reads through a peer-sourcing session is identical to what the
+//!   same schedule reads through a star-only session. Peer sourcing
+//!   changes *where* a clean block is fetched from, never *what* a
+//!   read observes;
+//! * **wire silence when disabled** — with `SessionConfig::peer_read`
+//!   off, the peer mesh does not exist: zero `PEERREAD` calls, zero
+//!   peer statistics, and (proved at the XDR level, same
+//!   trailing-optional discipline as the piggyback drain) a
+//!   [`WrappedReply`] without an advert encodes byte-identically to
+//!   the pre-`PEERREAD` wire format.
+
+use gvfs_client::{MountOptions, NfsClient};
+use gvfs_core::protocol::{DelegationGrant, GetinvRes, PeerAdvert, WrappedReply};
+use gvfs_core::session::Session;
+use gvfs_integration::chaos::ModelKind;
+use gvfs_netsim::{Sim, SimTime};
+use gvfs_nfs3::Fh3;
+use gvfs_xdr::Xdr;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The proxy cache's transfer-block granularity: one fetch per block,
+/// so a block is the unit a peer can serve.
+const BLOCK: u64 = 32 * 1024;
+/// Blocks per scenario file. Block 0 always comes from the origin (it
+/// carries the attestation and the advert); later blocks are the ones
+/// the mesh can source from a peer.
+const BLOCKS: u64 = 3;
+/// Shared files the schedule reads and writes.
+const FILES: usize = 2;
+
+/// Seeded fill byte of `file`'s block `b` (distinct per block so a
+/// swapped or partially-applied block shows up as a byte difference).
+fn init_byte(file: usize, block: u64) -> u8 {
+    0x30 + (file as u8) * BLOCKS as u8 + block as u8
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PeerOp {
+    /// One of the two reader clients reads one block of one file.
+    Read { client: usize, file: usize, block: u64 },
+    /// The writer client overwrites one block with a fill byte.
+    Write { file: usize, block: u64, tag: u8 },
+    /// A reader drops its NFS-level caches (attrs, lookups, pages), as
+    /// an unmount/remount would.
+    Drop { client: usize },
+}
+
+fn peer_op() -> impl Strategy<Value = PeerOp> {
+    prop_oneof![
+        (0usize..2, 0usize..FILES, 0u64..BLOCKS).prop_map(|(client, file, block)| PeerOp::Read {
+            client,
+            file,
+            block
+        }),
+        (0usize..2, 0usize..FILES, 0u64..BLOCKS).prop_map(|(client, file, block)| PeerOp::Read {
+            client,
+            file,
+            block
+        }),
+        (0usize..FILES, 0u64..BLOCKS, 0x80u8..0xf0).prop_map(|(file, block, tag)| PeerOp::Write {
+            file,
+            block,
+            tag
+        }),
+        (0usize..2).prop_map(|client| PeerOp::Drop { client }),
+    ]
+}
+
+fn model_kind() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![Just(ModelKind::Polling), Just(ModelKind::Delegation)]
+}
+
+fn sleep_to(secs: u64) {
+    let target = SimTime::from_secs(secs);
+    let wait = target.saturating_since(gvfs_netsim::now());
+    if !wait.is_zero() {
+        gvfs_netsim::sleep(wait);
+    }
+}
+
+/// Everything one schedule run observes: the bytes of every scheduled
+/// read (by op index), a converged full read of every file by every
+/// client, and the peer counters of all three proxy clients.
+struct RunOut {
+    reads: Vec<(usize, Vec<u8>)>,
+    converged: Vec<Vec<u8>>,
+    peer_hits: u64,
+    peer_misses: u64,
+    peer_fallbacks: u64,
+    peer_bytes_served: u64,
+    peer_calls: u64,
+}
+
+/// Replays one op schedule through a fresh session. Ops run
+/// sequentially from a single driver actor at fixed virtual-time
+/// instants (2 s apart), so both the peer-sourcing and the star-only
+/// replay see every write land at the same absolute time and the
+/// consistency model resolves each read identically.
+fn run_schedule(ops: &[PeerOp], model: ModelKind, peer_read: bool) -> RunOut {
+    let sim = Sim::new();
+    let mut config = model.session_config();
+    config.peer_read = peer_read;
+    let session = Session::builder(config).clients(3).establish(&sim);
+
+    // Seed the shared files out of band.
+    let vfs = Arc::clone(session.vfs());
+    let t0 = gvfs_vfs::Timestamp::from_nanos(0);
+    for f in 0..FILES {
+        let id = vfs.create(vfs.root(), &format!("pp-{f}"), 0o644, t0).expect("create");
+        let mut content = Vec::with_capacity((BLOCKS * BLOCK) as usize);
+        for b in 0..BLOCKS {
+            content.extend(std::iter::repeat_n(init_byte(f, b), BLOCK as usize));
+        }
+        vfs.write(id, 0, &content, t0).expect("seed");
+    }
+
+    // Reads tagged by schedule index, then the converged final images.
+    type Observations = (Vec<(usize, Vec<u8>)>, Vec<Vec<u8>>);
+    let out: Arc<Mutex<Observations>> = Arc::new(Mutex::new((Vec::new(), Vec::new())));
+    let handle = session.handle();
+    let transports: Vec<_> = (0..3).map(|i| session.client_transport(i)).collect();
+    let root = session.root_fh();
+    let ops = ops.to_vec();
+    let o = Arc::clone(&out);
+    sim.spawn("peer-prop-driver", move || {
+        let clients: Vec<NfsClient> =
+            transports.into_iter().map(|t| NfsClient::new(t, root, MountOptions::noac())).collect();
+        let fhs: Vec<Fh3> =
+            (0..FILES).map(|f| clients[0].resolve(&format!("/pp-{f}")).expect("resolve")).collect();
+        for (i, op) in ops.iter().enumerate() {
+            sleep_to(2 * (i as u64 + 1));
+            match *op {
+                PeerOp::Read { client, file, block } => {
+                    let data = clients[client]
+                        .read(fhs[file], block * BLOCK, BLOCK as u32)
+                        .expect("scheduled read");
+                    o.lock().0.push((i, data));
+                }
+                PeerOp::Write { file, block, tag } => {
+                    clients[2]
+                        .write(fhs[file], block * BLOCK, &vec![tag; BLOCK as usize])
+                        .expect("scheduled write");
+                }
+                PeerOp::Drop { client } => clients[client].drop_caches(),
+            }
+        }
+        // Convergence: past every polling window and write-back, all
+        // clients must agree on every byte of every file.
+        sleep_to(2 * (ops.len() as u64 + 1) + 40);
+        for c in &clients {
+            for &fh in &fhs {
+                let data = c.read(fh, 0, (BLOCKS * BLOCK) as u32).expect("converged read");
+                o.lock().1.push(data);
+            }
+        }
+        handle.shutdown();
+    });
+    sim.run();
+
+    let (mut peer_hits, mut peer_misses, mut peer_fallbacks, mut peer_bytes_served) = (0, 0, 0, 0);
+    for i in 0..3 {
+        let s = session.proxy_client(i).stats();
+        peer_hits += s.peer_hits;
+        peer_misses += s.peer_misses;
+        peer_fallbacks += s.peer_fallbacks;
+        peer_bytes_served += s.peer_bytes_served;
+    }
+    let peer_calls = session.peer_stats().snapshot().total_calls();
+    let (reads, converged) = std::mem::take(&mut *out.lock());
+    RunOut {
+        reads,
+        converged,
+        peer_hits,
+        peer_misses,
+        peer_fallbacks,
+        peer_bytes_served,
+        peer_calls,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Peer-sourced reads are byte-identical to origin-sourced reads:
+    /// the same schedule replayed with `peer_read` on and off observes
+    /// the same bytes at every scheduled read and converges to the same
+    /// final contents — under both cacheable consistency models and
+    /// arbitrary write/drop interleavings.
+    #[test]
+    fn peer_reads_byte_identical_to_origin_reads(
+        ops in proptest::collection::vec(peer_op(), 1..12),
+        model in model_kind(),
+    ) {
+        let meshed = run_schedule(&ops, model, true);
+        let star = run_schedule(&ops, model, false);
+        prop_assert_eq!(
+            meshed.reads.len(), star.reads.len(),
+            "both replays must complete every scheduled read"
+        );
+        for ((i, a), (j, b)) in meshed.reads.iter().zip(star.reads.iter()) {
+            prop_assert_eq!(i, j);
+            prop_assert_eq!(
+                a, b,
+                "op {} ({:?}, model {:?}): peer-sourced bytes diverge from origin-sourced",
+                i, ops[*i], model
+            );
+        }
+        prop_assert_eq!(&meshed.converged, &star.converged, "converged contents diverge");
+
+        // The star-only replay must be wire-silent: no PEERREAD calls,
+        // no peer accounting — its traffic is the pre-PEERREAD star
+        // topology, byte for byte.
+        prop_assert_eq!(star.peer_calls, 0, "peer_read off put PEERREADs on the wire");
+        prop_assert_eq!(
+            star.peer_hits + star.peer_misses + star.peer_fallbacks + star.peer_bytes_served,
+            0,
+            "peer_read off accounted peer traffic"
+        );
+    }
+
+    /// The advert rides as a second trailing optional: a reply without
+    /// one encodes byte-identically to the pre-`PEERREAD` wire format
+    /// (grant, opaque NFS bytes, optional drain — nothing else), and an
+    /// advert without a drain in front of it is dropped rather than
+    /// mis-framed. Decoding legacy bytes yields `peers: None`.
+    #[test]
+    fn reply_without_advert_is_byte_identical_to_legacy_wire(
+        grant_pick in 0u8..4,
+        ts in any::<u64>(),
+        force in any::<bool>(),
+        handles in proptest::collection::vec(any::<u64>(), 0..32),
+        nfs_payload in proptest::collection::vec(any::<u8>(), 0..96),
+        with_inv in any::<bool>(),
+        advert_change in any::<u64>(),
+        advert_len in any::<u64>(),
+        holders in proptest::collection::vec(any::<u32>(), 0..8),
+    ) {
+        let grant = match grant_pick {
+            0 => DelegationGrant::None,
+            1 => DelegationGrant::Read,
+            2 => DelegationGrant::Write,
+            _ => DelegationGrant::NonCacheable,
+        };
+        let mut nfs_bytes = nfs_payload;
+        nfs_bytes.resize(nfs_bytes.len().div_ceil(4) * 4, 0);
+        let inv = with_inv.then(|| GetinvRes {
+            timestamp: ts,
+            force_invalidate: force,
+            poll_again: false,
+            handles: handles.iter().map(|&h| Fh3::from_fileid(h)).collect(),
+        });
+
+        // The legacy (pre-PEERREAD) encoding, laid out by hand.
+        let mut legacy = gvfs_xdr::Encoder::new();
+        grant.encode(&mut legacy).unwrap();
+        legacy.put_opaque(&nfs_bytes).unwrap();
+        if let Some(inv) = &inv {
+            inv.encode(&mut legacy).unwrap();
+        }
+        let legacy = legacy.into_bytes();
+
+        // peers: None encodes exactly the legacy bytes.
+        let reply = WrappedReply {
+            grant,
+            inv: inv.clone(),
+            peers: None,
+            nfs_bytes: nfs_bytes.clone(),
+        };
+        prop_assert_eq!(&gvfs_xdr::to_bytes(&reply).unwrap(), &legacy);
+
+        // peers ⟹ inv: an advert with no drain in front of it would be
+        // undecodable, so the encoder drops it — same legacy bytes.
+        if inv.is_none() {
+            let orphan = WrappedReply {
+                grant,
+                inv: None,
+                peers: Some(PeerAdvert {
+                    fh: Fh3::from_fileid(ts),
+                    change: advert_change,
+                    len: advert_len,
+                    holders: holders.clone(),
+                }),
+                nfs_bytes: nfs_bytes.clone(),
+            };
+            prop_assert_eq!(&gvfs_xdr::to_bytes(&orphan).unwrap(), &legacy);
+        }
+
+        // Legacy bytes decode with no advert materializing.
+        let decoded: WrappedReply = gvfs_xdr::from_bytes(&legacy).unwrap();
+        prop_assert_eq!(decoded.peers, None);
+        prop_assert_eq!(decoded.grant, grant);
+        prop_assert_eq!(decoded.inv, inv);
+        prop_assert_eq!(decoded.nfs_bytes, nfs_bytes);
+    }
+}
+
+/// The differential property is not vacuous: a scripted warm-holder
+/// schedule drives real `PEERREAD` traffic (peer hits and LAN calls),
+/// so `peer_reads_byte_identical_to_origin_reads` genuinely compares a
+/// meshed run against a star-only one.
+#[test]
+fn differential_schedules_exercise_the_peer_path() {
+    let ops = [
+        // Client 1 warms every block of file 0 — the origin now
+        // advertises it as a live holder.
+        PeerOp::Read { client: 1, file: 0, block: 0 },
+        PeerOp::Read { client: 1, file: 0, block: 1 },
+        PeerOp::Read { client: 1, file: 0, block: 2 },
+        // Client 0's block-0 read carries the advert; the later blocks
+        // ride the mesh.
+        PeerOp::Read { client: 0, file: 0, block: 0 },
+        PeerOp::Read { client: 0, file: 0, block: 1 },
+        PeerOp::Read { client: 0, file: 0, block: 2 },
+    ];
+    let meshed = run_schedule(&ops, ModelKind::Delegation, true);
+    assert!(meshed.peer_hits > 0, "warm-holder schedule produced no peer hits");
+    assert!(meshed.peer_calls > 0, "no PEERREAD ever hit the LAN mesh");
+    assert!(meshed.peer_bytes_served > 0, "no peer served a byte");
+    for (i, data) in &meshed.reads {
+        let PeerOp::Read { file, block, .. } = ops[*i] else { panic!("non-read recorded") };
+        assert!(
+            data.iter().all(|&b| b == init_byte(file, block)),
+            "op {i} observed a wrong or torn block"
+        );
+    }
+}

@@ -201,7 +201,8 @@ proptest! {
             poll_again: false,
             handles: handles.iter().map(|&h| Fh3::from_fileid(h)).collect(),
         });
-        let wrapped = WrappedReply { grant: DelegationGrant::Read, inv, nfs_bytes: payload };
+        let wrapped =
+            WrappedReply { grant: DelegationGrant::Read, inv, peers: None, nfs_bytes: payload };
         let bytes = gvfs_xdr::to_bytes(&wrapped).unwrap();
         prop_assert_eq!(gvfs_xdr::from_bytes::<WrappedReply>(&bytes).unwrap(), wrapped);
 
