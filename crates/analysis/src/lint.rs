@@ -63,7 +63,7 @@ use std::path::{Path, PathBuf};
 /// store and the server tracker never interleave), then the store's
 /// WAL appender (`wal`, taken under `index` to keep log order matching
 /// index order), then the write-back/invalidation plumbing, then
-/// actor handles (flusher/poller/supervisor), the server's per-client
+/// actor handles (flusher/poller/supervisor/scrubber), the server's per-client
 /// WAN-health registry (`health`, scoped to a breaker lookup, never
 /// held across the wire), and counters beside the recall fan-out
 /// window (`fanout`, a terminal lock: the semaphore guard is dropped
@@ -90,6 +90,7 @@ pub const LOCK_ORDER: &[(&str, u32)] = &[
     ("flusher", 6),
     ("poller", 6),
     ("supervisor", 6),
+    ("scrubber", 6),
     ("poll_ts", 7),
     ("health", 7),
     ("stats", 8),
@@ -138,6 +139,8 @@ const SEND_MARKERS: &[&str] = &[
     "reconcile_dirty",
     "repromote",
     "run_supervisor",
+    "repair_clean_range",
+    "run_scrubber",
 ];
 
 /// Callee names never followed through the call graph. Resolution is

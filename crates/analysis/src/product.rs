@@ -38,6 +38,10 @@
 //!   origin has condemned: every write eagerly de-advertises all peer
 //!   holders of the file, so an advertised holder always carries the
 //!   origin's current version when it answers a `PEERREAD`.
+//! * **I8 no-corrupt-serve** — no block whose checksum fails
+//!   verification is ever returned to a reader, local or peer: a
+//!   rotten stored copy is quarantined into a cache miss (and repaired
+//!   by refetch), never served.
 //!
 //! Each invariant has a fault knob ([`Knobs`]) that re-introduces the
 //! corresponding bug in the spec side; the unit tests flip the knobs
@@ -97,6 +101,10 @@ pub struct Knobs {
     /// advertised and serve condemned blocks (breaks I7) — the model
     /// twin of the chaos harness's `--break-peerread` knob.
     pub peer_ignores_condemnation: bool,
+    /// Verify-on-read is disabled: a read hitting a rotten stored copy
+    /// serves the bytes instead of quarantining them (breaks I8) — the
+    /// model twin of the chaos harness's `--break-scrub` knob.
+    pub serve_corrupt_blocks: bool,
 }
 
 /// One actionable step of the composed machine.
@@ -119,6 +127,10 @@ enum ProductAction {
     DegradedRead { client: u32, fh: Fh3 },
     /// An advertised holder answers a `PEERREAD` for `fh`.
     PeerServe { client: u32, fh: Fh3 },
+    /// Disk corruption lands on `client`'s stored clean copy of `fh`.
+    Rot { client: u32, fh: Fh3 },
+    /// A local reader hits `client`'s cached clean copy of `fh`.
+    CacheRead { client: u32, fh: Fh3 },
 }
 
 impl std::fmt::Display for ProductAction {
@@ -137,6 +149,12 @@ impl std::fmt::Display for ProductAction {
             }
             ProductAction::PeerServe { client, fh } => {
                 write!(f, "peer_serve(client={client}, fh={fh:?})")
+            }
+            ProductAction::Rot { client, fh } => {
+                write!(f, "rot(client={client}, fh={fh:?})")
+            }
+            ProductAction::CacheRead { client, fh } => {
+                write!(f, "cache_read(client={client}, fh={fh:?})")
             }
         }
     }
@@ -177,6 +195,9 @@ struct ClientSpec {
     /// (the peer-sourcing machine: only these copies can answer a
     /// `PEERREAD`; an applied invalidation drops the entry).
     clean: BTreeMap<u64, u64>,
+    /// Clean copies whose stored bytes have rotted on disk: the next
+    /// verification must quarantine them, never serve them.
+    rotten: BTreeSet<u64>,
 }
 
 impl ClientSpec {
@@ -190,6 +211,7 @@ impl ClientSpec {
             registered: false,
             owed: BTreeSet::new(),
             clean: BTreeMap::new(),
+            rotten: BTreeSet::new(),
         }
     }
 }
@@ -248,7 +270,7 @@ impl ProductState {
         for (c, cs) in &self.clients {
             let _ = write!(
                 s,
-                "c{c}={:?}/{:?}/{:?}/{:?}/{:?}/{}/{:?}/{:?};",
+                "c{c}={:?}/{:?}/{:?}/{:?}/{:?}/{}/{:?}/{:?}/{:?};",
                 cs.partitioned,
                 cs.breaker,
                 cs.ladder,
@@ -256,7 +278,8 @@ impl ProductState {
                 cs.ts,
                 cs.registered,
                 cs.owed,
-                cs.clean
+                cs.clean,
+                cs.rotten
             );
         }
         let _ = write!(s, "la={:?};", self.last_access);
@@ -393,17 +416,18 @@ impl ProductState {
                     if !self.knobs.peer_ignores_condemnation {
                         self.advertised.remove(&fh.fileid());
                     }
-                    self.clients.get_mut(&client).expect("model client").clean.remove(&fh.fileid());
+                    let cs = self.clients.get_mut(&client).expect("model client");
+                    cs.clean.remove(&fh.fileid());
+                    cs.rotten.remove(&fh.fileid());
                 } else {
                     // A served read leaves the client holding the
                     // origin's current version; the origin advertises it
-                    // as a live peer source.
+                    // as a live peer source. Fresh bytes overwrite
+                    // whatever rot the old stored copy carried.
                     let v = self.version.get(&fh.fileid()).copied().unwrap_or(0);
-                    self.clients
-                        .get_mut(&client)
-                        .expect("model client")
-                        .clean
-                        .insert(fh.fileid(), v);
+                    let cs = self.clients.get_mut(&client).expect("model client");
+                    cs.clean.insert(fh.fileid(), v);
+                    cs.rotten.remove(&fh.fileid());
                     self.advertised.entry(fh.fileid()).or_default().insert(client);
                 }
             }
@@ -451,9 +475,11 @@ impl ProductState {
                 // can no longer back a PEERREAD.
                 if res.force_invalidate {
                     cs.clean.clear();
+                    cs.rotten.clear();
                 } else {
                     for fh in &res.handles {
                         cs.clean.remove(&fh.fileid());
+                        cs.rotten.remove(&fh.fileid());
                     }
                 }
                 cs.owed.clear();
@@ -507,13 +533,51 @@ impl ProductState {
                 // dropped it) answers an honest miss — safe. Serving
                 // *content* of a superseded version is the sin.
                 let current = self.version.get(&fh.fileid()).copied().unwrap_or(0);
-                let held = self.clients.get(&client).expect("model client").clean.get(&fh.fileid());
-                if let Some(&v) = held {
-                    if v != current {
+                let cs = self.clients.get_mut(&client).expect("model client");
+                if let Some(&v) = cs.clean.get(&fh.fileid()) {
+                    // Verification runs before the serve: a rotten copy
+                    // never reaches the wire. Quarantined, the holder
+                    // answers an honest miss and the requester falls
+                    // back to the origin.
+                    if cs.rotten.contains(&fh.fileid()) {
+                        if self.knobs.serve_corrupt_blocks {
+                            return Some(format!(
+                                "I8: advertised client {client} answered a PEERREAD for {fh:?} \
+                                 with a stored copy whose checksum fails verification"
+                            ));
+                        }
+                        cs.rotten.remove(&fh.fileid());
+                        cs.clean.remove(&fh.fileid());
+                    } else if v != current {
                         return Some(format!(
                             "I7: advertised client {client} served {fh:?} holding version {v} \
                              while the origin is at {current} — condemned block served by a peer"
                         ));
+                    }
+                }
+            }
+            ProductAction::Rot { client, fh } => {
+                self.clients.get_mut(&client).expect("model client").rotten.insert(fh.fileid());
+            }
+            ProductAction::CacheRead { client, fh } => {
+                let current = self.version.get(&fh.fileid()).copied().unwrap_or(0);
+                let cs = self.clients.get_mut(&client).expect("model client");
+                if cs.rotten.contains(&fh.fileid()) {
+                    if self.knobs.serve_corrupt_blocks {
+                        return Some(format!(
+                            "I8: client {client} served a local read of {fh:?} from a stored \
+                             copy whose checksum fails verification"
+                        ));
+                    }
+                    // Verify-on-read quarantines the copy into a miss;
+                    // the refetch repairs it at the origin's current
+                    // version when the WAN is up, or leaves a plain
+                    // miss when it is not.
+                    cs.rotten.remove(&fh.fileid());
+                    cs.clean.remove(&fh.fileid());
+                    if !cs.partitioned {
+                        cs.clean.insert(fh.fileid(), current);
+                        self.advertised.entry(fh.fileid()).or_default().insert(client);
                     }
                 }
             }
@@ -541,6 +605,13 @@ impl ProductState {
             } else {
                 acts.push(ProductAction::Partition { client });
                 acts.push(ProductAction::Getinv { client });
+            }
+            for &fileid in cs.clean.keys() {
+                let fh = Fh3::from_fileid(fileid);
+                acts.push(ProductAction::CacheRead { client, fh });
+                if !cs.rotten.contains(&fileid) {
+                    acts.push(ProductAction::Rot { client, fh });
+                }
             }
             match cs.ladder {
                 Ladder::Degraded { drained } => {
@@ -664,5 +735,11 @@ mod tests {
     fn catches_condemned_peer_serve() {
         let v = first_violation(Knobs { peer_ignores_condemnation: true, ..Knobs::default() });
         assert!(v.contains("I7"), "wrong invariant convicted: {v}");
+    }
+
+    #[test]
+    fn catches_served_corruption() {
+        let v = first_violation(Knobs { serve_corrupt_blocks: true, ..Knobs::default() });
+        assert!(v.contains("I8"), "wrong invariant convicted: {v}");
     }
 }

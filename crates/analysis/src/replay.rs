@@ -28,7 +28,12 @@
 //! - peer sourcing: a `peer_serve` never comes from a condemned copy —
 //!   a client that received a recall for the handle must re-validate
 //!   (a later grant) before it may serve peers again — and a verified
-//!   `peer_fetch` always has a matching prior `peer_serve`.
+//!   `peer_fetch` always has a matching prior `peer_serve`;
+//! - integrity: no block whose checksum failed verification is ever
+//!   returned to a reader — an `integrity_fault` with `served` set
+//!   (the `--break-scrub` knob's signature) is a violation — and every
+//!   `scrub_repair` is backed by a prior quarantine on that client and
+//!   handle.
 //!
 //! Lines are flat JSON objects (see `TraceRecord::to_json_line`); the
 //! parser here is hand-rolled because the vendored `serde_json` stub
@@ -226,6 +231,9 @@ struct Checker {
     /// (client, fh) pairs that have ever answered a PEERREAD with data;
     /// a verified peer_fetch must be backed by one of these.
     served_ever: std::collections::HashSet<(u32, u64)>,
+    /// (client, fh) pairs whose store quarantined an extent; a
+    /// scrub_repair must be backed by one of these.
+    quarantined_ever: std::collections::HashSet<(u32, u64)>,
 }
 
 impl Checker {
@@ -241,6 +249,7 @@ impl Checker {
             server_crashed_once: false,
             condemned: std::collections::HashSet::new(),
             served_ever: std::collections::HashSet::new(),
+            quarantined_ever: std::collections::HashSet::new(),
         }
     }
 
@@ -547,6 +556,38 @@ impl Checker {
                 let _ = field(ev.num("client"))?;
                 let _ = field(ev.num("fh"))?;
             }
+            "integrity_fault" => {
+                let client = field(ev.num("client"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                let served = field(ev.num("served"))? != 0;
+                let _dirty = field(ev.num("dirty"))?;
+                self.quarantined_ever.insert((client, fh));
+                // The integrity cardinal sin: the store detected the
+                // corruption and handed the bytes to the reader anyway.
+                // A conforming store quarantines instead (served=0).
+                if served {
+                    return Err((
+                        "corrupt-served",
+                        format!(
+                            "client {client} served fh {fh} after its checksum failed \
+                             verification"
+                        ),
+                    ));
+                }
+            }
+            "scrub_repair" => {
+                let client = field(ev.num("client"))? as u32;
+                let fh = field(ev.num("fh"))?;
+                if !self.quarantined_ever.contains(&(client, fh)) {
+                    return Err((
+                        "scrub-repair-unfaulted",
+                        format!(
+                            "client {client} scrub-repaired fh {fh} with no prior quarantine \
+                             on that handle"
+                        ),
+                    ));
+                }
+            }
             "meta" => {
                 return Err(("duplicate-meta", "second meta record".to_string()));
             }
@@ -851,6 +892,28 @@ mod tests {
             r#"{"seq":2,"t_ms":150,"ev":"peer_fallback","client":2,"fh":7}"#,
         ]);
         assert!(r.accepted(), "{:?}", r.rejections);
+    }
+
+    #[test]
+    fn convicts_served_corruption_and_accepts_quarantine() {
+        // Quarantine → scrub repair is the conforming path.
+        let good = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"integrity_fault","client":1,"fh":7,"dirty":0,"served":0}"#,
+            r#"{"seq":2,"t_ms":200,"ev":"scrub_repair","client":1,"fh":7}"#,
+        ]);
+        assert!(good.accepted(), "{:?}", good.rejections);
+        // Detect-but-serve (the --break-scrub knob) is the violation.
+        let bad = replay(&[
+            META,
+            r#"{"seq":1,"t_ms":100,"ev":"integrity_fault","client":1,"fh":7,"dirty":0,"served":1}"#,
+        ]);
+        assert_eq!(bad.rejections.len(), 1);
+        assert_eq!(bad.rejections[0].rule, "corrupt-served");
+        // A repair with no quarantine behind it is structural nonsense.
+        let orphan =
+            replay(&[META, r#"{"seq":1,"t_ms":100,"ev":"scrub_repair","client":1,"fh":7}"#]);
+        assert_eq!(orphan.rejections[0].rule, "scrub-repair-unfaulted");
     }
 
     #[test]

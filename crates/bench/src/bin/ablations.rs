@@ -15,12 +15,15 @@
 //!    sequential issue-and-wait baseline at 1k delegation holders,
 //! 9. peer sourcing: a cold fan-in on the star topology (every block
 //!    over the WAN) vs `PEERREAD` block sourcing from advertised peers
-//!    over the LAN.
+//!    over the LAN,
+//! 10. self-healing scrub: after on-disk corruption of a warm
+//!     persistent cache, demand-time refetch repair vs the background
+//!     scrub sweep repairing ahead of the reader.
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin ablations [--only <name>]`
 //! where `<name>` is one of `buffer-capacity`, `polling-period`,
 //! `delegation-expiration`, `writeback-threshold`, `pipelining`,
-//! `readahead`, `degradation`, `fanout`, `peerread`.
+//! `readahead`, `degradation`, `fanout`, `peerread`, `scrub`.
 
 use gvfs_bench::scale::fanout_round;
 use gvfs_bench::{getinv_calls, nfs_calls, print_table, rpc_meta, save_json, small_mode};
@@ -723,6 +726,140 @@ fn peerread_sweep() -> Vec<serde_json::Value> {
     json
 }
 
+/// Ablation 10: self-healing scrub. One delegation client cold-reads a
+/// 16-block file into its persistent cache (every block distinct, so
+/// each lands in its own content-addressed chunk), then every chunk on
+/// the platter is corrupted. Both arms must serve zero corrupt reads —
+/// verify-on-read quarantines rot into misses either way. The arms
+/// differ in *when* the damage is repaired: without the scrubber every
+/// re-read pays a demand refetch over the WAN (`refetch_repairs`);
+/// with it the background sweep has already refetched every block by
+/// the time the reader arrives (`scrub_repairs`), and the re-read runs
+/// at LAN speed off the repaired cache.
+fn scrub_sweep() -> Vec<serde_json::Value> {
+    const BLOCK: u64 = 32 * 1024;
+    const BLOCKS: u64 = 16;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut walls = [0.0f64; 2];
+    for (i, (label, period)) in
+        [("demand-repair", None), ("scrub", Some(Duration::from_millis(500)))]
+            .into_iter()
+            .enumerate()
+    {
+        let sim = Sim::new();
+        let session = Session::builder(SessionConfig {
+            model: ConsistencyModel::DelegationCallback(DelegationConfig::default()),
+            persistent_store: true,
+            scrub_period: period,
+            ..SessionConfig::default()
+        })
+        .clients(1)
+        .wan(LinkConfig::wan().with_rtt(Duration::from_millis(200)).with_bandwidth_bps(100_000_000))
+        .establish(&sim);
+        // Seed server-side, each block distinct: 16 chunks, no dedup.
+        let seed_t = gvfs_vfs::Timestamp::from_nanos(0);
+        let vfs = session.vfs();
+        let f = vfs.create(vfs.root(), "rotme", 0o644, seed_t).unwrap();
+        let mut content = Vec::with_capacity((BLOCKS * BLOCK) as usize);
+        for b in 0..BLOCKS {
+            content.extend(std::iter::repeat_n(0x40 + b as u8, BLOCK as usize));
+        }
+        vfs.write(f, 0, &content, seed_t).unwrap();
+        let disk = session.client_disk(0).expect("persistent store has a disk");
+        let session = Arc::new(session);
+        let s2 = Arc::clone(&session);
+        let cold_t = session.client_transport(0);
+        let warm_t = session.client_transport(0);
+        let root = session.root_fh();
+        let handle = session.handle();
+        let wall = Arc::new(Mutex::new(0.0f64));
+        let w2 = Arc::clone(&wall);
+        let rotted = Arc::new(Mutex::new(0usize));
+        let r2 = Arc::clone(&rotted);
+        sim.spawn("scrub-ablation", move || {
+            let c = NfsClient::new(cold_t, root, MountOptions::noac());
+            let fh = c.open("/rotme").unwrap();
+            for b in 0..BLOCKS {
+                let data = c.read(fh, b * BLOCK, BLOCK as u32).unwrap();
+                assert_eq!(data, vec![0x40 + b as u8; BLOCK as usize], "cold block {b}");
+            }
+            // Rot every stored chunk, one flipped byte each.
+            let mut n = 0usize;
+            for path in disk.list("chunks/") {
+                if disk.corrupt_byte(&path, 17, 0x80) {
+                    n += 1;
+                }
+            }
+            *r2.lock() = n;
+            // Give the scrub arm time for a few sweeps; the demand arm
+            // idles identically so the two timelines stay comparable.
+            gvfs_netsim::sleep(Duration::from_secs(10));
+            // A fresh mount, so the re-reads come back through the
+            // proxy's stored bytes instead of the first client's page
+            // cache.
+            let c = NfsClient::new(warm_t, root, MountOptions::noac());
+            let fh = c.open("/rotme").unwrap();
+            let t0 = gvfs_netsim::now();
+            for b in 0..BLOCKS {
+                let data = c.read(fh, b * BLOCK, BLOCK as u32).unwrap();
+                assert_eq!(
+                    data,
+                    vec![0x40 + b as u8; BLOCK as usize],
+                    "re-read block {b} must never see rot"
+                );
+            }
+            *w2.lock() = gvfs_netsim::now().saturating_since(t0).as_secs_f64();
+            handle.shutdown();
+        });
+        sim.run();
+        let stats = s2.proxy_client(0).stats();
+        let rotted = *rotted.lock();
+        let wall_s = *wall.lock();
+        walls[i] = wall_s;
+        assert_eq!(rotted, BLOCKS as usize, "every chunk must take a flipped byte");
+        assert_eq!(
+            stats.integrity_failures, BLOCKS,
+            "every rotted chunk must fail exactly one verification ({label})"
+        );
+        assert_eq!(stats.integrity_dirty_loss, 0, "only clean data was rotted ({label})");
+        let (repairs, kind) = match period {
+            None => (stats.refetch_repairs, "demand"),
+            Some(_) => (stats.scrub_repairs, "scrub"),
+        };
+        assert_eq!(
+            repairs, BLOCKS,
+            "{label}: all {BLOCKS} rotted blocks must be repaired by the {kind} path, stats: {stats:?}"
+        );
+        rows.push(vec![
+            label.to_string(),
+            rotted.to_string(),
+            format!("{:.3}", wall_s),
+            stats.refetch_repairs.to_string(),
+            stats.scrub_repairs.to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "arm": label,
+            "corrupted_blocks": rotted,
+            "reread_s": wall_s,
+            "read_path": gvfs_bench::read_path_json(&stats),
+        }));
+    }
+    let speedup = walls[0] / walls[1];
+    print_table(
+        "Ablation 10: self-healing scrub (16 corrupted blocks, 200 ms RTT)",
+        &["arm", "corrupted", "re-read (s)", "demand repairs", "scrub repairs"],
+        &rows,
+    );
+    println!("scrubbed re-read speedup over demand repair: {speedup:.1}x (target: >=2x)");
+    assert!(
+        speedup >= 2.0,
+        "the scrubbed cache must re-read >=2x faster than demand repair, got {speedup:.2}x"
+    );
+    json.push(serde_json::json!({ "speedup": speedup }));
+    json
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let only = args.iter().position(|a| a == "--only").and_then(|i| args.get(i + 1)).cloned();
@@ -756,6 +893,9 @@ fn main() {
     }
     if run("peerread") {
         doc.push(("peerread".into(), peerread_sweep().into()));
+    }
+    if run("scrub") {
+        doc.push(("scrub".into(), scrub_sweep().into()));
     }
     // A partial run must not clobber the full committed results.
     let name = if only.is_some() { "ablations-partial.json" } else { "ablations.json" };

@@ -5,7 +5,8 @@
 //!
 //! Run: `cargo run --release -p gvfs-bench --bin chaos_soak --
 //!       [--seeds N] [--start S] [--model all|passthrough|polling|delegation]
-//!       [--break-recall] [--break-peerread] [--trace-dir DIR]`
+//!       [--break-recall] [--break-peerread] [--break-scrub]
+//!       [--trace-dir DIR]`
 //!
 //! `--trace-dir DIR` writes each run's protocol-event trace to
 //! `DIR/<model>-seed<N>.jsonl` for `gvfs-analysis -- replay` conformance
@@ -19,14 +20,19 @@
 //! peer-partition scenario with de-advertisement suppressed and the
 //! serving peer answering from raw (condemned) store bytes, and fails
 //! unless the oracle convicts the stale read on at least one seed.
+//! `--break-scrub` is the same idea for store integrity: it re-runs the
+//! disk-corruption scenario with verify-on-read disabled, so the store
+//! serves rotted bytes, and fails unless the oracle convicts at least
+//! 7 in 8 seeds (the rot is planted deterministically, so conviction
+//! should be near-universal).
 //!
 //! Exit codes: 0 clean, 1 violations or a determinism break, 2 a
 //! `--break-*` self-test found the harness toothless.
 
 use gvfs_bench::save_json;
 use gvfs_integration::chaos::{
-    format_reproducer, generate_events, run_crash_restart, run_partition_heal, run_peer_partition,
-    run_scenario, shrink_failure, ModelKind, ScenarioConfig,
+    format_reproducer, generate_events, run_crash_restart, run_disk_corruption, run_partition_heal,
+    run_peer_partition, run_scenario, shrink_failure, ModelKind, ScenarioConfig,
 };
 use serde_json::json;
 
@@ -36,6 +42,7 @@ struct Args {
     models: Vec<ModelKind>,
     break_recall: bool,
     break_peerread: bool,
+    break_scrub: bool,
     trace_dir: Option<std::path::PathBuf>,
 }
 
@@ -46,6 +53,7 @@ fn parse_args() -> Args {
         models: ModelKind::ALL.to_vec(),
         break_recall: false,
         break_peerread: false,
+        break_scrub: false,
         trace_dir: None,
     };
     let mut argv = std::env::args().skip(1);
@@ -70,6 +78,7 @@ fn parse_args() -> Args {
             }
             "--break-recall" => out.break_recall = true,
             "--break-peerread" => out.break_peerread = true,
+            "--break-scrub" => out.break_scrub = true,
             "--trace-dir" => {
                 let v = argv.next().expect("--trace-dir needs a directory");
                 out.trace_dir = Some(std::path::PathBuf::from(v));
@@ -273,6 +282,60 @@ fn main() {
         }
     }
 
+    // The scripted disk-corruption scenario: silent media rot on a
+    // client's persistent store must be quarantined by verify-on-read
+    // and repaired by the background scrubber — no reader may ever
+    // observe a checksum-failed block.
+    if args.models.contains(&ModelKind::Delegation) {
+        for seed in args.start..args.start + args.seeds {
+            let a = run_disk_corruption(seed, false);
+            let b = run_disk_corruption(seed, false);
+            runs += 2;
+            if let Some(dir) = &args.trace_dir {
+                write_trace(dir, "disk-corruption", seed, &a.protocol_trace);
+            }
+            if a.trace_hash != b.trace_hash
+                || a.history != b.history
+                || a.protocol_trace != b.protocol_trace
+            {
+                determinism_breaks += 1;
+                println!(
+                    "DETERMINISM BREAK: disk-corruption seed={seed} hashes {:#x} vs {:#x}",
+                    a.trace_hash, b.trace_hash
+                );
+                continue;
+            }
+            if a.violations.is_empty() {
+                println!(
+                    "seed={seed} disk-corruption ok (rotted {}, quarantined {}, scrub repairs \
+                     {}, trace {:#x})",
+                    a.corrupted_paths,
+                    a.reader_stats.quarantined_blocks,
+                    a.reader_stats.scrub_repairs,
+                    a.trace_hash
+                );
+                continue;
+            }
+            println!("seed={seed} disk-corruption: {} violation(s)", a.violations.len());
+            violations.push(json!({
+                "seed": seed,
+                "model": "disk-corruption",
+                "suppress_recalls": false,
+                "quarantine_report": {
+                    "corrupted_paths": a.corrupted_paths,
+                    "integrity_failures": a.reader_stats.integrity_failures,
+                    "quarantined_blocks": a.reader_stats.quarantined_blocks,
+                    "refetch_repairs": a.reader_stats.refetch_repairs,
+                    "scrub_repairs": a.reader_stats.scrub_repairs,
+                    "integrity_dirty_loss": a.reader_stats.integrity_dirty_loss,
+                },
+                "violations": a.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+                "shrunk_events": Option::<Vec<String>>::None,
+                "reproducer": Option::<String>::None,
+            }));
+        }
+    }
+
     // Self-test: with recalls suppressed the oracles MUST fire on at
     // least one seed, and the shrinker must produce a reproducer.
     let mut selftest_failed = false;
@@ -343,6 +406,43 @@ fn main() {
         }
     }
 
+    // Self-test: with verify-on-read disabled the store serves rotted
+    // bytes, and the disk-corruption oracle MUST convict nearly every
+    // seed — the rot is planted deterministically, so anything short of
+    // 7 in 8 means the integrity machinery has a blind spot.
+    let mut break_scrub_caught = 0u64;
+    if args.break_scrub {
+        for seed in args.start..args.start + args.seeds {
+            let report = run_disk_corruption(seed, true);
+            runs += 1;
+            if report.violations.is_empty() {
+                println!("self-test: seed={seed} served rot UNCONVICTED");
+                continue;
+            }
+            break_scrub_caught += 1;
+            if break_scrub_caught == 1 {
+                println!(
+                    "self-test: served rot convicted at seed={seed}: {}",
+                    report.violations[0]
+                );
+            }
+        }
+        if break_scrub_caught * 8 < args.seeds * 7 {
+            selftest_failed = true;
+            println!(
+                "SELF-TEST FAILED: a store serving rotted bytes was convicted on only \
+                 {break_scrub_caught}/{} seeds (need 7 in 8) — the integrity oracle has lost \
+                 its teeth",
+                args.seeds
+            );
+        } else {
+            println!(
+                "self-test passed: served rot convicted on {break_scrub_caught}/{} seeds",
+                args.seeds
+            );
+        }
+    }
+
     save_json(
         "chaos_violations.json",
         &json!({
@@ -358,6 +458,11 @@ fn main() {
             },
             "break_peerread_selftest": if args.break_peerread {
                 Some(!selftest_failed)
+            } else {
+                None
+            },
+            "break_scrub_selftest": if args.break_scrub {
+                Some(break_scrub_caught * 8 >= args.seeds * 7)
             } else {
                 None
             },

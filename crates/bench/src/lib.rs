@@ -129,6 +129,11 @@ pub fn read_path_json(stats: &gvfs_core::proxy::client::ProxyClientStats) -> ser
         "peer_misses": stats.peer_misses,
         "peer_fallbacks": stats.peer_fallbacks,
         "peer_bytes_served": stats.peer_bytes_served,
+        "integrity_failures": stats.integrity_failures,
+        "quarantined_blocks": stats.quarantined_blocks,
+        "refetch_repairs": stats.refetch_repairs,
+        "scrub_repairs": stats.scrub_repairs,
+        "integrity_dirty_loss": stats.integrity_dirty_loss,
     })
 }
 
@@ -154,6 +159,11 @@ pub fn session_read_path(
         agg.peer_misses += s.peer_misses;
         agg.peer_fallbacks += s.peer_fallbacks;
         agg.peer_bytes_served += s.peer_bytes_served;
+        agg.integrity_failures += s.integrity_failures;
+        agg.quarantined_blocks += s.quarantined_blocks;
+        agg.refetch_repairs += s.refetch_repairs;
+        agg.scrub_repairs += s.scrub_repairs;
+        agg.integrity_dirty_loss += s.integrity_dirty_loss;
     }
     read_path_json(&agg)
 }

@@ -554,6 +554,24 @@ impl DiskCache {
     pub fn take_disk_cost(&mut self) -> std::time::Duration {
         self.store.take_cost()
     }
+
+    /// Drains extents the backing store quarantined after failed
+    /// checksum verifications (empty for stores without checksums).
+    pub fn take_integrity_events(&mut self) -> Vec<crate::store::IntegrityEvent> {
+        self.store.take_integrity_events()
+    }
+
+    /// Verifies up to `max_bytes` of stored content ahead of demand
+    /// (the scrub sweep); returns bytes verified.
+    pub fn scrub_step(&mut self, max_bytes: usize) -> usize {
+        self.store.scrub_step(max_bytes)
+    }
+
+    /// Toggles verify-on-read in the backing store (the `--break-scrub`
+    /// selftest knob).
+    pub fn set_store_verify(&mut self, on: bool) {
+        self.store.set_verify(on);
+    }
 }
 
 #[cfg(test)]

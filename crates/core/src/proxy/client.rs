@@ -140,6 +140,22 @@ pub struct ProxyClientStats {
     pub peer_fallbacks: u64,
     /// Bytes this client served to other peers' `PEERREAD`s.
     pub peer_bytes_served: u64,
+    /// Checksum verifications the block store failed (bit rot, torn
+    /// writes, unreadable media) — merged from the store's counters.
+    pub integrity_failures: u64,
+    /// Extents the block store quarantined instead of serving — merged
+    /// from the store's counters.
+    pub quarantined_blocks: u64,
+    /// Quarantined *clean* extents the demand read path turned into
+    /// misses and transparently re-fetched from the origin or a peer.
+    pub refetch_repairs: u64,
+    /// Quarantined clean extents the background scrub actor re-fetched
+    /// ahead of any demand read.
+    pub scrub_repairs: u64,
+    /// Quarantined *dirty* extents: locally written bytes lost to
+    /// corruption before write-back. Explicit data loss — the file is
+    /// poisoned like `corrupted_discards`, never silently zero-filled.
+    pub integrity_dirty_loss: u64,
 }
 
 /// One fetch (demand gap or speculative read-ahead) in flight over the
@@ -290,6 +306,9 @@ pub struct ProxyClient {
     /// Chaos selftest knob: serve `PEERREAD`s from raw store content,
     /// skipping the attestation checks — the oracle must convict this.
     break_peerread: AtomicBool,
+    /// The scrub actor's handle, for shutdown (lock rank: after
+    /// `supervisor`; only taken to install/unpark the handle).
+    scrubber: Mutex<Option<gvfs_netsim::ActorHandle>>,
     /// Protocol-event sink for spec-conformance replay, installed once
     /// by the session (shared with the proxy server so `seq` is a
     /// session-global order).
@@ -382,6 +401,7 @@ impl ProxyClient {
             peers: Mutex::new(HashMap::new()),
             peer_hints: Mutex::new(HashMap::new()),
             break_peerread: AtomicBool::new(false),
+            scrubber: Mutex::new(None),
             #[cfg(feature = "trace")]
             trace: std::sync::OnceLock::new(),
         })
@@ -481,6 +501,15 @@ impl ProxyClient {
         self.break_peerread.store(on, Ordering::SeqCst);
     }
 
+    /// Chaos selftest knob: disables the block store's verify-on-read
+    /// (and the scrub sweep), so rotten bytes are served as-is instead
+    /// of quarantined — deliberately breaking the integrity layer so
+    /// the analysis invariant and the chaos oracle can prove they
+    /// convict it.
+    pub fn set_break_scrub(&self, on: bool) {
+        self.disk.lock().set_store_verify(!on);
+    }
+
     /// Drops the peer hint for one invalidated handle: the origin
     /// condemned its advertised copies, so the hint is dead.
     fn drop_peer_hint(&self, fh: Fh3) {
@@ -511,6 +540,8 @@ impl ProxyClient {
         s.cache_evictions = store.evictions;
         s.dedup_hits = store.dedup_hits;
         s.restart_warm_blocks = store.restart_warm_blocks;
+        s.integrity_failures = store.integrity_failures;
+        s.quarantined_blocks = store.quarantined_blocks;
         s
     }
 
@@ -524,10 +555,94 @@ impl ProxyClient {
     /// Charges any simulated disk I/O cost accrued by the block store to
     /// this actor's virtual clock. Must be called with no locks held;
     /// outside an actor the cost is absorbed silently (unit tests).
+    /// Doubles as the backstop drain for integrity events, so a
+    /// quarantine raised anywhere in a service call is attributed
+    /// before the call returns.
     fn settle_disk(&self) {
+        self.drain_integrity_events(false);
         let cost = self.disk.lock().take_disk_cost();
         if !cost.is_zero() && gvfs_netsim::in_actor() {
             gvfs_netsim::sleep(cost);
+        }
+    }
+
+    /// Attributes the store's quarantine events. Dirty extents are
+    /// unrecoverable local writes: the file is poisoned (`corrupted`,
+    /// like crash-recovery conflicts) and counted as explicit data
+    /// loss. Clean extents are now plain cache misses: on the demand
+    /// path (`scrub` false) the very read that uncovered them refetches,
+    /// counted as `refetch_repairs`; the scrub actor (`scrub` true)
+    /// repairs them itself and does its own accounting, so clean events
+    /// are only traced here. `served` events (verification disabled by
+    /// the `--break-scrub` knob) are traced for the replay oracle to
+    /// convict and deliberately not repaired.
+    fn drain_integrity_events(&self, scrub: bool) -> Vec<crate::store::IntegrityEvent> {
+        let events = self.disk.lock().take_integrity_events();
+        for ev in &events {
+            #[cfg(feature = "trace")]
+            self.emit_trace(ProtocolEvent::IntegrityFault {
+                client: self.id,
+                fh: ev.fh.fileid(),
+                dirty: ev.dirty,
+                served: ev.served,
+            });
+            if ev.served {
+                continue;
+            }
+            if ev.dirty {
+                self.state.lock().corrupted.insert(ev.fh);
+                self.stats.lock().integrity_dirty_loss += 1;
+            } else if !scrub {
+                self.stats.lock().refetch_repairs += 1;
+            }
+        }
+        events
+    }
+
+    /// Re-fetches a quarantined clean range ahead of demand (the scrub
+    /// repair). Returns whether the range is fully cached again.
+    fn repair_clean_range(&self, fh: Fh3, offset: u64, len: u64) -> bool {
+        let Ok(len) = usize::try_from(len) else { return false };
+        for _ in 0..4 {
+            if self.disk.lock().missing_ranges(fh, offset, len).is_empty() {
+                return true;
+            }
+            if !self.fetch_missing(fh, offset, len) {
+                return false;
+            }
+        }
+        self.disk.lock().missing_ranges(fh, offset, len).is_empty()
+    }
+
+    /// Runs the background scrub actor until shutdown: every `period`
+    /// it verifies up to `batch` bytes of stored content against their
+    /// checksums (advancing a persistent sweep cursor), re-fetches any
+    /// clean extent the sweep quarantined, and surfaces dirty ones as
+    /// data loss — rot is found and healed ahead of demand instead of
+    /// at first read. Spawn this on its own actor (the session
+    /// middleware does when `scrub_period` is configured).
+    pub fn run_scrubber(self: &Arc<Self>, period: Duration, batch: usize) {
+        *self.scrubber.lock() = Some(gvfs_netsim::current_actor());
+        loop {
+            gvfs_netsim::park_timeout(period);
+            if self.stopped.load(Ordering::SeqCst) {
+                return;
+            }
+            let _ = self.disk.lock().scrub_step(batch);
+            for ev in self.drain_integrity_events(true) {
+                if ev.served || ev.dirty {
+                    continue; // attributed by the drain
+                }
+                if self.repair_clean_range(ev.fh, ev.offset, ev.len) {
+                    self.stats.lock().scrub_repairs += 1;
+                    #[cfg(feature = "trace")]
+                    self.emit_trace(ProtocolEvent::ScrubRepair {
+                        client: self.id,
+                        fh: ev.fh.fileid(),
+                    });
+                }
+            }
+            self.settle_disk();
         }
     }
 
@@ -1099,6 +1214,14 @@ impl ProxyClient {
                     data,
                 };
                 return encode(&res).map(Some);
+            }
+            // The miss may be a fresh quarantine. Attribute it *before*
+            // refetching: a lost dirty extent must surface as an I/O
+            // error here, not be papered over by origin data.
+            self.drain_integrity_events(false);
+            if self.state.lock().corrupted.contains(&a.file) {
+                return encode(&ReadRes::Fail { status: Nfsstat3::Io, file_attributes: None })
+                    .map(Some);
             }
             if !pipelined {
                 return Ok(None);
@@ -2296,7 +2419,7 @@ impl ProxyClient {
         });
     }
 
-    /// Stops the poller, flusher, and supervisor actors.
+    /// Stops the poller, flusher, supervisor, and scrubber actors.
     pub fn shutdown(&self) {
         self.stopped.store(true, Ordering::SeqCst);
         if let Some(h) = self.poller.lock().clone() {
@@ -2306,6 +2429,9 @@ impl ProxyClient {
             h.unpark();
         }
         if let Some(h) = self.supervisor.lock().clone() {
+            h.unpark();
+        }
+        if let Some(h) = self.scrubber.lock().clone() {
             h.unpark();
         }
     }

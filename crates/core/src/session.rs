@@ -129,6 +129,13 @@ pub struct SessionConfig {
     /// Link configuration of every client↔client peer link (only built
     /// when [`SessionConfig::peer_read`] is on).
     pub peer_lan: LinkConfig,
+    /// Background scrub period per client: each tick verifies a batch
+    /// of stored checksums ahead of demand and re-fetches whatever the
+    /// sweep quarantines. `None` (the default) disables the scrub
+    /// actor; only meaningful with [`SessionConfig::persistent_store`].
+    pub scrub_period: Option<Duration>,
+    /// Bytes of stored content each scrub tick verifies.
+    pub scrub_batch: usize,
 }
 
 impl Default for SessionConfig {
@@ -153,6 +160,8 @@ impl Default for SessionConfig {
             disk: gvfs_netsim::disk::DiskConfig::ssd(),
             peer_read: false,
             peer_lan: LinkConfig::lan(),
+            scrub_period: None,
+            scrub_batch: 4 << 20,
         }
     }
 }
@@ -366,6 +375,13 @@ impl SessionBuilder {
             {
                 let p = Arc::clone(&proxy);
                 sim.spawn(&format!("supervisor-{id}"), move || p.run_supervisor());
+            }
+            // The scrub actor only makes sense over a store with
+            // checksums; over the in-memory store every step is a no-op.
+            if let (true, Some(period)) = (config.persistent_store, config.scrub_period) {
+                let p = Arc::clone(&proxy);
+                let batch = config.scrub_batch;
+                sim.spawn(&format!("scrubber-{id}"), move || p.run_scrubber(period, batch));
             }
 
             clients.push(ClientEnd { proxy, node: pc_node, loopback, wan_link, cb_node, disk });

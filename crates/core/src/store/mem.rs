@@ -180,12 +180,7 @@ impl BlockStore for MemStore {
     }
 
     fn stats(&self) -> StoreStats {
-        StoreStats {
-            bytes: self.used as u64,
-            evictions: self.evictions,
-            dedup_hits: 0,
-            restart_warm_blocks: 0,
-        }
+        StoreStats { bytes: self.used as u64, evictions: self.evictions, ..StoreStats::default() }
     }
 
     fn sync(&mut self) {}

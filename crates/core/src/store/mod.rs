@@ -42,6 +42,37 @@ pub struct StoreStats {
     /// Clean blocks served warm from the replayed index after the last
     /// crash/reopen. Always 0 for the in-memory store.
     pub restart_warm_blocks: u64,
+    /// Checksum verifications that failed (a flipped bit, a torn write,
+    /// an unreadable region). Always 0 for the in-memory store.
+    pub integrity_failures: u64,
+    /// Extents quarantined — dropped from the index instead of being
+    /// served — after a failed verification.
+    pub quarantined_blocks: u64,
+    /// Interior WAL frames skipped (quarantined) during replay; later
+    /// durable frames were still applied.
+    pub wal_quarantined_frames: u64,
+}
+
+/// One quarantined extent, reported by [`BlockStore::take_integrity_events`].
+///
+/// Clean extents are re-fetchable: the quarantine turns them into cache
+/// misses the normal origin/peer read path repairs. Dirty extents are
+/// unrecoverable local writes — the client must surface them as explicit
+/// data loss, never refetch over them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityEvent {
+    /// The file the extent belonged to.
+    pub fh: Fh3,
+    /// Absolute offset of the quarantined extent.
+    pub offset: u64,
+    /// Length of the quarantined extent.
+    pub len: u64,
+    /// Whether the extent held dirty (locally written) bytes.
+    pub dirty: bool,
+    /// Whether the corrupt bytes were served anyway (only possible with
+    /// verification disabled via [`BlockStore::set_verify`] — the
+    /// `--break-scrub` selftest knob).
+    pub served: bool,
 }
 
 /// Extent storage for the disk cache; see the module docs.
@@ -130,4 +161,28 @@ pub trait BlockStore: std::fmt::Debug + Send {
     fn take_cost(&mut self) -> Duration {
         Duration::ZERO
     }
+
+    /// Drains the extents quarantined since the last drain. The caller
+    /// attributes them: the demand read path counts clean ones as
+    /// refetch repairs, the scrub actor as scrub repairs, and dirty
+    /// ones as explicit data loss. Stores without verification (the
+    /// in-memory store) never report any.
+    fn take_integrity_events(&mut self) -> Vec<IntegrityEvent> {
+        Vec::new()
+    }
+
+    /// Verifies up to `max_bytes` of stored content ahead of demand,
+    /// advancing a persistent sweep cursor; mismatches quarantine
+    /// exactly as verify-on-read does. Returns the bytes verified (0
+    /// when there is nothing to scrub). No-op for stores without
+    /// checksums.
+    fn scrub_step(&mut self, _max_bytes: usize) -> usize {
+        0
+    }
+
+    /// Disables (or re-enables) verify-on-read — the `--break-scrub`
+    /// selftest knob: with verification off, corrupt bytes are served
+    /// as-is, which the chaos oracles and the analysis invariant must
+    /// convict. No-op for stores without checksums.
+    fn set_verify(&mut self, _on: bool) {}
 }

@@ -123,6 +123,15 @@ pub enum ProtocolEvent {
     /// `client` fell back to the origin for a block no live peer could
     /// serve (miss, breaker-open, timeout, or verification failure).
     PeerFallback { client: u32, fh: u64 },
+    /// `client`'s store failed a checksum verification on `fh`: `dirty`
+    /// when the quarantined bytes were unflushed local writes (explicit
+    /// data loss), `served` when verification was disabled and the
+    /// corrupt bytes went to the reader anyway (the `--break-scrub`
+    /// knob; the replay oracle must convict such a trace).
+    IntegrityFault { client: u32, fh: u64, dirty: bool, served: bool },
+    /// `client`'s scrub actor re-fetched a clean extent it had
+    /// quarantined, healing the rot before any reader missed on it.
+    ScrubRepair { client: u32, fh: u64 },
 }
 
 impl ProtocolEvent {
@@ -148,6 +157,8 @@ impl ProtocolEvent {
             ProtocolEvent::PeerServe { .. } => "peer_serve",
             ProtocolEvent::PeerFetch { .. } => "peer_fetch",
             ProtocolEvent::PeerFallback { .. } => "peer_fallback",
+            ProtocolEvent::IntegrityFault { .. } => "integrity_fault",
+            ProtocolEvent::ScrubRepair { .. } => "scrub_repair",
         }
     }
 }
@@ -218,8 +229,16 @@ impl TraceRecord {
                     u32::from(*ok)
                 ));
             }
-            ProtocolEvent::PeerFallback { client, fh } => {
+            ProtocolEvent::PeerFallback { client, fh }
+            | ProtocolEvent::ScrubRepair { client, fh } => {
                 s.push_str(&format!(r#","client":{client},"fh":{fh}"#));
+            }
+            ProtocolEvent::IntegrityFault { client, fh, dirty, served } => {
+                s.push_str(&format!(
+                    r#","client":{client},"fh":{fh},"dirty":{},"served":{}"#,
+                    u32::from(*dirty),
+                    u32::from(*served)
+                ));
             }
         }
         s.push('}');
@@ -295,13 +314,24 @@ mod tests {
         buf.record_at(1, ProtocolEvent::Grant { client: 1, fh: 7, kind: TraceKind::Write });
         buf.record_at(2, ProtocolEvent::RecallDone { client: 1, fh: 7, ok: false, pending: 3 });
         buf.record_at(3, ProtocolEvent::Validate { client: 2, force: true, n: 4, ts: 9 });
+        buf.record_at(
+            4,
+            ProtocolEvent::IntegrityFault { client: 1, fh: 7, dirty: true, served: false },
+        );
+        buf.record_at(5, ProtocolEvent::ScrubRepair { client: 1, fh: 7 });
         let jsonl = buf.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 6);
         assert!(lines[0].contains(r#""ev":"meta""#) && lines[0].contains(r#""lease_ms":30000"#));
         assert!(lines[1].contains(r#""kind":"write""#));
         assert!(lines[2].contains(r#""ok":0"#) && lines[2].contains(r#""pending":3"#));
         assert!(lines[3].contains(r#""force":1"#) && lines[3].contains(r#""ts":9"#));
+        assert!(
+            lines[4].contains(r#""ev":"integrity_fault""#)
+                && lines[4].contains(r#""dirty":1"#)
+                && lines[4].contains(r#""served":0"#)
+        );
+        assert!(lines[5].contains(r#""ev":"scrub_repair""#) && lines[5].contains(r#""fh":7"#));
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub use history::{Event, History, Observation};
 pub use oracle::{Violation, ViolationKind};
 pub use plan::{compile_fault_plans, generate_events, FaultEvent};
 pub use scenario::{
-    run_crash_restart, run_partition_heal, run_peer_partition, CrashRestartReport,
-    PartitionHealReport, PeerPartitionReport,
+    run_crash_restart, run_disk_corruption, run_partition_heal, run_peer_partition,
+    CrashRestartReport, DiskCorruptionReport, PartitionHealReport, PeerPartitionReport,
 };
 pub use shrink::{format_reproducer, shrink_failure, Shrunk};

@@ -21,6 +21,15 @@
 //! the server, the never-synced write vanishes entirely (it was never
 //! acknowledged durable by a barrier), and no reader anywhere observes
 //! a torn block or the discarded write's data.
+//!
+//! The fourth (after **peer-partition** below) is **disk-corruption**:
+//! silent media rot lands on a client's persistent store — one flipped
+//! byte in every stored file, plus a seeded [`DiskFaultPlan`] of torn
+//! writes and read-time bit rot — and verify-on-read plus the
+//! background scrubber must quarantine and repair every mismatch
+//! before any reader observes it.
+//!
+//! [`DiskFaultPlan`]: gvfs_netsim::disk::DiskFaultPlan
 
 use crate::chaos::driver::ModelKind;
 use crate::chaos::history::{
@@ -962,6 +971,377 @@ pub fn run_peer_partition(seed: u64, broken_peer: bool) -> PeerPartitionReport {
         seed,
         reader_stats,
         broken_peer,
+        trace_hash: trace_hash(&history),
+        history,
+        violations,
+        protocol_trace: protocol_trace.to_jsonl(),
+    }
+}
+
+/// Block size of the disk-corruption scenario's chunked file.
+const ROT_BLOCK: u64 = 32 * 1024;
+/// The chunked file spans four blocks, comfortably past the store's
+/// small-file threshold, so its clean bytes land as content-addressed
+/// chunk files under `chunks/`; the two tag files stay under the
+/// threshold and land as per-handle segments under `data/`.
+const ROT_BLOCKS: u64 = 4;
+/// Fill byte of the chunked file (never overwritten).
+const ROT_FILL: u8 = 0x5a;
+/// History index of the chunked file's block `b` (`10 + b`); the tag
+/// files use indices 0 and 1.
+const ROT_BIG_FILE: usize = 10;
+
+/// The outcome of one disk-corruption run.
+#[derive(Debug)]
+pub struct DiskCorruptionReport {
+    /// The scenario seed (jitters the op schedule, picks the rotted
+    /// bytes, and seeds the disk fault plan).
+    pub seed: u64,
+    /// Client 0's (the corrupted machine's) proxy statistics at
+    /// shutdown — carries the `integrity_failures` /
+    /// `quarantined_blocks` / `scrub_repairs` counters the harness
+    /// asserts on.
+    pub reader_stats: gvfs_core::proxy::client::ProxyClientStats,
+    /// Whether the run disabled verify-on-read (`--break-scrub`): the
+    /// store serves rotted bytes and the oracle must convict.
+    pub break_scrub: bool,
+    /// Stored files (under `data/` and `chunks/`) the operator rotted.
+    pub corrupted_paths: usize,
+    /// The full recorded history.
+    pub history: Vec<Event>,
+    /// Deterministic fingerprint of the history.
+    pub trace_hash: u64,
+    /// Oracle rejections; empty = clean.
+    pub violations: Vec<Violation>,
+    /// The protocol-event trace (JSONL), for conformance replay.
+    pub protocol_trace: String,
+}
+
+/// The tag seeded into `/rot-{i}` (out of band, never overwritten).
+pub fn rot_tag(file: usize) -> u64 {
+    make_tag(9, 1 + file as u64)
+}
+
+/// Runs the disk-corruption scenario for `seed`. With
+/// `break_scrub = false` this is the 32-seed matrix scenario; with
+/// `break_scrub = true` it is the `--break-scrub` self-test arm the
+/// oracle must convict.
+///
+/// Phase map (virtual seconds; every op carries ≤200 ms seeded jitter):
+///
+/// - **0–6 warm-up**: client 0 reads `/rot-0` and `/rot-1` (512-byte
+///   tag files → `data/` segments) and all four blocks of `/rot-big`
+///   (128 KiB of one fill byte → a content-addressed chunk under
+///   `chunks/`); client 1 reads `/rot-1` into its own, never-corrupted
+///   store.
+/// - **7.5–9.5 WAN noise**: a seeded message-drop window on client 0's
+///   WAN link, composing the wire fault plan with the disk fault plan
+///   (both draw from dedicated seeded RNGs, so the composition replays
+///   identically).
+/// - **10 rot**: the operator flips one seeded byte in every stored
+///   file under `data/` and `chunks/` on client 0's disk (durably —
+///   media decay, not a transport error), and arms a seeded
+///   [`gvfs_netsim::disk::DiskFaultPlan`] over the same prefixes: torn
+///   repair writes until 16 s and read-time bit rot until 30 s. No
+///   crash is scripted: replay skips the pre-write verification, so a
+///   crash window would launder rot into fresh checksums — that corner
+///   is excluded here and documented in the store.
+/// - **10–18 self-heal**: the background scrubber sweeps the store
+///   (1 s period), quarantines every checksum mismatch, and refetches
+///   the clean bytes from the origin; torn repair writes are caught by
+///   the next sweep and repaired again.
+/// - **18+ verify**: both clients re-read everything. Every read must
+///   observe the seeded content — never a rotted, torn, or partially
+///   repaired block. With `break_scrub` the store serves the rot
+///   instead, which the oracle convicts.
+pub fn run_disk_corruption(seed: u64, break_scrub: bool) -> DiskCorruptionReport {
+    let sim = Sim::new();
+    let mut config = ModelKind::Delegation.session_config();
+    config.persistent_store = true;
+    config.scrub_period = Some(Duration::from_secs(1));
+    let session = Session::builder(config).clients(2).establish(&sim);
+    let protocol_trace = session.install_trace();
+
+    // Pre-populate out of band: two tag files and the chunked file.
+    let vfs = Arc::clone(session.vfs());
+    let t0 = gvfs_vfs::Timestamp::from_nanos(0);
+    for file in 0..2usize {
+        let id =
+            vfs.create(vfs.root(), &format!("rot-{file}"), 0o644, t0).expect("create tag file");
+        vfs.write(id, 0, &encode_tag(rot_tag(file)), t0).expect("initialize tag file");
+    }
+    let id = vfs.create(vfs.root(), "rot-big", 0o644, t0).expect("create chunked file");
+    vfs.write(id, 0, &vec![ROT_FILL; (ROT_BLOCKS * ROT_BLOCK) as usize], t0)
+        .expect("initialize chunked file");
+
+    if break_scrub {
+        // The self-test knob: verify-on-read (and with it the scrub
+        // sweep) is disabled, so the store serves whatever the platter
+        // holds.
+        session.proxy_client(0).set_break_scrub(true);
+    }
+
+    // WAN noise on the corrupted machine's link, composed with the
+    // disk faults below.
+    let events = vec![FaultEvent::Drop {
+        client: 0,
+        to_server: true,
+        at_ms: 7_500,
+        dur_ms: 2_000,
+        permille: 250,
+    }];
+    for (client, to_server, plan) in compile_fault_plans(seed, &events) {
+        session.wan_link(client).set_fault_plan(to_server, Some(plan));
+    }
+
+    let history = Arc::new(History::new());
+    let done = Arc::new(AtomicUsize::new(0));
+    let session = Arc::new(session);
+    let corrupted_paths = Arc::new(AtomicUsize::new(0));
+
+    let read_block = |client: &NfsClient,
+                      history: &History,
+                      id: usize,
+                      fh: gvfs_nfs3::Fh3,
+                      block: u64,
+                      when: SimTime| {
+        sleep_until(when);
+        let started = gvfs_netsim::now();
+        if let Ok(buf) = client.read(fh, block * ROT_BLOCK, ROT_BLOCK as u32) {
+            let finished = gvfs_netsim::now();
+            let observed = if buf.len() == ROT_BLOCK as usize && buf.iter().all(|&b| b == buf[0]) {
+                Observation::Tag(u64::from(buf[0]))
+            } else {
+                Observation::Torn
+            };
+            history.push(Event::Read {
+                client: id,
+                file: ROT_BIG_FILE + block as usize,
+                observed,
+                started,
+                finished,
+            });
+        }
+    };
+
+    // Client 0: the machine whose platter rots. Warm reads populate the
+    // persistent store; verify reads must never observe the rot.
+    {
+        let transport = session.client_transport(0);
+        let verify_transport = session.client_transport(0);
+        let root = session.root_fh();
+        let history = Arc::clone(&history);
+        let done = Arc::clone(&done);
+        sim.spawn("rot-reader", move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(11).wrapping_add(1));
+            sleep_until(at(&mut rng, 1));
+            let client = NfsClient::new(transport, root, MountOptions::noac());
+            let t0 = client.resolve("/rot-0").expect("resolve /rot-0");
+            let t1 = client.resolve("/rot-1").expect("resolve /rot-1");
+            let big = client.resolve("/rot-big").expect("resolve /rot-big");
+            let s = Scripted { client: &client, history: &history, id: 0 };
+
+            // Warm-up: everything lands clean in the persistent store.
+            s.read(t0, 0, at(&mut rng, 2));
+            s.read(t1, 1, at(&mut rng, 3));
+            for block in 0..ROT_BLOCKS {
+                read_block(&client, &history, 0, big, block, at(&mut rng, 4));
+            }
+
+            // Verify: past the rot (10 s) and several scrub sweeps. A
+            // fresh mount — nothing ever writes these files, so the
+            // first mount's kernel page cache would revalidate clean
+            // and serve its own warm copies; the verify reads must
+            // come back through the proxy's stored (rotted) bytes.
+            sleep_until(at(&mut rng, 18));
+            let verify = NfsClient::new(verify_transport, root, MountOptions::noac());
+            let t0 = verify.resolve("/rot-0").expect("re-resolve /rot-0");
+            let t1 = verify.resolve("/rot-1").expect("re-resolve /rot-1");
+            let big = verify.resolve("/rot-big").expect("re-resolve /rot-big");
+            let s = Scripted { client: &verify, history: &history, id: 0 };
+            s.read(t0, 0, at(&mut rng, 18));
+            s.read(t1, 1, at(&mut rng, 19));
+            for block in 0..ROT_BLOCKS {
+                read_block(&verify, &history, 0, big, block, at(&mut rng, 20));
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // Client 1: a bystander on an honest platter; its reads pin the
+    // origin copy as unaffected by client 0's rot.
+    {
+        let transport = session.client_transport(1);
+        let root = session.root_fh();
+        let history = Arc::clone(&history);
+        let done = Arc::clone(&done);
+        sim.spawn("rot-bystander", move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(11).wrapping_add(2));
+            sleep_until(at(&mut rng, 3));
+            let client = NfsClient::new(transport, root, MountOptions::noac());
+            let t1 = client.resolve("/rot-1").expect("resolve /rot-1");
+            let s = Scripted { client: &client, history: &history, id: 1 };
+            s.read(t1, 1, at(&mut rng, 4));
+            s.read(t1, 1, at(&mut rng, 21));
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // The operator: at 10 s, rots one seeded byte of every stored file
+    // under data/ and chunks/ on client 0's disk, and arms the seeded
+    // disk fault plan over the same prefixes.
+    {
+        let session = Arc::clone(&session);
+        let done = Arc::clone(&done);
+        let corrupted_paths = Arc::clone(&corrupted_paths);
+        sim.spawn("rot-operator", move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(11).wrapping_add(3));
+            sleep_until(SimTime::from_millis(10_000));
+            let disk = session.client_disk(0).expect("persistent store has a disk");
+            let mut rotted = 0usize;
+            for prefix in ["data/", "chunks/"] {
+                for path in disk.list(prefix) {
+                    let len = disk.len(&path).unwrap_or(0);
+                    if len == 0 {
+                        continue;
+                    }
+                    let offset = rng.gen_range(0..len);
+                    let xor = rng.gen_range(1u8..=255);
+                    if disk.corrupt_byte(&path, offset, xor) {
+                        rotted += 1;
+                    }
+                }
+            }
+            corrupted_paths.store(rotted, Ordering::SeqCst);
+            disk.set_fault_plan(Some(
+                gvfs_netsim::disk::DiskFaultPlan::new(seed ^ 0xd15c_0000)
+                    .with_torn_writes(
+                        gvfs_netsim::fault::Window::new(
+                            SimTime::from_secs(10),
+                            SimTime::from_secs(16),
+                        ),
+                        0.25,
+                    )
+                    .with_flips(
+                        gvfs_netsim::fault::Window::new(
+                            SimTime::from_secs(10),
+                            SimTime::from_secs(30),
+                        ),
+                        0.1,
+                    )
+                    .with_path_prefix("data/")
+                    .with_path_prefix("chunks/"),
+            ));
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // Closer: waits for both readers and the operator, then shuts down.
+    {
+        let session = Arc::clone(&session);
+        let done = Arc::clone(&done);
+        let handle = session.handle();
+        sim.spawn("rot-closer", move || {
+            loop {
+                gvfs_netsim::park_timeout(Duration::from_secs(1));
+                if done.load(Ordering::SeqCst) >= 3 {
+                    break;
+                }
+            }
+            handle.shutdown();
+        });
+    }
+
+    sim.run();
+
+    let reader_stats = session.proxy_client(0).stats();
+    let corrupted_paths = corrupted_paths.load(Ordering::SeqCst);
+    let history = history.events();
+    let mut violations = Vec::new();
+
+    // The heart of the scenario: no checksum-failed block may ever
+    // reach a reader. A rotted byte turns a uniform block or tag file
+    // into a torn observation — any torn read is a served corruption.
+    for ev in &history {
+        if let Event::Read { client, file, observed: Observation::Torn, started, .. } = ev {
+            violations.push(Violation {
+                kind: oracle::ViolationKind::TornRead,
+                detail: format!(
+                    "client {client} read a corrupted block of file {file} at {started:?} — a \
+                     checksum-failed block reached a reader"
+                ),
+            });
+        }
+    }
+    // Nothing ever writes these files, so every read must observe the
+    // seeded content exactly.
+    for ev in &history {
+        let Event::Read { client, file, observed: Observation::Tag(t), started, .. } = ev else {
+            continue;
+        };
+        let want = match *file {
+            0 | 1 => rot_tag(*file),
+            f if f >= ROT_BIG_FILE => u64::from(ROT_FILL),
+            _ => continue,
+        };
+        if *t != want {
+            violations.push(Violation {
+                kind: oracle::ViolationKind::InvalidValue,
+                detail: format!(
+                    "client {client} read {t:#x} of file {file} at {started:?}, expected \
+                     {want:#x}; nothing ever wrote this file"
+                ),
+            });
+        }
+    }
+    // Engagement checks (honest run only): the rot must have landed on
+    // both storage classes, verify-on-read must have caught it, and the
+    // scrubber — not just demand traffic — must have repaired ahead of
+    // the verify reads.
+    if !break_scrub {
+        if corrupted_paths < 2 {
+            violations.push(Violation {
+                kind: oracle::ViolationKind::FinalState,
+                detail: format!(
+                    "the operator rotted only {corrupted_paths} stored file(s); the scenario \
+                     needs both a data/ segment and a chunks/ chunk"
+                ),
+            });
+        }
+        if reader_stats.integrity_failures == 0 {
+            violations.push(Violation {
+                kind: oracle::ViolationKind::FinalState,
+                detail: "verify-on-read never caught the planted rot".into(),
+            });
+        }
+        if reader_stats.quarantined_blocks == 0 {
+            violations.push(Violation {
+                kind: oracle::ViolationKind::FinalState,
+                detail: "no rotted extent was ever quarantined".into(),
+            });
+        }
+        if reader_stats.scrub_repairs == 0 {
+            violations.push(Violation {
+                kind: oracle::ViolationKind::FinalState,
+                detail: "the background scrubber never repaired a quarantined extent".into(),
+            });
+        }
+        if reader_stats.integrity_dirty_loss != 0 {
+            violations.push(Violation {
+                kind: oracle::ViolationKind::FinalState,
+                detail: format!(
+                    "{} dirty extent(s) reported lost; the scenario only rots clean data",
+                    reader_stats.integrity_dirty_loss
+                ),
+            });
+        }
+    }
+
+    DiskCorruptionReport {
+        seed,
+        reader_stats,
+        break_scrub,
+        corrupted_paths,
         trace_hash: trace_hash(&history),
         history,
         violations,

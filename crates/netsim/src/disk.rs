@@ -15,12 +15,25 @@
 //! and charge it to their own actor clock via [`crate::sleep`] at a
 //! point where no locks are held — sleeping inside a store method would
 //! deadlock the cooperative scheduler if the store's mutex is contended.
+//!
+//! Beyond crashes, a seeded [`DiskFaultPlan`] injects *media* faults —
+//! durable bit flips surfacing at read time, torn sector writes, and
+//! transient or permanent read errors per offset range — the storage
+//! sibling of the WAN-side [`crate::fault::FaultPlan`], so disk chaos
+//! and network chaos compose in one deterministic run.
 
+use crate::fault::{ProbWindow, Window};
+use crate::time::SimTime;
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Sector granularity for torn (partial) writes.
+const SECTOR: usize = 512;
 
 /// Cost model for one simulated disk.
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +91,136 @@ pub struct DiskStats {
     pub syncs: u64,
     /// Simulated crashes.
     pub crashes: u64,
+    /// Bits flipped in durable bytes by the fault plan.
+    pub flips_injected: u64,
+    /// Writes torn at a sector boundary by the fault plan.
+    pub torn_writes: u64,
+    /// Reads failed (transient or permanent) by the fault plan.
+    pub read_errors_injected: u64,
+}
+
+/// Why a [`VirtualDisk::try_read`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskError {
+    /// A one-off media error; a retry may succeed.
+    Transient,
+    /// An unrecoverable bad region; every overlapping read fails.
+    Permanent,
+}
+
+/// A read-error region: file offsets `[start, end)` (any path the plan
+/// covers). `permanent` regions always fail; otherwise each overlapping
+/// read rolls `probability`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorRange {
+    /// First failing byte offset.
+    pub start: u64,
+    /// First offset past the failing region.
+    pub end: u64,
+    /// Per-read failure probability (ignored when `permanent`).
+    pub probability: f64,
+    /// Whether the region is permanently unreadable.
+    pub permanent: bool,
+}
+
+/// Seeded disk-fault injection, the storage-side sibling of
+/// [`crate::fault::FaultPlan`]: bit flips in durable bytes, torn
+/// (partial-sector) writes, and transient or permanent read errors per
+/// offset range. All randomness comes from one seed expanded into a
+/// dedicated RNG, and dice are rolled under the disk mutex inside the
+/// serialized scheduler, so a plan replays the identical fate sequence
+/// on every run — WAN chaos ([`crate::fault::FaultPlan`]) and disk
+/// chaos compose deterministically.
+///
+/// The draw order per operation is fixed: reads roll transient-error
+/// dice first (only when an [`ErrorRange`] overlaps), then bit-flip
+/// dice (only when a flip window covers the current virtual time);
+/// writes roll torn-write dice. An empty plan injects nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiskFaultPlan {
+    /// Seed for the disk's private RNG.
+    pub seed: u64,
+    /// Bit-rot windows: each covered read rolls the probability and, on
+    /// a hit, one bit inside the read range flips *durably* (the flip
+    /// persists in both current and durable content — it is media decay
+    /// surfacing at read time, not a transport error).
+    pub flips: Vec<ProbWindow>,
+    /// Torn-write windows: each covered write or append rolls the
+    /// probability and, on a hit, only a prefix cut at a sector
+    /// boundary actually lands.
+    pub torn: Vec<ProbWindow>,
+    /// Read-error regions (see [`ErrorRange`]).
+    pub read_errors: Vec<ErrorRange>,
+    /// Path prefixes the plan applies to; empty means every path.
+    pub path_prefixes: Vec<String>,
+}
+
+impl DiskFaultPlan {
+    /// An empty plan seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        DiskFaultPlan { seed, ..DiskFaultPlan::default() }
+    }
+
+    /// Adds a bit-rot window with the given per-read probability.
+    #[must_use]
+    pub fn with_flips(mut self, window: Window, probability: f64) -> Self {
+        self.flips.push(ProbWindow { window, probability });
+        self
+    }
+
+    /// Adds a torn-write window with the given per-write probability.
+    #[must_use]
+    pub fn with_torn_writes(mut self, window: Window, probability: f64) -> Self {
+        self.torn.push(ProbWindow { window, probability });
+        self
+    }
+
+    /// Adds a transient read-error region over offsets `[start, end)`.
+    #[must_use]
+    pub fn with_transient_read_errors(mut self, start: u64, end: u64, probability: f64) -> Self {
+        self.read_errors.push(ErrorRange { start, end, probability, permanent: false });
+        self
+    }
+
+    /// Adds a permanently unreadable region over offsets `[start, end)`.
+    #[must_use]
+    pub fn with_permanent_read_error(mut self, start: u64, end: u64) -> Self {
+        self.read_errors.push(ErrorRange { start, end, probability: 1.0, permanent: true });
+        self
+    }
+
+    /// Restricts the plan to paths starting with `prefix` (additive;
+    /// a plan with no prefixes covers every path).
+    #[must_use]
+    pub fn with_path_prefix(mut self, prefix: &str) -> Self {
+        self.path_prefixes.push(prefix.to_owned());
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.flips.is_empty() && self.torn.is_empty() && self.read_errors.is_empty()
+    }
+
+    fn covers(&self, path: &str) -> bool {
+        self.path_prefixes.is_empty() || self.path_prefixes.iter().any(|p| path.starts_with(p))
+    }
+}
+
+/// A plan plus its running RNG, owned by one disk.
+#[derive(Debug)]
+struct DiskFaultState {
+    plan: DiskFaultPlan,
+    rng: StdRng,
+}
+
+impl DiskFaultState {
+    fn new(plan: DiskFaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        DiskFaultState { plan, rng }
+    }
 }
 
 #[derive(Debug, Default, Clone)]
@@ -96,6 +239,73 @@ struct VFile {
 struct DiskInner {
     files: HashMap<String, VFile>,
     stats: DiskStats,
+    faults: Option<DiskFaultState>,
+}
+
+impl DiskInner {
+    /// Rolls the torn-write die for one write of `len` bytes at virtual
+    /// time `t`; `Some(keep)` tears the write down to its first `keep`
+    /// bytes (a sector-aligned prefix, possibly empty).
+    fn roll_torn(&mut self, path: &str, len: usize, t: SimTime) -> Option<usize> {
+        let fs = self.faults.as_mut()?;
+        if len == 0 || !fs.plan.covers(path) {
+            return None;
+        }
+        let p = fs.plan.torn.iter().find(|p| p.window.contains(t))?;
+        if !fs.rng.gen_bool(p.probability) {
+            return None;
+        }
+        let cut = fs.rng.gen_range(0..len);
+        Some(cut / SECTOR * SECTOR)
+    }
+
+    /// Rolls the read dice for one read. `Err` fails the read;
+    /// `Ok(Some((rel, bit)))` flips one bit `rel` bytes into the read
+    /// range before serving it.
+    fn roll_read(
+        &mut self,
+        path: &str,
+        offset: u64,
+        len: usize,
+        t: SimTime,
+    ) -> Result<Option<(usize, u8)>, DiskError> {
+        let Some(fs) = self.faults.as_mut() else { return Ok(None) };
+        if !fs.plan.covers(path) {
+            return Ok(None);
+        }
+        let end = offset.saturating_add(len as u64);
+        for r in &fs.plan.read_errors {
+            if r.permanent && r.start < end && offset < r.end {
+                return Err(DiskError::Permanent);
+            }
+        }
+        for i in 0..fs.plan.read_errors.len() {
+            let r = fs.plan.read_errors[i];
+            if !r.permanent && r.start < end && offset < r.end && fs.rng.gen_bool(r.probability) {
+                return Err(DiskError::Transient);
+            }
+        }
+        if len > 0 {
+            if let Some(p) = fs.plan.flips.iter().find(|p| p.window.contains(t)).copied() {
+                if fs.rng.gen_bool(p.probability) {
+                    let rel = fs.rng.gen_range(0..len);
+                    let bit = u8::try_from(fs.rng.gen_range(0..8u32)).expect("bit in 0..8");
+                    return Ok(Some((rel, bit)));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// The current virtual time, or `ZERO` outside the simulation (unit
+/// tests and property tests drive the disk without a scheduler).
+fn sim_now() -> SimTime {
+    if crate::in_actor() {
+        crate::now()
+    } else {
+        SimTime::ZERO
+    }
 }
 
 /// A deterministic in-memory disk; see the module docs.
@@ -140,10 +350,23 @@ impl VirtualDisk {
         self.inner.lock().stats
     }
 
-    /// Writes `bytes` at `offset`, zero-extending any hole.
+    /// Installs (or clears) the disk's fault plan; the plan's RNG
+    /// restarts from its seed.
+    pub fn set_fault_plan(&self, plan: Option<DiskFaultPlan>) {
+        self.inner.lock().faults = plan.map(DiskFaultState::new);
+    }
+
+    /// Writes `bytes` at `offset`, zero-extending any hole. A torn-write
+    /// fault lands only a sector-aligned prefix.
     pub fn write(&self, path: &str, offset: u64, bytes: &[u8]) {
+        let t = sim_now();
         self.charge(bytes.len(), self.cfg.write_bps);
         let mut inner = self.inner.lock();
+        let keep = inner.roll_torn(path, bytes.len(), t);
+        if keep.is_some() {
+            inner.stats.torn_writes += 1;
+        }
+        let bytes = &bytes[..keep.unwrap_or(bytes.len())];
         inner.stats.writes += 1;
         inner.stats.bytes_written += bytes.len() as u64;
         let file = inner.files.entry(path.to_owned()).or_default();
@@ -161,10 +384,18 @@ impl VirtualDisk {
         file.data[off..end].copy_from_slice(bytes);
     }
 
-    /// Appends `bytes`, returning the offset they landed at.
+    /// Appends `bytes`, returning the offset they landed at. A torn
+    /// append lands only a sector-aligned prefix — the file ends
+    /// mid-record and later appends continue from the torn end.
     pub fn append(&self, path: &str, bytes: &[u8]) -> u64 {
+        let t = sim_now();
         self.charge(bytes.len(), self.cfg.write_bps);
         let mut inner = self.inner.lock();
+        let keep = inner.roll_torn(path, bytes.len(), t);
+        if keep.is_some() {
+            inner.stats.torn_writes += 1;
+        }
+        let bytes = &bytes[..keep.unwrap_or(bytes.len())];
         inner.stats.writes += 1;
         inner.stats.bytes_written += bytes.len() as u64;
         let file = inner.files.entry(path.to_owned()).or_default();
@@ -178,18 +409,112 @@ impl VirtualDisk {
     }
 
     /// Reads up to `len` bytes at `offset`; short at end of file, `None`
-    /// if the file does not exist.
+    /// if the file does not exist. Injected read errors surface as
+    /// `None` here; fault-aware callers use [`VirtualDisk::try_read`].
     pub fn read(&self, path: &str, offset: u64, len: usize) -> Option<Vec<u8>> {
+        self.try_read(path, offset, len).unwrap_or(None)
+    }
+
+    /// Reads up to `len` bytes at `offset`, distinguishing an injected
+    /// media error ([`DiskError`]) from an absent file (`Ok(None)`). A
+    /// bit-rot fault flips one bit *durably* inside the range before
+    /// serving it.
+    pub fn try_read(
+        &self,
+        path: &str,
+        offset: u64,
+        len: usize,
+    ) -> Result<Option<Vec<u8>>, DiskError> {
+        let t = sim_now();
         let mut inner = self.inner.lock();
-        let file = inner.files.get(path).filter(|f| !f.deleted)?;
+        if inner.files.get(path).is_none_or(|f| f.deleted) {
+            return Ok(None);
+        }
+        let flip = match inner.roll_read(path, offset, len, t) {
+            Err(e) => {
+                inner.stats.reads += 1;
+                inner.stats.read_errors_injected += 1;
+                drop(inner);
+                self.charge(0, self.cfg.read_bps);
+                return Err(e);
+            }
+            Ok(flip) => flip,
+        };
+        let file = inner.files.get_mut(path).expect("checked present");
         let off = usize::try_from(offset).expect("offset fits usize");
+        let mut flipped = false;
+        if let Some((rel, bit)) = flip {
+            if off < file.data.len() {
+                let span = file.data.len().min(off + len) - off;
+                let idx = off + rel % span;
+                file.data[idx] ^= 1 << bit;
+                if idx < file.durable.len() {
+                    file.durable[idx] ^= 1 << bit;
+                }
+                flipped = true;
+            }
+        }
         let end = off.saturating_add(len).min(file.data.len());
         let out = if off >= file.data.len() { Vec::new() } else { file.data[off..end].to_vec() };
         inner.stats.reads += 1;
         inner.stats.bytes_read += out.len() as u64;
+        if flipped {
+            inner.stats.flips_injected += 1;
+        }
         drop(inner);
         self.charge(out.len(), self.cfg.read_bps);
-        Some(out)
+        Ok(Some(out))
+    }
+
+    /// Verification read: charges no cost, counts no stats and rolls no
+    /// dice — checksum verification models as piggybacked on the data
+    /// transfer it guards — but permanently unreadable regions still
+    /// fail (media that cannot be read cannot be verified either).
+    pub fn read_quiet(
+        &self,
+        path: &str,
+        offset: u64,
+        len: usize,
+    ) -> Result<Option<Vec<u8>>, DiskError> {
+        let inner = self.inner.lock();
+        let Some(file) = inner.files.get(path).filter(|f| !f.deleted) else { return Ok(None) };
+        if let Some(fs) = &inner.faults {
+            if fs.plan.covers(path) {
+                let end = offset.saturating_add(len as u64);
+                if fs
+                    .plan
+                    .read_errors
+                    .iter()
+                    .any(|r| r.permanent && r.start < end && offset < r.end)
+                {
+                    return Err(DiskError::Permanent);
+                }
+            }
+        }
+        let off = usize::try_from(offset).expect("offset fits usize");
+        let end = off.saturating_add(len).min(file.data.len());
+        Ok(Some(if off >= file.data.len() { Vec::new() } else { file.data[off..end].to_vec() }))
+    }
+
+    /// Deterministically corrupts one byte (XOR mask) in both current
+    /// and durable content — targeted bit rot for tests and ablations.
+    /// Returns `false` if the path is absent or shorter than `offset`.
+    pub fn corrupt_byte(&self, path: &str, offset: u64, xor: u8) -> bool {
+        if xor == 0 {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        let Some(file) = inner.files.get_mut(path).filter(|f| !f.deleted) else { return false };
+        let off = usize::try_from(offset).expect("offset fits usize");
+        if off >= file.data.len() {
+            return false;
+        }
+        file.data[off] ^= xor;
+        if off < file.durable.len() {
+            file.durable[off] ^= xor;
+        }
+        inner.stats.flips_injected += 1;
+        true
     }
 
     /// Current length of `path`, or `None` if absent.
@@ -387,6 +712,106 @@ mod tests {
         d.remove("f");
         d.write("f", 0, b"nw");
         assert_eq!(d.read("f", 0, 16).unwrap(), b"nw", "no stale tail from the removed file");
+    }
+
+    fn always() -> Window {
+        Window::new(SimTime::ZERO, SimTime::from_secs(1 << 20))
+    }
+
+    #[test]
+    fn flip_fault_is_durable_and_counted() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.write("data/f", 0, &[0xAA; 64]);
+        d.sync();
+        d.set_fault_plan(Some(DiskFaultPlan::new(7).with_flips(always(), 1.0)));
+        let corrupted = d.read("data/f", 0, 64).unwrap();
+        d.set_fault_plan(None);
+        let diff: u32 = corrupted.iter().map(|b| (b ^ 0xAA).count_ones()).sum();
+        assert_eq!(diff, 1, "exactly one bit flipped");
+        assert_eq!(d.stats().flips_injected, 1);
+        assert_eq!(d.read("data/f", 0, 64).unwrap(), corrupted, "flip persists");
+        d.crash();
+        assert_eq!(d.read("data/f", 0, 64).unwrap(), corrupted, "flip is durable");
+    }
+
+    #[test]
+    fn torn_write_lands_sector_prefix() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.set_fault_plan(Some(DiskFaultPlan::new(3).with_torn_writes(always(), 1.0)));
+        d.write("data/f", 0, &[7u8; 2000]);
+        let len = d.len("data/f").unwrap_or(0);
+        assert_eq!(len % 512, 0, "torn at a sector boundary");
+        assert!(len < 2000, "a prefix, not the whole write");
+        assert_eq!(d.stats().torn_writes, 1);
+        let off = d.append("data/f", &[9u8; 600]);
+        assert_eq!(off, len, "append continues from the torn end");
+    }
+
+    #[test]
+    fn read_error_ranges_fail_reads() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.write("data/f", 0, &[1u8; 100]);
+        d.set_fault_plan(Some(
+            DiskFaultPlan::new(5)
+                .with_permanent_read_error(40, 60)
+                .with_transient_read_errors(80, 90, 1.0),
+        ));
+        assert_eq!(d.try_read("data/f", 0, 10), Ok(Some(vec![1u8; 10])));
+        assert_eq!(d.try_read("data/f", 50, 4), Err(DiskError::Permanent));
+        assert_eq!(d.try_read("data/f", 30, 20), Err(DiskError::Permanent), "overlap fails");
+        assert_eq!(d.try_read("data/f", 82, 2), Err(DiskError::Transient));
+        assert_eq!(d.stats().read_errors_injected, 3);
+        assert_eq!(d.read("data/f", 50, 4), None, "legacy read maps errors to None");
+        // Quiet reads see permanent damage but never roll transient dice.
+        assert_eq!(d.read_quiet("data/f", 50, 4), Err(DiskError::Permanent));
+        assert_eq!(d.read_quiet("data/f", 82, 2), Ok(Some(vec![1u8; 2])));
+    }
+
+    #[test]
+    fn path_prefix_scopes_the_plan() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.write("data/f", 0, &[1u8; 100]);
+        d.write("wal.log", 0, &[1u8; 100]);
+        d.set_fault_plan(Some(
+            DiskFaultPlan::new(9).with_path_prefix("data/").with_permanent_read_error(0, 100),
+        ));
+        assert_eq!(d.try_read("data/f", 0, 10), Err(DiskError::Permanent));
+        assert_eq!(d.try_read("wal.log", 0, 10), Ok(Some(vec![1u8; 10])));
+    }
+
+    #[test]
+    fn same_seed_replays_identical_disk_fates() {
+        let run = || {
+            let d = VirtualDisk::new(DiskConfig::instant());
+            d.set_fault_plan(Some(
+                DiskFaultPlan::new(42)
+                    .with_flips(always(), 0.5)
+                    .with_torn_writes(always(), 0.5)
+                    .with_transient_read_errors(0, 1 << 30, 0.3),
+            ));
+            for i in 0..50u64 {
+                d.write("data/f", i * 64, &[i as u8; 64]);
+            }
+            let mut log = Vec::new();
+            for i in 0..50u64 {
+                log.push(d.try_read("data/f", i * 64, 64));
+            }
+            (log, d.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn corrupt_byte_hits_data_and_durable() {
+        let d = VirtualDisk::new(DiskConfig::instant());
+        d.write("f", 0, b"hello");
+        d.sync();
+        assert!(d.corrupt_byte("f", 1, 0x01));
+        assert_eq!(d.read("f", 0, 5).unwrap(), b"hdllo");
+        d.crash();
+        assert_eq!(d.read("f", 0, 5).unwrap(), b"hdllo", "corruption survives the crash");
+        assert!(!d.corrupt_byte("f", 99, 0x01), "out of range");
+        assert!(!d.corrupt_byte("missing", 0, 0x01));
     }
 
     #[test]

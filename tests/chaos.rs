@@ -107,6 +107,42 @@ fn crash_restart_recovers_synced_state_and_discards_the_torn_write() {
 }
 
 #[test]
+fn disk_corruption_self_heals_and_break_scrub_is_convicted() {
+    let report = gvfs_integration::chaos::run_disk_corruption(7, false);
+    assert!(
+        report.violations.is_empty(),
+        "disk-corruption must be clean, got: {:#?}\nhistory: {:#?}\nstats: {:?}",
+        report.violations,
+        report.history,
+        report.reader_stats
+    );
+    // The report's own checks already demand these, but assert the
+    // interesting counters explicitly so a regression reads clearly.
+    assert!(report.corrupted_paths >= 2, "rot must land on data/ and chunks/");
+    assert!(
+        report.reader_stats.integrity_failures >= report.corrupted_paths as u64,
+        "every rotted file must fail at least one verification, stats: {:?}",
+        report.reader_stats
+    );
+    assert!(report.reader_stats.scrub_repairs >= 1, "the scrubber must repair ahead of demand");
+    assert_eq!(report.reader_stats.integrity_dirty_loss, 0, "only clean data was rotted");
+
+    // Exact-replay determinism, scripted like the randomized scenarios.
+    let again = gvfs_integration::chaos::run_disk_corruption(7, false);
+    assert_eq!(report.history, again.history, "scenario must replay bit-identically");
+    assert_eq!(report.trace_hash, again.trace_hash);
+
+    // The --break-scrub arm: with verify-on-read disabled the rot is
+    // served, and the oracle must convict it.
+    let broken = gvfs_integration::chaos::run_disk_corruption(7, true);
+    assert!(
+        !broken.violations.is_empty(),
+        "a store serving rotted bytes must be convicted, stats: {:?}",
+        broken.reader_stats
+    );
+}
+
+#[test]
 fn suppressed_recalls_are_caught_and_shrunk() {
     let mut cfg = ScenarioConfig::new(10, ModelKind::Delegation);
     cfg.suppress_recalls = true;
